@@ -1,0 +1,91 @@
+// Command skybench runs the §6.2 prototype experiments of "Self-organizing
+// Strategies for a Column-store Database" (EDBT 2008) against the synthetic
+// SkyServer dataset: Figures 10–16 and Table 2.
+//
+// Usage:
+//
+//	skybench -exp fig10                 # one experiment
+//	skybench -exp all                   # everything (full scale)
+//	skybench -values 2000000 -queries 100   # scaled-down quick run
+//	skybench -summary                   # per-workload digest only
+//
+// Timings are virtual-clock milliseconds (see DESIGN.md: the paper's
+// disk-bound box is simulated by a buffer pool with bandwidth ratios);
+// wall-clock times are reported alongside in the summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selforg/internal/sky"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig10..fig16, table2) or 'all'")
+	values := flag.Int("values", 0, "ra column cardinality (0 = default 44M)")
+	queries := flag.Int("queries", 0, "queries per workload (0 = paper's 200)")
+	budgetMB := flag.Int64("budget", 0, "buffer budget in MB (0 = default 128)")
+	summary := flag.Bool("summary", false, "print per-workload digests instead of figures")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range sky.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := sky.DefaultConfig()
+	if *values > 0 {
+		cfg.NumValues = *values
+		// Keep the column:budget:bounds proportions when scaling down.
+		scale := float64(*values) / 44_000_000
+		cfg.Pool.BudgetBytes = int64(float64(cfg.Pool.BudgetBytes) * scale)
+		cfg.Mmin = max64(int64(float64(cfg.Mmin)*scale), 1024)
+		cfg.MmaxSmall = max64(int64(float64(cfg.MmaxSmall)*scale), 4*cfg.Mmin)
+		cfg.MmaxLarge = max64(int64(float64(cfg.MmaxLarge)*scale), 8*cfg.Mmin)
+	}
+	if *queries > 0 {
+		cfg.Workload.NumQueries = *queries
+	}
+	if *budgetMB > 0 {
+		cfg.Pool.BudgetBytes = *budgetMB << 20
+	}
+
+	fmt.Printf("dataset: %d values (%d MB accounted), buffer %d MB, %d queries/workload\n\n",
+		cfg.NumValues, int64(cfg.NumValues)*cfg.ElemSize>>20,
+		cfg.Pool.BudgetBytes>>20, cfg.Workload.NumQueries)
+	ds := sky.Generate(cfg.NumValues, cfg.DataSeed)
+
+	if *summary {
+		for _, w := range sky.WorkloadNames() {
+			fmt.Printf("== %s workload ==\n", w)
+			fmt.Println(sky.Summary(sky.RunWorkload(ds, w, cfg)))
+		}
+		return
+	}
+
+	ran := 0
+	for _, e := range sky.Experiments() {
+		if *exp != "all" && e.ID != *exp {
+			continue
+		}
+		fmt.Printf("== %s ==\n", e.Title)
+		fmt.Println(e.Run(ds, cfg))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "skybench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

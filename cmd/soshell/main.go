@@ -1,0 +1,240 @@
+// Command soshell is a small interactive shell around the selforg public
+// API: generate or load a column, pick a strategy and model, run range
+// queries and watch the layout reorganize itself.
+//
+// Example session (also scriptable via a pipe):
+//
+//	$ soshell
+//	> gen 100000 0 999999 42
+//	> strategy segmentation
+//	> model apm 3072 12288
+//	> build
+//	> select 100000 199999
+//	> layout
+//	> totals
+//	> quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"selforg"
+
+	"selforg/internal/domain"
+	"selforg/internal/sim"
+)
+
+type shell struct {
+	values   []int64
+	lo, hi   int64
+	opts     selforg.Options
+	col      *selforg.Column
+	out      *bufio.Writer
+	echoedOK bool
+}
+
+func main() {
+	sh := &shell{
+		lo: 0, hi: 999_999,
+		opts: selforg.Options{Strategy: selforg.Segmentation, Model: selforg.APM},
+		out:  bufio.NewWriter(os.Stdout),
+	}
+	defer sh.out.Flush()
+	fmt.Fprintln(sh.out, "selforg shell — 'help' lists commands")
+	sh.out.Flush()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Fprint(sh.out, "> ")
+		sh.out.Flush()
+		if !sc.Scan() {
+			fmt.Fprintln(sh.out)
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if err := sh.exec(line); err != nil {
+			fmt.Fprintf(sh.out, "error: %v\n", err)
+		}
+	}
+}
+
+func (sh *shell) exec(line string) error {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "help":
+		fmt.Fprint(sh.out, `commands:
+  gen N LO HI [SEED]        generate N uniform values over [LO, HI]
+  strategy segmentation|replication
+  model apm [MMIN MMAX] | gd [SEED] | none
+  build                     construct the adaptive column
+  select LO HI              run a range query
+  layout                    show the segment layout / replica tree
+  totals                    cumulative statistics
+  glue MINBYTES             merge segments smaller than MINBYTES
+  quit
+`)
+		return nil
+	case "gen":
+		if len(args) < 3 {
+			return fmt.Errorf("gen N LO HI [SEED]")
+		}
+		n, err := atoi(args[0])
+		if err != nil {
+			return err
+		}
+		lo, err := atoi(args[1])
+		if err != nil {
+			return err
+		}
+		hi, err := atoi(args[2])
+		if err != nil {
+			return err
+		}
+		seed := int64(42)
+		if len(args) > 3 {
+			if seed, err = atoi(args[3]); err != nil {
+				return err
+			}
+		}
+		if hi <= lo {
+			return fmt.Errorf("empty domain")
+		}
+		vals := sim.GenerateColumn(int(n), domain.NewRange(lo, hi), seed)
+		sh.values = vals
+		sh.lo, sh.hi = lo, hi
+		sh.col = nil
+		fmt.Fprintf(sh.out, "generated %d values over [%d, %d]\n", n, lo, hi)
+		return nil
+	case "strategy":
+		if len(args) != 1 {
+			return fmt.Errorf("strategy segmentation|replication")
+		}
+		switch args[0] {
+		case "segmentation", "segm":
+			sh.opts.Strategy = selforg.Segmentation
+		case "replication", "repl":
+			sh.opts.Strategy = selforg.Replication
+		default:
+			return fmt.Errorf("unknown strategy %q", args[0])
+		}
+		sh.col = nil
+		return nil
+	case "model":
+		if len(args) < 1 {
+			return fmt.Errorf("model apm|gd|none")
+		}
+		switch args[0] {
+		case "apm":
+			sh.opts.Model = selforg.APM
+			if len(args) == 3 {
+				mmin, err := atoi(args[1])
+				if err != nil {
+					return err
+				}
+				mmax, err := atoi(args[2])
+				if err != nil {
+					return err
+				}
+				sh.opts.APMMin, sh.opts.APMMax = mmin, mmax
+			}
+		case "gd":
+			sh.opts.Model = selforg.GD
+			if len(args) == 2 {
+				seed, err := atoi(args[1])
+				if err != nil {
+					return err
+				}
+				sh.opts.GDSeed = seed
+			}
+		case "none":
+			sh.opts.Model = selforg.None
+		default:
+			return fmt.Errorf("unknown model %q", args[0])
+		}
+		sh.col = nil
+		return nil
+	case "build":
+		if sh.values == nil {
+			return fmt.Errorf("no data: run 'gen' first")
+		}
+		vals := append([]int64(nil), sh.values...)
+		col, err := selforg.New(selforg.Interval{Lo: sh.lo, Hi: sh.hi}, vals, sh.opts)
+		if err != nil {
+			return err
+		}
+		sh.col = col
+		fmt.Fprintf(sh.out, "built %s over %d values\n", col.Name(), len(sh.values))
+		return nil
+	case "select":
+		if sh.col == nil {
+			return fmt.Errorf("no column: run 'build' first")
+		}
+		if len(args) != 2 {
+			return fmt.Errorf("select LO HI")
+		}
+		lo, err := atoi(args[0])
+		if err != nil {
+			return err
+		}
+		hi, err := atoi(args[1])
+		if err != nil {
+			return err
+		}
+		res, st := sh.col.Select(lo, hi)
+		fmt.Fprintf(sh.out, "%d rows; read %d B, wrote %d B, %d splits, %d drops; %d segments\n",
+			len(res), st.ReadBytes, st.WriteBytes, st.Splits, st.Drops, sh.col.SegmentCount())
+		return nil
+	case "layout":
+		if sh.col == nil {
+			return fmt.Errorf("no column")
+		}
+		fmt.Fprintln(sh.out, sh.col.Layout())
+		return nil
+	case "totals":
+		if sh.col == nil {
+			return fmt.Errorf("no column")
+		}
+		t := sh.col.Totals()
+		fmt.Fprintf(sh.out, "queries %d: read %d B, wrote %d B, %d splits, %d drops, storage %d B\n",
+			sh.col.Queries(), t.ReadBytes, t.WriteBytes, t.Splits, t.Drops, sh.col.StorageBytes())
+		return nil
+	case "glue":
+		if sh.col == nil {
+			return fmt.Errorf("no column")
+		}
+		if len(args) != 1 {
+			return fmt.Errorf("glue MINBYTES")
+		}
+		minBytes, err := atoi(args[0])
+		if err != nil {
+			return err
+		}
+		rewritten, ok := sh.col.GlueSmall(minBytes)
+		if !ok {
+			return fmt.Errorf("gluing applies to segmentation columns only")
+		}
+		fmt.Fprintf(sh.out, "rewrote %d B; %d segments\n", rewritten, sh.col.SegmentCount())
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q ('help' lists commands)", cmd)
+	}
+}
+
+func atoi(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func newTestShell() (*shell, *strings.Builder) {
+	var sb strings.Builder
+	sh := &shell{
+		lo: 0, hi: 999_999,
+		out: bufio.NewWriter(&sb),
+	}
+	return sh, &sb
+}
+
+func run(t *testing.T, sh *shell, lines ...string) {
+	t.Helper()
+	for _, l := range lines {
+		if err := sh.exec(l); err != nil {
+			t.Fatalf("%q: %v", l, err)
+		}
+	}
+	sh.out.Flush()
+}
+
+func TestShellFullSession(t *testing.T) {
+	sh, out := newTestShell()
+	run(t, sh,
+		"gen 10000 0 99999 7",
+		"strategy segmentation",
+		"model apm 512 2048",
+		"build",
+		"select 10000 29999",
+		"select 10000 29999",
+		"layout",
+		"totals",
+	)
+	text := out.String()
+	for _, want := range []string{"generated 10000 values", "built", "rows;", "queries 2"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("session output missing %q:\n%s", want, text)
+		}
+	}
+	if sh.col.SegmentCount() < 2 {
+		t.Error("shell column never adapted")
+	}
+}
+
+func TestShellReplicationAndGlueRejected(t *testing.T) {
+	sh, _ := newTestShell()
+	run(t, sh, "gen 1000 0 9999", "strategy repl", "model gd 5", "build", "select 100 500")
+	if err := sh.exec("glue 100"); err == nil {
+		t.Error("glue on replication column accepted")
+	}
+}
+
+func TestShellGlue(t *testing.T) {
+	sh, _ := newTestShell()
+	run(t, sh, "gen 20000 0 99999", "model apm 64 256", "build")
+	for i := 0; i < 30; i++ {
+		run(t, sh, "select 5000 7000")
+	}
+	run(t, sh, "glue 512")
+}
+
+func TestShellErrors(t *testing.T) {
+	sh, _ := newTestShell()
+	cases := []string{
+		"select 1 2",     // no column
+		"build",          // no data
+		"gen 10",         // missing args
+		"gen x 0 10",     // bad number
+		"strategy bogus", // unknown strategy
+		"model bogus",    // unknown model
+		"layout",         // no column
+		"totals",         // no column
+		"frobnicate",     // unknown command
+		"gen 10 100 100", // empty domain
+	}
+	for _, c := range cases {
+		if err := sh.exec(c); err == nil {
+			t.Errorf("%q: expected error", c)
+		}
+	}
+}
+
+func TestShellHelp(t *testing.T) {
+	sh, out := newTestShell()
+	run(t, sh, "help")
+	if !strings.Contains(out.String(), "commands:") {
+		t.Error("help output missing")
+	}
+}
+
+func TestShellModelNone(t *testing.T) {
+	sh, _ := newTestShell()
+	run(t, sh, "gen 1000 0 9999", "model none", "build", "select 0 9999")
+	if sh.col.SegmentCount() != 1 {
+		t.Error("none model adapted")
+	}
+}

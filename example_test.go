@@ -1,0 +1,83 @@
+package selforg_test
+
+import (
+	"fmt"
+
+	"selforg"
+)
+
+// ExampleNew builds an adaptive column and shows a query both answering
+// and reorganizing.
+func ExampleNew() {
+	// A dense column: value i at position i, 1 accounted byte each.
+	values := make([]int64, 1000)
+	for i := range values {
+		values[i] = int64(i)
+	}
+	col, err := selforg.New(selforg.Interval{Lo: 0, Hi: 999}, values, selforg.Options{
+		Strategy: selforg.Segmentation,
+		Model:    selforg.APM,
+		APMMin:   100,
+		APMMax:   350,
+		ElemSize: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, st := col.Select(300, 599)
+	fmt.Printf("rows=%d splits=%d segments=%d\n", len(res), st.Splits, col.SegmentCount())
+
+	// The same query again is now confined to one segment.
+	_, st = col.Select(300, 599)
+	fmt.Printf("second read=%dB of %dB column\n", st.ReadBytes, col.StorageBytes())
+	// Output:
+	// rows=300 splits=1 segments=3
+	// second read=300B of 1000B column
+}
+
+// ExampleColumn_Layout shows the replica tree of an adaptive-replication
+// column, with virtual segments marked.
+func ExampleColumn_Layout() {
+	values := make([]int64, 1000)
+	for i := range values {
+		values[i] = int64(i)
+	}
+	col, err := selforg.New(selforg.Interval{Lo: 0, Hi: 999}, values, selforg.Options{
+		Strategy: selforg.Replication,
+		Model:    selforg.APM,
+		APMMin:   100,
+		APMMax:   350,
+		ElemSize: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	col.Select(300, 599) // the selection is kept as a replica
+	fmt.Print(col.Layout())
+	// Output:
+	// mat [0, 999] #1000
+	//   vir [0, 299] #300
+	//   mat [300, 599] #300
+	//   vir [600, 999] #400
+}
+
+// ExampleColumn_BulkLoad appends a batch while preserving the adaptive
+// organization.
+func ExampleColumn_BulkLoad() {
+	values := make([]int64, 100)
+	for i := range values {
+		values[i] = int64(i)
+	}
+	col, _ := selforg.New(selforg.Interval{Lo: 0, Hi: 99}, values, selforg.Options{
+		Strategy: selforg.Segmentation,
+		Model:    selforg.None,
+		ElemSize: 1,
+	})
+	if _, err := col.BulkLoad([]int64{50, 51}); err != nil {
+		panic(err)
+	}
+	n, _ := col.Count(50, 51)
+	fmt.Println(n)
+	// Output:
+	// 4
+}

@@ -1,0 +1,68 @@
+// Quickstart: build a self-organizing column, run a few range queries and
+// watch the layout converge.
+//
+// Mirrors the paper's headline scenario: a read-mostly column (§1) whose
+// physical organization adapts to the query load — no DBA, no CREATE
+// INDEX, the queries themselves reorganize the data.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"selforg"
+)
+
+func main() {
+	// A column of 200K 4-byte values over a 2M-value domain.
+	const (
+		n      = 200_000
+		domain = 2_000_000
+	)
+	rng := rand.New(rand.NewSource(7))
+	values := make([]int64, n)
+	for i := range values {
+		values[i] = rng.Int63n(domain)
+	}
+
+	col, err := selforg.New(selforg.Interval{Lo: 0, Hi: domain - 1}, values, selforg.Options{
+		Strategy: selforg.Segmentation, // reorganize in place (§4)
+		Model:    selforg.APM,          // deterministic model, bounds below (§3.2.2)
+		APMMin:   8 << 10,              // segments never smaller than 8 KB ...
+		APMMax:   32 << 10,             // ... and queried segments never larger than 32 KB
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("column: %s, %d values, storage %d KB\n\n",
+		col.Name(), n, col.StorageBytes()>>10)
+
+	// A workload with a hot range: the same analytical window queried
+	// repeatedly, plus background noise.
+	hotLo, hotHi := int64(800_000), int64(899_999)
+	for q := 1; q <= 12; q++ {
+		var lo, hi int64
+		if q%2 == 1 {
+			lo, hi = hotLo, hotHi
+		} else {
+			lo = rng.Int63n(domain - 150_000)
+			hi = lo + 149_999
+		}
+		res, st := col.Select(lo, hi)
+		fmt.Printf("q%02d select [%7d, %7d]: %6d rows, read %4d KB, wrote %4d KB, %d splits\n",
+			q, lo, hi, len(res), st.ReadBytes>>10, st.WriteBytes>>10, st.Splits)
+	}
+
+	fmt.Printf("\nafter %d queries: %d segments, total read %d KB, total written %d KB\n",
+		col.Queries(), col.SegmentCount(),
+		col.Totals().ReadBytes>>10, col.Totals().WriteBytes>>10)
+
+	// The first hot-range query scanned the whole column (800 KB); by now
+	// the same query touches only the segments overlapping the range.
+	_, st := col.Select(hotLo, hotHi)
+	fmt.Printf("hot range now reads %d KB per query (column is %d KB)\n",
+		st.ReadBytes>>10, col.StorageBytes()>>10)
+}

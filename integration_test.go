@@ -1,0 +1,223 @@
+package selforg
+
+// Cross-module integration tests: the public facade driven by the
+// workload generators, wired to the buffer pool through the Tracer hook,
+// checked against the §6.1 expectations, and cross-validated between the
+// two strategies and against the MAL execution layer.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"selforg/internal/bat"
+	"selforg/internal/bpm"
+	"selforg/internal/domain"
+	"selforg/internal/mal"
+	"selforg/internal/model"
+	"selforg/internal/opt"
+	"selforg/internal/sim"
+	"selforg/internal/workload"
+)
+
+// poolTracer adapts a bpm.Pool to the facade Tracer.
+type poolTracer struct{ pool *bpm.Pool }
+
+func (t poolTracer) Scan(id, _ int64)        { t.pool.Touch(id) }
+func (t poolTracer) Materialize(id, b int64) { t.pool.Register(id, b) }
+func (t poolTracer) Drop(id, _ int64)        { t.pool.Free(id) }
+
+func TestFacadeWiredToBufferPool(t *testing.T) {
+	pool := bpm.New(bpm.Config{
+		BudgetBytes:        64 << 10,
+		MemBandwidth:       1e9,
+		DiskReadBandwidth:  1e8,
+		DiskWriteBandwidth: 1e8,
+	})
+	dom := domain.NewRange(0, 99_999)
+	vals := sim.GenerateColumn(50_000, dom, 3)
+	col, err := New(Interval{dom.Lo, dom.Hi}, vals, Options{
+		Strategy: Segmentation,
+		Model:    APM,
+		APMMin:   2 << 10,
+		APMMax:   8 << 10,
+		Tracer:   poolTracer{pool},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewUniform(dom, 10_000, 4)
+	for i := 0; i < 200; i++ {
+		q := gen.Next()
+		col.Select(q.Lo, q.Hi)
+	}
+	// Storage conservation across the module boundary: what the pool
+	// holds (resident or evicted) is exactly the column's storage.
+	var poolBytes int64
+	for _, b := range col.SegmentSizes() {
+		poolBytes += int64(b)
+	}
+	if poolBytes != col.StorageBytes() {
+		t.Errorf("segment sizes %d != storage %d", poolBytes, col.StorageBytes())
+	}
+	st := pool.Stats()
+	if st.LogicalReads == 0 || st.Writes == 0 {
+		t.Errorf("pool saw no traffic: %+v", st)
+	}
+	// The column (200 KB) exceeds the 64 KB budget: evictions must occur.
+	if st.Evictions == 0 {
+		t.Error("constrained pool never evicted")
+	}
+	if pool.ResidentBytes() > 64<<10 {
+		t.Errorf("resident %d exceeds budget", pool.ResidentBytes())
+	}
+	if pool.Clock() <= 0 {
+		t.Error("virtual clock did not advance")
+	}
+}
+
+func TestStrategiesAgreeOnResults(t *testing.T) {
+	// Segmentation and replication must return identical result multisets
+	// for an identical query stream.
+	dom := domain.NewRange(0, 49_999)
+	vals := sim.GenerateColumn(20_000, dom, 7)
+	mk := func(s Strategy) *Column {
+		col, err := New(Interval{dom.Lo, dom.Hi}, append([]int64(nil), vals...), Options{
+			Strategy: s, Model: APM, APMMin: 1 << 10, APMMax: 4 << 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return col
+	}
+	seg, rep := mk(Segmentation), mk(Replication)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		lo := rng.Int63n(45_000)
+		hi := lo + rng.Int63n(5000)
+		a, _ := seg.Select(lo, hi)
+		b, _ := rep.Select(lo, hi)
+		if len(a) != len(b) {
+			t.Fatalf("query %d [%d,%d]: %d vs %d rows", i, lo, hi, len(a), len(b))
+		}
+		sort.Slice(a, func(x, y int) bool { return a[x] < a[y] })
+		sort.Slice(b, func(x, y int) bool { return b[x] < b[y] })
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("query %d: results diverge at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSimulationHeadlinesAtIntegrationScale(t *testing.T) {
+	// One end-to-end pass over the §6.1 headline claims with all four
+	// strategies on a single scaled configuration.
+	base := sim.DefaultConfig()
+	base.ColumnCount = 20_000
+	base.Dom = domain.NewRange(0, 199_999)
+	base.NumQueries = 800
+	base.APMMin = 600
+	base.APMMax = 2400
+	results := sim.RunAll(sim.FourStrategies(base))
+	byName := map[string]*sim.Result{}
+	for _, r := range results {
+		byName[r.Cfg.StrategyName()] = r
+	}
+	// §6.1.1: replication writes less than segmentation, per model.
+	if byName["GD Repl"].Writes.Sum() >= byName["GD Segm"].Writes.Sum() {
+		t.Error("GD: replication wrote more than segmentation")
+	}
+	if byName["APM Repl"].Writes.Sum() >= byName["APM Segm"].Writes.Sum() {
+		t.Error("APM: replication wrote more than segmentation")
+	}
+	// §6.1.2: all strategies end up reading far less than the column.
+	for name, r := range byName {
+		tail := r.Reads.Tail(100)
+		if tail >= float64(r.ColumnBytes) {
+			t.Errorf("%s: tail reads %.0f did not drop below the column size %d",
+				name, tail, r.ColumnBytes)
+		}
+	}
+	// §6.1.3: replication storage exceeds the column, then shrinks.
+	for _, name := range []string{"GD Repl", "APM Repl"} {
+		r := byName[name]
+		if r.Storage.Max() <= float64(r.ColumnBytes) {
+			t.Errorf("%s never grew beyond the column", name)
+		}
+		if r.Drops == 0 {
+			t.Errorf("%s never dropped a replica", name)
+		}
+	}
+}
+
+func TestMALLayerAgreesWithFacade(t *testing.T) {
+	// The same data queried through the MAL plan (optimized over the
+	// segmented store) and through the facade column must agree on the
+	// result cardinality.
+	n := 10_000
+	rng := rand.New(rand.NewSource(13))
+	ras := make([]float64, n)
+	for i := range ras {
+		ras[i] = rng.Float64() * 360
+	}
+	// MAL side.
+	cat := mal.NewMemCatalog()
+	cat.AddTable(&mal.Table{
+		Schema: "sys", Name: "P",
+		Cols: map[string]*mal.Column{
+			"ra": {Base: bat.New(bat.NewDenseOids(0, n), bat.NewDbls(ras)), Segmented: "sys_P_ra"},
+		},
+	})
+	st := bpm.NewStore()
+	st.Register(bpm.NewSegmentedBAT("sys_P_ra",
+		bat.New(bat.NewDenseOids(0, n), bat.NewDbls(append([]float64(nil), ras...))), 0, 360, 4))
+	prog := mal.MustParse(`
+function user.q(A0:dbl,A1:dbl):void;
+X1:bat[:oid,:dbl] := sql.bind("sys","P","ra",0);
+X14 := algebra.uselect(X1,A0,A1,true,true);
+C := aggr.count(X14);
+io.print(C);
+end q;
+`)
+	if err := opt.Default().Optimize(prog, &opt.Context{Catalog: cat, Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	in := mal.NewInterp(cat, st)
+	in.AdaptModel = model.NewAPM(1<<10, 1<<12)
+
+	// Facade side: ra scaled to micro-degrees.
+	scaled := make([]int64, n)
+	for i, ra := range ras {
+		scaled[i] = int64(ra * 1e6)
+	}
+	col, err := New(Interval{0, 360_000_000}, scaled, Options{
+		Strategy: Segmentation, Model: APM, APMMin: 1 << 10, APMMax: 1 << 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 20; i++ {
+		lo := rng.Float64() * 300
+		hi := lo + rng.Float64()*30
+		ctx, err := in.Run(prog, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _ := ctx.Get("C")
+		malCount := c.(int64)
+		// The facade's integer domain is micro-degrees; align bounds with
+		// the same truncation the MAL plan's dbl comparison implies.
+		res, _ := col.Select(int64(lo*1e6)+1, int64(hi*1e6))
+		fLo, fHi := int64(lo*1e6), int64(hi*1e6)
+		_ = fLo
+		_ = fHi
+		// Allow off-by-boundary differences caused by the fixed-point
+		// truncation at the interval edges.
+		diff := int64(len(res)) - malCount
+		if diff < -2 || diff > 2 {
+			t.Errorf("query [%g, %g]: MAL %d vs facade %d", lo, hi, malCount, len(res))
+		}
+	}
+}

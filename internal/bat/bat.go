@@ -1,0 +1,99 @@
+package bat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BAT is MonetDB's binary association table: a head column and a tail
+// column of equal length. Relational columns bind as [oid, value] BATs
+// whose head is (usually densely ascending) object identifiers.
+type BAT struct {
+	Head Vector
+	Tail Vector
+}
+
+// New wraps two equal-length vectors into a BAT.
+func New(head, tail Vector) *BAT {
+	if head.Len() != tail.Len() {
+		panic(fmt.Sprintf("bat: head length %d != tail length %d", head.Len(), tail.Len()))
+	}
+	return &BAT{Head: head, Tail: tail}
+}
+
+// NewDense builds the common [oid, value] BAT with a dense head starting
+// at 0.
+func NewDense(tail Vector) *BAT {
+	return New(NewDenseOids(0, tail.Len()), tail)
+}
+
+// Empty returns a zero-length BAT with the given column kinds.
+func Empty(headKind, tailKind Kind) *BAT {
+	return &BAT{Head: NewVector(headKind), Tail: NewVector(tailKind)}
+}
+
+// Len returns the number of associations (rows).
+func (b *BAT) Len() int { return b.Head.Len() }
+
+// HeadKind returns the head column's atom kind.
+func (b *BAT) HeadKind() Kind { return b.Head.Kind() }
+
+// TailKind returns the tail column's atom kind.
+func (b *BAT) TailKind() Kind { return b.Tail.Kind() }
+
+// Row returns the i-th (head, tail) pair.
+func (b *BAT) Row(i int) (Value, Value) { return b.Head.Get(i), b.Tail.Get(i) }
+
+// AppendRow adds one association.
+func (b *BAT) AppendRow(h, t Value) {
+	b.Head = b.Head.Append(h)
+	b.Tail = b.Tail.Append(t)
+}
+
+// SplitAt cuts the BAT at row i into two BATs sharing storage — the §2
+// observation that contiguous storage lets a bat "be conveniently split
+// at any point".
+func (b *BAT) SplitAt(i int) (*BAT, *BAT) {
+	if i < 0 || i > b.Len() {
+		panic(fmt.Sprintf("bat: split at %d out of %d", i, b.Len()))
+	}
+	left := New(b.Head.Slice(0, i), b.Tail.Slice(0, i))
+	right := New(b.Head.Slice(i, b.Len()), b.Tail.Slice(i, b.Len()))
+	return left, right
+}
+
+// Slice returns rows [i, j) as a BAT sharing storage.
+func (b *BAT) Slice(i, j int) *BAT {
+	return New(b.Head.Slice(i, j), b.Tail.Slice(i, j))
+}
+
+// Clone deep-copies the BAT into fresh storage.
+func (b *BAT) Clone() *BAT {
+	h := b.Head.Empty()
+	t := b.Tail.Empty()
+	for i := 0; i < b.Len(); i++ {
+		h = h.Append(b.Head.Get(i))
+		t = t.Append(b.Tail.Get(i))
+	}
+	return New(h, t)
+}
+
+// String renders up to 16 rows, MonetDB tabular style.
+func (b *BAT) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "#bat[:%v,:%v] %d rows\n", b.HeadKind(), b.TailKind(), b.Len())
+	n := b.Len()
+	const maxRows = 16
+	shown := n
+	if shown > maxRows {
+		shown = maxRows
+	}
+	for i := 0; i < shown; i++ {
+		h, t := b.Row(i)
+		fmt.Fprintf(&sb, "[ %s, %s ]\n", h, t)
+	}
+	if n > shown {
+		fmt.Fprintf(&sb, "... %d more\n", n-shown)
+	}
+	return sb.String()
+}

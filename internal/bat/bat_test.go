@@ -1,0 +1,523 @@
+package bat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func lngBAT(vals ...int64) *BAT   { return NewDense(NewLngs(vals)) }
+func dblBAT(vals ...float64) *BAT { return NewDense(NewDbls(vals)) }
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if Oid(7).AsOid() != 7 || Lng(-3).AsLng() != -3 || Dbl(2.5).AsDbl() != 2.5 ||
+		Str("x").AsStr() != "x" || !Bit(true).AsBit() || Bit(false).AsBit() {
+		t.Error("value round-trips failed")
+	}
+}
+
+func TestValueAccessorPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AsLng on oid did not panic")
+		}
+	}()
+	Oid(1).AsLng()
+}
+
+func TestValueLess(t *testing.T) {
+	if !Lng(1).Less(Lng(2)) || Lng(2).Less(Lng(1)) {
+		t.Error("lng order")
+	}
+	if !Dbl(1.5).Less(Dbl(2.5)) {
+		t.Error("dbl order")
+	}
+	if !Str("a").Less(Str("b")) {
+		t.Error("str order")
+	}
+	if !Oid(1).Less(Oid(2)) {
+		t.Error("oid order")
+	}
+}
+
+func TestValueLessPanicsAcrossKinds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-kind Less did not panic")
+		}
+	}()
+	Lng(1).Less(Dbl(2))
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"3@0":   Oid(3),
+		"-5":    Lng(-5),
+		"2.5":   Dbl(2.5),
+		`"hi"`:  Str("hi"),
+		"true":  Bit(true),
+		"false": Bit(false),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", v.K, got, want)
+		}
+	}
+}
+
+func TestKindFromName(t *testing.T) {
+	for name, want := range map[string]Kind{"oid": KOid, "lng": KLng, "dbl": KDbl, "str": KStr, "bit": KBit, "bigint": KLng} {
+		got, err := KindFromName(name)
+		if err != nil || got != want {
+			t.Errorf("KindFromName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := KindFromName("blob"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestDenseOidVector(t *testing.T) {
+	o := NewDenseOids(10, 5)
+	if !o.Dense() || o.Len() != 5 {
+		t.Fatalf("dense = %v len = %d", o.Dense(), o.Len())
+	}
+	if o.Get(0).AsOid() != 10 || o.Get(4).AsOid() != 14 {
+		t.Error("dense get wrong")
+	}
+	s := o.Slice(1, 4).(*OidVector)
+	if !s.Dense() || s.Get(0).AsOid() != 11 || s.Len() != 3 {
+		t.Error("dense slice wrong")
+	}
+	m := o.Append(Oid(99)).(*OidVector)
+	if m.Dense() {
+		t.Error("append must materialize")
+	}
+	if m.Len() != 6 || m.Get(5).AsOid() != 99 {
+		t.Error("materialized append wrong")
+	}
+	// Original remains dense and untouched.
+	if !o.Dense() || o.Len() != 5 {
+		t.Error("append mutated the dense original")
+	}
+}
+
+func TestVectorKindsRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KOid, KLng, KDbl, KStr, KBit} {
+		v := NewVector(k)
+		if v.Kind() != k || v.Len() != 0 {
+			t.Fatalf("NewVector(%v) wrong", k)
+		}
+		var val Value
+		switch k {
+		case KOid:
+			val = Oid(1)
+		case KLng:
+			val = Lng(1)
+		case KDbl:
+			val = Dbl(1)
+		case KStr:
+			val = Str("1")
+		case KBit:
+			val = Bit(true)
+		}
+		v = v.Append(val)
+		if v.Len() != 1 || v.Get(0) != val {
+			t.Fatalf("%v append/get failed", k)
+		}
+		if e := v.Empty(); e.Len() != 0 || e.Kind() != k {
+			t.Fatalf("%v Empty wrong", k)
+		}
+		if s := v.Slice(0, 1); s.Len() != 1 || s.Get(0) != val {
+			t.Fatalf("%v slice wrong", k)
+		}
+	}
+}
+
+func TestNewBATLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	New(NewDenseOids(0, 2), NewLngs([]int64{1}))
+}
+
+func TestBATSplitAt(t *testing.T) {
+	b := lngBAT(10, 20, 30, 40)
+	l, r := b.SplitAt(1)
+	if l.Len() != 1 || r.Len() != 3 {
+		t.Fatalf("split lens %d/%d", l.Len(), r.Len())
+	}
+	if l.Tail.Get(0).AsLng() != 10 || r.Tail.Get(0).AsLng() != 20 {
+		t.Error("split contents wrong")
+	}
+	// Heads stay aligned with the original oids.
+	if r.Head.Get(0).AsOid() != 1 {
+		t.Error("split head misaligned")
+	}
+}
+
+func TestBATCloneIndependent(t *testing.T) {
+	b := lngBAT(1, 2)
+	c := b.Clone()
+	c.AppendRow(Oid(9), Lng(9))
+	if b.Len() != 2 || c.Len() != 3 {
+		t.Error("clone not independent")
+	}
+}
+
+func TestBATString(t *testing.T) {
+	out := lngBAT(1, 2).String()
+	if !strings.Contains(out, "2 rows") || !strings.Contains(out, "[ 0@0, 1 ]") {
+		t.Errorf("String = %q", out)
+	}
+	big := NewDense(NewLngs(make([]int64, 100))).String()
+	if !strings.Contains(big, "more") {
+		t.Error("long BAT not truncated")
+	}
+}
+
+func TestRangeSelectDbl(t *testing.T) {
+	b := dblBAT(1.0, 2.5, 3.0, 4.9, 5.0)
+	r := RangeSelect(b, Dbl(2.5), Dbl(5.0), true, true)
+	if r.Len() != 4 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	r = RangeSelect(b, Dbl(2.5), Dbl(5.0), false, false)
+	if r.Len() != 2 {
+		t.Fatalf("exclusive len = %d", r.Len())
+	}
+	// Head oids preserved.
+	if r.Head.Get(0).AsOid() != 2 {
+		t.Error("head not preserved")
+	}
+}
+
+func TestRangeSelectLng(t *testing.T) {
+	b := lngBAT(5, 1, 9, 3)
+	r := RangeSelect(b, Lng(2), Lng(6), true, true)
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestRangeSelectKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	RangeSelect(lngBAT(1), Dbl(0), Dbl(1), true, true)
+}
+
+func TestSelectEq(t *testing.T) {
+	b := lngBAT(1, 2, 2, 3)
+	if r := SelectEq(b, Lng(2)); r.Len() != 2 {
+		t.Errorf("len = %d", r.Len())
+	}
+}
+
+func TestKUnion(t *testing.T) {
+	a := New(NewOids([]uint64{0, 1}), NewLngs([]int64{10, 11}))
+	b := New(NewOids([]uint64{1, 2}), NewLngs([]int64{99, 12}))
+	u := KUnion(a, b)
+	if u.Len() != 3 {
+		t.Fatalf("len = %d", u.Len())
+	}
+	// Head 1 keeps a's tail (left bias).
+	for i := 0; i < u.Len(); i++ {
+		h, tl := u.Row(i)
+		if h.AsOid() == 1 && tl.AsLng() != 11 {
+			t.Error("kunion not left-biased")
+		}
+	}
+}
+
+func TestKDifference(t *testing.T) {
+	a := New(NewOids([]uint64{0, 1, 2}), NewLngs([]int64{10, 11, 12}))
+	b := New(NewOids([]uint64{1}), NewLngs([]int64{0}))
+	d := KDifference(a, b)
+	if d.Len() != 2 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	for i := 0; i < d.Len(); i++ {
+		if h, _ := d.Row(i); h.AsOid() == 1 {
+			t.Error("kdifference kept masked head")
+		}
+	}
+}
+
+func TestKIntersect(t *testing.T) {
+	a := New(NewOids([]uint64{0, 1, 2}), NewLngs([]int64{10, 11, 12}))
+	b := New(NewOids([]uint64{2, 0}), NewLngs([]int64{0, 0}))
+	x := KIntersect(a, b)
+	if x.Len() != 2 {
+		t.Fatalf("len = %d", x.Len())
+	}
+}
+
+func TestReverseMirrorMark(t *testing.T) {
+	b := lngBAT(7, 8)
+	r := Reverse(b)
+	if r.HeadKind() != KLng || r.TailKind() != KOid {
+		t.Error("reverse kinds wrong")
+	}
+	m := Mirror(b)
+	if m.TailKind() != KOid || m.Tail.Get(1).AsOid() != 1 {
+		t.Error("mirror wrong")
+	}
+	k := MarkT(Reverse(b), 100)
+	if k.Tail.Get(0).AsOid() != 100 || k.Tail.Get(1).AsOid() != 101 {
+		t.Error("markT wrong")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	// a: [oid, oid] renumbering; b: [oid, lng] values.
+	a := New(NewDenseOids(0, 3), NewOids([]uint64{5, 6, 7}))
+	b := New(NewOids([]uint64{6, 7, 5}), NewLngs([]int64{60, 70, 50}))
+	j := Join(a, b)
+	if j.Len() != 3 {
+		t.Fatalf("len = %d", j.Len())
+	}
+	want := map[uint64]int64{0: 50, 1: 60, 2: 70}
+	for i := 0; i < j.Len(); i++ {
+		h, tl := j.Row(i)
+		if want[h.AsOid()] != tl.AsLng() {
+			t.Errorf("join pair %v -> %v wrong", h, tl)
+		}
+	}
+}
+
+func TestJoinDuplicatesMultiply(t *testing.T) {
+	a := New(NewDenseOids(0, 1), NewOids([]uint64{5}))
+	b := New(NewOids([]uint64{5, 5}), NewLngs([]int64{1, 2}))
+	if j := Join(a, b); j.Len() != 2 {
+		t.Errorf("len = %d, want 2", j.Len())
+	}
+}
+
+func TestJoinKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("join mismatch did not panic")
+		}
+	}()
+	Join(lngBAT(1), dblBAT(1))
+}
+
+func TestProject(t *testing.T) {
+	p := Project(lngBAT(1, 2), Str("x"))
+	if p.Len() != 2 || p.Tail.Get(0).AsStr() != "x" {
+		t.Error("project wrong")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	b := lngBAT(3, 1, 4, 1, 5)
+	if Count(b) != 5 {
+		t.Error("count")
+	}
+	if Sum(b).AsLng() != 14 {
+		t.Error("sum lng")
+	}
+	if Min(b).AsLng() != 1 || Max(b).AsLng() != 5 {
+		t.Error("min/max")
+	}
+	d := dblBAT(1.5, 2.5)
+	if Sum(d).AsDbl() != 4.0 {
+		t.Error("sum dbl")
+	}
+}
+
+func TestSumPanicsOnStr(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sum over str did not panic")
+		}
+	}()
+	Sum(NewDense(NewStrs([]string{"a"})))
+}
+
+func TestMinEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("min of empty did not panic")
+		}
+	}()
+	Min(Empty(KOid, KLng))
+}
+
+func TestSortTail(t *testing.T) {
+	b := lngBAT(3, 1, 2)
+	s := SortTail(b)
+	want := []int64{1, 2, 3}
+	wantHeads := []uint64{1, 2, 0}
+	for i := range want {
+		h, tl := s.Row(i)
+		if tl.AsLng() != want[i] || h.AsOid() != wantHeads[i] {
+			t.Errorf("sorted[%d] = (%v, %v)", i, h, tl)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram(lngBAT(1, 2, 1, 1))
+	if h.Len() != 2 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	hv, c := h.Row(0)
+	if hv.AsLng() != 1 || c.AsLng() != 3 {
+		t.Errorf("histogram first = (%v, %v)", hv, c)
+	}
+}
+
+// --- property tests ---
+
+func TestKOpsPropertiesAgainstMaps(t *testing.T) {
+	// Property: the k-operators agree with map-based set semantics on the
+	// head column.
+	rng := rand.New(rand.NewSource(2))
+	mk := func() *BAT {
+		n := rng.Intn(40)
+		heads := make([]uint64, n)
+		tails := make([]int64, n)
+		seen := map[uint64]bool{}
+		for i := 0; i < n; i++ {
+			h := uint64(rng.Intn(30))
+			for seen[h] {
+				h = uint64(rng.Intn(100))
+			}
+			seen[h] = true
+			heads[i] = h
+			tails[i] = rng.Int63n(100)
+		}
+		return New(NewOids(heads), NewLngs(tails))
+	}
+	f := func() bool {
+		a, b := mk(), mk()
+		sa, sb := headSet(a), headSet(b)
+		u, d, x := KUnion(a, b), KDifference(a, b), KIntersect(a, b)
+		// Union size = |a| + |b \ a|.
+		wantU := a.Len()
+		for h := range sb {
+			if _, ok := sa[h]; !ok {
+				wantU++
+			}
+		}
+		if u.Len() != wantU {
+			return false
+		}
+		wantD := 0
+		for h := range sa {
+			if _, ok := sb[h]; !ok {
+				wantD++
+			}
+		}
+		if d.Len() != wantD {
+			return false
+		}
+		wantX := a.Len() - wantD
+		return x.Len() == wantX
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentedSumEqualsCentralSum(t *testing.T) {
+	// §3.1: a sum over a segmented bat = sum of per-segment sums. Split a
+	// BAT at random points and verify.
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		n := 1 + rng.Intn(200)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(1000) - 500
+		}
+		b := NewDense(NewLngs(vals))
+		total := Sum(b).AsLng()
+		var parts int64
+		rest := b
+		for rest.Len() > 0 {
+			cut := 1 + rng.Intn(rest.Len())
+			var piece *BAT
+			piece, rest = rest.SplitAt(cut)
+			parts += Sum(piece).AsLng()
+		}
+		return parts == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentedSortEqualsCentralSort(t *testing.T) {
+	// §3.1: sorting a value-segmented column = concatenation of sorted
+	// value-disjoint segments. Partition by value range, sort pieces,
+	// concatenate, compare with the centralized sort.
+	vals := []float64{5.5, 1.1, 9.9, 3.3, 7.7, 2.2, 8.8, 4.4, 6.6}
+	b := NewDense(NewDbls(vals))
+	central := SortTail(b)
+	lowSeg := RangeSelect(b, Dbl(0), Dbl(5), true, true)
+	highSeg := RangeSelect(b, Dbl(5), Dbl(10), false, true)
+	merged := Empty(KOid, KDbl)
+	for _, seg := range []*BAT{SortTail(lowSeg), SortTail(highSeg)} {
+		for i := 0; i < seg.Len(); i++ {
+			h, tl := seg.Row(i)
+			merged.AppendRow(h, tl)
+		}
+	}
+	if merged.Len() != central.Len() {
+		t.Fatalf("lengths differ: %d vs %d", merged.Len(), central.Len())
+	}
+	for i := 0; i < merged.Len(); i++ {
+		mh, mt := merged.Row(i)
+		ch, ct := central.Row(i)
+		if mh != ch || mt != ct {
+			t.Fatalf("row %d differs: (%v,%v) vs (%v,%v)", i, mh, mt, ch, ct)
+		}
+	}
+}
+
+func TestSplitConcatIdentityProperty(t *testing.T) {
+	// Property: splitting at any point and re-appending reproduces the
+	// original associations.
+	rng := rand.New(rand.NewSource(4))
+	f := func() bool {
+		n := rng.Intn(100)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63()
+		}
+		b := NewDense(NewLngs(vals))
+		if n == 0 {
+			return true
+		}
+		cut := rng.Intn(n + 1)
+		l, r := b.SplitAt(cut)
+		rebuilt := Empty(KOid, KLng)
+		for _, p := range []*BAT{l, r} {
+			for i := 0; i < p.Len(); i++ {
+				h, tl := p.Row(i)
+				rebuilt.AppendRow(h, tl)
+			}
+		}
+		if rebuilt.Len() != b.Len() {
+			return false
+		}
+		for i := 0; i < b.Len(); i++ {
+			bh, bt := b.Row(i)
+			rh, rt := rebuilt.Row(i)
+			if bh != rh || bt != rt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+package bat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchDblBAT(n int) *BAT {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.Float64() * 360
+	}
+	return NewDense(NewDbls(vals))
+}
+
+// BenchmarkRangeSelectDbl measures the selection kernel on the SkyServer
+// predicate shape (narrow dbl range over an unsorted column).
+func BenchmarkRangeSelectDbl(b *testing.B) {
+	bt := benchDblBAT(1 << 20)
+	b.SetBytes(8 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := RangeSelect(bt, Dbl(205.1), Dbl(205.12), true, true)
+		_ = r
+	}
+}
+
+// BenchmarkKUnion measures the delta-merge operator of the Figure-1 plan.
+func BenchmarkKUnion(b *testing.B) {
+	n := 1 << 16
+	a := New(NewDenseOids(0, n), NewLngs(make([]int64, n)))
+	c := New(NewDenseOids(uint64(n/2), n), NewLngs(make([]int64, n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KUnion(a, c)
+	}
+}
+
+// BenchmarkJoin measures the oid-rejoin used for result construction.
+func BenchmarkJoin(b *testing.B) {
+	n := 1 << 16
+	heads := make([]uint64, n)
+	for i := range heads {
+		heads[i] = uint64(i)
+	}
+	a := New(NewDenseOids(0, n), NewOids(heads))
+	c := New(NewOids(heads), NewLngs(make([]int64, n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Join(a, c)
+	}
+}
+
+// BenchmarkSplitAt measures the §2 split-anywhere property (it should be
+// O(1): slices share storage).
+func BenchmarkSplitAt(b *testing.B) {
+	bt := benchDblBAT(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, r := bt.SplitAt(1 << 19)
+		if l.Len()+r.Len() != bt.Len() {
+			b.Fatal("split lost rows")
+		}
+	}
+}

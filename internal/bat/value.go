@@ -1,0 +1,170 @@
+// Package bat implements the MonetDB storage substrate described in §2: a
+// binary association table (BAT) is a 2-column structure whose elements
+// are "physically stored in a contiguous area ... no holes, deleted
+// elements, or auxiliary data", which means "a bat can be conveniently
+// split at any point". The package provides the BAT kernel operators that
+// the paper's MAL plans use (Figure 1): range selections, the k-operators
+// (kunion/kdifference/kintersect), reverse/mirror/mark, joins and
+// aggregates.
+package bat
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the supported atom types, named after MonetDB's.
+type Kind uint8
+
+const (
+	// KOid is the object identifier type heading most BATs.
+	KOid Kind = iota
+	// KLng is a 64-bit integer (MonetDB lng — SkyServer's objid).
+	KLng
+	// KDbl is a 64-bit float (MonetDB dbl — SkyServer's ra).
+	KDbl
+	// KStr is a variable-length string.
+	KStr
+	// KBit is a boolean.
+	KBit
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KOid:
+		return "oid"
+	case KLng:
+		return "lng"
+	case KDbl:
+		return "dbl"
+	case KStr:
+		return "str"
+	case KBit:
+		return "bit"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// KindFromName parses a MAL type name ("oid", "lng", "dbl", "str", "bit").
+func KindFromName(name string) (Kind, error) {
+	switch name {
+	case "oid":
+		return KOid, nil
+	case "lng", "int", "bigint":
+		return KLng, nil
+	case "dbl", "real", "flt":
+		return KDbl, nil
+	case "str":
+		return KStr, nil
+	case "bit":
+		return KBit, nil
+	default:
+		return 0, fmt.Errorf("bat: unknown atom type %q", name)
+	}
+}
+
+// Value is one typed cell. The struct is comparable, so Values can key
+// hash maps directly (the k-operators and joins rely on this).
+type Value struct {
+	K Kind
+	I int64   // payload for KOid (as non-negative), KLng and KBit (0/1)
+	F float64 // payload for KDbl
+	S string  // payload for KStr
+}
+
+// Oid builds an oid value.
+func Oid(v uint64) Value { return Value{K: KOid, I: int64(v)} }
+
+// Lng builds a lng value.
+func Lng(v int64) Value { return Value{K: KLng, I: v} }
+
+// Dbl builds a dbl value.
+func Dbl(v float64) Value { return Value{K: KDbl, F: v} }
+
+// Str builds a str value.
+func Str(v string) Value { return Value{K: KStr, S: v} }
+
+// Bit builds a bit value.
+func Bit(v bool) Value {
+	if v {
+		return Value{K: KBit, I: 1}
+	}
+	return Value{K: KBit}
+}
+
+// AsOid returns the oid payload; it panics on kind mismatch.
+func (v Value) AsOid() uint64 {
+	v.mustBe(KOid)
+	return uint64(v.I)
+}
+
+// AsLng returns the lng payload; it panics on kind mismatch.
+func (v Value) AsLng() int64 {
+	v.mustBe(KLng)
+	return v.I
+}
+
+// AsDbl returns the dbl payload; it panics on kind mismatch.
+func (v Value) AsDbl() float64 {
+	v.mustBe(KDbl)
+	return v.F
+}
+
+// AsStr returns the str payload; it panics on kind mismatch.
+func (v Value) AsStr() string {
+	v.mustBe(KStr)
+	return v.S
+}
+
+// AsBit returns the bit payload; it panics on kind mismatch.
+func (v Value) AsBit() bool {
+	v.mustBe(KBit)
+	return v.I != 0
+}
+
+func (v Value) mustBe(k Kind) {
+	if v.K != k {
+		panic(fmt.Sprintf("bat: value is %v, not %v", v.K, k))
+	}
+}
+
+// Less orders values of the same kind; it panics on kind mismatch or on
+// unordered kinds (bit).
+func (v Value) Less(w Value) bool {
+	if v.K != w.K {
+		panic(fmt.Sprintf("bat: comparing %v with %v", v.K, w.K))
+	}
+	switch v.K {
+	case KOid:
+		return uint64(v.I) < uint64(w.I)
+	case KLng:
+		return v.I < w.I
+	case KDbl:
+		return v.F < w.F
+	case KStr:
+		return v.S < w.S
+	default:
+		panic(fmt.Sprintf("bat: %v values are unordered", v.K))
+	}
+}
+
+func (v Value) String() string {
+	switch v.K {
+	case KOid:
+		return fmt.Sprintf("%d@0", uint64(v.I))
+	case KLng:
+		return strconv.FormatInt(v.I, 10)
+	case KDbl:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KStr:
+		return strconv.Quote(v.S)
+	case KBit:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprintf("Value(%d)", v.K)
+	}
+}

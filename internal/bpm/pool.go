@@ -1,0 +1,221 @@
+// Package bpm implements the buffer pool manager substrate: a
+// memory-budgeted pool of segment pages with LRU eviction to a simulated
+// secondary store, plus the virtual disk clock used by the prototype
+// experiments (§6.2).
+//
+// MonetDB relies on the OS virtual memory for I/O, "which hinders
+// performance as soon as bat sizes reach the memory limits" (§2); the
+// paper's simulator models "management in a constrained memory buffer
+// setting and its read/write behavior as data is flushed to secondary
+// store" (§6.1). Pool reproduces that: every segment is a page; touching a
+// non-resident page costs a simulated disk read, registering new pages may
+// evict cold ones, and all traffic is accounted on a deterministic virtual
+// clock (see DESIGN.md's substitution notes — the paper's disk-bound
+// 100 GB box is replaced by cost ratios, not wall-clock guesses).
+package bpm
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Config sets the pool geometry and the virtual clock bandwidths.
+type Config struct {
+	// BudgetBytes is the memory available for resident pages. Zero means
+	// unconstrained (everything stays resident).
+	BudgetBytes int64
+	// MemBandwidth is the in-memory scan rate in bytes/second.
+	MemBandwidth float64
+	// DiskReadBandwidth is the rate for faulting non-resident pages.
+	DiskReadBandwidth float64
+	// DiskWriteBandwidth is the rate for materializing (and evicting
+	// dirty) pages.
+	DiskWriteBandwidth float64
+}
+
+// DefaultConfig mirrors the §6.2 regime scaled to the synthetic SkyServer
+// dataset: a buffer smaller than the hot column and 2008-era disk-to-memory
+// cost ratios.
+func DefaultConfig() Config {
+	return Config{
+		BudgetBytes:        128 << 20, // 128 MB
+		MemBandwidth:       2e9,       // 2 GB/s scan
+		DiskReadBandwidth:  300e6,     // 300 MB/s sequential read
+		DiskWriteBandwidth: 250e6,     // 250 MB/s write-back
+	}
+}
+
+// Stats are the pool's cumulative counters.
+type Stats struct {
+	LogicalReads  int64 // bytes scanned (resident or not)
+	PhysicalReads int64 // bytes faulted from the simulated disk
+	Writes        int64 // bytes materialized
+	Evictions     int64 // pages evicted
+	EvictedBytes  int64
+	Hits          int64 // page touches served from memory
+	Misses        int64 // page touches that faulted
+}
+
+type page struct {
+	id       int64
+	bytes    int64
+	resident bool
+	elem     *list.Element // position in the LRU list when resident
+}
+
+// Pool is a memory-budgeted page pool with LRU replacement and a virtual
+// clock. It is safe for concurrent use.
+type Pool struct {
+	mu       sync.Mutex
+	cfg      Config
+	pages    map[int64]*page
+	lru      *list.List // front = most recently used
+	resident int64      // resident bytes
+	stats    Stats
+	clock    time.Duration // virtual elapsed time
+}
+
+// New creates a pool. Bandwidths must be positive wherever the
+// corresponding traffic can occur; zero bandwidths cost zero time.
+func New(cfg Config) *Pool {
+	return &Pool{cfg: cfg, pages: make(map[int64]*page), lru: list.New()}
+}
+
+// cost converts a byte volume to virtual time at the given bandwidth.
+func cost(bytes int64, bw float64) time.Duration {
+	if bw <= 0 || bytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / bw * float64(time.Second))
+}
+
+// Register adds a freshly materialized page of the given size, evicting
+// cold pages if the budget requires, and charges the write cost. It
+// returns the virtual time consumed.
+func (p *Pool) Register(id, bytes int64) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.pages[id]; ok {
+		panic(fmt.Sprintf("bpm: page %d registered twice", id))
+	}
+	pg := &page{id: id, bytes: bytes}
+	p.pages[id] = pg
+	d := cost(bytes, p.cfg.DiskWriteBandwidth)
+	p.stats.Writes += bytes
+	p.makeResident(pg)
+	p.clock += d
+	return d
+}
+
+// Touch records a full scan of the page. Non-resident pages fault in at
+// disk bandwidth (evicting cold pages as needed); all scans additionally
+// pay memory bandwidth. It returns the virtual time consumed and whether
+// the touch faulted.
+func (p *Pool) Touch(id int64) (time.Duration, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pg, ok := p.pages[id]
+	if !ok {
+		panic(fmt.Sprintf("bpm: touch of unknown page %d", id))
+	}
+	var d time.Duration
+	faulted := false
+	p.stats.LogicalReads += pg.bytes
+	if !pg.resident {
+		faulted = true
+		p.stats.Misses++
+		p.stats.PhysicalReads += pg.bytes
+		d += cost(pg.bytes, p.cfg.DiskReadBandwidth)
+		p.makeResident(pg)
+	} else {
+		p.stats.Hits++
+		p.lru.MoveToFront(pg.elem)
+	}
+	d += cost(pg.bytes, p.cfg.MemBandwidth)
+	p.clock += d
+	return d, faulted
+}
+
+// Free drops a page entirely (its segment was reorganized away).
+func (p *Pool) Free(id int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pg, ok := p.pages[id]
+	if !ok {
+		panic(fmt.Sprintf("bpm: free of unknown page %d", id))
+	}
+	if pg.resident {
+		p.lru.Remove(pg.elem)
+		p.resident -= pg.bytes
+	}
+	delete(p.pages, id)
+}
+
+// makeResident brings pg into memory, evicting LRU pages until the budget
+// holds. Pages larger than the whole budget stay resident transiently:
+// they evict everything else and are immediately marked non-resident,
+// modelling a streaming scan that cannot be cached.
+func (p *Pool) makeResident(pg *page) {
+	if pg.resident {
+		p.lru.MoveToFront(pg.elem)
+		return
+	}
+	if p.cfg.BudgetBytes > 0 && pg.bytes > p.cfg.BudgetBytes {
+		// Streaming page: never cached.
+		return
+	}
+	for p.cfg.BudgetBytes > 0 && p.resident+pg.bytes > p.cfg.BudgetBytes {
+		tail := p.lru.Back()
+		if tail == nil {
+			break
+		}
+		victim := tail.Value.(*page)
+		p.lru.Remove(tail)
+		victim.resident = false
+		victim.elem = nil
+		p.resident -= victim.bytes
+		p.stats.Evictions++
+		p.stats.EvictedBytes += victim.bytes
+	}
+	pg.resident = true
+	pg.elem = p.lru.PushFront(pg)
+	p.resident += pg.bytes
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Clock returns the total virtual time consumed so far.
+func (p *Pool) Clock() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.clock
+}
+
+// ResidentBytes returns the bytes currently held in memory.
+func (p *Pool) ResidentBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.resident
+}
+
+// PageCount returns the number of known pages (resident or not).
+func (p *Pool) PageCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pages)
+}
+
+// Resident reports whether the page is currently in memory.
+func (p *Pool) Resident(id int64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pg, ok := p.pages[id]
+	return ok && pg.resident
+}

@@ -1,0 +1,217 @@
+package bpm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testCfg() Config {
+	return Config{
+		BudgetBytes:        1000,
+		MemBandwidth:       1e6,
+		DiskReadBandwidth:  1e5,
+		DiskWriteBandwidth: 1e5,
+	}
+}
+
+func TestRegisterAndTouchResident(t *testing.T) {
+	p := New(testCfg())
+	p.Register(1, 400)
+	d, faulted := p.Touch(1)
+	if faulted {
+		t.Error("freshly registered page must be resident")
+	}
+	if d != 400*time.Microsecond { // 400 bytes at 1e6 B/s
+		t.Errorf("touch cost = %v", d)
+	}
+	st := p.Stats()
+	if st.LogicalReads != 400 || st.PhysicalReads != 0 || st.Hits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEvictionUnderBudget(t *testing.T) {
+	p := New(testCfg())
+	p.Register(1, 600)
+	p.Register(2, 600) // must evict page 1
+	if p.ResidentBytes() > 1000 {
+		t.Errorf("resident %d exceeds budget", p.ResidentBytes())
+	}
+	if p.Resident(1) {
+		t.Error("page 1 should have been evicted (LRU)")
+	}
+	if !p.Resident(2) {
+		t.Error("page 2 should be resident")
+	}
+	_, faulted := p.Touch(1)
+	if !faulted {
+		t.Error("touching evicted page must fault")
+	}
+	st := p.Stats()
+	if st.Evictions < 1 || st.PhysicalReads != 600 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	p := New(testCfg())
+	p.Register(1, 400)
+	p.Register(2, 400)
+	p.Touch(1)         // 1 becomes MRU
+	p.Register(3, 400) // evicts 2, the LRU
+	if !p.Resident(1) || p.Resident(2) || !p.Resident(3) {
+		t.Errorf("LRU order wrong: 1=%v 2=%v 3=%v",
+			p.Resident(1), p.Resident(2), p.Resident(3))
+	}
+}
+
+func TestOversizePageStreams(t *testing.T) {
+	p := New(testCfg())
+	p.Register(1, 5000) // larger than the whole budget
+	if p.Resident(1) {
+		t.Error("oversize page must not be cached")
+	}
+	_, faulted := p.Touch(1)
+	if !faulted {
+		t.Error("oversize page touch must always fault")
+	}
+}
+
+func TestFreeReleasesBudget(t *testing.T) {
+	p := New(testCfg())
+	p.Register(1, 800)
+	p.Free(1)
+	if p.ResidentBytes() != 0 || p.PageCount() != 0 {
+		t.Errorf("free did not release: %d bytes, %d pages", p.ResidentBytes(), p.PageCount())
+	}
+	p.Register(2, 900) // must fit without eviction
+	if st := p.Stats(); st.Evictions != 0 {
+		t.Errorf("unexpected evictions: %+v", st)
+	}
+}
+
+func TestUnconstrainedBudget(t *testing.T) {
+	cfg := testCfg()
+	cfg.BudgetBytes = 0
+	p := New(cfg)
+	for i := int64(1); i <= 100; i++ {
+		p.Register(i, 1000)
+	}
+	for i := int64(1); i <= 100; i++ {
+		if !p.Resident(i) {
+			t.Fatalf("page %d evicted despite unlimited budget", i)
+		}
+	}
+}
+
+func TestVirtualClockAccumulates(t *testing.T) {
+	p := New(testCfg())
+	d1 := p.Register(1, 100) // write: 100/1e5 s = 1ms
+	if d1 != time.Millisecond {
+		t.Errorf("write cost = %v", d1)
+	}
+	d2, _ := p.Touch(1) // mem scan only: 100/1e6 = 100us
+	if d2 != 100*time.Microsecond {
+		t.Errorf("scan cost = %v", d2)
+	}
+	if p.Clock() != d1+d2 {
+		t.Errorf("clock = %v, want %v", p.Clock(), d1+d2)
+	}
+}
+
+func TestZeroBandwidthCostsNothing(t *testing.T) {
+	p := New(Config{BudgetBytes: 100})
+	d := p.Register(1, 50)
+	if d != 0 {
+		t.Errorf("zero-bandwidth write cost = %v", d)
+	}
+}
+
+func TestDoubleRegisterPanics(t *testing.T) {
+	p := New(testCfg())
+	p.Register(1, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double register did not panic")
+		}
+	}()
+	p.Register(1, 10)
+}
+
+func TestTouchUnknownPanics(t *testing.T) {
+	p := New(testCfg())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown touch did not panic")
+		}
+	}()
+	p.Touch(42)
+}
+
+func TestFreeUnknownPanics(t *testing.T) {
+	p := New(testCfg())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown free did not panic")
+		}
+	}()
+	p.Free(42)
+}
+
+func TestBudgetInvariantUnderRandomOps(t *testing.T) {
+	// Property: resident bytes never exceed the budget, whatever the
+	// operation sequence (only pages smaller than the budget).
+	p := New(testCfg())
+	rng := rand.New(rand.NewSource(8))
+	known := []int64{}
+	next := int64(1)
+	for i := 0; i < 5000; i++ {
+		switch {
+		case len(known) == 0 || rng.Float64() < 0.3:
+			p.Register(next, rng.Int63n(900)+1)
+			known = append(known, next)
+			next++
+		case rng.Float64() < 0.8:
+			p.Touch(known[rng.Intn(len(known))])
+		default:
+			k := rng.Intn(len(known))
+			p.Free(known[k])
+			known = append(known[:k], known[k+1:]...)
+		}
+		if p.ResidentBytes() > 1000 {
+			t.Fatalf("step %d: resident %d exceeds budget", i, p.ResidentBytes())
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	p := New(testCfg())
+	for i := int64(0); i < 50; i++ {
+		p.Register(i, 100)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 1000; i++ {
+				p.Touch(rng.Int63n(50))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Hits+st.Misses != 8000 {
+		t.Errorf("hits+misses = %d, want 8000", st.Hits+st.Misses)
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	c := DefaultConfig()
+	if c.BudgetBytes <= 0 || c.MemBandwidth <= c.DiskReadBandwidth {
+		t.Errorf("default config implausible: %+v", c)
+	}
+}

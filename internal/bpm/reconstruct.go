@@ -1,0 +1,72 @@
+package bpm
+
+import (
+	"sort"
+
+	"selforg/internal/bat"
+)
+
+// Tuple reconstruction over a value-organized column (§1): "Since the
+// positional correspondence of values in multiple columns is not kept,
+// operators that rely on it, e.g., tuple reconstruction, may become
+// somewhat slower." A positional column answers oid→value by direct
+// indexing; a value-organized column has to search its segments. These
+// two functions make the trade-off measurable (see the ablation bench
+// BenchmarkAblationTupleReconstruction).
+
+// LookupOids returns the tail values for the requested head oids by
+// scanning the segments once, in storage order. Missing oids are skipped;
+// results are returned as a [oid, dbl] BAT in segment-scan order.
+func (s *SegmentedBAT) LookupOids(oids []uint64) *bat.BAT {
+	want := make(map[uint64]struct{}, len(oids))
+	for _, o := range oids {
+		want[o] = struct{}{}
+	}
+	out := bat.Empty(bat.KOid, bat.KDbl)
+	remaining := len(want)
+	for _, sg := range s.Segs {
+		if remaining == 0 {
+			break
+		}
+		for i := 0; i < sg.B.Len(); i++ {
+			h := sg.B.Head.Get(i)
+			if _, ok := want[h.AsOid()]; ok {
+				out.AppendRow(h, sg.B.Tail.Get(i))
+				delete(want, h.AsOid())
+				remaining--
+			}
+		}
+	}
+	return out
+}
+
+// LookupOidsPositional answers the same request against a positional
+// (dense-head) column: one direct index access per oid. This is the §1
+// baseline the value-based organization gives up.
+func LookupOidsPositional(b *bat.BAT, oids []uint64) *bat.BAT {
+	out := bat.Empty(bat.KOid, bat.KDbl)
+	n := uint64(b.Len())
+	for _, o := range oids {
+		if o < n {
+			out.AppendRow(bat.Oid(o), b.Tail.Get(int(o)))
+		}
+	}
+	return out
+}
+
+// SortedByOid returns the lookup result ordered by oid, for comparisons.
+func SortedByOid(b *bat.BAT) *bat.BAT {
+	idx := make([]int, b.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		return b.Head.Get(idx[x]).AsOid() < b.Head.Get(idx[y]).AsOid()
+	})
+	out := bat.Empty(b.HeadKind(), b.TailKind())
+	for _, i := range idx {
+		h, t := b.Row(i)
+		out.AppendRow(h, t)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package bpm
+
+import (
+	"math/rand"
+	"testing"
+
+	"selforg/internal/bat"
+	"selforg/internal/model"
+)
+
+func TestLookupOidsMatchesPositional(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 5000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.Float64() * 100
+	}
+	positional := bat.NewDense(bat.NewDbls(vals))
+	sb := NewSegmentedBAT("c", bat.NewDense(bat.NewDbls(append([]float64(nil), vals...))), 0, 100, 4)
+	// Fragment the value-organized copy.
+	for i := 0; i < 50; i++ {
+		lo := rng.Float64() * 95
+		sb.Adapt(lo, lo+2, model.NewAPM(256, 1024))
+	}
+	if len(sb.Segs) < 2 {
+		t.Fatal("setup: column not fragmented")
+	}
+
+	// Unique oids: positional lookup returns one row per request,
+	// value-based lookup one per distinct oid.
+	perm := rng.Perm(n)
+	oids := make([]uint64, 200)
+	for i := range oids {
+		oids[i] = uint64(perm[i])
+	}
+	got := SortedByOid(sb.LookupOids(oids))
+	want := SortedByOid(LookupOidsPositional(positional, oids))
+	if got.Len() != want.Len() {
+		t.Fatalf("lengths differ: %d vs %d", got.Len(), want.Len())
+	}
+	for i := 0; i < got.Len(); i++ {
+		gh, gt := got.Row(i)
+		wh, wt := want.Row(i)
+		if gh != wh || gt != wt {
+			t.Fatalf("row %d: (%v,%v) vs (%v,%v)", i, gh, gt, wh, wt)
+		}
+	}
+}
+
+func TestLookupOidsSkipsMissing(t *testing.T) {
+	sb := testSegBAT(1, 2, 3)
+	out := sb.LookupOids([]uint64{0, 99})
+	if out.Len() != 1 {
+		t.Errorf("len = %d, want 1 (oid 99 missing)", out.Len())
+	}
+}
+
+func TestLookupOidsDeduplicates(t *testing.T) {
+	sb := testSegBAT(1, 2, 3)
+	out := sb.LookupOids([]uint64{1, 1, 1})
+	if out.Len() != 1 {
+		t.Errorf("len = %d, want 1", out.Len())
+	}
+}
+
+func TestLookupOidsPositionalBounds(t *testing.T) {
+	b := bat.NewDense(bat.NewDbls([]float64{1, 2}))
+	out := LookupOidsPositional(b, []uint64{0, 5})
+	if out.Len() != 1 {
+		t.Errorf("len = %d, want 1", out.Len())
+	}
+}

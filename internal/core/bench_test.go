@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"selforg/internal/domain"
+	"selforg/internal/model"
+)
+
+// benchColumn builds a 100K-value column (the §6.1 size, 1 byte/value).
+func benchColumn() (domain.Range, []domain.Value) {
+	dom := domain.NewRange(0, 999_999)
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]domain.Value, 100_000)
+	for i := range vals {
+		vals[i] = rng.Int63n(1_000_000)
+	}
+	return dom, vals
+}
+
+func benchQueries(n int) []domain.Range {
+	rng := rand.New(rand.NewSource(2))
+	qs := make([]domain.Range, n)
+	for i := range qs {
+		lo := rng.Int63n(900_000)
+		qs[i] = domain.Range{Lo: lo, Hi: lo + 99_999}
+	}
+	return qs
+}
+
+// BenchmarkSegmenterColdStart measures the expensive first queries of
+// adaptive segmentation (eager materialization, §3.3).
+func BenchmarkSegmenterColdStart(b *testing.B) {
+	dom, vals := benchColumn()
+	qs := benchQueries(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cp := append([]domain.Value(nil), vals...)
+		s := NewSegmenter(dom, cp, 4, model.NewAPM(3<<10, 12<<10), nil)
+		b.StartTimer()
+		for _, q := range qs {
+			s.Select(q)
+		}
+	}
+}
+
+// BenchmarkSegmenterConverged measures steady-state selections once the
+// layout has adapted.
+func BenchmarkSegmenterConverged(b *testing.B) {
+	dom, vals := benchColumn()
+	s := NewSegmenter(dom, vals, 4, model.NewAPM(3<<10, 12<<10), nil)
+	qs := benchQueries(256)
+	for _, q := range qs {
+		s.Select(q)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st := s.Select(qs[i%len(qs)])
+		if st.ResultCount == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkReplicatorConverged measures steady-state replication lookups
+// (cover computation + scan).
+func BenchmarkReplicatorConverged(b *testing.B) {
+	dom, vals := benchColumn()
+	r := NewReplicator(dom, vals, 4, model.NewAPM(3<<10, 12<<10), nil)
+	qs := benchQueries(256)
+	for _, q := range qs {
+		r.Select(q)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st := r.Select(qs[i%len(qs)])
+		if st.ResultCount == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkGetCover isolates Algorithm 3 on a refined replica tree.
+func BenchmarkGetCover(b *testing.B) {
+	dom, vals := benchColumn()
+	r := NewReplicator(dom, vals, 4, model.NewAPM(3<<10, 12<<10), nil)
+	for _, q := range benchQueries(512) {
+		r.Select(q)
+	}
+	qs := benchQueries(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cover := r.getCover(qs[i%len(qs)])
+		if len(cover) == 0 {
+			b.Fatal("empty cover")
+		}
+	}
+}

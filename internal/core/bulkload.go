@@ -1,0 +1,126 @@
+package core
+
+// Bulk loading. The paper positions the techniques for "data warehouse
+// applications with few large bulk loads and prevailing read-only
+// queries" (§7); this file implements the load half of that contract:
+// appending a batch of values to an already-organized column.
+//
+// Under adaptive segmentation a loaded value belongs to exactly one
+// segment (the one whose range contains it) and the contiguous storage
+// model means that segment is rewritten. Under adaptive replication every
+// materialized segment whose range contains the value holds a copy, so
+// the value is appended to each of them, and the size estimates of
+// virtual segments on the path are refreshed.
+
+import (
+	"fmt"
+	"sort"
+
+	"selforg/internal/domain"
+	"selforg/internal/segment"
+)
+
+// BulkLoad appends vals to the segmented column. Every touched segment is
+// rewritten (contiguous storage); the returned stats account those writes.
+// Values outside the column extent are rejected before any mutation.
+func (s *Segmenter) BulkLoad(vals []domain.Value) (QueryStats, error) {
+	var st QueryStats
+	if len(vals) == 0 {
+		return st, nil
+	}
+	extent := s.list.Extent()
+	for _, v := range vals {
+		if !extent.Contains(v) {
+			return st, fmt.Errorf("core: bulk value %d outside extent %v", v, extent)
+		}
+	}
+	elem := s.list.ElemSize()
+	// Bucket values per target segment index.
+	sorted := append([]domain.Value(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	buckets := make(map[int][]domain.Value)
+	for _, v := range sorted {
+		lo, hi := s.list.Overlapping(domain.Range{Lo: v, Hi: v})
+		if lo >= hi {
+			return st, fmt.Errorf("core: no segment covers value %d", v)
+		}
+		buckets[lo] = append(buckets[lo], v)
+	}
+	// Rewrite touched segments, highest index first (Replace-stability).
+	idxs := make([]int, 0, len(buckets))
+	for i := range buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(idxs)))
+	for _, i := range idxs {
+		sg := s.list.Seg(i)
+		oldBytes := int64(sg.Bytes(elem))
+		merged := make([]domain.Value, 0, len(sg.Vals)+len(buckets[i]))
+		merged = append(merged, sg.Vals...)
+		merged = append(merged, buckets[i]...)
+		repl := segment.NewMaterialized(sg.Rng, merged)
+		s.list.Replace(i, repl)
+		newBytes := int64(repl.Bytes(elem))
+		st.ReadBytes += oldBytes // the rewrite scans the old segment
+		st.WriteBytes += newBytes
+		s.tracer.Scan(sg.ID, oldBytes)
+		s.tracer.Drop(sg.ID, oldBytes)
+		s.tracer.Materialize(repl.ID, newBytes)
+	}
+	s.totalBytes += int64(len(vals)) * elem
+	return st, nil
+}
+
+// BulkLoad appends vals to the replicated column: each value is added to
+// every materialized segment whose range contains it (replicas are
+// copies), and virtual-segment size estimates along the path are bumped.
+func (r *Replicator) BulkLoad(vals []domain.Value) (QueryStats, error) {
+	var st QueryStats
+	if len(vals) == 0 {
+		return st, nil
+	}
+	extent := r.sentinel.seg.Rng
+	for _, v := range vals {
+		if !extent.Contains(v) {
+			return st, fmt.Errorf("core: bulk value %d outside extent %v", v, extent)
+		}
+	}
+	touched := make(map[*node]int64) // node -> appended count
+	for _, v := range vals {
+		r.loadValue(r.sentinel, v, touched)
+	}
+	for n, added := range touched {
+		if n == r.sentinel {
+			continue
+		}
+		bytes := int64(len(n.seg.Vals)) * r.elemSize
+		st.ReadBytes += bytes - added*r.elemSize // rewrite scans the old payload
+		st.WriteBytes += bytes
+		r.storage += added * r.elemSize
+		r.tracer.Scan(n.seg.ID, bytes-added*r.elemSize)
+		r.tracer.Drop(n.seg.ID, bytes-added*r.elemSize)
+		r.tracer.Materialize(n.seg.ID, bytes)
+	}
+	r.totalBytes += int64(len(vals)) * r.elemSize
+	return st, nil
+}
+
+// loadValue routes one value down the tree: appends to materialized
+// nodes, bumps virtual estimates, and recurses into the child whose range
+// contains it.
+func (r *Replicator) loadValue(n *node, v domain.Value, touched map[*node]int64) {
+	if n != r.sentinel {
+		if n.seg.Virtual {
+			n.seg.EstCount++
+		} else {
+			n.seg.Vals = append(n.seg.Vals, v)
+			touched[n]++
+		}
+	}
+	for _, c := range n.children {
+		if c.seg.Rng.Contains(v) {
+			r.loadValue(c, v, touched)
+			return
+		}
+	}
+}

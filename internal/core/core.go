@@ -1,0 +1,73 @@
+// Package core implements the paper's two self-organizing techniques:
+// adaptive segmentation (§4, Algorithm 1) and adaptive replication (§5,
+// Algorithms 2–5). Both interleave reorganization with query execution —
+// "query results are harvested to improve future performance" (§8) — and
+// both delegate the split/no-split policy to a segmentation model
+// (internal/model: Gaussian Dice or APM).
+//
+// The package is storage-cost conscious but engine-agnostic: it accounts
+// reads and writes in bytes exactly as the paper's simulator does (§6.1)
+// and reports segment lifecycle events through an optional Tracer so the
+// prototype harness (internal/sky) can layer a buffer pool and a virtual
+// disk clock on top.
+package core
+
+import (
+	"selforg/internal/domain"
+)
+
+// Tracer observes segment lifecycle events during query processing. The
+// prototype harness uses it to drive the buffer pool; tests use it to
+// assert on reorganization behaviour. All methods are called synchronously
+// during Select.
+type Tracer interface {
+	// Scan reports that a materialized segment was read top to bottom.
+	Scan(segID int64, bytes int64)
+	// Materialize reports that a new segment of the given size was written.
+	Materialize(segID int64, bytes int64)
+	// Drop reports that a materialized segment was released.
+	Drop(segID int64, bytes int64)
+}
+
+// nopTracer is used when the caller passes a nil Tracer.
+type nopTracer struct{}
+
+func (nopTracer) Scan(int64, int64)        {}
+func (nopTracer) Materialize(int64, int64) {}
+func (nopTracer) Drop(int64, int64)        {}
+
+// QueryStats aggregates the per-query cost measures of the paper's
+// evaluation: memory reads (Figures 7, Table 1), memory writes due to
+// segment materialization — query results included — (Figures 5, 6), and
+// reorganization activity.
+type QueryStats struct {
+	ReadBytes   int64 // bytes of segments scanned
+	WriteBytes  int64 // bytes written materializing segments
+	ResultCount int64 // tuples in the selection result
+	Splits      int   // segments reorganized by this query
+	Drops       int   // replica-tree nodes dropped (replication only)
+}
+
+// Add accumulates other into s.
+func (s *QueryStats) Add(other QueryStats) {
+	s.ReadBytes += other.ReadBytes
+	s.WriteBytes += other.WriteBytes
+	s.ResultCount += other.ResultCount
+	s.Splits += other.Splits
+	s.Drops += other.Drops
+}
+
+// Strategy is the common surface of the two self-organizing techniques, as
+// consumed by the simulator, the prototype harness and the public facade.
+type Strategy interface {
+	// Select answers the range query and piggy-backs reorganization on it.
+	Select(q domain.Range) ([]domain.Value, QueryStats)
+	// SegmentCount returns the number of data-bearing segments.
+	SegmentCount() int
+	// StorageBytes returns the total materialized storage held.
+	StorageBytes() domain.ByteSize
+	// SegmentSizes lists materialized segment sizes in bytes (Table 2).
+	SegmentSizes() []float64
+	// Name identifies the strategy ("Segm"/"Repl") with its model.
+	Name() string
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"selforg/internal/domain"
+	"selforg/internal/model"
+	"selforg/internal/segment"
+)
+
+// Replicator implements adaptive replication (§5): segments are organized
+// in a replica tree of materialized and virtual segments; query results are
+// retained as materialized replicas ("lazy materialization", §3.3), and a
+// segment whose children are all materialized is dropped to release
+// storage (Algorithm 5).
+type Replicator struct {
+	// sentinel is a permanent virtual holder of the forest. The paper's
+	// tree root (the whole column) can itself be dropped once fully
+	// replicated ("the initial segment containing the entire column was
+	// fully replicated by its materialized children and dropped", §6.1.3);
+	// the sentinel keeps the remaining forest addressable and is exempt
+	// from dropping.
+	sentinel *node
+	mod      model.Model
+	tracer   Tracer
+	elemSize int64
+	// totalBytes is the original column size — GD's TotSize.
+	totalBytes int64
+	// storage tracks materialized bytes currently held (Figures 8, 9).
+	storage int64
+	// budget bounds storage (0 = unlimited): the §8 extension "optimal
+	// replica configuration in the presence of storage limitations". New
+	// replicas whose estimated size would exceed the budget are declined;
+	// queries stay correct, served from the covering ancestors.
+	budget int64
+	// maxDepth bounds the replica tree depth (0 = unlimited), the other
+	// §6.1.3/§8 open knob ("we do not impose limitations on the replica
+	// tree depth"). At the limit, leaves are no longer split; virtual
+	// leaves may still materialize whole (which adds no depth).
+	maxDepth int
+	// declined counts replicas refused by the budget or depth guards.
+	declined int
+}
+
+// NewReplicator builds the strategy over a fresh one-segment column (the
+// replica-tree root) covering extent and holding vals. tracer may be nil.
+func NewReplicator(extent domain.Range, vals []domain.Value, elemSize int64, m model.Model, tracer Tracer) *Replicator {
+	if elemSize < 1 {
+		panic("core: elemSize must be positive")
+	}
+	if tracer == nil {
+		tracer = nopTracer{}
+	}
+	root := &node{seg: segment.NewMaterialized(extent, vals)}
+	sentinel := &node{seg: segment.NewVirtual(extent, int64(len(vals)))}
+	sentinel.addChildren(root)
+	r := &Replicator{
+		sentinel:   sentinel,
+		mod:        m,
+		tracer:     tracer,
+		elemSize:   elemSize,
+		totalBytes: int64(len(vals)) * elemSize,
+		storage:    int64(len(vals)) * elemSize,
+	}
+	r.tracer.Materialize(root.seg.ID, r.storage)
+	return r
+}
+
+// Name implements Strategy.
+func (r *Replicator) Name() string { return r.mod.Name() + " Repl" }
+
+// SetStorageBudget bounds the materialized replica storage in bytes
+// (0 = unlimited). Replicas that would exceed the budget are declined.
+func (r *Replicator) SetStorageBudget(maxBytes int64) { r.budget = maxBytes }
+
+// SetMaxDepth bounds the replica tree depth (0 = unlimited).
+func (r *Replicator) SetMaxDepth(depth int) { r.maxDepth = depth }
+
+// Declined returns how many replica creations the budget/depth guards
+// refused.
+func (r *Replicator) Declined() int { return r.declined }
+
+// StorageBytes implements Strategy: the total materialized replica storage,
+// the y-axis of Figures 8 and 9.
+func (r *Replicator) StorageBytes() domain.ByteSize { return domain.ByteSize(r.storage) }
+
+// SegmentCount implements Strategy: the number of materialized segments.
+func (r *Replicator) SegmentCount() int {
+	n := 0
+	r.sentinel.walk(func(m *node, _ int) {
+		if m != r.sentinel && !m.seg.Virtual {
+			n++
+		}
+	})
+	return n
+}
+
+// VirtualCount returns the number of virtual segments in the tree.
+func (r *Replicator) VirtualCount() int {
+	n := 0
+	r.sentinel.walk(func(m *node, _ int) {
+		if m != r.sentinel && m.seg.Virtual {
+			n++
+		}
+	})
+	return n
+}
+
+// Depth returns the maximum depth of the replica tree (sentinel at 0).
+// §6.1.3 evaluates tree depth as a replication cost parameter.
+func (r *Replicator) Depth() int {
+	max := 0
+	r.sentinel.walk(func(_ *node, d int) {
+		if d > max {
+			max = d
+		}
+	})
+	return max
+}
+
+// SegmentSizes implements Strategy: sizes of materialized segments.
+func (r *Replicator) SegmentSizes() []float64 {
+	var out []float64
+	r.sentinel.walk(func(m *node, _ int) {
+		if m != r.sentinel && !m.seg.Virtual {
+			out = append(out, float64(int64(len(m.seg.Vals))*r.elemSize))
+		}
+	})
+	return out
+}
+
+// Dump renders the replica tree in Figure-4 style (virtual segments marked
+// "vir").
+func (r *Replicator) Dump() string {
+	var b strings.Builder
+	for _, c := range r.sentinel.children {
+		c.dump(&b, 0)
+	}
+	return b.String()
+}
+
+// Validate checks the tree invariants; tests run it after every query.
+func (r *Replicator) Validate() error {
+	return r.sentinel.validate(false)
+}
+
+// info builds the model's view of a segment (estimated size for virtual
+// segments).
+func (r *Replicator) info(sg *segment.Segment) model.SegmentInfo {
+	return model.SegmentInfo{
+		Rng:        sg.Rng,
+		Bytes:      sg.Count() * r.elemSize,
+		TotalBytes: r.totalBytes,
+	}
+}
+
+// Select implements Algorithm 2 (AdaptReplication):
+//
+//	cv ← getCover(ql, qh, root)
+//	for all s ∈ cv do
+//	    M ← analyseRepl(ql, qh, s)
+//	    scanMat(s, M)
+//	    check4Drop(s)
+//
+// It returns the selection result assembled from one scan per covering
+// segment, with replica materialization piggy-backed on those scans.
+func (r *Replicator) Select(q domain.Range) ([]domain.Value, QueryStats) {
+	var st QueryStats
+	var result []domain.Value
+	cover := r.getCover(q)
+	for _, c := range cover {
+		var tasks []*node
+		r.analyzeRepl(q, c, &tasks, &st)
+		result = r.scanMat(c, q, tasks, result, &st)
+		r.check4Drop(c, &st)
+	}
+	st.ResultCount = int64(len(result))
+	return result, st
+}
+
+// getCover implements Algorithm 3: the minimal set of materialized
+// segments covering the query — deepest materialized descendants, backing
+// off to the nearest materialized ancestor when any branch bottoms out in
+// a virtual leaf.
+func (r *Replicator) getCover(q domain.Range) []*node {
+	var cover []*node
+	if !r.coverRec(q, r.sentinel, &cover) {
+		// Unreachable while the coverability invariant holds: every leaf
+		// has a materialized node on its path below the sentinel.
+		panic(fmt.Sprintf("core: no cover for %v — replica tree invariant broken", q))
+	}
+	return cover
+}
+
+func (r *Replicator) coverRec(q domain.Range, n *node, cover *[]*node) bool {
+	if n.isLeaf() {
+		if n.seg.Virtual {
+			return false
+		}
+		*cover = append(*cover, n)
+		return true
+	}
+	start := len(*cover)
+	for _, c := range n.overlapChildren(q) {
+		if !r.coverRec(q, c, cover) {
+			*cover = (*cover)[:start] // backtrack
+			if n.seg.Virtual {
+				return false
+			}
+			*cover = append(*cover, n)
+			return true
+		}
+	}
+	return true
+}
+
+// analyzeRepl implements Algorithm 4: descend to the leaves under cover
+// segment n that overlap the query and decide, per leaf, which replicas to
+// create. New children are attached immediately (virtual, to be filled by
+// scanMat); nodes to materialize are appended to tasks.
+func (r *Replicator) analyzeRepl(q domain.Range, n *node, tasks *[]*node, st *QueryStats) {
+	if !n.isLeaf() {
+		for _, c := range n.overlapChildren(q) {
+			r.analyzeRepl(q, c, tasks, st)
+		}
+		return
+	}
+	d := r.mod.Decide(q, r.info(n.seg))
+	if r.maxDepth > 0 && n.depth >= r.maxDepth && d.Action != model.NoSplit {
+		// Depth guard: no further splitting at the limit; a virtual leaf
+		// may still materialize whole via the NoSplit path below.
+		r.declined++
+		d = model.Decision{Action: model.NoSplit}
+	}
+	switch d.Action {
+	case model.NoSplit:
+		// Case 0: "query entirely covers s or small subsegments in small
+		// s" — if s is virtual it is materialized without split.
+		if n.seg.Virtual {
+			*tasks = append(*tasks, n)
+		}
+
+	case model.SplitBounds:
+		// Cases 1–3: materialize the selection overlap, complement with
+		// virtual segments whose sizes are estimated.
+		sp := domain.Cut(n.seg.Rng, q)
+		kids := make([]*node, 0, 3)
+		if !sp.Left.IsEmpty() {
+			kids = append(kids, r.newVirtualNode(n.seg, sp.Left))
+		}
+		m := r.newVirtualNode(n.seg, sp.Overlap)
+		kids = append(kids, m)
+		if !sp.Right.IsEmpty() {
+			kids = append(kids, r.newVirtualNode(n.seg, sp.Right))
+		}
+		n.addChildren(kids...)
+		*tasks = append(*tasks, m)
+		st.Splits++
+
+	case model.SplitPoint:
+		// Case 4: "some subsegment is small but s is large" — split on one
+		// query border (or the mean), materializing the smallest super-set
+		// of the selection.
+		lo := domain.Range{Lo: n.seg.Rng.Lo, Hi: d.Point}
+		hi := domain.Range{Lo: d.Point + 1, Hi: n.seg.Rng.Hi}
+		l := r.newVirtualNode(n.seg, lo)
+		h := r.newVirtualNode(n.seg, hi)
+		n.addChildren(l, h)
+		if d.MatLeft {
+			*tasks = append(*tasks, l)
+		} else {
+			*tasks = append(*tasks, h)
+		}
+		st.Splits++
+
+	default:
+		panic(fmt.Sprintf("core: unknown model action %v", d.Action))
+	}
+}
+
+// newVirtualNode creates a virtual child segment of parent covering rng,
+// with its size estimated from the parent's (possibly itself estimated)
+// density — "its size is estimated, but no data is copied" (§5).
+func (r *Replicator) newVirtualNode(parent *segment.Segment, rng domain.Range) *node {
+	return &node{seg: segment.NewVirtual(rng, parent.EstimatePiece(rng))}
+}
+
+// scanMat performs the "single scan of the covering segment ... to
+// materialize the replicas in the list and the query results" (§5). It
+// returns result extended with the qualifying values of c.
+func (r *Replicator) scanMat(c *node, q domain.Range, tasks []*node, result []domain.Value, st *QueryStats) []domain.Value {
+	bytes := int64(len(c.seg.Vals)) * r.elemSize
+	st.ReadBytes += bytes
+	r.tracer.Scan(c.seg.ID, bytes)
+	result = append(result, c.seg.Select(q)...)
+	for _, t := range tasks {
+		if r.budget > 0 && r.storage+t.seg.Count()*r.elemSize > r.budget {
+			// Storage guard (§8 extension): decline the replica; the
+			// segment stays virtual and later queries keep using the
+			// covering ancestor.
+			r.declined++
+			continue
+		}
+		vals := c.seg.Select(t.seg.Rng)
+		t.seg.Vals = vals
+		t.seg.Virtual = false
+		t.seg.EstCount = 0
+		b := int64(len(vals)) * r.elemSize
+		st.WriteBytes += b
+		r.storage += b
+		r.tracer.Materialize(t.seg.ID, b)
+	}
+	return result
+}
+
+// check4Drop implements Algorithm 5: bottom-up over the subtree, a segment
+// whose immediate children are all materialized is dropped from the tree,
+// its children attached to its parent; dropping a materialized segment
+// releases its storage.
+func (r *Replicator) check4Drop(n *node, st *QueryStats) {
+	if n.isLeaf() {
+		return
+	}
+	// Recurse on a snapshot: child drops splice grandchildren into
+	// n.children during iteration.
+	snapshot := append([]*node(nil), n.children...)
+	for _, c := range snapshot {
+		r.check4Drop(c, st)
+	}
+	for _, c := range n.children {
+		if c.seg.Virtual {
+			return // children do not replicate n
+		}
+	}
+	if n == r.sentinel {
+		return
+	}
+	wasMat := !n.seg.Virtual
+	bytes := int64(len(n.seg.Vals)) * r.elemSize
+	n.spliceOut()
+	if wasMat {
+		r.storage -= bytes
+		r.tracer.Drop(n.seg.ID, bytes)
+		st.Drops++
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"selforg/internal/domain"
+	"selforg/internal/model"
+	"selforg/internal/segment"
+)
+
+// Segmenter implements adaptive segmentation (§4, Algorithm 1): the column
+// is a sequence of adjacent non-overlapping segments, initially one; each
+// range selection may split the segments it overlaps, in place, as decided
+// by the segmentation model. This is "eager materialization" (§3.3): the
+// selected sub-segment is kept and the remaining sub-segments are
+// materialized immediately, which makes the initial queries pay the
+// reorganization cost.
+type Segmenter struct {
+	list   *segment.List
+	mod    model.Model
+	tracer Tracer
+	// totalBytes is the fixed column size, the TotSize of the GD model.
+	totalBytes int64
+}
+
+// NewSegmenter builds the strategy over a fresh single-segment column
+// covering extent and holding vals. elemSize is the accounted bytes per
+// value; tracer may be nil.
+func NewSegmenter(extent domain.Range, vals []domain.Value, elemSize int64, m model.Model, tracer Tracer) *Segmenter {
+	if tracer == nil {
+		tracer = nopTracer{}
+	}
+	l := segment.NewList(extent, vals, elemSize)
+	s := &Segmenter{list: l, mod: m, tracer: tracer, totalBytes: int64(l.TotalBytes())}
+	// The initial column is materialized storage the buffer layer should
+	// know about.
+	s.tracer.Materialize(l.Seg(0).ID, int64(l.TotalBytes()))
+	return s
+}
+
+// Name implements Strategy.
+func (s *Segmenter) Name() string { return s.mod.Name() + " Segm" }
+
+// List exposes the underlying meta-index (read-only use: diagnostics,
+// validation in tests, Table 2 statistics).
+func (s *Segmenter) List() *segment.List { return s.list }
+
+// SegmentCount implements Strategy.
+func (s *Segmenter) SegmentCount() int { return s.list.Len() }
+
+// StorageBytes implements Strategy. Adaptive segmentation reorganizes in
+// place, so storage is always exactly the column size.
+func (s *Segmenter) StorageBytes() domain.ByteSize { return s.list.TotalBytes() }
+
+// SegmentSizes implements Strategy.
+func (s *Segmenter) SegmentSizes() []float64 { return s.list.SegmentBytes() }
+
+// info builds the model's view of a segment.
+func (s *Segmenter) info(sg *segment.Segment) model.SegmentInfo {
+	return model.SegmentInfo{
+		Rng:        sg.Rng,
+		Bytes:      int64(sg.Bytes(s.list.ElemSize())),
+		TotalBytes: s.totalBytes,
+	}
+}
+
+// Select implements Algorithm 1:
+//
+//	for all segments S overlapping with query range [QL,QH] do
+//	    if segmentation model decides split of S then
+//	        scan S and materialize its sub-segments
+//	        replace S with its sub-segments
+//
+// and simultaneously evaluates the selection, returning the qualifying
+// values. Segments are visited high-to-low so in-place replacement does
+// not disturb the indexes of segments still to visit.
+func (s *Segmenter) Select(q domain.Range) ([]domain.Value, QueryStats) {
+	var st QueryStats
+	var result []domain.Value
+	elem := s.list.ElemSize()
+	lo, hi := s.list.Overlapping(q)
+	for i := hi - 1; i >= lo; i-- {
+		sg := s.list.Seg(i)
+		segBytes := int64(sg.Bytes(elem))
+		// Every overlapping segment is scanned: either to extract the
+		// qualifying values or to partition it. The meta-index already
+		// excluded all non-overlapping segments without touching data.
+		st.ReadBytes += segBytes
+		s.tracer.Scan(sg.ID, segBytes)
+
+		if domain.Classify(sg.Rng, q) == domain.CoversAll {
+			// The whole segment qualifies; it immediately benefits from
+			// earlier reorganization (Figure 3, Q2 on the last segment).
+			result = append(result, sg.Vals...)
+			continue
+		}
+		d := s.mod.Decide(q, s.info(sg))
+		switch d.Action {
+		case model.NoSplit:
+			result = append(result, sg.Select(q)...)
+
+		case model.SplitBounds:
+			sp := domain.Cut(sg.Rng, q)
+			left, mid, right := sg.Partition(q)
+			subs := make([]*segment.Segment, 0, 3)
+			if !sp.Left.IsEmpty() {
+				subs = append(subs, segment.NewMaterialized(sp.Left, left))
+			}
+			subs = append(subs, segment.NewMaterialized(sp.Overlap, mid))
+			if !sp.Right.IsEmpty() {
+				subs = append(subs, segment.NewMaterialized(sp.Right, right))
+			}
+			s.replace(i, sg, subs, &st)
+			result = append(result, mid...)
+
+		case model.SplitPoint:
+			lv, rv := sg.SplitAt(d.Point)
+			subs := []*segment.Segment{
+				segment.NewMaterialized(domain.Range{Lo: sg.Rng.Lo, Hi: d.Point}, lv),
+				segment.NewMaterialized(domain.Range{Lo: d.Point + 1, Hi: sg.Rng.Hi}, rv),
+			}
+			s.replace(i, sg, subs, &st)
+			// A point split does not isolate the selection: filter the
+			// pieces that still overlap the query.
+			for _, sub := range subs {
+				if sub.Rng.Overlaps(q) {
+					result = append(result, sub.Select(q)...)
+				}
+			}
+
+		default:
+			panic(fmt.Sprintf("core: unknown model action %v", d.Action))
+		}
+	}
+	st.ResultCount = int64(len(result))
+	return result, st
+}
+
+// replace swaps segment sg (at index i) for subs and accounts the
+// materialization: the entire reorganized segment is written back (§6.1.1:
+// "segmentation reorganizes an entire segment independently of the precise
+// selected size").
+func (s *Segmenter) replace(i int, sg *segment.Segment, subs []*segment.Segment, st *QueryStats) {
+	elem := s.list.ElemSize()
+	s.list.Replace(i, subs...)
+	for _, sub := range subs {
+		b := int64(sub.Bytes(elem))
+		st.WriteBytes += b
+		s.tracer.Materialize(sub.ID, b)
+	}
+	s.tracer.Drop(sg.ID, int64(sg.Bytes(elem)))
+	st.Splits++
+}
+
+// Glue merges the adjacent segment run [i, j] back into one segment — the
+// merging counterpart the paper names as the antidote to GD fragmentation
+// (§8). It returns the bytes rewritten. Exposed for the merge ablation.
+func (s *Segmenter) Glue(i, j int) int64 {
+	elem := s.list.ElemSize()
+	var rewritten int64
+	for k := i; k <= j; k++ {
+		sg := s.list.Seg(k)
+		b := int64(sg.Bytes(elem))
+		rewritten += b
+		s.tracer.Scan(sg.ID, b)
+		s.tracer.Drop(sg.ID, b)
+	}
+	s.list.Glue(i, j)
+	merged := s.list.Seg(i)
+	s.tracer.Materialize(merged.ID, int64(merged.Bytes(elem)))
+	return rewritten
+}
+
+// GlueSmall merges every maximal run of adjacent segments smaller than
+// minBytes into its successor until no mergeable run remains, returning
+// the total bytes rewritten. This is the simple merging strategy evaluated
+// in the ablation benches.
+func (s *Segmenter) GlueSmall(minBytes int64) int64 {
+	elem := s.list.ElemSize()
+	var rewritten int64
+	for i := 0; i < s.list.Len()-1; {
+		a := int64(s.list.Seg(i).Bytes(elem))
+		b := int64(s.list.Seg(i + 1).Bytes(elem))
+		if a < minBytes || b < minBytes {
+			rewritten += s.Glue(i, i+1)
+			continue // re-examine the merged segment at i
+		}
+		i++
+	}
+	return rewritten
+}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"selforg/internal/domain"
+	"selforg/internal/model"
+)
+
+// denseColumn returns values 0..n-1, one per domain point of [0, n-1].
+func denseColumn(n int64) []domain.Value {
+	vs := make([]domain.Value, n)
+	for i := range vs {
+		vs[i] = int64(i)
+	}
+	return vs
+}
+
+func refSelect(vals []domain.Value, q domain.Range) []domain.Value {
+	var out []domain.Value
+	for _, v := range vals {
+		if q.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func asSortedInts(vs []domain.Value) []int64 {
+	out := make([]int64, len(vs))
+	for i, v := range vs {
+		out[i] = v
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalMultiset(t *testing.T, got, want []domain.Value) {
+	t.Helper()
+	g, w := asSortedInts(got), asSortedInts(want)
+	if len(g) != len(w) {
+		t.Fatalf("result size %d, want %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("result[%d] = %d, want %d", i, g[i], w[i])
+		}
+	}
+}
+
+// countTracer verifies Tracer plumbing and storage conservation.
+type countTracer struct {
+	scans, mats, drops int
+	liveBytes          int64
+}
+
+func (c *countTracer) Scan(_, _ int64) { c.scans++ }
+func (c *countTracer) Materialize(_, b int64) {
+	c.mats++
+	c.liveBytes += b
+}
+func (c *countTracer) Drop(_, b int64) {
+	c.drops++
+	c.liveBytes -= b
+}
+
+// figure3Setup builds the worked example of Figure 3 (see test comments):
+// dense 1000-value column over [0, 999], 1 byte/value, APM 100/350.
+func figure3Setup(tr Tracer) *Segmenter {
+	return NewSegmenter(domain.NewRange(0, 999), denseColumn(1000), 1, model.NewAPM(100, 350), tr)
+}
+
+func TestSegmenterFigure3Walkthrough(t *testing.T) {
+	s := figure3Setup(nil)
+	if s.SegmentCount() != 1 {
+		t.Fatalf("initial state S0 must be a single segment, got %d", s.SegmentCount())
+	}
+
+	// Q1 [300,599]: all three pieces (300/300/400 bytes) >= Mmin=100 →
+	// rule 2 reorganizes the column into three segments.
+	res, st := s.Select(domain.NewRange(300, 599))
+	if len(res) != 300 {
+		t.Errorf("Q1 result = %d, want 300", len(res))
+	}
+	if s.SegmentCount() != 3 {
+		t.Fatalf("after Q1: %d segments, want 3\n%s", s.SegmentCount(), s.List().Dump())
+	}
+	if st.ReadBytes != 1000 || st.WriteBytes != 1000 {
+		t.Errorf("Q1 reads/writes = %d/%d, want 1000/1000", st.ReadBytes, st.WriteBytes)
+	}
+
+	// Q2 [100,349]: splits the first sub-segment ([0,299] → 100+200) but
+	// not the second ([300,599]: the 50-byte selection piece is under
+	// Mmin and SizeS=300 <= Mmax → rule 3 leaves it intact). Q2 must not
+	// scan the last segment [600,999] — it "immediately benefits from the
+	// reorganization triggered by the first query".
+	res, st = s.Select(domain.NewRange(100, 349))
+	if len(res) != 250 {
+		t.Errorf("Q2 result = %d, want 250", len(res))
+	}
+	if s.SegmentCount() != 4 {
+		t.Fatalf("after Q2: %d segments, want 4\n%s", s.SegmentCount(), s.List().Dump())
+	}
+	if st.ReadBytes != 600 {
+		t.Errorf("Q2 reads = %d, want 600 (must skip [600,999])", st.ReadBytes)
+	}
+	if st.WriteBytes != 300 {
+		t.Errorf("Q2 writes = %d, want 300 (only [0,299] reorganized)", st.WriteBytes)
+	}
+
+	// Q3 [600,619]: small selectivity on the last segment (400 bytes >
+	// Mmax): the border split would cut a 20-byte piece < Mmin, so rule 3
+	// splits at the mean value of the segment (799).
+	res, st = s.Select(domain.NewRange(600, 619))
+	if len(res) != 20 {
+		t.Errorf("Q3 result = %d, want 20", len(res))
+	}
+	if s.SegmentCount() != 5 {
+		t.Fatalf("after Q3: %d segments, want 5\n%s", s.SegmentCount(), s.List().Dump())
+	}
+	last := s.List().Seg(3)
+	if !last.Rng.Equal(domain.NewRange(600, 799)) {
+		t.Errorf("mean split wrong: segment 3 = %v, want [600, 799]", last.Rng)
+	}
+	if err := s.List().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmenterResultCorrectAcrossModels(t *testing.T) {
+	vals := denseColumn(1000)
+	models := []model.Model{
+		model.Never{},
+		model.Always{},
+		model.NewAPM(50, 200),
+		model.NewGaussianDice(7),
+	}
+	queries := []domain.Range{
+		domain.NewRange(0, 999),
+		domain.NewRange(0, 10),
+		domain.NewRange(990, 999),
+		domain.NewRange(123, 456),
+		domain.NewRange(500, 500),
+	}
+	for _, m := range models {
+		s := NewSegmenter(domain.NewRange(0, 999), vals, 4, m, nil)
+		for _, q := range queries {
+			res, st := s.Select(q)
+			equalMultiset(t, res, refSelect(vals, q))
+			if st.ResultCount != int64(len(res)) {
+				t.Errorf("%s: ResultCount = %d, want %d", m.Name(), st.ResultCount, len(res))
+			}
+			if err := s.List().Validate(); err != nil {
+				t.Fatalf("%s after %v: %v", m.Name(), q, err)
+			}
+		}
+	}
+}
+
+func TestSegmenterNeverModelFullScans(t *testing.T) {
+	vals := denseColumn(100)
+	s := NewSegmenter(domain.NewRange(0, 99), vals, 4, model.Never{}, nil)
+	_, st := s.Select(domain.NewRange(10, 19))
+	if st.ReadBytes != 400 {
+		t.Errorf("NoSegm read = %d, want full column 400", st.ReadBytes)
+	}
+	if st.WriteBytes != 0 || st.Splits != 0 {
+		t.Errorf("NoSegm must not reorganize: %+v", st)
+	}
+	if s.SegmentCount() != 1 {
+		t.Errorf("NoSegm segment count = %d", s.SegmentCount())
+	}
+}
+
+func TestSegmenterStorageConstant(t *testing.T) {
+	// Adaptive segmentation reorganizes in place: storage stays exactly
+	// the column size no matter how many splits happen.
+	vals := denseColumn(2000)
+	s := NewSegmenter(domain.NewRange(0, 1999), vals, 4, model.Always{}, nil)
+	want := s.StorageBytes()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		a, b := rng.Int63n(2000), rng.Int63n(2000)
+		if a > b {
+			a, b = b, a
+		}
+		s.Select(domain.Range{Lo: a, Hi: b})
+		if s.StorageBytes() != want {
+			t.Fatalf("storage changed to %v after query %d", s.StorageBytes(), i)
+		}
+	}
+	if err := s.List().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmenterReadsShrinkUnderRepetition(t *testing.T) {
+	// The central benefit claim (§6.1.2): repeated queries over the same
+	// range stop scanning the whole column once segmentation converges.
+	vals := denseColumn(10_000)
+	s := NewSegmenter(domain.NewRange(0, 9999), vals, 4, model.NewAPM(64, 512), nil)
+	q := domain.NewRange(4000, 4999)
+	_, first := s.Select(q)
+	var last QueryStats
+	for i := 0; i < 5; i++ {
+		_, last = s.Select(q)
+	}
+	if first.ReadBytes != 40_000 {
+		t.Errorf("first read = %d, want full column", first.ReadBytes)
+	}
+	if last.ReadBytes >= first.ReadBytes {
+		t.Errorf("reads did not shrink: first %d, later %d", first.ReadBytes, last.ReadBytes)
+	}
+	// Converged reads equal the result-bearing segment alone.
+	if last.ReadBytes != 4000 {
+		t.Errorf("converged reads = %d, want 4000", last.ReadBytes)
+	}
+	if last.WriteBytes != 0 {
+		t.Errorf("converged writes = %d, want 0", last.WriteBytes)
+	}
+}
+
+func TestSegmenterTracerConservation(t *testing.T) {
+	tr := &countTracer{}
+	vals := denseColumn(1000)
+	s := NewSegmenter(domain.NewRange(0, 999), vals, 1, model.Always{}, tr)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		a, b := rng.Int63n(1000), rng.Int63n(1000)
+		if a > b {
+			a, b = b, a
+		}
+		s.Select(domain.Range{Lo: a, Hi: b})
+	}
+	if tr.liveBytes != int64(s.StorageBytes()) {
+		t.Errorf("tracer live bytes %d != storage %v", tr.liveBytes, s.StorageBytes())
+	}
+	if tr.mats == 0 || tr.scans == 0 || tr.drops == 0 {
+		t.Errorf("tracer events missing: %+v", tr)
+	}
+}
+
+func TestSegmenterAPMSizesConverge(t *testing.T) {
+	// §3.2.2: "sizes of segments touched by queries converge relatively
+	// fast to the interval Mmin <= SizeS <= Mmax". Hammer the column with
+	// random queries, then check every touched segment obeys the bounds.
+	const elem = 4
+	mmin, mmax := int64(256), int64(1024)
+	vals := denseColumn(8192)
+	s := NewSegmenter(domain.NewRange(0, 8191), vals, elem, model.NewAPM(mmin, mmax), nil)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 3000; i++ {
+		lo := rng.Int63n(8192 - 64)
+		s.Select(domain.Range{Lo: lo, Hi: lo + 63})
+	}
+	for i := 0; i < s.List().Len(); i++ {
+		b := int64(s.List().Seg(i).Bytes(elem))
+		if b > mmax {
+			t.Errorf("segment %d size %d exceeds Mmax %d", i, b, mmax)
+		}
+	}
+}
+
+func TestSegmenterGlue(t *testing.T) {
+	vals := denseColumn(1000)
+	s := NewSegmenter(domain.NewRange(0, 999), vals, 1, model.Always{}, nil)
+	s.Select(domain.NewRange(100, 199))
+	s.Select(domain.NewRange(500, 599))
+	if s.SegmentCount() < 4 {
+		t.Fatalf("setup failed: %d segments", s.SegmentCount())
+	}
+	before := s.SegmentCount()
+	rewritten := s.Glue(0, 1)
+	if s.SegmentCount() != before-1 {
+		t.Errorf("glue did not merge: %d", s.SegmentCount())
+	}
+	if rewritten <= 0 {
+		t.Errorf("glue rewrote %d bytes", rewritten)
+	}
+	if err := s.List().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := s.Select(domain.NewRange(0, 999))
+	equalMultiset(t, res, vals)
+}
+
+func TestSegmenterGlueSmall(t *testing.T) {
+	// Fragment the column with Always, then merge everything below a
+	// threshold; afterwards at most one segment below the threshold may
+	// remain per run boundary, and data must be intact.
+	vals := denseColumn(4096)
+	s := NewSegmenter(domain.NewRange(0, 4095), vals, 1, model.Always{}, nil)
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 200; i++ {
+		lo := rng.Int63n(4000)
+		s.Select(domain.Range{Lo: lo, Hi: lo + rng.Int63n(90) + 5})
+	}
+	frag := s.SegmentCount()
+	if frag < 20 {
+		t.Fatalf("expected heavy fragmentation, got %d segments", frag)
+	}
+	s.GlueSmall(64)
+	if s.SegmentCount() >= frag {
+		t.Errorf("GlueSmall did not reduce segments: %d -> %d", frag, s.SegmentCount())
+	}
+	if err := s.List().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := s.Select(domain.NewRange(0, 4095))
+	equalMultiset(t, res, vals)
+}
+
+func TestSegmenterPropertyRandomWorkload(t *testing.T) {
+	// Property: under random queries and every model, results always equal
+	// the reference filter and the meta-index stays valid.
+	rng := rand.New(rand.NewSource(77))
+	vals := make([]domain.Value, 3000)
+	for i := range vals {
+		vals[i] = rng.Int63n(10_000)
+	}
+	for _, m := range []model.Model{model.NewAPM(30, 120), model.NewGaussianDice(3), model.Always{}} {
+		s := NewSegmenter(domain.NewRange(0, 9999), vals, 1, m, nil)
+		for i := 0; i < 150; i++ {
+			a, b := rng.Int63n(10_000), rng.Int63n(10_000)
+			if a > b {
+				a, b = b, a
+			}
+			q := domain.Range{Lo: a, Hi: b}
+			res, _ := s.Select(q)
+			equalMultiset(t, res, refSelect(vals, q))
+			if err := s.List().Validate(); err != nil {
+				t.Fatalf("%s query %d: %v", m.Name(), i, err)
+			}
+		}
+	}
+}
+
+func TestSegmenterName(t *testing.T) {
+	s := figure3Setup(nil)
+	if s.Name() != "APM 100B-350B Segm" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestSegmenterSegmentSizes(t *testing.T) {
+	s := figure3Setup(nil)
+	s.Select(domain.NewRange(300, 599))
+	sizes := s.SegmentSizes()
+	if len(sizes) != 3 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	total := 0.0
+	for _, b := range sizes {
+		total += b
+	}
+	if total != 1000 {
+		t.Errorf("total size = %v, want 1000", total)
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"selforg/internal/domain"
+	"selforg/internal/segment"
+)
+
+// node is one vertex of the replica tree (§5): "A segment S is a child of
+// a segment P if the range of values in P is a super-set of the range of
+// values in S." Children tile the parent's range exactly, in ascending
+// order. (The paper's pseudocode calls the down-pointers `ancestors`; they
+// are children — see DESIGN.md.)
+type node struct {
+	seg      *segment.Segment
+	parent   *node
+	children []*node
+	// depth below the sentinel (sentinel = 0); maintained on attach and
+	// splice so the MaxDepth extension can bound tree growth.
+	depth int
+}
+
+// isLeaf reports whether the node has no children (the pseudocode's
+// `s.ancnumber = 0`).
+func (n *node) isLeaf() bool { return len(n.children) == 0 }
+
+// addChildren installs kids as n's children. kids must tile n's range.
+func (n *node) addChildren(kids ...*node) {
+	if len(kids) == 0 {
+		panic("core: addChildren with no children")
+	}
+	if kids[0].seg.Rng.Lo != n.seg.Rng.Lo || kids[len(kids)-1].seg.Rng.Hi != n.seg.Rng.Hi {
+		panic(fmt.Sprintf("core: children do not tile %v", n.seg.Rng))
+	}
+	for i := 1; i < len(kids); i++ {
+		if !kids[i-1].seg.Rng.Adjacent(kids[i].seg.Rng) {
+			panic(fmt.Sprintf("core: children %v / %v not adjacent",
+				kids[i-1].seg.Rng, kids[i].seg.Rng))
+		}
+	}
+	for _, k := range kids {
+		k.parent = n
+		k.setDepth(n.depth + 1)
+	}
+	n.children = kids
+}
+
+// setDepth fixes the depth of the subtree rooted at n.
+func (n *node) setDepth(d int) {
+	n.depth = d
+	for _, c := range n.children {
+		c.setDepth(d + 1)
+	}
+}
+
+// spliceOut removes n from its parent, attaching n's children in its place
+// (Algorithm 5's drop). n must have children and a parent.
+func (n *node) spliceOut() {
+	p := n.parent
+	if p == nil {
+		panic("core: spliceOut of parentless node")
+	}
+	idx := -1
+	for i, c := range p.children {
+		if c == n {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic("core: node not found in parent's children")
+	}
+	for _, c := range n.children {
+		c.parent = p
+		c.setDepth(p.depth + 1)
+	}
+	out := make([]*node, 0, len(p.children)+len(n.children)-1)
+	out = append(out, p.children[:idx]...)
+	out = append(out, n.children...)
+	out = append(out, p.children[idx+1:]...)
+	p.children = out
+	n.parent = nil
+	n.children = nil
+}
+
+// walk visits every node under n (including n) in depth-first order.
+func (n *node) walk(visit func(*node, int)) {
+	var rec func(*node, int)
+	rec = func(m *node, depth int) {
+		visit(m, depth)
+		for _, c := range m.children {
+			rec(c, depth+1)
+		}
+	}
+	rec(n, 0)
+}
+
+// validate checks the structural invariants of the subtree rooted at n:
+//   - children tile the parent's range exactly;
+//   - materialized segments hold values within their bounds;
+//   - every leaf has a materialized node on its path from n (coverability),
+//     provided n is the sentinel or materialized itself is counted.
+func (n *node) validate(coveredAbove bool) error {
+	covered := coveredAbove || !n.seg.Virtual
+	if n.isLeaf() {
+		if !covered {
+			return fmt.Errorf("core: leaf %v has no materialized ancestor", n.seg)
+		}
+		return nil
+	}
+	if n.children[0].seg.Rng.Lo != n.seg.Rng.Lo {
+		return fmt.Errorf("core: first child of %v starts at %d", n.seg, n.children[0].seg.Rng.Lo)
+	}
+	if n.children[len(n.children)-1].seg.Rng.Hi != n.seg.Rng.Hi {
+		return fmt.Errorf("core: last child of %v ends at %d", n.seg, n.children[len(n.children)-1].seg.Rng.Hi)
+	}
+	for i, c := range n.children {
+		if i > 0 && !n.children[i-1].seg.Rng.Adjacent(c.seg.Rng) {
+			return fmt.Errorf("core: children %v / %v of %v not adjacent",
+				n.children[i-1].seg, c.seg, n.seg)
+		}
+		if c.parent != n {
+			return fmt.Errorf("core: child %v has wrong parent", c.seg)
+		}
+		if err := c.validate(covered); err != nil {
+			return err
+		}
+	}
+	for _, c := range n.children {
+		if !c.seg.Virtual {
+			for _, v := range c.seg.Vals {
+				if !c.seg.Rng.Contains(v) {
+					return fmt.Errorf("core: value %d outside %v", v, c.seg)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// dump renders the subtree like the paper's Figure 4, cross-marking
+// virtual segments.
+func (n *node) dump(b *strings.Builder, depth int) {
+	kind := "mat"
+	if n.seg.Virtual {
+		kind = "vir"
+	}
+	fmt.Fprintf(b, "%s%s %v #%d\n", strings.Repeat("  ", depth), kind, n.seg.Rng, n.seg.Count())
+	for _, c := range n.children {
+		c.dump(b, depth+1)
+	}
+}
+
+// overlapChildren returns the children of n overlapping q.
+func (n *node) overlapChildren(q domain.Range) []*node {
+	out := make([]*node, 0, len(n.children))
+	for _, c := range n.children {
+		if c.seg.Rng.Overlaps(q) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package domain
+
+import "fmt"
+
+// ByteSize expresses storage volumes. It mirrors the KB/MB figures of the
+// paper's evaluation (§6) and formats itself in the same units.
+type ByteSize int64
+
+const (
+	B  ByteSize = 1
+	KB          = 1024 * B
+	MB          = 1024 * KB
+	GB          = 1024 * MB
+)
+
+// String renders the size in the largest unit that keeps two significant
+// decimals, matching the axis labels of Figures 8 and 9.
+func (b ByteSize) String() string {
+	switch {
+	case b >= GB:
+		return fmt.Sprintf("%.2fGB", float64(b)/float64(GB))
+	case b >= MB:
+		return fmt.Sprintf("%.2fMB", float64(b)/float64(MB))
+	case b >= KB:
+		return fmt.Sprintf("%.2fKB", float64(b)/float64(KB))
+	default:
+		return fmt.Sprintf("%dB", int64(b))
+	}
+}
+
+// KBf returns the size in (floating point) kilobytes, the unit of Table 1.
+func (b ByteSize) KBf() float64 { return float64(b) / float64(KB) }
+
+// MBf returns the size in (floating point) megabytes, the unit of Table 2.
+func (b ByteSize) MBf() float64 { return float64(b) / float64(MB) }

@@ -1,0 +1,322 @@
+package domain
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRange(t *testing.T) {
+	r := NewRange(3, 9)
+	if r.Lo != 3 || r.Hi != 9 {
+		t.Fatalf("NewRange(3,9) = %v", r)
+	}
+}
+
+func TestNewRangePanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRange(9,3) did not panic")
+		}
+	}()
+	NewRange(9, 3)
+}
+
+func TestEmptyRange(t *testing.T) {
+	e := Empty()
+	if !e.IsEmpty() {
+		t.Fatal("Empty() is not empty")
+	}
+	if e.Width() != 0 {
+		t.Fatalf("empty width = %d, want 0", e.Width())
+	}
+	if e.Contains(0) {
+		t.Fatal("empty range contains 0")
+	}
+}
+
+func TestWidth(t *testing.T) {
+	cases := []struct {
+		r    Range
+		want int64
+	}{
+		{NewRange(0, 0), 1},
+		{NewRange(0, 9), 10},
+		{NewRange(-5, 5), 11},
+		{Empty(), 0},
+	}
+	for _, c := range cases {
+		if got := c.r.Width(); got != c.want {
+			t.Errorf("Width(%v) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := NewRange(10, 20)
+	for _, v := range []Value{10, 15, 20} {
+		if !r.Contains(v) {
+			t.Errorf("%v should contain %d", r, v)
+		}
+	}
+	for _, v := range []Value{9, 21, -1} {
+		if r.Contains(v) {
+			t.Errorf("%v should not contain %d", r, v)
+		}
+	}
+}
+
+func TestContainsRange(t *testing.T) {
+	r := NewRange(10, 20)
+	if !r.ContainsRange(NewRange(10, 20)) {
+		t.Error("range should contain itself")
+	}
+	if !r.ContainsRange(NewRange(12, 18)) {
+		t.Error("range should contain inner range")
+	}
+	if !r.ContainsRange(Empty()) {
+		t.Error("range should contain empty range")
+	}
+	if r.ContainsRange(NewRange(5, 15)) {
+		t.Error("range should not contain straddling range")
+	}
+	if Empty().ContainsRange(NewRange(1, 2)) {
+		t.Error("empty range contains nothing non-empty")
+	}
+}
+
+func TestOverlapsAndIntersect(t *testing.T) {
+	cases := []struct {
+		a, b Range
+		want Range
+	}{
+		{NewRange(0, 10), NewRange(5, 15), NewRange(5, 10)},
+		{NewRange(0, 10), NewRange(10, 20), NewRange(10, 10)},
+		{NewRange(0, 10), NewRange(11, 20), Empty()},
+		{NewRange(5, 6), NewRange(0, 100), NewRange(5, 6)},
+		{Empty(), NewRange(0, 1), Empty()},
+	}
+	for _, c := range cases {
+		got := c.a.Intersect(c.b)
+		if !got.Equal(c.want) {
+			t.Errorf("Intersect(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if c.a.Overlaps(c.b) != !c.want.IsEmpty() {
+			t.Errorf("Overlaps(%v, %v) inconsistent with intersect", c.a, c.b)
+		}
+	}
+}
+
+func TestAdjacent(t *testing.T) {
+	if !NewRange(0, 4).Adjacent(NewRange(5, 9)) {
+		t.Error("[0,4] should be adjacent to [5,9]")
+	}
+	if NewRange(0, 4).Adjacent(NewRange(6, 9)) {
+		t.Error("[0,4] should not be adjacent to [6,9] (gap)")
+	}
+	if NewRange(0, 4).Adjacent(NewRange(4, 9)) {
+		t.Error("[0,4] should not be adjacent to [4,9] (overlap)")
+	}
+	if Empty().Adjacent(NewRange(1, 2)) {
+		t.Error("empty is adjacent to nothing")
+	}
+}
+
+func TestCutInside(t *testing.T) {
+	sp := Cut(NewRange(0, 99), NewRange(40, 59))
+	if !sp.Left.Equal(NewRange(0, 39)) {
+		t.Errorf("left = %v", sp.Left)
+	}
+	if !sp.Overlap.Equal(NewRange(40, 59)) {
+		t.Errorf("overlap = %v", sp.Overlap)
+	}
+	if !sp.Right.Equal(NewRange(60, 99)) {
+		t.Errorf("right = %v", sp.Right)
+	}
+	if n := len(sp.Pieces()); n != 3 {
+		t.Errorf("pieces = %d, want 3", n)
+	}
+}
+
+func TestCutCoversLower(t *testing.T) {
+	// Query extends below the segment: only overlap + right remain.
+	sp := Cut(NewRange(50, 99), NewRange(0, 70))
+	if !sp.Left.IsEmpty() {
+		t.Errorf("left = %v, want empty", sp.Left)
+	}
+	if !sp.Overlap.Equal(NewRange(50, 70)) {
+		t.Errorf("overlap = %v", sp.Overlap)
+	}
+	if !sp.Right.Equal(NewRange(71, 99)) {
+		t.Errorf("right = %v", sp.Right)
+	}
+}
+
+func TestCutCoversUpper(t *testing.T) {
+	sp := Cut(NewRange(0, 49), NewRange(30, 200))
+	if !sp.Left.Equal(NewRange(0, 29)) {
+		t.Errorf("left = %v", sp.Left)
+	}
+	if !sp.Right.IsEmpty() {
+		t.Errorf("right = %v, want empty", sp.Right)
+	}
+}
+
+func TestCutCoversAll(t *testing.T) {
+	sp := Cut(NewRange(10, 20), NewRange(0, 100))
+	if !sp.Left.IsEmpty() || !sp.Right.IsEmpty() {
+		t.Errorf("split = %+v, want only overlap", sp)
+	}
+	if n := len(sp.Pieces()); n != 1 {
+		t.Errorf("pieces = %d, want 1", n)
+	}
+}
+
+func TestCutPanicsOnDisjoint(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cut of disjoint ranges did not panic")
+		}
+	}()
+	Cut(NewRange(0, 10), NewRange(20, 30))
+}
+
+func TestClassify(t *testing.T) {
+	s := NewRange(100, 199)
+	cases := []struct {
+		q    Range
+		want OverlapKind
+	}{
+		{NewRange(100, 199), CoversAll},
+		{NewRange(50, 300), CoversAll},
+		{NewRange(50, 150), CoversLower},
+		{NewRange(100, 150), CoversLower},
+		{NewRange(150, 250), CoversUpper},
+		{NewRange(150, 199), CoversUpper},
+		{NewRange(120, 180), Inside},
+	}
+	for _, c := range cases {
+		if got := Classify(s, c.q); got != c.want {
+			t.Errorf("Classify(%v, %v) = %v, want %v", s, c.q, got, c.want)
+		}
+	}
+}
+
+func TestOverlapKindString(t *testing.T) {
+	names := map[OverlapKind]string{
+		CoversAll:      "covers-all",
+		CoversLower:    "covers-lower",
+		CoversUpper:    "covers-upper",
+		Inside:         "inside",
+		OverlapKind(9): "OverlapKind(9)",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	if s := NewRange(1, 2).String(); s != "[1, 2]" {
+		t.Errorf("String() = %q", s)
+	}
+	if s := Empty().String(); s != "[empty]" {
+		t.Errorf("empty String() = %q", s)
+	}
+}
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		b    ByteSize
+		want string
+	}{
+		{512 * B, "512B"},
+		{3 * KB, "3.00KB"},
+		{1536 * KB, "1.50MB"},
+		{2 * GB, "2.00GB"},
+	}
+	for _, c := range cases {
+		if got := c.b.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.b), got, c.want)
+		}
+	}
+}
+
+func TestByteSizeConversions(t *testing.T) {
+	if got := (4 * KB).KBf(); got != 4.0 {
+		t.Errorf("KBf = %v, want 4", got)
+	}
+	if got := (5 * MB).MBf(); got != 5.0 {
+		t.Errorf("MBf = %v, want 5", got)
+	}
+}
+
+// randomRange produces a non-empty range inside [0, 1<<20).
+func randomRange(r *rand.Rand) Range {
+	a := r.Int63n(1 << 20)
+	b := r.Int63n(1 << 20)
+	if a > b {
+		a, b = b, a
+	}
+	return Range{Lo: a, Hi: b}
+}
+
+func TestCutPropertyPartition(t *testing.T) {
+	// Property: the pieces of a cut partition the segment range exactly —
+	// widths sum to the segment width, pieces are adjacent in order, and
+	// the overlap equals the set intersection.
+	r := rand.New(rand.NewSource(42))
+	f := func() bool {
+		s := randomRange(r)
+		q := randomRange(r)
+		if !s.Overlaps(q) {
+			return true
+		}
+		sp := Cut(s, q)
+		pieces := sp.Pieces()
+		var total int64
+		for _, p := range pieces {
+			total += p.Width()
+		}
+		if total != s.Width() {
+			return false
+		}
+		for i := 1; i < len(pieces); i++ {
+			if !pieces[i-1].Adjacent(pieces[i]) {
+				return false
+			}
+		}
+		if pieces[0].Lo != s.Lo || pieces[len(pieces)-1].Hi != s.Hi {
+			return false
+		}
+		return sp.Overlap.Equal(s.Intersect(q))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectPropertyCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		a, b := randomRange(r), randomRange(r)
+		return a.Intersect(b).Equal(b.Intersect(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectPropertyContained(t *testing.T) {
+	// Property: the intersection is contained in both operands.
+	r := rand.New(rand.NewSource(11))
+	f := func() bool {
+		a, b := randomRange(r), randomRange(r)
+		iv := a.Intersect(b)
+		return a.ContainsRange(iv) && b.ContainsRange(iv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

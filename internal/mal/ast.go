@@ -1,0 +1,248 @@
+// Package mal implements the MonetDB Assembly Language subset that the
+// paper's execution layer speaks (§2): typed single-assignment
+// instructions over BATs, module-qualified builtin calls, and the
+// barrier/redo/exit blocks that the segment optimizer's iterator rewrite
+// relies on (§3.1). The interpreter follows MonetDB's execution paradigm
+// of materializing every intermediate result.
+package mal
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind classifies an instruction.
+type OpKind int
+
+const (
+	// OpAssign is `V := expr;` (with optional type annotation).
+	OpAssign OpKind = iota
+	// OpCall is a bare side-effecting call `module.fn(args);`.
+	OpCall
+	// OpBarrier opens a guarded block: `barrier V := expr;`.
+	OpBarrier
+	// OpRedo re-enters the enclosing block when its expression holds:
+	// `redo V := expr;`.
+	OpRedo
+	// OpExit closes a guarded block: `exit V;`.
+	OpExit
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpAssign:
+		return "assign"
+	case OpCall:
+		return "call"
+	case OpBarrier:
+		return "barrier"
+	case OpRedo:
+		return "redo"
+	case OpExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// LitKind classifies a literal argument.
+type LitKind int
+
+const (
+	// LInt is an integer literal (64).
+	LInt LitKind = iota
+	// LFlt is a float literal (205.1).
+	LFlt
+	// LStr is a string literal ("sys").
+	LStr
+	// LBool is true/false.
+	LBool
+	// LOid is an oid literal (0@0).
+	LOid
+	// LType is a type literal argument (:oid in bpm.new(:oid,:dbl)).
+	LType
+	// LNil is the nil literal.
+	LNil
+)
+
+// Lit is a literal value.
+type Lit struct {
+	Kind LitKind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+func (l Lit) String() string {
+	switch l.Kind {
+	case LInt:
+		return fmt.Sprint(l.I)
+	case LFlt:
+		s := fmt.Sprintf("%g", l.F)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case LStr:
+		return fmt.Sprintf("%q", l.S)
+	case LBool:
+		return fmt.Sprint(l.B)
+	case LOid:
+		return fmt.Sprintf("%d@0", l.I)
+	case LType:
+		return ":" + l.S
+	case LNil:
+		return "nil"
+	default:
+		return fmt.Sprintf("Lit(%d)", int(l.Kind))
+	}
+}
+
+// Arg is a call argument: a variable reference or a literal.
+type Arg struct {
+	IsVar bool
+	Name  string // variable name when IsVar
+	Lit   Lit
+}
+
+func (a Arg) String() string {
+	if a.IsVar {
+		return a.Name
+	}
+	return a.Lit.String()
+}
+
+// Expr is the right-hand side of an instruction: either a module call or a
+// single atom (variable alias or literal).
+type Expr struct {
+	Module, Func string // call when Module != ""
+	Args         []Arg
+	Atom         *Arg // alias/literal when Module == ""
+}
+
+// IsCall reports whether the expression is a module call.
+func (e *Expr) IsCall() bool { return e.Module != "" }
+
+func (e *Expr) String() string {
+	if !e.IsCall() {
+		return e.Atom.String()
+	}
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s.%s(%s)", e.Module, e.Func, strings.Join(args, ","))
+}
+
+// Instr is one MAL instruction.
+type Instr struct {
+	Kind   OpKind
+	Target string // assigned/guard variable ("" for bare calls)
+	Type   string // declared type annotation, e.g. "bat[:oid,:dbl]"
+	Expr   *Expr  // nil for OpExit
+	Line   int    // 1-based source line for diagnostics
+}
+
+func (in *Instr) String() string {
+	var b strings.Builder
+	switch in.Kind {
+	case OpBarrier:
+		b.WriteString("barrier ")
+	case OpRedo:
+		b.WriteString("redo ")
+	case OpExit:
+		return fmt.Sprintf("exit %s;", in.Target)
+	}
+	if in.Target != "" {
+		b.WriteString(in.Target)
+		if in.Type != "" {
+			b.WriteString(":")
+			b.WriteString(in.Type)
+		}
+		b.WriteString(" := ")
+	}
+	b.WriteString(in.Expr.String())
+	b.WriteString(";")
+	return b.String()
+}
+
+// Param is one function parameter (A0:dbl).
+type Param struct {
+	Name, Type string
+}
+
+// Program is a parsed MAL function (or a bare instruction sequence).
+type Program struct {
+	Name    string // e.g. "user.s1_0"; "" for bare sequences
+	Params  []Param
+	RetType string
+	Instrs  []Instr
+}
+
+// String renders the program back to MAL source.
+func (p *Program) String() string {
+	var b strings.Builder
+	if p.Name != "" {
+		params := make([]string, len(p.Params))
+		for i, pr := range p.Params {
+			params[i] = pr.Name + ":" + pr.Type
+		}
+		ret := p.RetType
+		if ret == "" {
+			ret = "void"
+		}
+		fmt.Fprintf(&b, "function %s(%s):%s;\n", p.Name, strings.Join(params, ","), ret)
+	}
+	indent := 0
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Kind == OpExit || in.Kind == OpRedo {
+			indent--
+		}
+		if indent < 0 {
+			indent = 0
+		}
+		b.WriteString(strings.Repeat("    ", indent+boolToInt(p.Name != "")))
+		b.WriteString(in.String())
+		b.WriteString("\n")
+		if in.Kind == OpBarrier || in.Kind == OpRedo {
+			indent++
+		}
+	}
+	if p.Name != "" {
+		short := p.Name
+		if i := strings.IndexByte(short, '.'); i >= 0 {
+			short = short[i+1:]
+		}
+		fmt.Fprintf(&b, "end %s;\n", short)
+	}
+	return b.String()
+}
+
+func boolToInt(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Vars returns the set of variables read by the expression.
+func (e *Expr) Vars() []string {
+	var out []string
+	if e == nil {
+		return nil
+	}
+	if !e.IsCall() {
+		if e.Atom.IsVar {
+			out = append(out, e.Atom.Name)
+		}
+		return out
+	}
+	for _, a := range e.Args {
+		if a.IsVar {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package mal
+
+import (
+	"math/rand"
+	"testing"
+
+	"selforg/internal/bat"
+	"selforg/internal/bpm"
+)
+
+// benchCatalog builds a sys.P table with n rows.
+func benchCatalog(n int) *MemCatalog {
+	rng := rand.New(rand.NewSource(1))
+	ras := make([]float64, n)
+	objs := make([]int64, n)
+	for i := range ras {
+		ras[i] = rng.Float64() * 360
+		objs[i] = int64(i)
+	}
+	cat := NewMemCatalog()
+	cat.AddTable(&Table{
+		Schema: "sys", Name: "P",
+		Cols: map[string]*Column{
+			"ra":    {Base: bat.New(bat.NewDenseOids(0, n), bat.NewDbls(ras))},
+			"objid": {Base: bat.New(bat.NewDenseOids(0, n), bat.NewLngs(objs))},
+		},
+	})
+	return cat
+}
+
+// BenchmarkParseFigure1 measures the MAL front-end on the paper's plan.
+func BenchmarkParseFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(figure1Plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunFigure1 measures interpreting the full Figure-1 plan over a
+// 64K-row table.
+func BenchmarkRunFigure1(b *testing.B) {
+	prog := MustParse(figure1Plan)
+	in := NewInterp(benchCatalog(1<<16), bpm.NewStore())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, err := in.Run(prog, 205.1, 205.12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ctx.Results) != 1 {
+			b.Fatal("no result")
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package mal
+
+import (
+	"fmt"
+
+	"selforg/internal/bat"
+)
+
+// Catalog resolves sql.bind calls: the SQL compiler "maps the relational
+// tables into collections of bats, whose head column is an oid" (§2).
+// Slot 0 binds the base column, slots 1 and 2 the insert and update delta
+// bats; sql.bind_dbat binds the deletion bat.
+type Catalog interface {
+	Bind(schema, table, column string, slot int) (*bat.BAT, error)
+	BindDBat(schema, table string, slot int) (*bat.BAT, error)
+	// SegmentedName returns the bpm.Store key for a column organized as
+	// value-ranged segments, or "" if the column is not segmented. The
+	// segment optimizer uses this to find rewrite candidates (§3.1).
+	SegmentedName(schema, table, column string) string
+}
+
+// Column is one stored column with its delta bats.
+type Column struct {
+	Base    *bat.BAT
+	Inserts *bat.BAT
+	Updates *bat.BAT
+	// Segmented is the bpm.Store name of the value-based organization of
+	// this column, when one exists.
+	Segmented string
+}
+
+// Table groups columns plus the deletion bat.
+type Table struct {
+	Schema, Name string
+	Cols         map[string]*Column
+	Deletes      *bat.BAT // [oid, oid] of deleted rows
+}
+
+// MemCatalog is the in-memory Catalog used by tests, examples and the
+// shell.
+type MemCatalog struct {
+	tables map[string]*Table
+}
+
+// NewMemCatalog returns an empty catalog.
+func NewMemCatalog() *MemCatalog {
+	return &MemCatalog{tables: make(map[string]*Table)}
+}
+
+// AddTable registers a table; column delta bats are created empty when
+// nil.
+func (c *MemCatalog) AddTable(t *Table) {
+	for _, col := range t.Cols {
+		if col.Inserts == nil {
+			col.Inserts = bat.Empty(bat.KOid, col.Base.TailKind())
+		}
+		if col.Updates == nil {
+			col.Updates = bat.Empty(bat.KOid, col.Base.TailKind())
+		}
+	}
+	if t.Deletes == nil {
+		t.Deletes = bat.Empty(bat.KOid, bat.KOid)
+	}
+	c.tables[t.Schema+"."+t.Name] = t
+}
+
+func (c *MemCatalog) table(schema, table string) (*Table, error) {
+	t, ok := c.tables[schema+"."+table]
+	if !ok {
+		return nil, fmt.Errorf("mal: unknown table %s.%s", schema, table)
+	}
+	return t, nil
+}
+
+// Bind implements Catalog.
+func (c *MemCatalog) Bind(schema, table, column string, slot int) (*bat.BAT, error) {
+	t, err := c.table(schema, table)
+	if err != nil {
+		return nil, err
+	}
+	col, ok := t.Cols[column]
+	if !ok {
+		return nil, fmt.Errorf("mal: unknown column %s.%s.%s", schema, table, column)
+	}
+	switch slot {
+	case 0:
+		return col.Base, nil
+	case 1:
+		return col.Inserts, nil
+	case 2:
+		return col.Updates, nil
+	default:
+		return nil, fmt.Errorf("mal: bind slot %d out of range", slot)
+	}
+}
+
+// BindDBat implements Catalog.
+func (c *MemCatalog) BindDBat(schema, table string, slot int) (*bat.BAT, error) {
+	t, err := c.table(schema, table)
+	if err != nil {
+		return nil, err
+	}
+	_ = slot // MonetDB distinguishes persistent/transient deletes; we keep one.
+	return t.Deletes, nil
+}
+
+// SegmentedName implements Catalog.
+func (c *MemCatalog) SegmentedName(schema, table, column string) string {
+	t, err := c.table(schema, table)
+	if err != nil {
+		return ""
+	}
+	col, ok := t.Cols[column]
+	if !ok {
+		return ""
+	}
+	return col.Segmented
+}

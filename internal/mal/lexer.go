@@ -1,0 +1,249 @@
+package mal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token classes.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFlt
+	tokStr
+	tokOid
+	tokAssign // :=
+	tokColon
+	tokSemi
+	tokComma
+	tokLParen
+	tokRParen
+	tokLBrack
+	tokRBrack
+	tokDot
+)
+
+func (k tokKind) String() string {
+	names := map[tokKind]string{
+		tokEOF: "EOF", tokIdent: "identifier", tokInt: "integer", tokFlt: "float",
+		tokStr: "string", tokOid: "oid", tokAssign: "':='", tokColon: "':'",
+		tokSemi: "';'", tokComma: "','", tokLParen: "'('", tokRParen: "')'",
+		tokLBrack: "'['", tokRBrack: "']'", tokDot: "'.'",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", int(k))
+}
+
+// token is one lexical unit.
+type token struct {
+	kind tokKind
+	text string
+	i    int64
+	f    float64
+	line int
+}
+
+// lexer turns MAL source into tokens. '#' starts a comment to end of line.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("mal: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == ':':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokAssign, text: ":=", line: l.line}, nil
+		}
+		l.pos++
+		return token{kind: tokColon, text: ":", line: l.line}, nil
+	case c == ';':
+		l.pos++
+		return token{kind: tokSemi, text: ";", line: l.line}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", line: l.line}, nil
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", line: l.line}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", line: l.line}, nil
+	case c == '[':
+		l.pos++
+		return token{kind: tokLBrack, text: "[", line: l.line}, nil
+	case c == ']':
+		l.pos++
+		return token{kind: tokRBrack, text: "]", line: l.line}, nil
+	case c == '.':
+		// Disambiguated from float starts: a bare '.' only follows idents.
+		l.pos++
+		return token{kind: tokDot, text: ".", line: l.line}, nil
+	case c == '"':
+		return l.lexString()
+	case c == '-' || unicode.IsDigit(rune(c)):
+		return l.lexNumber()
+	case c == '_' || unicode.IsLetter(rune(c)):
+		for l.pos < len(l.src) {
+			r := l.src[l.pos]
+			if r == '_' || unicode.IsLetter(rune(r)) || unicode.IsDigit(rune(r)) {
+				l.pos++
+			} else {
+				break
+			}
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+	default:
+		return token{}, l.errf("unexpected character %q", c)
+	}
+}
+
+func (l *lexer) lexString() (token, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return token{kind: tokStr, text: b.String(), line: l.line}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errf("unterminated escape")
+			}
+			l.pos++
+			switch esc := l.src[l.pos]; esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '"':
+				b.WriteByte(esc)
+			default:
+				return token{}, l.errf("unknown escape \\%c", esc)
+			}
+			l.pos++
+		case '\n':
+			return token{}, l.errf("unterminated string")
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, l.errf("unterminated string")
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	digits := 0
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+		l.pos++
+		digits++
+	}
+	if digits == 0 {
+		return token{}, l.errf("malformed number")
+	}
+	// Oid literal: INT '@' INT.
+	if l.peekByte() == '@' {
+		intPart := l.src[start:l.pos]
+		l.pos++ // '@'
+		sub := 0
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.pos++
+			sub++
+		}
+		if sub == 0 {
+			return token{}, l.errf("malformed oid literal")
+		}
+		v, err := strconv.ParseInt(intPart, 10, 64)
+		if err != nil {
+			return token{}, l.errf("oid literal: %v", err)
+		}
+		return token{kind: tokOid, text: l.src[start:l.pos], i: v, line: l.line}, nil
+	}
+	isFloat := false
+	if l.peekByte() == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1])) {
+		isFloat = true
+		l.pos++
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.pos++
+		}
+	}
+	if b := l.peekByte(); b == 'e' || b == 'E' {
+		save := l.pos
+		l.pos++
+		if b := l.peekByte(); b == '+' || b == '-' {
+			l.pos++
+		}
+		expDigits := 0
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.pos++
+			expDigits++
+		}
+		if expDigits == 0 {
+			l.pos = save
+		} else {
+			isFloat = true
+		}
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, l.errf("float literal: %v", err)
+		}
+		return token{kind: tokFlt, text: text, f: f, line: l.line}, nil
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return token{}, l.errf("int literal: %v", err)
+	}
+	return token{kind: tokInt, text: text, i: v, line: l.line}, nil
+}

@@ -1,0 +1,209 @@
+package mal
+
+import (
+	"strings"
+	"testing"
+
+	"selforg/internal/bat"
+	"selforg/internal/bpm"
+)
+
+// runSnippet executes a bare MAL snippet against the sky test catalog.
+func runSnippet(t *testing.T, src string) (*Context, error) {
+	t.Helper()
+	in := NewInterp(skyCatalog(), segStoreWith(t))
+	return in.Run(MustParse(src))
+}
+
+func TestModuleArgumentErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"bind wrong argc", `X := sql.bind("sys","P");`, "4 arguments"},
+		{"bind bad slot", `X := sql.bind("sys","P","ra",9);`, "slot 9"},
+		{"bind unknown table", `X := sql.bind("sys","NOPE","ra",0);`, "unknown table"},
+		{"bind unknown column", `X := sql.bind("sys","P","nope",0);`, "unknown column"},
+		{"bind_dbat wrong argc", `X := sql.bind_dbat("sys");`, "3 arguments"},
+		{"select wrong argc", `X := algebra.select(1);`, "wants"},
+		{"select non-bat", `X := algebra.select(1, 2, 3);`, "expected bat"},
+		{"kunion non-bat", `X := algebra.kunion(1, 2);`, "expected bat"},
+		{"markT bad base", `B := sql.bind("sys","P","ra",0);
+X := algebra.markT(B, 5.5);`, "expected oid"},
+		{"rsColumn wrong argc", `X := sql.rsColumn(1);`, "7 arguments"},
+		{"rsColumn non-rs", `B := sql.bind("sys","P","ra",0);
+sql.rsColumn(1,"a","b","c",1,0,B);`, "expected result set"},
+		{"exportResult non-rs", `sql.exportResult(5);`, "expected result set"},
+		{"take non-string", `X := bpm.take(5);`, "expected string"},
+		{"take unknown", `X := bpm.take("nope");`, "unknown segmented column"},
+		{"new wrong argc", `X := bpm.new(:oid);`, "2 type arguments"},
+		{"new bad kind", `X := bpm.new(:oid,:blob);`, "unknown atom type"},
+		{"hasMore without iterator", `Y := bpm.take("sys_P_ra");
+X := bpm.hasMoreElements(Y, 1.0, 2.0);`, "without newIterator"},
+		{"takeSegment out of range", `Y := bpm.take("sys_P_ra");
+X := bpm.takeSegment(Y, 99);`, "out of"},
+		{"adapt non-seg", `X := bpm.adapt(1, 2.0, 3.0);`, "expected segmented bat"},
+		{"calc.oid bad", `X := calc.oid("hi");`, "cannot cast"},
+		{"sum over str", `X := aggr.sum(1);`, "expected bat"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := runSnippet(t, c.src)
+			if err == nil {
+				t.Fatalf("no error for %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err.Error(), c.want)
+			}
+		})
+	}
+}
+
+func TestCalcCasts(t *testing.T) {
+	ctx, err := runSnippet(t, `
+A := calc.lng(3.7);
+B := calc.dbl(4);
+C := calc.str(5);
+D := calc.oid(7);
+E := calc.add(1.5, 2);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := ctx.Get("A"); a.(int64) != 3 {
+		t.Errorf("lng(3.7) = %v", a)
+	}
+	if b, _ := ctx.Get("B"); b.(float64) != 4.0 {
+		t.Errorf("dbl(4) = %v", b)
+	}
+	if c, _ := ctx.Get("C"); c.(string) != "5" {
+		t.Errorf("str(5) = %v", c)
+	}
+	if d, _ := ctx.Get("D"); d.(bat.Value).AsOid() != 7 {
+		t.Errorf("oid(7) = %v", d)
+	}
+	if e, _ := ctx.Get("E"); e.(float64) != 3.5 {
+		t.Errorf("add = %v", e)
+	}
+}
+
+func TestBatModuleBuiltins(t *testing.T) {
+	ctx, err := runSnippet(t, `
+B := sql.bind("sys","P","ra",0);
+R := bat.reverse(B);
+M := bat.mirror(B);
+N := bat.new(:oid,:lng);
+S := algebra.slice(B, 1, 3);
+T := algebra.sortTail(B);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := ctx.Get("R")
+	if r.(*bat.BAT).HeadKind() != bat.KDbl {
+		t.Error("reverse head kind")
+	}
+	n, _ := ctx.Get("N")
+	if n.(*bat.BAT).Len() != 0 || n.(*bat.BAT).TailKind() != bat.KLng {
+		t.Error("bat.new wrong")
+	}
+	s, _ := ctx.Get("S")
+	if s.(*bat.BAT).Len() != 2 {
+		t.Error("slice wrong")
+	}
+	tb, _ := ctx.Get("T")
+	srt := tb.(*bat.BAT)
+	for i := 1; i < srt.Len(); i++ {
+		if srt.Tail.Get(i).Less(srt.Tail.Get(i - 1)) {
+			t.Fatal("sortTail not sorted")
+		}
+	}
+}
+
+func TestIOPrint(t *testing.T) {
+	in := NewInterp(skyCatalog(), bpm.NewStore())
+	var out strings.Builder
+	in.Out = &out
+	if _, err := in.Run(MustParse(`io.print("hello", 42);`)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "hello") || !strings.Contains(out.String(), "42") {
+		t.Errorf("print output = %q", out.String())
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	r := DefaultRegistry()
+	names := r.Names()
+	want := map[string]bool{
+		"sql.bind": true, "algebra.select": true, "bpm.newIterator": true,
+		"aggr.sum": true, "calc.oid": true, "io.print": true,
+	}
+	found := 0
+	for _, n := range names {
+		if want[n] {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Errorf("registry missing builtins: have %v", names)
+	}
+}
+
+func TestCatalogNoCatalogAttached(t *testing.T) {
+	in := &Interp{Registry: DefaultRegistry()}
+	_, err := in.Run(MustParse(`X := sql.bind("s","t","c",0);`))
+	if err == nil || !strings.Contains(err.Error(), "no catalog") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStoreNotAttached(t *testing.T) {
+	in := &Interp{Registry: DefaultRegistry(), Catalog: NewMemCatalog()}
+	_, err := in.Run(MustParse(`X := bpm.take("x");`))
+	if err == nil || !strings.Contains(err.Error(), "no segment store") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCoerceBoundOnLngAndStrTails(t *testing.T) {
+	cat := NewMemCatalog()
+	cat.AddTable(&Table{
+		Schema: "s", Name: "t",
+		Cols: map[string]*Column{
+			"v": {Base: bat.NewDense(bat.NewLngs([]int64{1, 5, 9}))},
+			"w": {Base: bat.NewDense(bat.NewStrs([]string{"a", "m", "z"}))},
+		},
+	})
+	in := NewInterp(cat, bpm.NewStore())
+	ctx, err := in.Run(MustParse(`
+B := sql.bind("s","t","v",0);
+X := algebra.select(B, 2, 8);
+W := sql.bind("s","t","w",0);
+Y := algebra.select(W, "b", "n");
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := ctx.Get("X")
+	if x.(*bat.BAT).Len() != 1 {
+		t.Errorf("lng select = %d rows", x.(*bat.BAT).Len())
+	}
+	y, _ := ctx.Get("Y")
+	if y.(*bat.BAT).Len() != 1 {
+		t.Errorf("str select = %d rows", y.(*bat.BAT).Len())
+	}
+}
+
+func TestProgramVarsHelper(t *testing.T) {
+	p := MustParse(`X := algebra.kunion(A, B);
+Y := X;`)
+	vars := p.Instrs[0].Expr.Vars()
+	if len(vars) != 2 || vars[0] != "A" || vars[1] != "B" {
+		t.Errorf("vars = %v", vars)
+	}
+	if vs := p.Instrs[1].Expr.Vars(); len(vs) != 1 || vs[0] != "X" {
+		t.Errorf("atom vars = %v", vs)
+	}
+}

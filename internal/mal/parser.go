@@ -1,0 +1,422 @@
+package mal
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses MAL source into a Program. Both full functions
+// (function ... end) and bare instruction sequences are accepted.
+func Parse(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.parseProgram()
+}
+
+// MustParse parses or panics; intended for tests and embedded plans.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("mal: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, p.errf("expected %v, found %v %q", k, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	if p.tok.kind == tokIdent && p.tok.text == "function" {
+		if err := p.parseHeader(prog); err != nil {
+			return nil, err
+		}
+	}
+	for p.tok.kind != tokEOF {
+		if p.tok.kind == tokIdent && p.tok.text == "end" {
+			if prog.Name == "" {
+				return nil, p.errf("'end' outside a function")
+			}
+			if err := p.parseEnd(prog); err != nil {
+				return nil, err
+			}
+			break
+		}
+		in, err := p.parseInstr()
+		if err != nil {
+			return nil, err
+		}
+		prog.Instrs = append(prog.Instrs, in)
+	}
+	if err := checkBlocks(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// parseHeader parses `function user.s1_0(A0:dbl,A1:dbl):void;`.
+func (p *parser) parseHeader(prog *Program) error {
+	if err := p.advance(); err != nil { // consume 'function'
+		return err
+	}
+	name, err := p.parseDottedName()
+	if err != nil {
+		return err
+	}
+	prog.Name = name
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	for p.tok.kind != tokRParen {
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return err
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		prog.Params = append(prog.Params, Param{Name: id.text, Type: typ})
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := p.advance(); err != nil { // consume ')'
+		return err
+	}
+	if p.tok.kind == tokColon {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		prog.RetType = typ
+	}
+	_, err = p.expect(tokSemi)
+	return err
+}
+
+// parseEnd parses `end s1_0;` and validates the name suffix.
+func (p *parser) parseEnd(prog *Program) error {
+	if err := p.advance(); err != nil { // consume 'end'
+		return err
+	}
+	name, err := p.parseDottedName()
+	if err != nil {
+		return err
+	}
+	want := prog.Name
+	if i := strings.IndexByte(want, '.'); i >= 0 {
+		want = want[i+1:]
+	}
+	if name != want && name != prog.Name {
+		return p.errf("end %q does not match function %q", name, prog.Name)
+	}
+	_, err = p.expect(tokSemi)
+	return err
+}
+
+// parseDottedName parses IDENT('.'IDENT)*.
+func (p *parser) parseDottedName() (string, error) {
+	id, err := p.expect(tokIdent)
+	if err != nil {
+		return "", err
+	}
+	name := id.text
+	for p.tok.kind == tokDot {
+		if err := p.advance(); err != nil {
+			return "", err
+		}
+		part, err := p.expect(tokIdent)
+		if err != nil {
+			return "", err
+		}
+		name += "." + part.text
+	}
+	return name, nil
+}
+
+// parseType parses `dbl`, `void`, or `bat[:oid,:dbl]` and returns its
+// textual form.
+func (p *parser) parseType() (string, error) {
+	id, err := p.expect(tokIdent)
+	if err != nil {
+		return "", err
+	}
+	if id.text != "bat" || p.tok.kind != tokLBrack {
+		return id.text, nil
+	}
+	if err := p.advance(); err != nil { // '['
+		return "", err
+	}
+	var parts []string
+	for p.tok.kind != tokRBrack {
+		if _, err := p.expect(tokColon); err != nil {
+			return "", err
+		}
+		part, err := p.expect(tokIdent)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, ":"+part.text)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return "", err
+			}
+		}
+	}
+	if err := p.advance(); err != nil { // ']'
+		return "", err
+	}
+	return fmt.Sprintf("bat[%s]", strings.Join(parts, ",")), nil
+}
+
+// parseInstr parses one statement.
+func (p *parser) parseInstr() (Instr, error) {
+	line := p.tok.line
+	if p.tok.kind != tokIdent {
+		return Instr{}, p.errf("expected statement, found %v %q", p.tok.kind, p.tok.text)
+	}
+	switch p.tok.text {
+	case "barrier", "redo":
+		kind := OpBarrier
+		if p.tok.text == "redo" {
+			kind = OpRedo
+		}
+		if err := p.advance(); err != nil {
+			return Instr{}, err
+		}
+		in, err := p.parseAssignment(line)
+		if err != nil {
+			return Instr{}, err
+		}
+		if in.Target == "" {
+			return Instr{}, p.errf("%v requires an assignment", kind)
+		}
+		in.Kind = kind
+		return in, nil
+	case "exit":
+		if err := p.advance(); err != nil {
+			return Instr{}, err
+		}
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return Instr{}, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Kind: OpExit, Target: id.text, Line: line}, nil
+	default:
+		return p.parseAssignment(line)
+	}
+}
+
+// parseAssignment parses `V[:type] := expr;` or a bare call `m.f(args);`.
+func (p *parser) parseAssignment(line int) (Instr, error) {
+	first, err := p.expect(tokIdent)
+	if err != nil {
+		return Instr{}, err
+	}
+	// Bare call: IDENT '.' IDENT '(' ...
+	if p.tok.kind == tokDot {
+		expr, err := p.parseCallAfterModule(first.text)
+		if err != nil {
+			return Instr{}, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Kind: OpCall, Expr: expr, Line: line}, nil
+	}
+	in := Instr{Kind: OpAssign, Target: first.text, Line: line}
+	if p.tok.kind == tokColon {
+		if err := p.advance(); err != nil {
+			return Instr{}, err
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Type = typ
+	}
+	if _, err := p.expect(tokAssign); err != nil {
+		return Instr{}, err
+	}
+	expr, err := p.parseExpr()
+	if err != nil {
+		return Instr{}, err
+	}
+	in.Expr = expr
+	if _, err := p.expect(tokSemi); err != nil {
+		return Instr{}, err
+	}
+	return in, nil
+}
+
+// parseExpr parses a module call, a variable alias or a literal.
+func (p *parser) parseExpr() (*Expr, error) {
+	if p.tok.kind == tokIdent {
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokDot {
+			return p.parseCallAfterModule(name)
+		}
+		switch name {
+		case "true", "false":
+			return &Expr{Atom: &Arg{Lit: Lit{Kind: LBool, B: name == "true"}}}, nil
+		case "nil":
+			return &Expr{Atom: &Arg{Lit: Lit{Kind: LNil}}}, nil
+		}
+		return &Expr{Atom: &Arg{IsVar: true, Name: name}}, nil
+	}
+	lit, err := p.parseLit()
+	if err != nil {
+		return nil, err
+	}
+	return &Expr{Atom: &Arg{Lit: lit}}, nil
+}
+
+// parseCallAfterModule parses `.func(args)` with the module name already
+// consumed.
+func (p *parser) parseCallAfterModule(module string) (*Expr, error) {
+	if _, err := p.expect(tokDot); err != nil {
+		return nil, err
+	}
+	fn, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	expr := &Expr{Module: module, Func: fn.text}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokRParen {
+		arg, err := p.parseArg()
+		if err != nil {
+			return nil, err
+		}
+		expr.Args = append(expr.Args, arg)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return expr, p.advance() // consume ')'
+}
+
+// parseArg parses a single call argument.
+func (p *parser) parseArg() (Arg, error) {
+	switch p.tok.kind {
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return Arg{}, err
+		}
+		switch name {
+		case "true", "false":
+			return Arg{Lit: Lit{Kind: LBool, B: name == "true"}}, nil
+		case "nil":
+			return Arg{Lit: Lit{Kind: LNil}}, nil
+		}
+		return Arg{IsVar: true, Name: name}, nil
+	case tokColon:
+		// Type literal argument, e.g. bpm.new(:oid,:dbl).
+		if err := p.advance(); err != nil {
+			return Arg{}, err
+		}
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return Arg{}, err
+		}
+		return Arg{Lit: Lit{Kind: LType, S: id.text}}, nil
+	default:
+		lit, err := p.parseLit()
+		if err != nil {
+			return Arg{}, err
+		}
+		return Arg{Lit: lit}, nil
+	}
+}
+
+// parseLit parses a literal token.
+func (p *parser) parseLit() (Lit, error) {
+	t := p.tok
+	var lit Lit
+	switch t.kind {
+	case tokInt:
+		lit = Lit{Kind: LInt, I: t.i}
+	case tokFlt:
+		lit = Lit{Kind: LFlt, F: t.f}
+	case tokStr:
+		lit = Lit{Kind: LStr, S: t.text}
+	case tokOid:
+		lit = Lit{Kind: LOid, I: t.i}
+	default:
+		return Lit{}, p.errf("expected literal, found %v %q", t.kind, t.text)
+	}
+	return lit, p.advance()
+}
+
+// checkBlocks validates barrier/redo/exit nesting by guard variable.
+func checkBlocks(prog *Program) error {
+	var stack []string
+	for i := range prog.Instrs {
+		in := &prog.Instrs[i]
+		switch in.Kind {
+		case OpBarrier:
+			stack = append(stack, in.Target)
+		case OpRedo:
+			if len(stack) == 0 || stack[len(stack)-1] != in.Target {
+				return fmt.Errorf("mal: line %d: redo %s without matching barrier", in.Line, in.Target)
+			}
+		case OpExit:
+			if len(stack) == 0 || stack[len(stack)-1] != in.Target {
+				return fmt.Errorf("mal: line %d: exit %s without matching barrier", in.Line, in.Target)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("mal: unclosed barrier %s", stack[len(stack)-1])
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package model
+
+import (
+	"testing"
+
+	"selforg/internal/domain"
+)
+
+func TestAutoAPMInitialBoundsAtFloor(t *testing.T) {
+	m := NewAutoAPM(100, 10_000)
+	mmin, mmax := m.Bounds()
+	if mmin < 100 {
+		t.Errorf("initial Mmin %d below floor", mmin)
+	}
+	if mmax <= mmin {
+		t.Errorf("initial bounds inverted: %d/%d", mmin, mmax)
+	}
+}
+
+func TestAutoAPMEWMAWarmsUp(t *testing.T) {
+	m := NewAutoAPM(10, 1<<30)
+	s := seg(0, 99_999, 100_000, 100_000)
+	// First observation seeds the EWMA directly.
+	m.Decide(domain.NewRange(0, 9_999), s) // ~10 KB selection
+	_, mmax := m.Bounds()
+	if mmax < 30_000 || mmax > 50_000 {
+		t.Errorf("after one 10KB observation Mmax = %d, want ~40K", mmax)
+	}
+	// A stream of tiny selections pulls the bounds down.
+	for i := 0; i < 60; i++ {
+		m.Decide(domain.NewRange(5, 6), s)
+	}
+	_, mmax2 := m.Bounds()
+	if mmax2 >= mmax {
+		t.Errorf("Mmax did not track down: %d -> %d", mmax, mmax2)
+	}
+}
+
+func TestAutoAPMCoversAllNoSplit(t *testing.T) {
+	m := NewAutoAPM(10, 1000)
+	s := seg(100, 199, 400, 400)
+	if d := m.Decide(domain.NewRange(0, 500), s); d.Action != NoSplit {
+		t.Errorf("covers-all decision = %v", d.Action)
+	}
+	// Covers-all decisions do not feed the tuner.
+	if m.Observations() != 0 {
+		t.Errorf("observations = %d, want 0", m.Observations())
+	}
+}
+
+func TestAutoAPMDecidesLikeAPMWithDerivedBounds(t *testing.T) {
+	m := NewAutoAPM(64, 1<<20)
+	s := seg(0, 99_999, 100_000, 100_000)
+	q := domain.NewRange(40_000, 59_999) // 20 KB selection, pieces all large
+	d := m.Decide(q, s)
+	if d.Action != SplitBounds {
+		t.Errorf("large balanced selection should split at bounds, got %v", d.Action)
+	}
+}
+
+func TestGDZeroSizeSegmentNoSplit(t *testing.T) {
+	g := NewGaussianDice(1)
+	s := seg(0, 999, 0, 1000)
+	if d := g.Decide(domain.NewRange(10, 20), s); d.Action != NoSplit {
+		t.Errorf("zero-byte segment split: %v", d.Action)
+	}
+	s2 := seg(0, 999, 100, 0)
+	if d := g.Decide(domain.NewRange(10, 20), s2); d.Action != NoSplit {
+		t.Errorf("zero total split: %v", d.Action)
+	}
+}

@@ -1,0 +1,32 @@
+package model
+
+import "selforg/internal/domain"
+
+// Never is a baseline policy that never reorganizes — with it, adaptive
+// segmentation degenerates to the paper's "NoSegm" scheme (a plain
+// full-column organization).
+type Never struct{}
+
+// Name implements Model.
+func (Never) Name() string { return "Never" }
+
+// Decide implements Model.
+func (Never) Decide(domain.Range, SegmentInfo) Decision {
+	return Decision{Action: NoSplit}
+}
+
+// Always is a baseline policy that splits at the query bounds whenever
+// geometry allows, the most aggressive cracking-style behaviour. Useful in
+// ablations to show why the GD/APM guards against small pieces matter.
+type Always struct{}
+
+// Name implements Model.
+func (Always) Name() string { return "Always" }
+
+// Decide implements Model.
+func (Always) Decide(q domain.Range, seg SegmentInfo) Decision {
+	if !splittable(q, seg) {
+		return Decision{Action: NoSplit}
+	}
+	return Decision{Action: SplitBounds}
+}

@@ -1,0 +1,59 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+
+	"selforg/internal/domain"
+)
+
+// GaussianDice is the randomized policy of §3.2.1: a 'learning' random
+// generator that prefers splits producing roughly equal pieces and damps
+// the impact of point queries.
+//
+// For a selection producing piece P out of segment S it draws r in [0, 1)
+// and splits iff r < O(x), where x = SizeP/SizeS and
+//
+//	O(x) = G(x) / G(0.5),  G Gaussian with mu = 0.5, sigma = SizeS/TotSize
+//
+// so selections splitting a segment near the middle of its size have the
+// highest probability, and the probability sharpens as segments shrink
+// relative to the column (Figure 2).
+type GaussianDice struct {
+	rng *rand.Rand
+}
+
+// NewGaussianDice creates a GD model with a deterministic random source.
+func NewGaussianDice(seed int64) *GaussianDice {
+	return &GaussianDice{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Model.
+func (g *GaussianDice) Name() string { return "GD" }
+
+// Odds returns O(x) for the given segment-to-column ratio sigma. Exposed
+// for tests and for plotting Figure 2.
+func Odds(x, sigma float64) float64 {
+	if sigma <= 0 {
+		return 0
+	}
+	d := x - 0.5
+	return math.Exp(-(d * d) / (2 * sigma * sigma))
+}
+
+// Decide implements Model.
+func (g *GaussianDice) Decide(q domain.Range, seg SegmentInfo) Decision {
+	if !splittable(q, seg) {
+		return Decision{Action: NoSplit}
+	}
+	if seg.Bytes <= 0 || seg.TotalBytes <= 0 {
+		return Decision{Action: NoSplit}
+	}
+	sp := domain.Cut(seg.Rng, q)
+	x := float64(seg.estBytes(sp.Overlap)) / float64(seg.Bytes)
+	sigma := float64(seg.Bytes) / float64(seg.TotalBytes)
+	if g.rng.Float64() < Odds(x, sigma) {
+		return Decision{Action: SplitBounds}
+	}
+	return Decision{Action: NoSplit}
+}

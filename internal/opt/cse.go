@@ -1,0 +1,99 @@
+package opt
+
+import (
+	"strings"
+
+	"selforg/internal/mal"
+)
+
+// CSEPass eliminates common subexpressions: when two single-assignment
+// instructions evaluate the same pure call with identical arguments, the
+// later one becomes an alias of the first. MonetDB's tactical optimizer
+// ships the same pass ("commonTerms"); it pays off on generated plans,
+// where per-column delta-merge chains repeat bind calls (§2's ~80-operator
+// plans shrink visibly).
+//
+// Only pure operators participate (the instrPure predicate shared with
+// dead-code elimination), and only while their arguments are stable:
+// any variable assigned more than once disqualifies expressions using it.
+type CSEPass struct{}
+
+// Name implements Pass.
+func (*CSEPass) Name() string { return "commonterms" }
+
+// Apply implements Pass.
+func (*CSEPass) Apply(p *mal.Program, _ *Context) (bool, error) {
+	assignCount := make(map[string]int)
+	for i := range p.Instrs {
+		if t := p.Instrs[i].Target; t != "" {
+			assignCount[t]++
+		}
+	}
+	// Barrier blocks re-execute: expressions inside them must not be
+	// hoisted or folded with the outside. Track block depth and only fold
+	// at depth 0 (the common case for generated plans).
+	seen := make(map[string]string) // expr signature -> first target
+	changed := false
+	depth := 0
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		switch in.Kind {
+		case mal.OpBarrier:
+			depth++
+			continue
+		case mal.OpExit:
+			depth--
+			continue
+		case mal.OpRedo:
+			continue
+		}
+		if depth != 0 || !instrPure(in) || !in.Expr.IsCall() {
+			continue
+		}
+		if assignCount[in.Target] != 1 {
+			continue
+		}
+		stable := true
+		for _, v := range in.Expr.Vars() {
+			// Count 0 means a function parameter (or an interpreter-bound
+			// name): single-binding by construction.
+			if assignCount[v] > 1 {
+				stable = false
+				break
+			}
+		}
+		if !stable {
+			continue
+		}
+		sig := exprSignature(in.Expr)
+		if first, ok := seen[sig]; ok {
+			in.Expr = &mal.Expr{Atom: &mal.Arg{IsVar: true, Name: first}}
+			changed = true
+			continue
+		}
+		seen[sig] = in.Target
+	}
+	return changed, nil
+}
+
+// exprSignature renders a canonical key for a call expression.
+func exprSignature(e *mal.Expr) string {
+	var b strings.Builder
+	b.WriteString(e.Module)
+	b.WriteByte('.')
+	b.WriteString(e.Func)
+	b.WriteByte('(')
+	for i, a := range e.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if a.IsVar {
+			b.WriteByte('$')
+			b.WriteString(a.Name)
+		} else {
+			b.WriteString(a.Lit.String())
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}

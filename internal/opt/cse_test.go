@@ -1,0 +1,115 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"selforg/internal/mal"
+	"selforg/internal/model"
+)
+
+func TestCSEFoldsDuplicateBinds(t *testing.T) {
+	prog := mal.MustParse(`
+A := sql.bind("sys","P","ra",0);
+B := sql.bind("sys","P","ra",0);
+X := algebra.kunion(A, B);
+io.print(X);
+`)
+	changed, err := (&CSEPass{}).Apply(prog, nil)
+	if err != nil || !changed {
+		t.Fatalf("changed=%v err=%v", changed, err)
+	}
+	// B must now alias A.
+	if prog.Instrs[1].Expr.IsCall() {
+		t.Errorf("duplicate bind not folded:\n%s", prog.String())
+	}
+	if prog.Instrs[1].Expr.Atom.Name != "A" {
+		t.Errorf("alias target = %q", prog.Instrs[1].Expr.Atom.Name)
+	}
+}
+
+func TestCSEDistinguishesArguments(t *testing.T) {
+	prog := mal.MustParse(`
+A := sql.bind("sys","P","ra",0);
+B := sql.bind("sys","P","ra",1);
+X := algebra.kunion(A, B);
+io.print(X);
+`)
+	changed, _ := (&CSEPass{}).Apply(prog, nil)
+	if changed {
+		t.Errorf("different slots folded:\n%s", prog.String())
+	}
+}
+
+func TestCSEKeepsImpureCalls(t *testing.T) {
+	prog := mal.MustParse(`
+io.print("a");
+io.print("a");
+`)
+	changed, _ := (&CSEPass{}).Apply(prog, nil)
+	if changed || len(prog.Instrs) != 2 {
+		t.Error("impure calls folded")
+	}
+}
+
+func TestCSESkipsBarrierBodies(t *testing.T) {
+	// Expressions inside a barrier body re-execute per iteration and must
+	// not fold with each other or the outside.
+	prog := mal.MustParse(`
+A := calc.dbl(1);
+barrier s := bpm.newIterator(Y, 1.0, 2.0);
+B := calc.dbl(1);
+redo s := bpm.hasMoreElements(Y, 1.0, 2.0);
+exit s;
+io.print(A);
+io.print(B);
+`)
+	changed, _ := (&CSEPass{}).Apply(prog, nil)
+	if changed {
+		t.Errorf("barrier-body expression folded:\n%s", prog.String())
+	}
+}
+
+func TestCSEEndToEndOnGeneratedShape(t *testing.T) {
+	// A plan with a duplicated delta chain (same column bound twice, as a
+	// naive generator would emit) must fold to a single chain and still
+	// produce the right result.
+	src := `
+function user.q(A0:dbl,A1:dbl):void;
+B1 := sql.bind("sys","P","ra",0);
+B2 := sql.bind("sys","P","ra",0);
+S1 := algebra.uselect(B1,A0,A1,true,true);
+S2 := algebra.uselect(B2,A0,A1,true,true);
+U := algebra.kunion(S1,S2);
+C := aggr.count(U);
+io.print(C);
+end q;
+`
+	cat, st := fixture(false)
+	prog := mal.MustParse(src)
+	if err := Default().Optimize(prog, &Context{Catalog: cat, Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	text := prog.String()
+	if strings.Count(text, "sql.bind") != 1 {
+		t.Errorf("duplicate bind survived:\n%s", text)
+	}
+	if strings.Count(text, "uselect") != 1 {
+		t.Errorf("duplicate select survived:\n%s", text)
+	}
+	in := mal.NewInterp(cat, st)
+	in.AdaptModel = model.Never{}
+	ctx, err := in.Run(prog, 205.1, 205.12)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if c, _ := ctx.Get("C"); c.(int64) != 3 {
+		t.Errorf("count = %v, want 3", c)
+	}
+}
+
+func TestDefaultPipelineIncludesCSE(t *testing.T) {
+	if got := Default().Describe(); got != "segments -> commonterms -> alias -> deadcode" {
+		t.Errorf("describe = %q", got)
+	}
+}

@@ -1,0 +1,282 @@
+package opt
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"selforg/internal/bat"
+	"selforg/internal/bpm"
+	"selforg/internal/mal"
+	"selforg/internal/model"
+)
+
+// fixture builds a catalog with sys.P(ra, objid) where ra is segmented,
+// plus the matching segmented store. The segmented copy holds the same
+// data as the base column.
+func fixture(segmentRA bool) (*mal.MemCatalog, *bpm.Store) {
+	cat := mal.NewMemCatalog()
+	ras := []float64{204.0, 205.105, 205.11, 205.2, 205.119, 100.0, 350.0, 10.0}
+	objs := []int64{1000, 1001, 1002, 1003, 1004, 1005, 1006, 1007}
+	raBase := bat.New(bat.NewDenseOids(0, len(ras)), bat.NewDbls(ras))
+	objBase := bat.New(bat.NewDenseOids(0, len(objs)), bat.NewLngs(objs))
+	segName := ""
+	if segmentRA {
+		segName = "sys_P_ra"
+	}
+	cat.AddTable(&mal.Table{
+		Schema: "sys", Name: "P",
+		Cols: map[string]*mal.Column{
+			"ra":    {Base: raBase, Segmented: segName},
+			"objid": {Base: objBase},
+		},
+	})
+	st := bpm.NewStore()
+	if segmentRA {
+		segCopy := bat.New(bat.NewDenseOids(0, len(ras)), bat.NewDbls(append([]float64(nil), ras...)))
+		st.Register(bpm.NewSegmentedBAT("sys_P_ra", segCopy, 0, 360, 4))
+	}
+	return cat, st
+}
+
+const selectPlan = `
+function user.q(A0:dbl,A1:dbl):void;
+X1:bat[:oid,:dbl] := sql.bind("sys","P","ra",0);
+X14 := algebra.uselect(X1,A0,A1,true,true);
+X26 := calc.oid(0@0);
+X28 := algebra.markT(X14,X26);
+X29 := bat.reverse(X28);
+X30:bat[:oid,:lng] := sql.bind("sys","P","objid",0);
+X37 := algebra.join(X29,X30);
+X38 := sql.resultSet(1,1,X37);
+sql.rsColumn(X38,"sys.P","objid","bigint",64,0,X37);
+sql.exportResult(X38,"");
+end q;
+`
+
+func runPlan(t *testing.T, prog *mal.Program, cat *mal.MemCatalog, st *bpm.Store, a0, a1 float64) []int64 {
+	t.Helper()
+	in := mal.NewInterp(cat, st)
+	in.AdaptModel = model.Always{}
+	ctx, err := in.Run(prog, a0, a1)
+	if err != nil {
+		t.Fatalf("run: %v\nplan:\n%s", err, prog.String())
+	}
+	if len(ctx.Results) != 1 {
+		t.Fatalf("results = %d", len(ctx.Results))
+	}
+	col := ctx.Results[0].Column(0)
+	out := make([]int64, 0, col.Len())
+	for i := 0; i < col.Len(); i++ {
+		out = append(out, col.Tail.Get(i).AsLng())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestSegmentPassRewritesSelect(t *testing.T) {
+	cat, st := fixture(true)
+	prog := mal.MustParse(selectPlan)
+	o := Default()
+	if err := o.Optimize(prog, &Context{Catalog: cat, Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	text := prog.String()
+	for _, want := range []string{"bpm.take", "bpm.newIterator", "bpm.addSegment", "bpm.hasMoreElements", "bpm.adapt", "barrier", "exit"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("optimized plan missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "algebra.uselect(X1") {
+		t.Errorf("original select survived:\n%s", text)
+	}
+}
+
+func TestSegmentPassLeavesUnsegmentedAlone(t *testing.T) {
+	cat, st := fixture(false)
+	prog := mal.MustParse(selectPlan)
+	before := prog.String()
+	if err := Default().Optimize(prog, &Context{Catalog: cat, Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(prog.String(), "bpm.") {
+		t.Errorf("unsegmented column rewritten:\n%s\nwas:\n%s", prog.String(), before)
+	}
+}
+
+func TestOptimizedPlanEquivalent(t *testing.T) {
+	// The optimized plan must produce exactly the same result as the
+	// original — the §3.1 rewrite is semantics-preserving.
+	cases := []struct{ a0, a1 float64 }{
+		{205.1, 205.12},
+		{0, 360},
+		{100, 206},
+		{355, 360},
+		{50, 60}, // empty result
+	}
+	for _, c := range cases {
+		catA, stA := fixture(true)
+		orig := mal.MustParse(selectPlan)
+		wantRes := runPlan(t, orig, catA, stA, c.a0, c.a1)
+
+		catB, stB := fixture(true)
+		optd := mal.MustParse(selectPlan)
+		if err := Default().Optimize(optd, &Context{Catalog: catB, Store: stB}); err != nil {
+			t.Fatal(err)
+		}
+		gotRes := runPlan(t, optd, catB, stB, c.a0, c.a1)
+		if len(gotRes) != len(wantRes) {
+			t.Fatalf("[%g,%g]: got %v, want %v", c.a0, c.a1, gotRes, wantRes)
+		}
+		for i := range gotRes {
+			if gotRes[i] != wantRes[i] {
+				t.Fatalf("[%g,%g]: got %v, want %v", c.a0, c.a1, gotRes, wantRes)
+			}
+		}
+	}
+}
+
+func TestOptimizedPlanAdaptsColumn(t *testing.T) {
+	cat, st := fixture(true)
+	prog := mal.MustParse(selectPlan)
+	if err := Default().Optimize(prog, &Context{Catalog: cat, Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	runPlan(t, prog, cat, st, 205.1, 205.12)
+	sb, _ := st.Take("sys_P_ra")
+	if len(sb.Segs) < 2 {
+		t.Errorf("plan execution did not adapt the column: %s", sb.Dump())
+	}
+	if err := sb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const literalSelectPlan = `
+function user.q():void;
+X1:bat[:oid,:dbl] := sql.bind("sys","P","ra",0);
+X14 := algebra.uselect(X1,205.1,205.12,true,true);
+C := aggr.count(X14);
+io.print(C);
+end q;
+`
+
+func TestUnrolledStrategyForLiteralBounds(t *testing.T) {
+	cat, st := fixture(true)
+	// Pre-split the column so multiple segments exist but few overlap.
+	sb, _ := st.Take("sys_P_ra")
+	sb.Adapt(200, 210, model.Always{})
+	prog := mal.MustParse(literalSelectPlan)
+	o := Default()
+	if err := o.Optimize(prog, &Context{Catalog: cat, Store: st, UnrollThreshold: 4}); err != nil {
+		t.Fatal(err)
+	}
+	text := prog.String()
+	if !strings.Contains(text, "bpm.takeSegment") {
+		t.Errorf("literal bounds should unroll:\n%s", text)
+	}
+	if strings.Contains(text, "newIterator") {
+		t.Errorf("unroll strategy still emits iterator:\n%s", text)
+	}
+	// And it must execute.
+	in := mal.NewInterp(cat, st)
+	in.AdaptModel = model.Never{}
+	var out strings.Builder
+	in.Out = &out
+	ctx, err := in.Run(prog)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if c, _ := ctx.Get("C"); c.(int64) != 3 {
+		t.Errorf("count = %v, want 3", c)
+	}
+}
+
+func TestIteratorStrategyForVariableBounds(t *testing.T) {
+	cat, st := fixture(true)
+	prog := mal.MustParse(selectPlan)
+	if err := Default().Optimize(prog, &Context{Catalog: cat, Store: st, UnrollThreshold: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.String(), "newIterator") {
+		t.Errorf("variable bounds must use the iterator:\n%s", prog.String())
+	}
+}
+
+func TestDeadCodePass(t *testing.T) {
+	prog := mal.MustParse(`
+X := calc.dbl(1);
+Y := calc.dbl(2);
+io.print(Y);
+`)
+	changed, err := (&DeadCodePass{}).Apply(prog, nil)
+	if err != nil || !changed {
+		t.Fatalf("changed=%v err=%v", changed, err)
+	}
+	text := prog.String()
+	if strings.Contains(text, "X :=") {
+		t.Errorf("dead assignment survived:\n%s", text)
+	}
+	if !strings.Contains(text, "Y :=") {
+		t.Errorf("live assignment removed:\n%s", text)
+	}
+}
+
+func TestDeadCodeKeepsImpure(t *testing.T) {
+	prog := mal.MustParse(`io.print("hello");`)
+	changed, _ := (&DeadCodePass{}).Apply(prog, nil)
+	if changed || len(prog.Instrs) != 1 {
+		t.Error("impure call removed")
+	}
+}
+
+func TestDeadCodeKeepsBarrierGuards(t *testing.T) {
+	cat, st := fixture(true)
+	prog := mal.MustParse(selectPlan)
+	if err := Default().Optimize(prog, &Context{Catalog: cat, Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	// The rewritten plan's guard variables must survive dead-code.
+	if !strings.Contains(prog.String(), "barrier") {
+		t.Errorf("barrier removed:\n%s", prog.String())
+	}
+}
+
+func TestAliasPass(t *testing.T) {
+	prog := mal.MustParse(`
+A := calc.dbl(1);
+B := A;
+io.print(B);
+`)
+	changed, err := (&AliasPass{}).Apply(prog, nil)
+	if err != nil || !changed {
+		t.Fatalf("changed=%v err=%v", changed, err)
+	}
+	// io.print must now reference A directly.
+	last := prog.Instrs[len(prog.Instrs)-1]
+	if last.Expr.Args[0].Name != "A" {
+		t.Errorf("alias not propagated: %s", prog.String())
+	}
+}
+
+func TestOptimizerDescribe(t *testing.T) {
+	if got := Default().Describe(); got != "segments -> commonterms -> alias -> deadcode" {
+		t.Errorf("describe = %q", got)
+	}
+}
+
+func TestOptimizeIsIdempotent(t *testing.T) {
+	cat, st := fixture(true)
+	prog := mal.MustParse(selectPlan)
+	ctx := &Context{Catalog: cat, Store: st}
+	if err := Default().Optimize(prog, ctx); err != nil {
+		t.Fatal(err)
+	}
+	once := prog.String()
+	if err := Default().Optimize(prog, ctx); err != nil {
+		t.Fatal(err)
+	}
+	if prog.String() != once {
+		t.Errorf("second optimization changed the plan:\n%s\nvs\n%s", once, prog.String())
+	}
+}

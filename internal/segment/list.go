@@ -1,0 +1,174 @@
+package segment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"selforg/internal/domain"
+)
+
+// List is the sparse segment meta-index for a flat, adjacent,
+// non-overlapping segmentation of one column (§3.1, §4). It is kept sorted
+// by range so the optimizer can "pre-select and access only segments
+// overlapping with the selection predicates" via binary search, without
+// touching data.
+type List struct {
+	elemSize int64
+	segs     []*Segment
+}
+
+// NewList creates a single-segment list covering extent and holding vals —
+// the initial state S0 of Figure 3 ("the column is represented by a single
+// segment"). elemSize is the accounting size of one element in bytes (the
+// paper's simulation uses 4-byte values).
+func NewList(extent domain.Range, vals []domain.Value, elemSize int64) *List {
+	if elemSize < 1 {
+		panic("segment: elemSize must be positive")
+	}
+	return &List{
+		elemSize: elemSize,
+		segs:     []*Segment{NewMaterialized(extent, vals)},
+	}
+}
+
+// ElemSize returns the accounting size of one element in bytes.
+func (l *List) ElemSize() int64 { return l.elemSize }
+
+// Len returns the number of segments.
+func (l *List) Len() int { return len(l.segs) }
+
+// Seg returns the i-th segment in domain order.
+func (l *List) Seg(i int) *Segment { return l.segs[i] }
+
+// Extent returns the overall value range covered by the list.
+func (l *List) Extent() domain.Range {
+	return domain.Range{Lo: l.segs[0].Rng.Lo, Hi: l.segs[len(l.segs)-1].Rng.Hi}
+}
+
+// Overlapping returns the half-open index interval [lo, hi) of segments
+// whose ranges overlap q. The lookup is the meta-index pre-selection of
+// §3.1: it touches no data.
+func (l *List) Overlapping(q domain.Range) (lo, hi int) {
+	if q.IsEmpty() {
+		return 0, 0
+	}
+	// First segment whose Hi >= q.Lo.
+	lo = sort.Search(len(l.segs), func(i int) bool { return l.segs[i].Rng.Hi >= q.Lo })
+	// First segment whose Lo > q.Hi.
+	hi = sort.Search(len(l.segs), func(i int) bool { return l.segs[i].Rng.Lo > q.Hi })
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// Replace substitutes the i-th segment by subs, which must tile exactly the
+// replaced segment's range in ascending adjacent order.
+func (l *List) Replace(i int, subs ...*Segment) {
+	if len(subs) == 0 {
+		panic("segment: Replace with no substitutes")
+	}
+	old := l.segs[i]
+	if subs[0].Rng.Lo != old.Rng.Lo || subs[len(subs)-1].Rng.Hi != old.Rng.Hi {
+		panic(fmt.Sprintf("segment: Replace of %v does not tile bounds (%v..%v)",
+			old.Rng, subs[0].Rng, subs[len(subs)-1].Rng))
+	}
+	for j := 1; j < len(subs); j++ {
+		if !subs[j-1].Rng.Adjacent(subs[j].Rng) {
+			panic(fmt.Sprintf("segment: Replace pieces %v and %v not adjacent",
+				subs[j-1].Rng, subs[j].Rng))
+		}
+	}
+	out := make([]*Segment, 0, len(l.segs)+len(subs)-1)
+	out = append(out, l.segs[:i]...)
+	out = append(out, subs...)
+	out = append(out, l.segs[i+1:]...)
+	l.segs = out
+}
+
+// Glue merges the adjacent segments [i, j] (inclusive) into a single
+// materialized segment. The paper lists gluing as the counterpart of
+// splitting ("decides to split it into pieces, or glue segments together",
+// §3.1) and flags merging strategies against GD fragmentation as follow-up
+// work (§8); Glue is the primitive they build on.
+func (l *List) Glue(i, j int) {
+	if i < 0 || j >= len(l.segs) || i >= j {
+		panic(fmt.Sprintf("segment: Glue(%d, %d) out of bounds", i, j))
+	}
+	total := 0
+	for k := i; k <= j; k++ {
+		if l.segs[k].Virtual {
+			panic("segment: Glue of a virtual segment")
+		}
+		total += len(l.segs[k].Vals)
+	}
+	vals := make([]domain.Value, 0, total)
+	for k := i; k <= j; k++ {
+		vals = append(vals, l.segs[k].Vals...)
+	}
+	merged := NewMaterialized(domain.Range{Lo: l.segs[i].Rng.Lo, Hi: l.segs[j].Rng.Hi}, vals)
+	out := make([]*Segment, 0, len(l.segs)-(j-i))
+	out = append(out, l.segs[:i]...)
+	out = append(out, merged)
+	out = append(out, l.segs[j+1:]...)
+	l.segs = out
+}
+
+// TotalCount returns the total number of stored elements.
+func (l *List) TotalCount() int64 {
+	var n int64
+	for _, s := range l.segs {
+		n += int64(len(s.Vals))
+	}
+	return n
+}
+
+// TotalBytes returns the total accounted storage of the list.
+func (l *List) TotalBytes() domain.ByteSize {
+	return domain.ByteSize(l.TotalCount() * l.elemSize)
+}
+
+// SegmentBytes lists the per-segment sizes in bytes (Table 2 statistics).
+func (l *List) SegmentBytes() []float64 {
+	out := make([]float64, len(l.segs))
+	for i, s := range l.segs {
+		out[i] = float64(int64(len(s.Vals)) * l.elemSize)
+	}
+	return out
+}
+
+// Validate checks the structural invariants of the flat segmentation:
+// segments are adjacent, non-overlapping, cover the extent exactly, none is
+// virtual, and every value sits inside its segment's bounds.
+func (l *List) Validate() error {
+	if len(l.segs) == 0 {
+		return fmt.Errorf("segment: empty list")
+	}
+	for i, s := range l.segs {
+		if s.Virtual {
+			return fmt.Errorf("segment %d: virtual segment in flat list", i)
+		}
+		if s.Rng.IsEmpty() {
+			return fmt.Errorf("segment %d: empty range", i)
+		}
+		if i > 0 && !l.segs[i-1].Rng.Adjacent(s.Rng) {
+			return fmt.Errorf("segment %d: %v not adjacent to %v", i, l.segs[i-1].Rng, s.Rng)
+		}
+		for _, v := range s.Vals {
+			if !s.Rng.Contains(v) {
+				return fmt.Errorf("segment %d: value %d outside %v", i, v, s.Rng)
+			}
+		}
+	}
+	return nil
+}
+
+// Dump renders the layout compactly, e.g. "[0,49]#12 | [50,99]#8".
+func (l *List) Dump() string {
+	parts := make([]string, len(l.segs))
+	for i, s := range l.segs {
+		parts[i] = fmt.Sprintf("%v#%d", s.Rng, len(s.Vals))
+	}
+	return strings.Join(parts, " | ")
+}

@@ -1,0 +1,161 @@
+// Package segment implements the value-based column organization at the
+// heart of the paper (§1, §3.1): a column is a collection of segments, each
+// covering a contiguous range of attribute values, described by an
+// in-memory sparse meta-index.
+//
+// Segments come in two flavours (§5): materialized segments carry real
+// data, virtual segments only describe a range and an estimated size. The
+// flat, adjacent, non-overlapping List is the layout used by adaptive
+// segmentation (§4); the replica tree of adaptive replication (§5) reuses
+// the same Segment type inside internal/core.
+package segment
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"selforg/internal/domain"
+)
+
+// idCounter hands out process-unique segment identities, used by the
+// buffer manager and tracers to track segments across reorganizations.
+var idCounter atomic.Int64
+
+// Segment is one value-ranged piece of a column.
+//
+// Invariants: every value in Vals lies inside Rng; Virtual segments carry
+// no Vals and use EstCount as their size estimate.
+type Segment struct {
+	ID       int64
+	Rng      domain.Range
+	Vals     []domain.Value // materialized payload (nil when Virtual)
+	Virtual  bool
+	EstCount int64 // size estimate for virtual segments (elements)
+}
+
+// NewMaterialized builds a materialized segment. It panics if any value
+// falls outside rng — the meta-index must always describe the data exactly.
+func NewMaterialized(rng domain.Range, vals []domain.Value) *Segment {
+	for _, v := range vals {
+		if !rng.Contains(v) {
+			panic(fmt.Sprintf("segment: value %d outside range %v", v, rng))
+		}
+	}
+	return &Segment{ID: idCounter.Add(1), Rng: rng, Vals: vals}
+}
+
+// NewVirtual builds a virtual segment with an estimated element count.
+func NewVirtual(rng domain.Range, estCount int64) *Segment {
+	if estCount < 0 {
+		estCount = 0
+	}
+	return &Segment{ID: idCounter.Add(1), Rng: rng, Virtual: true, EstCount: estCount}
+}
+
+// Count returns the (estimated, for virtual segments) number of elements.
+func (s *Segment) Count() int64 {
+	if s.Virtual {
+		return s.EstCount
+	}
+	return int64(len(s.Vals))
+}
+
+// Bytes returns the (estimated) storage size given bytes per element.
+func (s *Segment) Bytes(elemSize int64) domain.ByteSize {
+	return domain.ByteSize(s.Count() * elemSize)
+}
+
+// EstimatePiece estimates how many of s's elements fall into piece,
+// assuming values spread uniformly over s's range. The segmentation models
+// consult this *before* any scan happens (§3.2: "using estimates of the
+// segment sizes").
+func (s *Segment) EstimatePiece(piece domain.Range) int64 {
+	ov := s.Rng.Intersect(piece)
+	if ov.IsEmpty() || s.Rng.Width() == 0 {
+		return 0
+	}
+	return s.Count() * ov.Width() / s.Rng.Width()
+}
+
+// Partition scans the materialized segment once and distributes its values
+// into the (up to three) pieces that query range q cuts out of it. This is
+// the single scan that both adaptive strategies piggy-back materialization
+// on (§4 Alg. 1, §5 Alg. 2 scanMat).
+//
+// The returned slices are freshly allocated: the caller owns them.
+func (s *Segment) Partition(q domain.Range) (left, mid, right []domain.Value) {
+	if s.Virtual {
+		panic("segment: Partition of a virtual segment")
+	}
+	sp := domain.Cut(s.Rng, q)
+	mid = make([]domain.Value, 0, len(s.Vals))
+	if !sp.Left.IsEmpty() {
+		left = make([]domain.Value, 0)
+	}
+	if !sp.Right.IsEmpty() {
+		right = make([]domain.Value, 0)
+	}
+	for _, v := range s.Vals {
+		switch {
+		case v < sp.Overlap.Lo:
+			left = append(left, v)
+		case v > sp.Overlap.Hi:
+			right = append(right, v)
+		default:
+			mid = append(mid, v)
+		}
+	}
+	return left, mid, right
+}
+
+// Select scans the materialized segment and returns the values matching
+// query range q, freshly allocated.
+func (s *Segment) Select(q domain.Range) []domain.Value {
+	if s.Virtual {
+		panic("segment: Select on a virtual segment")
+	}
+	out := make([]domain.Value, 0, len(s.Vals))
+	for _, v := range s.Vals {
+		if q.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SplitAt scans the materialized segment and splits it at domain value cut:
+// values <= cut go left, values > cut go right. APM rule 3 splits at a
+// query bound or the approximate segment mean; both reduce to a SplitAt.
+func (s *Segment) SplitAt(cut domain.Value) (left, right []domain.Value) {
+	if s.Virtual {
+		panic("segment: SplitAt on a virtual segment")
+	}
+	if cut < s.Rng.Lo || cut >= s.Rng.Hi {
+		panic(fmt.Sprintf("segment: cut %d outside splittable interior of %v", cut, s.Rng))
+	}
+	left = make([]domain.Value, 0, len(s.Vals))
+	right = make([]domain.Value, 0, len(s.Vals))
+	for _, v := range s.Vals {
+		if v <= cut {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	return left, right
+}
+
+// MeanValue approximates the mean of the segment's value range. APM rule 3
+// uses "an approximation of the mean value in the segment" as a fallback
+// split point; without scanning we approximate it by the range midpoint.
+func (s *Segment) MeanValue() domain.Value {
+	return s.Rng.Lo + (s.Rng.Hi-s.Rng.Lo)/2
+}
+
+func (s *Segment) String() string {
+	kind := "mat"
+	if s.Virtual {
+		kind = "vir"
+	}
+	return fmt.Sprintf("%s%v#%d", kind, s.Rng, s.Count())
+}

@@ -1,0 +1,463 @@
+package segment
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"selforg/internal/domain"
+)
+
+func vals(vs ...int64) []domain.Value {
+	out := make([]domain.Value, len(vs))
+	for i, v := range vs {
+		out[i] = v
+	}
+	return out
+}
+
+func sortedCopy(vs []domain.Value) []domain.Value {
+	out := append([]domain.Value(nil), vs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sameMultiset(a, b []domain.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as, bs := sortedCopy(a), sortedCopy(b)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewMaterialized(t *testing.T) {
+	s := NewMaterialized(domain.NewRange(0, 9), vals(1, 5, 9))
+	if s.Virtual {
+		t.Error("materialized segment marked virtual")
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if s.Bytes(4) != 12 {
+		t.Errorf("Bytes = %d", s.Bytes(4))
+	}
+}
+
+func TestNewMaterializedPanicsOnOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range value did not panic")
+		}
+	}()
+	NewMaterialized(domain.NewRange(0, 9), vals(10))
+}
+
+func TestNewVirtual(t *testing.T) {
+	s := NewVirtual(domain.NewRange(0, 99), 50)
+	if !s.Virtual || s.Count() != 50 {
+		t.Errorf("virtual = %v count = %d", s.Virtual, s.Count())
+	}
+	if s.Bytes(4) != 200 {
+		t.Errorf("Bytes = %d", s.Bytes(4))
+	}
+}
+
+func TestNewVirtualClampsNegative(t *testing.T) {
+	s := NewVirtual(domain.NewRange(0, 9), -5)
+	if s.Count() != 0 {
+		t.Errorf("negative estimate not clamped: %d", s.Count())
+	}
+}
+
+func TestEstimatePiece(t *testing.T) {
+	s := NewVirtual(domain.NewRange(0, 99), 100)
+	if got := s.EstimatePiece(domain.NewRange(0, 49)); got != 50 {
+		t.Errorf("estimate lower half = %d, want 50", got)
+	}
+	if got := s.EstimatePiece(domain.NewRange(90, 99)); got != 10 {
+		t.Errorf("estimate tail = %d, want 10", got)
+	}
+	if got := s.EstimatePiece(domain.NewRange(200, 300)); got != 0 {
+		t.Errorf("estimate disjoint = %d, want 0", got)
+	}
+}
+
+func TestPartitionThreeWay(t *testing.T) {
+	s := NewMaterialized(domain.NewRange(0, 99), vals(5, 20, 40, 60, 80, 95))
+	left, mid, right := s.Partition(domain.NewRange(30, 70))
+	if !sameMultiset(left, vals(5, 20)) {
+		t.Errorf("left = %v", left)
+	}
+	if !sameMultiset(mid, vals(40, 60)) {
+		t.Errorf("mid = %v", mid)
+	}
+	if !sameMultiset(right, vals(80, 95)) {
+		t.Errorf("right = %v", right)
+	}
+}
+
+func TestPartitionCoversAll(t *testing.T) {
+	s := NewMaterialized(domain.NewRange(10, 20), vals(10, 15, 20))
+	left, mid, right := s.Partition(domain.NewRange(0, 100))
+	if left != nil || right != nil {
+		t.Errorf("left/right = %v/%v, want nil", left, right)
+	}
+	if !sameMultiset(mid, vals(10, 15, 20)) {
+		t.Errorf("mid = %v", mid)
+	}
+}
+
+func TestPartitionVirtualPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Partition on virtual did not panic")
+		}
+	}()
+	NewVirtual(domain.NewRange(0, 9), 5).Partition(domain.NewRange(0, 5))
+}
+
+func TestSelect(t *testing.T) {
+	s := NewMaterialized(domain.NewRange(0, 99), vals(1, 50, 51, 99))
+	got := s.Select(domain.NewRange(50, 60))
+	if !sameMultiset(got, vals(50, 51)) {
+		t.Errorf("Select = %v", got)
+	}
+}
+
+func TestSplitAt(t *testing.T) {
+	s := NewMaterialized(domain.NewRange(0, 99), vals(10, 50, 51, 90))
+	left, right := s.SplitAt(50)
+	if !sameMultiset(left, vals(10, 50)) {
+		t.Errorf("left = %v", left)
+	}
+	if !sameMultiset(right, vals(51, 90)) {
+		t.Errorf("right = %v", right)
+	}
+}
+
+func TestSplitAtPanicsOutsideInterior(t *testing.T) {
+	s := NewMaterialized(domain.NewRange(0, 99), nil)
+	for _, cut := range []domain.Value{-1, 99, 200} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SplitAt(%d) did not panic", cut)
+				}
+			}()
+			s.SplitAt(cut)
+		}()
+	}
+}
+
+func TestMeanValue(t *testing.T) {
+	s := NewMaterialized(domain.NewRange(0, 100), nil)
+	if m := s.MeanValue(); m != 50 {
+		t.Errorf("mean = %d", m)
+	}
+}
+
+func TestSegmentString(t *testing.T) {
+	m := NewMaterialized(domain.NewRange(0, 9), vals(1))
+	v := NewVirtual(domain.NewRange(10, 19), 7)
+	if m.String() != "mat[0, 9]#1" {
+		t.Errorf("mat string = %q", m.String())
+	}
+	if v.String() != "vir[10, 19]#7" {
+		t.Errorf("vir string = %q", v.String())
+	}
+}
+
+// --- List tests ---
+
+func newTestList() *List {
+	// 20 values spread over [0, 99].
+	vs := make([]domain.Value, 0, 20)
+	for i := int64(0); i < 20; i++ {
+		vs = append(vs, i*5)
+	}
+	return NewList(domain.NewRange(0, 99), vs, 4)
+}
+
+func TestNewListSingleSegment(t *testing.T) {
+	l := newTestList()
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.TotalCount() != 20 {
+		t.Errorf("TotalCount = %d", l.TotalCount())
+	}
+	if l.TotalBytes() != 80 {
+		t.Errorf("TotalBytes = %d", l.TotalBytes())
+	}
+	if !l.Extent().Equal(domain.NewRange(0, 99)) {
+		t.Errorf("Extent = %v", l.Extent())
+	}
+}
+
+func TestListReplaceAndOverlapping(t *testing.T) {
+	l := newTestList()
+	s := l.Seg(0)
+	left, mid, right := s.Partition(domain.NewRange(30, 59))
+	l.Replace(0,
+		NewMaterialized(domain.NewRange(0, 29), left),
+		NewMaterialized(domain.NewRange(30, 59), mid),
+		NewMaterialized(domain.NewRange(60, 99), right),
+	)
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := l.Overlapping(domain.NewRange(30, 59))
+	if lo != 1 || hi != 2 {
+		t.Errorf("Overlapping exact = [%d, %d), want [1, 2)", lo, hi)
+	}
+	lo, hi = l.Overlapping(domain.NewRange(25, 65))
+	if lo != 0 || hi != 3 {
+		t.Errorf("Overlapping straddle = [%d, %d), want [0, 3)", lo, hi)
+	}
+	lo, hi = l.Overlapping(domain.NewRange(60, 60))
+	if lo != 2 || hi != 3 {
+		t.Errorf("Overlapping point = [%d, %d), want [2, 3)", lo, hi)
+	}
+}
+
+func TestListOverlappingEmptyQuery(t *testing.T) {
+	l := newTestList()
+	lo, hi := l.Overlapping(domain.Empty())
+	if lo != hi {
+		t.Errorf("empty query overlap = [%d, %d)", lo, hi)
+	}
+}
+
+func TestListReplacePanicsOnBadTiling(t *testing.T) {
+	l := newTestList()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad tiling did not panic")
+		}
+	}()
+	l.Replace(0,
+		NewMaterialized(domain.NewRange(0, 29), nil),
+		NewMaterialized(domain.NewRange(40, 99), nil), // gap 30..39
+	)
+}
+
+func TestListReplacePanicsOnWrongBounds(t *testing.T) {
+	l := newTestList()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong bounds did not panic")
+		}
+	}()
+	l.Replace(0, NewMaterialized(domain.NewRange(0, 50), nil))
+}
+
+func TestListGlue(t *testing.T) {
+	l := newTestList()
+	s := l.Seg(0)
+	left, mid, right := s.Partition(domain.NewRange(30, 59))
+	l.Replace(0,
+		NewMaterialized(domain.NewRange(0, 29), left),
+		NewMaterialized(domain.NewRange(30, 59), mid),
+		NewMaterialized(domain.NewRange(60, 99), right),
+	)
+	before := l.TotalCount()
+	l.Glue(0, 1)
+	if l.Len() != 2 {
+		t.Fatalf("Len after glue = %d", l.Len())
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.TotalCount() != before {
+		t.Errorf("glue changed count: %d != %d", l.TotalCount(), before)
+	}
+	if !l.Seg(0).Rng.Equal(domain.NewRange(0, 59)) {
+		t.Errorf("glued range = %v", l.Seg(0).Rng)
+	}
+}
+
+func TestListGluePanics(t *testing.T) {
+	l := newTestList()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Glue(0,0) did not panic")
+		}
+	}()
+	l.Glue(0, 0)
+}
+
+func TestListSegmentBytes(t *testing.T) {
+	l := newTestList()
+	bs := l.SegmentBytes()
+	if len(bs) != 1 || bs[0] != 80 {
+		t.Errorf("SegmentBytes = %v", bs)
+	}
+}
+
+func TestListDump(t *testing.T) {
+	l := newTestList()
+	if l.Dump() != "[0, 99]#20" {
+		t.Errorf("Dump = %q", l.Dump())
+	}
+}
+
+func TestValidateCatchesVirtual(t *testing.T) {
+	l := newTestList()
+	l.segs[0] = NewVirtual(domain.NewRange(0, 99), 5)
+	if err := l.Validate(); err == nil {
+		t.Error("Validate accepted a virtual segment in a flat list")
+	}
+}
+
+func TestValidateCatchesGap(t *testing.T) {
+	l := newTestList()
+	l.segs = []*Segment{
+		NewMaterialized(domain.NewRange(0, 10), nil),
+		NewMaterialized(domain.NewRange(20, 99), nil),
+	}
+	if err := l.Validate(); err == nil {
+		t.Error("Validate accepted a gap")
+	}
+}
+
+// --- property tests ---
+
+func TestPartitionPropertyMultisetPreserved(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	f := func() bool {
+		n := r.Intn(200)
+		rng := domain.NewRange(0, 999)
+		vs := make([]domain.Value, n)
+		for i := range vs {
+			vs[i] = r.Int63n(1000)
+		}
+		s := NewMaterialized(rng, vs)
+		a, b := r.Int63n(1000), r.Int63n(1000)
+		if a > b {
+			a, b = b, a
+		}
+		q := domain.Range{Lo: a, Hi: b}
+		left, mid, right := s.Partition(q)
+		union := append(append(append([]domain.Value{}, left...), mid...), right...)
+		if !sameMultiset(union, vs) {
+			return false
+		}
+		sp := domain.Cut(rng, q)
+		for _, v := range left {
+			if !sp.Left.Contains(v) {
+				return false
+			}
+		}
+		for _, v := range mid {
+			if !sp.Overlap.Contains(v) {
+				return false
+			}
+		}
+		for _, v := range right {
+			if !sp.Right.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestListPropertyRandomSplitsKeepInvariants(t *testing.T) {
+	// Repeatedly split random segments at random query ranges; the list
+	// must keep adjacency/coverage/value-bounds invariants and preserve the
+	// total multiset of values.
+	r := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 30; trial++ {
+		dom := domain.NewRange(0, 9999)
+		vs := make([]domain.Value, 500)
+		for i := range vs {
+			vs[i] = r.Int63n(10000)
+		}
+		orig := sortedCopy(vs)
+		l := NewList(dom, vs, 4)
+		for step := 0; step < 40; step++ {
+			a, b := r.Int63n(10000), r.Int63n(10000)
+			if a > b {
+				a, b = b, a
+			}
+			q := domain.Range{Lo: a, Hi: b}
+			lo, hi := l.Overlapping(q)
+			if lo >= hi {
+				continue
+			}
+			i := lo + r.Intn(hi-lo)
+			s := l.Seg(i)
+			sp := domain.Cut(s.Rng, q)
+			if sp.Left.IsEmpty() && sp.Right.IsEmpty() {
+				continue
+			}
+			left, mid, right := s.Partition(q)
+			subs := make([]*Segment, 0, 3)
+			if !sp.Left.IsEmpty() {
+				subs = append(subs, NewMaterialized(sp.Left, left))
+			}
+			subs = append(subs, NewMaterialized(sp.Overlap, mid))
+			if !sp.Right.IsEmpty() {
+				subs = append(subs, NewMaterialized(sp.Right, right))
+			}
+			l.Replace(i, subs...)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, l.Dump())
+		}
+		var all []domain.Value
+		for i := 0; i < l.Len(); i++ {
+			all = append(all, l.Seg(i).Vals...)
+		}
+		if !sameMultiset(all, orig) {
+			t.Fatalf("trial %d: multiset not preserved", trial)
+		}
+	}
+}
+
+func TestOverlappingPropertyMatchesLinearScan(t *testing.T) {
+	// Property: binary-search overlap lookup agrees with a linear scan.
+	r := rand.New(rand.NewSource(44))
+	l := newTestList()
+	// Build a multi-segment list first.
+	l.Replace(0,
+		NewMaterialized(domain.NewRange(0, 9), nil),
+		NewMaterialized(domain.NewRange(10, 39), nil),
+		NewMaterialized(domain.NewRange(40, 64), nil),
+		NewMaterialized(domain.NewRange(65, 99), nil),
+	)
+	f := func() bool {
+		a, b := r.Int63n(120)-10, r.Int63n(120)-10
+		if a > b {
+			a, b = b, a
+		}
+		q := domain.Range{Lo: a, Hi: b}
+		lo, hi := l.Overlapping(q)
+		for i := 0; i < l.Len(); i++ {
+			overlaps := l.Seg(i).Rng.Overlaps(q)
+			inWindow := i >= lo && i < hi
+			if overlaps != inWindow {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

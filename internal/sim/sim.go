@@ -1,0 +1,239 @@
+// Package sim is the architecture-conscious simulator of §6.1: it drives
+// the adaptive strategies over a synthetic column and records the memory
+// read/write behaviour per query — the measurements behind Figures 5–9 and
+// Table 1.
+//
+// The paper's setup, reproduced by DefaultConfig: a column of 100K values
+// drawn from a domain of 1M integers (4-byte values), 10K range-selection
+// queries with selectivity 0.1 or 0.01, uniform or Zipf query placement,
+// and APM bounds of 3KB/12KB.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"selforg/internal/core"
+	"selforg/internal/domain"
+	"selforg/internal/model"
+	"selforg/internal/stats"
+	"selforg/internal/workload"
+)
+
+// StrategyKind selects the self-organizing technique.
+type StrategyKind int
+
+const (
+	// Segmentation is adaptive segmentation (§4).
+	Segmentation StrategyKind = iota
+	// Replication is adaptive replication (§5).
+	Replication
+)
+
+func (k StrategyKind) String() string {
+	switch k {
+	case Segmentation:
+		return "Segm"
+	case Replication:
+		return "Repl"
+	default:
+		return fmt.Sprintf("StrategyKind(%d)", int(k))
+	}
+}
+
+// ModelKind selects the segmentation model.
+type ModelKind int
+
+const (
+	// GD is the Gaussian Dice model (§3.2.1).
+	GD ModelKind = iota
+	// APM is the Adaptive Pagination Model (§3.2.2).
+	APM
+)
+
+func (k ModelKind) String() string {
+	switch k {
+	case GD:
+		return "GD"
+	case APM:
+		return "APM"
+	default:
+		return fmt.Sprintf("ModelKind(%d)", int(k))
+	}
+}
+
+// Config describes one simulation run.
+type Config struct {
+	ColumnCount int          // values in the column (default 100_000)
+	Dom         domain.Range // attribute domain (default [0, 999_999])
+	ElemSize    int64        // accounted bytes per value (default 4)
+	NumQueries  int          // queries to run (default 10_000)
+	Selectivity float64      // fraction of tuples selected (default 0.1)
+	Dist        workload.Kind
+	Strategy    StrategyKind
+	Model       ModelKind
+	APMMin      int64 // default 3 KB
+	APMMax      int64 // default 12 KB
+	DataSeed    int64
+	QuerySeed   int64
+	ModelSeed   int64 // GD randomness
+}
+
+// DefaultConfig returns the §6.1 experimental setup.
+func DefaultConfig() Config {
+	return Config{
+		ColumnCount: 100_000,
+		Dom:         domain.NewRange(0, 999_999),
+		ElemSize:    4,
+		NumQueries:  10_000,
+		Selectivity: 0.1,
+		Dist:        workload.KindUniform,
+		Strategy:    Segmentation,
+		Model:       APM,
+		APMMin:      3 * int64(domain.KB),
+		APMMax:      12 * int64(domain.KB),
+		DataSeed:    1,
+		QuerySeed:   2,
+		ModelSeed:   3,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.ColumnCount == 0 {
+		c.ColumnCount = d.ColumnCount
+	}
+	if c.Dom.IsEmpty() {
+		c.Dom = d.Dom
+	}
+	if c.ElemSize == 0 {
+		c.ElemSize = d.ElemSize
+	}
+	if c.NumQueries == 0 {
+		c.NumQueries = d.NumQueries
+	}
+	if c.Selectivity == 0 {
+		c.Selectivity = d.Selectivity
+	}
+	if c.APMMin == 0 {
+		c.APMMin = d.APMMin
+	}
+	if c.APMMax == 0 {
+		c.APMMax = d.APMMax
+	}
+	if c.DataSeed == 0 {
+		c.DataSeed = d.DataSeed
+	}
+	if c.QuerySeed == 0 {
+		c.QuerySeed = d.QuerySeed
+	}
+	if c.ModelSeed == 0 {
+		c.ModelSeed = d.ModelSeed
+	}
+	return c
+}
+
+// StrategyName is the label used in the paper's figures, e.g. "GD Segm",
+// "APM Repl".
+func (c Config) StrategyName() string {
+	return fmt.Sprintf("%v %v", c.Model, c.Strategy)
+}
+
+// buildModel instantiates the configured segmentation model.
+func (c Config) buildModel() model.Model {
+	switch c.Model {
+	case GD:
+		return model.NewGaussianDice(c.ModelSeed)
+	case APM:
+		return model.NewAPM(c.APMMin, c.APMMax)
+	default:
+		panic(fmt.Sprintf("sim: unknown model kind %d", c.Model))
+	}
+}
+
+// buildStrategy instantiates the strategy over freshly generated data.
+func (c Config) buildStrategy() core.Strategy {
+	vals := GenerateColumn(c.ColumnCount, c.Dom, c.DataSeed)
+	m := c.buildModel()
+	switch c.Strategy {
+	case Segmentation:
+		return core.NewSegmenter(c.Dom, vals, c.ElemSize, m, nil)
+	case Replication:
+		return core.NewReplicator(c.Dom, vals, c.ElemSize, m, nil)
+	default:
+		panic(fmt.Sprintf("sim: unknown strategy kind %d", c.Strategy))
+	}
+}
+
+// GenerateColumn draws count values uniformly from dom — the "100K values
+// taken from a domain of a 1M different integer values" of §6.1.
+func GenerateColumn(count int, dom domain.Range, seed int64) []domain.Value {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]domain.Value, count)
+	for i := range vals {
+		vals[i] = dom.Lo + rng.Int63n(dom.Width())
+	}
+	return vals
+}
+
+// Result holds the per-query measurement series of one run.
+type Result struct {
+	Cfg Config
+	// Writes is the per-query bytes written due to segment
+	// materialization, query results included (Figures 5, 6).
+	Writes *stats.Series
+	// Reads is the per-query bytes read (Figure 7, Table 1).
+	Reads *stats.Series
+	// Storage is the materialized storage in bytes after each query
+	// (Figures 8, 9; constant for segmentation).
+	Storage *stats.Series
+	// Splits and Drops total the reorganization activity.
+	Splits int
+	Drops  int
+	// FinalSegments is the number of data-bearing segments at the end.
+	FinalSegments int
+	// FinalSegmentSizes lists their sizes in bytes.
+	FinalSegmentSizes []float64
+	// ColumnBytes is the raw column size (the "DB size" line).
+	ColumnBytes int64
+}
+
+// Run executes the configured simulation.
+func Run(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	strat := cfg.buildStrategy()
+	gen := workload.Spec{
+		Name:        cfg.StrategyName(),
+		Dom:         cfg.Dom,
+		Selectivity: cfg.Selectivity,
+		Kind:        cfg.Dist,
+		Seed:        cfg.QuerySeed,
+	}.Build()
+
+	res := &Result{
+		Cfg:         cfg,
+		Writes:      stats.NewSeries(cfg.StrategyName()),
+		Reads:       stats.NewSeries(cfg.StrategyName()),
+		Storage:     stats.NewSeries(cfg.StrategyName()),
+		ColumnBytes: int64(cfg.ColumnCount) * cfg.ElemSize,
+	}
+	for i := 0; i < cfg.NumQueries; i++ {
+		q := gen.Next()
+		_, st := strat.Select(q.Range())
+		res.Writes.Append(float64(st.WriteBytes))
+		res.Reads.Append(float64(st.ReadBytes))
+		res.Storage.Append(float64(strat.StorageBytes()))
+		res.Splits += st.Splits
+		res.Drops += st.Drops
+	}
+	res.FinalSegments = strat.SegmentCount()
+	res.FinalSegmentSizes = strat.SegmentSizes()
+	return res
+}
+
+// AvgReadKB returns the average per-query read volume in KB over the whole
+// run — the cells of Table 1.
+func (r *Result) AvgReadKB() float64 {
+	return r.Reads.Mean() / float64(domain.KB)
+}

@@ -1,0 +1,107 @@
+// Package sky is the §6.2 prototype substrate: a synthetic stand-in for
+// the SkyServer 100 GB sample and its one-month query log, plus the
+// experiment harness that reproduces Figures 10–16 and Table 2.
+//
+// The column of interest is the right ascension (ra), "a real data type,
+// included in most spatial search queries". We synthesize an SDSS-like ra
+// distribution (dense survey stripes over a sparse sky), scale it to the
+// integer domain the adaptive strategies operate on, and time query
+// streams under a memory-constrained buffer pool with a virtual disk
+// clock. See DESIGN.md for the substitution rationale.
+package sky
+
+import (
+	"math"
+	"math/rand"
+
+	"selforg/internal/domain"
+)
+
+// RAScale converts degrees of right ascension to the fixed-point integer
+// domain (micro-degrees) the segment machinery works on.
+const RAScale = 1_000_000
+
+// Dataset is the synthetic slice of the SkyServer "P" (PhotoObj) table
+// that the paper's plans bind: objid (bigint), ra and dec (real).
+type Dataset struct {
+	ObjID []int64
+	RA    []float64 // degrees, [0, 360), unsorted, stripe-clustered
+	Dec   []float64 // degrees, [-90, 90)
+	// FootLo/FootHi bound the ra footprint actually populated — the
+	// paper filters the query log to "queries overlapping with the
+	// footprint of the 100GB database".
+	FootLo, FootHi float64
+}
+
+// stripeCenters mimic SDSS imaging stripes: most objects concentrate in a
+// handful of ra bands.
+var stripeCenters = []float64{30, 75, 120, 150, 185, 220, 255, 310}
+
+// Generate synthesizes n objects. 80% fall in Gaussian stripes around the
+// centers (sigma 6°), the rest spread uniformly, so the value density over
+// ra is non-uniform like the real sky coverage.
+func Generate(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{
+		ObjID: make([]int64, n),
+		RA:    make([]float64, n),
+		Dec:   make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		var ra float64
+		if rng.Float64() < 0.8 {
+			c := stripeCenters[rng.Intn(len(stripeCenters))]
+			ra = c + rng.NormFloat64()*6
+		} else {
+			ra = rng.Float64() * 360
+		}
+		// Wrap into [0, 360).
+		ra = math.Mod(ra, 360)
+		if ra < 0 {
+			ra += 360
+		}
+		ds.RA[i] = ra
+		ds.Dec[i] = rng.Float64()*120 - 60
+		// SDSS objids are structured 64-bit keys; a large stride keeps
+		// them realistic and unique.
+		ds.ObjID[i] = 0x1000000000000 + int64(i)*131
+	}
+	ds.FootLo, ds.FootHi = 0, 360
+	return ds
+}
+
+// Len returns the number of objects.
+func (d *Dataset) Len() int { return len(d.RA) }
+
+// ScaledRA returns the ra column scaled to the integer domain
+// (micro-degrees). The result is freshly allocated — each experiment run
+// owns its copy, as the adaptive strategies consume it.
+func (d *Dataset) ScaledRA() []domain.Value {
+	out := make([]domain.Value, len(d.RA))
+	for i, ra := range d.RA {
+		out[i] = domain.Value(ra * RAScale)
+	}
+	return out
+}
+
+// Domain returns the scaled ra domain covering the footprint.
+func (d *Dataset) Domain() domain.Range {
+	return domain.NewRange(
+		domain.Value(d.FootLo*RAScale),
+		domain.Value(d.FootHi*RAScale)-1,
+	)
+}
+
+// ScaleDeg converts a degree position into the scaled domain, clamped to
+// the footprint.
+func (d *Dataset) ScaleDeg(deg float64) domain.Value {
+	v := domain.Value(deg * RAScale)
+	dom := d.Domain()
+	if v < dom.Lo {
+		v = dom.Lo
+	}
+	if v > dom.Hi {
+		v = dom.Hi
+	}
+	return v
+}

@@ -1,0 +1,237 @@
+package sky
+
+import (
+	"fmt"
+	"time"
+
+	"selforg/internal/bpm"
+	"selforg/internal/core"
+	"selforg/internal/domain"
+	"selforg/internal/model"
+	"selforg/internal/stats"
+	"selforg/internal/workload"
+)
+
+// Scheme is one of the evaluated configurations of §6.2: a non-segmented
+// baseline or adaptive segmentation under GD / APM 1–25 MB / APM 1–5 MB.
+// Replication marks the extension schemes (the paper's prototype section
+// only reports adaptive segmentation; the replication run is our
+// extension experiment).
+type Scheme struct {
+	Name        string
+	Kind        SchemeKind
+	Mmin        int64 // APM only
+	Mmax        int64 // APM only
+	GDSeed      int64 // GD only
+	Replication bool
+}
+
+// SchemeKind distinguishes the model behind a scheme.
+type SchemeKind int
+
+const (
+	// NoSegm runs without segmentation: every query scans the column.
+	NoSegm SchemeKind = iota
+	// GDScheme uses the Gaussian Dice model.
+	GDScheme
+	// APMScheme uses the Adaptive Pagination Model.
+	APMScheme
+)
+
+// buildModel instantiates the scheme's model.
+func (s Scheme) buildModel() model.Model {
+	switch s.Kind {
+	case NoSegm:
+		return model.Never{}
+	case GDScheme:
+		return model.NewGaussianDice(s.GDSeed)
+	case APMScheme:
+		return model.NewAPM(s.Mmin, s.Mmax)
+	default:
+		panic(fmt.Sprintf("sky: unknown scheme kind %d", s.Kind))
+	}
+}
+
+// Config shapes a prototype run.
+type Config struct {
+	// NumValues in the ra column. The default (44M values, 176 MB at 4
+	// accounted bytes each) approximates the paper's ra column: Table 2's
+	// APM 1-25 row (23 segments averaging 7.6 MB) implies roughly 175 MB.
+	NumValues int
+	DataSeed  int64
+	// ElemSize is the accounted bytes per value (ra is a 4-byte real).
+	ElemSize int64
+	// Pool configures the buffer and the virtual clock.
+	Pool bpm.Config
+	// Mmin and the two Mmax variants for the APM schemes (§6.2: "two
+	// versions of the APM model with Mmax set to 5MB and 25MB,
+	// respectively, and Mmin set to 1MB").
+	Mmin, MmaxSmall, MmaxLarge int64
+	// Workload shaping.
+	Workload WorkloadConfig
+	// MovingAvgWindow for the Figures 12/14/16 series.
+	MovingAvgWindow int
+}
+
+// DefaultConfig returns the §6.2 setup scaled per DESIGN.md.
+func DefaultConfig() Config {
+	return Config{
+		NumValues:       44_000_000,
+		DataSeed:        5,
+		ElemSize:        4,
+		Pool:            bpm.DefaultConfig(),
+		Mmin:            1 << 20,
+		MmaxSmall:       5 << 20,
+		MmaxLarge:       25 << 20,
+		Workload:        DefaultWorkloadConfig(),
+		MovingAvgWindow: 20,
+	}
+}
+
+// Schemes returns the four evaluated schemes in the paper's order:
+// NoSegm, GD, APM 1-25, APM 1-5.
+func (c Config) Schemes() []Scheme {
+	return []Scheme{
+		{Name: "NoSegm", Kind: NoSegm},
+		{Name: "GD", Kind: GDScheme, GDSeed: 99},
+		{Name: "APM 1-25", Kind: APMScheme, Mmin: c.Mmin, Mmax: c.MmaxLarge},
+		{Name: "APM 1-5", Kind: APMScheme, Mmin: c.Mmin, Mmax: c.MmaxSmall},
+	}
+}
+
+// ReplicationSchemes returns the extension configurations: adaptive
+// replication under the same models, against the same baseline. The paper
+// evaluates only segmentation on the prototype; these rows extend
+// Figure 10 to the second strategy.
+func (c Config) ReplicationSchemes() []Scheme {
+	return []Scheme{
+		{Name: "NoSegm", Kind: NoSegm},
+		{Name: "GD Repl", Kind: GDScheme, GDSeed: 99, Replication: true},
+		{Name: "APM 1-25 Repl", Kind: APMScheme, Mmin: c.Mmin, Mmax: c.MmaxLarge, Replication: true},
+		{Name: "APM 1-5 Repl", Kind: APMScheme, Mmin: c.Mmin, Mmax: c.MmaxSmall, Replication: true},
+	}
+}
+
+// poolTracer routes segment lifecycle events into the buffer pool and
+// splits the virtual time into selection (scans) and adaptation
+// (materialization) components, the two bars of Figure 10.
+type poolTracer struct {
+	pool      *bpm.Pool
+	scanTime  time.Duration
+	writeTime time.Duration
+}
+
+func (t *poolTracer) Scan(id, _ int64) {
+	d, _ := t.pool.Touch(id)
+	t.scanTime += d
+}
+
+func (t *poolTracer) Materialize(id, bytes int64) {
+	t.writeTime += t.pool.Register(id, bytes)
+}
+
+func (t *poolTracer) Drop(id, _ int64) {
+	t.pool.Free(id)
+}
+
+func (t *poolTracer) reset() {
+	t.scanTime, t.writeTime = 0, 0
+}
+
+// RunResult holds one (scheme, workload) run of the prototype.
+type RunResult struct {
+	Scheme   string
+	Workload WorkloadName
+	// SelectionMs and AdaptationMs are per-query virtual times; TotalMs is
+	// their sum (the series behind Figures 10–16).
+	SelectionMs  *stats.Series
+	AdaptationMs *stats.Series
+	TotalMs      *stats.Series
+	// Segment statistics at the end of the run (Table 2).
+	SegmentCount    int
+	SegSizeMeanMB   float64
+	SegSizeStdDevMB float64
+	// StorageMB is the final materialized storage; PeakStorageMB the
+	// maximum observed after any query (exceeds the column size for
+	// replication schemes until fully-replicated parents are dropped).
+	StorageMB     float64
+	PeakStorageMB float64
+	// WallTime is the real elapsed time of the query loop.
+	WallTime time.Duration
+	// Pool is a snapshot of the buffer pool counters.
+	Pool bpm.Stats
+}
+
+// Run executes one scheme against a pre-generated query stream over the
+// dataset. Every run gets a fresh column copy and a fresh buffer pool so
+// schemes never share cache state.
+func Run(ds *Dataset, scheme Scheme, queries []workload.Query, cfg Config) *RunResult {
+	pool := bpm.New(cfg.Pool)
+	tr := &poolTracer{pool: pool}
+	var seg core.Strategy
+	if scheme.Replication {
+		seg = core.NewReplicator(ds.Domain(), ds.ScaledRA(), cfg.ElemSize, scheme.buildModel(), tr)
+	} else {
+		seg = core.NewSegmenter(ds.Domain(), ds.ScaledRA(), cfg.ElemSize, scheme.buildModel(), tr)
+	}
+	tr.reset() // the initial column registration is not query time
+
+	res := &RunResult{
+		Scheme:       scheme.Name,
+		Workload:     "",
+		SelectionMs:  stats.NewSeries(scheme.Name),
+		AdaptationMs: stats.NewSeries(scheme.Name),
+		TotalMs:      stats.NewSeries(scheme.Name),
+	}
+	start := time.Now()
+	var peak int64
+	for _, q := range queries {
+		tr.reset()
+		_, _ = seg.Select(q.Range())
+		sel := float64(tr.scanTime.Microseconds()) / 1000
+		ad := float64(tr.writeTime.Microseconds()) / 1000
+		res.SelectionMs.Append(sel)
+		res.AdaptationMs.Append(ad)
+		res.TotalMs.Append(sel + ad)
+		if b := int64(seg.StorageBytes()); b > peak {
+			peak = b
+		}
+	}
+	res.PeakStorageMB = float64(peak) / float64(domain.MB)
+	res.WallTime = time.Since(start)
+	res.Pool = pool.Stats()
+
+	sizes := seg.SegmentSizes()
+	sum := stats.Summarize(sizes)
+	res.SegmentCount = sum.N
+	res.SegSizeMeanMB = sum.Mean / float64(domain.MB)
+	res.SegSizeStdDevMB = sum.StdDev / float64(domain.MB)
+	res.StorageMB = float64(seg.StorageBytes()) / float64(domain.MB)
+	return res
+}
+
+// RunWorkloadWith runs an explicit scheme list against the named workload
+// (used for the replication extension rows).
+func RunWorkloadWith(ds *Dataset, name WorkloadName, cfg Config, schemes []Scheme) []*RunResult {
+	queries := Queries(ds, name, cfg.Workload)
+	out := make([]*RunResult, 0, len(schemes))
+	for _, s := range schemes {
+		r := Run(ds, s, queries, cfg)
+		r.Workload = name
+		out = append(out, r)
+	}
+	return out
+}
+
+// RunWorkload runs every scheme against the named workload. The query
+// stream is generated once and replayed identically for each scheme.
+func RunWorkload(ds *Dataset, name WorkloadName, cfg Config) []*RunResult {
+	queries := Queries(ds, name, cfg.Workload)
+	out := make([]*RunResult, 0, 4)
+	for _, s := range cfg.Schemes() {
+		r := Run(ds, s, queries, cfg)
+		r.Workload = name
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,448 @@
+package sky
+
+import (
+	"strings"
+	"testing"
+
+	"selforg/internal/bpm"
+	"selforg/internal/stats"
+)
+
+// testConfig shrinks the prototype ~100x: 400K values (1.6 MB accounted),
+// pool budget 1 MB, APM bounds 16KB / 80KB|400KB — the same column:budget:
+// bounds proportions as the default configuration.
+func testConfig() Config {
+	c := DefaultConfig()
+	c.NumValues = 400_000
+	c.Pool = bpm.Config{
+		BudgetBytes:        1 << 20,
+		MemBandwidth:       2e9,
+		DiskReadBandwidth:  300e6,
+		DiskWriteBandwidth: 250e6,
+	}
+	c.Mmin = 16 << 10
+	c.MmaxSmall = 80 << 10
+	c.MmaxLarge = 400 << 10
+	c.Workload.NumQueries = 120
+	c.MovingAvgWindow = 10
+	return c
+}
+
+func testDataset(t *testing.T, cfg Config) *Dataset {
+	t.Helper()
+	return Generate(cfg.NumValues, cfg.DataSeed)
+}
+
+func TestGenerateDataset(t *testing.T) {
+	ds := Generate(10_000, 1)
+	if ds.Len() != 10_000 {
+		t.Fatalf("len = %d", ds.Len())
+	}
+	seenIDs := map[int64]bool{}
+	for i, ra := range ds.RA {
+		if ra < 0 || ra >= 360 {
+			t.Fatalf("ra[%d] = %v outside [0, 360)", i, ra)
+		}
+		if ds.Dec[i] < -90 || ds.Dec[i] > 90 {
+			t.Fatalf("dec[%d] = %v", i, ds.Dec[i])
+		}
+		if seenIDs[ds.ObjID[i]] {
+			t.Fatalf("duplicate objid %d", ds.ObjID[i])
+		}
+		seenIDs[ds.ObjID[i]] = true
+	}
+}
+
+func TestDatasetClustering(t *testing.T) {
+	// The stripe around ra=150 must be denser than an off-stripe band of
+	// equal width (the synthetic sky is non-uniform).
+	ds := Generate(50_000, 2)
+	in, out := 0, 0
+	for _, ra := range ds.RA {
+		if ra >= 144 && ra < 156 {
+			in++
+		}
+		if ra >= 330 && ra < 342 {
+			out++
+		}
+	}
+	if in < 3*out {
+		t.Errorf("stripe density %d not >> off-stripe %d", in, out)
+	}
+}
+
+func TestScaledRA(t *testing.T) {
+	ds := Generate(1000, 3)
+	vals := ds.ScaledRA()
+	dom := ds.Domain()
+	for i, v := range vals {
+		if !dom.Contains(v) {
+			t.Fatalf("scaled[%d] = %d outside %v", i, v, dom)
+		}
+		if v != int64(ds.RA[i]*RAScale) {
+			t.Fatalf("scaling mismatch at %d", i)
+		}
+	}
+}
+
+func TestScaleDegClamps(t *testing.T) {
+	ds := Generate(100, 4)
+	if got := ds.ScaleDeg(-5); got != ds.Domain().Lo {
+		t.Errorf("underflow not clamped: %d", got)
+	}
+	if got := ds.ScaleDeg(400); got != ds.Domain().Hi {
+		t.Errorf("overflow not clamped: %d", got)
+	}
+}
+
+func TestWorkloadShapes(t *testing.T) {
+	cfg := testConfig()
+	ds := testDataset(t, cfg)
+	for _, name := range WorkloadNames() {
+		qs := Queries(ds, name, cfg.Workload)
+		if len(qs) != cfg.Workload.NumQueries {
+			t.Fatalf("%s: %d queries", name, len(qs))
+		}
+		dom := ds.Domain()
+		for i, q := range qs {
+			if !dom.ContainsRange(q.Range()) {
+				t.Fatalf("%s query %d outside footprint: %v", name, i, q)
+			}
+		}
+	}
+}
+
+func TestSkewedWorkloadConfined(t *testing.T) {
+	cfg := testConfig()
+	ds := testDataset(t, cfg)
+	qs := Queries(ds, Skewed, cfg.Workload)
+	for i, q := range qs {
+		deg := float64(q.Lo) / RAScale
+		inA := deg >= 147 && deg <= 153
+		inB := deg >= 217 && deg <= 223
+		if !inA && !inB {
+			t.Fatalf("skewed query %d at %.2f° escapes hot areas", i, deg)
+		}
+	}
+}
+
+func TestChangingWorkloadPhases(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workload.NumQueries = 40
+	ds := testDataset(t, cfg)
+	qs := Queries(ds, Changing, cfg.Workload)
+	// 4 phases of 10: query 0 near 40°, query 15 near 130°, etc.
+	checks := []struct {
+		idx int
+		deg float64
+	}{{0, 40}, {15, 130}, {25, 220}, {35, 310}}
+	for _, c := range checks {
+		got := float64(qs[c.idx].Lo) / RAScale
+		if got < c.deg-2 || got > c.deg+2 {
+			t.Errorf("query %d at %.1f°, want near %v°", c.idx, got, c.deg)
+		}
+	}
+}
+
+func TestRunNoSegmAlwaysFullScan(t *testing.T) {
+	cfg := testConfig()
+	ds := testDataset(t, cfg)
+	qs := Queries(ds, Random, cfg.Workload)
+	r := Run(ds, cfg.Schemes()[0], qs, cfg)
+	if r.Scheme != "NoSegm" {
+		t.Fatalf("scheme order changed: %s", r.Scheme)
+	}
+	if r.SegmentCount != 1 {
+		t.Errorf("NoSegm fragmented: %d segments", r.SegmentCount)
+	}
+	if r.AdaptationMs.Sum() != 0 {
+		t.Errorf("NoSegm spent %v ms adapting", r.AdaptationMs.Sum())
+	}
+	// Every query costs the same full-column scan: constant selection time.
+	if r.SelectionMs.Min() != r.SelectionMs.Max() {
+		t.Errorf("NoSegm selection times vary: %v..%v", r.SelectionMs.Min(), r.SelectionMs.Max())
+	}
+	if r.SelectionMs.Min() <= 0 {
+		t.Error("virtual selection time must be positive")
+	}
+}
+
+func TestAdaptiveBeatsBaselineCumulative(t *testing.T) {
+	// The central §6.2 claim: adaptive segmentation's cumulative time ends
+	// below the non-segmented baseline after the 200-query run (Fig. 11).
+	cfg := testConfig()
+	ds := testDataset(t, cfg)
+	results := RunWorkload(ds, Random, cfg)
+	var base, apm25 *RunResult
+	for _, r := range results {
+		switch r.Scheme {
+		case "NoSegm":
+			base = r
+		case "APM 1-25":
+			apm25 = r
+		}
+	}
+	if base == nil || apm25 == nil {
+		t.Fatal("schemes missing")
+	}
+	if apm25.TotalMs.Sum() >= base.TotalMs.Sum() {
+		t.Errorf("APM 1-25 total %.0f ms >= NoSegm %.0f ms",
+			apm25.TotalMs.Sum(), base.TotalMs.Sum())
+	}
+	am := AmortizationPoint(apm25.TotalMs.Cumulative(), base.TotalMs.Cumulative())
+	if am == 0 || am > cfg.Workload.NumQueries {
+		t.Errorf("APM 1-25 never amortized (point=%d)", am)
+	}
+}
+
+func TestAPMSmallBoundMakesSmallerSegments(t *testing.T) {
+	// Table 2: "the APM 1-5 scheme creates smaller segments than APM 1-25".
+	cfg := testConfig()
+	ds := testDataset(t, cfg)
+	results := RunWorkload(ds, Random, cfg)
+	var small, large *RunResult
+	for _, r := range results {
+		switch r.Scheme {
+		case "APM 1-5":
+			small = r
+		case "APM 1-25":
+			large = r
+		}
+	}
+	if small.SegmentCount <= large.SegmentCount {
+		t.Errorf("APM 1-5 made %d segments, APM 1-25 made %d — want more/smaller",
+			small.SegmentCount, large.SegmentCount)
+	}
+	if small.SegSizeMeanMB >= large.SegSizeMeanMB {
+		t.Errorf("APM 1-5 avg %.2f MB >= APM 1-25 avg %.2f MB",
+			small.SegSizeMeanMB, large.SegSizeMeanMB)
+	}
+}
+
+func TestGDFragmentsOnSkewedWorkload(t *testing.T) {
+	// §6.2: on the skewed load "the GD scheme hits its worst case ... 80%
+	// of the segments contain less than 1000 tuples". Verify GD produces
+	// far more segments than APM and a large small-segment fraction.
+	cfg := testConfig()
+	ds := testDataset(t, cfg)
+	results := RunWorkload(ds, Skewed, cfg)
+	var gd, apm25 *RunResult
+	for _, r := range results {
+		switch r.Scheme {
+		case "GD":
+			gd = r
+		case "APM 1-25":
+			apm25 = r
+		}
+	}
+	if gd.SegmentCount <= apm25.SegmentCount {
+		t.Errorf("GD segments %d <= APM 1-25 segments %d on skewed load",
+			gd.SegmentCount, apm25.SegmentCount)
+	}
+}
+
+func TestChangingWorkloadAdaptsAfterPhaseShifts(t *testing.T) {
+	// Figures 15/16: shifting the access point triggers reorganization of
+	// untouched segments — adaptation time must reappear after each phase
+	// boundary (queries 30/60/90 at this scale).
+	cfg := testConfig()
+	ds := testDataset(t, cfg)
+	qs := Queries(ds, Changing, cfg.Workload)
+	apm := cfg.Schemes()[2]
+	r := Run(ds, apm, qs, cfg)
+	// The paper reports "a temporary increase of the overhead after
+	// queries 50 and 100" — i.e. after the first two phase shifts (the
+	// fourth region may already sit in segments within the APM bounds).
+	phase := cfg.Workload.NumQueries / 4
+	for p := 1; p < 3; p++ {
+		sum := 0.0
+		for i := p * phase; i < p*phase+phase && i < r.AdaptationMs.Len(); i++ {
+			sum += r.AdaptationMs.At(i)
+		}
+		if sum == 0 {
+			t.Errorf("no adaptation in phase %d — the shift did not trigger reorganization", p)
+		}
+	}
+}
+
+func TestFig10TableShape(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workload.NumQueries = 40
+	ds := testDataset(t, cfg)
+	tb := Fig10(ds, cfg)
+	if tb.NumRows() != 12 { // 3 workloads x 4 schemes
+		t.Errorf("rows = %d, want 12", tb.NumRows())
+	}
+	out := tb.Render()
+	for _, want := range []string{"random", "skewed", "changing", "NoSegm", "APM 1-5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig10 table missing %q", want)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workload.NumQueries = 40
+	ds := testDataset(t, cfg)
+	tb := Table2(ds, cfg)
+	if tb.NumRows() != 9 { // 3 workloads x 3 adaptive schemes
+		t.Errorf("rows = %d, want 9", tb.NumRows())
+	}
+}
+
+func TestCumulativeAndMovingAvgSeries(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workload.NumQueries = 30
+	ds := testDataset(t, cfg)
+	cum := CumulativeTimes(ds, Random, cfg)
+	ma := MovingAvgTimes(ds, Random, cfg)
+	if len(cum) != 4 || len(ma) != 4 {
+		t.Fatalf("series counts %d/%d", len(cum), len(ma))
+	}
+	for _, s := range cum {
+		for i := 1; i < s.Len(); i++ {
+			if s.At(i) < s.At(i-1) {
+				t.Fatalf("%s cumulative not monotone", s.Name)
+			}
+		}
+	}
+}
+
+func TestAmortizationPoint(t *testing.T) {
+	mk := func(vals ...float64) *stats.Series {
+		s := stats.NewSeries("x")
+		for _, v := range vals {
+			s.Append(v)
+		}
+		return s
+	}
+	// Scheme starts above the baseline, crosses at index 2 (query 3).
+	scheme := mk(10, 12, 13, 14)
+	base := mk(5, 10, 15, 20)
+	if got := AmortizationPoint(scheme, base); got != 3 {
+		t.Errorf("amortization = %d, want 3", got)
+	}
+	// Never amortizes.
+	if got := AmortizationPoint(mk(10, 20, 30), mk(1, 2, 3)); got != 0 {
+		t.Errorf("never-amortizing = %d, want 0", got)
+	}
+	// Always below.
+	if got := AmortizationPoint(mk(1, 2), mk(5, 6)); got != 1 {
+		t.Errorf("always-below = %d, want 1", got)
+	}
+}
+
+func TestSmallTupleFraction(t *testing.T) {
+	sizes := []float64{100, 200, 8000, 16000} // bytes, elem 4 → 25/50/2000/4000 tuples
+	got := SmallTupleFraction(sizes, 4, 1000)
+	if got != 0.5 {
+		t.Errorf("fraction = %v, want 0.5", got)
+	}
+	if SmallTupleFraction(nil, 4, 1000) != 0 {
+		t.Error("empty fraction should be 0")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table2", "fig10repl"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+}
+
+func TestExperimentsRenderAtTinyScale(t *testing.T) {
+	// Smoke-run every registered §6.2 experiment, covering the chart
+	// closures of Figures 11-16.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := testConfig()
+	cfg.NumValues = 100_000
+	cfg.Workload.NumQueries = 12
+	cfg.MovingAvgWindow = 4
+	ds := testDataset(t, cfg)
+	for _, e := range Experiments() {
+		out := e.Run(ds, cfg)
+		if len(out) == 0 {
+			t.Errorf("%s produced no output", e.ID)
+		}
+		if strings.Contains(out, "no data") {
+			t.Errorf("%s rendered an empty chart", e.ID)
+		}
+	}
+}
+
+func TestReplicationExtensionSchemes(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workload.NumQueries = 60
+	ds := testDataset(t, cfg)
+	results := RunWorkloadWith(ds, Random, cfg, cfg.ReplicationSchemes())
+	if len(results) != 4 {
+		t.Fatalf("schemes = %d", len(results))
+	}
+	var base, repl *RunResult
+	for _, r := range results {
+		switch r.Scheme {
+		case "NoSegm":
+			base = r
+		case "APM 1-25 Repl":
+			repl = r
+		}
+	}
+	if repl.TotalMs.Sum() >= base.TotalMs.Sum() {
+		t.Errorf("replication total %.0f >= baseline %.0f", repl.TotalMs.Sum(), base.TotalMs.Sum())
+	}
+	// Replication trades storage for overhead: its storage exceeds the
+	// column size (1.6 MB accounted at this scale).
+	colMB := float64(int64(cfg.NumValues)*cfg.ElemSize) / (1 << 20)
+	if repl.PeakStorageMB <= colMB {
+		t.Errorf("replication peak storage %.2f MB did not exceed column %.2f MB", repl.PeakStorageMB, colMB)
+	}
+	if repl.StorageMB > repl.PeakStorageMB {
+		t.Errorf("final storage %.2f above peak %.2f", repl.StorageMB, repl.PeakStorageMB)
+	}
+	// And the adaptation share is lower than the equivalent segmentation
+	// scheme's (§3.3: minimal disturbance on the query load).
+	seg := RunWorkloadWith(ds, Random, cfg, cfg.Schemes())
+	var segAPM *RunResult
+	for _, r := range seg {
+		if r.Scheme == "APM 1-25" {
+			segAPM = r
+		}
+	}
+	if repl.AdaptationMs.Sum() >= segAPM.AdaptationMs.Sum() {
+		t.Errorf("replication adaptation %.0f >= segmentation %.0f",
+			repl.AdaptationMs.Sum(), segAPM.AdaptationMs.Sum())
+	}
+}
+
+func TestFig10ReplicationTable(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workload.NumQueries = 30
+	ds := testDataset(t, cfg)
+	tb := Fig10Replication(ds, cfg)
+	if tb.NumRows() != 12 {
+		t.Errorf("rows = %d, want 12", tb.NumRows())
+	}
+	if !strings.Contains(tb.Render(), "Repl") {
+		t.Error("table missing replication schemes")
+	}
+}
+
+func TestSummaryRender(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workload.NumQueries = 25
+	ds := testDataset(t, cfg)
+	out := Summary(RunWorkload(ds, Random, cfg))
+	for _, want := range []string{"NoSegm", "GD", "APM 1-25", "APM 1-5", "segments"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

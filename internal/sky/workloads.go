@@ -1,0 +1,101 @@
+package sky
+
+import (
+	"fmt"
+
+	"selforg/internal/domain"
+	"selforg/internal/workload"
+)
+
+// The paper extracts three workloads of 200 queries each from the
+// SkyServer log (§6.2):
+//
+//	random   — "picks one out of every 300 queries and covers the
+//	           attribute domain uniformly"
+//	skew     — "extracts 200 subsequent queries from the log that access
+//	           two very limited areas of the domain"
+//	changing — "four pieces of 50 subsequent queries with changing point
+//	           of access"
+//
+// We regenerate the same structure synthetically over the ra footprint.
+
+// WorkloadName identifies one of the three §6.2 workloads.
+type WorkloadName string
+
+const (
+	Random   WorkloadName = "random"
+	Skewed   WorkloadName = "skewed"
+	Changing WorkloadName = "changing"
+)
+
+// WorkloadNames lists the three workloads in paper order.
+func WorkloadNames() []WorkloadName { return []WorkloadName{Random, Skewed, Changing} }
+
+// WorkloadConfig shapes the generated query streams.
+type WorkloadConfig struct {
+	// NumQueries per workload; the paper uses 200.
+	NumQueries int
+	// WidthDeg is the ra extent of each range predicate in degrees. The
+	// log's spatial searches are narrow (the running example selects
+	// ra between 205.1 and 205.12); 0.2° keeps selections small relative
+	// to any segment.
+	WidthDeg float64
+	// Seed drives query placement.
+	Seed int64
+}
+
+// DefaultWorkloadConfig returns the §6.2 workload shape.
+func DefaultWorkloadConfig() WorkloadConfig {
+	return WorkloadConfig{NumQueries: 200, WidthDeg: 0.2, Seed: 77}
+}
+
+// hot areas used by the skewed and changing workloads (degrees).
+var (
+	skewAreas = []struct{ lo, hi float64 }{
+		{148, 152}, // inside a stripe
+		{218, 222},
+	}
+	changingPoints = []float64{40, 130, 220, 310}
+)
+
+// Queries generates the named workload over the dataset's footprint.
+func Queries(ds *Dataset, name WorkloadName, cfg WorkloadConfig) []workload.Query {
+	if cfg.NumQueries <= 0 {
+		panic("sky: workload needs queries")
+	}
+	width := int64(cfg.WidthDeg * RAScale)
+	if width < 1 {
+		width = 1
+	}
+	dom := ds.Domain()
+	switch name {
+	case Random:
+		g := workload.NewUniform(dom, width, cfg.Seed)
+		return workload.Take(g, cfg.NumQueries)
+	case Skewed:
+		spots := make([]workload.HotSpot, len(skewAreas))
+		for i, a := range skewAreas {
+			spots[i] = workload.HotSpot{
+				Area:   domain.NewRange(ds.ScaleDeg(a.lo), ds.ScaleDeg(a.hi)),
+				Weight: 1,
+			}
+		}
+		g := workload.NewSkewed(dom, width, spots, cfg.Seed)
+		return workload.Take(g, cfg.NumQueries)
+	case Changing:
+		perPhase := cfg.NumQueries / len(changingPoints)
+		if perPhase < 1 {
+			perPhase = 1
+		}
+		phases := make([]workload.Generator, len(changingPoints))
+		for i, p := range changingPoints {
+			area := domain.NewRange(ds.ScaleDeg(p-1), ds.ScaleDeg(p+1))
+			phases[i] = workload.NewSkewed(dom, width,
+				[]workload.HotSpot{{Area: area, Weight: 1}}, cfg.Seed+int64(i))
+		}
+		g := workload.NewChanging(perPhase, phases...)
+		return workload.Take(g, cfg.NumQueries)
+	default:
+		panic(fmt.Sprintf("sky: unknown workload %q", name))
+	}
+}

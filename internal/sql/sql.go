@@ -1,0 +1,292 @@
+// Package sql implements the first component of the paper's compilation
+// stack (§2): "The compilation stack consists of three components: SQL-MAL
+// code generator, a tactical optimizer, and the run time engine." It
+// compiles the range-selection query class the paper studies —
+//
+//	SELECT objid FROM P WHERE ra BETWEEN 205.1 AND 205.12
+//	SELECT COUNT(*) FROM P WHERE ra BETWEEN 205.1 AND 205.12
+//	SELECT SUM(dec) FROM P WHERE ra BETWEEN 205.1 AND 205.12
+//
+// — into MAL plans of exactly the Figure-1 shape (delta-bat merge,
+// deletion masking, oid renumbering, per-column rejoin, result export).
+// The generated plan then flows through the tactical optimizer
+// (internal/opt), where the segment pass applies the §3.1 rewriting if
+// the predicate column is segmented.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query is the parsed form of the supported statement class.
+type Query struct {
+	// Projections lists selected column names; empty when an aggregate is
+	// used instead.
+	Projections []string
+	// Aggregate is "count" or "sum" ("" for plain projections). Count
+	// ignores AggrCol; Sum reads it.
+	Aggregate string
+	AggrCol   string
+	Table     string
+	// Predicate: PredCol BETWEEN Lo AND Hi.
+	PredCol string
+	Lo, Hi  float64
+	// Schema defaults to "sys", MonetDB's default schema.
+	Schema string
+}
+
+func (q *Query) String() string {
+	var sel string
+	switch q.Aggregate {
+	case "count":
+		sel = "COUNT(*)"
+	case "sum":
+		sel = fmt.Sprintf("SUM(%s)", q.AggrCol)
+	default:
+		sel = strings.Join(q.Projections, ", ")
+	}
+	return fmt.Sprintf("SELECT %s FROM %s WHERE %s BETWEEN %g AND %g",
+		sel, q.Table, q.PredCol, q.Lo, q.Hi)
+}
+
+// Parse parses one statement of the supported class. Keywords are
+// case-insensitive; identifiers keep their case.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseQuery()
+}
+
+// MustParse parses or panics (tests, embedded queries).
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// --- lexer ---
+
+type tok struct {
+	kind string // "ident", "num", "str", "punct"
+	s    string
+	f    float64
+}
+
+func lex(src string) ([]tok, error) {
+	var out []tok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',' || c == '(' || c == ')' || c == '*' || c == ';':
+			out = append(out, tok{kind: "punct", s: string(c)})
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(src) && src[j] != '\'' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("sql: unterminated string literal")
+			}
+			out = append(out, tok{kind: "str", s: src[i+1 : j]})
+			i = j + 1
+		case isDigit(c) || c == '-' || c == '.':
+			j := i
+			if src[j] == '-' {
+				j++
+			}
+			for j < len(src) && (isDigit(src[j]) || src[j] == '.' || src[j] == 'e' ||
+				src[j] == 'E' || ((src[j] == '+' || src[j] == '-') && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			var f float64
+			if _, err := fmt.Sscanf(src[i:j], "%g", &f); err != nil {
+				return nil, fmt.Errorf("sql: bad number %q", src[i:j])
+			}
+			out = append(out, tok{kind: "num", s: src[i:j], f: f})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			out = append(out, tok{kind: "ident", s: src[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q", c)
+		}
+	}
+	return out, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) || c == '.' }
+
+// --- parser ---
+
+type parser struct {
+	toks []tok
+	pos  int
+}
+
+func (p *parser) peek() tok {
+	if p.pos >= len(p.toks) {
+		return tok{}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() tok {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+// keyword consumes an identifier equal (case-insensitively) to kw.
+func (p *parser) keyword(kw string) error {
+	t := p.next()
+	if t.kind != "ident" || !strings.EqualFold(t.s, kw) {
+		return fmt.Errorf("sql: expected %s, found %q", strings.ToUpper(kw), t.s)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.next()
+	if t.kind != "ident" {
+		return "", fmt.Errorf("sql: expected identifier, found %q", t.s)
+	}
+	if isKeyword(t.s) {
+		return "", fmt.Errorf("sql: unexpected keyword %q", t.s)
+	}
+	return t.s, nil
+}
+
+func (p *parser) punct(s string) error {
+	t := p.next()
+	if t.kind != "punct" || t.s != s {
+		return fmt.Errorf("sql: expected %q, found %q", s, t.s)
+	}
+	return nil
+}
+
+func (p *parser) number() (float64, error) {
+	t := p.next()
+	if t.kind != "num" {
+		return 0, fmt.Errorf("sql: expected number, found %q", t.s)
+	}
+	return t.f, nil
+}
+
+func isKeyword(s string) bool {
+	switch strings.ToUpper(s) {
+	case "SELECT", "FROM", "WHERE", "BETWEEN", "AND", "COUNT", "SUM":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{Schema: "sys"}
+	if err := p.keyword("select"); err != nil {
+		return nil, err
+	}
+	// Projection list or aggregate.
+	t := p.peek()
+	switch {
+	case t.kind == "ident" && strings.EqualFold(t.s, "count"):
+		p.next()
+		if err := p.punct("("); err != nil {
+			return nil, err
+		}
+		if err := p.punct("*"); err != nil {
+			return nil, err
+		}
+		if err := p.punct(")"); err != nil {
+			return nil, err
+		}
+		q.Aggregate = "count"
+	case t.kind == "ident" && strings.EqualFold(t.s, "sum"):
+		p.next()
+		if err := p.punct("("); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.punct(")"); err != nil {
+			return nil, err
+		}
+		q.Aggregate = "sum"
+		q.AggrCol = col
+	default:
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			q.Projections = append(q.Projections, col)
+			if p.peek().kind == "punct" && p.peek().s == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.keyword("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	// Optional schema qualification "schema.table".
+	if i := strings.IndexByte(table, '.'); i >= 0 {
+		q.Schema, q.Table = table[:i], table[i+1:]
+	} else {
+		q.Table = table
+	}
+	if err := p.keyword("where"); err != nil {
+		return nil, err
+	}
+	q.PredCol, err = p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("between"); err != nil {
+		return nil, err
+	}
+	if q.Lo, err = p.number(); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("and"); err != nil {
+		return nil, err
+	}
+	if q.Hi, err = p.number(); err != nil {
+		return nil, err
+	}
+	if q.Hi < q.Lo {
+		return nil, fmt.Errorf("sql: BETWEEN bounds inverted (%g > %g)", q.Lo, q.Hi)
+	}
+	// Optional trailing semicolon, then end of input.
+	if p.peek().kind == "punct" && p.peek().s == ";" {
+		p.next()
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().s)
+	}
+	return q, nil
+}

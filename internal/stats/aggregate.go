@@ -1,0 +1,113 @@
+package stats
+
+import "math"
+
+// Welford accumulates count, mean and variance in one streaming pass using
+// Welford's algorithm. Table 2 of the paper reports segment-size mean and
+// deviation; this is its computational backend.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples seen.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 before any sample).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance (0 for fewer than two samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Summary condenses a slice of samples into the figures reported by the
+// paper's tables.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Sum    float64
+}
+
+// Summarize computes a Summary over xs.
+func Summarize(xs []float64) Summary {
+	var w Welford
+	s := Summary{}
+	for i, x := range xs {
+		w.Add(x)
+		s.Sum += x
+		if i == 0 || x < s.Min {
+			s.Min = x
+		}
+		if i == 0 || x > s.Max {
+			s.Max = x
+		}
+	}
+	s.N = w.N()
+	s.Mean = w.Mean()
+	s.StdDev = w.StdDev()
+	return s
+}
+
+// Histogram counts samples into equal-width buckets over [lo, hi]. Samples
+// outside the range clamp to the first/last bucket.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+}
+
+// NewHistogram creates a histogram with n buckets over [lo, hi].
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+}
+
+// Add counts one sample.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+}
+
+// Total returns the number of samples counted.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Buckets {
+		t += c
+	}
+	return t
+}
+
+// Fraction returns the fraction of samples in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(h.Buckets[i]) / float64(t)
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Chart renders one or more series as an ASCII scatter chart, the terminal
+// stand-in for the paper's gnuplot figures. It supports log-scaled axes
+// (Figures 5–7 use log y and Figures 5/6 log x).
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 20)
+	LogX   bool
+	LogY   bool
+
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name   string
+	mark   byte
+	points []Point
+}
+
+// seriesMarks cycles through the glyphs used for successive series.
+var seriesMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// AddSeries adds a named point set to the chart.
+func (c *Chart) AddSeries(name string, pts []Point) {
+	mark := seriesMarks[len(c.series)%len(seriesMarks)]
+	c.series = append(c.series, chartSeries{name: name, mark: mark, points: pts})
+}
+
+// AddSeriesFrom adds every point of s (downsampled to the chart width).
+func (c *Chart) AddSeriesFrom(s *Series) {
+	w := c.Width
+	if w <= 0 {
+		w = 72
+	}
+	c.AddSeries(s.Name, s.Downsample(w))
+}
+
+func (c *Chart) scaleX(x float64) float64 {
+	if c.LogX {
+		if x <= 0 {
+			return math.Inf(-1)
+		}
+		return math.Log10(x)
+	}
+	return x
+}
+
+func (c *Chart) scaleY(y float64) float64 {
+	if c.LogY {
+		if y <= 0 {
+			return math.Inf(-1)
+		}
+		return math.Log10(y)
+	}
+	return y
+}
+
+// Render draws the chart into a string.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range c.series {
+		for _, p := range s.points {
+			x, y := c.scaleX(p.X), c.scaleY(p.Y)
+			if math.IsInf(x, -1) || math.IsInf(y, -1) {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if !any {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for _, s := range c.series {
+		for _, p := range s.points {
+			x, y := c.scaleX(p.X), c.scaleY(p.Y)
+			if math.IsInf(x, -1) || math.IsInf(y, -1) {
+				continue
+			}
+			col := int((x - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((y-minY)/(maxY-minY)*float64(h-1))
+			grid[row][col] = s.mark
+		}
+	}
+
+	yTop, yBot := c.axisLabel(maxY), c.axisLabel(minY)
+	labelW := len(yTop)
+	if len(yBot) > labelW {
+		labelW = len(yBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, yTop)
+		case h - 1:
+			label = fmt.Sprintf("%*s", labelW, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	xLeft, xRight := c.axisLabelX(minX), c.axisLabelX(maxX)
+	pad := w - len(xLeft) - len(xRight)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", labelW), xLeft, strings.Repeat(" ", pad), xRight)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", labelW), c.XLabel, c.YLabel)
+	}
+	legend := make([]string, 0, len(c.series))
+	for _, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.mark, s.name))
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(&b, "%s  legend: %s\n", strings.Repeat(" ", labelW), strings.Join(legend, " | "))
+	return b.String()
+}
+
+func (c *Chart) axisLabel(v float64) string {
+	if c.LogY {
+		return fmtNum(math.Pow(10, v))
+	}
+	return fmtNum(v)
+}
+
+func (c *Chart) axisLabelX(v float64) string {
+	if c.LogX {
+		return fmtNum(math.Pow(10, v))
+	}
+	return fmtNum(v)
+}
+
+// fmtNum renders numbers compactly (1.2e+06 style for big magnitudes).
+func fmtNum(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a != 0 && (a >= 1e6 || a < 1e-3):
+		return fmt.Sprintf("%.1e", v)
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

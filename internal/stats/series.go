@@ -1,0 +1,169 @@
+// Package stats provides the measurement plumbing for the experiment
+// harness: per-query series with cumulative and moving-average views,
+// streaming aggregates, histograms, ASCII charts and TSV export.
+//
+// The paper reports cumulative counters (Figures 5, 6, 11, 13, 15),
+// per-query values (Figure 7), moving averages (Figures 12, 14, 16) and
+// mean/deviation summaries (Tables 1 and 2); this package computes all of
+// them from the same raw per-query samples.
+package stats
+
+import "fmt"
+
+// Series is an ordered sequence of float64 samples, one per query.
+type Series struct {
+	Name    string
+	samples []float64
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series {
+	return &Series{Name: name}
+}
+
+// Append adds one sample to the end of the series.
+func (s *Series) Append(v float64) { s.samples = append(s.samples, v) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// At returns the i-th sample. It panics if i is out of range.
+func (s *Series) At(i int) float64 { return s.samples[i] }
+
+// Values returns a copy of the raw samples.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+// Sum returns the sum of all samples.
+func (s *Series) Sum() float64 {
+	var t float64
+	for _, v := range s.samples {
+		t += v
+	}
+	return t
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s.samples))
+}
+
+// Max returns the largest sample, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	m := s.samples[0]
+	for _, v := range s.samples[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the smallest sample, or 0 for an empty series.
+func (s *Series) Min() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	m := s.samples[0]
+	for _, v := range s.samples[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Cumulative returns a new series whose i-th sample is the running sum of
+// the first i+1 samples — the y-axis of Figures 5, 6, 11, 13 and 15.
+func (s *Series) Cumulative() *Series {
+	out := &Series{Name: s.Name + " (cumulative)", samples: make([]float64, len(s.samples))}
+	var acc float64
+	for i, v := range s.samples {
+		acc += v
+		out.samples[i] = acc
+	}
+	return out
+}
+
+// MovingAverage returns a new series of trailing window-averages — the
+// y-axis of Figures 12, 14 and 16. The first window-1 points average the
+// samples available so far. window must be >= 1.
+func (s *Series) MovingAverage(window int) *Series {
+	if window < 1 {
+		panic(fmt.Sprintf("stats: moving average window %d < 1", window))
+	}
+	out := &Series{
+		Name:    fmt.Sprintf("%s (ma%d)", s.Name, window),
+		samples: make([]float64, len(s.samples)),
+	}
+	var acc float64
+	for i, v := range s.samples {
+		acc += v
+		if i >= window {
+			acc -= s.samples[i-window]
+			out.samples[i] = acc / float64(window)
+		} else {
+			out.samples[i] = acc / float64(i+1)
+		}
+	}
+	return out
+}
+
+// Tail returns the mean of the last n samples (all samples if n exceeds the
+// length). The evaluation uses this to report converged steady-state reads.
+func (s *Series) Tail(n int) float64 {
+	if n <= 0 || len(s.samples) == 0 {
+		return 0
+	}
+	if n > len(s.samples) {
+		n = len(s.samples)
+	}
+	var t float64
+	for _, v := range s.samples[len(s.samples)-n:] {
+		t += v
+	}
+	return t / float64(n)
+}
+
+// Downsample returns at most n points (index, value) evenly spaced across
+// the series, always including the last point. Used to keep ASCII charts
+// and TSV exports readable for 10K-query runs.
+func (s *Series) Downsample(n int) []Point {
+	if n <= 0 || len(s.samples) == 0 {
+		return nil
+	}
+	if n >= len(s.samples) {
+		out := make([]Point, len(s.samples))
+		for i, v := range s.samples {
+			out[i] = Point{X: float64(i + 1), Y: v}
+		}
+		return out
+	}
+	out := make([]Point, 0, n)
+	step := float64(len(s.samples)) / float64(n)
+	for i := 0; i < n; i++ {
+		idx := int(float64(i+1)*step) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(s.samples) {
+			idx = len(s.samples) - 1
+		}
+		out = append(out, Point{X: float64(idx + 1), Y: s.samples[idx]})
+	}
+	return out
+}
+
+// Point is one (x, y) chart coordinate.
+type Point struct {
+	X, Y float64
+}

@@ -1,0 +1,398 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("reads")
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Append(v)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Sum() != 10 {
+		t.Errorf("Sum = %v", s.Sum())
+	}
+	if s.Mean() != 2.5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.At(2) != 3 {
+		t.Errorf("At(2) = %v", s.At(2))
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries("empty")
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Sum() != 0 {
+		t.Error("empty series aggregates should all be 0")
+	}
+	if s.Tail(5) != 0 {
+		t.Error("empty tail should be 0")
+	}
+	if pts := s.Downsample(10); pts != nil {
+		t.Errorf("empty downsample = %v", pts)
+	}
+}
+
+func TestCumulative(t *testing.T) {
+	s := NewSeries("w")
+	for _, v := range []float64{1, 2, 3} {
+		s.Append(v)
+	}
+	c := s.Cumulative()
+	want := []float64{1, 3, 6}
+	for i, w := range want {
+		if c.At(i) != w {
+			t.Errorf("cumulative[%d] = %v, want %v", i, c.At(i), w)
+		}
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	s := NewSeries("t")
+	for _, v := range []float64{2, 4, 6, 8} {
+		s.Append(v)
+	}
+	m := s.MovingAverage(2)
+	want := []float64{2, 3, 5, 7}
+	for i, w := range want {
+		if m.At(i) != w {
+			t.Errorf("ma[%d] = %v, want %v", i, m.At(i), w)
+		}
+	}
+}
+
+func TestMovingAverageWindowOne(t *testing.T) {
+	s := NewSeries("t")
+	for _, v := range []float64{5, 1, 9} {
+		s.Append(v)
+	}
+	m := s.MovingAverage(1)
+	for i := 0; i < s.Len(); i++ {
+		if m.At(i) != s.At(i) {
+			t.Errorf("ma1[%d] = %v, want %v", i, m.At(i), s.At(i))
+		}
+	}
+}
+
+func TestMovingAveragePanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("window 0 did not panic")
+		}
+	}()
+	NewSeries("x").MovingAverage(0)
+}
+
+func TestTail(t *testing.T) {
+	s := NewSeries("t")
+	for _, v := range []float64{10, 20, 30, 40} {
+		s.Append(v)
+	}
+	if got := s.Tail(2); got != 35 {
+		t.Errorf("Tail(2) = %v, want 35", got)
+	}
+	if got := s.Tail(100); got != 25 {
+		t.Errorf("Tail(100) = %v, want overall mean 25", got)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := NewSeries("d")
+	for i := 1; i <= 100; i++ {
+		s.Append(float64(i))
+	}
+	pts := s.Downsample(10)
+	if len(pts) != 10 {
+		t.Fatalf("downsample len = %d", len(pts))
+	}
+	last := pts[len(pts)-1]
+	if last.X != 100 || last.Y != 100 {
+		t.Errorf("last point = %+v, want (100,100)", last)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X {
+			t.Errorf("downsample x not increasing at %d: %v <= %v", i, pts[i].X, pts[i-1].X)
+		}
+	}
+}
+
+func TestDownsampleShort(t *testing.T) {
+	s := NewSeries("d")
+	s.Append(7)
+	s.Append(9)
+	pts := s.Downsample(10)
+	if len(pts) != 2 || pts[0].Y != 7 || pts[1].Y != 9 {
+		t.Errorf("short downsample = %v", pts)
+	}
+}
+
+func TestValuesIsCopy(t *testing.T) {
+	s := NewSeries("v")
+	s.Append(1)
+	vs := s.Values()
+	vs[0] = 99
+	if s.At(0) != 1 {
+		t.Error("Values() must return a copy")
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Errorf("N = %d", w.N())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v", w.Mean())
+	}
+	if !almostEqual(w.StdDev(), 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", w.StdDev())
+	}
+}
+
+func TestWelfordSingleSample(t *testing.T) {
+	var w Welford
+	w.Add(42)
+	if w.Variance() != 0 {
+		t.Errorf("variance of one sample = %v", w.Variance())
+	}
+}
+
+func TestWelfordMatchesDirect(t *testing.T) {
+	// Property: streaming variance agrees with the two-pass formula.
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		n := 2 + r.Intn(100)
+		xs := make([]float64, n)
+		var w Welford
+		var sum float64
+		for i := range xs {
+			xs[i] = r.Float64() * 1000
+			w.Add(xs[i])
+			sum += xs[i]
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		return almostEqual(w.Variance(), ss/float64(n), 1e-6*ss)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Sum != 10 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1, 2.5, 5, 9.9, -4, 40} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+	// -4 clamps to bucket 0; 40 clamps to bucket 4.
+	if h.Buckets[0] != 3 {
+		t.Errorf("bucket0 = %d, want 3 (0, 1, -4)", h.Buckets[0])
+	}
+	if h.Buckets[4] != 2 {
+		t.Errorf("bucket4 = %d, want 2 (9.9, 40)", h.Buckets[4])
+	}
+	if !almostEqual(h.Fraction(0), 3.0/7.0, 1e-12) {
+		t.Errorf("fraction(0) = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad histogram shape did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestChartRender(t *testing.T) {
+	ch := &Chart{Title: "fig", Width: 40, Height: 10, XLabel: "queries", YLabel: "writes"}
+	s := NewSeries("GD Segm")
+	for i := 1; i <= 50; i++ {
+		s.Append(float64(i * i))
+	}
+	ch.AddSeriesFrom(s)
+	out := ch.Render()
+	if !strings.Contains(out, "fig") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "GD Segm") {
+		t.Error("missing legend entry")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("missing plot marks")
+	}
+}
+
+func TestChartLogScales(t *testing.T) {
+	ch := &Chart{Width: 30, Height: 8, LogX: true, LogY: true}
+	pts := []Point{{1, 10}, {10, 100}, {100, 1000}, {1000, 10000}}
+	ch.AddSeries("log", pts)
+	out := ch.Render()
+	if !strings.Contains(out, "log") {
+		t.Error("missing legend")
+	}
+	// Four decade points plus one legend glyph.
+	if strings.Count(out, "*") != 5 {
+		t.Errorf("want 4 plot marks + 1 legend mark, chart:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	ch := &Chart{}
+	out := ch.Render()
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart render = %q", out)
+	}
+}
+
+func TestChartMultipleSeriesMarks(t *testing.T) {
+	ch := &Chart{Width: 20, Height: 5}
+	ch.AddSeries("a", []Point{{1, 1}})
+	ch.AddSeries("b", []Point{{2, 2}})
+	out := ch.Render()
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Errorf("legend marks wrong:\n%s", out)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Table 1", "Strategy", "U 0.1", "U 0.01")
+	tb.AddRowf("GD Segm", 40.7, 31.2)
+	tb.AddRowf("APM Repl", 45.0, 13.2)
+	out := tb.Render()
+	for _, want := range []string{"Table 1", "Strategy", "GD Segm", "40.7", "13.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only")
+	out := tb.Render()
+	if !strings.Contains(out, "only") {
+		t.Errorf("missing cell:\n%s", out)
+	}
+}
+
+func TestTableTSV(t *testing.T) {
+	tb := NewTable("", "x", "y")
+	tb.AddRow("1", "2")
+	var b strings.Builder
+	if err := tb.WriteTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "x\ty\n1\t2\n"
+	if b.String() != want {
+		t.Errorf("TSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteSeriesTSV(t *testing.T) {
+	a := NewSeries("a")
+	a.Append(1)
+	a.Append(2)
+	b := NewSeries("b")
+	b.Append(3)
+	var sb strings.Builder
+	if err := WriteSeriesTSV(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), sb.String())
+	}
+	if lines[0] != "query\ta\tb" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[2] != "2\t2\t" {
+		t.Errorf("row2 = %q", lines[2])
+	}
+}
+
+func TestCumulativeMonotoneProperty(t *testing.T) {
+	// Property: cumulative of a non-negative series is non-decreasing.
+	r := rand.New(rand.NewSource(5))
+	f := func() bool {
+		s := NewSeries("p")
+		n := 1 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			s.Append(r.Float64() * 100)
+		}
+		c := s.Cumulative()
+		for i := 1; i < c.Len(); i++ {
+			if c.At(i) < c.At(i-1) {
+				return false
+			}
+		}
+		return almostEqual(c.At(c.Len()-1), s.Sum(), 1e-9*s.Sum()+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMovingAverageBoundsProperty(t *testing.T) {
+	// Property: every moving-average point lies within [min, max] of the
+	// raw series.
+	r := rand.New(rand.NewSource(6))
+	f := func() bool {
+		s := NewSeries("p")
+		n := 1 + r.Intn(100)
+		for i := 0; i < n; i++ {
+			s.Append(r.Float64()*200 - 100)
+		}
+		m := s.MovingAverage(1 + r.Intn(20))
+		lo, hi := s.Min(), s.Max()
+		for i := 0; i < m.Len(); i++ {
+			if m.At(i) < lo-1e-9 || m.At(i) > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

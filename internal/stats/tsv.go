@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows for the paper's tabular results (Tables 1 and 2)
+// and renders them as aligned text or TSV.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; cells beyond the column count are dropped,
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf formats each cell with fmt.Sprint.
+func (t *Table) AddRowf(cells ...any) {
+	s := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			s[i] = fmt.Sprintf("%.1f", v)
+		default:
+			s[i] = fmt.Sprint(c)
+		}
+	}
+	t.AddRow(s...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render draws the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteTSV emits the table as tab-separated values.
+func (t *Table) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSeriesTSV writes aligned series as TSV: one x column (query number,
+// 1-based) followed by one column per series. Series shorter than the
+// longest leave cells empty.
+func WriteSeriesTSV(w io.Writer, series ...*Series) error {
+	names := make([]string, 0, len(series)+1)
+	names = append(names, "query")
+	maxLen := 0
+	for _, s := range series {
+		names = append(names, s.Name)
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(names, "\t")); err != nil {
+		return err
+	}
+	for i := 0; i < maxLen; i++ {
+		cells := make([]string, 0, len(series)+1)
+		cells = append(cells, fmt.Sprint(i+1))
+		for _, s := range series {
+			if i < s.Len() {
+				cells = append(cells, fmt.Sprintf("%g", s.At(i)))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

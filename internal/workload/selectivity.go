@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+
+	"selforg/internal/domain"
+)
+
+// WidthForSelectivity returns the query width (in domain values) that hits
+// the requested selectivity against a column whose values are spread
+// uniformly over dom.
+//
+// §6.1 simulates a column of 100K values drawn from a 1M-value domain and
+// selectivity factors 0.1 and 0.01: a query selecting 10% of the *tuples*
+// must then cover 10% of the *domain*.
+func WidthForSelectivity(dom domain.Range, selectivity float64) int64 {
+	if selectivity <= 0 || selectivity > 1 {
+		panic(fmt.Sprintf("workload: selectivity %v outside (0, 1]", selectivity))
+	}
+	w := int64(float64(dom.Width()) * selectivity)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Spec bundles a generator configuration for the §6.1 simulation study so
+// experiments can be declared as data.
+type Spec struct {
+	Name        string
+	Dom         domain.Range
+	Selectivity float64
+	Kind        Kind
+	Seed        int64
+}
+
+// Kind selects the query-position distribution of a Spec.
+type Kind int
+
+const (
+	// KindUniform places queries uniformly over the domain.
+	KindUniform Kind = iota
+	// KindZipf places queries Zipf-skewed towards the low end.
+	KindZipf
+)
+
+// Zipf shape used for the simulation study; the paper gives no parameters,
+// DESIGN.md documents the choice.
+const (
+	ZipfS       = 1.4
+	ZipfV       = 8.0
+	ZipfBuckets = 1024
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindUniform:
+		return "uniform"
+	case KindZipf:
+		return "zipf"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Build instantiates the generator described by the spec.
+func (s Spec) Build() Generator {
+	width := WidthForSelectivity(s.Dom, s.Selectivity)
+	switch s.Kind {
+	case KindUniform:
+		return NewUniform(s.Dom, width, s.Seed)
+	case KindZipf:
+		return NewZipf(s.Dom, width, ZipfBuckets, ZipfS, ZipfV, s.Seed)
+	default:
+		panic(fmt.Sprintf("workload: unknown kind %d", s.Kind))
+	}
+}

@@ -1,0 +1,284 @@
+package workload
+
+import (
+	"testing"
+
+	"selforg/internal/domain"
+)
+
+var testDom = domain.NewRange(0, 999_999)
+
+func checkInDomain(t *testing.T, qs []Query, dom domain.Range) {
+	t.Helper()
+	for i, q := range qs {
+		if q.Lo > q.Hi {
+			t.Fatalf("query %d inverted: %v", i, q)
+		}
+		if !dom.ContainsRange(q.Range()) {
+			t.Fatalf("query %d %v outside domain %v", i, q, dom)
+		}
+	}
+}
+
+func TestUniformInDomain(t *testing.T) {
+	g := NewUniform(testDom, 100_000, 1)
+	qs := Take(g, 1000)
+	checkInDomain(t, qs, testDom)
+	for i, q := range qs {
+		if q.Range().Width() != 100_000 {
+			t.Fatalf("query %d width = %d", i, q.Range().Width())
+		}
+	}
+}
+
+func TestUniformCoversDomain(t *testing.T) {
+	// With 2000 uniform draws the query low bounds should cover all ten
+	// deciles of the domain.
+	g := NewUniform(testDom, 1000, 2)
+	seen := make(map[int64]bool)
+	for i := 0; i < 2000; i++ {
+		q := g.Next()
+		seen[q.Lo*10/testDom.Width()] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("uniform covered only %d/10 deciles", len(seen))
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Take(NewUniform(testDom, 500, 7), 50)
+	b := Take(NewUniform(testDom, 500, 7), 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUniformSeedsDiffer(t *testing.T) {
+	a := Take(NewUniform(testDom, 500, 1), 20)
+	b := Take(NewUniform(testDom, 500, 2), 20)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestUniformPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width 0 did not panic")
+		}
+	}()
+	NewUniform(testDom, 0, 1)
+}
+
+func TestZipfInDomainAndSkewed(t *testing.T) {
+	g := NewZipf(testDom, 10_000, ZipfBuckets, ZipfS, ZipfV, 3)
+	qs := Take(g, 5000)
+	checkInDomain(t, qs, testDom)
+	// Skew check: the lowest decile must receive far more queries than the
+	// highest decile.
+	low, high := 0, 0
+	for _, q := range qs {
+		switch {
+		case q.Lo < testDom.Width()/10:
+			low++
+		case q.Lo > testDom.Width()*9/10:
+			high++
+		}
+	}
+	if low <= high*3 {
+		t.Errorf("zipf not skewed: low decile %d, high decile %d", low, high)
+	}
+}
+
+func TestZipfEventuallyCoversTail(t *testing.T) {
+	// The paper's Fig. 6 depends on rare queries still hitting untouched
+	// areas late in the run: the upper half of the domain must be reachable.
+	g := NewZipf(testDom, 10_000, ZipfBuckets, ZipfS, ZipfV, 4)
+	hitUpper := false
+	for i := 0; i < 20_000; i++ {
+		if g.Next().Lo > testDom.Width()/2 {
+			hitUpper = true
+			break
+		}
+	}
+	if !hitUpper {
+		t.Error("zipf never reached the upper half of the domain in 20K queries")
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a := Take(NewZipf(testDom, 100, 64, 1.5, 4, 9), 30)
+	b := Take(NewZipf(testDom, 100, 64, 1.5, 4, 9), 30)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+}
+
+func TestSkewedStaysInHotSpots(t *testing.T) {
+	spots := []HotSpot{
+		{Area: domain.NewRange(100_000, 150_000), Weight: 1},
+		{Area: domain.NewRange(700_000, 720_000), Weight: 1},
+	}
+	g := NewSkewed(testDom, 1000, spots, 5)
+	for i := 0; i < 2000; i++ {
+		q := g.Next()
+		inA := q.Lo >= 100_000 && q.Lo <= 150_000
+		inB := q.Lo >= 700_000 && q.Lo <= 720_000
+		if !inA && !inB {
+			t.Fatalf("query %d: %v escapes both hot spots", i, q)
+		}
+	}
+}
+
+func TestSkewedRespectsWeights(t *testing.T) {
+	spots := []HotSpot{
+		{Area: domain.NewRange(0, 1000), Weight: 9},
+		{Area: domain.NewRange(500_000, 501_000), Weight: 1},
+	}
+	g := NewSkewed(testDom, 10, spots, 6)
+	first := 0
+	n := 5000
+	for i := 0; i < n; i++ {
+		if g.Next().Lo <= 1010 {
+			first++
+		}
+	}
+	frac := float64(first) / float64(n)
+	if frac < 0.85 || frac > 0.95 {
+		t.Errorf("hot spot A fraction = %v, want ~0.9", frac)
+	}
+}
+
+func TestSkewedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no hot spots did not panic")
+		}
+	}()
+	NewSkewed(testDom, 10, nil, 1)
+}
+
+func TestSkewedPanicsOnOutsideSpot(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-domain hot spot did not panic")
+		}
+	}()
+	NewSkewed(testDom, 10, []HotSpot{{Area: domain.NewRange(0, 2_000_000), Weight: 1}}, 1)
+}
+
+func TestChangingPhases(t *testing.T) {
+	// Phase 1 sits at the bottom of the domain, phase 2 at the top; with
+	// perPhase=3 queries must alternate in blocks.
+	p1 := NewFixed(Query{Lo: 0, Hi: 9})
+	p2 := NewFixed(Query{Lo: 990, Hi: 999})
+	g := NewChanging(3, p1, p2)
+	qs := Take(g, 12)
+	for i, q := range qs {
+		wantLow := (i/3)%2 == 0
+		isLow := q.Lo == 0
+		if isLow != wantLow {
+			t.Fatalf("query %d = %v, phase wrong", i, q)
+		}
+	}
+}
+
+func TestChangingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty changing did not panic")
+		}
+	}()
+	NewChanging(5)
+}
+
+func TestSequentialSweep(t *testing.T) {
+	dom := domain.NewRange(0, 99)
+	g := NewSequential(dom, 25)
+	qs := Take(g, 5)
+	want := []Query{{0, 24}, {25, 49}, {50, 74}, {75, 99}, {0, 24}}
+	for i, q := range qs {
+		if q != want[i] {
+			t.Fatalf("sequential[%d] = %v, want %v", i, q, want[i])
+		}
+	}
+}
+
+func TestFixedCycles(t *testing.T) {
+	g := NewFixed(Query{1, 2}, Query{3, 4})
+	qs := Take(g, 5)
+	want := []Query{{1, 2}, {3, 4}, {1, 2}, {3, 4}, {1, 2}}
+	for i, q := range qs {
+		if q != want[i] {
+			t.Fatalf("fixed[%d] = %v", i, q)
+		}
+	}
+}
+
+func TestWidthForSelectivity(t *testing.T) {
+	if w := WidthForSelectivity(testDom, 0.1); w != 100_000 {
+		t.Errorf("width(0.1) = %d", w)
+	}
+	if w := WidthForSelectivity(testDom, 0.01); w != 10_000 {
+		t.Errorf("width(0.01) = %d", w)
+	}
+	if w := WidthForSelectivity(domain.NewRange(0, 9), 0.0001); w != 1 {
+		t.Errorf("tiny selectivity width = %d, want 1", w)
+	}
+}
+
+func TestWidthForSelectivityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("selectivity 0 did not panic")
+		}
+	}()
+	WidthForSelectivity(testDom, 0)
+}
+
+func TestSpecBuild(t *testing.T) {
+	specs := []Spec{
+		{Name: "u", Dom: testDom, Selectivity: 0.1, Kind: KindUniform, Seed: 1},
+		{Name: "z", Dom: testDom, Selectivity: 0.01, Kind: KindZipf, Seed: 2},
+	}
+	for _, s := range specs {
+		g := s.Build()
+		qs := Take(g, 100)
+		checkInDomain(t, qs, testDom)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindUniform.String() != "uniform" || KindZipf.String() != "zipf" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind name wrong")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	if s := (Query{1, 5}).String(); s != "[1, 5]" {
+		t.Errorf("query string = %q", s)
+	}
+}
+
+func TestClampQueryAtDomainEdge(t *testing.T) {
+	// A query anchored at the very end of the domain must clip, keeping
+	// the width by shifting left.
+	q := clampQuery(domain.NewRange(0, 99), 95, 10)
+	if q.Lo != 90 || q.Hi != 99 {
+		t.Errorf("clamped query = %v, want [90, 99]", q)
+	}
+}

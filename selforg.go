@@ -1,0 +1,348 @@
+// Package selforg is a Go implementation of the self-organizing
+// column-store strategies of Ivanova, Kersten and Nes, "Self-organizing
+// Strategies for a Column-store Database" (EDBT 2008):
+//
+//   - adaptive segmentation (§4): a column is kept as adjacent,
+//     non-overlapping, value-ranged segments that range selections split
+//     in place;
+//   - adaptive replication (§5): query results are retained as
+//     materialized replica segments in a replica tree; fully replicated
+//     parents are dropped to reclaim storage.
+//
+// Both strategies consult a segmentation model — the randomized Gaussian
+// Dice or the deterministic Adaptive Pagination Model (§3.2) — to decide,
+// query by query, whether a selection should reorganize the column.
+//
+// The entry point is New, which wraps a value slice into an adaptive
+// Column; every Select both answers the query and, when the model agrees,
+// improves the layout for future queries:
+//
+//	col, _ := selforg.New(selforg.Interval{0, 999_999}, values, selforg.Options{
+//		Strategy: selforg.Segmentation,
+//		Model:    selforg.APM,
+//	})
+//	result, stats := col.Select(205_100, 205_120)
+//
+// The experiment harnesses that reproduce the paper's evaluation live in
+// internal/sim (§6.1) and internal/sky (§6.2), runnable through
+// cmd/sosim and cmd/skybench; the MonetDB-style substrate (BATs, MAL, the
+// tactical segment optimizer, the buffer pool) lives under internal/ and
+// is demonstrated by examples/malplan.
+package selforg
+
+import (
+	"fmt"
+
+	"selforg/internal/core"
+	"selforg/internal/domain"
+	"selforg/internal/model"
+)
+
+// Strategy selects the self-organizing technique.
+type Strategy int
+
+const (
+	// Segmentation reorganizes the column in place (§4). Minimal storage,
+	// higher start-up cost.
+	Segmentation Strategy = iota
+	// Replication retains query results as replicas in a replica tree
+	// (§5). Extra storage, lower reorganization overhead.
+	Replication
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Segmentation:
+		return "segmentation"
+	case Replication:
+		return "replication"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Model selects the segmentation model (§3.2).
+type Model int
+
+const (
+	// APM is the deterministic Adaptive Pagination Model: bounds Mmin and
+	// Mmax steer segment sizes into [Mmin, Mmax]. Best long-term overhead
+	// reduction (§8).
+	APM Model = iota
+	// GD is the randomized Gaussian Dice: split probability peaks for
+	// selections halving a segment. Lowest initial overhead (§8).
+	GD
+	// None disables reorganization: every query scans whole segments as
+	// they are. This is the paper's non-segmented baseline.
+	None
+)
+
+func (m Model) String() string {
+	switch m {
+	case APM:
+		return "APM"
+	case GD:
+		return "GD"
+	case None:
+		return "none"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Interval is an inclusive value range [Lo, Hi].
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Options configures a Column. The zero value selects adaptive
+// segmentation under APM with the paper's simulation bounds.
+type Options struct {
+	Strategy Strategy
+	Model    Model
+	// APMMin/APMMax are the APM byte bounds (defaults 3 KB / 12 KB, the
+	// §6.1 setup).
+	APMMin, APMMax int64
+	// GDSeed makes the Gaussian Dice deterministic (default 1).
+	GDSeed int64
+	// ElemSize is the accounted storage per value in bytes (default 4,
+	// matching the paper's 4-byte columns).
+	ElemSize int64
+	// Tracer observes segment lifecycle events (optional).
+	Tracer Tracer
+	// AutoTune replaces the fixed APM bounds by the self-tuning variant
+	// (§8 future work): Mmin/Mmax track the observed selection sizes,
+	// clamped into [APMMin, APMMax]. Only meaningful with Model == APM.
+	AutoTune bool
+	// MaxStorageBytes bounds replica storage for Replication columns
+	// (0 = unlimited) — the §8 "storage limitations" extension. Replicas
+	// that would exceed the budget are declined; queries stay correct.
+	MaxStorageBytes int64
+	// MaxTreeDepth bounds the replica tree depth for Replication columns
+	// (0 = unlimited).
+	MaxTreeDepth int
+}
+
+// Tracer re-exports core.Tracer: Scan/Materialize/Drop events with segment
+// id and byte size, used to attach buffer managers or measurement probes.
+type Tracer = core.Tracer
+
+// Stats aggregates per-query costs, mirroring the paper's measures:
+// memory reads, memory writes due to segment materialization, result
+// cardinality, and reorganization activity.
+type Stats struct {
+	ReadBytes   int64
+	WriteBytes  int64
+	ResultCount int64
+	Splits      int
+	Drops       int
+}
+
+func statsFrom(qs core.QueryStats) Stats {
+	return Stats{
+		ReadBytes:   qs.ReadBytes,
+		WriteBytes:  qs.WriteBytes,
+		ResultCount: qs.ResultCount,
+		Splits:      qs.Splits,
+		Drops:       qs.Drops,
+	}
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.ReadBytes += other.ReadBytes
+	s.WriteBytes += other.WriteBytes
+	s.ResultCount += other.ResultCount
+	s.Splits += other.Splits
+	s.Drops += other.Drops
+}
+
+// Column is a self-organizing column of int64 values. It is not safe for
+// concurrent use: like the paper's design, reorganization is interleaved
+// with query execution.
+type Column struct {
+	strat  core.Strategy
+	extent domain.Range
+	opts   Options
+	totals Stats
+	nq     int
+}
+
+// New builds an adaptive column over values, whose domain is extent.
+// Values outside extent are rejected. The values slice is consumed: the
+// column takes ownership.
+func New(extent Interval, values []int64, opts Options) (*Column, error) {
+	if extent.Lo > extent.Hi {
+		return nil, fmt.Errorf("selforg: inverted extent [%d, %d]", extent.Lo, extent.Hi)
+	}
+	rng := domain.NewRange(extent.Lo, extent.Hi)
+	for i, v := range values {
+		if !rng.Contains(v) {
+			return nil, fmt.Errorf("selforg: value %d (index %d) outside extent %v", v, i, rng)
+		}
+	}
+	o := opts
+	if o.ElemSize == 0 {
+		o.ElemSize = 4
+	}
+	if o.APMMin == 0 {
+		o.APMMin = 3 * 1024
+	}
+	if o.APMMax == 0 {
+		o.APMMax = 12 * 1024
+	}
+	if o.GDSeed == 0 {
+		o.GDSeed = 1
+	}
+	if o.APMMin >= o.APMMax {
+		return nil, fmt.Errorf("selforg: APMMin %d must be below APMMax %d", o.APMMin, o.APMMax)
+	}
+
+	var m model.Model
+	switch o.Model {
+	case APM:
+		if o.AutoTune {
+			m = model.NewAutoAPM(o.APMMin, o.APMMax)
+		} else {
+			m = model.NewAPM(o.APMMin, o.APMMax)
+		}
+	case GD:
+		m = model.NewGaussianDice(o.GDSeed)
+	case None:
+		m = model.Never{}
+	default:
+		return nil, fmt.Errorf("selforg: unknown model %v", o.Model)
+	}
+
+	var strat core.Strategy
+	switch o.Strategy {
+	case Segmentation:
+		strat = core.NewSegmenter(rng, values, o.ElemSize, m, o.Tracer)
+	case Replication:
+		r := core.NewReplicator(rng, values, o.ElemSize, m, o.Tracer)
+		if o.MaxStorageBytes > 0 {
+			r.SetStorageBudget(o.MaxStorageBytes)
+		}
+		if o.MaxTreeDepth > 0 {
+			r.SetMaxDepth(o.MaxTreeDepth)
+		}
+		strat = r
+	default:
+		return nil, fmt.Errorf("selforg: unknown strategy %v", o.Strategy)
+	}
+	return &Column{strat: strat, extent: rng, opts: o}, nil
+}
+
+// Select answers the range query `value between lo and hi` (inclusive) and
+// piggy-backs reorganization on the scan, per the configured strategy and
+// model. It returns the qualifying values (order unspecified) and the
+// query's cost statistics.
+func (c *Column) Select(lo, hi int64) ([]int64, Stats) {
+	if lo > hi {
+		return nil, Stats{}
+	}
+	res, qs := c.strat.Select(domain.Range{Lo: lo, Hi: hi})
+	st := statsFrom(qs)
+	c.totals.Add(st)
+	c.nq++
+	return res, st
+}
+
+// Count returns the number of values in [lo, hi] without materializing
+// them differently from Select — it still drives adaptation, like any
+// other query.
+func (c *Column) Count(lo, hi int64) (int64, Stats) {
+	res, st := c.Select(lo, hi)
+	return int64(len(res)), st
+}
+
+// SegmentCount returns the number of materialized segments.
+func (c *Column) SegmentCount() int { return c.strat.SegmentCount() }
+
+// StorageBytes returns the materialized storage held by the column
+// (constant for segmentation; grows and shrinks for replication).
+func (c *Column) StorageBytes() int64 { return int64(c.strat.StorageBytes()) }
+
+// SegmentSizes lists materialized segment sizes in bytes.
+func (c *Column) SegmentSizes() []float64 { return c.strat.SegmentSizes() }
+
+// Extent returns the column's value domain.
+func (c *Column) Extent() Interval { return Interval{c.extent.Lo, c.extent.Hi} }
+
+// Totals returns the accumulated statistics over all queries.
+func (c *Column) Totals() Stats { return c.totals }
+
+// Queries returns the number of Select calls served.
+func (c *Column) Queries() int { return c.nq }
+
+// Name describes the configured strategy/model, in the labels the paper
+// uses ("APM 3.00KB-12.00KB Segm").
+func (c *Column) Name() string { return c.strat.Name() }
+
+// Layout renders the current segment layout for diagnostics: the flat
+// segment list for segmentation, the replica tree (with virtual segments
+// marked) for replication.
+func (c *Column) Layout() string {
+	switch s := c.strat.(type) {
+	case *core.Segmenter:
+		return s.List().Dump()
+	case *core.Replicator:
+		return s.Dump()
+	default:
+		return c.strat.Name()
+	}
+}
+
+// Replication-specific inspection: Depth and VirtualCount return the
+// replica tree shape, or zero for segmentation columns.
+
+// TreeDepth returns the replica tree depth (0 for segmentation).
+func (c *Column) TreeDepth() int {
+	if r, ok := c.strat.(*core.Replicator); ok {
+		return r.Depth()
+	}
+	return 0
+}
+
+// VirtualCount returns the number of virtual segments (0 for
+// segmentation).
+func (c *Column) VirtualCount() int {
+	if r, ok := c.strat.(*core.Replicator); ok {
+		return r.VirtualCount()
+	}
+	return 0
+}
+
+// GlueSmall merges adjacent segments smaller than minBytes (segmentation
+// only) — the complementary merging strategy sketched in §8 against GD
+// fragmentation. It returns the bytes rewritten and reports whether the
+// column supports gluing.
+func (c *Column) GlueSmall(minBytes int64) (int64, bool) {
+	if s, ok := c.strat.(*core.Segmenter); ok {
+		return s.GlueSmall(minBytes), true
+	}
+	return 0, false
+}
+
+// BulkLoad appends a batch of values to the column, preserving the
+// adaptive organization — the "few large bulk loads" half of the paper's
+// target application class (§7). Touched segments are rewritten; under
+// replication every materialized copy covering a value receives it.
+func (c *Column) BulkLoad(values []int64) (Stats, error) {
+	var qs core.QueryStats
+	var err error
+	switch s := c.strat.(type) {
+	case *core.Segmenter:
+		qs, err = s.BulkLoad(values)
+	case *core.Replicator:
+		qs, err = s.BulkLoad(values)
+	default:
+		return Stats{}, fmt.Errorf("selforg: %s does not support bulk loading", c.strat.Name())
+	}
+	if err != nil {
+		return Stats{}, err
+	}
+	st := statsFrom(qs)
+	c.totals.Add(st)
+	return st, nil
+}
