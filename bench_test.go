@@ -479,3 +479,112 @@ func BenchmarkAblationStrategies(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAblationCompression compares the adaptive compression modes
+// end to end on low-cardinality data (the shape of dimension and
+// categorical columns): same queries, same splits, only the physical
+// layout differs. Metrics: per-query read volume, final physical
+// storage, and the compression ratio. ns/op here includes the one-time
+// convergence cost (splitting plus advisor encoding); steady-state scan
+// latency is measured by BenchmarkAblationCompressedScan below.
+func BenchmarkAblationCompression(b *testing.B) {
+	modes := []struct {
+		name string
+		c    Compression
+	}{
+		{"off", CompressionOff},
+		{"plain", CompressionPlain},
+		{"auto", CompressionAuto},
+		{"rle", CompressionRLE},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchSimCfg()
+				vals := sim.GenerateLowCardColumn(cfg.ColumnCount, cfg.Dom, 64, 1)
+				col, err := New(Interval{cfg.Dom.Lo, cfg.Dom.Hi}, vals, Options{
+					Model: APM, APMMin: cfg.APMMin, APMMax: cfg.APMMax, Compression: m.c,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				gen := workload.NewUniform(cfg.Dom, 20_000, 2)
+				for q := 0; q < cfg.NumQueries; q++ {
+					qq := gen.Next()
+					col.Select(qq.Lo, qq.Hi)
+				}
+				t := col.Totals()
+				b.ReportMetric(float64(t.ReadBytes)/float64(cfg.NumQueries)/1024, "readsKB/query")
+				b.ReportMetric(float64(col.StorageBytes())/1024, "storageKB")
+				b.ReportMetric(col.CompressionRatio(), "ratio")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCompressedCount isolates the counting fast path: RLE
+// answers cardinality queries from run headers, so Count over a
+// compressed column does no per-row work at all.
+func BenchmarkAblationCompressedCount(b *testing.B) {
+	for _, m := range []struct {
+		name string
+		c    Compression
+	}{{"off", CompressionOff}, {"auto", CompressionAuto}} {
+		b.Run(m.name, func(b *testing.B) {
+			// Converge the layout first, then measure pure counting.
+			col := compressedScanColumn(b, m.c)
+			gen := workload.NewUniform(benchSimCfg().Dom, 20_000, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				qq := gen.Next()
+				col.Count(qq.Lo, qq.Hi)
+			}
+		})
+	}
+}
+
+// compressedScanColumn builds a converged low-cardinality column under
+// the given compression mode: the adaptive phase runs outside the timer,
+// so callers measure pure scan cost.
+func compressedScanColumn(b *testing.B, c Compression) *Column {
+	b.Helper()
+	cfg := benchSimCfg()
+	vals := sim.GenerateLowCardColumn(cfg.ColumnCount, cfg.Dom, 64, 1)
+	col, err := New(Interval{cfg.Dom.Lo, cfg.Dom.Hi}, vals, Options{
+		Model: APM, APMMin: cfg.APMMin, APMMax: cfg.APMMax, Compression: c,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := workload.NewUniform(cfg.Dom, 20_000, 2)
+	for q := 0; q < cfg.NumQueries; q++ {
+		qq := warm.Next()
+		col.Select(qq.Lo, qq.Hi)
+	}
+	return col
+}
+
+// BenchmarkAblationCompressedScan measures steady-state range selections
+// over a converged layout, plain versus compressed — the acceptance
+// check that compressed scans are no slower on RLE-friendly data (run
+// skipping makes them faster while reading a fraction of the bytes).
+func BenchmarkAblationCompressedScan(b *testing.B) {
+	for _, m := range []struct {
+		name string
+		c    Compression
+	}{{"off", CompressionOff}, {"auto", CompressionAuto}, {"rle", CompressionRLE}} {
+		b.Run(m.name, func(b *testing.B) {
+			col := compressedScanColumn(b, m.c)
+			cfg := benchSimCfg()
+			gen := workload.NewUniform(cfg.Dom, 20_000, 3)
+			b.ResetTimer()
+			var reads int64
+			for i := 0; i < b.N; i++ {
+				qq := gen.Next()
+				_, st := col.Select(qq.Lo, qq.Hi)
+				reads += st.ReadBytes
+			}
+			b.ReportMetric(float64(reads)/float64(b.N)/1024, "readsKB/query")
+		})
+	}
+}

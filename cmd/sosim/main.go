@@ -103,6 +103,15 @@ func writeTSVs(dir string, scale sim.Scale) error {
 		sim.ReadsPerQuery(workload.KindUniform, 0.1, n(1000))); err != nil {
 		return err
 	}
+	// Compression extension: physical vs logical storage per query.
+	if err := write("compress_storage_segm.tsv",
+		sim.CompressedStorage(sim.Segmentation, 0, n(2000))); err != nil {
+		return err
+	}
+	if err := write("compress_storage_repl_lowcard.tsv",
+		sim.CompressedStorage(sim.Replication, 64, n(2000))); err != nil {
+		return err
+	}
 	f, err := os.Create(filepath.Join(dir, "table1.tsv"))
 	if err != nil {
 		return err

@@ -1,0 +1,195 @@
+package selforg
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"selforg/internal/domain"
+	"selforg/internal/workload"
+)
+
+// compressionModes are every public compression knob setting.
+var compressionModes = []Compression{
+	CompressionAuto, CompressionPlain, CompressionRLE, CompressionDict, CompressionFOR,
+}
+
+// equivColumn draws a mixed-shape column: a sorted low-cardinality half
+// (RLE/dict territory) followed by a uniform half (FOR territory), so
+// every encoding gets exercised somewhere in the layout.
+func equivColumn(n int, dom domain.Range, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int64, n)
+	half := n / 2
+	for i := 0; i < half; i++ {
+		vals[i] = dom.Lo + rng.Int63n(64)*(dom.Width()/64)
+	}
+	sort.Slice(vals[:half], func(i, j int) bool { return vals[i] < vals[j] })
+	for i := half; i < n; i++ {
+		vals[i] = dom.Lo + rng.Int63n(dom.Width())
+	}
+	return vals
+}
+
+// equivGenerators builds one instance of every workload generator over
+// dom (fresh per call, so paired runs see identical streams).
+func equivGenerators(dom domain.Range) map[string]func() workload.Generator {
+	width := dom.Width() / 20
+	return map[string]func() workload.Generator{
+		"uniform": func() workload.Generator { return workload.NewUniform(dom, width, 7) },
+		"zipf":    func() workload.Generator { return workload.NewZipf(dom, width, 50, 1.3, 1, 7) },
+		"skewed": func() workload.Generator {
+			return workload.NewSkewed(dom, width, []workload.HotSpot{
+				{Area: domain.Range{Lo: dom.Lo, Hi: dom.Lo + dom.Width()/10}, Weight: 3},
+				{Area: domain.Range{Lo: dom.Hi - dom.Width()/10, Hi: dom.Hi}, Weight: 1},
+			}, 7)
+		},
+		"changing": func() workload.Generator {
+			return workload.NewChanging(25,
+				workload.NewUniform(domain.Range{Lo: dom.Lo, Hi: dom.Lo + dom.Width()/3}, width, 7),
+				workload.NewUniform(domain.Range{Lo: dom.Hi - dom.Width()/3, Hi: dom.Hi}, width, 8),
+			)
+		},
+		"sequential": func() workload.Generator { return workload.NewSequential(dom, width) },
+	}
+}
+
+// TestCompressionEquivalence asserts, for every strategy × model ×
+// compression mode × workload generator, that Select returns exactly the
+// same multiset of values and Count exactly the same cardinality as the
+// uncompressed column, query by query — the subsystem may only change the
+// physical layout, never a result.
+func TestCompressionEquivalence(t *testing.T) {
+	dom := domain.NewRange(0, 99_999)
+	extent := Interval{dom.Lo, dom.Hi}
+	vals := equivColumn(6000, dom, 3)
+
+	for _, strat := range []Strategy{Segmentation, Replication} {
+		for _, mod := range []Model{APM, GD} {
+			for gname, mkGen := range equivGenerators(dom) {
+				for _, comp := range compressionModes {
+					opts := Options{Strategy: strat, Model: mod, APMMin: 256, APMMax: 2048}
+					plain, err := New(extent, append([]int64(nil), vals...), opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts.Compression = comp
+					compd, err := New(extent, append([]int64(nil), vals...), opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					genP, genC := mkGen(), mkGen()
+					for i := 0; i < 60; i++ {
+						qp, qc := genP.Next(), genC.Next()
+						if qp != qc {
+							t.Fatalf("%v/%v/%s: generator streams diverged", strat, mod, gname)
+						}
+						pr, pst := plain.Select(qp.Lo, qp.Hi)
+						cr, cst := compd.Select(qc.Lo, qc.Hi)
+						if pst.ResultCount != cst.ResultCount || len(pr) != len(cr) {
+							t.Fatalf("%v/%v/%s/%v q%d %v: count %d vs %d",
+								strat, mod, gname, comp, i, qp, pst.ResultCount, cst.ResultCount)
+						}
+						sort.Slice(pr, func(a, b int) bool { return pr[a] < pr[b] })
+						sort.Slice(cr, func(a, b int) bool { return cr[a] < cr[b] })
+						for j := range pr {
+							if pr[j] != cr[j] {
+								t.Fatalf("%v/%v/%s/%v q%d: value %d differs: %d vs %d",
+									strat, mod, gname, comp, i, j, pr[j], cr[j])
+							}
+						}
+						// A forced encoding may legitimately exceed the
+						// plain size on hostile data; the advisor must not.
+						if comp == CompressionAuto && cst.CompressedBytes > cst.StorageBytes {
+							t.Fatalf("%v/%v/%s/%v q%d: physical %d above logical %d",
+								strat, mod, gname, comp, i, cst.CompressedBytes, cst.StorageBytes)
+						}
+					}
+					// Spot-check the counting path against a full Select.
+					n, _ := compd.Count(dom.Lo+100, dom.Lo+dom.Width()/2)
+					res, _ := plain.Select(dom.Lo+100, dom.Lo+dom.Width()/2)
+					if n != int64(len(res)) {
+						t.Fatalf("%v/%v/%s/%v: Count %d != Select %d",
+							strat, mod, gname, comp, n, len(res))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompressionSavings asserts the headline accounting: an Auto column
+// over compressible data ends up physically smaller, reports the gap in
+// Stats, and never loses a value.
+func TestCompressionSavings(t *testing.T) {
+	dom := domain.NewRange(0, 99_999)
+	vals := equivColumn(6000, dom, 5)
+	col, err := New(Interval{dom.Lo, dom.Hi}, vals, Options{
+		Model: APM, APMMin: 256, APMMax: 2048, Compression: CompressionAuto,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewUniform(dom, dom.Width()/20, 9)
+	var total int64
+	for i := 0; i < 100; i++ {
+		q := gen.Next()
+		res, st := col.Select(q.Lo, q.Hi)
+		total += int64(len(res))
+		if st.StorageBytes != col.UncompressedBytes() || st.CompressedBytes != col.StorageBytes() {
+			t.Fatalf("q%d: stats snapshot (%d, %d) != column (%d, %d)", i,
+				st.StorageBytes, st.CompressedBytes, col.UncompressedBytes(), col.StorageBytes())
+		}
+	}
+	if col.StorageBytes() >= col.UncompressedBytes() {
+		t.Errorf("no savings: physical %d >= logical %d", col.StorageBytes(), col.UncompressedBytes())
+	}
+	if col.CompressionRatio() <= 1 {
+		t.Errorf("ratio = %g, want > 1", col.CompressionRatio())
+	}
+	if col.Totals().Recodes == 0 {
+		t.Error("no recodes recorded")
+	}
+	// The column still holds every value.
+	n, _ := col.Count(dom.Lo, dom.Hi)
+	if n != 6000 {
+		t.Errorf("count = %d, want 6000", n)
+	}
+}
+
+// TestCountDoesNotCopy asserts the counting path reads no more than the
+// selection path while producing identical cardinalities and identical
+// adaptation.
+func TestCountDoesNotCopy(t *testing.T) {
+	dom := domain.NewRange(0, 99_999)
+	vals := equivColumn(6000, dom, 7)
+	mk := func() *Column {
+		c, err := New(Interval{dom.Lo, dom.Hi}, append([]int64(nil), vals...), Options{
+			Model: APM, APMMin: 256, APMMax: 2048,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	selCol, cntCol := mk(), mk()
+	gen1 := workload.NewUniform(dom, dom.Width()/20, 11)
+	gen2 := workload.NewUniform(dom, dom.Width()/20, 11)
+	for i := 0; i < 100; i++ {
+		q1, q2 := gen1.Next(), gen2.Next()
+		res, sst := selCol.Select(q1.Lo, q1.Hi)
+		n, nst := cntCol.Count(q2.Lo, q2.Hi)
+		if int64(len(res)) != n {
+			t.Fatalf("q%d: count %d != select %d", i, n, len(res))
+		}
+		if nst.Splits != sst.Splits {
+			t.Fatalf("q%d: counting drove different adaptation", i)
+		}
+		if nst.ReadBytes > sst.ReadBytes {
+			t.Fatalf("q%d: count read %d > select %d", i, nst.ReadBytes, sst.ReadBytes)
+		}
+	}
+	if selCol.SegmentCount() != cntCol.SegmentCount() {
+		t.Errorf("layouts diverged: %d vs %d", selCol.SegmentCount(), cntCol.SegmentCount())
+	}
+}

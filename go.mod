@@ -1,0 +1,3 @@
+module selforg
+
+go 1.22

@@ -1,0 +1,46 @@
+package bat_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"selforg/internal/bat"
+	"selforg/internal/compress"
+)
+
+// benchStripeTail builds an ra-like dbl tail clustered into a few narrow
+// stripes — the SkyServer shape where compressed tails pay off.
+func benchStripeTail(n int) []float64 {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 30*float64(rng.Intn(8)) + float64(rng.Intn(1024))/256
+	}
+	return vals
+}
+
+// BenchmarkRangeSelectCompressedTail measures algebra.select over the
+// same BAT with a plain versus compressed tail: the compressed encodings
+// answer through the RangeSpanner span fast path.
+func BenchmarkRangeSelectCompressedTail(b *testing.B) {
+	const n = 1 << 18
+	tail := benchStripeTail(n)
+	lo, hi := bat.Dbl(60), bat.Dbl(63)
+
+	plain := bat.NewDense(bat.NewDbls(tail))
+	b.Run("plain", func(b *testing.B) {
+		b.SetBytes(8 * n)
+		for i := 0; i < b.N; i++ {
+			bat.RangeSelect(plain, lo, hi, true, true)
+		}
+	})
+	for _, e := range []compress.Encoding{compress.RLE, compress.Dict, compress.FOR} {
+		cb := bat.NewDense(compress.EncodeDbls(tail, e, 4))
+		b.Run(e.String(), func(b *testing.B) {
+			b.SetBytes(8 * n)
+			for i := 0; i < b.N; i++ {
+				bat.RangeSelect(cb, lo, hi, true, true)
+			}
+		})
+	}
+}

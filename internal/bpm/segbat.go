@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"selforg/internal/bat"
+	"selforg/internal/compress"
 	"selforg/internal/domain"
 	"selforg/internal/model"
 )
@@ -27,8 +28,18 @@ type BATSegment struct {
 	B      *bat.BAT
 }
 
-// bytes returns the accounted size of the segment.
+// bytes returns the accounted logical size of the segment — the measure
+// the segmentation models reason about.
 func (s *BATSegment) bytes(elemSize int64) int64 { return int64(s.B.Len()) * elemSize }
+
+// storedBytes returns the accounted physical size: the compressed tail
+// footprint when the tail is encoded, the logical size otherwise.
+func (s *BATSegment) storedBytes(elemSize int64) int64 {
+	if cv, ok := s.B.Tail.(interface{ StoredBytes() int64 }); ok {
+		return cv.StoredBytes()
+	}
+	return s.bytes(elemSize)
+}
 
 // SegmentedBAT is a column organized as adjacent value-ranged segments,
 // registered under a name in the Store ("bpm.take(\"sys_P_ra\")").
@@ -36,6 +47,38 @@ type SegmentedBAT struct {
 	Name     string
 	ElemSize int64
 	Segs     []*BATSegment // ascending by [Lo, Hi)
+	codec    *compress.Codec
+}
+
+// SetCompression attaches the compression subsystem to the column: the
+// current segment tails are re-encoded immediately and every tail the
+// reorganizing module materializes afterwards (splitSegment pieces) goes
+// through the codec's advisor — encoding decisions piggy-back on
+// adaptation exactly as in internal/core. The compressed tails implement
+// bat.Vector, so the MAL operators and the predicate-enhanced iterator
+// keep working transparently; bat.RangeSelect additionally picks up their
+// compressed-form span fast path.
+func (s *SegmentedBAT) SetCompression(mode compress.Mode) {
+	s.codec = compress.NewCodec(mode, s.ElemSize)
+	if s.codec.Enabled() {
+		for _, sg := range s.Segs {
+			s.encodeTail(sg)
+		}
+	}
+}
+
+// Compression returns the active compression mode.
+func (s *SegmentedBAT) Compression() compress.Mode { return s.codec.Mode() }
+
+// encodeTail re-encodes one segment's tail under the codec (no-op when
+// compression is off or the tail is already encoded).
+func (s *SegmentedBAT) encodeTail(sg *BATSegment) {
+	if !s.codec.Enabled() {
+		return
+	}
+	if dt, ok := sg.B.Tail.(*bat.DblVector); ok {
+		sg.B.Tail = s.codec.EncodeDbls(dt.Dbls())
+	}
 }
 
 // NewSegmentedBAT wraps a single [oid,dbl] BAT into a one-segment column
@@ -74,11 +117,21 @@ func (s *SegmentedBAT) TotalRows() int {
 	return n
 }
 
-// TotalBytes returns the accounted storage.
+// TotalBytes returns the accounted logical storage.
 func (s *SegmentedBAT) TotalBytes() int64 {
 	var n int64
 	for _, sg := range s.Segs {
 		n += sg.bytes(s.ElemSize)
+	}
+	return n
+}
+
+// TotalStoredBytes returns the accounted physical storage (equal to
+// TotalBytes without compression).
+func (s *SegmentedBAT) TotalStoredBytes() int64 {
+	var n int64
+	for _, sg := range s.Segs {
+		n += sg.storedBytes(s.ElemSize)
 	}
 	return n
 }
@@ -158,12 +211,17 @@ func (s *SegmentedBAT) splitSegment(i int, cuts ...float64) int64 {
 		p := sort.Search(len(pieces), func(x int) bool { return v < pieces[x].Hi })
 		pieces[p].B.AppendRow(h, t)
 	}
+	// Materialization is where encoding decisions piggy-back: each fresh
+	// piece is handed to the codec's advisor.
+	for _, p := range pieces {
+		s.encodeTail(p)
+	}
 	out := make([]*BATSegment, 0, len(s.Segs)+len(pieces)-1)
 	out = append(out, s.Segs[:i]...)
 	out = append(out, pieces...)
 	out = append(out, s.Segs[i+1:]...)
 	s.Segs = out
-	return sg.bytes(s.ElemSize)
+	return sg.storedBytes(s.ElemSize)
 }
 
 // Adapt runs the §3.3 reorganizing module over the segments overlapping

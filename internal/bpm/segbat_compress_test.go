@@ -1,0 +1,118 @@
+package bpm
+
+import (
+	"math/rand"
+	"testing"
+
+	"selforg/internal/bat"
+	"selforg/internal/compress"
+	"selforg/internal/model"
+)
+
+// buildRA returns a [oid,dbl] BAT with n clustered ra-like values — low
+// run count and narrow span, so the advisor has something to win on.
+func buildRA(n int) *bat.BAT {
+	rng := rand.New(rand.NewSource(21))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 180 + float64(rng.Intn(64))/8
+	}
+	return bat.NewDense(bat.NewDbls(vals))
+}
+
+// TestSegmentedBATCompression asserts a compressed segmented column stays
+// equivalent to its plain twin through adaptation: same rows, valid
+// invariants, smaller physical footprint.
+func TestSegmentedBATCompression(t *testing.T) {
+	const n = 4000
+	plain := NewSegmentedBAT("plain", buildRA(n), 180, 188, 4)
+	comp := NewSegmentedBAT("comp", buildRA(n), 180, 188, 4)
+	comp.SetCompression(compress.Auto)
+
+	if comp.Compression() != compress.Auto {
+		t.Fatalf("mode = %v", comp.Compression())
+	}
+	m := model.NewAPM(512, 4096)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		lo := 180 + rng.Float64()*7
+		hi := lo + rng.Float64()
+		plain.Adapt(lo, hi, m)
+		comp.Adapt(lo, hi, model.NewAPM(512, 4096))
+		if err := comp.Validate(); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if comp.TotalRows() != n {
+		t.Fatalf("rows = %d, want %d", comp.TotalRows(), n)
+	}
+	if comp.TotalStoredBytes() >= comp.TotalBytes() {
+		t.Errorf("no compression win: stored %d >= logical %d",
+			comp.TotalStoredBytes(), comp.TotalBytes())
+	}
+	// Flattened contents are identical (same data seed on both columns).
+	pf, cf := plain.Flatten(), comp.Flatten()
+	if pf.Len() != cf.Len() {
+		t.Fatalf("flatten lengths: %d vs %d", pf.Len(), cf.Len())
+	}
+	// Row order may differ across different split sequences; compare as
+	// multisets keyed by head oid.
+	byOid := make(map[uint64]float64, pf.Len())
+	for i := 0; i < pf.Len(); i++ {
+		h, v := pf.Row(i)
+		byOid[h.AsOid()] = v.AsDbl()
+	}
+	for i := 0; i < cf.Len(); i++ {
+		h, v := cf.Row(i)
+		if want, ok := byOid[h.AsOid()]; !ok || want != v.AsDbl() {
+			t.Fatalf("row oid %d: %g vs %g", h.AsOid(), v.AsDbl(), want)
+		}
+	}
+}
+
+// TestAggregatesOverCompressedTail asserts the MAL aggregates work
+// transparently over compressed tails (Sum's generic Get path).
+func TestAggregatesOverCompressedTail(t *testing.T) {
+	b := buildRA(1000)
+	dt := b.Tail.(*bat.DblVector)
+	want := bat.Sum(b).AsDbl()
+	for _, e := range compress.Encodings {
+		cb := bat.New(b.Head, compress.EncodeDbls(dt.Dbls(), e, 4))
+		if got := bat.Sum(cb).AsDbl(); got != want {
+			t.Errorf("%v: sum = %g, want %g", e, got, want)
+		}
+		if got := bat.Min(cb).AsDbl(); got != bat.Min(b).AsDbl() {
+			t.Errorf("%v: min mismatch", e)
+		}
+		if got := bat.Max(cb).AsDbl(); got != bat.Max(b).AsDbl() {
+			t.Errorf("%v: max mismatch", e)
+		}
+	}
+}
+
+// TestSegmentedBATRangeSelect asserts bat.RangeSelect over a compressed
+// tail returns exactly the plain result (exercising the RangeSpanner fast
+// path end to end).
+func TestSegmentedBATRangeSelect(t *testing.T) {
+	b := buildRA(2000)
+	dt := b.Tail.(*bat.DblVector)
+	for _, e := range compress.Encodings {
+		cb := bat.New(b.Head, compress.EncodeDbls(dt.Dbls(), e, 4))
+		want := bat.RangeSelect(b, bat.Dbl(182), bat.Dbl(184.5), true, true)
+		got := bat.RangeSelect(cb, bat.Dbl(182), bat.Dbl(184.5), true, true)
+		if want.Len() != got.Len() {
+			t.Fatalf("%v: %d vs %d rows", e, got.Len(), want.Len())
+		}
+		wantOids := make(map[uint64]float64, want.Len())
+		for i := 0; i < want.Len(); i++ {
+			h, v := want.Row(i)
+			wantOids[h.AsOid()] = v.AsDbl()
+		}
+		for i := 0; i < got.Len(); i++ {
+			h, v := got.Row(i)
+			if w, ok := wantOids[h.AsOid()]; !ok || w != v.AsDbl() {
+				t.Fatalf("%v: row %d mismatch", e, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchData returns the three canonical shapes at n rows: sorted
+// low-cardinality (RLE), shuffled low-cardinality (Dict), narrow-span
+// uniform (FOR).
+func benchData(n int) map[string][]int64 {
+	rng := rand.New(rand.NewSource(1))
+	sorted := make([]int64, n)
+	for i := range sorted {
+		sorted[i] = int64(i / (n / 64))
+	}
+	lowCard := make([]int64, n)
+	for i := range lowCard {
+		lowCard[i] = int64(rng.Intn(64)) * 1000
+	}
+	narrow := make([]int64, n)
+	for i := range narrow {
+		narrow[i] = 1<<40 + rng.Int63n(4096)
+	}
+	return map[string][]int64{"sorted": sorted, "lowCard": lowCard, "narrow": narrow}
+}
+
+// BenchmarkEncode measures encoding throughput per encoding.
+func BenchmarkEncode(b *testing.B) {
+	const n = 1 << 16
+	data := benchData(n)
+	for name, vals := range data {
+		for _, e := range Encodings {
+			b.Run(name+"/"+e.String(), func(b *testing.B) {
+				b.SetBytes(8 * n)
+				for i := 0; i < b.N; i++ {
+					Encode(vals, e, 4)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSelectRange measures the range-selection fast paths against
+// the plain scan on a half-hitting predicate.
+func BenchmarkSelectRange(b *testing.B) {
+	const n = 1 << 16
+	for name, vals := range benchData(n) {
+		lo, hi, _ := NewPlain(vals, 4).MinMax()
+		mid := lo + (hi-lo)/2
+		for _, e := range Encodings {
+			v := Encode(vals, e, 4)
+			b.Run(name+"/"+e.String(), func(b *testing.B) {
+				b.SetBytes(8 * n)
+				dst := make([]int64, 0, n)
+				for i := 0; i < b.N; i++ {
+					dst = v.SelectRange(lo, mid, dst[:0])
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCountRange measures the counting fast paths (RLE counts from
+// run headers without touching rows).
+func BenchmarkCountRange(b *testing.B) {
+	const n = 1 << 16
+	for name, vals := range benchData(n) {
+		lo, hi, _ := NewPlain(vals, 4).MinMax()
+		mid := lo + (hi-lo)/2
+		for _, e := range Encodings {
+			v := Encode(vals, e, 4)
+			b.Run(name+"/"+e.String(), func(b *testing.B) {
+				b.SetBytes(8 * n)
+				for i := 0; i < b.N; i++ {
+					v.CountRange(lo, mid)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package compress
+
+// packed is a fixed-width bit-packed array of n unsigned values, the
+// storage substrate of the Dict codes and FOR deltas. Width 0 encodes an
+// all-zero array in zero words.
+type packed struct {
+	width uint // bits per value, 0..64
+	n     int
+	words []uint64
+}
+
+// packAll packs vals at the given width. Values must fit in width bits.
+func packAll(vals []uint64, width uint) packed {
+	p := packed{width: width, n: len(vals)}
+	if width == 0 || len(vals) == 0 {
+		return p
+	}
+	p.words = make([]uint64, (uint(len(vals))*width+63)/64)
+	for i, v := range vals {
+		off := uint(i) * width
+		w, s := off/64, off%64
+		p.words[w] |= v << s
+		if s+width > 64 {
+			p.words[w+1] |= v >> (64 - s)
+		}
+	}
+	return p
+}
+
+// get returns the i-th packed value.
+func (p packed) get(i int) uint64 {
+	if p.width == 0 {
+		return 0
+	}
+	off := uint(i) * p.width
+	w, s := off/64, off%64
+	v := p.words[w] >> s
+	if s+p.width > 64 {
+		v |= p.words[w+1] << (64 - s)
+	}
+	if p.width == 64 {
+		return v
+	}
+	return v & (1<<p.width - 1)
+}
+
+// bytes returns the physical size of the packed words.
+func (p packed) bytes() int64 { return int64(len(p.words)) * 8 }
+
+// bitsFor returns the number of bits needed to represent v.
+func bitsFor(v uint64) uint {
+	n := uint(0)
+	for v != 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}

@@ -1,0 +1,222 @@
+// Package compress implements the adaptive per-segment compression
+// subsystem: lightweight, order-preserving encodings for column vectors —
+// run-length (RLE), dictionary with bit-packed codes, and
+// frame-of-reference with bit-packed deltas — alongside an uncompressed
+// Plain form.
+//
+// Every encoding implements bat.Vector, so BAT algebra, aggregation and
+// the MAL operators work transparently over compressed data, and each
+// offers range-selection fast paths that operate on the compressed form:
+// RLE skips or emits whole runs without expansion, Dict prunes through a
+// binary search of the sorted dictionary, and FOR prunes through its
+// min/max frame before touching a single delta.
+//
+// Encoding choice is adaptive: an Advisor profiles a segment's values
+// (run structure, cardinality, value span) and picks the
+// minimum-estimated-size encoding. The self-organizing strategies of
+// internal/core piggy-back that decision on query execution exactly the
+// way the paper piggy-backs splitting: a segment is (re-)encoded when a
+// query materializes or splits it, so hot, reorganized regions converge
+// to their best storage format without any offline pass. The design
+// follows Fehér & Lucani's adaptive column-compression family and
+// Bruno's observation that lightweight compression dominates C-store
+// scan cost (see PAPERS.md).
+//
+// Sizes are accounted against the column's accounted element width
+// (ElemSize, 4 bytes in the paper's setup), so Plain matches the
+// uncompressed accounting exactly and compression ratios are meaningful
+// within the paper's cost model.
+package compress
+
+import (
+	"fmt"
+
+	"selforg/internal/bat"
+)
+
+// Encoding identifies one storage encoding.
+type Encoding uint8
+
+const (
+	// Plain stores values uncompressed, in arrival order.
+	Plain Encoding = iota
+	// RLE stores maximal runs of equal adjacent values as (value, end).
+	RLE
+	// Dict stores a sorted dictionary of distinct values plus bit-packed
+	// per-row codes.
+	Dict
+	// FOR stores a frame of reference (the minimum) plus bit-packed
+	// per-row deltas.
+	FOR
+)
+
+// Encodings lists every concrete encoding, Plain first.
+var Encodings = []Encoding{Plain, RLE, Dict, FOR}
+
+func (e Encoding) String() string {
+	switch e {
+	case Plain:
+		return "plain"
+	case RLE:
+		return "rle"
+	case Dict:
+		return "dict"
+	case FOR:
+		return "for"
+	default:
+		return fmt.Sprintf("Encoding(%d)", uint8(e))
+	}
+}
+
+// Mode is the compression policy knob surfaced through selforg.Options:
+// off (the zero value, the legacy uncompressed layout), adaptive
+// (advisor-chosen per segment), or one forced encoding.
+type Mode int
+
+const (
+	// Off disables the subsystem: segments store raw value slices.
+	Off Mode = iota
+	// Auto lets the Advisor pick the minimum-estimated-size encoding per
+	// segment.
+	Auto
+	// ForcePlain wraps segments in the Plain encoding (useful to isolate
+	// the cost of the vector indirection in benchmarks).
+	ForcePlain
+	// ForceRLE forces run-length encoding.
+	ForceRLE
+	// ForceDict forces dictionary encoding.
+	ForceDict
+	// ForceFOR forces frame-of-reference encoding.
+	ForceFOR
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case Auto:
+		return "auto"
+	case ForcePlain:
+		return "plain"
+	case ForceRLE:
+		return "rle"
+	case ForceDict:
+		return "dict"
+	case ForceFOR:
+		return "for"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Enabled reports whether the mode stores segments through the subsystem.
+func (m Mode) Enabled() bool { return m != Off }
+
+// Forced returns the forced encoding and true for the Force* modes.
+func (m Mode) Forced() (Encoding, bool) {
+	switch m {
+	case ForcePlain:
+		return Plain, true
+	case ForceRLE:
+		return RLE, true
+	case ForceDict:
+		return Dict, true
+	case ForceFOR:
+		return FOR, true
+	default:
+		return Plain, false
+	}
+}
+
+// Vector is a compressed int64 column vector. It extends bat.Vector — so
+// a compressed vector slots into a BAT tail and every kernel operator
+// keeps working — with raw accessors and the compressed-form fast paths.
+//
+// Append and Slice follow bat.Vector's replace semantics: they return a
+// Plain vector holding the decoded result, since point mutation defeats
+// the encodings; re-encoding after a batch of appends is the caller's
+// (usually the Codec's) job.
+type Vector interface {
+	bat.Vector
+
+	// Encoding identifies the storage format.
+	Encoding() Encoding
+	// StoredBytes is the accounted physical size of the encoded form,
+	// measured against the accounted element width the vector was encoded
+	// with. Plain's StoredBytes equals Len()*elemSize exactly.
+	StoredBytes() int64
+	// At returns the i-th value without bat.Value boxing.
+	At(i int) int64
+	// AppendTo appends every value, in order, to dst and returns it.
+	AppendTo(dst []int64) []int64
+	// SelectRange appends the values lying in [lo, hi] (inclusive), in
+	// order, to dst — the selection fast path on the compressed form.
+	SelectRange(lo, hi int64, dst []int64) []int64
+	// CountRange counts the values lying in [lo, hi] without materializing
+	// them.
+	CountRange(lo, hi int64) int64
+	// Spans calls f(start, end) for every maximal half-open row span
+	// [start, end) whose values all lie in [lo, hi], in ascending order.
+	// Positional selections (BAT head/tail association) build on it; the
+	// bat.Value-typed RangeSpans adapters expose it as bat.RangeSpanner.
+	Spans(lo, hi int64, f func(start, end int))
+	// MinMax returns the extreme values; ok is false for empty vectors.
+	MinMax() (min, max int64, ok bool)
+}
+
+// Encode compresses vals with the given encoding. elemSize is the
+// accounted bytes per uncompressed element (the column's ElemSize); sizes
+// below 1 default to 8 (the in-memory width of an int64). The input slice
+// is not retained by RLE/Dict/FOR; Plain aliases it.
+func Encode(vals []int64, e Encoding, elemSize int64) Vector {
+	if elemSize < 1 {
+		elemSize = 8
+	}
+	switch e {
+	case Plain:
+		return NewPlain(vals, elemSize)
+	case RLE:
+		return NewRLE(vals, elemSize)
+	case Dict:
+		return NewDict(vals, elemSize)
+	case FOR:
+		return NewFOR(vals, elemSize)
+	default:
+		panic(fmt.Sprintf("compress: unknown encoding %v", e))
+	}
+}
+
+// selectScan is the shared scan-based SelectRange used by the encodings
+// whose rows decode in O(1).
+func selectScan(v Vector, lo, hi int64, dst []int64) []int64 {
+	n := v.Len()
+	for i := 0; i < n; i++ {
+		if x := v.At(i); x >= lo && x <= hi {
+			dst = append(dst, x)
+		}
+	}
+	return dst
+}
+
+// spanScan is the shared scan-based Spans for O(1)-decode encodings: it
+// coalesces adjacent qualifying rows into maximal spans.
+func spanScan(v Vector, lo, hi int64, f func(start, end int)) {
+	n := v.Len()
+	start := -1
+	for i := 0; i < n; i++ {
+		x := v.At(i)
+		if x >= lo && x <= hi {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			f(start, i)
+			start = -1
+		}
+	}
+	if start >= 0 {
+		f(start, n)
+	}
+}

@@ -1,0 +1,166 @@
+package compress
+
+import "selforg/internal/bat"
+
+// FORVector is frame-of-reference encoding: the minimum value is the
+// frame, every row stores its bit-packed delta from it. The frame and the
+// maximum double as a min-max synopsis, so a range predicate that misses
+// or swallows the segment is answered without unpacking a single delta —
+// the pruning fast path the segment meta-index composes with.
+type FORVector struct {
+	ref      int64 // frame of reference: the minimum value
+	max      int64
+	deltas   packed // per-row unsigned delta from ref
+	elemSize int64
+}
+
+// NewFOR encodes vals; the input is not retained.
+func NewFOR(vals []int64, elemSize int64) *FORVector {
+	if elemSize < 1 {
+		elemSize = 8
+	}
+	f := &FORVector{elemSize: elemSize}
+	if len(vals) == 0 {
+		return f
+	}
+	f.ref, f.max = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < f.ref {
+			f.ref = v
+		}
+		if v > f.max {
+			f.max = v
+		}
+	}
+	// Deltas in uint64 arithmetic so the full int64 span cannot overflow.
+	width := bitsFor(uint64(f.max) - uint64(f.ref))
+	deltas := make([]uint64, len(vals))
+	for i, v := range vals {
+		deltas[i] = uint64(v) - uint64(f.ref)
+	}
+	f.deltas = packAll(deltas, width)
+	return f
+}
+
+// Kind implements bat.Vector.
+func (f *FORVector) Kind() bat.Kind { return bat.KLng }
+
+// Len implements bat.Vector.
+func (f *FORVector) Len() int { return f.deltas.n }
+
+// Get implements bat.Vector.
+func (f *FORVector) Get(i int) bat.Value { return bat.Lng(f.At(i)) }
+
+// Append implements bat.Vector by decaying to Plain (see Vector docs).
+func (f *FORVector) Append(v bat.Value) bat.Vector {
+	return NewPlain(append(f.AppendTo(nil), v.AsLng()), f.elemSize)
+}
+
+// Slice implements bat.Vector by decoding the window into Plain.
+func (f *FORVector) Slice(i, j int) bat.Vector {
+	out := make([]int64, 0, j-i)
+	for k := i; k < j; k++ {
+		out = append(out, f.At(k))
+	}
+	return NewPlain(out, f.elemSize)
+}
+
+// Empty implements bat.Vector.
+func (f *FORVector) Empty() bat.Vector { return NewPlain(nil, f.elemSize) }
+
+// Encoding implements Vector.
+func (f *FORVector) Encoding() Encoding { return FOR }
+
+// forHeaderBytes is the accounted per-vector header (row count, delta
+// width).
+const forHeaderBytes = 8
+
+// StoredBytes implements Vector: a vector header, the two frame values,
+// and the packed deltas.
+func (f *FORVector) StoredBytes() int64 {
+	if f.deltas.n == 0 {
+		return 0
+	}
+	return forHeaderBytes + 2*f.elemSize + f.deltas.bytes()
+}
+
+// Width returns the delta bit width (diagnostics, advisor validation).
+func (f *FORVector) Width() uint { return f.deltas.width }
+
+// At implements Vector.
+func (f *FORVector) At(i int) int64 {
+	return int64(uint64(f.ref) + f.deltas.get(i))
+}
+
+// AppendTo implements Vector.
+func (f *FORVector) AppendTo(dst []int64) []int64 {
+	for i := 0; i < f.deltas.n; i++ {
+		dst = append(dst, f.At(i))
+	}
+	return dst
+}
+
+// prune classifies [lo, hi] against the frame: -1 disjoint, +1 covers the
+// whole vector, 0 partial.
+func (f *FORVector) prune(lo, hi int64) int {
+	if f.deltas.n == 0 || hi < f.ref || lo > f.max {
+		return -1
+	}
+	if lo <= f.ref && hi >= f.max {
+		return 1
+	}
+	return 0
+}
+
+// SelectRange implements Vector with min-max pruning before any unpack.
+func (f *FORVector) SelectRange(lo, hi int64, dst []int64) []int64 {
+	switch f.prune(lo, hi) {
+	case -1:
+		return dst
+	case 1:
+		return f.AppendTo(dst)
+	}
+	return selectScan(f, lo, hi, dst)
+}
+
+// CountRange implements Vector.
+func (f *FORVector) CountRange(lo, hi int64) int64 {
+	switch f.prune(lo, hi) {
+	case -1:
+		return 0
+	case 1:
+		return int64(f.deltas.n)
+	}
+	var n int64
+	for i := 0; i < f.deltas.n; i++ {
+		if v := f.At(i); v >= lo && v <= hi {
+			n++
+		}
+	}
+	return n
+}
+
+// Spans implements Vector.
+func (f *FORVector) Spans(lo, hi int64, fn func(start, end int)) {
+	switch f.prune(lo, hi) {
+	case -1:
+		return
+	case 1:
+		fn(0, f.deltas.n)
+		return
+	}
+	spanScan(f, lo, hi, fn)
+}
+
+// RangeSpans implements bat.RangeSpanner.
+func (f *FORVector) RangeSpans(lo, hi bat.Value, fn func(start, end int)) {
+	f.Spans(lo.AsLng(), hi.AsLng(), fn)
+}
+
+// MinMax implements Vector: free from the frame.
+func (f *FORVector) MinMax() (int64, int64, bool) {
+	if f.deltas.n == 0 {
+		return 0, 0, false
+	}
+	return f.ref, f.max, true
+}

@@ -1,0 +1,105 @@
+package compress
+
+import "selforg/internal/bat"
+
+// PlainVector is the uncompressed encoding: a raw int64 slice plus the
+// accounted element width. It exists so that "compression on, encoding
+// plain" costs exactly what the legacy layout costs, which lets the
+// Advisor fall back to it whenever no encoding would pay off.
+type PlainVector struct {
+	vals     []int64
+	elemSize int64
+}
+
+// NewPlain wraps vals (not copied) at the given accounted element width.
+func NewPlain(vals []int64, elemSize int64) *PlainVector {
+	if elemSize < 1 {
+		elemSize = 8
+	}
+	return &PlainVector{vals: vals, elemSize: elemSize}
+}
+
+// Kind implements bat.Vector.
+func (p *PlainVector) Kind() bat.Kind { return bat.KLng }
+
+// Len implements bat.Vector.
+func (p *PlainVector) Len() int { return len(p.vals) }
+
+// Get implements bat.Vector.
+func (p *PlainVector) Get(i int) bat.Value { return bat.Lng(p.vals[i]) }
+
+// Append implements bat.Vector. The payload is copied: a PlainVector
+// usually aliases a segment's storage, which must not grow underfoot.
+func (p *PlainVector) Append(v bat.Value) bat.Vector {
+	vals := make([]int64, 0, len(p.vals)+1)
+	vals = append(append(vals, p.vals...), v.AsLng())
+	return &PlainVector{vals: vals, elemSize: p.elemSize}
+}
+
+// Slice implements bat.Vector.
+func (p *PlainVector) Slice(i, j int) bat.Vector {
+	return &PlainVector{vals: p.vals[i:j], elemSize: p.elemSize}
+}
+
+// Empty implements bat.Vector.
+func (p *PlainVector) Empty() bat.Vector { return &PlainVector{elemSize: p.elemSize} }
+
+// Encoding implements Vector.
+func (p *PlainVector) Encoding() Encoding { return Plain }
+
+// StoredBytes implements Vector: exactly the uncompressed accounting.
+func (p *PlainVector) StoredBytes() int64 { return int64(len(p.vals)) * p.elemSize }
+
+// At implements Vector.
+func (p *PlainVector) At(i int) int64 { return p.vals[i] }
+
+// AppendTo implements Vector.
+func (p *PlainVector) AppendTo(dst []int64) []int64 { return append(dst, p.vals...) }
+
+// SelectRange implements Vector.
+func (p *PlainVector) SelectRange(lo, hi int64, dst []int64) []int64 {
+	for _, v := range p.vals {
+		if v >= lo && v <= hi {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// CountRange implements Vector.
+func (p *PlainVector) CountRange(lo, hi int64) int64 {
+	var n int64
+	for _, v := range p.vals {
+		if v >= lo && v <= hi {
+			n++
+		}
+	}
+	return n
+}
+
+// Spans implements Vector.
+func (p *PlainVector) Spans(lo, hi int64, f func(start, end int)) {
+	spanScan(p, lo, hi, f)
+}
+
+// RangeSpans implements bat.RangeSpanner.
+func (p *PlainVector) RangeSpans(lo, hi bat.Value, f func(start, end int)) {
+	p.Spans(lo.AsLng(), hi.AsLng(), f)
+}
+
+// MinMax implements Vector.
+func (p *PlainVector) MinMax() (int64, int64, bool) {
+	if len(p.vals) == 0 {
+		return 0, 0, false
+	}
+	lo, hi := p.vals[0], p.vals[0]
+	for _, v := range p.vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi, true
+}

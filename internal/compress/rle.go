@@ -1,0 +1,211 @@
+package compress
+
+import (
+	"sort"
+
+	"selforg/internal/bat"
+)
+
+// RLEVector is run-length encoding: maximal runs of equal adjacent values
+// stored as a value plus the run's cumulative end offset. Point access
+// binary-searches the run ends; range selection touches each run header
+// exactly once and never expands a run it can skip, so scans over sorted
+// or low-run-count data cost O(runs), not O(rows).
+type RLEVector struct {
+	vals     []int64 // run values, in sequence order
+	ends     []int32 // cumulative exclusive end row of each run
+	min, max int64
+	elemSize int64
+}
+
+// rleRunBytes is the accounted header cost per run on top of the value:
+// a 4-byte row count. rleHeaderBytes is the per-vector header (run count,
+// synopsis).
+const (
+	rleRunBytes    = 4
+	rleHeaderBytes = 8
+)
+
+// NewRLE encodes vals; the input is not retained.
+func NewRLE(vals []int64, elemSize int64) *RLEVector {
+	if elemSize < 1 {
+		elemSize = 8
+	}
+	r := &RLEVector{elemSize: elemSize}
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			r.vals = append(r.vals, v)
+			r.ends = append(r.ends, int32(i+1))
+		} else {
+			r.ends[len(r.ends)-1] = int32(i + 1)
+		}
+		if i == 0 || v < r.min {
+			r.min = v
+		}
+		if i == 0 || v > r.max {
+			r.max = v
+		}
+	}
+	return r
+}
+
+// run returns the [start, end) rows of run k.
+func (r *RLEVector) run(k int) (int, int) {
+	start := 0
+	if k > 0 {
+		start = int(r.ends[k-1])
+	}
+	return start, int(r.ends[k])
+}
+
+// appendRepeat appends count copies of v to dst at memmove speed
+// (doubling copies), the run-expansion kernel of AppendTo/SelectRange.
+func appendRepeat(dst []int64, v int64, count int) []int64 {
+	if count <= 0 {
+		return dst
+	}
+	need := len(dst) + count
+	if cap(dst) < need {
+		grown := make([]int64, len(dst), max(need, 2*cap(dst)))
+		copy(grown, dst)
+		dst = grown
+	}
+	seg := dst[len(dst):need]
+	dst = dst[:need]
+	seg[0] = v
+	for filled := 1; filled < count; filled *= 2 {
+		copy(seg[filled:], seg[:filled])
+	}
+	return dst
+}
+
+// Kind implements bat.Vector.
+func (r *RLEVector) Kind() bat.Kind { return bat.KLng }
+
+// Len implements bat.Vector.
+func (r *RLEVector) Len() int {
+	if len(r.ends) == 0 {
+		return 0
+	}
+	return int(r.ends[len(r.ends)-1])
+}
+
+// Get implements bat.Vector.
+func (r *RLEVector) Get(i int) bat.Value { return bat.Lng(r.At(i)) }
+
+// Append implements bat.Vector by decaying to Plain (see Vector docs).
+func (r *RLEVector) Append(v bat.Value) bat.Vector {
+	return NewPlain(append(r.AppendTo(nil), v.AsLng()), r.elemSize)
+}
+
+// Slice implements bat.Vector by decoding the window into Plain.
+func (r *RLEVector) Slice(i, j int) bat.Vector {
+	out := make([]int64, 0, j-i)
+	for k := i; k < j; k++ {
+		out = append(out, r.At(k))
+	}
+	return NewPlain(out, r.elemSize)
+}
+
+// Empty implements bat.Vector.
+func (r *RLEVector) Empty() bat.Vector { return NewPlain(nil, r.elemSize) }
+
+// Encoding implements Vector.
+func (r *RLEVector) Encoding() Encoding { return RLE }
+
+// StoredBytes implements Vector: a vector header plus one value and one
+// row count per run.
+func (r *RLEVector) StoredBytes() int64 {
+	if len(r.vals) == 0 {
+		return 0
+	}
+	return rleHeaderBytes + int64(len(r.vals))*(r.elemSize+rleRunBytes)
+}
+
+// Runs returns the number of runs (diagnostics, advisor validation).
+func (r *RLEVector) Runs() int { return len(r.vals) }
+
+// At implements Vector.
+func (r *RLEVector) At(i int) int64 {
+	k := sort.Search(len(r.ends), func(k int) bool { return int(r.ends[k]) > i })
+	return r.vals[k]
+}
+
+// AppendTo implements Vector.
+func (r *RLEVector) AppendTo(dst []int64) []int64 {
+	for k, v := range r.vals {
+		start, end := r.run(k)
+		dst = appendRepeat(dst, v, end-start)
+	}
+	return dst
+}
+
+// SelectRange implements Vector: whole runs are emitted or skipped on the
+// strength of the run header alone.
+func (r *RLEVector) SelectRange(lo, hi int64, dst []int64) []int64 {
+	if hi < r.min || lo > r.max {
+		return dst
+	}
+	for k, v := range r.vals {
+		if v < lo || v > hi {
+			continue
+		}
+		start, end := r.run(k)
+		dst = appendRepeat(dst, v, end-start)
+	}
+	return dst
+}
+
+// CountRange implements Vector without touching any row: qualifying run
+// lengths are summed from the headers.
+func (r *RLEVector) CountRange(lo, hi int64) int64 {
+	if hi < r.min || lo > r.max {
+		return 0
+	}
+	var n int64
+	for k, v := range r.vals {
+		if v >= lo && v <= hi {
+			start, end := r.run(k)
+			n += int64(end - start)
+		}
+	}
+	return n
+}
+
+// Spans implements Vector: adjacent qualifying runs coalesce into one
+// span.
+func (r *RLEVector) Spans(lo, hi int64, f func(start, end int)) {
+	if hi < r.min || lo > r.max {
+		return
+	}
+	spanStart := -1
+	for k, v := range r.vals {
+		start, _ := r.run(k)
+		if v >= lo && v <= hi {
+			if spanStart < 0 {
+				spanStart = start
+			}
+			continue
+		}
+		if spanStart >= 0 {
+			f(spanStart, start)
+			spanStart = -1
+		}
+	}
+	if spanStart >= 0 {
+		f(spanStart, r.Len())
+	}
+}
+
+// RangeSpans implements bat.RangeSpanner.
+func (r *RLEVector) RangeSpans(lo, hi bat.Value, f func(start, end int)) {
+	r.Spans(lo.AsLng(), hi.AsLng(), f)
+}
+
+// MinMax implements Vector.
+func (r *RLEVector) MinMax() (int64, int64, bool) {
+	if len(r.vals) == 0 {
+		return 0, 0, false
+	}
+	return r.min, r.max, true
+}

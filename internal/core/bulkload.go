@@ -54,20 +54,25 @@ func (s *Segmenter) BulkLoad(vals []domain.Value) (QueryStats, error) {
 	sort.Sort(sort.Reverse(sort.IntSlice(idxs)))
 	for _, i := range idxs {
 		sg := s.list.Seg(i)
-		oldBytes := int64(sg.Bytes(elem))
-		merged := make([]domain.Value, 0, len(sg.Vals)+len(buckets[i]))
-		merged = append(merged, sg.Vals...)
+		oldBytes := int64(sg.StoredBytes(elem))
+		merged := make([]domain.Value, 0, sg.Count()+int64(len(buckets[i])))
+		merged = sg.AppendValues(merged)
 		merged = append(merged, buckets[i]...)
 		repl := segment.NewMaterialized(sg.Rng, merged)
 		s.list.Replace(i, repl)
-		newBytes := int64(repl.Bytes(elem))
+		// The rewrite is a materialization like any other: the codec
+		// re-encodes the merged segment before the write is accounted.
+		s.encode(repl, &st)
+		newBytes := int64(repl.StoredBytes(elem))
 		st.ReadBytes += oldBytes // the rewrite scans the old segment
 		st.WriteBytes += newBytes
+		s.stored += newBytes - oldBytes
 		s.tracer.Scan(sg.ID, oldBytes)
 		s.tracer.Drop(sg.ID, oldBytes)
 		s.tracer.Materialize(repl.ID, newBytes)
 	}
 	s.totalBytes += int64(len(vals)) * elem
+	s.snapshot(&st)
 	return st, nil
 }
 
@@ -85,41 +90,48 @@ func (r *Replicator) BulkLoad(vals []domain.Value) (QueryStats, error) {
 			return st, fmt.Errorf("core: bulk value %d outside extent %v", v, extent)
 		}
 	}
-	touched := make(map[*node]int64) // node -> appended count
+	buckets := make(map[*node][]domain.Value) // node -> values to append
 	for _, v := range vals {
-		r.loadValue(r.sentinel, v, touched)
+		r.loadValue(r.sentinel, v, buckets)
 	}
-	for n, added := range touched {
-		if n == r.sentinel {
-			continue
+	for n, add := range buckets {
+		// The rewrite scans the old payload and materializes the merged
+		// one; encoded replicas are decoded, extended and re-encoded, so
+		// read/write volumes are the physical footprints on both sides.
+		oldBytes := int64(n.seg.StoredBytes(r.elemSize))
+		n.seg.Decode()
+		n.seg.Vals = append(n.seg.Vals, add...)
+		if n.seg.Encode(r.codec) {
+			st.Recodes++
 		}
-		bytes := int64(len(n.seg.Vals)) * r.elemSize
-		st.ReadBytes += bytes - added*r.elemSize // rewrite scans the old payload
-		st.WriteBytes += bytes
-		r.storage += added * r.elemSize
-		r.tracer.Scan(n.seg.ID, bytes-added*r.elemSize)
-		r.tracer.Drop(n.seg.ID, bytes-added*r.elemSize)
-		r.tracer.Materialize(n.seg.ID, bytes)
+		newBytes := int64(n.seg.StoredBytes(r.elemSize))
+		st.ReadBytes += oldBytes
+		st.WriteBytes += newBytes
+		r.storage += int64(len(add)) * r.elemSize
+		r.stored += newBytes - oldBytes
+		r.tracer.Scan(n.seg.ID, oldBytes)
+		r.tracer.Drop(n.seg.ID, oldBytes)
+		r.tracer.Materialize(n.seg.ID, newBytes)
 	}
 	r.totalBytes += int64(len(vals)) * r.elemSize
+	r.snapshot(&st)
 	return st, nil
 }
 
-// loadValue routes one value down the tree: appends to materialized
-// nodes, bumps virtual estimates, and recurses into the child whose range
-// contains it.
-func (r *Replicator) loadValue(n *node, v domain.Value, touched map[*node]int64) {
+// loadValue routes one value down the tree: buckets it for every
+// materialized node on its path, bumps virtual estimates, and recurses
+// into the child whose range contains it.
+func (r *Replicator) loadValue(n *node, v domain.Value, buckets map[*node][]domain.Value) {
 	if n != r.sentinel {
 		if n.seg.Virtual {
 			n.seg.EstCount++
 		} else {
-			n.seg.Vals = append(n.seg.Vals, v)
-			touched[n]++
+			buckets[n] = append(buckets[n], v)
 		}
 	}
 	for _, c := range n.children {
 		if c.seg.Rng.Contains(v) {
-			r.loadValue(c, v, touched)
+			r.loadValue(c, v, buckets)
 			return
 		}
 	}

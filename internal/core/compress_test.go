@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"selforg/internal/compress"
+	"selforg/internal/domain"
+	"selforg/internal/model"
+)
+
+// compressColumn builds an RLE/dict-friendly column: sorted low-ish
+// cardinality values over [0, 9999].
+func compressColumn(n int) []domain.Value {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]domain.Value, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(500) * 20
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func sortedCopy(v []domain.Value) []domain.Value {
+	out := append([]domain.Value(nil), v...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestSegmenterCompressedEquivalence drives identical query streams over
+// a plain and a compressed Segmenter and asserts identical results,
+// identical reorganization, and a strictly smaller physical footprint.
+func TestSegmenterCompressedEquivalence(t *testing.T) {
+	extent := domain.NewRange(0, 9999)
+	vals := compressColumn(4000)
+	for _, mode := range []compress.Mode{compress.Auto, compress.ForceRLE, compress.ForceDict, compress.ForceFOR, compress.ForcePlain} {
+		plain := NewSegmenter(extent, append([]domain.Value(nil), vals...), 4, model.NewAPM(256, 2048), nil)
+		comp := NewSegmenter(extent, append([]domain.Value(nil), vals...), 4, model.NewAPM(256, 2048), nil)
+		comp.SetCompression(mode)
+
+		qrng := rand.New(rand.NewSource(77))
+		for i := 0; i < 200; i++ {
+			lo := qrng.Int63n(9000)
+			q := domain.Range{Lo: lo, Hi: lo + qrng.Int63n(900) + 1}
+			pr, pst := plain.Select(q)
+			cr, cst := comp.Select(q)
+			if len(pr) != len(cr) {
+				t.Fatalf("%v q%d %v: %d vs %d results", mode, i, q, len(pr), len(cr))
+			}
+			ps, cs := sortedCopy(pr), sortedCopy(cr)
+			for j := range ps {
+				if ps[j] != cs[j] {
+					t.Fatalf("%v q%d %v: result %d differs: %d vs %d", mode, i, q, j, ps[j], cs[j])
+				}
+			}
+			if pst.Splits != cst.Splits {
+				t.Fatalf("%v q%d: splits diverged (%d vs %d)", mode, i, pst.Splits, cst.Splits)
+			}
+			if cst.ReadBytes > pst.ReadBytes {
+				t.Fatalf("%v q%d: compressed read %d > plain %d", mode, i, cst.ReadBytes, pst.ReadBytes)
+			}
+			if cst.CompressedBytes > cst.StorageBytes {
+				t.Fatalf("%v q%d: physical %d > logical %d", mode, i, cst.CompressedBytes, cst.StorageBytes)
+			}
+			if err := comp.List().Validate(); err != nil {
+				t.Fatalf("%v q%d: %v", mode, i, err)
+			}
+		}
+		if plain.SegmentCount() != comp.SegmentCount() {
+			t.Fatalf("%v: segment counts diverged: %d vs %d", mode, plain.SegmentCount(), comp.SegmentCount())
+		}
+		if comp.UncompressedBytes() != plain.StorageBytes() {
+			t.Errorf("%v: logical bytes %v != plain storage %v", mode, comp.UncompressedBytes(), plain.StorageBytes())
+		}
+		if mode != compress.ForcePlain && comp.StorageBytes() >= plain.StorageBytes() {
+			t.Errorf("%v: no compression win: %v vs %v", mode, comp.StorageBytes(), plain.StorageBytes())
+		}
+	}
+}
+
+// TestSegmenterCount asserts the counting path agrees with Select while
+// splitting identically and reading no more.
+func TestSegmenterCount(t *testing.T) {
+	extent := domain.NewRange(0, 9999)
+	vals := compressColumn(4000)
+	sel := NewSegmenter(extent, append([]domain.Value(nil), vals...), 4, model.NewAPM(256, 2048), nil)
+	cnt := NewSegmenter(extent, append([]domain.Value(nil), vals...), 4, model.NewAPM(256, 2048), nil)
+	cnt.SetCompression(compress.Auto)
+
+	qrng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		lo := qrng.Int63n(9000)
+		q := domain.Range{Lo: lo, Hi: lo + qrng.Int63n(900) + 1}
+		res, sst := sel.Select(q)
+		n, nst := cnt.Count(q)
+		if int64(len(res)) != n {
+			t.Fatalf("q%d %v: count %d != select %d", i, q, n, len(res))
+		}
+		if nst.ResultCount != n {
+			t.Fatalf("q%d: ResultCount %d != %d", i, nst.ResultCount, n)
+		}
+		if sst.Splits != nst.Splits {
+			t.Fatalf("q%d: counting did not drive adaptation (%d vs %d splits)", i, sst.Splits, nst.Splits)
+		}
+		if nst.ReadBytes > sst.ReadBytes {
+			t.Fatalf("q%d: count read %d > select read %d", i, nst.ReadBytes, sst.ReadBytes)
+		}
+	}
+	if sel.SegmentCount() != cnt.SegmentCount() {
+		t.Fatalf("layouts diverged: %d vs %d segments", sel.SegmentCount(), cnt.SegmentCount())
+	}
+}
+
+// TestReplicatorCompressed asserts replica materialization under
+// compression: identical results, valid tree, physical storage below
+// logical, and exact logical parity with the plain run.
+func TestReplicatorCompressed(t *testing.T) {
+	extent := domain.NewRange(0, 9999)
+	vals := compressColumn(4000)
+	plain := NewReplicator(extent, append([]domain.Value(nil), vals...), 4, model.NewAPM(256, 2048), nil)
+	comp := NewReplicator(extent, append([]domain.Value(nil), vals...), 4, model.NewAPM(256, 2048), nil)
+	comp.SetCompression(compress.Auto)
+
+	qrng := rand.New(rand.NewSource(19))
+	for i := 0; i < 150; i++ {
+		lo := qrng.Int63n(9000)
+		q := domain.Range{Lo: lo, Hi: lo + qrng.Int63n(900) + 1}
+		pr, _ := plain.Select(q)
+		cr, cst := comp.Select(q)
+		if len(pr) != len(cr) {
+			t.Fatalf("q%d %v: %d vs %d results", i, q, len(pr), len(cr))
+		}
+		ps, cs := sortedCopy(pr), sortedCopy(cr)
+		for j := range ps {
+			if ps[j] != cs[j] {
+				t.Fatalf("q%d: result %d differs", i, j)
+			}
+		}
+		if cst.CompressedBytes > cst.StorageBytes {
+			t.Fatalf("q%d: physical %d > logical %d", i, cst.CompressedBytes, cst.StorageBytes)
+		}
+		if err := comp.Validate(); err != nil {
+			t.Fatalf("q%d: %v", i, err)
+		}
+	}
+	if comp.UncompressedBytes() != plain.StorageBytes() {
+		t.Errorf("logical storage diverged: %v vs %v", comp.UncompressedBytes(), plain.StorageBytes())
+	}
+	if comp.StorageBytes() >= comp.UncompressedBytes() {
+		t.Errorf("no compression win: physical %v >= logical %v", comp.StorageBytes(), comp.UncompressedBytes())
+	}
+
+	// Counting agrees with selection on the compressed tree.
+	n, _ := comp.Count(domain.Range{Lo: 1000, Hi: 5000})
+	res, _ := plain.Select(domain.Range{Lo: 1000, Hi: 5000})
+	if n != int64(len(res)) {
+		t.Errorf("count %d != select %d", n, len(res))
+	}
+}
+
+// TestBulkLoadCompressed asserts bulk loading keeps encoded segments
+// intact for both strategies.
+func TestBulkLoadCompressed(t *testing.T) {
+	extent := domain.NewRange(0, 999)
+	base := make([]domain.Value, 500)
+	for i := range base {
+		base[i] = int64(i % 250)
+	}
+	s := NewSegmenter(extent, append([]domain.Value(nil), base...), 4, model.NewAPM(64, 256), nil)
+	s.SetCompression(compress.Auto)
+	for i := 0; i < 30; i++ {
+		s.Select(domain.Range{Lo: int64(i * 30), Hi: int64(i*30 + 40)})
+	}
+	if _, err := s.BulkLoad([]domain.Value{0, 100, 999, 500}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.List().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := s.Count(extent)
+	if n != 504 {
+		t.Errorf("segmenter count after load = %d, want 504", n)
+	}
+
+	r := NewReplicator(extent, append([]domain.Value(nil), base...), 4, model.NewAPM(64, 256), nil)
+	r.SetCompression(compress.Auto)
+	for i := 0; i < 30; i++ {
+		r.Select(domain.Range{Lo: int64(i * 30), Hi: int64(i*30 + 40)})
+	}
+	if _, err := r.BulkLoad([]domain.Value{0, 100, 999, 500}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rn, _ := r.Count(extent)
+	if rn != 504 {
+		t.Errorf("replicator count after load = %d, want 504", rn)
+	}
+}

@@ -38,23 +38,40 @@ func (nopTracer) Drop(int64, int64)        {}
 
 // QueryStats aggregates the per-query cost measures of the paper's
 // evaluation: memory reads (Figures 7, Table 1), memory writes due to
-// segment materialization — query results included — (Figures 5, 6), and
-// reorganization activity.
+// segment materialization — query results included — (Figures 5, 6),
+// reorganization activity, and the compression subsystem's accounting.
+//
+// Read and write volumes are physical: scanning or materializing a
+// compressed segment costs its encoded size. With compression off,
+// physical equals logical everywhere and the measures match the paper's
+// exactly.
 type QueryStats struct {
-	ReadBytes   int64 // bytes of segments scanned
-	WriteBytes  int64 // bytes written materializing segments
+	ReadBytes   int64 // physical bytes of segments scanned
+	WriteBytes  int64 // physical bytes written materializing segments
 	ResultCount int64 // tuples in the selection result
 	Splits      int   // segments reorganized by this query
 	Drops       int   // replica-tree nodes dropped (replication only)
+	Recodes     int   // segments (re-)encoded by this query
+
+	// StorageBytes and CompressedBytes snapshot the column after the
+	// query: logical (uncompressed) bytes held vs physical bytes held.
+	// Their difference is the storage the compression subsystem saves;
+	// they are equal when compression is off.
+	StorageBytes    int64
+	CompressedBytes int64
 }
 
-// Add accumulates other into s.
+// Add accumulates the additive measures of other into s and carries the
+// storage snapshot of the later query forward.
 func (s *QueryStats) Add(other QueryStats) {
 	s.ReadBytes += other.ReadBytes
 	s.WriteBytes += other.WriteBytes
 	s.ResultCount += other.ResultCount
 	s.Splits += other.Splits
 	s.Drops += other.Drops
+	s.Recodes += other.Recodes
+	s.StorageBytes = other.StorageBytes
+	s.CompressedBytes = other.CompressedBytes
 }
 
 // Strategy is the common surface of the two self-organizing techniques, as
@@ -62,10 +79,18 @@ func (s *QueryStats) Add(other QueryStats) {
 type Strategy interface {
 	// Select answers the range query and piggy-backs reorganization on it.
 	Select(q domain.Range) ([]domain.Value, QueryStats)
+	// Count answers `count(*) where v between q.Lo and q.Hi` without
+	// materializing the qualifying values, while still piggy-backing the
+	// same reorganization (and compression) decisions a Select would.
+	Count(q domain.Range) (int64, QueryStats)
 	// SegmentCount returns the number of data-bearing segments.
 	SegmentCount() int
-	// StorageBytes returns the total materialized storage held.
+	// StorageBytes returns the total materialized physical storage held
+	// (compressed footprint where segments are encoded).
 	StorageBytes() domain.ByteSize
+	// UncompressedBytes returns the logical storage: what StorageBytes
+	// would be with compression off.
+	UncompressedBytes() domain.ByteSize
 	// SegmentSizes lists materialized segment sizes in bytes (Table 2).
 	SegmentSizes() []float64
 	// Name identifies the strategy ("Segm"/"Repl") with its model.

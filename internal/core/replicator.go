@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"selforg/internal/compress"
 	"selforg/internal/domain"
 	"selforg/internal/model"
 	"selforg/internal/segment"
@@ -25,10 +26,14 @@ type Replicator struct {
 	mod      model.Model
 	tracer   Tracer
 	elemSize int64
-	// totalBytes is the original column size — GD's TotSize.
+	codec    *compress.Codec // nil = compression off
+	// totalBytes is the original logical column size — GD's TotSize.
 	totalBytes int64
-	// storage tracks materialized bytes currently held (Figures 8, 9).
+	// storage tracks logical materialized bytes currently held
+	// (Figures 8, 9); stored tracks the physical (compressed) footprint.
+	// The two are equal with compression off.
 	storage int64
+	stored  int64
 	// budget bounds storage (0 = unlimited): the §8 extension "optimal
 	// replica configuration in the presence of storage limitations". New
 	// replicas whose estimated size would exceed the budget are declined;
@@ -62,6 +67,7 @@ func NewReplicator(extent domain.Range, vals []domain.Value, elemSize int64, m m
 		elemSize:   elemSize,
 		totalBytes: int64(len(vals)) * elemSize,
 		storage:    int64(len(vals)) * elemSize,
+		stored:     int64(len(vals)) * elemSize,
 	}
 	r.tracer.Materialize(root.seg.ID, r.storage)
 	return r
@@ -69,6 +75,28 @@ func NewReplicator(extent domain.Range, vals []domain.Value, elemSize int64, m m
 
 // Name implements Strategy.
 func (r *Replicator) Name() string { return r.mod.Name() + " Repl" }
+
+// SetCompression attaches the compression subsystem: new replicas are
+// encoded as they materialize, and the existing materialized tree is
+// re-encoded immediately.
+func (r *Replicator) SetCompression(mode compress.Mode) {
+	r.codec = compress.NewCodec(mode, r.elemSize)
+	if !r.codec.Enabled() {
+		return
+	}
+	r.sentinel.walk(func(n *node, _ int) {
+		if n == r.sentinel || n.seg.Virtual {
+			return
+		}
+		before := int64(n.seg.StoredBytes(r.elemSize))
+		if n.seg.Encode(r.codec) {
+			r.stored += int64(n.seg.StoredBytes(r.elemSize)) - before
+		}
+	})
+}
+
+// Compression returns the active compression mode.
+func (r *Replicator) Compression() compress.Mode { return r.codec.Mode() }
 
 // SetStorageBudget bounds the materialized replica storage in bytes
 // (0 = unlimited). Replicas that would exceed the budget are declined.
@@ -81,9 +109,13 @@ func (r *Replicator) SetMaxDepth(depth int) { r.maxDepth = depth }
 // refused.
 func (r *Replicator) Declined() int { return r.declined }
 
-// StorageBytes implements Strategy: the total materialized replica storage,
-// the y-axis of Figures 8 and 9.
-func (r *Replicator) StorageBytes() domain.ByteSize { return domain.ByteSize(r.storage) }
+// StorageBytes implements Strategy: the total physical materialized
+// replica storage, the y-axis of Figures 8 and 9 (compressed footprint
+// where replicas are encoded).
+func (r *Replicator) StorageBytes() domain.ByteSize { return domain.ByteSize(r.stored) }
+
+// UncompressedBytes implements Strategy: the logical replica storage.
+func (r *Replicator) UncompressedBytes() domain.ByteSize { return domain.ByteSize(r.storage) }
 
 // SegmentCount implements Strategy: the number of materialized segments.
 func (r *Replicator) SegmentCount() int {
@@ -119,12 +151,13 @@ func (r *Replicator) Depth() int {
 	return max
 }
 
-// SegmentSizes implements Strategy: sizes of materialized segments.
+// SegmentSizes implements Strategy: logical sizes of materialized
+// segments.
 func (r *Replicator) SegmentSizes() []float64 {
 	var out []float64
 	r.sentinel.walk(func(m *node, _ int) {
 		if m != r.sentinel && !m.seg.Virtual {
-			out = append(out, float64(int64(len(m.seg.Vals))*r.elemSize))
+			out = append(out, float64(m.seg.Count()*r.elemSize))
 		}
 	})
 	return out
@@ -172,11 +205,38 @@ func (r *Replicator) Select(q domain.Range) ([]domain.Value, QueryStats) {
 	for _, c := range cover {
 		var tasks []*node
 		r.analyzeRepl(q, c, &tasks, &st)
-		result = r.scanMat(c, q, tasks, result, &st)
+		result = r.scanMat(c, q, tasks, true, result, &st)
 		r.check4Drop(c, &st)
 	}
 	st.ResultCount = int64(len(result))
+	r.snapshot(&st)
 	return result, st
+}
+
+// Count implements Strategy: the Algorithm-2 pass with the result
+// assembly replaced by counting on the covering segments' (possibly
+// compressed) form. Replica analysis, materialization and drops all still
+// happen — counting queries drive adaptation like any others.
+func (r *Replicator) Count(q domain.Range) (int64, QueryStats) {
+	var st QueryStats
+	var count int64
+	cover := r.getCover(q)
+	for _, c := range cover {
+		var tasks []*node
+		r.analyzeRepl(q, c, &tasks, &st)
+		count += c.seg.SelectCount(q)
+		r.scanMat(c, q, tasks, false, nil, &st)
+		r.check4Drop(c, &st)
+	}
+	st.ResultCount = count
+	r.snapshot(&st)
+	return count, st
+}
+
+// snapshot fills the per-query storage measures.
+func (r *Replicator) snapshot(st *QueryStats) {
+	st.StorageBytes = r.storage
+	st.CompressedBytes = r.stored
 }
 
 // getCover implements Algorithm 3: the minimal set of materialized
@@ -288,27 +348,38 @@ func (r *Replicator) newVirtualNode(parent *segment.Segment, rng domain.Range) *
 
 // scanMat performs the "single scan of the covering segment ... to
 // materialize the replicas in the list and the query results" (§5). It
-// returns result extended with the qualifying values of c.
-func (r *Replicator) scanMat(c *node, q domain.Range, tasks []*node, result []domain.Value, st *QueryStats) []domain.Value {
-	bytes := int64(len(c.seg.Vals)) * r.elemSize
+// returns result extended with the qualifying values of c; a counting
+// query passes extract=false to skip the extraction but materializes
+// replicas all the same. Fresh replicas are handed to the codec, so
+// replica storage (the y-axis of Figures 8/9) is the compressed
+// footprint.
+func (r *Replicator) scanMat(c *node, q domain.Range, tasks []*node, extract bool, result []domain.Value, st *QueryStats) []domain.Value {
+	bytes := int64(c.seg.StoredBytes(r.elemSize))
 	st.ReadBytes += bytes
 	r.tracer.Scan(c.seg.ID, bytes)
-	result = append(result, c.seg.Select(q)...)
+	if extract {
+		result = c.seg.AppendSelect(q, result)
+	}
 	for _, t := range tasks {
-		if r.budget > 0 && r.storage+t.seg.Count()*r.elemSize > r.budget {
+		if r.budget > 0 && r.stored+t.seg.Count()*r.elemSize > r.budget {
 			// Storage guard (§8 extension): decline the replica; the
 			// segment stays virtual and later queries keep using the
-			// covering ancestor.
+			// covering ancestor. The guard uses the logical size estimate
+			// (the encoded size is unknown before the scan), so it only
+			// errs towards declining.
 			r.declined++
 			continue
 		}
 		vals := c.seg.Select(t.seg.Rng)
-		t.seg.Vals = vals
-		t.seg.Virtual = false
-		t.seg.EstCount = 0
-		b := int64(len(vals)) * r.elemSize
+		t.seg.SetPayload(vals)
+		logical := int64(len(vals)) * r.elemSize
+		if t.seg.Encode(r.codec) {
+			st.Recodes++
+		}
+		b := int64(t.seg.StoredBytes(r.elemSize))
 		st.WriteBytes += b
-		r.storage += b
+		r.storage += logical
+		r.stored += b
 		r.tracer.Materialize(t.seg.ID, b)
 	}
 	return result
@@ -337,11 +408,13 @@ func (r *Replicator) check4Drop(n *node, st *QueryStats) {
 		return
 	}
 	wasMat := !n.seg.Virtual
-	bytes := int64(len(n.seg.Vals)) * r.elemSize
+	logical := n.seg.Count() * r.elemSize
+	physical := int64(n.seg.StoredBytes(r.elemSize))
 	n.spliceOut()
 	if wasMat {
-		r.storage -= bytes
-		r.tracer.Drop(n.seg.ID, bytes)
+		r.storage -= logical
+		r.stored -= physical
+		r.tracer.Drop(n.seg.ID, physical)
 		st.Drops++
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"selforg/internal/compress"
 	"selforg/internal/domain"
 	"selforg/internal/model"
 	"selforg/internal/segment"
@@ -15,12 +16,22 @@ import (
 // selected sub-segment is kept and the remaining sub-segments are
 // materialized immediately, which makes the initial queries pay the
 // reorganization cost.
+//
+// When a compression codec is attached, storage-encoding decisions
+// piggy-back on the same loop: every segment a query materializes (the
+// sub-segments of a split, glued runs, bulk-loaded rewrites) is handed to
+// the codec's advisor, so the physical format adapts to the data exactly
+// where the layout adapts to the queries.
 type Segmenter struct {
 	list   *segment.List
 	mod    model.Model
 	tracer Tracer
-	// totalBytes is the fixed column size, the TotSize of the GD model.
+	codec  *compress.Codec // nil = compression off
+	// totalBytes is the fixed logical column size, the TotSize of the GD
+	// model; stored is the physical footprint, maintained incrementally
+	// as segments are rewritten so per-query snapshots stay O(1).
 	totalBytes int64
+	stored     int64
 }
 
 // NewSegmenter builds the strategy over a fresh single-segment column
@@ -31,12 +42,31 @@ func NewSegmenter(extent domain.Range, vals []domain.Value, elemSize int64, m mo
 		tracer = nopTracer{}
 	}
 	l := segment.NewList(extent, vals, elemSize)
-	s := &Segmenter{list: l, mod: m, tracer: tracer, totalBytes: int64(l.TotalBytes())}
+	s := &Segmenter{list: l, mod: m, tracer: tracer,
+		totalBytes: int64(l.TotalBytes()), stored: int64(l.TotalBytes())}
 	// The initial column is materialized storage the buffer layer should
 	// know about.
 	s.tracer.Materialize(l.Seg(0).ID, int64(l.TotalBytes()))
 	return s
 }
+
+// SetCompression attaches the compression subsystem: subsequent
+// materializations are encoded under mode, and the existing segments are
+// re-encoded immediately (the construction-time counterpart of the
+// initial Materialize event). Off detaches it, decoding nothing — already
+// encoded segments stay encoded and decay lazily as splits rewrite them.
+func (s *Segmenter) SetCompression(mode compress.Mode) {
+	s.codec = compress.NewCodec(mode, s.list.ElemSize())
+	if s.codec.Enabled() {
+		for i := 0; i < s.list.Len(); i++ {
+			s.list.Seg(i).Encode(s.codec)
+		}
+	}
+	s.stored = int64(s.list.StoredBytes())
+}
+
+// Compression returns the active compression mode.
+func (s *Segmenter) Compression() compress.Mode { return s.codec.Mode() }
 
 // Name implements Strategy.
 func (s *Segmenter) Name() string { return s.mod.Name() + " Segm" }
@@ -48,20 +78,33 @@ func (s *Segmenter) List() *segment.List { return s.list }
 // SegmentCount implements Strategy.
 func (s *Segmenter) SegmentCount() int { return s.list.Len() }
 
-// StorageBytes implements Strategy. Adaptive segmentation reorganizes in
-// place, so storage is always exactly the column size.
-func (s *Segmenter) StorageBytes() domain.ByteSize { return s.list.TotalBytes() }
+// StorageBytes implements Strategy: the physical storage held. Adaptive
+// segmentation reorganizes in place, so without compression this is
+// always exactly the column size; with compression it shrinks as the
+// advisor encodes segments.
+func (s *Segmenter) StorageBytes() domain.ByteSize { return domain.ByteSize(s.stored) }
+
+// UncompressedBytes implements Strategy.
+func (s *Segmenter) UncompressedBytes() domain.ByteSize { return domain.ByteSize(s.totalBytes) }
 
 // SegmentSizes implements Strategy.
 func (s *Segmenter) SegmentSizes() []float64 { return s.list.SegmentBytes() }
 
-// info builds the model's view of a segment.
+// info builds the model's view of a segment. Models reason about logical
+// sizes, so split decisions are identical with compression on or off.
 func (s *Segmenter) info(sg *segment.Segment) model.SegmentInfo {
 	return model.SegmentInfo{
 		Rng:        sg.Rng,
 		Bytes:      int64(sg.Bytes(s.list.ElemSize())),
 		TotalBytes: s.totalBytes,
 	}
+}
+
+// snapshot fills the per-query storage measures from the maintained
+// counters — O(1), no list sweep on the query path.
+func (s *Segmenter) snapshot(st *QueryStats) {
+	st.StorageBytes = s.totalBytes
+	st.CompressedBytes = s.stored
 }
 
 // Select implements Algorithm 1:
@@ -77,27 +120,73 @@ func (s *Segmenter) info(sg *segment.Segment) model.SegmentInfo {
 func (s *Segmenter) Select(q domain.Range) ([]domain.Value, QueryStats) {
 	var st QueryStats
 	var result []domain.Value
+	s.visit(q, &st, true, func(sg *segment.Segment, covered bool) {
+		if covered {
+			result = sg.AppendValues(result)
+		} else {
+			result = sg.AppendSelect(q, result)
+		}
+	})
+	st.ResultCount = int64(len(result))
+	s.snapshot(&st)
+	return result, st
+}
+
+// Count implements Strategy: the same Algorithm-1 pass with counting
+// sinks. A segment fully covered by the query contributes its meta-index
+// count without being scanned at all, and partially covered segments are
+// counted on their (possibly compressed) form without copying a value.
+func (s *Segmenter) Count(q domain.Range) (int64, QueryStats) {
+	var st QueryStats
+	var count int64
+	s.visit(q, &st, false, func(sg *segment.Segment, covered bool) {
+		if covered {
+			count += sg.Count()
+		} else {
+			count += sg.SelectCount(q)
+		}
+	})
+	st.ResultCount = count
+	s.snapshot(&st)
+	return count, st
+}
+
+// visit runs the shared reorganize-while-scanning loop. emit is called
+// for every segment holding qualifying values: covered=true when the
+// whole segment qualifies, covered=false for segments needing a filtering
+// scan. scanCovered controls whether fully covered segments account a
+// scan: a selection reads them to copy the values out, a count answers
+// them from the meta-index for free.
+func (s *Segmenter) visit(q domain.Range, st *QueryStats, scanCovered bool, emit func(sg *segment.Segment, covered bool)) {
 	elem := s.list.ElemSize()
 	lo, hi := s.list.Overlapping(q)
 	for i := hi - 1; i >= lo; i-- {
 		sg := s.list.Seg(i)
-		segBytes := int64(sg.Bytes(elem))
-		// Every overlapping segment is scanned: either to extract the
-		// qualifying values or to partition it. The meta-index already
-		// excluded all non-overlapping segments without touching data.
-		st.ReadBytes += segBytes
-		s.tracer.Scan(sg.ID, segBytes)
 
 		if domain.Classify(sg.Rng, q) == domain.CoversAll {
 			// The whole segment qualifies; it immediately benefits from
 			// earlier reorganization (Figure 3, Q2 on the last segment).
-			result = append(result, sg.Vals...)
+			if scanCovered {
+				b := int64(sg.StoredBytes(elem))
+				st.ReadBytes += b
+				s.tracer.Scan(sg.ID, b)
+			}
+			emit(sg, true)
 			continue
 		}
+		// Every partially overlapping segment is scanned: either to
+		// extract (or count) the qualifying values or to partition it.
+		// The meta-index already excluded all non-overlapping segments
+		// without touching data; compressed segments are read at their
+		// encoded size.
+		segBytes := int64(sg.StoredBytes(elem))
+		st.ReadBytes += segBytes
+		s.tracer.Scan(sg.ID, segBytes)
+
 		d := s.mod.Decide(q, s.info(sg))
 		switch d.Action {
 		case model.NoSplit:
-			result = append(result, sg.Select(q)...)
+			emit(sg, false)
 
 		case model.SplitBounds:
 			sp := domain.Cut(sg.Rng, q)
@@ -106,12 +195,13 @@ func (s *Segmenter) Select(q domain.Range) ([]domain.Value, QueryStats) {
 			if !sp.Left.IsEmpty() {
 				subs = append(subs, segment.NewMaterialized(sp.Left, left))
 			}
-			subs = append(subs, segment.NewMaterialized(sp.Overlap, mid))
+			midSeg := segment.NewMaterialized(sp.Overlap, mid)
+			subs = append(subs, midSeg)
 			if !sp.Right.IsEmpty() {
 				subs = append(subs, segment.NewMaterialized(sp.Right, right))
 			}
-			s.replace(i, sg, subs, &st)
-			result = append(result, mid...)
+			s.replace(i, sg, subs, st)
+			emit(midSeg, true)
 
 		case model.SplitPoint:
 			lv, rv := sg.SplitAt(d.Point)
@@ -119,12 +209,12 @@ func (s *Segmenter) Select(q domain.Range) ([]domain.Value, QueryStats) {
 				segment.NewMaterialized(domain.Range{Lo: sg.Rng.Lo, Hi: d.Point}, lv),
 				segment.NewMaterialized(domain.Range{Lo: d.Point + 1, Hi: sg.Rng.Hi}, rv),
 			}
-			s.replace(i, sg, subs, &st)
+			s.replace(i, sg, subs, st)
 			// A point split does not isolate the selection: filter the
 			// pieces that still overlap the query.
 			for _, sub := range subs {
 				if sub.Rng.Overlaps(q) {
-					result = append(result, sub.Select(q)...)
+					emit(sub, false)
 				}
 			}
 
@@ -132,23 +222,34 @@ func (s *Segmenter) Select(q domain.Range) ([]domain.Value, QueryStats) {
 			panic(fmt.Sprintf("core: unknown model action %v", d.Action))
 		}
 	}
-	st.ResultCount = int64(len(result))
-	return result, st
+}
+
+// encode hands a freshly materialized segment to the codec (no-op when
+// compression is off) and accounts the re-encode.
+func (s *Segmenter) encode(sg *segment.Segment, st *QueryStats) {
+	if sg.Encode(s.codec) {
+		st.Recodes++
+	}
 }
 
 // replace swaps segment sg (at index i) for subs and accounts the
 // materialization: the entire reorganized segment is written back (§6.1.1:
 // "segmentation reorganizes an entire segment independently of the precise
-// selected size").
+// selected size"). New sub-segments are encoded before the write is
+// accounted, so compressed columns also write less.
 func (s *Segmenter) replace(i int, sg *segment.Segment, subs []*segment.Segment, st *QueryStats) {
 	elem := s.list.ElemSize()
 	s.list.Replace(i, subs...)
 	for _, sub := range subs {
-		b := int64(sub.Bytes(elem))
+		s.encode(sub, st)
+		b := int64(sub.StoredBytes(elem))
 		st.WriteBytes += b
+		s.stored += b
 		s.tracer.Materialize(sub.ID, b)
 	}
-	s.tracer.Drop(sg.ID, int64(sg.Bytes(elem)))
+	old := int64(sg.StoredBytes(elem))
+	s.stored -= old
+	s.tracer.Drop(sg.ID, old)
 	st.Splits++
 }
 
@@ -160,21 +261,26 @@ func (s *Segmenter) Glue(i, j int) int64 {
 	var rewritten int64
 	for k := i; k <= j; k++ {
 		sg := s.list.Seg(k)
-		b := int64(sg.Bytes(elem))
+		b := int64(sg.StoredBytes(elem))
 		rewritten += b
+		s.stored -= b
 		s.tracer.Scan(sg.ID, b)
 		s.tracer.Drop(sg.ID, b)
 	}
 	s.list.Glue(i, j)
 	merged := s.list.Seg(i)
-	s.tracer.Materialize(merged.ID, int64(merged.Bytes(elem)))
+	merged.Encode(s.codec)
+	mb := int64(merged.StoredBytes(elem))
+	s.stored += mb
+	s.tracer.Materialize(merged.ID, mb)
 	return rewritten
 }
 
 // GlueSmall merges every maximal run of adjacent segments smaller than
 // minBytes into its successor until no mergeable run remains, returning
 // the total bytes rewritten. This is the simple merging strategy evaluated
-// in the ablation benches.
+// in the ablation benches. Size comparisons are logical so gluing behaves
+// identically with compression on.
 func (s *Segmenter) GlueSmall(minBytes int64) int64 {
 	elem := s.list.ElemSize()
 	var rewritten int64

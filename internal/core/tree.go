@@ -130,6 +130,14 @@ func (n *node) validate(coveredAbove bool) error {
 	}
 	for _, c := range n.children {
 		if !c.seg.Virtual {
+			if c.seg.Enc != nil {
+				// Min-max containment is equivalent to per-value
+				// containment.
+				if lo, hi, ok := c.seg.Enc.MinMax(); ok && (!c.seg.Rng.Contains(lo) || !c.seg.Rng.Contains(hi)) {
+					return fmt.Errorf("core: encoded values [%d, %d] outside %v", lo, hi, c.seg)
+				}
+				continue
+			}
 			for _, v := range c.seg.Vals {
 				if !c.seg.Rng.Contains(v) {
 					return fmt.Errorf("core: value %d outside %v", v, c.seg)

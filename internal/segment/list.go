@@ -96,16 +96,16 @@ func (l *List) Glue(i, j int) {
 	if i < 0 || j >= len(l.segs) || i >= j {
 		panic(fmt.Sprintf("segment: Glue(%d, %d) out of bounds", i, j))
 	}
-	total := 0
+	total := int64(0)
 	for k := i; k <= j; k++ {
 		if l.segs[k].Virtual {
 			panic("segment: Glue of a virtual segment")
 		}
-		total += len(l.segs[k].Vals)
+		total += l.segs[k].Count()
 	}
 	vals := make([]domain.Value, 0, total)
 	for k := i; k <= j; k++ {
-		vals = append(vals, l.segs[k].Vals...)
+		vals = l.segs[k].AppendValues(vals)
 	}
 	merged := NewMaterialized(domain.Range{Lo: l.segs[i].Rng.Lo, Hi: l.segs[j].Rng.Hi}, vals)
 	out := make([]*Segment, 0, len(l.segs)-(j-i))
@@ -119,21 +119,33 @@ func (l *List) Glue(i, j int) {
 func (l *List) TotalCount() int64 {
 	var n int64
 	for _, s := range l.segs {
-		n += int64(len(s.Vals))
+		n += s.Count()
 	}
 	return n
 }
 
-// TotalBytes returns the total accounted storage of the list.
+// TotalBytes returns the total accounted logical (uncompressed) storage
+// of the list.
 func (l *List) TotalBytes() domain.ByteSize {
 	return domain.ByteSize(l.TotalCount() * l.elemSize)
 }
 
-// SegmentBytes lists the per-segment sizes in bytes (Table 2 statistics).
+// StoredBytes returns the total physical storage of the list: equal to
+// TotalBytes for raw segments, smaller where segments are compressed.
+func (l *List) StoredBytes() domain.ByteSize {
+	var n domain.ByteSize
+	for _, s := range l.segs {
+		n += s.StoredBytes(l.elemSize)
+	}
+	return n
+}
+
+// SegmentBytes lists the per-segment logical sizes in bytes (Table 2
+// statistics).
 func (l *List) SegmentBytes() []float64 {
 	out := make([]float64, len(l.segs))
 	for i, s := range l.segs {
-		out[i] = float64(int64(len(s.Vals)) * l.elemSize)
+		out[i] = float64(s.Count() * l.elemSize)
 	}
 	return out
 }
@@ -155,6 +167,13 @@ func (l *List) Validate() error {
 		if i > 0 && !l.segs[i-1].Rng.Adjacent(s.Rng) {
 			return fmt.Errorf("segment %d: %v not adjacent to %v", i, l.segs[i-1].Rng, s.Rng)
 		}
+		if s.Enc != nil {
+			// Min-max containment is equivalent to per-value containment.
+			if lo, hi, ok := s.Enc.MinMax(); ok && (!s.Rng.Contains(lo) || !s.Rng.Contains(hi)) {
+				return fmt.Errorf("segment %d: encoded values [%d, %d] outside %v", i, lo, hi, s.Rng)
+			}
+			continue
+		}
 		for _, v := range s.Vals {
 			if !s.Rng.Contains(v) {
 				return fmt.Errorf("segment %d: value %d outside %v", i, v, s.Rng)
@@ -168,7 +187,7 @@ func (l *List) Validate() error {
 func (l *List) Dump() string {
 	parts := make([]string, len(l.segs))
 	for i, s := range l.segs {
-		parts[i] = fmt.Sprintf("%v#%d", s.Rng, len(s.Vals))
+		parts[i] = fmt.Sprintf("%v#%d", s.Rng, s.Count())
 	}
 	return strings.Join(parts, " | ")
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"selforg/internal/compress"
 	"selforg/internal/domain"
 )
 
@@ -21,14 +22,18 @@ import (
 // buffer manager and tracers to track segments across reorganizations.
 var idCounter atomic.Int64
 
-// Segment is one value-ranged piece of a column.
+// Segment is one value-ranged piece of a column. A materialized segment
+// carries its payload either raw (Vals) or compressed (Enc, produced by a
+// compress.Codec when the self-organizing loop re-encodes the segment);
+// at most one of the two is non-nil.
 //
-// Invariants: every value in Vals lies inside Rng; Virtual segments carry
-// no Vals and use EstCount as their size estimate.
+// Invariants: every payload value lies inside Rng; Virtual segments carry
+// no payload and use EstCount as their size estimate.
 type Segment struct {
 	ID       int64
 	Rng      domain.Range
-	Vals     []domain.Value // materialized payload (nil when Virtual)
+	Vals     []domain.Value  // raw materialized payload (nil when Virtual or compressed)
+	Enc      compress.Vector // compressed materialized payload (nil when raw or Virtual)
 	Virtual  bool
 	EstCount int64 // size estimate for virtual segments (elements)
 }
@@ -57,12 +62,121 @@ func (s *Segment) Count() int64 {
 	if s.Virtual {
 		return s.EstCount
 	}
+	if s.Enc != nil {
+		return int64(s.Enc.Len())
+	}
 	return int64(len(s.Vals))
 }
 
-// Bytes returns the (estimated) storage size given bytes per element.
+// Bytes returns the (estimated) logical storage size given bytes per
+// element — the uncompressed measure the segmentation models and the
+// paper's cost formulas reason about, independent of encoding.
 func (s *Segment) Bytes(elemSize int64) domain.ByteSize {
 	return domain.ByteSize(s.Count() * elemSize)
+}
+
+// StoredBytes returns the physical storage size: the compressed footprint
+// when the payload is encoded, the logical size otherwise. Scan and
+// materialization accounting use this measure.
+func (s *Segment) StoredBytes(elemSize int64) domain.ByteSize {
+	if !s.Virtual && s.Enc != nil {
+		return domain.ByteSize(s.Enc.StoredBytes())
+	}
+	return s.Bytes(elemSize)
+}
+
+// Encoding returns the payload's storage encoding (compress.Plain for raw
+// and virtual segments).
+func (s *Segment) Encoding() compress.Encoding {
+	if s.Enc != nil {
+		return s.Enc.Encoding()
+	}
+	return compress.Plain
+}
+
+// Encode converts a raw payload into the codec's chosen encoding. It is
+// a no-op for virtual segments, a nil codec, or an already-encoded
+// payload; it reports whether a (re-)encode happened.
+func (s *Segment) Encode(c *compress.Codec) bool {
+	if !c.Enabled() || s.Virtual || s.Enc != nil {
+		return false
+	}
+	s.Enc = c.Encode(s.Vals)
+	s.Vals = nil
+	return true
+}
+
+// Decode converts an encoded payload back to raw storage (no-op
+// otherwise).
+func (s *Segment) Decode() {
+	if s.Enc == nil {
+		return
+	}
+	s.Vals = s.Enc.AppendTo(make([]domain.Value, 0, s.Enc.Len()))
+	s.Enc = nil
+}
+
+// SetPayload makes s a materialized raw segment holding vals, clearing
+// any virtual or encoded state. The replica tree uses it when scanMat
+// fills a virtual replica.
+func (s *Segment) SetPayload(vals []domain.Value) {
+	s.Vals, s.Enc, s.Virtual, s.EstCount = vals, nil, false, 0
+}
+
+// values returns the payload for scanning: the raw slice, or a decoded
+// copy for encoded payloads. Callers must not mutate the result.
+func (s *Segment) values() []domain.Value {
+	if s.Enc != nil {
+		return s.Enc.AppendTo(make([]domain.Value, 0, s.Enc.Len()))
+	}
+	return s.Vals
+}
+
+// AppendValues appends the whole payload, in order, to dst.
+func (s *Segment) AppendValues(dst []domain.Value) []domain.Value {
+	if s.Virtual {
+		panic("segment: AppendValues on a virtual segment")
+	}
+	if s.Enc != nil {
+		return s.Enc.AppendTo(dst)
+	}
+	return append(dst, s.Vals...)
+}
+
+// AppendSelect appends the values matching q, in order, to dst. Encoded
+// payloads use their compressed-form fast path (run skipping, dictionary
+// or frame pruning) instead of decompressing.
+func (s *Segment) AppendSelect(q domain.Range, dst []domain.Value) []domain.Value {
+	if s.Virtual {
+		panic("segment: AppendSelect on a virtual segment")
+	}
+	if s.Enc != nil {
+		return s.Enc.SelectRange(q.Lo, q.Hi, dst)
+	}
+	for _, v := range s.Vals {
+		if q.Contains(v) {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// SelectCount counts the values matching q without materializing them —
+// the counting path of Column.Count. RLE counts from run headers alone.
+func (s *Segment) SelectCount(q domain.Range) int64 {
+	if s.Virtual {
+		panic("segment: SelectCount on a virtual segment")
+	}
+	if s.Enc != nil {
+		return s.Enc.CountRange(q.Lo, q.Hi)
+	}
+	var n int64
+	for _, v := range s.Vals {
+		if q.Contains(v) {
+			n++
+		}
+	}
+	return n
 }
 
 // EstimatePiece estimates how many of s's elements fall into piece,
@@ -87,15 +201,16 @@ func (s *Segment) Partition(q domain.Range) (left, mid, right []domain.Value) {
 	if s.Virtual {
 		panic("segment: Partition of a virtual segment")
 	}
+	vals := s.values()
 	sp := domain.Cut(s.Rng, q)
-	mid = make([]domain.Value, 0, len(s.Vals))
+	mid = make([]domain.Value, 0, len(vals))
 	if !sp.Left.IsEmpty() {
 		left = make([]domain.Value, 0)
 	}
 	if !sp.Right.IsEmpty() {
 		right = make([]domain.Value, 0)
 	}
-	for _, v := range s.Vals {
+	for _, v := range vals {
 		switch {
 		case v < sp.Overlap.Lo:
 			left = append(left, v)
@@ -111,16 +226,7 @@ func (s *Segment) Partition(q domain.Range) (left, mid, right []domain.Value) {
 // Select scans the materialized segment and returns the values matching
 // query range q, freshly allocated.
 func (s *Segment) Select(q domain.Range) []domain.Value {
-	if s.Virtual {
-		panic("segment: Select on a virtual segment")
-	}
-	out := make([]domain.Value, 0, len(s.Vals))
-	for _, v := range s.Vals {
-		if q.Contains(v) {
-			out = append(out, v)
-		}
-	}
-	return out
+	return s.AppendSelect(q, make([]domain.Value, 0, s.Count()))
 }
 
 // SplitAt scans the materialized segment and splits it at domain value cut:
@@ -133,9 +239,10 @@ func (s *Segment) SplitAt(cut domain.Value) (left, right []domain.Value) {
 	if cut < s.Rng.Lo || cut >= s.Rng.Hi {
 		panic(fmt.Sprintf("segment: cut %d outside splittable interior of %v", cut, s.Rng))
 	}
-	left = make([]domain.Value, 0, len(s.Vals))
-	right = make([]domain.Value, 0, len(s.Vals))
-	for _, v := range s.Vals {
+	vals := s.values()
+	left = make([]domain.Value, 0, len(vals))
+	right = make([]domain.Value, 0, len(vals))
+	for _, v := range vals {
 		if v <= cut {
 			left = append(left, v)
 		} else {
@@ -156,6 +263,9 @@ func (s *Segment) String() string {
 	kind := "mat"
 	if s.Virtual {
 		kind = "vir"
+	}
+	if s.Enc != nil {
+		return fmt.Sprintf("%s%v#%d/%v", kind, s.Rng, s.Count(), s.Enc.Encoding())
 	}
 	return fmt.Sprintf("%s%v#%d", kind, s.Rng, s.Count())
 }

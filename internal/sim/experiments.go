@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"selforg/internal/compress"
 	"selforg/internal/domain"
 	"selforg/internal/model"
 	"selforg/internal/stats"
@@ -213,8 +214,84 @@ func Experiments() []Experiment {
 		{ID: "table1", Title: "Table 1: average read sizes (KB) over 10K queries", Run: runTable1},
 		{ID: "fig8", Title: "Figure 8: replica storage, uniform", Run: runFig8},
 		{ID: "fig9", Title: "Figure 9: replica storage, Zipf", Run: runFig9},
+		{ID: "compress", Title: "Extension: adaptive per-segment compression vs plain storage", Run: runCompress},
 		{ID: "report", Title: "Numeric digest of every §6.1 exhibit (for EXPERIMENTS.md)", Run: runReport},
 	}
+}
+
+// compressDatasets are the two data shapes of the compression experiment:
+// the paper's uniform 1M-value domain (frame-of-reference territory) and
+// a 64-value categorical column (run-length/dictionary territory).
+var compressDatasets = []struct {
+	Label string
+	Card  int
+}{
+	{"uniform-1M", 0},
+	{"categorical-64", 64},
+}
+
+// runCompress is the compression extension experiment: the APM strategies
+// with the advisor on versus the plain layout, over both data shapes. It
+// reports read/write volumes, the final physical footprint and the
+// compression ratio — the sim-side evidence behind the subsystem.
+func runCompress(scale Scale) string {
+	n := scale.queries(2000)
+	var b strings.Builder
+	tb := stats.NewTable("Adaptive compression vs plain storage (APM, uniform queries, sel 0.1)",
+		"Data", "Strategy", "Reads KB/q", "Writes KB total", "Storage KB", "Logical KB", "Ratio", "Recodes")
+	for _, ds := range compressDatasets {
+		for _, strat := range []StrategyKind{Segmentation, Replication} {
+			for _, mode := range []compress.Mode{compress.Off, compress.Auto} {
+				c := DefaultConfig()
+				c.NumQueries = n
+				c.Strategy = strat
+				c.Compression = mode
+				c.LowCardinality = ds.Card
+				r := Run(c)
+				logical := r.Logical.At(r.Logical.Len() - 1)
+				phys := r.Compressed.At(r.Compressed.Len() - 1)
+				ratio := 1.0
+				if phys > 0 {
+					ratio = logical / phys
+				}
+				tb.AddRow(ds.Label, r.Cfg.StrategyName(),
+					fmt.Sprintf("%.1f", r.AvgReadKB()),
+					fmt.Sprintf("%.0f", r.Writes.Sum()/1024),
+					fmt.Sprintf("%.0f", phys/1024),
+					fmt.Sprintf("%.0f", logical/1024),
+					fmt.Sprintf("%.2fx", ratio),
+					fmt.Sprint(r.Recodes))
+			}
+		}
+	}
+	b.WriteString(tb.Render())
+	return b.String()
+}
+
+// CompressedStorage runs one strategy with and without compression and
+// returns the per-query physical-storage series plus the logical
+// reference — the TSV export of the compression experiment.
+func CompressedStorage(strat StrategyKind, lowCard int, numQueries int) []*stats.Series {
+	out := make([]*stats.Series, 0, 3)
+	for _, mode := range []compress.Mode{compress.Off, compress.Auto} {
+		c := DefaultConfig()
+		c.Strategy = strat
+		c.Compression = mode
+		c.LowCardinality = lowCard
+		if numQueries > 0 {
+			c.NumQueries = numQueries
+		}
+		r := Run(c)
+		s := r.Compressed
+		s.Name = r.Cfg.StrategyName()
+		out = append(out, s)
+		if mode == compress.Auto {
+			l := r.Logical
+			l.Name = r.Cfg.StrategyName() + " logical"
+			out = append(out, l)
+		}
+	}
+	return out
 }
 
 // runReport condenses every simulation exhibit into the numbers the paper

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"selforg/internal/compress"
 	"selforg/internal/core"
 	"selforg/internal/domain"
 	"selforg/internal/model"
@@ -77,6 +78,13 @@ type Config struct {
 	DataSeed    int64
 	QuerySeed   int64
 	ModelSeed   int64 // GD randomness
+	// Compression selects the adaptive storage-encoding policy
+	// (compress.Off keeps the paper-faithful uncompressed layout).
+	Compression compress.Mode
+	// LowCardinality draws the column from a small set of distinct values
+	// (RLE/dictionary-friendly) instead of the paper's 1M-value domain —
+	// the data shape of dimension-key and categorical columns.
+	LowCardinality int
 }
 
 // DefaultConfig returns the §6.1 experimental setup.
@@ -135,8 +143,11 @@ func (c Config) withDefaults() Config {
 }
 
 // StrategyName is the label used in the paper's figures, e.g. "GD Segm",
-// "APM Repl".
+// "APM Repl"; compressed runs are suffixed "+C".
 func (c Config) StrategyName() string {
+	if c.Compression.Enabled() {
+		return fmt.Sprintf("%v %v +C", c.Model, c.Strategy)
+	}
 	return fmt.Sprintf("%v %v", c.Model, c.Strategy)
 }
 
@@ -154,13 +165,22 @@ func (c Config) buildModel() model.Model {
 
 // buildStrategy instantiates the strategy over freshly generated data.
 func (c Config) buildStrategy() core.Strategy {
-	vals := GenerateColumn(c.ColumnCount, c.Dom, c.DataSeed)
+	var vals []domain.Value
+	if c.LowCardinality > 0 {
+		vals = GenerateLowCardColumn(c.ColumnCount, c.Dom, int64(c.LowCardinality), c.DataSeed)
+	} else {
+		vals = GenerateColumn(c.ColumnCount, c.Dom, c.DataSeed)
+	}
 	m := c.buildModel()
 	switch c.Strategy {
 	case Segmentation:
-		return core.NewSegmenter(c.Dom, vals, c.ElemSize, m, nil)
+		s := core.NewSegmenter(c.Dom, vals, c.ElemSize, m, nil)
+		s.SetCompression(c.Compression)
+		return s
 	case Replication:
-		return core.NewReplicator(c.Dom, vals, c.ElemSize, m, nil)
+		r := core.NewReplicator(c.Dom, vals, c.ElemSize, m, nil)
+		r.SetCompression(c.Compression)
+		return r
 	default:
 		panic(fmt.Sprintf("sim: unknown strategy kind %d", c.Strategy))
 	}
@@ -177,6 +197,25 @@ func GenerateColumn(count int, dom domain.Range, seed int64) []domain.Value {
 	return vals
 }
 
+// GenerateLowCardColumn draws count values from card distinct values
+// spread evenly over dom — the categorical-column shape of the
+// compression experiment.
+func GenerateLowCardColumn(count int, dom domain.Range, card int64, seed int64) []domain.Value {
+	if card < 1 {
+		card = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	step := dom.Width() / card
+	if step < 1 {
+		step = 1
+	}
+	vals := make([]domain.Value, count)
+	for i := range vals {
+		vals[i] = dom.Lo + rng.Int63n(card)*step
+	}
+	return vals
+}
+
 // Result holds the per-query measurement series of one run.
 type Result struct {
 	Cfg Config
@@ -185,12 +224,19 @@ type Result struct {
 	Writes *stats.Series
 	// Reads is the per-query bytes read (Figure 7, Table 1).
 	Reads *stats.Series
-	// Storage is the materialized storage in bytes after each query
-	// (Figures 8, 9; constant for segmentation).
+	// Storage is the physical materialized storage in bytes after each
+	// query (Figures 8, 9; constant for uncompressed segmentation).
 	Storage *stats.Series
-	// Splits and Drops total the reorganization activity.
-	Splits int
-	Drops  int
+	// Compressed is the physical storage series and Logical its
+	// uncompressed counterpart; they coincide with compression off. The
+	// gap is the storage the compression subsystem saves.
+	Compressed *stats.Series
+	Logical    *stats.Series
+	// Splits and Drops total the reorganization activity; Recodes totals
+	// the segments the compression advisor (re-)encoded.
+	Splits  int
+	Drops   int
+	Recodes int
 	// FinalSegments is the number of data-bearing segments at the end.
 	FinalSegments int
 	// FinalSegmentSizes lists their sizes in bytes.
@@ -216,6 +262,8 @@ func Run(cfg Config) *Result {
 		Writes:      stats.NewSeries(cfg.StrategyName()),
 		Reads:       stats.NewSeries(cfg.StrategyName()),
 		Storage:     stats.NewSeries(cfg.StrategyName()),
+		Compressed:  stats.NewSeries(cfg.StrategyName() + " phys"),
+		Logical:     stats.NewSeries(cfg.StrategyName() + " logical"),
 		ColumnBytes: int64(cfg.ColumnCount) * cfg.ElemSize,
 	}
 	for i := 0; i < cfg.NumQueries; i++ {
@@ -224,8 +272,11 @@ func Run(cfg Config) *Result {
 		res.Writes.Append(float64(st.WriteBytes))
 		res.Reads.Append(float64(st.ReadBytes))
 		res.Storage.Append(float64(strat.StorageBytes()))
+		res.Compressed.Append(float64(st.CompressedBytes))
+		res.Logical.Append(float64(st.StorageBytes))
 		res.Splits += st.Splits
 		res.Drops += st.Drops
+		res.Recodes += st.Recodes
 	}
 	res.FinalSegments = strat.SegmentCount()
 	res.FinalSegmentSizes = strat.SegmentSizes()

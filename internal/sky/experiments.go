@@ -144,7 +144,32 @@ func Experiments() []Experiment {
 			Run: func(ds *Dataset, cfg Config) string { return Table2(ds, cfg).Render() }},
 		{ID: "fig10repl", Title: "Extension: Figure 10 with adaptive replication",
 			Run: func(ds *Dataset, cfg Config) string { return Fig10Replication(ds, cfg).Render() }},
+		{ID: "fig10comp", Title: "Extension: Figure 10 with adaptive compression",
+			Run: func(ds *Dataset, cfg Config) string { return Fig10Compression(ds, cfg).Render() }},
 	}
+}
+
+// Fig10Compression is the compression extension experiment: the Figure-10
+// measurement with the internal/compress advisor encoding every segment
+// the APM schemes materialize. The extra columns report the physical
+// storage the encodings reach and the resulting compression ratio; the
+// time columns show whether scanning fewer bytes pays for the encoding
+// work on the virtual disk clock.
+func Fig10Compression(ds *Dataset, cfg Config) *stats.Table {
+	tb := stats.NewTable(
+		"Extension: adaptive compression on the SkyServer workloads (avg ms/query)",
+		"Workload", "Scheme", "Adaptation", "Selection", "Total", "Storage MB", "Ratio")
+	for _, w := range WorkloadNames() {
+		for _, r := range RunWorkloadWith(ds, w, cfg, cfg.CompressionSchemes()) {
+			tb.AddRow(string(w), r.Scheme,
+				fmt.Sprintf("%.1f", r.AdaptationMs.Mean()),
+				fmt.Sprintf("%.1f", r.SelectionMs.Mean()),
+				fmt.Sprintf("%.1f", r.TotalMs.Mean()),
+				fmt.Sprintf("%.0f", r.StorageMB),
+				fmt.Sprintf("%.2fx", r.CompressionRatio))
+		}
+	}
+	return tb
 }
 
 // Fig10Replication is the extension experiment: the Figure-10 measurement

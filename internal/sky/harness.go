@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"selforg/internal/bpm"
+	"selforg/internal/compress"
 	"selforg/internal/core"
 	"selforg/internal/domain"
 	"selforg/internal/model"
@@ -24,6 +25,9 @@ type Scheme struct {
 	Mmax        int64 // APM only
 	GDSeed      int64 // GD only
 	Replication bool
+	// Compression attaches the adaptive per-segment encoding subsystem
+	// (compress.Off = paper-faithful plain storage).
+	Compression compress.Mode
 }
 
 // SchemeKind distinguishes the model behind a scheme.
@@ -112,6 +116,19 @@ func (c Config) ReplicationSchemes() []Scheme {
 	}
 }
 
+// CompressionSchemes returns the compression extension configurations:
+// the two APM segmentation schemes with the advisor-driven encodings on,
+// against their plain twins. Encoding decisions piggy-back on the same
+// splits, so any time or storage difference is the subsystem's doing.
+func (c Config) CompressionSchemes() []Scheme {
+	return []Scheme{
+		{Name: "APM 1-25", Kind: APMScheme, Mmin: c.Mmin, Mmax: c.MmaxLarge},
+		{Name: "APM 1-25 +C", Kind: APMScheme, Mmin: c.Mmin, Mmax: c.MmaxLarge, Compression: compress.Auto},
+		{Name: "APM 1-5", Kind: APMScheme, Mmin: c.Mmin, Mmax: c.MmaxSmall},
+		{Name: "APM 1-5 +C", Kind: APMScheme, Mmin: c.Mmin, Mmax: c.MmaxSmall, Compression: compress.Auto},
+	}
+}
+
 // poolTracer routes segment lifecycle events into the buffer pool and
 // splits the virtual time into selection (scans) and adaptation
 // (materialization) components, the two bars of Figure 10.
@@ -151,11 +168,15 @@ type RunResult struct {
 	SegmentCount    int
 	SegSizeMeanMB   float64
 	SegSizeStdDevMB float64
-	// StorageMB is the final materialized storage; PeakStorageMB the
-	// maximum observed after any query (exceeds the column size for
+	// StorageMB is the final physical materialized storage; PeakStorageMB
+	// the maximum observed after any query (exceeds the column size for
 	// replication schemes until fully-replicated parents are dropped).
-	StorageMB     float64
-	PeakStorageMB float64
+	// LogicalMB is the uncompressed storage and CompressionRatio the
+	// logical/physical quotient (1 with compression off).
+	StorageMB        float64
+	PeakStorageMB    float64
+	LogicalMB        float64
+	CompressionRatio float64
 	// WallTime is the real elapsed time of the query loop.
 	WallTime time.Duration
 	// Pool is a snapshot of the buffer pool counters.
@@ -170,9 +191,13 @@ func Run(ds *Dataset, scheme Scheme, queries []workload.Query, cfg Config) *RunR
 	tr := &poolTracer{pool: pool}
 	var seg core.Strategy
 	if scheme.Replication {
-		seg = core.NewReplicator(ds.Domain(), ds.ScaledRA(), cfg.ElemSize, scheme.buildModel(), tr)
+		r := core.NewReplicator(ds.Domain(), ds.ScaledRA(), cfg.ElemSize, scheme.buildModel(), tr)
+		r.SetCompression(scheme.Compression)
+		seg = r
 	} else {
-		seg = core.NewSegmenter(ds.Domain(), ds.ScaledRA(), cfg.ElemSize, scheme.buildModel(), tr)
+		s := core.NewSegmenter(ds.Domain(), ds.ScaledRA(), cfg.ElemSize, scheme.buildModel(), tr)
+		s.SetCompression(scheme.Compression)
+		seg = s
 	}
 	tr.reset() // the initial column registration is not query time
 
@@ -207,6 +232,11 @@ func Run(ds *Dataset, scheme Scheme, queries []workload.Query, cfg Config) *RunR
 	res.SegSizeMeanMB = sum.Mean / float64(domain.MB)
 	res.SegSizeStdDevMB = sum.StdDev / float64(domain.MB)
 	res.StorageMB = float64(seg.StorageBytes()) / float64(domain.MB)
+	res.LogicalMB = float64(seg.UncompressedBytes()) / float64(domain.MB)
+	res.CompressionRatio = 1
+	if res.StorageMB > 0 {
+		res.CompressionRatio = res.LogicalMB / res.StorageMB
+	}
 	return res
 }
 

@@ -23,6 +23,33 @@
 //	})
 //	result, stats := col.Select(205_100, 205_120)
 //
+// # Adaptive compression
+//
+// The same self-organizing loop can choose each segment's storage
+// encoding (internal/compress): lightweight run-length, dictionary and
+// frame-of-reference encodings alongside the plain layout, each with
+// range-selection fast paths that skip whole runs, prune through the
+// sorted dictionary, or prune on the min-max frame without
+// decompressing. With Options.Compression set to CompressionAuto, every
+// segment a query materializes or splits is profiled by an advisor that
+// picks the minimum-estimated-size encoding — compression decisions
+// piggy-back on queries exactly as splitting does, so hot regions
+// converge to their best physical format with no offline pass. Stats
+// then reports both the logical (StorageBytes) and physical
+// (CompressedBytes) footprint after each query:
+//
+//	col, _ := selforg.New(extent, values, selforg.Options{
+//		Model:       selforg.APM,
+//		Compression: selforg.CompressionAuto,
+//	})
+//	_, st := col.Select(205_100, 205_120)
+//	saved := st.StorageBytes - st.CompressedBytes
+//
+// The design follows Fehér & Lucani's adaptive column-compression family
+// and Bruno's analysis of compression in C-store scans (see PAPERS.md);
+// Count additionally uses the encodings' counting fast paths to answer
+// cardinality queries without copying a single value.
+//
 // The experiment harnesses that reproduce the paper's evaluation live in
 // internal/sim (§6.1) and internal/sky (§6.2), runnable through
 // cmd/sosim and cmd/skybench; the MonetDB-style substrate (BATs, MAL, the
@@ -33,6 +60,7 @@ package selforg
 import (
 	"fmt"
 
+	"selforg/internal/compress"
 	"selforg/internal/core"
 	"selforg/internal/domain"
 	"selforg/internal/model"
@@ -90,6 +118,48 @@ func (m Model) String() string {
 	}
 }
 
+// Compression selects the per-segment storage-encoding policy of the
+// internal/compress subsystem. The zero value keeps the legacy
+// uncompressed layout.
+type Compression int
+
+const (
+	// CompressionOff stores segments as raw value slices (the default).
+	CompressionOff Compression = iota
+	// CompressionAuto lets the advisor pick the minimum-estimated-size
+	// encoding for every segment the self-organizing loop materializes.
+	CompressionAuto
+	// CompressionPlain forces the plain encoding (isolates the cost of
+	// the compression indirection in benchmarks).
+	CompressionPlain
+	// CompressionRLE forces run-length encoding.
+	CompressionRLE
+	// CompressionDict forces dictionary encoding.
+	CompressionDict
+	// CompressionFOR forces frame-of-reference encoding.
+	CompressionFOR
+)
+
+func (c Compression) String() string { return c.mode().String() }
+
+// mode maps the public knob onto the subsystem's policy type.
+func (c Compression) mode() compress.Mode {
+	switch c {
+	case CompressionAuto:
+		return compress.Auto
+	case CompressionPlain:
+		return compress.ForcePlain
+	case CompressionRLE:
+		return compress.ForceRLE
+	case CompressionDict:
+		return compress.ForceDict
+	case CompressionFOR:
+		return compress.ForceFOR
+	default:
+		return compress.Off
+	}
+}
+
 // Interval is an inclusive value range [Lo, Hi].
 type Interval struct {
 	Lo, Hi int64
@@ -121,6 +191,12 @@ type Options struct {
 	// MaxTreeDepth bounds the replica tree depth for Replication columns
 	// (0 = unlimited).
 	MaxTreeDepth int
+	// Compression selects the adaptive per-segment storage encoding
+	// (default CompressionOff). Encoding choice piggy-backs on the same
+	// queries that drive reorganization; results are identical for every
+	// setting, only the physical layout and the read/write volumes
+	// change.
+	Compression Compression
 }
 
 // Tracer re-exports core.Tracer: Scan/Materialize/Drop events with segment
@@ -129,32 +205,50 @@ type Tracer = core.Tracer
 
 // Stats aggregates per-query costs, mirroring the paper's measures:
 // memory reads, memory writes due to segment materialization, result
-// cardinality, and reorganization activity.
+// cardinality, and reorganization activity. Read and write volumes are
+// physical: with compression on, scanning or materializing an encoded
+// segment costs its encoded size (with compression off they match the
+// paper's accounting exactly).
 type Stats struct {
 	ReadBytes   int64
 	WriteBytes  int64
 	ResultCount int64
 	Splits      int
 	Drops       int
+	// Recodes counts the segments this query (re-)encoded.
+	Recodes int
+	// StorageBytes and CompressedBytes snapshot the column after the
+	// query: logical (uncompressed) bytes held vs physical bytes held.
+	// Their difference is the storage the compression subsystem saves;
+	// they are equal when compression is off.
+	StorageBytes    int64
+	CompressedBytes int64
 }
 
 func statsFrom(qs core.QueryStats) Stats {
 	return Stats{
-		ReadBytes:   qs.ReadBytes,
-		WriteBytes:  qs.WriteBytes,
-		ResultCount: qs.ResultCount,
-		Splits:      qs.Splits,
-		Drops:       qs.Drops,
+		ReadBytes:       qs.ReadBytes,
+		WriteBytes:      qs.WriteBytes,
+		ResultCount:     qs.ResultCount,
+		Splits:          qs.Splits,
+		Drops:           qs.Drops,
+		Recodes:         qs.Recodes,
+		StorageBytes:    qs.StorageBytes,
+		CompressedBytes: qs.CompressedBytes,
 	}
 }
 
-// Add accumulates other into s.
+// Add accumulates the additive measures of other into s and carries the
+// storage snapshot of the later query forward.
 func (s *Stats) Add(other Stats) {
 	s.ReadBytes += other.ReadBytes
 	s.WriteBytes += other.WriteBytes
 	s.ResultCount += other.ResultCount
 	s.Splits += other.Splits
 	s.Drops += other.Drops
+	s.Recodes += other.Recodes
+	s.StorageBytes = other.StorageBytes
+	s.CompressedBytes = other.CompressedBytes
 }
 
 // Column is a self-organizing column of int64 values. It is not safe for
@@ -217,7 +311,11 @@ func New(extent Interval, values []int64, opts Options) (*Column, error) {
 	var strat core.Strategy
 	switch o.Strategy {
 	case Segmentation:
-		strat = core.NewSegmenter(rng, values, o.ElemSize, m, o.Tracer)
+		s := core.NewSegmenter(rng, values, o.ElemSize, m, o.Tracer)
+		if o.Compression != CompressionOff {
+			s.SetCompression(o.Compression.mode())
+		}
+		strat = s
 	case Replication:
 		r := core.NewReplicator(rng, values, o.ElemSize, m, o.Tracer)
 		if o.MaxStorageBytes > 0 {
@@ -225,6 +323,9 @@ func New(extent Interval, values []int64, opts Options) (*Column, error) {
 		}
 		if o.MaxTreeDepth > 0 {
 			r.SetMaxDepth(o.MaxTreeDepth)
+		}
+		if o.Compression != CompressionOff {
+			r.SetCompression(o.Compression.mode())
 		}
 		strat = r
 	default:
@@ -249,19 +350,43 @@ func (c *Column) Select(lo, hi int64) ([]int64, Stats) {
 }
 
 // Count returns the number of values in [lo, hi] without materializing
-// them differently from Select — it still drives adaptation, like any
-// other query.
+// them: segments fully covered by the query are answered from the
+// segment meta-index alone, partially covered ones are counted on their
+// (possibly compressed) form — RLE counts from run headers without
+// touching a row. Counting still drives adaptation like any other query:
+// the same splits, replicas and encodings happen as for a Select.
 func (c *Column) Count(lo, hi int64) (int64, Stats) {
-	res, st := c.Select(lo, hi)
-	return int64(len(res)), st
+	if lo > hi {
+		return 0, Stats{}
+	}
+	n, qs := c.strat.Count(domain.Range{Lo: lo, Hi: hi})
+	st := statsFrom(qs)
+	c.totals.Add(st)
+	c.nq++
+	return n, st
 }
 
 // SegmentCount returns the number of materialized segments.
 func (c *Column) SegmentCount() int { return c.strat.SegmentCount() }
 
-// StorageBytes returns the materialized storage held by the column
-// (constant for segmentation; grows and shrinks for replication).
+// StorageBytes returns the physical materialized storage held by the
+// column (constant for uncompressed segmentation; grows and shrinks for
+// replication; shrinks below UncompressedBytes as segments are encoded).
 func (c *Column) StorageBytes() int64 { return int64(c.strat.StorageBytes()) }
+
+// UncompressedBytes returns the logical storage: what StorageBytes would
+// be with compression off.
+func (c *Column) UncompressedBytes() int64 { return int64(c.strat.UncompressedBytes()) }
+
+// CompressionRatio returns UncompressedBytes over StorageBytes (1 when
+// compression is off or nothing is encoded yet).
+func (c *Column) CompressionRatio() float64 {
+	s := c.StorageBytes()
+	if s == 0 {
+		return 1
+	}
+	return float64(c.UncompressedBytes()) / float64(s)
+}
 
 // SegmentSizes lists materialized segment sizes in bytes.
 func (c *Column) SegmentSizes() []float64 { return c.strat.SegmentSizes() }
