@@ -1,0 +1,87 @@
+package selforg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Parallel scan benchmarks — the acceptance measurement for the
+// concurrency substrate. A large uniform column is converged first (so
+// the steady state is measured, not the reorganization transient), then
+// one large selection spanning many segments is timed with the scan
+// fan-out off and on. On a multi-core host the fan-out path scales with
+// the worker count; on a single-core host it measures the bounded
+// overhead of the task machinery. Results are recorded in BENCH.md.
+
+const (
+	benchVals = 4_000_000
+	benchDom  = 1 << 30
+)
+
+// convergedColumn builds a large uniform column and drives it to a
+// converged APM layout (hundreds of segments) before measurement.
+func convergedColumn(b *testing.B, par int) *Column {
+	b.Helper()
+	r := rand.New(rand.NewSource(17))
+	vals := make([]int64, benchVals)
+	for i := range vals {
+		vals[i] = r.Int63n(benchDom)
+	}
+	col, err := New(Interval{0, benchDom - 1}, vals, Options{
+		Model:       APM,
+		ElemSize:    8,
+		APMMin:      256 << 10,
+		APMMax:      1 << 20,
+		Parallelism: par,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	conv := rand.New(rand.NewSource(23))
+	for i := 0; i < 300; i++ {
+		lo := conv.Int63n(benchDom)
+		hi := lo + benchDom/20
+		if hi >= benchDom {
+			hi = benchDom - 1
+		}
+		col.Select(lo, hi)
+	}
+	return col
+}
+
+func benchmarkLargeScan(b *testing.B, par int) {
+	col := convergedColumn(b, par)
+	b.Logf("segments: %d", col.SegmentCount())
+	const lo, hi = benchDom / 4, benchDom / 2 // 25% of the domain
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := col.Select(lo, hi)
+		if len(res) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkLargeScanSerial(b *testing.B)    { benchmarkLargeScan(b, 1) }
+func BenchmarkLargeScanParallel2(b *testing.B) { benchmarkLargeScan(b, 2) }
+func BenchmarkLargeScanParallel4(b *testing.B) { benchmarkLargeScan(b, 4) }
+func BenchmarkLargeScanParallel8(b *testing.B) { benchmarkLargeScan(b, 8) }
+
+// BenchmarkConcurrentScanners measures aggregate throughput of many
+// client goroutines on one converged column — the snapshot-reader path
+// under contention (each iteration is one mid-size selection).
+func BenchmarkConcurrentScanners(b *testing.B) {
+	col := convergedColumn(b, 1)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rand.New(rand.NewSource(31))
+		for pb.Next() {
+			lo := r.Int63n(benchDom)
+			hi := lo + benchDom/50
+			if hi >= benchDom {
+				hi = benchDom - 1
+			}
+			col.Select(lo, hi)
+		}
+	})
+}

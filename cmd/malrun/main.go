@@ -94,7 +94,7 @@ func main() {
 	}
 	sb, err := store.Take("sys_P_ra")
 	if err == nil {
-		fmt.Printf("-- segmented ra column: %d segments", len(sb.Segs))
+		fmt.Printf("-- segmented ra column: %d segments", sb.SegmentCount())
 		if ctx.AdaptedBytes > 0 {
 			fmt.Printf(" (this run rewrote %d bytes)", ctx.AdaptedBytes)
 		}

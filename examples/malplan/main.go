@@ -112,10 +112,10 @@ func main() {
 	fmt.Println(optimized.String())
 
 	sb, _ := store2.Take("sys_P_ra")
-	fmt.Printf("segments before: %d\n", len(sb.Segs))
+	fmt.Printf("segments before: %d\n", sb.SegmentCount())
 	rows2, adapted := run(optimized, cat2, store2, a0, a1)
 	fmt.Printf("optimized result: %d objids (must match %d)\n", rows2, rows)
-	fmt.Printf("segments after:  %d  (bpm.adapt rewrote %d bytes)\n", len(sb.Segs), adapted)
+	fmt.Printf("segments after:  %d  (bpm.adapt rewrote %d bytes)\n", sb.SegmentCount(), adapted)
 	fmt.Printf("layout: %s\n", sb.Dump())
 
 	if rows != rows2 {

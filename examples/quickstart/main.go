@@ -32,6 +32,12 @@ func main() {
 		Model:    selforg.APM,          // deterministic model, bounds below (§3.2.2)
 		APMMin:   8 << 10,              // segments never smaller than 8 KB ...
 		APMMax:   32 << 10,             // ... and queried segments never larger than 32 KB
+		// Two more knobs worth knowing:
+		//   Compression: selforg.CompressionAuto — let the advisor pick
+		//     each segment's storage encoding as queries materialize it
+		//     (results identical, storage and read volumes shrink);
+		//   Parallelism: 4 — fan one query's segment scans across
+		//     workers; a Column is safe for concurrent use either way.
 	})
 	if err != nil {
 		panic(err)

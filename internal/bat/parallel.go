@@ -1,0 +1,206 @@
+package bat
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file provides the parallel counterparts of the hot algebra and
+// aggregation operators: the BAT is cut into contiguous row chunks (the
+// "split at any point" property of §2 makes chunking free — slices share
+// storage), each chunk is processed independently on a bounded worker
+// pool, and the per-chunk partials are merged in chunk order, so the
+// output is deterministic and — for selections — byte-identical to the
+// serial operator. Aggregates over lng tails are exact; dbl sums are
+// deterministic for a fixed chunk count but may differ from the serial
+// rounding order by floating-point associativity.
+
+// chunkBounds cuts n rows into at most parts contiguous half-open spans.
+func chunkBounds(n, parts int) [][2]int {
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	out := make([][2]int, 0, parts)
+	for i := 0; i < parts; i++ {
+		lo := n * i / parts
+		hi := n * (i + 1) / parts
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// forEachChunk runs f over every chunk on a pool of at most workers
+// goroutines and waits for completion. Chunk indices are handed out
+// through an atomic cursor so the pool stays busy regardless of skew.
+func forEachChunk(chunks [][2]int, workers int, f func(idx int, lo, hi int)) {
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	if workers <= 1 {
+		for i, c := range chunks {
+			f(i, c[0], c[1])
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(chunks) {
+					return
+				}
+				f(i, chunks[i][0], chunks[i][1])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RangeSelectPar is the parallel RangeSelect: the scan fans out across
+// row chunks on at most workers goroutines and the qualifying
+// associations are merged back in row order, so the result is
+// byte-identical to the serial operator. workers <= 1 delegates to
+// RangeSelect directly.
+func RangeSelectPar(b *BAT, lo, hi Value, loIncl, hiIncl bool, workers int) *BAT {
+	if workers <= 1 || b.Len() < 2 {
+		return RangeSelect(b, lo, hi, loIncl, hiIncl)
+	}
+	chunks := chunkBounds(b.Len(), workers*4)
+	parts := make([]*BAT, len(chunks))
+	forEachChunk(chunks, workers, func(i, lo2, hi2 int) {
+		parts[i] = RangeSelect(b.Slice(lo2, hi2), lo, hi, loIncl, hiIncl)
+	})
+	out := Empty(b.HeadKind(), b.TailKind())
+	for _, p := range parts {
+		for r := 0; r < p.Len(); r++ {
+			h, t := p.Row(r)
+			out.AppendRow(h, t)
+		}
+	}
+	return out
+}
+
+// SumPar is the parallel aggr.sum: per-chunk partial sums merged in chunk
+// order. Exact for lng tails; dbl tails are deterministic for a given
+// worker count but may differ from the serial Sum in the last bits, since
+// float addition is not associative.
+func SumPar(b *BAT, workers int) Value {
+	if workers <= 1 || b.Len() < 2 {
+		return Sum(b)
+	}
+	chunks := chunkBounds(b.Len(), workers)
+	parts := make([]Value, len(chunks))
+	forEachChunk(chunks, workers, func(i, lo, hi int) {
+		parts[i] = Sum(b.Slice(lo, hi))
+	})
+	switch b.TailKind() {
+	case KLng:
+		var s int64
+		for _, p := range parts {
+			s += p.AsLng()
+		}
+		return Lng(s)
+	default:
+		var s float64
+		for _, p := range parts {
+			s += p.AsDbl()
+		}
+		return Dbl(s)
+	}
+}
+
+// MinPar is the parallel Min: per-chunk minima reduced serially. Exact
+// for every tail kind; panics on an empty BAT like Min.
+func MinPar(b *BAT, workers int) Value {
+	if workers <= 1 || b.Len() < 2 {
+		return Min(b)
+	}
+	chunks := chunkBounds(b.Len(), workers)
+	parts := make([]Value, len(chunks))
+	forEachChunk(chunks, workers, func(i, lo, hi int) {
+		parts[i] = Min(b.Slice(lo, hi))
+	})
+	m := parts[0]
+	for _, p := range parts[1:] {
+		if p.Less(m) {
+			m = p
+		}
+	}
+	return m
+}
+
+// MaxPar is the parallel Max: per-chunk maxima reduced serially. Exact
+// for every tail kind; panics on an empty BAT like Max.
+func MaxPar(b *BAT, workers int) Value {
+	if workers <= 1 || b.Len() < 2 {
+		return Max(b)
+	}
+	chunks := chunkBounds(b.Len(), workers)
+	parts := make([]Value, len(chunks))
+	forEachChunk(chunks, workers, func(i, lo, hi int) {
+		parts[i] = Max(b.Slice(lo, hi))
+	})
+	m := parts[0]
+	for _, p := range parts[1:] {
+		if m.Less(p) {
+			m = p
+		}
+	}
+	return m
+}
+
+// countRange counts the associations whose tail lies in [lo, hi] (bounds
+// inclusive) without materializing a result: compressed tails count whole
+// spans off their encoded form, dbl tails take the slice fast path, and
+// everything else scans through Get.
+func countRange(b *BAT, lo, hi Value) int64 {
+	var n int64
+	if rs, ok := b.Tail.(RangeSpanner); ok {
+		rs.RangeSpans(lo, hi, func(start, end int) { n += int64(end - start) })
+		return n
+	}
+	if dt, ok := b.Tail.(*DblVector); ok {
+		l, h := lo.AsDbl(), hi.AsDbl()
+		for _, v := range dt.Dbls() {
+			if v >= l && v <= h {
+				n++
+			}
+		}
+		return n
+	}
+	for i := 0; i < b.Len(); i++ {
+		t := b.Tail.Get(i)
+		if !t.Less(lo) && !hi.Less(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// CountRangePar counts the associations whose tail lies in [lo, hi]
+// (bounds inclusive) without materializing them, fanning the scan out
+// like RangeSelectPar.
+func CountRangePar(b *BAT, lo, hi Value, workers int) int64 {
+	if workers <= 1 || b.Len() < 2 {
+		return countRange(b, lo, hi)
+	}
+	chunks := chunkBounds(b.Len(), workers*4)
+	parts := make([]int64, len(chunks))
+	forEachChunk(chunks, workers, func(i, lo2, hi2 int) {
+		parts[i] = countRange(b.Slice(lo2, hi2), lo, hi)
+	})
+	var n int64
+	for _, p := range parts {
+		n += p
+	}
+	return n
+}

@@ -1,0 +1,118 @@
+package bat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomLngBAT(n int, seed int64) *BAT {
+	r := rand.New(rand.NewSource(seed))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = r.Int63n(1000)
+	}
+	return NewDense(NewLngs(vals))
+}
+
+func randomDblBAT(n int, seed int64) *BAT {
+	r := rand.New(rand.NewSource(seed))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.Float64() * 1000
+	}
+	return NewDense(NewDbls(vals))
+}
+
+func sameBAT(t *testing.T, got, want *BAT) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("length %d != %d", got.Len(), want.Len())
+	}
+	for i := 0; i < got.Len(); i++ {
+		gh, gt := got.Row(i)
+		wh, wt := want.Row(i)
+		if gh != wh || gt != wt {
+			t.Fatalf("row %d: (%v,%v) != (%v,%v)", i, gh, gt, wh, wt)
+		}
+	}
+}
+
+func TestRangeSelectParMatchesSerial(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 17} {
+		for _, n := range []int{0, 1, 7, 1000} {
+			b := randomLngBAT(n, int64(n+workers))
+			want := RangeSelect(b, Lng(100), Lng(700), true, true)
+			got := RangeSelectPar(b, Lng(100), Lng(700), true, true, workers)
+			sameBAT(t, got, want)
+
+			d := randomDblBAT(n, int64(n+workers))
+			wantD := RangeSelect(d, Dbl(100), Dbl(700), true, false)
+			gotD := RangeSelectPar(d, Dbl(100), Dbl(700), true, false, workers)
+			sameBAT(t, gotD, wantD)
+		}
+	}
+}
+
+func TestSumParLngExact(t *testing.T) {
+	b := randomLngBAT(10_000, 7)
+	want := Sum(b)
+	for _, workers := range []int{1, 2, 4, 9} {
+		if got := SumPar(b, workers); got != want {
+			t.Errorf("workers=%d: SumPar = %v, want %v", workers, got, want)
+		}
+	}
+}
+
+func TestSumParDblClose(t *testing.T) {
+	b := randomDblBAT(10_000, 8)
+	want := Sum(b).AsDbl()
+	for _, workers := range []int{2, 4, 9} {
+		got := SumPar(b, workers).AsDbl()
+		if math.Abs(got-want) > math.Abs(want)*1e-9 {
+			t.Errorf("workers=%d: SumPar = %v, want ~%v", workers, got, want)
+		}
+	}
+}
+
+func TestMinMaxParExact(t *testing.T) {
+	for _, mk := range []func(int, int64) *BAT{randomLngBAT, randomDblBAT} {
+		b := mk(5000, 11)
+		for _, workers := range []int{1, 3, 8} {
+			if got, want := MinPar(b, workers), Min(b); got != want {
+				t.Errorf("workers=%d: MinPar = %v, want %v", workers, got, want)
+			}
+			if got, want := MaxPar(b, workers), Max(b); got != want {
+				t.Errorf("workers=%d: MaxPar = %v, want %v", workers, got, want)
+			}
+		}
+	}
+}
+
+func TestCountRangeParMatchesSerial(t *testing.T) {
+	b := randomLngBAT(5000, 13)
+	want := int64(RangeSelect(b, Lng(250), Lng(750), true, true).Len())
+	for _, workers := range []int{1, 2, 5, 16} {
+		if got := CountRangePar(b, Lng(250), Lng(750), workers); got != want {
+			t.Errorf("workers=%d: CountRangePar = %d, want %d", workers, got, want)
+		}
+	}
+}
+
+func TestChunkBoundsCoverExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100} {
+		for _, parts := range []int{1, 2, 3, 50, 200} {
+			chunks := chunkBounds(n, parts)
+			next := 0
+			for _, c := range chunks {
+				if c[0] != next || c[1] <= c[0] {
+					t.Fatalf("n=%d parts=%d: bad chunk %v (next %d)", n, parts, c, next)
+				}
+				next = c[1]
+			}
+			if next != n {
+				t.Fatalf("n=%d parts=%d: chunks cover %d rows", n, parts, next)
+			}
+		}
+	}
+}

@@ -113,6 +113,12 @@ func (p *Pool) Register(id, bytes int64) time.Duration {
 // disk bandwidth (evicting cold pages as needed); all scans additionally
 // pay memory bandwidth. It returns the virtual time consumed and whether
 // the touch faulted.
+//
+// Touch panics on a page id it has never seen. A concurrency-aware
+// caller that may legitimately scan retired pages (an RCU snapshot
+// reader racing a reorganization that already dropped the segment)
+// should call TouchOrRetired instead, which falls back to streaming-read
+// accounting for unknown ids.
 func (p *Pool) Touch(id int64) (time.Duration, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -120,11 +126,17 @@ func (p *Pool) Touch(id int64) (time.Duration, bool) {
 	if !ok {
 		panic(fmt.Sprintf("bpm: touch of unknown page %d", id))
 	}
+	faulted := !pg.resident
+	return p.touchLocked(pg), faulted
+}
+
+// touchLocked performs the Touch accounting; caller holds p.mu. The
+// returned duration includes the fault cost when the page was not
+// resident (pg.resident is true afterwards).
+func (p *Pool) touchLocked(pg *page) time.Duration {
 	var d time.Duration
-	faulted := false
 	p.stats.LogicalReads += pg.bytes
 	if !pg.resident {
-		faulted = true
 		p.stats.Misses++
 		p.stats.PhysicalReads += pg.bytes
 		d += cost(pg.bytes, p.cfg.DiskReadBandwidth)
@@ -135,7 +147,29 @@ func (p *Pool) Touch(id int64) (time.Duration, bool) {
 	}
 	d += cost(pg.bytes, p.cfg.MemBandwidth)
 	p.clock += d
-	return d, faulted
+	return d
+}
+
+// TouchOrRetired records a full scan of the page like Touch, but
+// tolerates pages the pool no longer knows: a snapshot reader may scan a
+// segment that a concurrent reorganization has already dropped (the
+// segment data stays reachable through the reader's snapshot, only the
+// buffer registration is gone). Such retired scans are accounted as
+// streaming reads — logical + physical bytes at disk-read cost, a miss,
+// no residency change — using the caller-supplied byte size.
+func (p *Pool) TouchOrRetired(id, bytes int64) (time.Duration, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pg, ok := p.pages[id]; ok {
+		faulted := !pg.resident
+		return p.touchLocked(pg), faulted
+	}
+	p.stats.LogicalReads += bytes
+	p.stats.Misses++
+	p.stats.PhysicalReads += bytes
+	d := cost(bytes, p.cfg.DiskReadBandwidth) + cost(bytes, p.cfg.MemBandwidth)
+	p.clock += d
+	return d, true
 }
 
 // Free drops a page entirely (its segment was reorganized away).

@@ -1,0 +1,48 @@
+package bpm
+
+import "testing"
+
+// TouchOrRetired must behave exactly like Touch for known pages and
+// account a streaming read — instead of panicking — for pages a
+// concurrent reorganization already freed (the RCU snapshot-reader
+// race).
+func TestTouchOrRetired(t *testing.T) {
+	cfg := Config{
+		BudgetBytes:        1000,
+		MemBandwidth:       1e6,
+		DiskReadBandwidth:  1e6,
+		DiskWriteBandwidth: 1e6,
+	}
+	p := New(cfg)
+	p.Register(1, 100)
+
+	dKnown, faulted := p.TouchOrRetired(1, 100)
+	if faulted {
+		t.Fatal("resident page reported as faulted")
+	}
+	if dKnown <= 0 {
+		t.Fatal("known touch cost no time")
+	}
+	before := p.Stats()
+
+	p.Free(1)
+	d, faulted := p.TouchOrRetired(1, 100)
+	if !faulted {
+		t.Fatal("retired page scan must count as a fault")
+	}
+	if d <= dKnown {
+		t.Fatalf("retired scan (%v) must pay disk+mem, known resident scan was %v", d, dKnown)
+	}
+	after := p.Stats()
+	if after.PhysicalReads != before.PhysicalReads+100 || after.Misses != before.Misses+1 {
+		t.Fatalf("retired scan not accounted: before %+v after %+v", before, after)
+	}
+	if p.PageCount() != 0 {
+		t.Fatal("retired scan must not resurrect the page")
+	}
+
+	// Never-registered ids are tolerated the same way.
+	if _, faulted := p.TouchOrRetired(999, 50); !faulted {
+		t.Fatal("unknown page scan must count as a fault")
+	}
+}

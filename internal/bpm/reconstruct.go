@@ -24,7 +24,7 @@ func (s *SegmentedBAT) LookupOids(oids []uint64) *bat.BAT {
 	}
 	out := bat.Empty(bat.KOid, bat.KDbl)
 	remaining := len(want)
-	for _, sg := range s.Segs {
+	for _, sg := range s.Segments() {
 		if remaining == 0 {
 			break
 		}

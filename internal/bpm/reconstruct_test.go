@@ -22,7 +22,7 @@ func TestLookupOidsMatchesPositional(t *testing.T) {
 		lo := rng.Float64() * 95
 		sb.Adapt(lo, lo+2, model.NewAPM(256, 1024))
 	}
-	if len(sb.Segs) < 2 {
+	if sb.SegmentCount() < 2 {
 		t.Fatal("setup: column not fragmented")
 	}
 

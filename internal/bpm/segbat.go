@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"selforg/internal/bat"
@@ -43,11 +44,19 @@ func (s *BATSegment) storedBytes(elemSize int64) int64 {
 
 // SegmentedBAT is a column organized as adjacent value-ranged segments,
 // registered under a name in the Store ("bpm.take(\"sys_P_ra\")").
+//
+// It is safe for concurrent use: the segment list is guarded by a
+// read-write lock — lookups, iteration and statistics take the read side,
+// while the reorganizing module (Adapt) and SetCompression take the write
+// side. Individual segment BATs are immutable once published; Adapt
+// replaces split segments with fresh ones instead of rewriting payloads.
 type SegmentedBAT struct {
 	Name     string
 	ElemSize int64
-	Segs     []*BATSegment // ascending by [Lo, Hi)
-	codec    *compress.Codec
+
+	mu    sync.RWMutex
+	segs  []*BATSegment // ascending by [Lo, Hi)
+	codec *compress.Codec
 }
 
 // SetCompression attaches the compression subsystem to the column: the
@@ -59,19 +68,25 @@ type SegmentedBAT struct {
 // keep working transparently; bat.RangeSelect additionally picks up their
 // compressed-form span fast path.
 func (s *SegmentedBAT) SetCompression(mode compress.Mode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.codec = compress.NewCodec(mode, s.ElemSize)
 	if s.codec.Enabled() {
-		for _, sg := range s.Segs {
+		for _, sg := range s.segs {
 			s.encodeTail(sg)
 		}
 	}
 }
 
 // Compression returns the active compression mode.
-func (s *SegmentedBAT) Compression() compress.Mode { return s.codec.Mode() }
+func (s *SegmentedBAT) Compression() compress.Mode {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.codec.Mode()
+}
 
 // encodeTail re-encodes one segment's tail under the codec (no-op when
-// compression is off or the tail is already encoded).
+// compression is off or the tail is already encoded). Caller holds mu.
 func (s *SegmentedBAT) encodeTail(sg *BATSegment) {
 	if !s.codec.Enabled() {
 		return
@@ -93,15 +108,44 @@ func NewSegmentedBAT(name string, b *bat.BAT, lo, hi float64, elemSize int64) *S
 	return &SegmentedBAT{
 		Name:     name,
 		ElemSize: elemSize,
-		Segs:     []*BATSegment{{ID: segIDCounter.Add(1), Lo: lo, Hi: hi, B: b}},
+		segs:     []*BATSegment{{ID: segIDCounter.Add(1), Lo: lo, Hi: hi, B: b}},
 	}
+}
+
+// SegmentCount returns the number of segments.
+func (s *SegmentedBAT) SegmentCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.segs)
+}
+
+// Segment returns the i-th segment in value order.
+func (s *SegmentedBAT) Segment(i int) *BATSegment {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.segs[i]
+}
+
+// Segments returns a snapshot copy of the segment list in value order.
+// The segments themselves are shared (and immutable once published).
+func (s *SegmentedBAT) Segments() []*BATSegment {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*BATSegment(nil), s.segs...)
 }
 
 // Overlapping returns the indices [loIdx, hiIdx) of segments whose value
 // range intersects [lo, hi] — the meta-index pre-selection.
 func (s *SegmentedBAT) Overlapping(lo, hi float64) (int, int) {
-	loIdx := sort.Search(len(s.Segs), func(i int) bool { return s.Segs[i].Hi > lo })
-	hiIdx := sort.Search(len(s.Segs), func(i int) bool { return s.Segs[i].Lo > hi })
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.overlapping(lo, hi)
+}
+
+// overlapping is the lock-free core of Overlapping; caller holds mu.
+func (s *SegmentedBAT) overlapping(lo, hi float64) (int, int) {
+	loIdx := sort.Search(len(s.segs), func(i int) bool { return s.segs[i].Hi > lo })
+	hiIdx := sort.Search(len(s.segs), func(i int) bool { return s.segs[i].Lo > hi })
 	if loIdx > hiIdx {
 		loIdx = hiIdx
 	}
@@ -110,8 +154,10 @@ func (s *SegmentedBAT) Overlapping(lo, hi float64) (int, int) {
 
 // TotalRows returns the stored association count.
 func (s *SegmentedBAT) TotalRows() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n := 0
-	for _, sg := range s.Segs {
+	for _, sg := range s.segs {
 		n += sg.B.Len()
 	}
 	return n
@@ -119,8 +165,15 @@ func (s *SegmentedBAT) TotalRows() int {
 
 // TotalBytes returns the accounted logical storage.
 func (s *SegmentedBAT) TotalBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.totalBytes()
+}
+
+// totalBytes is the lock-free core of TotalBytes; caller holds mu.
+func (s *SegmentedBAT) totalBytes() int64 {
 	var n int64
-	for _, sg := range s.Segs {
+	for _, sg := range s.segs {
 		n += sg.bytes(s.ElemSize)
 	}
 	return n
@@ -129,8 +182,10 @@ func (s *SegmentedBAT) TotalBytes() int64 {
 // TotalStoredBytes returns the accounted physical storage (equal to
 // TotalBytes without compression).
 func (s *SegmentedBAT) TotalStoredBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var n int64
-	for _, sg := range s.Segs {
+	for _, sg := range s.segs {
 		n += sg.storedBytes(s.ElemSize)
 	}
 	return n
@@ -138,8 +193,10 @@ func (s *SegmentedBAT) TotalStoredBytes() int64 {
 
 // Flatten concatenates all segments into one BAT (diagnostics/tests).
 func (s *SegmentedBAT) Flatten() *bat.BAT {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := bat.Empty(bat.KOid, bat.KDbl)
-	for _, sg := range s.Segs {
+	for _, sg := range s.segs {
 		for i := 0; i < sg.B.Len(); i++ {
 			h, t := sg.B.Row(i)
 			out.AppendRow(h, t)
@@ -151,16 +208,18 @@ func (s *SegmentedBAT) Flatten() *bat.BAT {
 // Validate checks the structural invariants: adjacency, ordering, and
 // value containment.
 func (s *SegmentedBAT) Validate() error {
-	if len(s.Segs) == 0 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.segs) == 0 {
 		return fmt.Errorf("bpm: segmented bat %q has no segments", s.Name)
 	}
-	for i, sg := range s.Segs {
+	for i, sg := range s.segs {
 		if sg.Hi <= sg.Lo {
 			return fmt.Errorf("bpm: segment %d has empty range [%g, %g)", i, sg.Lo, sg.Hi)
 		}
-		if i > 0 && s.Segs[i-1].Hi != sg.Lo {
+		if i > 0 && s.segs[i-1].Hi != sg.Lo {
 			return fmt.Errorf("bpm: gap between segment %d (hi %g) and %d (lo %g)",
-				i-1, s.Segs[i-1].Hi, i, sg.Lo)
+				i-1, s.segs[i-1].Hi, i, sg.Lo)
 		}
 		for r := 0; r < sg.B.Len(); r++ {
 			v := sg.B.Tail.Get(r).AsDbl()
@@ -174,8 +233,10 @@ func (s *SegmentedBAT) Validate() error {
 
 // Dump renders the layout, e.g. "[0,10)#3 | [10,20)#5".
 func (s *SegmentedBAT) Dump() string {
-	parts := make([]string, len(s.Segs))
-	for i, sg := range s.Segs {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	parts := make([]string, len(s.segs))
+	for i, sg := range s.segs {
 		parts[i] = fmt.Sprintf("[%g,%g)#%d", sg.Lo, sg.Hi, sg.B.Len())
 	}
 	return strings.Join(parts, " | ")
@@ -183,9 +244,9 @@ func (s *SegmentedBAT) Dump() string {
 
 // splitSegment replaces segment i by pieces cut at the given interior
 // bounds (ascending, strictly inside the segment range). Data rows are
-// partitioned by value. Returns the bytes rewritten.
+// partitioned by value. Returns the bytes rewritten. Caller holds mu.
 func (s *SegmentedBAT) splitSegment(i int, cuts ...float64) int64 {
-	sg := s.Segs[i]
+	sg := s.segs[i]
 	for j, c := range cuts {
 		if c <= sg.Lo || c >= sg.Hi {
 			panic(fmt.Sprintf("bpm: cut %g outside (%g, %g)", c, sg.Lo, sg.Hi))
@@ -216,11 +277,11 @@ func (s *SegmentedBAT) splitSegment(i int, cuts ...float64) int64 {
 	for _, p := range pieces {
 		s.encodeTail(p)
 	}
-	out := make([]*BATSegment, 0, len(s.Segs)+len(pieces)-1)
-	out = append(out, s.Segs[:i]...)
+	out := make([]*BATSegment, 0, len(s.segs)+len(pieces)-1)
+	out = append(out, s.segs[:i]...)
 	out = append(out, pieces...)
-	out = append(out, s.Segs[i+1:]...)
-	s.Segs = out
+	out = append(out, s.segs[i+1:]...)
+	s.segs = out
 	return sg.storedBytes(s.ElemSize)
 }
 
@@ -228,15 +289,19 @@ func (s *SegmentedBAT) splitSegment(i int, cuts ...float64) int64 {
 // the selection [lo, hi]: each overlapping segment is offered to the
 // segmentation model (scaled onto the integer domain the models speak)
 // and split accordingly. It returns the bytes rewritten, so callers can
-// account adaptation cost.
+// account adaptation cost. Adapt is the column's single-writer path: it
+// takes the write lock, so it never races with concurrent lookups or
+// iterators.
 func (s *SegmentedBAT) Adapt(lo, hi float64, m model.Model) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	const scale = 1 << 20 // fixed-point scaling for the model's domain view
 	var rewritten int64
-	total := s.TotalBytes()
-	loI, hiI := s.Overlapping(lo, hi)
+	total := s.totalBytes()
+	loI, hiI := s.overlapping(lo, hi)
 	q := domain.Range{Lo: int64(lo * scale), Hi: int64(hi * scale)}
 	for i := hiI - 1; i >= loI; i-- {
-		sg := s.Segs[i]
+		sg := s.segs[i]
 		info := model.SegmentInfo{
 			Rng:        domain.Range{Lo: int64(sg.Lo * scale), Hi: int64(sg.Hi*scale) - 1},
 			Bytes:      sg.bytes(s.ElemSize),
@@ -269,8 +334,10 @@ func (s *SegmentedBAT) Adapt(lo, hi float64, m model.Model) int64 {
 	return rewritten
 }
 
-// Store is the named registry of segmented columns behind bpm.take.
+// Store is the named registry of segmented columns behind bpm.take. It is
+// safe for concurrent use.
 type Store struct {
+	mu   sync.RWMutex
 	cols map[string]*SegmentedBAT
 }
 
@@ -279,6 +346,8 @@ func NewStore() *Store { return &Store{cols: make(map[string]*SegmentedBAT)} }
 
 // Register adds a segmented column under its name.
 func (st *Store) Register(sb *SegmentedBAT) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if _, dup := st.cols[sb.Name]; dup {
 		panic(fmt.Sprintf("bpm: column %q registered twice", sb.Name))
 	}
@@ -287,6 +356,8 @@ func (st *Store) Register(sb *SegmentedBAT) {
 
 // Take looks a segmented column up by name — MAL's bpm.take.
 func (st *Store) Take(name string) (*SegmentedBAT, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	sb, ok := st.cols[name]
 	if !ok {
 		return nil, fmt.Errorf("bpm: unknown segmented column %q", name)
@@ -296,6 +367,8 @@ func (st *Store) Take(name string) (*SegmentedBAT, error) {
 
 // Names lists the registered columns.
 func (st *Store) Names() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	out := make([]string, 0, len(st.cols))
 	for n := range st.cols {
 		out = append(out, n)

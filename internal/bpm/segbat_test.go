@@ -15,7 +15,7 @@ func testSegBAT(vals ...float64) *SegmentedBAT {
 
 func TestNewSegmentedBAT(t *testing.T) {
 	sb := testSegBAT(1, 50, 99)
-	if len(sb.Segs) != 1 || sb.TotalRows() != 3 || sb.TotalBytes() != 12 {
+	if sb.SegmentCount() != 1 || sb.TotalRows() != 3 || sb.TotalBytes() != 12 {
 		t.Fatalf("init wrong: %s", sb.Dump())
 	}
 	if err := sb.Validate(); err != nil {
@@ -38,13 +38,13 @@ func TestSplitSegmentPartitionsByValue(t *testing.T) {
 	if rewritten != 20 {
 		t.Errorf("rewritten = %d, want 20", rewritten)
 	}
-	if len(sb.Segs) != 3 {
-		t.Fatalf("segments = %d: %s", len(sb.Segs), sb.Dump())
+	if sb.SegmentCount() != 3 {
+		t.Fatalf("segments = %d: %s", sb.SegmentCount(), sb.Dump())
 	}
 	if err := sb.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if sb.Segs[0].B.Len() != 2 || sb.Segs[1].B.Len() != 1 || sb.Segs[2].B.Len() != 2 {
+	if sb.Segment(0).B.Len() != 2 || sb.Segment(1).B.Len() != 1 || sb.Segment(2).B.Len() != 2 {
 		t.Errorf("partition sizes wrong: %s", sb.Dump())
 	}
 	if sb.TotalRows() != 5 {
@@ -98,8 +98,8 @@ func TestAdaptWithAlwaysSplitsAtBounds(t *testing.T) {
 	if rw == 0 {
 		t.Fatal("no rewrite happened")
 	}
-	if len(sb.Segs) != 3 {
-		t.Fatalf("segments = %d: %s", len(sb.Segs), sb.Dump())
+	if sb.SegmentCount() != 3 {
+		t.Fatalf("segments = %d: %s", sb.SegmentCount(), sb.Dump())
 	}
 	if err := sb.Validate(); err != nil {
 		t.Fatal(err)
@@ -111,7 +111,7 @@ func TestAdaptWithNeverDoesNothing(t *testing.T) {
 	if rw := sb.Adapt(10, 20, model.Never{}); rw != 0 {
 		t.Errorf("Never rewrote %d bytes", rw)
 	}
-	if len(sb.Segs) != 1 {
+	if sb.SegmentCount() != 1 {
 		t.Error("Never split")
 	}
 }
@@ -134,7 +134,7 @@ func TestAdaptRandomKeepsInvariants(t *testing.T) {
 	if sb.TotalRows() != 2000 {
 		t.Errorf("rows lost: %d", sb.TotalRows())
 	}
-	if len(sb.Segs) < 2 {
+	if sb.SegmentCount() < 2 {
 		t.Error("no adaptation happened")
 	}
 }

@@ -11,6 +11,12 @@ package core
 // materialized segment whose range contains the value holds a copy, so
 // the value is appended to each of them, and the size estimates of
 // virtual segments on the path are refreshed.
+//
+// Both loaders run behind their strategy's single-writer lock; the
+// segmented loader rebuilds the touched segments copy-on-write and
+// publishes the fully loaded list in one atomic step, so concurrent
+// readers see either the pre-load or the post-load column, never a
+// half-loaded one.
 
 import (
 	"fmt"
@@ -28,50 +34,58 @@ func (s *Segmenter) BulkLoad(vals []domain.Value) (QueryStats, error) {
 	if len(vals) == 0 {
 		return st, nil
 	}
-	extent := s.list.Extent()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.list.Load()
+	extent := list.Extent()
 	for _, v := range vals {
 		if !extent.Contains(v) {
 			return st, fmt.Errorf("core: bulk value %d outside extent %v", v, extent)
 		}
 	}
-	elem := s.list.ElemSize()
+	elem := list.ElemSize()
+	codec := s.codec.Load()
 	// Bucket values per target segment index.
 	sorted := append([]domain.Value(nil), vals...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	buckets := make(map[int][]domain.Value)
 	for _, v := range sorted {
-		lo, hi := s.list.Overlapping(domain.Range{Lo: v, Hi: v})
+		lo, hi := list.Overlapping(domain.Range{Lo: v, Hi: v})
 		if lo >= hi {
 			return st, fmt.Errorf("core: no segment covers value %d", v)
 		}
 		buckets[lo] = append(buckets[lo], v)
 	}
-	// Rewrite touched segments, highest index first (Replace-stability).
+	// Rewrite touched segments, highest index first (replacement
+	// stability: indices below the replaced slot never shift).
 	idxs := make([]int, 0, len(buckets))
 	for i := range buckets {
 		idxs = append(idxs, i)
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(idxs)))
 	for _, i := range idxs {
-		sg := s.list.Seg(i)
+		sg := list.Seg(i)
 		oldBytes := int64(sg.StoredBytes(elem))
 		merged := make([]domain.Value, 0, sg.Count()+int64(len(buckets[i])))
 		merged = sg.AppendValues(merged)
 		merged = append(merged, buckets[i]...)
 		repl := segment.NewMaterialized(sg.Rng, merged)
-		s.list.Replace(i, repl)
 		// The rewrite is a materialization like any other: the codec
 		// re-encodes the merged segment before the write is accounted.
-		s.encode(repl, &st)
+		if repl.Encode(codec) {
+			st.Recodes++
+		}
+		list = list.Replaced(i, repl)
 		newBytes := int64(repl.StoredBytes(elem))
 		st.ReadBytes += oldBytes // the rewrite scans the old segment
 		st.WriteBytes += newBytes
-		s.stored += newBytes - oldBytes
+		s.stored.Add(newBytes - oldBytes)
 		s.tracer.Scan(sg.ID, oldBytes)
 		s.tracer.Drop(sg.ID, oldBytes)
 		s.tracer.Materialize(repl.ID, newBytes)
 	}
-	s.totalBytes += int64(len(vals)) * elem
+	s.list.Store(list)
+	s.totalBytes.Add(int64(len(vals)) * elem)
 	s.snapshot(&st)
 	return st, nil
 }
@@ -84,6 +98,8 @@ func (r *Replicator) BulkLoad(vals []domain.Value) (QueryStats, error) {
 	if len(vals) == 0 {
 		return st, nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	extent := r.sentinel.seg.Rng
 	for _, v := range vals {
 		if !extent.Contains(v) {

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"selforg/internal/compress"
 	"selforg/internal/domain"
@@ -15,7 +17,23 @@ import (
 // retained as materialized replicas ("lazy materialization", §3.3), and a
 // segment whose children are all materialized is dropped to release
 // storage (Algorithm 5).
+//
+// # Concurrency model
+//
+// The Replicator is safe for concurrent use: the replica tree is a
+// mutable linked structure (children attach, payloads fill, nodes splice
+// out), so every query runs behind the single writer mutex — replica
+// creation, re-encoding and drops never race. Unlike the Segmenter there
+// is no lock-free read path; concurrent query streams serialize, which
+// the facade documents as the replication trade-off. With
+// SetParallelism(n > 1) the result extraction of one query still fans out
+// across the (disjoint) covering segments on a bounded worker pool, with
+// per-worker stats deltas merged in cover order, so large scans
+// parallelize inside the lock.
 type Replicator struct {
+	// mu is the single-writer path guarding the tree, the model and the
+	// storage counters.
+	mu sync.Mutex
 	// sentinel is a permanent virtual holder of the forest. The paper's
 	// tree root (the whole column) can itself be dropped once fully
 	// replicated ("the initial segment containing the entire column was
@@ -46,6 +64,8 @@ type Replicator struct {
 	maxDepth int
 	// declined counts replicas refused by the budget or depth guards.
 	declined int
+	// par is the per-query extraction fan-out width (<=1 = serial).
+	par int
 }
 
 // NewReplicator builds the strategy over a fresh one-segment column (the
@@ -76,10 +96,20 @@ func NewReplicator(extent domain.Range, vals []domain.Value, elemSize int64, m m
 // Name implements Strategy.
 func (r *Replicator) Name() string { return r.mod.Name() + " Repl" }
 
+// SetParallelism sets the bounded worker count one query may fan its
+// covering-segment extraction out to (<=1 = serial).
+func (r *Replicator) SetParallelism(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.par = n
+}
+
 // SetCompression attaches the compression subsystem: new replicas are
 // encoded as they materialize, and the existing materialized tree is
 // re-encoded immediately.
 func (r *Replicator) SetCompression(mode compress.Mode) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.codec = compress.NewCodec(mode, r.elemSize)
 	if !r.codec.Enabled() {
 		return
@@ -96,29 +126,55 @@ func (r *Replicator) SetCompression(mode compress.Mode) {
 }
 
 // Compression returns the active compression mode.
-func (r *Replicator) Compression() compress.Mode { return r.codec.Mode() }
+func (r *Replicator) Compression() compress.Mode {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.codec.Mode()
+}
 
 // SetStorageBudget bounds the materialized replica storage in bytes
 // (0 = unlimited). Replicas that would exceed the budget are declined.
-func (r *Replicator) SetStorageBudget(maxBytes int64) { r.budget = maxBytes }
+func (r *Replicator) SetStorageBudget(maxBytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.budget = maxBytes
+}
 
 // SetMaxDepth bounds the replica tree depth (0 = unlimited).
-func (r *Replicator) SetMaxDepth(depth int) { r.maxDepth = depth }
+func (r *Replicator) SetMaxDepth(depth int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maxDepth = depth
+}
 
 // Declined returns how many replica creations the budget/depth guards
 // refused.
-func (r *Replicator) Declined() int { return r.declined }
+func (r *Replicator) Declined() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.declined
+}
 
 // StorageBytes implements Strategy: the total physical materialized
 // replica storage, the y-axis of Figures 8 and 9 (compressed footprint
 // where replicas are encoded).
-func (r *Replicator) StorageBytes() domain.ByteSize { return domain.ByteSize(r.stored) }
+func (r *Replicator) StorageBytes() domain.ByteSize {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return domain.ByteSize(r.stored)
+}
 
 // UncompressedBytes implements Strategy: the logical replica storage.
-func (r *Replicator) UncompressedBytes() domain.ByteSize { return domain.ByteSize(r.storage) }
+func (r *Replicator) UncompressedBytes() domain.ByteSize {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return domain.ByteSize(r.storage)
+}
 
 // SegmentCount implements Strategy: the number of materialized segments.
 func (r *Replicator) SegmentCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	n := 0
 	r.sentinel.walk(func(m *node, _ int) {
 		if m != r.sentinel && !m.seg.Virtual {
@@ -130,6 +186,8 @@ func (r *Replicator) SegmentCount() int {
 
 // VirtualCount returns the number of virtual segments in the tree.
 func (r *Replicator) VirtualCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	n := 0
 	r.sentinel.walk(func(m *node, _ int) {
 		if m != r.sentinel && m.seg.Virtual {
@@ -142,6 +200,8 @@ func (r *Replicator) VirtualCount() int {
 // Depth returns the maximum depth of the replica tree (sentinel at 0).
 // §6.1.3 evaluates tree depth as a replication cost parameter.
 func (r *Replicator) Depth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	max := 0
 	r.sentinel.walk(func(_ *node, d int) {
 		if d > max {
@@ -154,6 +214,8 @@ func (r *Replicator) Depth() int {
 // SegmentSizes implements Strategy: logical sizes of materialized
 // segments.
 func (r *Replicator) SegmentSizes() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var out []float64
 	r.sentinel.walk(func(m *node, _ int) {
 		if m != r.sentinel && !m.seg.Virtual {
@@ -166,6 +228,8 @@ func (r *Replicator) SegmentSizes() []float64 {
 // Dump renders the replica tree in Figure-4 style (virtual segments marked
 // "vir").
 func (r *Replicator) Dump() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var b strings.Builder
 	for _, c := range r.sentinel.children {
 		c.dump(&b, 0)
@@ -175,6 +239,8 @@ func (r *Replicator) Dump() string {
 
 // Validate checks the tree invariants; tests run it after every query.
 func (r *Replicator) Validate() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.sentinel.validate(false)
 }
 
@@ -199,18 +265,9 @@ func (r *Replicator) info(sg *segment.Segment) model.SegmentInfo {
 // It returns the selection result assembled from one scan per covering
 // segment, with replica materialization piggy-backed on those scans.
 func (r *Replicator) Select(q domain.Range) ([]domain.Value, QueryStats) {
-	var st QueryStats
-	var result []domain.Value
-	cover := r.getCover(q)
-	for _, c := range cover {
-		var tasks []*node
-		r.analyzeRepl(q, c, &tasks, &st)
-		result = r.scanMat(c, q, tasks, true, result, &st)
-		r.check4Drop(c, &st)
-	}
-	st.ResultCount = int64(len(result))
-	r.snapshot(&st)
-	return result, st
+	res, _, st := r.run(q, true)
+	st.ResultCount = int64(len(res))
+	return res, st
 }
 
 // Count implements Strategy: the Algorithm-2 pass with the result
@@ -218,19 +275,97 @@ func (r *Replicator) Select(q domain.Range) ([]domain.Value, QueryStats) {
 // compressed) form. Replica analysis, materialization and drops all still
 // happen — counting queries drive adaptation like any others.
 func (r *Replicator) Count(q domain.Range) (int64, QueryStats) {
+	_, n, st := r.run(q, false)
+	st.ResultCount = n
+	return n, st
+}
+
+// run is the shared Algorithm-2 pass behind Select and Count, entirely
+// under the writer lock. Serial mode interleaves analyse → scan →
+// materialize → drop per covering segment, exactly as the paper's
+// pseudocode. Parallel mode (SetParallelism > 1) hoists the phases:
+// every cover segment is analysed first (preserving the model's decision
+// order), the read-only extraction fans out across the worker pool, and
+// materialization plus drop run serially in cover order afterwards — the
+// covering subtrees are disjoint, so the hoisting is observationally
+// identical to the serial interleaving.
+func (r *Replicator) run(q domain.Range, extract bool) ([]domain.Value, int64, QueryStats) {
 	var st QueryStats
-	var count int64
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	cover := r.getCover(q)
-	for _, c := range cover {
-		var tasks []*node
-		r.analyzeRepl(q, c, &tasks, &st)
-		count += c.seg.SelectCount(q)
-		r.scanMat(c, q, tasks, false, nil, &st)
+	tasks := make([][]*node, len(cover))
+
+	if r.par <= 1 || len(cover) < 2 {
+		var result []domain.Value
+		var count int64
+		for i, c := range cover {
+			r.analyzeRepl(q, c, &tasks[i], &st)
+			if extract {
+				result = r.scanCover(c, q, true, result, &st)
+			} else {
+				count += c.seg.SelectCount(q)
+				r.scanCover(c, q, false, nil, &st)
+			}
+			r.materializeTasks(c, tasks[i], &st)
+			r.check4Drop(c, &st)
+		}
+		r.snapshot(&st)
+		return result, count, st
+	}
+
+	for i, c := range cover {
+		r.analyzeRepl(q, c, &tasks[i], &st)
+	}
+
+	// Fan the per-cover extraction out: read-only on disjoint segments,
+	// outcomes in cover-order slots, per-worker read deltas merged after.
+	type coverOut struct {
+		vals  []domain.Value
+		count int64
+	}
+	outs := make([]coverOut, len(cover))
+	workers := r.par
+	if workers > len(cover) {
+		workers = len(cover)
+	}
+	deltas := make([]QueryStats, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cover) {
+					return
+				}
+				c := cover[i]
+				if extract {
+					outs[i].vals = r.scanCover(c, q, true, nil, &deltas[w])
+				} else {
+					outs[i].count = c.seg.SelectCount(q)
+					r.scanCover(c, q, false, nil, &deltas[w])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range deltas {
+		st.ReadBytes += deltas[i].ReadBytes
+	}
+
+	var result []domain.Value
+	var count int64
+	for i, c := range cover {
+		result = append(result, outs[i].vals...)
+		count += outs[i].count
+		r.materializeTasks(c, tasks[i], &st)
 		r.check4Drop(c, &st)
 	}
-	st.ResultCount = count
 	r.snapshot(&st)
-	return count, st
+	return result, count, st
 }
 
 // snapshot fills the per-query storage measures.
@@ -278,7 +413,7 @@ func (r *Replicator) coverRec(q domain.Range, n *node, cover *[]*node) bool {
 // analyzeRepl implements Algorithm 4: descend to the leaves under cover
 // segment n that overlap the query and decide, per leaf, which replicas to
 // create. New children are attached immediately (virtual, to be filled by
-// scanMat); nodes to materialize are appended to tasks.
+// materializeTasks); nodes to materialize are appended to tasks.
 func (r *Replicator) analyzeRepl(q domain.Range, n *node, tasks *[]*node, st *QueryStats) {
 	if !n.isLeaf() {
 		for _, c := range n.overlapChildren(q) {
@@ -346,20 +481,26 @@ func (r *Replicator) newVirtualNode(parent *segment.Segment, rng domain.Range) *
 	return &node{seg: segment.NewVirtual(rng, parent.EstimatePiece(rng))}
 }
 
-// scanMat performs the "single scan of the covering segment ... to
-// materialize the replicas in the list and the query results" (§5). It
-// returns result extended with the qualifying values of c; a counting
-// query passes extract=false to skip the extraction but materializes
-// replicas all the same. Fresh replicas are handed to the codec, so
-// replica storage (the y-axis of Figures 8/9) is the compressed
-// footprint.
-func (r *Replicator) scanMat(c *node, q domain.Range, tasks []*node, extract bool, result []domain.Value, st *QueryStats) []domain.Value {
+// scanCover accounts the "single scan of the covering segment" (§5) and,
+// when extract is set, returns result extended with the qualifying values
+// of c. It reads only the covering segment, so parallel extraction across
+// disjoint cover segments is safe; replica materialization is the
+// writer-side counterpart in materializeTasks.
+func (r *Replicator) scanCover(c *node, q domain.Range, extract bool, result []domain.Value, st *QueryStats) []domain.Value {
 	bytes := int64(c.seg.StoredBytes(r.elemSize))
 	st.ReadBytes += bytes
 	r.tracer.Scan(c.seg.ID, bytes)
 	if extract {
 		result = c.seg.AppendSelect(q, result)
 	}
+	return result
+}
+
+// materializeTasks fills the replicas analyzeRepl scheduled under cover
+// segment c — the materialization half of the paper's scanMat. Fresh
+// replicas are handed to the codec, so replica storage (the y-axis of
+// Figures 8/9) is the compressed footprint.
+func (r *Replicator) materializeTasks(c *node, tasks []*node, st *QueryStats) {
 	for _, t := range tasks {
 		if r.budget > 0 && r.stored+t.seg.Count()*r.elemSize > r.budget {
 			// Storage guard (§8 extension): decline the replica; the
@@ -382,7 +523,6 @@ func (r *Replicator) scanMat(c *node, q domain.Range, tasks []*node, extract boo
 		r.stored += b
 		r.tracer.Materialize(t.seg.ID, b)
 	}
-	return result
 }
 
 // check4Drop implements Algorithm 5: bottom-up over the subtree, a segment

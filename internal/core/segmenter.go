@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"selforg/internal/compress"
 	"selforg/internal/domain"
@@ -11,27 +13,54 @@ import (
 
 // Segmenter implements adaptive segmentation (§4, Algorithm 1): the column
 // is a sequence of adjacent non-overlapping segments, initially one; each
-// range selection may split the segments it overlaps, in place, as decided
-// by the segmentation model. This is "eager materialization" (§3.3): the
-// selected sub-segment is kept and the remaining sub-segments are
-// materialized immediately, which makes the initial queries pay the
-// reorganization cost.
+// range selection may split the segments it overlaps, as decided by the
+// segmentation model. This is "eager materialization" (§3.3): the selected
+// sub-segment is kept and the remaining sub-segments are materialized
+// immediately, which makes the initial queries pay the reorganization cost.
 //
 // When a compression codec is attached, storage-encoding decisions
 // piggy-back on the same loop: every segment a query materializes (the
 // sub-segments of a split, glued runs, bulk-loaded rewrites) is handed to
 // the codec's advisor, so the physical format adapts to the data exactly
 // where the layout adapts to the queries.
+//
+// # Concurrency model
+//
+// The Segmenter is safe for concurrent use. Readers work on immutable
+// List snapshots published through an atomic pointer: a scan loads the
+// current snapshot once and never observes a half-reorganized column, no
+// matter how many queries run beside it. All reorganization — model
+// decisions, split application, gluing, re-encoding, bulk loads — happens
+// behind a single writer mutex: a query batches every split it wants into
+// intents, and the writer path re-validates each intent against the
+// current list (by segment identity) before applying it, so identical
+// piggy-backed work from concurrent scans coalesces into one application
+// instead of racing. Retired snapshots are reclaimed by the garbage
+// collector once their last reader drops them (RCU-style retirement).
+//
+// With SetParallelism(n > 1), the per-segment scan work of a single query
+// additionally fans out across a bounded pool of n workers, each
+// accumulating its own QueryStats delta; the deltas and the per-segment
+// results are merged in segment order, so results are deterministic and
+// byte-identical to the serial path. The Tracer must be safe for
+// concurrent use when parallelism is enabled, and its events may be
+// reordered relative to serial execution.
 type Segmenter struct {
-	list   *segment.List
+	// mu is the single-writer path: model decisions (the models are
+	// stateful — GD owns a random stream, AutoAPM tunes its bounds) and
+	// every list mutation happen under it.
+	mu     sync.Mutex
+	list   atomic.Pointer[segment.List]
 	mod    model.Model
 	tracer Tracer
-	codec  *compress.Codec // nil = compression off
-	// totalBytes is the fixed logical column size, the TotSize of the GD
-	// model; stored is the physical footprint, maintained incrementally
-	// as segments are rewritten so per-query snapshots stay O(1).
-	totalBytes int64
-	stored     int64
+	codec  atomic.Pointer[compress.Codec] // nil = compression off
+	// totalBytes is the logical column size, the TotSize of the GD model;
+	// stored is the physical footprint, maintained incrementally as
+	// segments are rewritten so per-query snapshots stay O(1).
+	totalBytes atomic.Int64
+	stored     atomic.Int64
+	// par is the per-query scan fan-out width (<=1 = serial).
+	par atomic.Int32
 }
 
 // NewSegmenter builds the strategy over a fresh single-segment column
@@ -42,69 +71,109 @@ func NewSegmenter(extent domain.Range, vals []domain.Value, elemSize int64, m mo
 		tracer = nopTracer{}
 	}
 	l := segment.NewList(extent, vals, elemSize)
-	s := &Segmenter{list: l, mod: m, tracer: tracer,
-		totalBytes: int64(l.TotalBytes()), stored: int64(l.TotalBytes())}
+	s := &Segmenter{mod: m, tracer: tracer}
+	s.list.Store(l)
+	s.totalBytes.Store(int64(l.TotalBytes()))
+	s.stored.Store(int64(l.TotalBytes()))
 	// The initial column is materialized storage the buffer layer should
 	// know about.
 	s.tracer.Materialize(l.Seg(0).ID, int64(l.TotalBytes()))
 	return s
 }
 
+// SetParallelism sets the bounded worker count a single query may fan its
+// per-segment scans out to (<=1 = serial). Safety for concurrent Select
+// calls does not depend on this knob; it only widens intra-query scans.
+func (s *Segmenter) SetParallelism(n int) {
+	s.par.Store(int32(n))
+}
+
 // SetCompression attaches the compression subsystem: subsequent
 // materializations are encoded under mode, and the existing segments are
 // re-encoded immediately (the construction-time counterpart of the
-// initial Materialize event). Off detaches it, decoding nothing — already
-// encoded segments stay encoded and decay lazily as splits rewrite them.
+// initial Materialize event). The re-encoded list is built copy-on-write
+// and published atomically, so concurrent readers keep a consistent
+// snapshot. Off detaches the codec, decoding nothing — already encoded
+// segments stay encoded and decay lazily as splits rewrite them.
 func (s *Segmenter) SetCompression(mode compress.Mode) {
-	s.codec = compress.NewCodec(mode, s.list.ElemSize())
-	if s.codec.Enabled() {
-		for i := 0; i < s.list.Len(); i++ {
-			s.list.Seg(i).Encode(s.codec)
-		}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.list.Load()
+	codec := compress.NewCodec(mode, list.ElemSize())
+	s.codec.Store(codec)
+	if codec.Enabled() {
+		list = list.Encoded(codec)
+		s.list.Store(list)
 	}
-	s.stored = int64(s.list.StoredBytes())
+	s.stored.Store(int64(list.StoredBytes()))
 }
 
 // Compression returns the active compression mode.
-func (s *Segmenter) Compression() compress.Mode { return s.codec.Mode() }
+func (s *Segmenter) Compression() compress.Mode { return s.codec.Load().Mode() }
 
 // Name implements Strategy.
 func (s *Segmenter) Name() string { return s.mod.Name() + " Segm" }
 
-// List exposes the underlying meta-index (read-only use: diagnostics,
-// validation in tests, Table 2 statistics).
-func (s *Segmenter) List() *segment.List { return s.list }
+// List exposes the current meta-index snapshot (read-only use:
+// diagnostics, validation in tests, Table 2 statistics). The snapshot is
+// immutable; later reorganization publishes successors without touching
+// it.
+func (s *Segmenter) List() *segment.List { return s.list.Load() }
 
 // SegmentCount implements Strategy.
-func (s *Segmenter) SegmentCount() int { return s.list.Len() }
+func (s *Segmenter) SegmentCount() int { return s.list.Load().Len() }
 
 // StorageBytes implements Strategy: the physical storage held. Adaptive
 // segmentation reorganizes in place, so without compression this is
 // always exactly the column size; with compression it shrinks as the
 // advisor encodes segments.
-func (s *Segmenter) StorageBytes() domain.ByteSize { return domain.ByteSize(s.stored) }
+func (s *Segmenter) StorageBytes() domain.ByteSize { return domain.ByteSize(s.stored.Load()) }
 
 // UncompressedBytes implements Strategy.
-func (s *Segmenter) UncompressedBytes() domain.ByteSize { return domain.ByteSize(s.totalBytes) }
+func (s *Segmenter) UncompressedBytes() domain.ByteSize {
+	return domain.ByteSize(s.totalBytes.Load())
+}
 
 // SegmentSizes implements Strategy.
-func (s *Segmenter) SegmentSizes() []float64 { return s.list.SegmentBytes() }
+func (s *Segmenter) SegmentSizes() []float64 { return s.list.Load().SegmentBytes() }
 
 // info builds the model's view of a segment. Models reason about logical
 // sizes, so split decisions are identical with compression on or off.
-func (s *Segmenter) info(sg *segment.Segment) model.SegmentInfo {
+func (s *Segmenter) info(sg *segment.Segment, elem int64) model.SegmentInfo {
 	return model.SegmentInfo{
 		Rng:        sg.Rng,
-		Bytes:      int64(sg.Bytes(s.list.ElemSize())),
-		TotalBytes: s.totalBytes,
+		Bytes:      int64(sg.Bytes(elem)),
+		TotalBytes: s.totalBytes.Load(),
 	}
 }
 
 // snapshot fills the per-query storage measures from the maintained
 // counters — O(1), no list sweep on the query path.
 func (s *Segmenter) snapshot(st *QueryStats) {
-	st.StorageBytes = s.totalBytes
-	st.CompressedBytes = s.stored
+	st.StorageBytes = s.totalBytes.Load()
+	st.CompressedBytes = s.stored.Load()
+}
+
+// segTask is one planned unit of per-segment work for a query: the
+// snapshot segment to scan plus the model's verdict on it. Tasks are
+// built in visit order (segments high-to-low) under the writer lock, then
+// executed serially or fanned out across the worker pool.
+type segTask struct {
+	seg     *segment.Segment
+	covered bool // whole segment qualifies: no filtering, no decision
+	action  model.Action
+	point   domain.Value // SplitPoint cut
+}
+
+// segOutcome is what executing one segTask produced: the task's result
+// contribution and, for splits, the freshly materialized (and already
+// encoded) replacement pieces — the reorganization intent handed to the
+// single-writer path.
+type segOutcome struct {
+	vals    []domain.Value
+	count   int64
+	subs    []*segment.Segment
+	recodes int
 }
 
 // Select implements Algorithm 1:
@@ -115,21 +184,12 @@ func (s *Segmenter) snapshot(st *QueryStats) {
 //	        replace S with its sub-segments
 //
 // and simultaneously evaluates the selection, returning the qualifying
-// values. Segments are visited high-to-low so in-place replacement does
-// not disturb the indexes of segments still to visit.
+// values. Segments are visited high-to-low, matching the paper's
+// in-place replacement order.
 func (s *Segmenter) Select(q domain.Range) ([]domain.Value, QueryStats) {
-	var st QueryStats
-	var result []domain.Value
-	s.visit(q, &st, true, func(sg *segment.Segment, covered bool) {
-		if covered {
-			result = sg.AppendValues(result)
-		} else {
-			result = sg.AppendSelect(q, result)
-		}
-	})
-	st.ResultCount = int64(len(result))
-	s.snapshot(&st)
-	return result, st
+	vals, _, st := s.run(q, true, true)
+	st.ResultCount = int64(len(vals))
+	return vals, st
 }
 
 // Count implements Strategy: the same Algorithm-1 pass with counting
@@ -137,142 +197,279 @@ func (s *Segmenter) Select(q domain.Range) ([]domain.Value, QueryStats) {
 // count without being scanned at all, and partially covered segments are
 // counted on their (possibly compressed) form without copying a value.
 func (s *Segmenter) Count(q domain.Range) (int64, QueryStats) {
-	var st QueryStats
-	var count int64
-	s.visit(q, &st, false, func(sg *segment.Segment, covered bool) {
-		if covered {
-			count += sg.Count()
-		} else {
-			count += sg.SelectCount(q)
-		}
-	})
-	st.ResultCount = count
-	s.snapshot(&st)
-	return count, st
+	_, n, st := s.run(q, false, false)
+	st.ResultCount = n
+	return n, st
 }
 
-// visit runs the shared reorganize-while-scanning loop. emit is called
-// for every segment holding qualifying values: covered=true when the
-// whole segment qualifies, covered=false for segments needing a filtering
-// scan. scanCovered controls whether fully covered segments account a
-// scan: a selection reads them to copy the values out, a count answers
-// them from the meta-index for free.
-func (s *Segmenter) visit(q domain.Range, st *QueryStats, scanCovered bool, emit func(sg *segment.Segment, covered bool)) {
-	elem := s.list.ElemSize()
-	lo, hi := s.list.Overlapping(q)
+// run is the shared reorganize-while-scanning pipeline:
+//
+//  1. Plan (under mu): walk the snapshot's overlapping segments
+//     high-to-low and consult the model for each partially covered one —
+//     the only phase that touches stateful model state.
+//  2. Execute: scan, filter or partition each task's segment on the
+//     snapshot. Serial mode executes in order with inline application,
+//     reproducing the paper's exact interleaving; parallel mode fans the
+//     tasks out across the worker pool and merges per-worker stats.
+//  3. Apply (under mu): re-validate each split intent against the current
+//     list by segment identity, replace copy-on-write, and publish the
+//     new snapshot. Intents whose segment a concurrent query already
+//     reorganized are dropped — the coalescing step.
+//
+// wantVals selects extraction vs counting sinks; scanCovered controls
+// whether fully covered segments account a scan (a selection reads them
+// to copy values out, a count answers them from the meta-index for free).
+func (s *Segmenter) run(q domain.Range, wantVals, scanCovered bool) ([]domain.Value, int64, QueryStats) {
+	var st QueryStats
+	s.mu.Lock()
+	list := s.list.Load()
+	elem := list.ElemSize()
+	lo, hi := list.Overlapping(q)
+	tasks := make([]segTask, 0, hi-lo)
 	for i := hi - 1; i >= lo; i-- {
-		sg := s.list.Seg(i)
-
+		sg := list.Seg(i)
 		if domain.Classify(sg.Rng, q) == domain.CoversAll {
 			// The whole segment qualifies; it immediately benefits from
 			// earlier reorganization (Figure 3, Q2 on the last segment).
-			if scanCovered {
-				b := int64(sg.StoredBytes(elem))
-				st.ReadBytes += b
-				s.tracer.Scan(sg.ID, b)
-			}
-			emit(sg, true)
+			tasks = append(tasks, segTask{seg: sg, covered: true})
 			continue
 		}
-		// Every partially overlapping segment is scanned: either to
-		// extract (or count) the qualifying values or to partition it.
-		// The meta-index already excluded all non-overlapping segments
-		// without touching data; compressed segments are read at their
-		// encoded size.
-		segBytes := int64(sg.StoredBytes(elem))
-		st.ReadBytes += segBytes
-		s.tracer.Scan(sg.ID, segBytes)
+		d := s.mod.Decide(q, s.info(sg, elem))
+		tasks = append(tasks, segTask{seg: sg, action: d.Action, point: d.Point})
+	}
+	codec := s.codec.Load()
+	par := int(s.par.Load())
 
-		d := s.mod.Decide(q, s.info(sg))
-		switch d.Action {
-		case model.NoSplit:
-			emit(sg, false)
+	if par <= 1 || len(tasks) < 2 {
+		// Serial: execute and apply each task in order while holding the
+		// writer lock — the exact interleaving of the paper's serial
+		// Algorithm 1, tracer events included. The result accumulator is
+		// threaded through the tasks, so assembly allocates like the
+		// pre-concurrency loop did.
+		var vals []domain.Value
+		var count int64
+		for _, t := range tasks {
+			out := s.execTask(q, t, wantVals, scanCovered, elem, codec, &st, vals)
+			if out.subs != nil {
+				s.applyIntent(t, out, &st)
+			}
+			vals = out.vals
+			count += out.count
+		}
+		s.snapshot(&st)
+		s.mu.Unlock()
+		return vals, count, st
+	}
+	s.mu.Unlock()
 
-		case model.SplitBounds:
-			sp := domain.Cut(sg.Rng, q)
-			left, mid, right := sg.Partition(q)
-			subs := make([]*segment.Segment, 0, 3)
-			if !sp.Left.IsEmpty() {
-				subs = append(subs, segment.NewMaterialized(sp.Left, left))
-			}
-			midSeg := segment.NewMaterialized(sp.Overlap, mid)
-			subs = append(subs, midSeg)
-			if !sp.Right.IsEmpty() {
-				subs = append(subs, segment.NewMaterialized(sp.Right, right))
-			}
-			s.replace(i, sg, subs, st)
-			emit(midSeg, true)
+	outs := s.execParallel(q, tasks, wantVals, scanCovered, par, elem, codec, &st)
 
-		case model.SplitPoint:
-			lv, rv := sg.SplitAt(d.Point)
-			subs := []*segment.Segment{
-				segment.NewMaterialized(domain.Range{Lo: sg.Rng.Lo, Hi: d.Point}, lv),
-				segment.NewMaterialized(domain.Range{Lo: d.Point + 1, Hi: sg.Rng.Hi}, rv),
+	s.mu.Lock()
+	var vals []domain.Value
+	var count int64
+	for i, t := range tasks {
+		if outs[i].subs != nil {
+			s.applyIntent(t, outs[i], &st)
+		}
+		vals = append(vals, outs[i].vals...)
+		count += outs[i].count
+	}
+	s.snapshot(&st)
+	s.mu.Unlock()
+	return vals, count, st
+}
+
+// execTask scans one task's segment on the snapshot: extraction or
+// counting for the result, partitioning (and encoding) for split intents.
+// It never mutates shared state; read volumes accumulate into st and
+// extracted values are appended to dst (the serial path threads one
+// accumulator through, the parallel path passes nil per task slot).
+func (s *Segmenter) execTask(q domain.Range, t segTask, wantVals, scanCovered bool, elem int64, codec *compress.Codec, st *QueryStats, dst []domain.Value) segOutcome {
+	out := segOutcome{vals: dst}
+	if t.covered {
+		if scanCovered {
+			b := int64(t.seg.StoredBytes(elem))
+			st.ReadBytes += b
+			s.tracer.Scan(t.seg.ID, b)
+		}
+		if wantVals {
+			out.vals = t.seg.AppendValues(dst)
+		} else {
+			out.count = t.seg.Count()
+		}
+		return out
+	}
+	// Every partially overlapping segment is scanned: either to extract
+	// (or count) the qualifying values or to partition it. The meta-index
+	// already excluded all non-overlapping segments without touching
+	// data; compressed segments are read at their encoded size.
+	segBytes := int64(t.seg.StoredBytes(elem))
+	st.ReadBytes += segBytes
+	s.tracer.Scan(t.seg.ID, segBytes)
+
+	switch t.action {
+	case model.NoSplit:
+		if wantVals {
+			out.vals = t.seg.AppendSelect(q, dst)
+		} else {
+			out.count = t.seg.SelectCount(q)
+		}
+
+	case model.SplitBounds:
+		sp := domain.Cut(t.seg.Rng, q)
+		left, mid, right := t.seg.Partition(q)
+		subs := make([]*segment.Segment, 0, 3)
+		if !sp.Left.IsEmpty() {
+			subs = append(subs, segment.NewMaterialized(sp.Left, left))
+		}
+		midSeg := segment.NewMaterialized(sp.Overlap, mid)
+		subs = append(subs, midSeg)
+		if !sp.Right.IsEmpty() {
+			subs = append(subs, segment.NewMaterialized(sp.Right, right))
+		}
+		// The mid piece is exactly the selection overlap: it is the
+		// result contribution whether or not the intent later applies.
+		if wantVals {
+			out.vals = append(dst, mid...)
+		} else {
+			out.count = int64(len(mid))
+		}
+		for _, sub := range subs {
+			if sub.Encode(codec) {
+				out.recodes++
 			}
-			s.replace(i, sg, subs, st)
-			// A point split does not isolate the selection: filter the
-			// pieces that still overlap the query.
-			for _, sub := range subs {
-				if sub.Rng.Overlaps(q) {
-					emit(sub, false)
+		}
+		out.subs = subs
+
+	case model.SplitPoint:
+		lv, rv := t.seg.SplitAt(t.point)
+		subs := []*segment.Segment{
+			segment.NewMaterialized(domain.Range{Lo: t.seg.Rng.Lo, Hi: t.point}, lv),
+			segment.NewMaterialized(domain.Range{Lo: t.point + 1, Hi: t.seg.Rng.Hi}, rv),
+		}
+		// A point split does not isolate the selection: filter the
+		// pieces that still overlap the query.
+		for _, sub := range subs {
+			if sub.Rng.Overlaps(q) {
+				if wantVals {
+					out.vals = sub.AppendSelect(q, out.vals)
+				} else {
+					out.count += sub.SelectCount(q)
 				}
 			}
-
-		default:
-			panic(fmt.Sprintf("core: unknown model action %v", d.Action))
 		}
+		for _, sub := range subs {
+			if sub.Encode(codec) {
+				out.recodes++
+			}
+		}
+		out.subs = subs
+
+	default:
+		panic(fmt.Sprintf("core: unknown model action %v", t.action))
 	}
+	return out
 }
 
-// encode hands a freshly materialized segment to the codec (no-op when
-// compression is off) and accounts the re-encode.
-func (s *Segmenter) encode(sg *segment.Segment, st *QueryStats) {
-	if sg.Encode(s.codec) {
-		st.Recodes++
+// execParallel fans the tasks out across a bounded pool of par workers.
+// Each worker accumulates its own QueryStats delta; outcomes land in
+// per-task slots so the merge is deterministic regardless of scheduling.
+func (s *Segmenter) execParallel(q domain.Range, tasks []segTask, wantVals, scanCovered bool, par int, elem int64, codec *compress.Codec, st *QueryStats) []segOutcome {
+	outs := make([]segOutcome, len(tasks))
+	workers := par
+	if workers > len(tasks) {
+		workers = len(tasks)
 	}
+	deltas := make([]QueryStats, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				outs[i] = s.execTask(q, tasks[i], wantVals, scanCovered, elem, codec, &deltas[w], nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range deltas {
+		st.ReadBytes += deltas[i].ReadBytes
+	}
+	return outs
 }
 
-// replace swaps segment sg (at index i) for subs and accounts the
-// materialization: the entire reorganized segment is written back (§6.1.1:
-// "segmentation reorganizes an entire segment independently of the precise
-// selected size"). New sub-segments are encoded before the write is
-// accounted, so compressed columns also write less.
-func (s *Segmenter) replace(i int, sg *segment.Segment, subs []*segment.Segment, st *QueryStats) {
-	elem := s.list.ElemSize()
-	s.list.Replace(i, subs...)
-	for _, sub := range subs {
-		s.encode(sub, st)
+// applyIntent is the single-writer application of one split intent
+// (caller holds mu): re-locate the snapshot segment in the current list
+// by identity, swap in the materialized pieces copy-on-write, publish the
+// new snapshot and account the materialization — the entire reorganized
+// segment is written back (§6.1.1: "segmentation reorganizes an entire
+// segment independently of the precise selected size"). A stale intent —
+// its segment already reorganized by a concurrent query — is dropped:
+// that is how identical piggy-backed work from concurrent scans coalesces
+// into one application.
+func (s *Segmenter) applyIntent(t segTask, out segOutcome, st *QueryStats) {
+	list := s.list.Load()
+	i := list.IndexOf(t.seg)
+	if i < 0 {
+		return
+	}
+	elem := list.ElemSize()
+	next := list.Replaced(i, out.subs...)
+	// Register the fresh pages with the tracer before publishing the
+	// snapshot, so readers of the new list find them; the old page is
+	// dropped after, so readers of the old snapshot race at most into a
+	// retired-page scan (which pool tracers account via TouchOrRetired).
+	var written int64
+	for _, sub := range out.subs {
 		b := int64(sub.StoredBytes(elem))
 		st.WriteBytes += b
-		s.stored += b
+		written += b
 		s.tracer.Materialize(sub.ID, b)
 	}
-	old := int64(sg.StoredBytes(elem))
-	s.stored -= old
-	s.tracer.Drop(sg.ID, old)
+	s.list.Store(next)
+	old := int64(t.seg.StoredBytes(elem))
+	s.stored.Add(written - old)
+	s.tracer.Drop(t.seg.ID, old)
 	st.Splits++
+	st.Recodes += out.recodes
 }
 
 // Glue merges the adjacent segment run [i, j] back into one segment — the
 // merging counterpart the paper names as the antidote to GD fragmentation
 // (§8). It returns the bytes rewritten. Exposed for the merge ablation.
 func (s *Segmenter) Glue(i, j int) int64 {
-	elem := s.list.ElemSize()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.glueLocked(i, j)
+}
+
+// glueLocked performs one copy-on-write glue and publishes the result
+// (caller holds mu).
+func (s *Segmenter) glueLocked(i, j int) int64 {
+	list := s.list.Load()
+	elem := list.ElemSize()
 	var rewritten int64
 	for k := i; k <= j; k++ {
-		sg := s.list.Seg(k)
+		sg := list.Seg(k)
 		b := int64(sg.StoredBytes(elem))
 		rewritten += b
-		s.stored -= b
+		s.stored.Add(-b)
 		s.tracer.Scan(sg.ID, b)
 		s.tracer.Drop(sg.ID, b)
 	}
-	s.list.Glue(i, j)
-	merged := s.list.Seg(i)
-	merged.Encode(s.codec)
+	next := list.Glued(i, j)
+	merged := next.Seg(i)
+	// Encode before publishing: a published segment is immutable.
+	merged.Encode(s.codec.Load())
 	mb := int64(merged.StoredBytes(elem))
-	s.stored += mb
+	s.stored.Add(mb)
 	s.tracer.Materialize(merged.ID, mb)
+	s.list.Store(next)
 	return rewritten
 }
 
@@ -282,13 +479,19 @@ func (s *Segmenter) Glue(i, j int) int64 {
 // in the ablation benches. Size comparisons are logical so gluing behaves
 // identically with compression on.
 func (s *Segmenter) GlueSmall(minBytes int64) int64 {
-	elem := s.list.ElemSize()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var rewritten int64
-	for i := 0; i < s.list.Len()-1; {
-		a := int64(s.list.Seg(i).Bytes(elem))
-		b := int64(s.list.Seg(i + 1).Bytes(elem))
+	for i := 0; ; {
+		list := s.list.Load()
+		if i >= list.Len()-1 {
+			break
+		}
+		elem := list.ElemSize()
+		a := int64(list.Seg(i).Bytes(elem))
+		b := int64(list.Seg(i + 1).Bytes(elem))
 		if a < minBytes || b < minBytes {
-			rewritten += s.Glue(i, i+1)
+			rewritten += s.glueLocked(i, i+1)
 			continue // re-examine the merged segment at i
 		}
 		i++

@@ -1,9 +1,3 @@
-// Package mal implements the MonetDB Assembly Language subset that the
-// paper's execution layer speaks (§2): typed single-assignment
-// instructions over BATs, module-qualified builtin calls, and the
-// barrier/redo/exit blocks that the segment optimizer's iterator rewrite
-// relies on (§3.1). The interpreter follows MonetDB's execution paradigm
-// of materializing every intermediate result.
 package mal
 
 import (

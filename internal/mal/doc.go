@@ -1,0 +1,15 @@
+// Package mal implements the MonetDB Assembly Language subset that the
+// paper's execution layer speaks (§2): typed single-assignment
+// instructions over BATs, module-qualified builtin calls, and the
+// barrier/redo/exit blocks that the segment optimizer's iterator rewrite
+// relies on (§3.1). The interpreter follows MonetDB's execution paradigm
+// of materializing every intermediate result.
+//
+// Plans reach this layer from the SQL front end (internal/sql) after the
+// tactical optimizer (internal/opt) has applied the segment rewrite; the
+// builtin registry (DefaultRegistry) binds the algebra/bat/calc/aggr/io
+// kernels of internal/bat and the bpm.* segment module of internal/bpm.
+// One interpreter Context is single-threaded, matching MonetDB's
+// per-session execution; the segmented columns it touches through bpm.*
+// are themselves safe for concurrent use across contexts.
+package mal

@@ -260,7 +260,7 @@ func registerAlgebra(r *Registry) {
 				return nil, err
 			}
 		}
-		return bat.RangeSelect(b, lo, hi, loIncl, hiIncl), nil
+		return bat.RangeSelectPar(b, lo, hi, loIncl, hiIncl, ctx.Parallelism), nil
 	}
 	r.Register("algebra", "select", sel)
 	r.Register("algebra", "uselect", sel)
@@ -407,19 +407,22 @@ func registerCalc(r *Registry) {
 // --- aggr module ---
 
 func registerAggr(r *Registry) {
-	one := func(name string, f func(b *bat.BAT) any) Builtin {
+	// The aggregates route through the parallel chunk-merge variants;
+	// with Context.Parallelism <= 1 (the default) those delegate straight
+	// to the serial kernels.
+	one := func(name string, f func(ctx *Context, b *bat.BAT) any) Builtin {
 		return func(ctx *Context, args []any) (any, error) {
 			b, err := argBAT(args, 0)
 			if err != nil {
 				return nil, err
 			}
-			return f(b), nil
+			return f(ctx, b), nil
 		}
 	}
-	r.Register("aggr", "count", one("count", func(b *bat.BAT) any { return bat.Count(b) }))
-	r.Register("aggr", "sum", one("sum", func(b *bat.BAT) any { return bat.Sum(b) }))
-	r.Register("aggr", "min", one("min", func(b *bat.BAT) any { return bat.Min(b) }))
-	r.Register("aggr", "max", one("max", func(b *bat.BAT) any { return bat.Max(b) }))
+	r.Register("aggr", "count", one("count", func(_ *Context, b *bat.BAT) any { return bat.Count(b) }))
+	r.Register("aggr", "sum", one("sum", func(ctx *Context, b *bat.BAT) any { return bat.SumPar(b, ctx.Parallelism) }))
+	r.Register("aggr", "min", one("min", func(ctx *Context, b *bat.BAT) any { return bat.MinPar(b, ctx.Parallelism) }))
+	r.Register("aggr", "max", one("max", func(ctx *Context, b *bat.BAT) any { return bat.MaxPar(b, ctx.Parallelism) }))
 }
 
 // --- io module ---
@@ -490,10 +493,10 @@ func registerBPM(r *Registry) {
 		if err != nil {
 			return nil, err
 		}
-		if i < 0 || int(i) >= len(sb.Segs) {
-			return nil, fmt.Errorf("segment %d out of %d", i, len(sb.Segs))
+		if i < 0 || int(i) >= sb.SegmentCount() {
+			return nil, fmt.Errorf("segment %d out of %d", i, sb.SegmentCount())
 		}
-		return sb.Segs[i].B, nil
+		return sb.Segment(int(i)).B, nil
 	})
 	r.Register("bpm", "addSegment", func(ctx *Context, args []any) (any, error) {
 		acc, err := argBAT(args, 0)
@@ -524,7 +527,7 @@ func registerBPM(r *Registry) {
 		if err != nil {
 			return nil, err
 		}
-		return int64(len(sb.Segs)), nil
+		return int64(sb.SegmentCount()), nil
 	})
 }
 
@@ -554,7 +557,7 @@ func nextSegment(sb *bpm.SegmentedBAT, it *segIter) any {
 	if it.next >= it.hi {
 		return nil
 	}
-	b := sb.Segs[it.next].B
+	b := sb.Segment(it.next).B
 	it.next++
 	return b
 }

@@ -144,7 +144,7 @@ func TestOptimizedPlanAdaptsColumn(t *testing.T) {
 	}
 	runPlan(t, prog, cat, st, 205.1, 205.12)
 	sb, _ := st.Take("sys_P_ra")
-	if len(sb.Segs) < 2 {
+	if sb.SegmentCount() < 2 {
 		t.Errorf("plan execution did not adapt the column: %s", sb.Dump())
 	}
 	if err := sb.Validate(); err != nil {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"selforg/internal/compress"
 	"selforg/internal/domain"
 )
 
@@ -13,6 +14,14 @@ import (
 // by range so the optimizer can "pre-select and access only segments
 // overlapping with the selection predicates" via binary search, without
 // touching data.
+//
+// A List is an immutable snapshot: reorganization never mutates a
+// published List in place. Replaced and Glued return fresh Lists sharing
+// the untouched segments, so concurrent readers holding an older snapshot
+// keep a consistent view while a writer publishes the successor (the
+// RCU-style epoch scheme of the concurrency model — see ARCHITECTURE.md).
+// Retired snapshots are reclaimed by the garbage collector once the last
+// reader drops them.
 type List struct {
 	elemSize int64
 	segs     []*Segment
@@ -63,20 +72,22 @@ func (l *List) Overlapping(q domain.Range) (lo, hi int) {
 	return lo, hi
 }
 
-// Replace substitutes the i-th segment by subs, which must tile exactly the
-// replaced segment's range in ascending adjacent order.
-func (l *List) Replace(i int, subs ...*Segment) {
+// Replaced returns a new List in which the i-th segment is substituted by
+// subs, which must tile exactly the replaced segment's range in ascending
+// adjacent order. The receiver is left untouched, so snapshots published
+// to concurrent readers stay consistent.
+func (l *List) Replaced(i int, subs ...*Segment) *List {
 	if len(subs) == 0 {
-		panic("segment: Replace with no substitutes")
+		panic("segment: Replaced with no substitutes")
 	}
 	old := l.segs[i]
 	if subs[0].Rng.Lo != old.Rng.Lo || subs[len(subs)-1].Rng.Hi != old.Rng.Hi {
-		panic(fmt.Sprintf("segment: Replace of %v does not tile bounds (%v..%v)",
+		panic(fmt.Sprintf("segment: Replaced of %v does not tile bounds (%v..%v)",
 			old.Rng, subs[0].Rng, subs[len(subs)-1].Rng))
 	}
 	for j := 1; j < len(subs); j++ {
 		if !subs[j-1].Rng.Adjacent(subs[j].Rng) {
-			panic(fmt.Sprintf("segment: Replace pieces %v and %v not adjacent",
+			panic(fmt.Sprintf("segment: Replaced pieces %v and %v not adjacent",
 				subs[j-1].Rng, subs[j].Rng))
 		}
 	}
@@ -84,22 +95,23 @@ func (l *List) Replace(i int, subs ...*Segment) {
 	out = append(out, l.segs[:i]...)
 	out = append(out, subs...)
 	out = append(out, l.segs[i+1:]...)
-	l.segs = out
+	return &List{elemSize: l.elemSize, segs: out}
 }
 
-// Glue merges the adjacent segments [i, j] (inclusive) into a single
-// materialized segment. The paper lists gluing as the counterpart of
+// Glued returns a new List in which the adjacent segments [i, j]
+// (inclusive) are merged into a single materialized segment; the receiver
+// is left untouched. The paper lists gluing as the counterpart of
 // splitting ("decides to split it into pieces, or glue segments together",
 // §3.1) and flags merging strategies against GD fragmentation as follow-up
-// work (§8); Glue is the primitive they build on.
-func (l *List) Glue(i, j int) {
+// work (§8); Glued is the primitive they build on.
+func (l *List) Glued(i, j int) *List {
 	if i < 0 || j >= len(l.segs) || i >= j {
-		panic(fmt.Sprintf("segment: Glue(%d, %d) out of bounds", i, j))
+		panic(fmt.Sprintf("segment: Glued(%d, %d) out of bounds", i, j))
 	}
 	total := int64(0)
 	for k := i; k <= j; k++ {
 		if l.segs[k].Virtual {
-			panic("segment: Glue of a virtual segment")
+			panic("segment: Glued of a virtual segment")
 		}
 		total += l.segs[k].Count()
 	}
@@ -112,7 +124,32 @@ func (l *List) Glue(i, j int) {
 	out = append(out, l.segs[:i]...)
 	out = append(out, merged)
 	out = append(out, l.segs[j+1:]...)
-	l.segs = out
+	return &List{elemSize: l.elemSize, segs: out}
+}
+
+// IndexOf locates sg in the list by identity: it binary-searches the
+// segment whose range starts at sg.Rng.Lo and returns its index, or -1
+// when that slot holds a different segment. Writers use it to revalidate
+// reorganization intents computed on an older snapshot — if the segment
+// was concurrently replaced, the intent is stale and must be dropped.
+func (l *List) IndexOf(sg *Segment) int {
+	i := sort.Search(len(l.segs), func(k int) bool { return l.segs[k].Rng.Lo >= sg.Rng.Lo })
+	if i < len(l.segs) && l.segs[i] == sg {
+		return i
+	}
+	return -1
+}
+
+// Encoded returns a copy of the list whose segments have been passed
+// through the codec as identity-preserving copies (EncodedCopy). The
+// receiver is untouched, so a writer can re-encode a published snapshot
+// copy-on-write.
+func (l *List) Encoded(c *compress.Codec) *List {
+	segs := make([]*Segment, len(l.segs))
+	for i, s := range l.segs {
+		segs[i] = s.EncodedCopy(c)
+	}
+	return &List{elemSize: l.elemSize, segs: segs}
 }
 
 // TotalCount returns the total number of stored elements.

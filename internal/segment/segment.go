@@ -29,6 +29,13 @@ var idCounter atomic.Int64
 //
 // Invariants: every payload value lies inside Rng; Virtual segments carry
 // no payload and use EstCount as their size estimate.
+//
+// Concurrency contract: once a materialized segment is published in a
+// List snapshot it is immutable — reorganization replaces segments with
+// fresh ones instead of rewriting payloads, so lock-free readers can scan
+// any snapshot they hold. (Encode/Decode/SetPayload are construction-time
+// operations: they may only run before the segment is published, or on
+// segments owned exclusively by a single writer, as in the replica tree.)
 type Segment struct {
 	ID       int64
 	Rng      domain.Range
@@ -104,6 +111,18 @@ func (s *Segment) Encode(c *compress.Codec) bool {
 	s.Enc = c.Encode(s.Vals)
 	s.Vals = nil
 	return true
+}
+
+// EncodedCopy returns a fresh segment with the same identity (ID and
+// range) whose payload has been passed through the codec. The receiver is
+// left untouched, so a writer can re-encode a whole published List
+// copy-on-write (SetCompression) without disturbing concurrent readers of
+// the old snapshot. With a disabled codec the copy keeps the raw payload.
+func (s *Segment) EncodedCopy(c *compress.Codec) *Segment {
+	cp := &Segment{ID: s.ID, Rng: s.Rng, Vals: s.Vals, Enc: s.Enc,
+		Virtual: s.Virtual, EstCount: s.EstCount}
+	cp.Encode(c)
+	return cp
 }
 
 // Decode converts an encoded payload back to raw storage (no-op

@@ -207,7 +207,7 @@ func TestListReplaceAndOverlapping(t *testing.T) {
 	l := newTestList()
 	s := l.Seg(0)
 	left, mid, right := s.Partition(domain.NewRange(30, 59))
-	l.Replace(0,
+	l = l.Replaced(0,
 		NewMaterialized(domain.NewRange(0, 29), left),
 		NewMaterialized(domain.NewRange(30, 59), mid),
 		NewMaterialized(domain.NewRange(60, 99), right),
@@ -247,7 +247,7 @@ func TestListReplacePanicsOnBadTiling(t *testing.T) {
 			t.Fatal("bad tiling did not panic")
 		}
 	}()
-	l.Replace(0,
+	l = l.Replaced(0,
 		NewMaterialized(domain.NewRange(0, 29), nil),
 		NewMaterialized(domain.NewRange(40, 99), nil), // gap 30..39
 	)
@@ -260,20 +260,20 @@ func TestListReplacePanicsOnWrongBounds(t *testing.T) {
 			t.Fatal("wrong bounds did not panic")
 		}
 	}()
-	l.Replace(0, NewMaterialized(domain.NewRange(0, 50), nil))
+	l = l.Replaced(0, NewMaterialized(domain.NewRange(0, 50), nil))
 }
 
 func TestListGlue(t *testing.T) {
 	l := newTestList()
 	s := l.Seg(0)
 	left, mid, right := s.Partition(domain.NewRange(30, 59))
-	l.Replace(0,
+	l = l.Replaced(0,
 		NewMaterialized(domain.NewRange(0, 29), left),
 		NewMaterialized(domain.NewRange(30, 59), mid),
 		NewMaterialized(domain.NewRange(60, 99), right),
 	)
 	before := l.TotalCount()
-	l.Glue(0, 1)
+	l = l.Glued(0, 1)
 	if l.Len() != 2 {
 		t.Fatalf("Len after glue = %d", l.Len())
 	}
@@ -295,7 +295,7 @@ func TestListGluePanics(t *testing.T) {
 			t.Fatal("Glue(0,0) did not panic")
 		}
 	}()
-	l.Glue(0, 0)
+	l = l.Glued(0, 0)
 }
 
 func TestListSegmentBytes(t *testing.T) {
@@ -415,7 +415,7 @@ func TestListPropertyRandomSplitsKeepInvariants(t *testing.T) {
 			if !sp.Right.IsEmpty() {
 				subs = append(subs, NewMaterialized(sp.Right, right))
 			}
-			l.Replace(i, subs...)
+			l = l.Replaced(i, subs...)
 		}
 		if err := l.Validate(); err != nil {
 			t.Fatalf("trial %d: %v\n%s", trial, err, l.Dump())
@@ -435,7 +435,7 @@ func TestOverlappingPropertyMatchesLinearScan(t *testing.T) {
 	r := rand.New(rand.NewSource(44))
 	l := newTestList()
 	// Build a multi-segment list first.
-	l.Replace(0,
+	l = l.Replaced(0,
 		NewMaterialized(domain.NewRange(0, 9), nil),
 		NewMaterialized(domain.NewRange(10, 39), nil),
 		NewMaterialized(domain.NewRange(40, 64), nil),

@@ -1,0 +1,37 @@
+package sim
+
+import "testing"
+
+func TestRunConcurrentBothStrategies(t *testing.T) {
+	for _, strat := range []StrategyKind{Segmentation, Replication} {
+		for _, clients := range []int{1, 4} {
+			cfg := ConcurrentConfig{Clients: clients, Parallelism: 2}
+			cfg.Config = DefaultConfig()
+			cfg.ColumnCount = 20_000
+			cfg.NumQueries = 400
+			cfg.Strategy = strat
+			r := RunConcurrent(cfg)
+			if r.Queries != 400 {
+				t.Errorf("%v clients=%d: queries = %d, want 400", strat, clients, r.Queries)
+			}
+			if r.ReadBytes == 0 || r.ResultCount == 0 {
+				t.Errorf("%v clients=%d: empty run (reads %d, results %d)",
+					strat, clients, r.ReadBytes, r.ResultCount)
+			}
+			if r.FinalSegments < 2 {
+				t.Errorf("%v clients=%d: column never reorganized (%d segments)",
+					strat, clients, r.FinalSegments)
+			}
+			if r.Splits == 0 {
+				t.Errorf("%v clients=%d: no splits recorded", strat, clients)
+			}
+		}
+	}
+}
+
+func TestRunConcurrentExperimentRenders(t *testing.T) {
+	out := runConcurrentExperiment(Scale{Queries: 200})
+	if out == "" {
+		t.Fatal("empty experiment output")
+	}
+}

@@ -215,6 +215,7 @@ func Experiments() []Experiment {
 		{ID: "fig8", Title: "Figure 8: replica storage, uniform", Run: runFig8},
 		{ID: "fig9", Title: "Figure 9: replica storage, Zipf", Run: runFig9},
 		{ID: "compress", Title: "Extension: adaptive per-segment compression vs plain storage", Run: runCompress},
+		{ID: "concurrent", Title: "Extension: N concurrent query streams over one shared column", Run: runConcurrentExperiment},
 		{ID: "report", Title: "Numeric digest of every §6.1 exhibit (for EXPERIMENTS.md)", Run: runReport},
 	}
 }

@@ -1,0 +1,153 @@
+package sky
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selforg/internal/bpm"
+	"selforg/internal/core"
+	"selforg/internal/domain"
+	"selforg/internal/stats"
+)
+
+// Multi-client workload driver for the prototype harness: one workload's
+// query stream is dealt round-robin across N client goroutines that hit a
+// single shared column while it self-organizes — the aggregate workload
+// is identical to the serial Run, only the interleaving is concurrent.
+// The buffer pool keeps its virtual clock; a thread-safe tracer replaces
+// the serial poolTracer so concurrent scans account their virtual time
+// without racing.
+
+// concTracer is the concurrency-safe counterpart of poolTracer: it routes
+// segment lifecycle events into the (mutex-protected) buffer pool and
+// accumulates the virtual scan/write time in atomics.
+type concTracer struct {
+	pool    *bpm.Pool
+	scanNs  atomic.Int64
+	writeNs atomic.Int64
+}
+
+func (t *concTracer) Scan(id, bytes int64) {
+	// TouchOrRetired: a snapshot reader may scan a segment a concurrent
+	// reorganization already dropped from the pool.
+	d, _ := t.pool.TouchOrRetired(id, bytes)
+	t.scanNs.Add(int64(d))
+}
+
+func (t *concTracer) Materialize(id, bytes int64) {
+	t.writeNs.Add(int64(t.pool.Register(id, bytes)))
+}
+
+func (t *concTracer) Drop(id, _ int64) {
+	t.pool.Free(id)
+}
+
+// ConcurrentRunResult holds one multi-client (scheme, workload) run.
+type ConcurrentRunResult struct {
+	Scheme   string
+	Workload WorkloadName
+	Clients  int
+	Queries  int
+	// SelectionMs / AdaptationMs are the total virtual times on the disk
+	// clock, summed over all clients.
+	SelectionMs  float64
+	AdaptationMs float64
+	// Wall is the real elapsed time of the query loop; QPS the aggregate
+	// throughput over it.
+	Wall time.Duration
+	QPS  float64
+	// SegmentCount and StorageMB describe the column at the end.
+	SegmentCount int
+	StorageMB    float64
+	// Pool is a snapshot of the buffer pool counters.
+	Pool bpm.Stats
+}
+
+// RunConcurrent replays the named workload's query stream across clients
+// goroutines against one shared column. Every run gets a fresh column
+// copy and a fresh buffer pool, like the serial Run; parallelism is the
+// per-query scan fan-out handed to the strategy.
+func RunConcurrent(ds *Dataset, scheme Scheme, name WorkloadName, cfg Config, clients, parallelism int) *ConcurrentRunResult {
+	if clients < 1 {
+		clients = 1
+	}
+	queries := Queries(ds, name, cfg.Workload)
+	pool := bpm.New(cfg.Pool)
+	tr := &concTracer{pool: pool}
+	var seg core.Strategy
+	if scheme.Replication {
+		r := core.NewReplicator(ds.Domain(), ds.ScaledRA(), cfg.ElemSize, scheme.buildModel(), tr)
+		r.SetCompression(scheme.Compression)
+		r.SetParallelism(parallelism)
+		seg = r
+	} else {
+		s := core.NewSegmenter(ds.Domain(), ds.ScaledRA(), cfg.ElemSize, scheme.buildModel(), tr)
+		s.SetCompression(scheme.Compression)
+		s.SetParallelism(parallelism)
+		seg = s
+	}
+	// The initial column registration is not query time.
+	tr.scanNs.Store(0)
+	tr.writeNs.Store(0)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			// Round-robin deal: client cl replays queries cl, cl+N, ...
+			for i := cl; i < len(queries); i += clients {
+				_, _ = seg.Select(queries[i].Range())
+			}
+		}(cl)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := &ConcurrentRunResult{
+		Scheme:       scheme.Name,
+		Workload:     name,
+		Clients:      clients,
+		Queries:      len(queries),
+		SelectionMs:  float64(time.Duration(tr.scanNs.Load()).Microseconds()) / 1000,
+		AdaptationMs: float64(time.Duration(tr.writeNs.Load()).Microseconds()) / 1000,
+		Wall:         wall,
+		SegmentCount: seg.SegmentCount(),
+		StorageMB:    float64(seg.StorageBytes()) / float64(domain.MB),
+		Pool:         pool.Stats(),
+	}
+	if sec := wall.Seconds(); sec > 0 {
+		res.QPS = float64(len(queries)) / sec
+	}
+	return res
+}
+
+// ConcurrentTable runs the APM 1-5 segmentation scheme (the paper's best
+// converger) under 1–8 concurrent clients per workload and tabulates
+// virtual time, throughput and final layout. The virtual disk clock
+// totals stay near the serial run — the same aggregate workload drives
+// the same adaptation — while wall-clock throughput is free to scale
+// with the host's cores.
+func ConcurrentTable(ds *Dataset, cfg Config) *stats.Table {
+	tb := stats.NewTable(
+		fmt.Sprintf("Concurrent clients on the SkyServer prototype (APM 1-5, GOMAXPROCS=%d)",
+			runtime.GOMAXPROCS(0)),
+		"Workload", "Clients", "Select ms", "Adapt ms", "Segments", "Wall ms", "QPS")
+	scheme := Scheme{Name: "APM 1-5", Kind: APMScheme, Mmin: cfg.Mmin, Mmax: cfg.MmaxSmall}
+	for _, w := range WorkloadNames() {
+		for _, clients := range []int{1, 2, 4, 8} {
+			r := RunConcurrent(ds, scheme, w, cfg, clients, 4)
+			tb.AddRow(string(w), fmt.Sprint(clients),
+				fmt.Sprintf("%.0f", r.SelectionMs),
+				fmt.Sprintf("%.0f", r.AdaptationMs),
+				fmt.Sprint(r.SegmentCount),
+				fmt.Sprintf("%d", r.Wall.Milliseconds()),
+				fmt.Sprintf("%.0f", r.QPS))
+		}
+	}
+	return tb
+}

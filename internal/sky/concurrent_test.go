@@ -1,0 +1,34 @@
+package sky
+
+import "testing"
+
+func TestRunConcurrentMatchesWorkloadSize(t *testing.T) {
+	cfg := testConfig()
+	ds := testDataset(t, cfg)
+	scheme := Scheme{Name: "APM 1-5", Kind: APMScheme, Mmin: cfg.Mmin, Mmax: cfg.MmaxSmall}
+	for _, clients := range []int{1, 4} {
+		r := RunConcurrent(ds, scheme, Random, cfg, clients, 2)
+		if r.Queries != cfg.Workload.NumQueries {
+			t.Errorf("clients=%d: queries = %d, want %d", clients, r.Queries, cfg.Workload.NumQueries)
+		}
+		if r.SegmentCount < 2 {
+			t.Errorf("clients=%d: column never reorganized (%d segments)", clients, r.SegmentCount)
+		}
+		if r.SelectionMs <= 0 {
+			t.Errorf("clients=%d: no virtual selection time accounted", clients)
+		}
+		if r.Pool.LogicalReads == 0 {
+			t.Errorf("clients=%d: buffer pool saw no traffic", clients)
+		}
+	}
+}
+
+func TestRunConcurrentReplication(t *testing.T) {
+	cfg := testConfig()
+	ds := testDataset(t, cfg)
+	scheme := Scheme{Name: "GD Repl", Kind: GDScheme, GDSeed: 99, Replication: true}
+	r := RunConcurrent(ds, scheme, Random, cfg, 4, 2)
+	if r.Queries != cfg.Workload.NumQueries || r.SegmentCount < 1 {
+		t.Fatalf("bad run: %+v", r)
+	}
+}

@@ -1,13 +1,3 @@
-// Package sky is the §6.2 prototype substrate: a synthetic stand-in for
-// the SkyServer 100 GB sample and its one-month query log, plus the
-// experiment harness that reproduces Figures 10–16 and Table 2.
-//
-// The column of interest is the right ascension (ra), "a real data type,
-// included in most spatial search queries". We synthesize an SDSS-like ra
-// distribution (dense survey stripes over a sparse sky), scale it to the
-// integer domain the adaptive strategies operate on, and time query
-// streams under a memory-constrained buffer pool with a virtual disk
-// clock. See DESIGN.md for the substitution rationale.
 package sky
 
 import (

@@ -146,6 +146,8 @@ func Experiments() []Experiment {
 			Run: func(ds *Dataset, cfg Config) string { return Fig10Replication(ds, cfg).Render() }},
 		{ID: "fig10comp", Title: "Extension: Figure 10 with adaptive compression",
 			Run: func(ds *Dataset, cfg Config) string { return Fig10Compression(ds, cfg).Render() }},
+		{ID: "concurrent", Title: "Extension: N concurrent clients on one self-organizing column",
+			Run: func(ds *Dataset, cfg Config) string { return ConcurrentTable(ds, cfg).Render() }},
 	}
 }
 

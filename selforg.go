@@ -50,6 +50,25 @@
 // Count additionally uses the encodings' counting fast paths to answer
 // cardinality queries without copying a single value.
 //
+// # Concurrent execution
+//
+// A Column is safe for concurrent use: any number of goroutines may call
+// Select, Count and BulkLoad on the same column while it self-organizes.
+// Readers scan immutable segment snapshots published through an atomic
+// pointer; reorganization runs behind a single-writer path that batches
+// the piggy-backed work of concurrent scans and coalesces duplicate
+// splits. Options.Parallelism additionally fans one query's per-segment
+// scans out across a bounded worker pool:
+//
+//	col, _ := selforg.New(extent, values, selforg.Options{
+//		Model:       selforg.APM,
+//		Parallelism: 8,
+//	})
+//
+// Results are byte-identical to serial execution at every Parallelism
+// setting; see ARCHITECTURE.md for the precise guarantees and
+// examples/concurrent for a runnable multi-client demonstration.
+//
 // The experiment harnesses that reproduce the paper's evaluation live in
 // internal/sim (§6.1) and internal/sky (§6.2), runnable through
 // cmd/sosim and cmd/skybench; the MonetDB-style substrate (BATs, MAL, the
@@ -59,6 +78,7 @@ package selforg
 
 import (
 	"fmt"
+	"sync"
 
 	"selforg/internal/compress"
 	"selforg/internal/core"
@@ -197,6 +217,14 @@ type Options struct {
 	// setting, only the physical layout and the read/write volumes
 	// change.
 	Compression Compression
+	// Parallelism bounds the worker pool a single query may fan its
+	// per-segment scans out to (<=1 = serial execution). Results, stats
+	// and layout evolution are byte-identical to the serial path at every
+	// setting — only wall-clock changes. Safety for concurrent Select
+	// calls from multiple goroutines does not depend on this knob; a
+	// Column is always safe for concurrent use. With Parallelism > 1 an
+	// attached Tracer must itself be safe for concurrent use.
+	Parallelism int
 }
 
 // Tracer re-exports core.Tracer: Scan/Materialize/Drop events with segment
@@ -251,13 +279,22 @@ func (s *Stats) Add(other Stats) {
 	s.CompressedBytes = other.CompressedBytes
 }
 
-// Column is a self-organizing column of int64 values. It is not safe for
-// concurrent use: like the paper's design, reorganization is interleaved
-// with query execution.
+// Column is a self-organizing column of int64 values. It is safe for
+// concurrent use: readers scan immutable segment-list snapshots published
+// through an atomic pointer, while reorganization — still interleaved
+// with query execution, as in the paper — runs behind a single-writer
+// path that batches and coalesces the piggy-backed work of concurrent
+// scans. See ARCHITECTURE.md ("Concurrency model") for the exact
+// guarantees: individual queries are linearizable against reorganization;
+// cross-query adaptation order under contention is not deterministic.
 type Column struct {
 	strat  core.Strategy
 	extent domain.Range
 	opts   Options
+
+	// mu guards the accumulated totals; per-query stats are returned by
+	// value and need no synchronization.
+	mu     sync.Mutex
 	totals Stats
 	nq     int
 }
@@ -315,6 +352,9 @@ func New(extent Interval, values []int64, opts Options) (*Column, error) {
 		if o.Compression != CompressionOff {
 			s.SetCompression(o.Compression.mode())
 		}
+		if o.Parallelism > 1 {
+			s.SetParallelism(o.Parallelism)
+		}
 		strat = s
 	case Replication:
 		r := core.NewReplicator(rng, values, o.ElemSize, m, o.Tracer)
@@ -326,6 +366,9 @@ func New(extent Interval, values []int64, opts Options) (*Column, error) {
 		}
 		if o.Compression != CompressionOff {
 			r.SetCompression(o.Compression.mode())
+		}
+		if o.Parallelism > 1 {
+			r.SetParallelism(o.Parallelism)
 		}
 		strat = r
 	default:
@@ -344,8 +387,10 @@ func (c *Column) Select(lo, hi int64) ([]int64, Stats) {
 	}
 	res, qs := c.strat.Select(domain.Range{Lo: lo, Hi: hi})
 	st := statsFrom(qs)
+	c.mu.Lock()
 	c.totals.Add(st)
 	c.nq++
+	c.mu.Unlock()
 	return res, st
 }
 
@@ -361,8 +406,10 @@ func (c *Column) Count(lo, hi int64) (int64, Stats) {
 	}
 	n, qs := c.strat.Count(domain.Range{Lo: lo, Hi: hi})
 	st := statsFrom(qs)
+	c.mu.Lock()
 	c.totals.Add(st)
 	c.nq++
+	c.mu.Unlock()
 	return n, st
 }
 
@@ -395,10 +442,18 @@ func (c *Column) SegmentSizes() []float64 { return c.strat.SegmentSizes() }
 func (c *Column) Extent() Interval { return Interval{c.extent.Lo, c.extent.Hi} }
 
 // Totals returns the accumulated statistics over all queries.
-func (c *Column) Totals() Stats { return c.totals }
+func (c *Column) Totals() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totals
+}
 
 // Queries returns the number of Select calls served.
-func (c *Column) Queries() int { return c.nq }
+func (c *Column) Queries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nq
+}
 
 // Name describes the configured strategy/model, in the labels the paper
 // uses ("APM 3.00KB-12.00KB Segm").
@@ -415,6 +470,21 @@ func (c *Column) Layout() string {
 		return s.Dump()
 	default:
 		return c.strat.Name()
+	}
+}
+
+// Validate checks the column's structural invariants — segment adjacency,
+// extent coverage and value containment for segmentation; tree tiling and
+// coverability for replication. Queries keep a valid column valid; the
+// method exists for tests and operational health checks.
+func (c *Column) Validate() error {
+	switch s := c.strat.(type) {
+	case *core.Segmenter:
+		return s.List().Validate()
+	case *core.Replicator:
+		return s.Validate()
+	default:
+		return nil
 	}
 }
 
@@ -468,6 +538,8 @@ func (c *Column) BulkLoad(values []int64) (Stats, error) {
 		return Stats{}, err
 	}
 	st := statsFrom(qs)
+	c.mu.Lock()
 	c.totals.Add(st)
+	c.mu.Unlock()
 	return st, nil
 }
