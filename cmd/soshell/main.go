@@ -79,6 +79,12 @@ func (sh *shell) exec(line string) error {
   model apm [MMIN MMAX] | gd [SEED] | none
   build                     construct the adaptive column
   select LO HI              run a range query
+  count LO HI               count rows in range (meta-index fast path)
+  insert V                  write one row through the MVCC delta store
+  update OLD NEW            replace one occurrence of OLD with NEW
+  delete V                  remove one occurrence of V
+  merge                     force the delta merge-back into the base
+  delta                     show the write store's counters
   layout                    show the segment layout / replica tree
   totals                    cumulative statistics
   glue MINBYTES             merge segments smaller than MINBYTES
@@ -192,8 +198,115 @@ func (sh *shell) exec(line string) error {
 			return err
 		}
 		res, st := sh.col.Select(lo, hi)
-		fmt.Fprintf(sh.out, "%d rows; read %d B, wrote %d B, %d splits, %d drops; %d segments\n",
-			len(res), st.ReadBytes, st.WriteBytes, st.Splits, st.Drops, sh.col.SegmentCount())
+		fmt.Fprintf(sh.out, "%d rows; read %d B (%d B delta), wrote %d B, %d splits, %d drops; %d segments\n",
+			len(res), st.ReadBytes, st.DeltaReadBytes, st.WriteBytes, st.Splits, st.Drops, sh.col.SegmentCount())
+		return nil
+	case "count":
+		if sh.col == nil {
+			return fmt.Errorf("no column: run 'build' first")
+		}
+		if len(args) != 2 {
+			return fmt.Errorf("count LO HI")
+		}
+		lo, err := atoi(args[0])
+		if err != nil {
+			return err
+		}
+		hi, err := atoi(args[1])
+		if err != nil {
+			return err
+		}
+		n, st := sh.col.Count(lo, hi)
+		fmt.Fprintf(sh.out, "%d rows; read %d B, %d splits; %d segments\n",
+			n, st.ReadBytes, st.Splits, sh.col.SegmentCount())
+		return nil
+	case "insert":
+		if sh.col == nil {
+			return fmt.Errorf("no column: run 'build' first")
+		}
+		if len(args) != 1 {
+			return fmt.Errorf("insert V")
+		}
+		v, err := atoi(args[0])
+		if err != nil {
+			return err
+		}
+		st, err := sh.col.Insert(v)
+		if err != nil {
+			return err
+		}
+		ds := sh.col.DeltaStats()
+		fmt.Fprintf(sh.out, "inserted %d; %d entries pending (%d B)", v, ds.Pending, ds.PendingBytes)
+		if st.Merged > 0 {
+			fmt.Fprintf(sh.out, "; merge-back drained %d entries", st.Merged)
+		}
+		fmt.Fprintln(sh.out)
+		return nil
+	case "update":
+		if sh.col == nil {
+			return fmt.Errorf("no column: run 'build' first")
+		}
+		if len(args) != 2 {
+			return fmt.Errorf("update OLD NEW")
+		}
+		old, err := atoi(args[0])
+		if err != nil {
+			return err
+		}
+		new, err := atoi(args[1])
+		if err != nil {
+			return err
+		}
+		ok, st := sh.col.Update(old, new)
+		if !ok {
+			return fmt.Errorf("no visible row with value %d", old)
+		}
+		fmt.Fprintf(sh.out, "updated %d -> %d", old, new)
+		if st.Merged > 0 {
+			fmt.Fprintf(sh.out, "; merge-back drained %d entries", st.Merged)
+		}
+		fmt.Fprintln(sh.out)
+		return nil
+	case "delete":
+		if sh.col == nil {
+			return fmt.Errorf("no column: run 'build' first")
+		}
+		if len(args) != 1 {
+			return fmt.Errorf("delete V")
+		}
+		v, err := atoi(args[0])
+		if err != nil {
+			return err
+		}
+		ok, st := sh.col.Delete(v)
+		if !ok {
+			return fmt.Errorf("no visible row with value %d", v)
+		}
+		fmt.Fprintf(sh.out, "deleted %d", v)
+		if st.Merged > 0 {
+			fmt.Fprintf(sh.out, "; merge-back drained %d entries", st.Merged)
+		}
+		fmt.Fprintln(sh.out)
+		return nil
+	case "merge":
+		if sh.col == nil {
+			return fmt.Errorf("no column: run 'build' first")
+		}
+		st, err := sh.col.MergeDeltas()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "merged %d entries; wrote %d B; %d segments\n",
+			st.Merged, st.WriteBytes, sh.col.SegmentCount())
+		return nil
+	case "delta":
+		if sh.col == nil {
+			return fmt.Errorf("no column: run 'build' first")
+		}
+		ds := sh.col.DeltaStats()
+		fmt.Fprintf(sh.out, "inserts %d, updates %d, deletes %d (misses %d); pending %d (%d B); merges %d (%d entries); watermark %d\n",
+			ds.Inserts, ds.Updates, ds.Deletes, ds.DeleteMisses,
+			ds.Pending, ds.PendingBytes, ds.Merges, ds.MergedEntries, ds.Watermark)
 		return nil
 	case "layout":
 		if sh.col == nil {

@@ -86,6 +86,44 @@ func TestShellErrors(t *testing.T) {
 	}
 }
 
+func TestShellDeltaWrites(t *testing.T) {
+	sh, out := newTestShell()
+	run(t, sh,
+		"gen 1000 0 9999 3",
+		"model apm 512 2048",
+		"build",
+		"count 0 9999",
+		"insert 42",
+		"insert 43",
+		"update 42 77",
+		"delete 43",
+		"delta",
+		"merge",
+		"count 0 9999",
+		"delta",
+	)
+	text := out.String()
+	for _, want := range []string{
+		"inserted 42", "updated 42 -> 77", "deleted 43",
+		"inserts 2, updates 1, deletes 1",
+		"merged",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("delta session output missing %q:\n%s", want, text)
+		}
+	}
+	// Net content: 1000 base + insert 42 (updated to 77); 43 cancelled.
+	if n, _ := sh.col.Count(0, 9999); n != 1001 {
+		t.Errorf("post-merge count = %d, want 1001", n)
+	}
+	if err := sh.exec("delete 424242"); err == nil {
+		t.Error("delete of absent value accepted")
+	}
+	if err := sh.exec("insert 99999999"); err == nil {
+		t.Error("insert outside extent accepted")
+	}
+}
+
 func TestShellHelp(t *testing.T) {
 	sh, out := newTestShell()
 	run(t, sh, "help")

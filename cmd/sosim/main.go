@@ -112,6 +112,19 @@ func writeTSVs(dir string, scale sim.Scale) error {
 		sim.CompressedStorage(sim.Replication, 64, n(2000))); err != nil {
 		return err
 	}
+	// Per-encoding storage counters (PR-1 follow-up): segment counts and
+	// bytes per encoding after adaptive-compression runs.
+	ef, err := os.Create(filepath.Join(dir, "encodings.tsv"))
+	if err != nil {
+		return err
+	}
+	if err := sim.EncodingTable(n(2000)).WriteTSV(ef); err != nil {
+		ef.Close()
+		return err
+	}
+	if err := ef.Close(); err != nil {
+		return err
+	}
 	f, err := os.Create(filepath.Join(dir, "table1.tsv"))
 	if err != nil {
 		return err

@@ -50,6 +50,10 @@ const (
 	FOR
 )
 
+// NumEncodings is the number of concrete encodings — the dimension of
+// per-encoding breakdowns (segment.EncodingStats and friends).
+const NumEncodings = 4
+
 // Encodings lists every concrete encoding, Plain first.
 var Encodings = []Encoding{Plain, RLE, Dict, FOR}
 

@@ -130,6 +130,7 @@ func (r *Replicator) BulkLoad(vals []domain.Value) (QueryStats, error) {
 		r.tracer.Materialize(n.seg.ID, newBytes)
 	}
 	r.totalBytes += int64(len(vals)) * r.elemSize
+	r.contentEpoch.Add(1)
 	r.snapshot(&st)
 	return st, nil
 }

@@ -13,7 +13,9 @@
 package core
 
 import (
+	"selforg/internal/delta"
 	"selforg/internal/domain"
+	"selforg/internal/segment"
 )
 
 // Tracer observes segment lifecycle events during query processing. The
@@ -53,6 +55,13 @@ type QueryStats struct {
 	Drops       int   // replica-tree nodes dropped (replication only)
 	Recodes     int   // segments (re-)encoded by this query
 
+	// DeltaReadBytes is the overlay volume: the pending delta entries a
+	// query scanned on top of its base segments (also counted in
+	// ReadBytes). Merged counts the delta entries a merge-back drained
+	// into the base during this operation.
+	DeltaReadBytes int64
+	Merged         int
+
 	// StorageBytes and CompressedBytes snapshot the column after the
 	// query: logical (uncompressed) bytes held vs physical bytes held.
 	// Their difference is the storage the compression subsystem saves;
@@ -70,6 +79,8 @@ func (s *QueryStats) Add(other QueryStats) {
 	s.Splits += other.Splits
 	s.Drops += other.Drops
 	s.Recodes += other.Recodes
+	s.DeltaReadBytes += other.DeltaReadBytes
+	s.Merged += other.Merged
 	s.StorageBytes = other.StorageBytes
 	s.CompressedBytes = other.CompressedBytes
 }
@@ -95,4 +106,35 @@ type Strategy interface {
 	SegmentSizes() []float64
 	// Name identifies the strategy ("Segm"/"Repl") with its model.
 	Name() string
+}
+
+// DeltaStrategy extends Strategy with the MVCC point-write surface of
+// the internal/delta subsystem. Both self-organizing strategies
+// implement it: writes land in a per-column write store, queries overlay
+// the store onto their segment snapshot, and the merge-back drains the
+// store into the base through the single-writer reorganization pipeline.
+type DeltaStrategy interface {
+	Strategy
+	// Insert adds one row. The write is visible to every query pinned
+	// after it returns and invisible to queries already in flight.
+	Insert(v domain.Value) (QueryStats, error)
+	// Delete removes one occurrence of v; it reports false (and does
+	// nothing) when no visible row carries v.
+	Delete(v domain.Value) (bool, QueryStats)
+	// Update atomically replaces one occurrence of old with new; every
+	// snapshot sees either the old row or the new one, never both.
+	Update(old, new domain.Value) (bool, QueryStats)
+	// MergeDeltas force-drains the write store into the base through the
+	// reorganization pipeline, regardless of the merge thresholds.
+	MergeDeltas() (QueryStats, error)
+	// SetDeltaPolicy configures the self-organizing merge-back triggers:
+	// a write that leaves more than maxBytes pending, or more than
+	// ratio × base logical size, drains the store inline (0 disables the
+	// respective trigger; both 0 = manual merging only).
+	SetDeltaPolicy(maxBytes int64, ratio float64)
+	// DeltaStats returns the write store's lifetime counters.
+	DeltaStats() delta.Stats
+	// EncodingStats returns the per-encoding storage breakdown of the
+	// materialized segments.
+	EncodingStats() segment.EncodingStats
 }

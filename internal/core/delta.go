@@ -1,0 +1,548 @@
+package core
+
+// MVCC point writes. The paper's write path is bulk-load shaped (§7);
+// this file adds the single-row half on top of the immutable-snapshot
+// substrate: Insert/Update/Delete land in a per-column write store
+// (internal/delta), queries overlay the store's pinned snapshot onto
+// their segment scans, and a self-organizing merge-back — triggered by
+// delta-size and delta-to-base-ratio thresholds — drains accumulated
+// writes into the base through the same single-writer rewrite pipeline
+// bulk loads use. Merged rows then flow through the ordinary
+// reorganization loop: later queries split, glue and re-encode them as
+// the models dictate.
+//
+// Lock order: the delta store's mutex is always taken before the
+// strategy's writer lock (Store.Merge holds its mutex across the apply
+// callback, which acquires mu/r.mu). Queries take only the writer lock
+// and read the store through lock-free snapshots, so writers never
+// perturb in-flight scans.
+
+import (
+	"fmt"
+
+	"selforg/internal/delta"
+	"selforg/internal/domain"
+	"selforg/internal/segment"
+)
+
+// SetDeltaPolicy implements DeltaStrategy: a write that leaves more than
+// maxBytes pending, or more than ratio × the base's logical size, drains
+// the write store inline (the writer pays the reorganization cost, just
+// as the paper's queries pay for splits). Zero disables the respective
+// trigger; both zero leaves merging to explicit MergeDeltas calls.
+func (s *Segmenter) SetDeltaPolicy(maxBytes int64, ratio float64) {
+	s.deltaMaxBytes.Store(maxBytes)
+	s.deltaRatioBP.Store(int64(ratio * 10000))
+}
+
+// DeltaStats implements DeltaStrategy.
+func (s *Segmenter) DeltaStats() delta.Stats { return s.delta.Stats() }
+
+// Insert implements DeltaStrategy: one row lands in the write store and
+// becomes visible to every query pinned afterwards. The write may
+// trigger a merge-back; its cost is folded into the returned stats.
+func (s *Segmenter) Insert(v domain.Value) (QueryStats, error) {
+	var st QueryStats
+	list := s.list.Load()
+	if !list.Extent().Contains(v) {
+		return st, fmt.Errorf("core: insert value %d outside extent %v", v, list.Extent())
+	}
+	s.delta.Insert(v)
+	st.WriteBytes += list.ElemSize()
+	err := maybeMergeDeltas(s, &st)
+	s.snapshot(&st)
+	return st, err
+}
+
+// Delete implements DeltaStrategy: removes one occurrence of v (a
+// pending insert is cancelled, otherwise a base row is tombstoned). It
+// reports false when no visible row carries v.
+func (s *Segmenter) Delete(v domain.Value) (bool, QueryStats) {
+	var st QueryStats
+	list := s.list.Load()
+	if !list.Extent().Contains(v) {
+		s.delta.RecordMiss()
+		s.snapshot(&st)
+		return false, st
+	}
+	if !s.delta.Delete(v, s.baseCount) {
+		s.snapshot(&st)
+		return false, st
+	}
+	st.WriteBytes += list.ElemSize()
+	mustMergeDeltas(s, &st)
+	s.snapshot(&st)
+	return true, st
+}
+
+// Update implements DeltaStrategy: atomically replaces one occurrence of
+// old with new under a single version — every snapshot sees either the
+// old row or the new one.
+func (s *Segmenter) Update(old, new domain.Value) (bool, QueryStats) {
+	var st QueryStats
+	list := s.list.Load()
+	if !list.Extent().Contains(old) || !list.Extent().Contains(new) {
+		s.delta.RecordMiss()
+		s.snapshot(&st)
+		return false, st
+	}
+	if !s.delta.Update(old, new, s.baseCount) {
+		s.snapshot(&st)
+		return false, st
+	}
+	st.WriteBytes += 2 * list.ElemSize()
+	mustMergeDeltas(s, &st)
+	s.snapshot(&st)
+	return true, st
+}
+
+// MergeDeltas implements DeltaStrategy: force-drains the write store
+// into the base regardless of the thresholds.
+func (s *Segmenter) MergeDeltas() (QueryStats, error) {
+	var st QueryStats
+	err := mergeDeltasNow(s, &st)
+	s.snapshot(&st)
+	return st, err
+}
+
+// baseCount counts the base rows carrying v on the current snapshot,
+// without driving adaptation — the existence check behind Delete. Called
+// under the store's mutex; takes no locks itself (the snapshot is
+// immutable and merge-back serializes on the same store mutex, so the
+// base cannot lose rows mid-validation).
+func (s *Segmenter) baseCount(v domain.Value) int64 {
+	list := s.list.Load()
+	q := domain.Range{Lo: v, Hi: v}
+	lo, hi := list.Overlapping(q)
+	var n int64
+	for i := lo; i < hi; i++ {
+		n += list.Seg(i).SelectCount(q)
+	}
+	return n
+}
+
+// deltaMerger abstracts the strategy-specific halves of the merge-back
+// path, so the trigger evaluation and drain protocol live in one place
+// for both strategies.
+type deltaMerger interface {
+	deltaStore() *delta.Store
+	deltaThresholds() (maxBytes, ratioBP int64)
+	baseLogicalBytes() int64
+	// applyDrained applies the drained entries under the strategy's
+	// writer lock and calls commit while still holding it, so the
+	// rewritten base and the drained store publish atomically for
+	// readers pinning their (base, delta) pair under that same lock.
+	applyDrained(st *QueryStats, ins, del []domain.Value, commit func()) error
+}
+
+// maybeMergeDeltas drains the write store when a threshold trips.
+func maybeMergeDeltas(m deltaMerger, st *QueryStats) error {
+	maxB, ratioBP := m.deltaThresholds()
+	if !deltaOverThreshold(m.deltaStore().PendingBytes(), maxB, ratioBP, m.baseLogicalBytes()) {
+		return nil
+	}
+	return mergeDeltasNow(m, st)
+}
+
+// mustMergeDeltas is maybeMergeDeltas for paths without an error
+// return: the apply step can only fail on broken invariants (every
+// write was validated), so a failure is a bug worth stopping on.
+func mustMergeDeltas(m deltaMerger, st *QueryStats) {
+	if err := maybeMergeDeltas(m, st); err != nil {
+		panic(fmt.Sprintf("core: delta merge-back failed: %v", err))
+	}
+}
+
+// mergeDeltasNow drains the store through the strategy's single-writer
+// rewrite path regardless of the thresholds.
+func mergeDeltasNow(m deltaMerger, st *QueryStats) error {
+	n, err := m.deltaStore().Merge(func(ins, del []domain.Value, commit func()) error {
+		return m.applyDrained(st, ins, del, commit)
+	})
+	st.Merged += n
+	return err
+}
+
+// deltaStore implements deltaMerger.
+func (s *Segmenter) deltaStore() *delta.Store { return s.delta }
+
+// deltaThresholds implements deltaMerger.
+func (s *Segmenter) deltaThresholds() (int64, int64) {
+	return s.deltaMaxBytes.Load(), s.deltaRatioBP.Load()
+}
+
+// baseLogicalBytes implements deltaMerger.
+func (s *Segmenter) baseLogicalBytes() int64 { return s.totalBytes.Load() }
+
+// applyDrained implements deltaMerger: the rewritten list and the
+// drained store are published while holding mu, so queries pinning
+// their (list, delta) pair under mu always see a consistent view.
+func (s *Segmenter) applyDrained(st *QueryStats, ins, del []domain.Value, commit func()) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mst, err := s.applyDeltaLocked(ins, del)
+	if err != nil {
+		return err
+	}
+	st.Add(mst)
+	commit()
+	return nil
+}
+
+// applyDeltaLocked rewrites every segment touched by the drained
+// entries (caller holds mu): tombstones remove one occurrence each,
+// inserts append, and each touched segment is rebuilt copy-on-write,
+// re-encoded and published — the bulk-load pipeline with removals. The
+// Segmenter's models then reorganize the merged rows on later queries.
+// All rewrites are staged and validated before anything is published or
+// accounted, so an error leaves the column (and the un-drained store)
+// exactly as they were.
+func (s *Segmenter) applyDeltaLocked(ins, del []domain.Value) (QueryStats, error) {
+	var st QueryStats
+	if len(ins) == 0 && len(del) == 0 {
+		return st, nil
+	}
+	list := s.list.Load()
+	elem := list.ElemSize()
+	codec := s.codec.Load()
+	insB := make(map[int][]domain.Value)
+	delB := make(map[int]map[domain.Value]int)
+	locate := func(v domain.Value) (int, error) {
+		lo, hi := list.Overlapping(domain.Range{Lo: v, Hi: v})
+		if lo >= hi {
+			return 0, fmt.Errorf("core: no segment covers delta value %d", v)
+		}
+		return lo, nil
+	}
+	for _, v := range ins {
+		i, err := locate(v)
+		if err != nil {
+			return st, err
+		}
+		insB[i] = append(insB[i], v)
+	}
+	for _, v := range del {
+		i, err := locate(v)
+		if err != nil {
+			return st, err
+		}
+		if delB[i] == nil {
+			delB[i] = make(map[domain.Value]int)
+		}
+		delB[i][v]++
+	}
+	// Rewrite touched segments highest index first (replacement
+	// stability: indices below the replaced slot never shift).
+	idxs := make([]int, 0, len(insB)+len(delB))
+	seen := make(map[int]bool)
+	for i := range insB {
+		idxs = append(idxs, i)
+		seen[i] = true
+	}
+	for i := range delB {
+		if !seen[i] {
+			idxs = append(idxs, i)
+		}
+	}
+	sortDesc(idxs)
+	// Stage: build and validate every replacement before touching any
+	// published or accounted state.
+	type rewrite struct {
+		old, repl          *segment.Segment
+		oldBytes, newBytes int64
+	}
+	rewrites := make([]rewrite, 0, len(idxs))
+	var removed int64
+	for _, i := range idxs {
+		sg := list.Seg(i)
+		vals := make([]domain.Value, 0, int(sg.Count())+len(insB[i]))
+		vals = sg.AppendValues(vals)
+		if dead := delB[i]; dead != nil {
+			var rm int64
+			vals, rm = delta.RemoveOccurrences(vals, dead)
+			removed += rm
+			for v, n := range dead {
+				if n > 0 {
+					return st, fmt.Errorf("core: tombstone for %d has no base row in %v", v, sg.Rng)
+				}
+			}
+		}
+		vals = append(vals, insB[i]...)
+		repl := segment.NewMaterialized(sg.Rng, vals)
+		if repl.Encode(codec) {
+			st.Recodes++
+		}
+		list = list.Replaced(i, repl)
+		rewrites = append(rewrites, rewrite{
+			old: sg, repl: repl,
+			oldBytes: int64(sg.StoredBytes(elem)),
+			newBytes: int64(repl.StoredBytes(elem)),
+		})
+	}
+	// Commit: account and publish.
+	for _, rw := range rewrites {
+		st.ReadBytes += rw.oldBytes // the rewrite scans the old segment
+		st.WriteBytes += rw.newBytes
+		s.stored.Add(rw.newBytes - rw.oldBytes)
+		s.tracer.Scan(rw.old.ID, rw.oldBytes)
+		s.tracer.Drop(rw.old.ID, rw.oldBytes)
+		s.tracer.Materialize(rw.repl.ID, rw.newBytes)
+	}
+	s.list.Store(list)
+	s.totalBytes.Add((int64(len(ins)) - removed) * elem)
+	return st, nil
+}
+
+// sortDesc sorts ints descending (tiny n; insertion sort keeps the
+// merge path allocation-free beyond the slice itself).
+func sortDesc(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] > xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// deltaOverThreshold evaluates the merge triggers.
+func deltaOverThreshold(pending, maxBytes, ratioBP, baseBytes int64) bool {
+	if pending == 0 {
+		return false
+	}
+	if maxBytes > 0 && pending >= maxBytes {
+		return true
+	}
+	return ratioBP > 0 && pending*10000 >= baseBytes*ratioBP
+}
+
+// --- Replicator counterparts ---
+
+// SetDeltaPolicy implements DeltaStrategy (see Segmenter.SetDeltaPolicy).
+func (r *Replicator) SetDeltaPolicy(maxBytes int64, ratio float64) {
+	r.deltaMaxBytes.Store(maxBytes)
+	r.deltaRatioBP.Store(int64(ratio * 10000))
+}
+
+// DeltaStats implements DeltaStrategy.
+func (r *Replicator) DeltaStats() delta.Stats { return r.delta.Stats() }
+
+// extent returns the column's domain (the sentinel covers it all).
+func (r *Replicator) extent() domain.Range { return r.sentinel.seg.Rng }
+
+// Insert implements DeltaStrategy.
+func (r *Replicator) Insert(v domain.Value) (QueryStats, error) {
+	var st QueryStats
+	if !r.extent().Contains(v) {
+		return st, fmt.Errorf("core: insert value %d outside extent %v", v, r.extent())
+	}
+	r.delta.Insert(v)
+	st.WriteBytes += r.elemSize
+	err := maybeMergeDeltas(r, &st)
+	r.statsSnapshot(&st)
+	return st, err
+}
+
+// Delete implements DeltaStrategy.
+func (r *Replicator) Delete(v domain.Value) (bool, QueryStats) {
+	var st QueryStats
+	if !r.extent().Contains(v) {
+		r.delta.RecordMiss()
+		r.statsSnapshot(&st)
+		return false, st
+	}
+	if !r.delta.Delete(v, r.baseCount) {
+		r.statsSnapshot(&st)
+		return false, st
+	}
+	st.WriteBytes += r.elemSize
+	mustMergeDeltas(r, &st)
+	r.statsSnapshot(&st)
+	return true, st
+}
+
+// Update implements DeltaStrategy.
+func (r *Replicator) Update(old, new domain.Value) (bool, QueryStats) {
+	var st QueryStats
+	if !r.extent().Contains(old) || !r.extent().Contains(new) {
+		r.delta.RecordMiss()
+		r.statsSnapshot(&st)
+		return false, st
+	}
+	if !r.delta.Update(old, new, r.baseCount) {
+		r.statsSnapshot(&st)
+		return false, st
+	}
+	st.WriteBytes += 2 * r.elemSize
+	mustMergeDeltas(r, &st)
+	r.statsSnapshot(&st)
+	return true, st
+}
+
+// MergeDeltas implements DeltaStrategy.
+func (r *Replicator) MergeDeltas() (QueryStats, error) {
+	var st QueryStats
+	err := mergeDeltasNow(r, &st)
+	r.statsSnapshot(&st)
+	return st, err
+}
+
+// statsSnapshot fills the storage measures under the writer lock (the
+// write paths run outside it).
+func (r *Replicator) statsSnapshot(st *QueryStats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.snapshot(st)
+}
+
+// baseCount counts base rows carrying v — the point cover's count.
+// Called under the store's mutex; acquires the tree lock (lock order:
+// store mutex before tree mutex, matching the merge path).
+func (r *Replicator) baseCount(v domain.Value) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	q := domain.Range{Lo: v, Hi: v}
+	var n int64
+	for _, c := range r.getCover(q) {
+		n += c.seg.SelectCount(q)
+	}
+	return n
+}
+
+// deltaStore implements deltaMerger.
+func (r *Replicator) deltaStore() *delta.Store { return r.delta }
+
+// deltaThresholds implements deltaMerger.
+func (r *Replicator) deltaThresholds() (int64, int64) {
+	return r.deltaMaxBytes.Load(), r.deltaRatioBP.Load()
+}
+
+// baseLogicalBytes implements deltaMerger.
+func (r *Replicator) baseLogicalBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.totalBytes
+}
+
+// applyDrained implements deltaMerger (see Segmenter.applyDrained).
+func (r *Replicator) applyDrained(st *QueryStats, ins, del []domain.Value, commit func()) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mst, err := r.applyDeltaLocked(ins, del)
+	if err != nil {
+		return err
+	}
+	st.Add(mst)
+	commit()
+	return nil
+}
+
+// applyDeltaLocked drains merged entries into the replica tree (caller
+// holds the tree lock): a tombstone removes one occurrence of its value
+// from every materialized replica on the value's path (replicas are
+// copies) and decrements virtual estimates; inserts follow the BulkLoad
+// routing. Every touched replica is rewritten once. Like the Segmenter
+// counterpart, all rewrites are staged and validated first — an error
+// leaves the tree (and the un-drained store) exactly as they were.
+func (r *Replicator) applyDeltaLocked(ins, del []domain.Value) (QueryStats, error) {
+	var st QueryStats
+	if len(ins) == 0 && len(del) == 0 {
+		return st, nil
+	}
+	insB := make(map[*node][]domain.Value)
+	delB := make(map[*node]map[domain.Value]int)
+	virtAdj := make(map[*node]int64)
+	for _, v := range del {
+		r.routeDelta(r.sentinel, v, -1, nil, delB, virtAdj)
+	}
+	for _, v := range ins {
+		r.routeDelta(r.sentinel, v, +1, insB, nil, virtAdj)
+	}
+	touched := make(map[*node]bool, len(insB)+len(delB))
+	for n := range insB {
+		touched[n] = true
+	}
+	for n := range delB {
+		touched[n] = true
+	}
+	// Stage: build every replacement payload on fresh slices, validating
+	// tombstone targets, before mutating any node.
+	type rewrite struct {
+		n        *node
+		vals     []domain.Value
+		oldBytes int64
+		net      int64 // logical elements added minus removed
+	}
+	rewrites := make([]rewrite, 0, len(touched))
+	for n := range touched {
+		vals := make([]domain.Value, 0, int(n.seg.Count())+len(insB[n]))
+		vals = n.seg.AppendValues(vals)
+		var removed int64
+		if dead := delB[n]; dead != nil {
+			vals, removed = delta.RemoveOccurrences(vals, dead)
+			for v, c := range dead {
+				if c > 0 {
+					return st, fmt.Errorf("core: tombstone for %d has no row in replica %v", v, n.seg.Rng)
+				}
+			}
+		}
+		vals = append(vals, insB[n]...)
+		rewrites = append(rewrites, rewrite{
+			n: n, vals: vals,
+			oldBytes: int64(n.seg.StoredBytes(r.elemSize)),
+			net:      int64(len(insB[n])) - removed,
+		})
+	}
+	// Commit: swap payloads, re-encode, account, adjust estimates.
+	var netStorage int64
+	for _, rw := range rewrites {
+		rw.n.seg.SetPayload(rw.vals)
+		if rw.n.seg.Encode(r.codec) {
+			st.Recodes++
+		}
+		newBytes := int64(rw.n.seg.StoredBytes(r.elemSize))
+		st.ReadBytes += rw.oldBytes
+		st.WriteBytes += newBytes
+		netStorage += rw.net
+		r.stored += newBytes - rw.oldBytes
+		r.tracer.Scan(rw.n.seg.ID, rw.oldBytes)
+		r.tracer.Drop(rw.n.seg.ID, rw.oldBytes)
+		r.tracer.Materialize(rw.n.seg.ID, newBytes)
+	}
+	for n, adj := range virtAdj {
+		n.seg.EstCount += adj
+		if n.seg.EstCount < 0 {
+			n.seg.EstCount = 0
+		}
+	}
+	r.storage += netStorage * r.elemSize
+	r.totalBytes += (int64(len(ins)) - int64(len(del))) * r.elemSize
+	r.contentEpoch.Add(1)
+	return st, nil
+}
+
+// routeDelta routes one drained entry down the tree without mutating
+// it: materialized nodes on the value's path collect the insert value
+// (insB) or a removal tally (delB), virtual nodes collect estimate
+// adjustments (sign per entry), and the walk recurses into the child
+// whose range contains the value — the BulkLoad routing, made pure so
+// the apply step can stage-then-commit.
+func (r *Replicator) routeDelta(n *node, v domain.Value, sign int64, insB map[*node][]domain.Value, delB map[*node]map[domain.Value]int, virtAdj map[*node]int64) {
+	if n != r.sentinel {
+		switch {
+		case n.seg.Virtual:
+			virtAdj[n] += sign
+		case sign > 0:
+			insB[n] = append(insB[n], v)
+		default:
+			if delB[n] == nil {
+				delB[n] = make(map[domain.Value]int)
+			}
+			delB[n][v]++
+		}
+	}
+	for _, c := range n.children {
+		if c.seg.Rng.Contains(v) {
+			r.routeDelta(c, v, sign, insB, delB, virtAdj)
+			return
+		}
+	}
+}

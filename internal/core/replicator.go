@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"selforg/internal/compress"
+	"selforg/internal/delta"
 	"selforg/internal/domain"
 	"selforg/internal/model"
 	"selforg/internal/segment"
@@ -64,8 +65,19 @@ type Replicator struct {
 	maxDepth int
 	// declined counts replicas refused by the budget or depth guards.
 	declined int
-	// par is the per-query extraction fan-out width (<=1 = serial).
+	// par is the per-query extraction fan-out width (0 = adaptive,
+	// 1 = serial, n > 1 = bounded at n).
 	par int
+	// delta is the column's MVCC write store (see core/delta.go); the
+	// merge thresholds mirror the Segmenter's.
+	delta         *delta.Store
+	deltaMaxBytes atomic.Int64
+	deltaRatioBP  atomic.Int64
+	// contentEpoch counts the mutations that change the tree's logical
+	// content in place — bulk loads and delta merge-backs. Pinned Views
+	// use it to detect that their snapshot-isolation window has closed
+	// (tree reorganization preserves content and does not bump it).
+	contentEpoch atomic.Int64
 }
 
 // NewReplicator builds the strategy over a fresh one-segment column (the
@@ -88,6 +100,7 @@ func NewReplicator(extent domain.Range, vals []domain.Value, elemSize int64, m m
 		totalBytes: int64(len(vals)) * elemSize,
 		storage:    int64(len(vals)) * elemSize,
 		stored:     int64(len(vals)) * elemSize,
+		delta:      delta.NewStore(elemSize),
 	}
 	r.tracer.Materialize(root.seg.ID, r.storage)
 	return r
@@ -97,10 +110,15 @@ func NewReplicator(extent domain.Range, vals []domain.Value, elemSize int64, m m
 func (r *Replicator) Name() string { return r.mod.Name() + " Repl" }
 
 // SetParallelism sets the bounded worker count one query may fan its
-// covering-segment extraction out to (<=1 = serial).
+// covering-segment extraction out to. 0 (the default) picks the fan-out
+// per query from the cover's segment count and scan volume; 1 forces
+// serial; n > 1 bounds the fan-out at n.
 func (r *Replicator) SetParallelism(n int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if n < 0 {
+		n = 1
+	}
 	r.par = n
 }
 
@@ -211,6 +229,20 @@ func (r *Replicator) Depth() int {
 	return max
 }
 
+// EncodingStats implements DeltaStrategy: the per-encoding storage
+// breakdown of the materialized replicas.
+func (r *Replicator) EncodingStats() segment.EncodingStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var es segment.EncodingStats
+	r.sentinel.walk(func(m *node, _ int) {
+		if m != r.sentinel {
+			es.Observe(m.seg, r.elemSize)
+		}
+	})
+	return es
+}
+
 // SegmentSizes implements Strategy: logical sizes of materialized
 // segments.
 func (r *Replicator) SegmentSizes() []float64 {
@@ -293,10 +325,23 @@ func (r *Replicator) run(q domain.Range, extract bool) ([]domain.Value, int64, Q
 	var st QueryStats
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// Pin the delta snapshot for the whole query. The tree lock is held
+	// throughout and merge-back publishes the drained store while holding
+	// it, so the (tree, delta) pair is consistent.
+	dsnap := r.delta.Snapshot()
 	cover := r.getCover(q)
 	tasks := make([][]*node, len(cover))
 
-	if r.par <= 1 || len(cover) < 2 {
+	par := r.par
+	if par == 0 {
+		var coverBytes int64
+		for _, c := range cover {
+			coverBytes += int64(c.seg.StoredBytes(r.elemSize))
+		}
+		par = adaptiveFanout(len(cover), coverBytes)
+	}
+
+	if par <= 1 || len(cover) < 2 {
 		var result []domain.Value
 		var count int64
 		for i, c := range cover {
@@ -310,6 +355,7 @@ func (r *Replicator) run(q domain.Range, extract bool) ([]domain.Value, int64, Q
 			r.materializeTasks(c, tasks[i], &st)
 			r.check4Drop(c, &st)
 		}
+		result, count = overlayDelta(dsnap, q, extract, result, count, &st)
 		r.snapshot(&st)
 		return result, count, st
 	}
@@ -325,7 +371,7 @@ func (r *Replicator) run(q domain.Range, extract bool) ([]domain.Value, int64, Q
 		count int64
 	}
 	outs := make([]coverOut, len(cover))
-	workers := r.par
+	workers := par
 	if workers > len(cover) {
 		workers = len(cover)
 	}
@@ -364,6 +410,7 @@ func (r *Replicator) run(q domain.Range, extract bool) ([]domain.Value, int64, Q
 		r.materializeTasks(c, tasks[i], &st)
 		r.check4Drop(c, &st)
 	}
+	result, count = overlayDelta(dsnap, q, extract, result, count, &st)
 	r.snapshot(&st)
 	return result, count, st
 }

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"selforg/internal/compress"
+	"selforg/internal/delta"
 	"selforg/internal/domain"
 	"selforg/internal/model"
 	"selforg/internal/segment"
@@ -59,8 +61,18 @@ type Segmenter struct {
 	// segments are rewritten so per-query snapshots stay O(1).
 	totalBytes atomic.Int64
 	stored     atomic.Int64
-	// par is the per-query scan fan-out width (<=1 = serial).
+	// par is the per-query scan fan-out width (0 = adaptive, 1 = serial,
+	// n > 1 = bounded at n).
 	par atomic.Int32
+	// delta is the column's MVCC write store; queries pin its snapshot
+	// together with the list snapshot (under mu, so merge-back publishes
+	// both sides atomically) and overlay it onto their scans.
+	delta *delta.Store
+	// deltaMaxBytes / deltaRatioBP are the merge-back triggers: pending
+	// delta bytes, and pending-to-base ratio in basis points (1/10000).
+	// Zero disables the respective trigger.
+	deltaMaxBytes atomic.Int64
+	deltaRatioBP  atomic.Int64
 }
 
 // NewSegmenter builds the strategy over a fresh single-segment column
@@ -71,7 +83,7 @@ func NewSegmenter(extent domain.Range, vals []domain.Value, elemSize int64, m mo
 		tracer = nopTracer{}
 	}
 	l := segment.NewList(extent, vals, elemSize)
-	s := &Segmenter{mod: m, tracer: tracer}
+	s := &Segmenter{mod: m, tracer: tracer, delta: delta.NewStore(elemSize)}
 	s.list.Store(l)
 	s.totalBytes.Store(int64(l.TotalBytes()))
 	s.stored.Store(int64(l.TotalBytes()))
@@ -82,10 +94,43 @@ func NewSegmenter(extent domain.Range, vals []domain.Value, elemSize int64, m mo
 }
 
 // SetParallelism sets the bounded worker count a single query may fan its
-// per-segment scans out to (<=1 = serial). Safety for concurrent Select
-// calls does not depend on this knob; it only widens intra-query scans.
+// per-segment scans out to. 0 (the default) picks the fan-out per query
+// from the snapshot's overlapping segment count and scan volume — large
+// multi-segment scans use up to GOMAXPROCS workers, small ones stay
+// serial; 1 forces serial execution; n > 1 bounds the fan-out at n.
+// Safety for concurrent Select calls does not depend on this knob; it
+// only widens intra-query scans. With any non-serial setting an attached
+// Tracer must be safe for concurrent use.
 func (s *Segmenter) SetParallelism(n int) {
+	if n < 0 {
+		n = 1
+	}
 	s.par.Store(int32(n))
+}
+
+// Adaptive parallelism thresholds: a query fans out only when it spans
+// at least adaptiveMinTasks segments and adaptiveMinBytes of physical
+// scan volume — below that, goroutine hand-off costs more than the scan.
+const (
+	adaptiveMinTasks = 4
+	adaptiveMinBytes = 4 << 20
+)
+
+// adaptiveFanout picks the per-query worker count for Parallelism == 0:
+// serial for small scans, up to GOMAXPROCS (capped at 16) workers for
+// scans wide and heavy enough to amortize the fan-out.
+func adaptiveFanout(nTasks int, scanBytes int64) int {
+	if nTasks < adaptiveMinTasks || scanBytes < adaptiveMinBytes {
+		return 1
+	}
+	par := runtime.GOMAXPROCS(0)
+	if par > nTasks {
+		par = nTasks
+	}
+	if par > 16 {
+		par = 16
+	}
+	return par
 }
 
 // SetCompression attaches the compression subsystem: subsequent
@@ -136,6 +181,13 @@ func (s *Segmenter) UncompressedBytes() domain.ByteSize {
 
 // SegmentSizes implements Strategy.
 func (s *Segmenter) SegmentSizes() []float64 { return s.list.Load().SegmentBytes() }
+
+// EncodingStats implements DeltaStrategy: the per-encoding storage
+// breakdown of the current snapshot (satisfied without locking — the
+// snapshot is immutable).
+func (s *Segmenter) EncodingStats() segment.EncodingStats {
+	return s.list.Load().EncodingStats()
+}
 
 // info builds the model's view of a segment. Models reason about logical
 // sizes, so split decisions are identical with compression on or off.
@@ -222,23 +274,40 @@ func (s *Segmenter) Count(q domain.Range) (int64, QueryStats) {
 func (s *Segmenter) run(q domain.Range, wantVals, scanCovered bool) ([]domain.Value, int64, QueryStats) {
 	var st QueryStats
 	s.mu.Lock()
+	// Pin the MVCC view: the (list snapshot, delta snapshot) pair. Both
+	// are taken under mu, and merge-back publishes its rewritten list and
+	// drained store while holding mu, so the pair is always consistent —
+	// a delta entry is visible either through the overlay or through the
+	// merged base, never both, never neither.
 	list := s.list.Load()
+	dsnap := s.delta.Snapshot()
 	elem := list.ElemSize()
 	lo, hi := list.Overlapping(q)
 	tasks := make([]segTask, 0, hi-lo)
+	var scanBytes int64
 	for i := hi - 1; i >= lo; i-- {
 		sg := list.Seg(i)
 		if domain.Classify(sg.Rng, q) == domain.CoversAll {
 			// The whole segment qualifies; it immediately benefits from
 			// earlier reorganization (Figure 3, Q2 on the last segment).
+			// A counting query answers covered segments from the
+			// meta-index without touching data, so they only contribute
+			// to the adaptive fan-out volume when they will be scanned.
+			if scanCovered || wantVals {
+				scanBytes += int64(sg.StoredBytes(elem))
+			}
 			tasks = append(tasks, segTask{seg: sg, covered: true})
 			continue
 		}
+		scanBytes += int64(sg.StoredBytes(elem))
 		d := s.mod.Decide(q, s.info(sg, elem))
 		tasks = append(tasks, segTask{seg: sg, action: d.Action, point: d.Point})
 	}
 	codec := s.codec.Load()
 	par := int(s.par.Load())
+	if par == 0 {
+		par = adaptiveFanout(len(tasks), scanBytes)
+	}
 
 	if par <= 1 || len(tasks) < 2 {
 		// Serial: execute and apply each task in order while holding the
@@ -256,6 +325,7 @@ func (s *Segmenter) run(q domain.Range, wantVals, scanCovered bool) ([]domain.Va
 			vals = out.vals
 			count += out.count
 		}
+		vals, count = overlayDelta(dsnap, q, wantVals, vals, count, &st)
 		s.snapshot(&st)
 		s.mu.Unlock()
 		return vals, count, st
@@ -274,9 +344,28 @@ func (s *Segmenter) run(q domain.Range, wantVals, scanCovered bool) ([]domain.Va
 		vals = append(vals, outs[i].vals...)
 		count += outs[i].count
 	}
+	vals, count = overlayDelta(dsnap, q, wantVals, vals, count, &st)
 	s.snapshot(&st)
 	s.mu.Unlock()
 	return vals, count, st
+}
+
+// overlayDelta applies the pinned delta snapshot to an assembled base
+// result: visible tombstones mask one base occurrence each, visible
+// inserts are unioned in (Figure 1's kdifference/kunion chain, in
+// memory). The overlay pass over the pending entries is accounted as
+// read volume.
+func overlayDelta(dsnap *delta.Snapshot, q domain.Range, wantVals bool, vals []domain.Value, count int64, st *QueryStats) ([]domain.Value, int64) {
+	if dsnap.Len() == 0 {
+		return vals, count
+	}
+	b := dsnap.Bytes()
+	st.ReadBytes += b
+	st.DeltaReadBytes += b
+	if wantVals {
+		return dsnap.Overlay(q, vals), count
+	}
+	return vals, count + dsnap.CountDelta(q)
 }
 
 // execTask scans one task's segment on the snapshot: extraction or

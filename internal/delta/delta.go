@@ -1,0 +1,445 @@
+// Package delta implements the MVCC write store that gives the
+// self-organizing column a point-write path: single-row Insert, Update
+// and Delete with snapshot visibility over the read-optimized,
+// bulk-load-shaped base the paper describes (§7).
+//
+// The design realizes, in memory, the delta-BAT merge the paper's §2
+// query plans already assume: MonetDB keeps per-column insert/update
+// bats and a deletion bat, and every plan unions the inserts in and
+// masks the deletes out (Figure 1's kunion/kdifference chain). Here the
+// same shape appears as a per-column Store of version-stamped entries —
+// inserts and tombstones — that a query overlays onto its immutable
+// segment snapshot: visible inserts are unioned into the result, visible
+// tombstones mask one base occurrence each.
+//
+// # Visibility rule
+//
+// Every write is stamped with a monotonically increasing version. A
+// query pins a Snapshot at start; the snapshot carries the watermark —
+// the highest version published at pin time — and the pinned entry set.
+// An insert entry is visible iff its version is at or below the
+// watermark and it has not been cancelled by a delete at or below the
+// watermark; a tombstone is visible iff its version is at or below the
+// watermark. Writers only ever append entries and bump versions above
+// every pinned watermark, so concurrent writers never perturb an
+// in-flight scan: the scan's snapshot is immutable and its watermark
+// filters out everything younger.
+//
+// # Merge-back
+//
+// The store is write-optimized and unordered; reads pay one linear
+// overlay pass over the pending entries. Checkpointing drains the
+// pending entries into the base through the caller-supplied apply
+// function (the single-writer BulkLoad/reorganization pipeline of
+// internal/core), after which the self-organizing Segmenter and
+// Replicator absorb the merged rows and adapt the layout exactly as the
+// paper prescribes for bulk loads. Merge-back is triggered by the core
+// layer's delta-size and delta-to-base-ratio thresholds, so the store
+// stays small relative to the base — the standard LSM/Hyrise-style
+// arrangement of a write store checkpointed into a read-optimized one
+// (see PAPERS.md).
+package delta
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"selforg/internal/domain"
+)
+
+// Kind distinguishes the two entry flavours of the write store.
+type Kind uint8
+
+const (
+	// KInsert carries a freshly written value not yet in the base.
+	KInsert Kind = iota
+	// KTombstone masks one base occurrence of its value.
+	KTombstone
+)
+
+// Entry is one version-stamped write. Entries are immutable after
+// publication except for deletedAt, which a later Delete may set on an
+// insert entry (atomically — pinned snapshots read it through the
+// visibility rule, so older watermarks keep seeing the insert).
+type Entry struct {
+	Version int64
+	Kind    Kind
+	Value   domain.Value
+	// deletedAt is the version of the Delete that cancelled this insert
+	// entry (0 = live). Only meaningful for KInsert.
+	deletedAt atomic.Int64
+}
+
+// DeletedAt returns the version of the delete that cancelled an insert
+// entry, or 0 while it is live.
+func (e *Entry) DeletedAt() int64 { return e.deletedAt.Load() }
+
+// Snapshot is an immutable view of the store, pinned by a query at
+// start: the pending entries published at pin time plus the watermark
+// that filters their visibility. Snapshots survive later writes and
+// merges untouched — a reader holding one keeps a consistent view of
+// the delta regardless of what the store does afterwards.
+type Snapshot struct {
+	entries   []*Entry
+	watermark int64
+	elemSize  int64
+	// mergedThrough mirrors the store's merge progress at pin time
+	// (diagnostics; the Segmenter pairs the snapshot with the matching
+	// base list, so readers never need it for correctness).
+	mergedThrough int64
+}
+
+// Watermark returns the highest version visible through this snapshot.
+func (s *Snapshot) Watermark() int64 { return s.watermark }
+
+// Len returns the number of pinned pending entries.
+func (s *Snapshot) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.entries)
+}
+
+// Bytes returns the logical size of the pinned pending entries — the
+// overlay scan volume a query pays on top of its base scan.
+func (s *Snapshot) Bytes() int64 {
+	if s == nil {
+		return 0
+	}
+	return int64(len(s.entries)) * s.elemSize
+}
+
+// visibleInsert reports whether e is a live insert at this snapshot's
+// watermark.
+func (s *Snapshot) visibleInsert(e *Entry) bool {
+	if e.Kind != KInsert || e.Version > s.watermark {
+		return false
+	}
+	d := e.deletedAt.Load()
+	return d == 0 || d > s.watermark
+}
+
+// visibleTombstone reports whether e masks a base row at this
+// snapshot's watermark.
+func (s *Snapshot) visibleTombstone(e *Entry) bool {
+	return e.Kind == KTombstone && e.Version <= s.watermark
+}
+
+// RemoveOccurrences filters vals in place, removing one occurrence of v
+// for every count in dead (the multiset subtraction behind tombstone
+// masking). It decrements dead as it consumes it and returns the kept
+// prefix plus the number of values removed; leftover positive counts in
+// dead are tombstones that found no target.
+func RemoveOccurrences(vals []domain.Value, dead map[domain.Value]int) ([]domain.Value, int64) {
+	if len(dead) == 0 {
+		return vals, 0
+	}
+	kept := vals[:0]
+	var removed int64
+	for _, v := range vals {
+		if n := dead[v]; n > 0 {
+			dead[v] = n - 1
+			removed++
+			continue
+		}
+		kept = append(kept, v)
+	}
+	return kept, removed
+}
+
+// Overlay merges the snapshot onto a base scan of query range q: visible
+// tombstones remove one occurrence of their value from base, visible
+// inserts inside q are appended. This is the in-memory realization of
+// the Figure-1 delta chain — kdifference then kunion. base is mutated
+// and returned (order of the result is unspecified, like Select's).
+func (s *Snapshot) Overlay(q domain.Range, base []domain.Value) []domain.Value {
+	if s.Len() == 0 {
+		return base
+	}
+	var dead map[domain.Value]int
+	for _, e := range s.entries {
+		if s.visibleTombstone(e) && q.Contains(e.Value) {
+			if dead == nil {
+				dead = make(map[domain.Value]int)
+			}
+			dead[e.Value]++
+		}
+	}
+	base, _ = RemoveOccurrences(base, dead)
+	for _, e := range s.entries {
+		if s.visibleInsert(e) && q.Contains(e.Value) {
+			base = append(base, e.Value)
+		}
+	}
+	return base
+}
+
+// CountDelta returns the net cardinality contribution of the snapshot to
+// query range q: visible inserts minus visible tombstones inside q. The
+// counting path adds it to the base count — tombstones always mask an
+// existing base row (Delete validates existence), so the sum is exact.
+func (s *Snapshot) CountDelta(q domain.Range) int64 {
+	if s.Len() == 0 {
+		return 0
+	}
+	var n int64
+	for _, e := range s.entries {
+		if !q.Contains(e.Value) {
+			continue
+		}
+		switch {
+		case s.visibleInsert(e):
+			n++
+		case s.visibleTombstone(e):
+			n--
+		}
+	}
+	return n
+}
+
+// Stats aggregates the store's lifetime counters.
+type Stats struct {
+	// Inserts, Updates and Deletes count the accepted write operations;
+	// DeleteMisses the Delete/Update calls refused because no visible
+	// row carried the value.
+	Inserts, Updates, Deletes, DeleteMisses int64
+	// Pending is the current unmerged entry count, PendingBytes its
+	// logical size.
+	Pending      int
+	PendingBytes int64
+	// Merges counts completed merge-backs, MergedEntries the entries
+	// they drained (cancelled insert/delete pairs included).
+	Merges        int64
+	MergedEntries int64
+	// Watermark is the current version high-water mark.
+	Watermark int64
+}
+
+// Store is the per-column MVCC write store. Writes serialize on an
+// internal mutex and publish immutable snapshots through an atomic
+// pointer; readers never lock. The zero value is not usable — construct
+// with NewStore.
+type Store struct {
+	mu       sync.Mutex
+	elemSize int64
+	version  int64
+	// entries holds the pending (unmerged) writes in version order. The
+	// slice is append-only under mu; published snapshots reference
+	// prefixes of it (or of earlier backing arrays).
+	entries []*Entry
+	// liveIns indexes pending live insert entries by value, so Delete
+	// can cancel a not-yet-merged insert in O(1).
+	liveIns map[domain.Value][]*Entry
+	// tombs counts pending tombstones by value, for Delete validation
+	// against the base.
+	tombs map[domain.Value]int
+	snap  atomic.Pointer[Snapshot]
+
+	mergedThrough int64
+	mergeEpoch    atomic.Int64 // bumped by every draining merge
+
+	inserts, updates, deletes, misses int64
+	merges, mergedEntries             int64
+}
+
+// NewStore builds an empty write store accounting elemSize bytes per
+// entry (the column's accounted element width).
+func NewStore(elemSize int64) *Store {
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	d := &Store{
+		elemSize: elemSize,
+		liveIns:  make(map[domain.Value][]*Entry),
+		tombs:    make(map[domain.Value]int),
+	}
+	d.snap.Store(&Snapshot{elemSize: elemSize})
+	return d
+}
+
+// Snapshot pins the current state: pending entries plus watermark. The
+// returned snapshot is immutable; the caller may hold it for as long as
+// it likes.
+func (d *Store) Snapshot() *Snapshot { return d.snap.Load() }
+
+// publish installs a fresh snapshot of the current pending state
+// (caller holds mu).
+func (d *Store) publish() {
+	d.snap.Store(&Snapshot{
+		entries:       d.entries[:len(d.entries):len(d.entries)],
+		watermark:     d.version,
+		elemSize:      d.elemSize,
+		mergedThrough: d.mergedThrough,
+	})
+}
+
+// Insert records a single-row insert and returns its version. The value
+// becomes visible to every query that pins a snapshot afterwards;
+// queries already in flight keep their watermark and never see it.
+func (d *Store) Insert(v domain.Value) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ver := d.insertLocked(v)
+	d.inserts++
+	d.publish()
+	return ver
+}
+
+func (d *Store) insertLocked(v domain.Value) int64 {
+	d.version++
+	e := &Entry{Version: d.version, Kind: KInsert, Value: v}
+	d.entries = append(d.entries, e)
+	d.liveIns[v] = append(d.liveIns[v], e)
+	return d.version
+}
+
+// Delete removes one occurrence of v: a pending insert carrying v is
+// cancelled in place (older watermarks keep seeing it), otherwise a
+// tombstone against the base is recorded. baseCount must report, free of
+// side effects, how many base rows currently carry a value; Delete
+// refuses (returns false) when no visible row exists.
+func (d *Store) Delete(v domain.Value, baseCount func(domain.Value) int64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ok := d.deleteLocked(v, baseCount)
+	if ok {
+		d.deletes++
+		d.publish()
+	} else {
+		d.misses++
+	}
+	return ok
+}
+
+func (d *Store) deleteLocked(v domain.Value, baseCount func(domain.Value) int64) bool {
+	if live := d.liveIns[v]; len(live) > 0 {
+		e := live[len(live)-1]
+		d.liveIns[v] = live[:len(live)-1]
+		d.version++
+		e.deletedAt.Store(d.version)
+		return true
+	}
+	if baseCount(v)-int64(d.tombs[v]) <= 0 {
+		return false
+	}
+	d.version++
+	d.entries = append(d.entries, &Entry{Version: d.version, Kind: KTombstone, Value: v})
+	d.tombs[v]++
+	return true
+}
+
+// Update atomically replaces one occurrence of old with new: both halves
+// share a single version, so every watermark sees either the old row or
+// the new one, never both or neither. It refuses (returns false) when no
+// visible row carries old.
+func (d *Store) Update(old, new domain.Value, baseCount func(domain.Value) int64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.deleteLocked(old, baseCount) {
+		d.misses++
+		return false
+	}
+	// Stamp the insert with the delete's version: deleteLocked bumped it,
+	// so reuse rather than re-bump — one version covers the whole update.
+	e := &Entry{Version: d.version, Kind: KInsert, Value: new}
+	d.entries = append(d.entries, e)
+	d.liveIns[new] = append(d.liveIns[new], e)
+	d.updates++
+	d.publish()
+	return true
+}
+
+// PendingBytes returns the logical size of the unmerged entries — the
+// measure the core layer's merge thresholds watch.
+func (d *Store) PendingBytes() int64 {
+	return d.Snapshot().Bytes()
+}
+
+// RecordMiss counts a refused write that never reached the store — the
+// core layer reports extent-rejected Delete/Update calls here so
+// Stats.DeleteMisses covers every refusal uniformly.
+func (d *Store) RecordMiss() {
+	d.mu.Lock()
+	d.misses++
+	d.mu.Unlock()
+}
+
+// MergeEpoch returns the number of draining merges completed so far — a
+// lock-free diagnostic counter (the core layer tracks view staleness on
+// its own content epoch, which also covers bulk loads).
+func (d *Store) MergeEpoch() int64 { return d.mergeEpoch.Load() }
+
+// Merge drains every pending entry into the base: live inserts and base
+// tombstones are handed to apply (cancelled insert/delete pairs vanish —
+// they never touched the base). The store's mutex is held across apply,
+// so writes that race the merge-back wait and land in the next delta
+// generation.
+//
+// apply receives a commit function it MUST call at the point where the
+// drained (empty) store snapshot should be published — while still
+// holding the base's writer lock, immediately after publishing the
+// rewritten base. That makes the two publications atomic for readers,
+// who pin their (base snapshot, delta snapshot) pair under the same
+// writer lock: a merged entry is visible either through the overlay or
+// through the base, never both, never neither. If apply returns an
+// error without committing, the store is left untouched. Returns the
+// number of entries drained.
+func (d *Store) Merge(apply func(inserts, tombstones []domain.Value, commit func()) error) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.entries) == 0 {
+		return 0, nil
+	}
+	var ins, del []domain.Value
+	for _, e := range d.entries {
+		switch e.Kind {
+		case KInsert:
+			if e.deletedAt.Load() == 0 {
+				ins = append(ins, e.Value)
+			}
+		case KTombstone:
+			del = append(del, e.Value)
+		}
+	}
+	n := len(d.entries)
+	committed := false
+	commit := func() {
+		if committed {
+			return
+		}
+		committed = true
+		d.mergedEntries += int64(n)
+		d.merges++
+		d.mergedThrough = d.version
+		d.entries = nil
+		d.liveIns = make(map[domain.Value][]*Entry)
+		d.tombs = make(map[domain.Value]int)
+		d.publish()
+		d.mergeEpoch.Add(1)
+	}
+	if err := apply(ins, del, commit); err != nil {
+		if committed {
+			panic("delta: merge apply committed and then failed — store and base diverged")
+		}
+		return 0, err
+	}
+	commit() // defensive: a nil-error apply that forgot to commit
+	return n, nil
+}
+
+// Stats returns the store's lifetime counters.
+func (d *Store) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{
+		Inserts:       d.inserts,
+		Updates:       d.updates,
+		Deletes:       d.deletes,
+		DeleteMisses:  d.misses,
+		Pending:       len(d.entries),
+		PendingBytes:  int64(len(d.entries)) * d.elemSize,
+		Merges:        d.merges,
+		MergedEntries: d.mergedEntries,
+		Watermark:     d.version,
+	}
+}

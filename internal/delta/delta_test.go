@@ -1,0 +1,237 @@
+package delta
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"selforg/internal/domain"
+)
+
+func all(q domain.Range) domain.Range { return q }
+
+// overlayAll applies snap to base over the whole domain.
+func overlayAll(s *Snapshot, base []domain.Value) []domain.Value {
+	return s.Overlay(domain.NewRange(-1<<62, 1<<62), append([]domain.Value(nil), base...))
+}
+
+func sorted(vs []domain.Value) []domain.Value {
+	out := append([]domain.Value(nil), vs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func eq(a, b []domain.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDeltaInsertVisibility(t *testing.T) {
+	d := NewStore(4)
+	before := d.Snapshot()
+	d.Insert(10)
+	after := d.Snapshot()
+
+	if got := overlayAll(before, nil); len(got) != 0 {
+		t.Fatalf("insert visible through pre-write snapshot: %v", got)
+	}
+	if got := overlayAll(after, nil); !eq(got, []domain.Value{10}) {
+		t.Fatalf("insert not visible through post-write snapshot: %v", got)
+	}
+	if after.Watermark() <= before.Watermark() {
+		t.Fatalf("watermark did not advance: %d -> %d", before.Watermark(), after.Watermark())
+	}
+}
+
+func TestDeltaDeleteMasksOneOccurrence(t *testing.T) {
+	d := NewStore(4)
+	base := []domain.Value{5, 5, 7}
+	count := func(v domain.Value) int64 {
+		var n int64
+		for _, b := range base {
+			if b == v {
+				n++
+			}
+		}
+		return n
+	}
+	if !d.Delete(5, count) {
+		t.Fatal("delete of existing base value refused")
+	}
+	got := sorted(overlayAll(d.Snapshot(), base))
+	if !eq(got, []domain.Value{5, 7}) {
+		t.Fatalf("overlay after one delete = %v, want [5 7]", got)
+	}
+	if !d.Delete(5, count) {
+		t.Fatal("second delete of duplicated value refused")
+	}
+	if d.Delete(5, count) {
+		t.Fatal("third delete accepted but only two base rows carry 5")
+	}
+	got = sorted(overlayAll(d.Snapshot(), base))
+	if !eq(got, []domain.Value{7}) {
+		t.Fatalf("overlay after two deletes = %v, want [7]", got)
+	}
+	st := d.Stats()
+	if st.Deletes != 2 || st.DeleteMisses != 1 {
+		t.Fatalf("stats = %+v, want 2 deletes, 1 miss", st)
+	}
+}
+
+func TestDeltaDeleteCancelsPendingInsert(t *testing.T) {
+	d := NewStore(4)
+	none := func(domain.Value) int64 { return 0 }
+	d.Insert(42)
+	mid := d.Snapshot() // pinned while the insert is live
+	if !d.Delete(42, none) {
+		t.Fatal("delete of pending insert refused")
+	}
+	// The older watermark still sees the insert; the newer does not.
+	if got := overlayAll(mid, nil); !eq(got, []domain.Value{42}) {
+		t.Fatalf("pinned snapshot lost the insert: %v", got)
+	}
+	if got := overlayAll(d.Snapshot(), nil); len(got) != 0 {
+		t.Fatalf("cancelled insert still visible: %v", got)
+	}
+	// The cancelled insert never reaches the base (a delete that cancels
+	// a pending insert adds no tombstone entry — it marks the insert).
+	n, err := d.Merge(func(ins, del []domain.Value, commit func()) error {
+		if len(ins) != 0 || len(del) != 0 {
+			t.Fatalf("cancelled insert reached merge: ins=%v del=%v", ins, del)
+		}
+		commit()
+		return nil
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("merge drained %d entries (err %v), want 1", n, err)
+	}
+}
+
+func TestDeltaUpdateIsAtomic(t *testing.T) {
+	d := NewStore(4)
+	base := []domain.Value{1}
+	one := func(v domain.Value) int64 {
+		if v == 1 {
+			return 1
+		}
+		return 0
+	}
+	before := d.Snapshot()
+	if !d.Update(1, 9, one) {
+		t.Fatal("update refused")
+	}
+	after := d.Snapshot()
+	if got := sorted(overlayAll(before, base)); !eq(got, []domain.Value{1}) {
+		t.Fatalf("pre-update snapshot = %v, want [1]", got)
+	}
+	if got := sorted(overlayAll(after, base)); !eq(got, []domain.Value{9}) {
+		t.Fatalf("post-update snapshot = %v, want [9]", got)
+	}
+	if d.Update(3, 4, one) {
+		t.Fatal("update of absent value accepted")
+	}
+}
+
+func TestDeltaCountDelta(t *testing.T) {
+	d := NewStore(4)
+	base := []domain.Value{10, 20}
+	cnt := func(v domain.Value) int64 {
+		var n int64
+		for _, b := range base {
+			if b == v {
+				n++
+			}
+		}
+		return n
+	}
+	d.Insert(15)
+	d.Delete(20, cnt)
+	s := d.Snapshot()
+	if got := s.CountDelta(all(domain.NewRange(0, 100))); got != 0 {
+		t.Fatalf("net count delta = %d, want 0 (one insert, one tombstone)", got)
+	}
+	if got := s.CountDelta(domain.NewRange(12, 16)); got != 1 {
+		t.Fatalf("count delta [12,16] = %d, want 1", got)
+	}
+	if got := s.CountDelta(domain.NewRange(18, 25)); got != -1 {
+		t.Fatalf("count delta [18,25] = %d, want -1", got)
+	}
+}
+
+func TestDeltaMergeAbortLeavesStoreIntact(t *testing.T) {
+	d := NewStore(4)
+	d.Insert(1)
+	d.Insert(2)
+	_, err := d.Merge(func(ins, del []domain.Value, commit func()) error {
+		return errBoom
+	})
+	if err != errBoom {
+		t.Fatalf("merge error = %v, want errBoom", err)
+	}
+	if got := sorted(overlayAll(d.Snapshot(), nil)); !eq(got, []domain.Value{1, 2}) {
+		t.Fatalf("aborted merge lost entries: %v", got)
+	}
+	if st := d.Stats(); st.Merges != 0 || st.Pending != 2 {
+		t.Fatalf("stats after aborted merge = %+v", st)
+	}
+}
+
+var errBoom = &boomErr{}
+
+type boomErr struct{}
+
+func (*boomErr) Error() string { return "boom" }
+
+// TestDeltaConcurrentWritersAndReaders hammers the store with parallel
+// writers while readers continuously pin snapshots and overlay them —
+// the -race workhorse for the store itself.
+func TestDeltaConcurrentWritersAndReaders(t *testing.T) {
+	d := NewStore(4)
+	none := func(domain.Value) int64 { return 0 }
+	stop := make(chan struct{})
+	var readers, writers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := d.Snapshot()
+				got := overlayAll(s, nil)
+				// A snapshot's overlay must be internally consistent: its
+				// length equals its own CountDelta over the whole domain.
+				if int64(len(got)) != s.CountDelta(domain.NewRange(-1<<62, 1<<62)) {
+					t.Error("snapshot overlay and count disagree")
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				v := domain.Value(w*1000 + i)
+				d.Insert(v)
+				if i%3 == 0 {
+					d.Delete(v, none)
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+}

@@ -216,6 +216,7 @@ func Experiments() []Experiment {
 		{ID: "fig9", Title: "Figure 9: replica storage, Zipf", Run: runFig9},
 		{ID: "compress", Title: "Extension: adaptive per-segment compression vs plain storage", Run: runCompress},
 		{ID: "concurrent", Title: "Extension: N concurrent query streams over one shared column", Run: runConcurrentExperiment},
+		{ID: "mixed", Title: "Extension: mixed read-write streams through the MVCC delta store", Run: runMixedExperiment},
 		{ID: "report", Title: "Numeric digest of every §6.1 exhibit (for EXPERIMENTS.md)", Run: runReport},
 	}
 }
@@ -239,7 +240,7 @@ func runCompress(scale Scale) string {
 	n := scale.queries(2000)
 	var b strings.Builder
 	tb := stats.NewTable("Adaptive compression vs plain storage (APM, uniform queries, sel 0.1)",
-		"Data", "Strategy", "Reads KB/q", "Writes KB total", "Storage KB", "Logical KB", "Ratio", "Recodes")
+		"Data", "Strategy", "Reads KB/q", "Writes KB total", "Storage KB", "Logical KB", "Ratio", "Recodes", "Encodings")
 	for _, ds := range compressDatasets {
 		for _, strat := range []StrategyKind{Segmentation, Replication} {
 			for _, mode := range []compress.Mode{compress.Off, compress.Auto} {
@@ -261,7 +262,8 @@ func runCompress(scale Scale) string {
 					fmt.Sprintf("%.0f", phys/1024),
 					fmt.Sprintf("%.0f", logical/1024),
 					fmt.Sprintf("%.2fx", ratio),
-					fmt.Sprint(r.Recodes))
+					fmt.Sprint(r.Recodes),
+					r.FinalEncodings.String())
 			}
 		}
 	}
@@ -293,6 +295,33 @@ func CompressedStorage(strat StrategyKind, lowCard int, numQueries int) []*stats
 		}
 	}
 	return out
+}
+
+// EncodingTable tabulates the per-encoding storage breakdown (segment
+// counts and physical bytes per encoding) after a compressed run of
+// every strategy over both data shapes — the PR-1 follow-up counters,
+// exported by cmd/sosim as encodings.tsv.
+func EncodingTable(numQueries int) *stats.Table {
+	tb := stats.NewTable("Per-encoding storage breakdown after adaptive-compression runs",
+		"Data", "Strategy", "Encoding", "Segments", "Bytes")
+	for _, ds := range compressDatasets {
+		for _, strat := range []StrategyKind{Segmentation, Replication} {
+			c := DefaultConfig()
+			if numQueries > 0 {
+				c.NumQueries = numQueries
+			}
+			c.Strategy = strat
+			c.Compression = compress.Auto
+			c.LowCardinality = ds.Card
+			r := Run(c)
+			for _, e := range compress.Encodings {
+				tb.AddRow(ds.Label, r.Cfg.StrategyName(), e.String(),
+					fmt.Sprint(r.FinalEncodings.Segments[e]),
+					fmt.Sprint(r.FinalEncodings.Bytes[e]))
+			}
+		}
+	}
+	return tb
 }
 
 // runReport condenses every simulation exhibit into the numbers the paper

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"selforg/internal/core"
+	"selforg/internal/delta"
+	"selforg/internal/domain"
+	"selforg/internal/segment"
+	"selforg/internal/stats"
+	"selforg/internal/workload"
+)
+
+// Mixed read-write workload driver: the workload space the paper cannot
+// express. N clients share one self-organizing column; each operation is
+// a range query with probability 1-WriteRatio, otherwise a point write
+// (half inserts, a quarter updates, a quarter deletes) through the MVCC
+// delta store. Writes trigger the self-organizing merge-back per the
+// configured thresholds, so the run exercises the full loop: delta
+// accumulation → overlay reads → merge-back → Segmenter/Replicator
+// absorbing the merged rows.
+
+// MixedConfig shapes a multi-client read-write run.
+type MixedConfig struct {
+	ConcurrentConfig
+	// WriteRatio is the fraction of operations that are point writes
+	// (default 0.2). Per write: 50% insert, 25% update, 25% delete.
+	WriteRatio float64
+	// DeltaMaxBytes / DeltaMaxRatio are the merge-back triggers handed
+	// to the strategy (defaults 1 KB / 0.05 — small enough that the
+	// default 400 KB column sees merge churn within a few hundred
+	// writes).
+	DeltaMaxBytes int64
+	DeltaMaxRatio float64
+}
+
+// MixedResult aggregates a mixed run.
+type MixedResult struct {
+	Cfg MixedConfig
+	// Queries and Writes count the executed operations; Misses the
+	// update/delete attempts that found no visible row.
+	Queries, Writes, Misses int
+	// Merged cost measures over all clients.
+	ReadBytes, WriteBytes, DeltaReadBytes int64
+	ResultCount                           int64
+	Splits, Recodes, Merged               int
+	// Delta is a snapshot of the write store's final counters (Merges,
+	// Pending, ...), FinalEncodings the per-encoding layout breakdown.
+	Delta          delta.Stats
+	FinalEncodings segment.EncodingStats
+	// FinalSegments is the number of data-bearing segments at the end.
+	FinalSegments int
+	Wall          time.Duration
+	OPS           float64 // operations (reads+writes) per wall second
+}
+
+// RunMixed executes the configured multi-client mixed workload and
+// returns the merged statistics plus the strategy itself (so callers can
+// inspect the final layout, delta counters and encoding breakdown).
+func RunMixed(cfg MixedConfig) *MixedResult {
+	cfg.Config = cfg.Config.withDefaults()
+	if cfg.Clients < 1 {
+		cfg.Clients = 4
+	}
+	if cfg.WriteRatio <= 0 {
+		cfg.WriteRatio = 0.2
+	}
+	if cfg.DeltaMaxBytes == 0 {
+		cfg.DeltaMaxBytes = 1024
+	}
+	if cfg.DeltaMaxRatio == 0 {
+		cfg.DeltaMaxRatio = 0.05
+	}
+	vals := cfg.generateValues()
+	// Keep a sample pool for update/delete targets; the strategy consumes
+	// the original slice.
+	pool := append([]domain.Value(nil), vals...)
+	strat := cfg.buildStrategyOver(vals)
+	switch s := strat.(type) {
+	case *core.Segmenter:
+		s.SetParallelism(cfg.Parallelism)
+	case *core.Replicator:
+		s.SetParallelism(cfg.Parallelism)
+	}
+	strat.SetDeltaPolicy(cfg.DeltaMaxBytes, cfg.DeltaMaxRatio)
+
+	perClient := cfg.NumQueries / cfg.Clients
+	if perClient < 1 {
+		perClient = 1
+	}
+	type clientOut struct {
+		st             core.QueryStats
+		writes, misses int
+		queries        int
+	}
+	outs := make([]clientOut, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for cl := 0; cl < cfg.Clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			gen := workload.Spec{
+				Name:        fmt.Sprintf("mixed-%d", cl),
+				Dom:         cfg.Dom,
+				Selectivity: cfg.Selectivity,
+				Kind:        cfg.Dist,
+				Seed:        cfg.QuerySeed + int64(cl),
+			}.Build()
+			rnd := rand.New(rand.NewSource(cfg.QuerySeed + 7919*int64(cl+1)))
+			local := &outs[cl]
+			for i := 0; i < perClient; i++ {
+				if rnd.Float64() >= cfg.WriteRatio {
+					q := gen.Next()
+					_, st := strat.Select(q.Range())
+					local.st.Add(st)
+					local.queries++
+					continue
+				}
+				local.writes++
+				switch rnd.Intn(4) {
+				case 0, 1: // insert
+					v := cfg.Dom.Lo + rnd.Int63n(cfg.Dom.Width())
+					st, _ := strat.Insert(v)
+					local.st.Add(st)
+				case 2: // update
+					old := pool[rnd.Intn(len(pool))]
+					new := cfg.Dom.Lo + rnd.Int63n(cfg.Dom.Width())
+					ok, st := strat.Update(old, new)
+					local.st.Add(st)
+					if !ok {
+						local.misses++
+					}
+				default: // delete
+					v := pool[rnd.Intn(len(pool))]
+					ok, st := strat.Delete(v)
+					local.st.Add(st)
+					if !ok {
+						local.misses++
+					}
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := &MixedResult{
+		Cfg:            cfg,
+		Delta:          strat.DeltaStats(),
+		FinalEncodings: strat.EncodingStats(),
+		FinalSegments:  strat.SegmentCount(),
+		Wall:           wall,
+	}
+	for i := range outs {
+		res.Queries += outs[i].queries
+		res.Writes += outs[i].writes
+		res.Misses += outs[i].misses
+		res.ReadBytes += outs[i].st.ReadBytes
+		res.WriteBytes += outs[i].st.WriteBytes
+		res.DeltaReadBytes += outs[i].st.DeltaReadBytes
+		res.ResultCount += outs[i].st.ResultCount
+		res.Splits += outs[i].st.Splits
+		res.Recodes += outs[i].st.Recodes
+		res.Merged += outs[i].st.Merged
+	}
+	if sec := wall.Seconds(); sec > 0 {
+		res.OPS = float64(res.Queries+res.Writes) / sec
+	}
+	return res
+}
+
+// runMixedExperiment is the "mixed" experiment: both strategies under
+// APM over uniform queries, scaled across client counts and write
+// ratios. The interesting columns are the merge-back activity (Merges,
+// Merged rows) and the split counts — the Segmenter keeps reorganizing
+// while absorbing merged rows — plus the overlay read volume the delta
+// store adds per query.
+func runMixedExperiment(scale Scale) string {
+	n := scale.queries(4000)
+	tb := stats.NewTable(
+		fmt.Sprintf("Mixed read-write streams over one shared column (APM, uniform, sel 0.1, %d ops total, GOMAXPROCS=%d)",
+			n, runtime.GOMAXPROCS(0)),
+		"Strategy", "Clients", "Write%", "Queries", "Writes", "Merges", "Merged", "Reads KB/q", "Overlay KB/q", "Splits", "Segments", "OPS")
+	for _, strat := range []StrategyKind{Segmentation, Replication} {
+		for _, clients := range []int{1, 4} {
+			for _, ratio := range []float64{0.1, 0.3} {
+				// Merge every 64 pending entries so the checkpoint churn is
+				// visible even on scaled-down (-queries) runs.
+				cfg := MixedConfig{WriteRatio: ratio, DeltaMaxBytes: 256}
+				cfg.Config = DefaultConfig()
+				cfg.NumQueries = n
+				cfg.Strategy = strat
+				cfg.Clients = clients
+				r := RunMixed(cfg)
+				ds := r.Delta
+				reads, overlay := 0.0, 0.0
+				if r.Queries > 0 {
+					reads = float64(r.ReadBytes) / float64(r.Queries) / float64(domain.KB)
+					overlay = float64(r.DeltaReadBytes) / float64(r.Queries) / float64(domain.KB)
+				}
+				tb.AddRow(cfg.StrategyName(), fmt.Sprint(clients),
+					fmt.Sprintf("%.0f", ratio*100),
+					fmt.Sprint(r.Queries), fmt.Sprint(r.Writes),
+					fmt.Sprint(ds.Merges), fmt.Sprint(ds.MergedEntries),
+					fmt.Sprintf("%.1f", reads),
+					fmt.Sprintf("%.2f", overlay),
+					fmt.Sprint(r.Splits),
+					fmt.Sprint(r.FinalSegments),
+					fmt.Sprintf("%.0f", r.OPS))
+			}
+		}
+	}
+	return tb.Render()
+}

@@ -17,6 +17,7 @@ import (
 	"selforg/internal/core"
 	"selforg/internal/domain"
 	"selforg/internal/model"
+	"selforg/internal/segment"
 	"selforg/internal/stats"
 	"selforg/internal/workload"
 )
@@ -163,14 +164,17 @@ func (c Config) buildModel() model.Model {
 	}
 }
 
-// buildStrategy instantiates the strategy over freshly generated data.
-func (c Config) buildStrategy() core.Strategy {
-	var vals []domain.Value
+// generateValues draws the run's column data.
+func (c Config) generateValues() []domain.Value {
 	if c.LowCardinality > 0 {
-		vals = GenerateLowCardColumn(c.ColumnCount, c.Dom, int64(c.LowCardinality), c.DataSeed)
-	} else {
-		vals = GenerateColumn(c.ColumnCount, c.Dom, c.DataSeed)
+		return GenerateLowCardColumn(c.ColumnCount, c.Dom, int64(c.LowCardinality), c.DataSeed)
 	}
+	return GenerateColumn(c.ColumnCount, c.Dom, c.DataSeed)
+}
+
+// buildStrategyOver instantiates the strategy over vals (consumed: the
+// strategy takes ownership).
+func (c Config) buildStrategyOver(vals []domain.Value) core.DeltaStrategy {
 	m := c.buildModel()
 	switch c.Strategy {
 	case Segmentation:
@@ -184,6 +188,11 @@ func (c Config) buildStrategy() core.Strategy {
 	default:
 		panic(fmt.Sprintf("sim: unknown strategy kind %d", c.Strategy))
 	}
+}
+
+// buildStrategy instantiates the strategy over freshly generated data.
+func (c Config) buildStrategy() core.DeltaStrategy {
+	return c.buildStrategyOver(c.generateValues())
 }
 
 // GenerateColumn draws count values uniformly from dom — the "100K values
@@ -241,6 +250,9 @@ type Result struct {
 	FinalSegments int
 	// FinalSegmentSizes lists their sizes in bytes.
 	FinalSegmentSizes []float64
+	// FinalEncodings is the per-encoding storage breakdown at the end
+	// (all-plain with compression off).
+	FinalEncodings segment.EncodingStats
 	// ColumnBytes is the raw column size (the "DB size" line).
 	ColumnBytes int64
 }
@@ -280,6 +292,7 @@ func Run(cfg Config) *Result {
 	}
 	res.FinalSegments = strat.SegmentCount()
 	res.FinalSegmentSizes = strat.SegmentSizes()
+	res.FinalEncodings = strat.EncodingStats()
 	return res
 }
 

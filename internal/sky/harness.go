@@ -2,6 +2,7 @@ package sky
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"selforg/internal/bpm"
@@ -131,20 +132,23 @@ func (c Config) CompressionSchemes() []Scheme {
 
 // poolTracer routes segment lifecycle events into the buffer pool and
 // splits the virtual time into selection (scans) and adaptation
-// (materialization) components, the two bars of Figure 10.
+// (materialization) components, the two bars of Figure 10. The counters
+// are atomics because even a single-client run may fan its per-segment
+// scans out under adaptive parallelism (Parallelism == 0); TouchOrRetired
+// covers snapshot readers racing a concurrent reorganization.
 type poolTracer struct {
-	pool      *bpm.Pool
-	scanTime  time.Duration
-	writeTime time.Duration
+	pool    *bpm.Pool
+	scanNs  atomic.Int64
+	writeNs atomic.Int64
 }
 
-func (t *poolTracer) Scan(id, _ int64) {
-	d, _ := t.pool.Touch(id)
-	t.scanTime += d
+func (t *poolTracer) Scan(id, bytes int64) {
+	d, _ := t.pool.TouchOrRetired(id, bytes)
+	t.scanNs.Add(int64(d))
 }
 
 func (t *poolTracer) Materialize(id, bytes int64) {
-	t.writeTime += t.pool.Register(id, bytes)
+	t.writeNs.Add(int64(t.pool.Register(id, bytes)))
 }
 
 func (t *poolTracer) Drop(id, _ int64) {
@@ -152,8 +156,12 @@ func (t *poolTracer) Drop(id, _ int64) {
 }
 
 func (t *poolTracer) reset() {
-	t.scanTime, t.writeTime = 0, 0
+	t.scanNs.Store(0)
+	t.writeNs.Store(0)
 }
+
+func (t *poolTracer) scanTime() time.Duration  { return time.Duration(t.scanNs.Load()) }
+func (t *poolTracer) writeTime() time.Duration { return time.Duration(t.writeNs.Load()) }
 
 // RunResult holds one (scheme, workload) run of the prototype.
 type RunResult struct {
@@ -213,8 +221,8 @@ func Run(ds *Dataset, scheme Scheme, queries []workload.Query, cfg Config) *RunR
 	for _, q := range queries {
 		tr.reset()
 		_, _ = seg.Select(q.Range())
-		sel := float64(tr.scanTime.Microseconds()) / 1000
-		ad := float64(tr.writeTime.Microseconds()) / 1000
+		sel := float64(tr.scanTime().Microseconds()) / 1000
+		ad := float64(tr.writeTime().Microseconds()) / 1000
 		res.SelectionMs.Append(sel)
 		res.AdaptationMs.Append(ad)
 		res.TotalMs.Append(sel + ad)

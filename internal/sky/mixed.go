@@ -1,0 +1,169 @@
+package sky
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"selforg/internal/bpm"
+	"selforg/internal/core"
+	"selforg/internal/domain"
+	"selforg/internal/stats"
+)
+
+// Mixed read-write driver for the prototype harness: the sim-side mixed
+// workload transplanted onto the SkyServer column with the buffer pool's
+// virtual disk clock attached. Clients interleave the named workload's
+// range queries with point writes through the MVCC delta store; the
+// merge-back drains into the base under the same virtual clock, so the
+// adaptation cost of absorbing writes shows up in the Figure-10 style
+// time split.
+
+// MixedRunResult holds one multi-client read-write (scheme, workload)
+// run of the prototype.
+type MixedRunResult struct {
+	Scheme     string
+	Workload   WorkloadName
+	Clients    int
+	WriteRatio float64
+	// Queries and Writes count executed operations, Misses the refused
+	// update/delete attempts.
+	Queries, Writes, Misses int
+	// SelectionMs / AdaptationMs are total virtual times on the disk
+	// clock over all clients (adaptation includes merge-back rewrites).
+	SelectionMs  float64
+	AdaptationMs float64
+	// Merges / MergedEntries summarize the delta store's checkpoints;
+	// Splits the reorganization the queries drove.
+	Merges, MergedEntries int64
+	Splits                int
+	SegmentCount          int
+	StorageMB             float64
+	Wall                  time.Duration
+	OPS                   float64
+}
+
+// RunMixedConcurrent replays the named workload across clients
+// goroutines, replacing writeRatio of each client's operations with
+// point writes (50% insert, 25% update, 25% delete) against the shared
+// self-organizing column.
+func RunMixedConcurrent(ds *Dataset, scheme Scheme, name WorkloadName, cfg Config, clients int, writeRatio float64) *MixedRunResult {
+	if clients < 1 {
+		clients = 1
+	}
+	if writeRatio <= 0 {
+		writeRatio = 0.2
+	}
+	queries := Queries(ds, name, cfg.Workload)
+	pool := bpm.New(cfg.Pool)
+	tr := &concTracer{pool: pool}
+	var seg core.DeltaStrategy
+	if scheme.Replication {
+		r := core.NewReplicator(ds.Domain(), ds.ScaledRA(), cfg.ElemSize, scheme.buildModel(), tr)
+		r.SetCompression(scheme.Compression)
+		seg = r
+	} else {
+		s := core.NewSegmenter(ds.Domain(), ds.ScaledRA(), cfg.ElemSize, scheme.buildModel(), tr)
+		s.SetCompression(scheme.Compression)
+		seg = s
+	}
+	// Merge every 32 pending entries: the SkyServer workloads run only a
+	// few hundred operations, so the threshold must be small for the
+	// checkpoint churn to show up on the virtual clock.
+	seg.SetDeltaPolicy(32*cfg.ElemSize, 0)
+	tr.scanNs.Store(0)
+	tr.writeNs.Store(0)
+
+	dom := ds.Domain()
+	targets := ds.ScaledRA() // sample pool for update/delete targets
+	type clientOut struct{ queries, writes, misses, splits int }
+	outs := make([]clientOut, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(1009 * int64(cl+1)))
+			local := &outs[cl]
+			for i := cl; i < len(queries); i += clients {
+				if rnd.Float64() >= writeRatio {
+					_, st := seg.Select(queries[i].Range())
+					local.queries++
+					local.splits += st.Splits
+					continue
+				}
+				local.writes++
+				switch rnd.Intn(4) {
+				case 0, 1:
+					v := dom.Lo + rnd.Int63n(dom.Width())
+					_, _ = seg.Insert(v)
+				case 2:
+					old := targets[rnd.Intn(len(targets))]
+					if ok, _ := seg.Update(old, dom.Lo+rnd.Int63n(dom.Width())); !ok {
+						local.misses++
+					}
+				default:
+					if ok, _ := seg.Delete(targets[rnd.Intn(len(targets))]); !ok {
+						local.misses++
+					}
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	dst := seg.DeltaStats()
+	res := &MixedRunResult{
+		Scheme:        scheme.Name,
+		Workload:      name,
+		Clients:       clients,
+		WriteRatio:    writeRatio,
+		SelectionMs:   float64(time.Duration(tr.scanNs.Load()).Microseconds()) / 1000,
+		AdaptationMs:  float64(time.Duration(tr.writeNs.Load()).Microseconds()) / 1000,
+		Merges:        dst.Merges,
+		MergedEntries: dst.MergedEntries,
+		SegmentCount:  seg.SegmentCount(),
+		StorageMB:     float64(seg.StorageBytes()) / float64(domain.MB),
+		Wall:          wall,
+	}
+	for i := range outs {
+		res.Queries += outs[i].queries
+		res.Writes += outs[i].writes
+		res.Misses += outs[i].misses
+		res.Splits += outs[i].splits
+	}
+	if sec := wall.Seconds(); sec > 0 {
+		res.OPS = float64(res.Queries+res.Writes) / sec
+	}
+	return res
+}
+
+// MixedTable runs the APM 1-5 segmentation scheme under mixed
+// read-write load per workload, across client counts and write ratios.
+func MixedTable(ds *Dataset, cfg Config) *stats.Table {
+	tb := stats.NewTable(
+		fmt.Sprintf("Mixed read-write clients on the SkyServer prototype (APM 1-5, GOMAXPROCS=%d)",
+			runtime.GOMAXPROCS(0)),
+		"Workload", "Clients", "Write%", "Select ms", "Adapt ms", "Merges", "Merged", "Segments", "OPS")
+	scheme := Scheme{Name: "APM 1-5", Kind: APMScheme, Mmin: cfg.Mmin, Mmax: cfg.MmaxSmall}
+	for _, w := range WorkloadNames() {
+		for _, clients := range []int{1, 4} {
+			for _, ratio := range []float64{0.1, 0.3} {
+				r := RunMixedConcurrent(ds, scheme, w, cfg, clients, ratio)
+				tb.AddRow(string(w), fmt.Sprint(clients),
+					fmt.Sprintf("%.0f", ratio*100),
+					fmt.Sprintf("%.0f", r.SelectionMs),
+					fmt.Sprintf("%.0f", r.AdaptationMs),
+					fmt.Sprint(r.Merges),
+					fmt.Sprint(r.MergedEntries),
+					fmt.Sprint(r.SegmentCount),
+					fmt.Sprintf("%.0f", r.OPS))
+			}
+		}
+	}
+	return tb
+}

@@ -1,0 +1,25 @@
+package sky
+
+import "testing"
+
+// TestDeltaMixedSkyRun smoke-tests the prototype's mixed read-write
+// driver: queries and writes interleave on the shared column, the
+// merge-back churns on the virtual clock, and the layout stays adaptive.
+func TestDeltaMixedSkyRun(t *testing.T) {
+	cfg := testConfig()
+	ds := testDataset(t, cfg)
+	scheme := Scheme{Name: "APM 1-5", Kind: APMScheme, Mmin: cfg.Mmin, Mmax: cfg.MmaxSmall}
+	r := RunMixedConcurrent(ds, scheme, Random, cfg, 4, 0.3)
+	if r.Queries == 0 || r.Writes == 0 {
+		t.Fatalf("mixed run executed %d queries, %d writes", r.Queries, r.Writes)
+	}
+	if r.Queries+r.Writes != cfg.Workload.NumQueries {
+		t.Fatalf("ops = %d, want %d", r.Queries+r.Writes, cfg.Workload.NumQueries)
+	}
+	if r.SegmentCount < 2 {
+		t.Fatalf("column never reorganized (%d segments)", r.SegmentCount)
+	}
+	if r.SelectionMs <= 0 {
+		t.Fatal("no virtual selection time accounted")
+	}
+}

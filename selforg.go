@@ -69,6 +69,24 @@
 // setting; see ARCHITECTURE.md for the precise guarantees and
 // examples/concurrent for a runnable multi-client demonstration.
 //
+// # Point writes (MVCC delta store)
+//
+// Single-row Insert, Update and Delete land in a per-column MVCC write
+// store (internal/delta) and are overlaid onto every later query's
+// segment scan — the in-memory realization of the delta-BAT merge the
+// paper's §2 plans perform. A query pins a (segment snapshot, delta
+// watermark) pair at start, so a write is visible exactly to the
+// queries started after it; View exposes the same pinned pair as a
+// long-lived read-only view. Accumulated writes are drained into the
+// base segments by a self-organizing merge-back (Options.DeltaMaxBytes
+// / DeltaMaxRatio), after which the ordinary reorganization loop
+// splits and re-encodes the merged rows:
+//
+//	col.Insert(205_117)
+//	col.Update(205_117, 205_118)
+//	col.Delete(205_118)
+//	col.MergeDeltas() // explicit checkpoint; auto-merge is the default
+//
 // The experiment harnesses that reproduce the paper's evaluation live in
 // internal/sim (§6.1) and internal/sky (§6.2), runnable through
 // cmd/sosim and cmd/skybench; the MonetDB-style substrate (BATs, MAL, the
@@ -218,13 +236,32 @@ type Options struct {
 	// change.
 	Compression Compression
 	// Parallelism bounds the worker pool a single query may fan its
-	// per-segment scans out to (<=1 = serial execution). Results, stats
-	// and layout evolution are byte-identical to the serial path at every
-	// setting — only wall-clock changes. Safety for concurrent Select
-	// calls from multiple goroutines does not depend on this knob; a
-	// Column is always safe for concurrent use. With Parallelism > 1 an
-	// attached Tracer must itself be safe for concurrent use.
+	// per-segment scans out to. 0 (the default) is adaptive: the fan-out
+	// is picked per query from the snapshot's segment count and scan
+	// volume, so large multi-segment scans parallelize and small ones
+	// stay serial; 1 forces serial execution; n > 1 bounds the fan-out
+	// at n. Results, stats and layout evolution are byte-identical to
+	// the serial path at every setting — only wall-clock changes. Safety
+	// for concurrent Select calls from multiple goroutines does not
+	// depend on this knob; a Column is always safe for concurrent use.
+	// With Parallelism > 1 an attached Tracer must itself be safe for
+	// concurrent use; when a Tracer is attached and Parallelism is left
+	// at 0, the column runs serial scans (the pre-adaptive contract), so
+	// existing single-threaded tracers keep working — pass an explicit
+	// Parallelism to opt a concurrency-safe tracer into fan-out.
 	Parallelism int
+	// DeltaMaxBytes triggers the self-organizing merge-back of the MVCC
+	// write store: a write that leaves more than this many bytes pending
+	// drains the store into the base inline (default 64 KB; < 0 disables
+	// the trigger).
+	DeltaMaxBytes int64
+	// DeltaMaxRatio is the companion trigger on the pending-to-base
+	// ratio (default 0.10; < 0 disables the trigger).
+	DeltaMaxRatio float64
+	// DeltaManualMerge disables both automatic triggers: pending writes
+	// stay in the delta store until MergeDeltas is called. Queries stay
+	// correct either way — the overlay read path serves unmerged writes.
+	DeltaManualMerge bool
 }
 
 // Tracer re-exports core.Tracer: Scan/Materialize/Drop events with segment
@@ -245,6 +282,12 @@ type Stats struct {
 	Drops       int
 	// Recodes counts the segments this query (re-)encoded.
 	Recodes int
+	// DeltaReadBytes is the overlay volume: pending delta entries
+	// scanned on top of the base segments (also counted in ReadBytes).
+	// Merged counts the delta entries a merge-back drained into the base
+	// during this operation.
+	DeltaReadBytes int64
+	Merged         int
 	// StorageBytes and CompressedBytes snapshot the column after the
 	// query: logical (uncompressed) bytes held vs physical bytes held.
 	// Their difference is the storage the compression subsystem saves;
@@ -261,6 +304,8 @@ func statsFrom(qs core.QueryStats) Stats {
 		Splits:          qs.Splits,
 		Drops:           qs.Drops,
 		Recodes:         qs.Recodes,
+		DeltaReadBytes:  qs.DeltaReadBytes,
+		Merged:          qs.Merged,
 		StorageBytes:    qs.StorageBytes,
 		CompressedBytes: qs.CompressedBytes,
 	}
@@ -275,6 +320,8 @@ func (s *Stats) Add(other Stats) {
 	s.Splits += other.Splits
 	s.Drops += other.Drops
 	s.Recodes += other.Recodes
+	s.DeltaReadBytes += other.DeltaReadBytes
+	s.Merged += other.Merged
 	s.StorageBytes = other.StorageBytes
 	s.CompressedBytes = other.CompressedBytes
 }
@@ -288,7 +335,7 @@ func (s *Stats) Add(other Stats) {
 // guarantees: individual queries are linearizable against reorganization;
 // cross-query adaptation order under contention is not deterministic.
 type Column struct {
-	strat  core.Strategy
+	strat  core.DeltaStrategy
 	extent domain.Range
 	opts   Options
 
@@ -345,16 +392,38 @@ func New(extent Interval, values []int64, opts Options) (*Column, error) {
 		return nil, fmt.Errorf("selforg: unknown model %v", o.Model)
 	}
 
-	var strat core.Strategy
+	// Delta merge-back policy: defaults, explicit disables, manual mode.
+	deltaMax := o.DeltaMaxBytes
+	if deltaMax == 0 {
+		deltaMax = 64 * 1024
+	} else if deltaMax < 0 {
+		deltaMax = 0
+	}
+	deltaRatio := o.DeltaMaxRatio
+	if deltaRatio == 0 {
+		deltaRatio = 0.10
+	} else if deltaRatio < 0 {
+		deltaRatio = 0
+	}
+	if o.DeltaManualMerge {
+		deltaMax, deltaRatio = 0, 0
+	}
+	// Adaptive fan-out invokes the Tracer from worker goroutines; a
+	// tracer attached without an explicit Parallelism predates that
+	// contract, so keep it on the serial path it was written for.
+	par := o.Parallelism
+	if par == 0 && o.Tracer != nil {
+		par = 1
+	}
+
+	var strat core.DeltaStrategy
 	switch o.Strategy {
 	case Segmentation:
 		s := core.NewSegmenter(rng, values, o.ElemSize, m, o.Tracer)
 		if o.Compression != CompressionOff {
 			s.SetCompression(o.Compression.mode())
 		}
-		if o.Parallelism > 1 {
-			s.SetParallelism(o.Parallelism)
-		}
+		s.SetParallelism(par)
 		strat = s
 	case Replication:
 		r := core.NewReplicator(rng, values, o.ElemSize, m, o.Tracer)
@@ -367,13 +436,12 @@ func New(extent Interval, values []int64, opts Options) (*Column, error) {
 		if o.Compression != CompressionOff {
 			r.SetCompression(o.Compression.mode())
 		}
-		if o.Parallelism > 1 {
-			r.SetParallelism(o.Parallelism)
-		}
+		r.SetParallelism(par)
 		strat = r
 	default:
 		return nil, fmt.Errorf("selforg: unknown strategy %v", o.Strategy)
 	}
+	strat.SetDeltaPolicy(deltaMax, deltaRatio)
 	return &Column{strat: strat, extent: rng, opts: o}, nil
 }
 
@@ -542,4 +610,165 @@ func (c *Column) BulkLoad(values []int64) (Stats, error) {
 	c.totals.Add(st)
 	c.mu.Unlock()
 	return st, nil
+}
+
+// Insert adds a single row to the column through the MVCC write store
+// (internal/delta). The row is visible to every query started after
+// Insert returns and invisible to queries already in flight; it reaches
+// the base segments at the next merge-back, where the self-organizing
+// loop absorbs it into the adaptive layout. The write may trigger that
+// merge-back inline (per Options.DeltaMaxBytes/DeltaMaxRatio), in which
+// case its cost is folded into the returned stats.
+func (c *Column) Insert(v int64) (Stats, error) {
+	qs, err := c.strat.Insert(v)
+	st := statsFrom(qs)
+	c.mu.Lock()
+	c.totals.Add(st)
+	c.mu.Unlock()
+	return st, err
+}
+
+// Delete removes one occurrence of v (a pending insert is cancelled, a
+// base row is tombstoned). It reports false — and writes nothing — when
+// no visible row carries v.
+func (c *Column) Delete(v int64) (bool, Stats) {
+	ok, qs := c.strat.Delete(v)
+	st := statsFrom(qs)
+	c.mu.Lock()
+	c.totals.Add(st)
+	c.mu.Unlock()
+	return ok, st
+}
+
+// Update atomically replaces one occurrence of old with new: every
+// query snapshot sees either the old row or the new one, never both and
+// never neither. It reports false when no visible row carries old.
+func (c *Column) Update(old, new int64) (bool, Stats) {
+	ok, qs := c.strat.Update(old, new)
+	st := statsFrom(qs)
+	c.mu.Lock()
+	c.totals.Add(st)
+	c.mu.Unlock()
+	return ok, st
+}
+
+// MergeDeltas force-drains the pending writes into the base segments
+// through the reorganization pipeline, regardless of the Delta*
+// thresholds — the explicit checkpoint.
+func (c *Column) MergeDeltas() (Stats, error) {
+	qs, err := c.strat.MergeDeltas()
+	st := statsFrom(qs)
+	c.mu.Lock()
+	c.totals.Add(st)
+	c.mu.Unlock()
+	return st, err
+}
+
+// DeltaStats returns the MVCC write store's lifetime counters: accepted
+// writes, pending (unmerged) entries and completed merge-backs.
+func (c *Column) DeltaStats() DeltaStats {
+	ds := c.strat.DeltaStats()
+	return DeltaStats{
+		Inserts:       ds.Inserts,
+		Updates:       ds.Updates,
+		Deletes:       ds.Deletes,
+		DeleteMisses:  ds.DeleteMisses,
+		Pending:       ds.Pending,
+		PendingBytes:  ds.PendingBytes,
+		Merges:        ds.Merges,
+		MergedEntries: ds.MergedEntries,
+		Watermark:     ds.Watermark,
+	}
+}
+
+// DeltaStats mirrors delta.Stats on the public surface.
+type DeltaStats struct {
+	// Inserts, Updates and Deletes count accepted write operations;
+	// DeleteMisses the refused ones (no visible row carried the value).
+	Inserts, Updates, Deletes, DeleteMisses int64
+	// Pending is the current unmerged entry count, PendingBytes its
+	// logical size.
+	Pending      int
+	PendingBytes int64
+	// Merges counts completed merge-backs, MergedEntries the entries
+	// they drained.
+	Merges        int64
+	MergedEntries int64
+	// Watermark is the version high-water mark — the MVCC clock.
+	Watermark int64
+}
+
+// View returns a read-only MVCC view pinned at the current (segment
+// snapshot, delta watermark) pair: writes, splits and merge-backs after
+// the pin are invisible through it. Reads through a View drive no
+// adaptation and no statistics. For Replication columns the view stays
+// exact until the next merge-back (Stale reports the fallback to
+// read-committed); Segmentation views are stable forever.
+func (c *Column) View() *View {
+	switch s := c.strat.(type) {
+	case *core.Segmenter:
+		return &View{v: s.Pin()}
+	case *core.Replicator:
+		return &View{v: s.Pin()}
+	default:
+		return nil
+	}
+}
+
+// View is a pinned read-only MVCC view of a Column.
+type View struct {
+	v *core.View
+}
+
+// Select returns the values in [lo, hi] as of the pinned view (order
+// unspecified).
+func (v *View) Select(lo, hi int64) []int64 {
+	if lo > hi {
+		return nil
+	}
+	return v.v.Select(domain.Range{Lo: lo, Hi: hi})
+}
+
+// Count returns the cardinality of [lo, hi] as of the pinned view.
+func (v *View) Count(lo, hi int64) int64 {
+	if lo > hi {
+		return 0
+	}
+	return v.v.Count(domain.Range{Lo: lo, Hi: hi})
+}
+
+// Watermark returns the pinned MVCC version: writes stamped above it
+// are invisible to this view.
+func (v *View) Watermark() int64 { return v.v.Watermark() }
+
+// Stale reports whether a merge-back invalidated the pinned visibility
+// (Replication columns only; Segmentation views never go stale).
+func (v *View) Stale() bool { return v.v.Stale() }
+
+// EncodingStats describes the per-encoding storage breakdown of the
+// column's materialized segments — one row per encoding the compression
+// subsystem knows (plain counts raw segments too).
+type EncodingStats struct {
+	// Encoding is the encoding's name ("plain", "rle", "dict", "for").
+	Encoding string
+	// Segments is the number of materialized segments stored in it,
+	// Bytes their physical footprint.
+	Segments int
+	Bytes    int64
+}
+
+// EncodingBreakdown returns one EncodingStats row per encoding, Plain
+// first — the PR-1 follow-up counters, also exported by cmd/sosim's TSV
+// writer.
+func (c *Column) EncodingBreakdown() []EncodingStats {
+	es := c.strat.EncodingStats()
+	out := make([]EncodingStats, 0, len(compress.Encodings))
+	for _, e := range compress.Encodings {
+		out = append(out, EncodingStats{
+			Encoding: e.String(),
+			Segments: es.Segments[e],
+			Bytes:    es.Bytes[e],
+		})
+	}
+	return out
 }
