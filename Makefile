@@ -1,0 +1,49 @@
+# Developer entry points. CI runs the same targets, so a green `make ci`
+# locally predicts a green pipeline.
+
+GO ?= go
+
+# The benchmark smoke set tracked by the bench-regression gate: fast,
+# deterministic-workload benchmarks spanning the hot paths (converged
+# scans, compression fast paths, delta writes, merge-back, sharded
+# writers). Keep this in sync with .github/workflows/ci.yml.
+BENCH_SET  := AblationCompressedScan|AblationCompressedCount|LargeScanSerial|LargeScanParallel4|DeltaInsert|DeltaOverlayScan|DeltaMergeBack|Sharded|SelectRange|CountRange
+BENCH_PKGS := . ./internal/compress
+BENCH_ARGS := -run '^$$' -bench '$(BENCH_SET)' -benchtime 10x -count 3
+
+.PHONY: build test race lint bench-ci bench-check bench-baseline ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -shuffle=on ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
+	$(GO) vet ./...
+
+# bench-ci runs the smoke benchmarks and emits BENCH_ci.json. The raw
+# stream is staged in a file (not piped) so benchdiff's compile and run
+# never compete with the benchmarks for CPU.
+bench-ci:
+	$(GO) build -o /tmp/benchdiff ./cmd/benchdiff
+	$(GO) test $(BENCH_ARGS) -json $(BENCH_PKGS) > /tmp/bench_raw.jsonl
+	/tmp/benchdiff -parse -out BENCH_ci.json < /tmp/bench_raw.jsonl
+
+# bench-check is the local perf-regression gate: >25% geomean slowdown
+# against the checked-in baseline fails.
+bench-check: bench-ci
+	/tmp/benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 0.25
+
+# bench-baseline regenerates the checked-in baseline after an intentional
+# performance change (commit the resulting BENCH_baseline.json).
+bench-baseline:
+	$(GO) build -o /tmp/benchdiff ./cmd/benchdiff
+	$(GO) test $(BENCH_ARGS) -json $(BENCH_PKGS) > /tmp/bench_raw.jsonl
+	/tmp/benchdiff -parse -out BENCH_baseline.json < /tmp/bench_raw.jsonl
+
+ci: build lint test race bench-check

@@ -1,0 +1,238 @@
+// Command benchdiff is the benchmark-regression gate behind the
+// bench-regression CI job (and the local `make bench-check`). It has two
+// modes:
+//
+// Parse mode reads `go test -bench` output on stdin — either the raw
+// text or the `-json` (test2json) event stream — aggregates repeated
+// runs (-count N) of each benchmark by their minimum ns/op (the
+// least-noise estimator), and writes a JSON result file:
+//
+//	go test -run '^$' -bench Smoke -benchtime 10x -count 3 -json ./... |
+//	    benchdiff -parse -out BENCH_ci.json
+//
+// Compare mode reads two such files and fails (exit 1) when the
+// geometric-mean slowdown of the benchmarks present in both exceeds the
+// threshold:
+//
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 0.25
+//
+// The geomean over the whole suite absorbs per-benchmark noise (a single
+// noisy 30% outlier does not trip the gate) while a broad real
+// regression does; benchmarks present in only one file are reported but
+// never fail the gate. The checked-in BENCH_baseline.json is regenerated
+// with `make bench-baseline` whenever an intentional performance change
+// shifts the suite.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is the JSON schema of a parsed benchmark run.
+type Result struct {
+	// Benchmarks maps the benchmark name (GOMAXPROCS suffix stripped) to
+	// its aggregated ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// benchLine matches one benchmark result line of `go test -bench`
+// output, e.g. "BenchmarkShardedWriters/shards=4-8   5   769232 ns/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// testEvent is the subset of the test2json event schema parse mode needs.
+// Package keys the per-package output reassembly: `go test` prints a
+// benchmark's name and its timing as separate writes ("BenchmarkX-8   "
+// first, the counts after the run), which test2json forwards as separate
+// Output events — so result lines must be reassembled up to the newline
+// before matching.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+func main() {
+	parse := flag.Bool("parse", false, "parse `go test -bench` output from stdin into -out")
+	out := flag.String("out", "BENCH_ci.json", "output file for -parse")
+	baseline := flag.String("baseline", "", "baseline JSON file (compare mode)")
+	current := flag.String("current", "", "current JSON file (compare mode)")
+	threshold := flag.Float64("threshold", 0.25, "maximum tolerated geomean slowdown (0.25 = 25%)")
+	minNs := flag.Float64("minns", 10_000, "exclude benchmarks whose baseline ns/op is below this floor (too fast to time reliably at -benchtime 10x)")
+	flag.Parse()
+
+	switch {
+	case *parse:
+		if err := runParse(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+	case *baseline != "" && *current != "":
+		ok, err := runCompare(*baseline, *current, *threshold, *minNs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "benchdiff: use -parse [-out F] or -baseline F -current F [-threshold T]")
+		os.Exit(2)
+	}
+}
+
+// runParse aggregates stdin into outPath. Lines are accepted both raw
+// and wrapped in test2json events, so the same binary serves
+// `go test -bench ...` and `go test -bench ... -json` pipelines.
+func runParse(outPath string) error {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	samples := make(map[string][]float64)
+	record := func(line string) {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			return
+		}
+		if ns, err := strconv.ParseFloat(m[2], 64); err == nil {
+			samples[m[1]] = append(samples[m[1]], ns)
+		}
+	}
+	// partial accumulates fragmented output per package until a newline
+	// completes the benchmark result line.
+	partial := make(map[string]string)
+	for sc.Scan() {
+		line := sc.Text()
+		if len(line) > 0 && line[0] == '{' {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				if ev.Action != "output" {
+					continue
+				}
+				buf := partial[ev.Package] + ev.Output
+				for {
+					nl := strings.IndexByte(buf, '\n')
+					if nl < 0 {
+						break
+					}
+					record(buf[:nl])
+					buf = buf[nl+1:]
+				}
+				partial[ev.Package] = buf
+				continue
+			}
+		}
+		record(line)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for _, buf := range partial {
+		record(buf)
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("no benchmark results on stdin")
+	}
+	res := Result{Benchmarks: make(map[string]float64, len(samples))}
+	for name, ss := range samples {
+		min := ss[0]
+		for _, s := range ss[1:] {
+			if s < min {
+				min = s
+			}
+		}
+		res.Benchmarks[name] = min
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(res.Benchmarks), outPath)
+	return nil
+}
+
+func load(path string) (Result, error) {
+	var r Result
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return r, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return r, nil
+}
+
+// runCompare prints the per-benchmark ratios and the geomean verdict,
+// returning false when the geomean slowdown exceeds the threshold.
+func runCompare(basePath, curPath string, threshold, minNs float64) (bool, error) {
+	base, err := load(basePath)
+	if err != nil {
+		return false, err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return false, err
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name, b := range base.Benchmarks {
+		if b < minNs {
+			fmt.Printf("%-60s baseline %.0f ns/op below -minns floor (ignored)\n", name, b)
+			continue
+		}
+		if _, ok := cur.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return false, fmt.Errorf("no common benchmarks between %s and %s", basePath, curPath)
+	}
+	var logSum float64
+	fmt.Printf("%-60s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio")
+	for _, name := range names {
+		b, c := base.Benchmarks[name], cur.Benchmarks[name]
+		ratio := c / b
+		logSum += math.Log(ratio)
+		flag := ""
+		if ratio > 1+threshold {
+			flag = "  !"
+		}
+		fmt.Printf("%-60s %14.0f %14.0f %7.2fx%s\n", name, b, c, ratio, flag)
+	}
+	for name := range base.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			fmt.Printf("%-60s missing from current run (ignored)\n", name)
+		}
+	}
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("%-60s new benchmark, no baseline (ignored)\n", name)
+		}
+	}
+	geomean := math.Exp(logSum / float64(len(names)))
+	fmt.Printf("\ngeomean ratio over %d benchmarks: %.3fx (threshold %.2fx)\n",
+		len(names), geomean, 1+threshold)
+	if geomean > 1+threshold {
+		fmt.Printf("FAIL: geomean slowdown %.1f%% exceeds %.0f%%\n",
+			(geomean-1)*100, threshold*100)
+		return false, nil
+	}
+	fmt.Println("OK")
+	return true, nil
+}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	skybench -exp fig10                 # one experiment
+//	skybench -exp sharded-mixed         # extensions: concurrent mixed sharded sharded-mixed
 //	skybench -exp all                   # everything (full scale)
 //	skybench -values 2000000 -queries 100   # scaled-down quick run
 //	skybench -summary                   # per-workload digest only

@@ -8,6 +8,7 @@
 //	> gen 100000 0 999999 42
 //	> strategy segmentation
 //	> model apm 3072 12288
+//	> shards 4
 //	> build
 //	> select 100000 199999
 //	> layout
@@ -77,6 +78,7 @@ func (sh *shell) exec(line string) error {
   gen N LO HI [SEED]        generate N uniform values over [LO, HI]
   strategy segmentation|replication
   model apm [MMIN MMAX] | gd [SEED] | none
+  shards K                  range-partition the domain into K shards (1 = off)
   build                     construct the adaptive column
   select LO HI              run a range query
   count LO HI               count rows in range (meta-index fast path)
@@ -170,6 +172,20 @@ func (sh *shell) exec(line string) error {
 		}
 		sh.col = nil
 		return nil
+	case "shards":
+		if len(args) != 1 {
+			return fmt.Errorf("shards K")
+		}
+		k, err := atoi(args[0])
+		if err != nil {
+			return err
+		}
+		if k < 1 {
+			return fmt.Errorf("shard count must be at least 1")
+		}
+		sh.opts.Shards = int(k)
+		sh.col = nil
+		return nil
 	case "build":
 		if sh.values == nil {
 			return fmt.Errorf("no data: run 'gen' first")
@@ -180,7 +196,11 @@ func (sh *shell) exec(line string) error {
 			return err
 		}
 		sh.col = col
-		fmt.Fprintf(sh.out, "built %s over %d values\n", col.Name(), len(sh.values))
+		fmt.Fprintf(sh.out, "built %s over %d values", col.Name(), len(sh.values))
+		if k := col.Shards(); k > 1 {
+			fmt.Fprintf(sh.out, " (%d shards)", k)
+		}
+		fmt.Fprintln(sh.out)
 		return nil
 	case "select":
 		if sh.col == nil {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	sosim -exp fig5            # one experiment (fig5 fig6 fig7 table1 fig8 fig9)
+//	sosim -exp sharded-mixed   # extensions: compress concurrent mixed sharded sharded-mixed
 //	sosim -exp all             # everything (paper-faithful scale, ~a minute)
 //	sosim -exp fig7 -queries 200   # scaled-down quick run
 //	sosim -exp table1 -tsv results/ # also write TSV series

@@ -118,7 +118,12 @@ const (
 
 // adaptiveFanout picks the per-query worker count for Parallelism == 0:
 // serial for small scans, up to GOMAXPROCS (capped at 16) workers for
-// scans wide and heavy enough to amortize the fan-out.
+// scans wide and heavy enough to amortize the fan-out. The decision is
+// taken from the unit of work actually in front of the query — the
+// overlapping segments of ONE strategy instance — so in a sharded column
+// (internal/shard) every shard sizes its fan-out from its own segment
+// count and scan volume, and a small hot shard never inherits the
+// fan-out a large column-wide scan would justify.
 func adaptiveFanout(nTasks int, scanBytes int64) int {
 	if nTasks < adaptiveMinTasks || scanBytes < adaptiveMinBytes {
 		return 1

@@ -28,6 +28,15 @@ func NewGaussianDice(seed int64) *GaussianDice {
 	return &GaussianDice{rng: rand.New(rand.NewSource(seed))}
 }
 
+// ShardSeed derives the GD seed for one shard of a domain-sharded
+// column: deterministic, and decorrelated across shards so sibling
+// shards do not roll identical dice streams. Every shard builder (the
+// facade, sim and sky) must use this one derivation — shard 0 keeps the
+// caller's seed, so a 1-shard column is byte-identical to unsharded.
+func ShardSeed(seed int64, shardIdx int) int64 {
+	return seed + 7919*int64(shardIdx)
+}
+
 // Name implements Model.
 func (g *GaussianDice) Name() string { return "GD" }
 

@@ -1,0 +1,681 @@
+// Package shard implements domain-sharded self-organizing columns: one
+// logical column range-partitioned into K independently locked shards,
+// each owning its own segment list (or replica tree), segmentation-model
+// state, compression codec and MVCC delta store.
+//
+// The motivation is the follow-up the cracking/adaptive-merging line
+// records for single-writer adaptive stores: reorganization piggy-backs
+// on queries, so write-heavy and mixed workloads serialize on the one
+// writer lock guarding the column. Partitioning the key domain makes
+// reorganization embarrassingly parallel — a split in shard 2 never
+// contends with a merge-back in shard 5 — while the immutable-snapshot
+// read path keeps cross-shard queries cheap: a query routes to the
+// minimal shard subset overlapping its predicate, scans each shard's
+// snapshot (optionally fanning the per-shard scans across a bounded
+// worker pool) and concatenates the sub-results in shard order, so
+// results are deterministic.
+//
+// A single-shard Column is a pure pass-through: every call delegates to
+// the one underlying strategy, so K=1 is byte-identical — results, stats
+// and layout evolution — to using the strategy directly. That is the
+// compatibility anchor the facade's Options.Shards default rests on.
+//
+// # Locking invariants
+//
+//   - Each shard retains its own single-writer mutex and delta-store
+//     mutex; the router adds NO lock of its own. Point writes touch
+//     exactly one shard's locks (cross-shard updates touch two, one
+//     after the other — see Update).
+//   - A query pins each touched shard's (segment snapshot, delta
+//     watermark) pair independently, in shard order. Consistency is
+//     therefore per shard: a concurrent writer may land between two
+//     shard pins of one multi-shard query. Within a shard the full MVCC
+//     guarantees of internal/core hold unchanged.
+//   - Merge-back thresholds are evaluated per shard against that shard's
+//     own delta store and base size, so a hot shard checkpoints without
+//     stalling its siblings.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"selforg/internal/core"
+	"selforg/internal/delta"
+	"selforg/internal/domain"
+	"selforg/internal/segment"
+)
+
+// Builder constructs the strategy instance owning one shard: idx is the
+// shard index, rng the shard's sub-range of the column extent, and vals
+// the column values falling into it (in their original relative order;
+// the shard takes ownership of the slice). Builders must hand every
+// shard its own model instance — models are stateful.
+type Builder func(idx int, rng domain.Range, vals []domain.Value) core.DeltaStrategy
+
+// bulkLoader is the strategy surface BulkLoad needs (both Segmenter and
+// Replicator implement it; it is not part of core.DeltaStrategy).
+type bulkLoader interface {
+	BulkLoad(vals []domain.Value) (core.QueryStats, error)
+}
+
+// Column is a domain-sharded self-organizing column. It implements
+// core.DeltaStrategy by routing every operation to the minimal shard
+// subset and merging per-shard outcomes in shard order. It is safe for
+// concurrent use exactly as its shards are.
+type Column struct {
+	extent domain.Range
+	ranges []domain.Range // ranges[i] is shard i's sub-domain, ascending, adjacent
+	shards []core.DeltaStrategy
+	// par is the cross-shard fan-out width for one query (0 = adaptive,
+	// 1 = serial, n > 1 = bounded at n). Intra-shard scan fan-out is each
+	// shard strategy's own knob; SetParallelism keeps the two consistent.
+	par atomic.Int32
+	// stor caches each shard's (logical, physical) storage counters.
+	// Per-query stats snapshot the whole column, but asking an untouched
+	// Replicator shard for its counters takes that shard's writer mutex —
+	// which would couple every operation to every other shard's in-flight
+	// queries and merges, exactly the serialization sharding removes. So
+	// an operation refreshes only the shards it touched and reads the
+	// rest from this cache: lock-free, possibly a few operations stale
+	// (per-query storage snapshots under concurrency are documented as
+	// racy already), never torn.
+	stor []storCell
+}
+
+// storCell is one shard's cached storage counters.
+type storCell struct {
+	logical atomic.Int64
+	phys    atomic.Int64
+}
+
+// Partition range-partitions extent into k contiguous sub-ranges of
+// near-equal width (the first width%k shards are one value wider). k is
+// clamped to [1, extent.Width()] so no shard is ever empty-ranged.
+func Partition(extent domain.Range, k int) []domain.Range {
+	if k < 1 {
+		k = 1
+	}
+	if w := extent.Width(); int64(k) > w {
+		k = int(w)
+	}
+	width := extent.Width()
+	base := width / int64(k)
+	rem := width % int64(k)
+	out := make([]domain.Range, 0, k)
+	lo := extent.Lo
+	for i := 0; i < k; i++ {
+		w := base
+		if int64(i) < rem {
+			w++
+		}
+		out = append(out, domain.Range{Lo: lo, Hi: lo + w - 1})
+		lo += w
+	}
+	return out
+}
+
+// SplitValues partitions vals by the given shard ranges, preserving the
+// relative order of values within each part (the order-preserving
+// scatter of a radix partition step). Values must all lie inside the
+// ranges' union.
+func SplitValues(ranges []domain.Range, vals []domain.Value) [][]domain.Value {
+	parts := make([][]domain.Value, len(ranges))
+	if len(ranges) == 1 {
+		parts[0] = vals
+		return parts
+	}
+	for _, v := range vals {
+		i := rangeOf(ranges, v)
+		parts[i] = append(parts[i], v)
+	}
+	return parts
+}
+
+// New builds a sharded column over values, whose domain is extent, with
+// k shards built by build. Values outside extent are rejected before any
+// shard is constructed. The values slice is consumed.
+func New(extent domain.Range, vals []domain.Value, k int, build Builder) (*Column, error) {
+	if extent.IsEmpty() {
+		return nil, fmt.Errorf("shard: empty extent %v", extent)
+	}
+	for i, v := range vals {
+		if !extent.Contains(v) {
+			return nil, fmt.Errorf("shard: value %d (index %d) outside extent %v", v, i, extent)
+		}
+	}
+	ranges := Partition(extent, k)
+	parts := SplitValues(ranges, vals)
+	c := &Column{
+		extent: extent,
+		ranges: ranges,
+		shards: make([]core.DeltaStrategy, len(ranges)),
+		stor:   make([]storCell, len(ranges)),
+	}
+	for i, rng := range ranges {
+		c.shards[i] = build(i, rng, parts[i])
+		c.refresh(i)
+	}
+	return c, nil
+}
+
+// refresh re-reads shard i's storage counters into the cache (the only
+// place a shard's lock may be taken for accounting — callers refresh
+// exactly the shards their operation touched).
+func (c *Column) refresh(i int) {
+	c.stor[i].logical.Store(int64(c.shards[i].UncompressedBytes()))
+	c.stor[i].phys.Store(int64(c.shards[i].StorageBytes()))
+}
+
+// Shards returns the shard count.
+func (c *Column) Shards() int { return len(c.shards) }
+
+// ShardRange returns shard i's sub-domain.
+func (c *Column) ShardRange(i int) domain.Range { return c.ranges[i] }
+
+// Shard returns shard i's strategy instance (read-mostly use:
+// diagnostics and tests; the strategy is safe for concurrent use).
+func (c *Column) Shard(i int) core.DeltaStrategy { return c.shards[i] }
+
+// Extent returns the column's value domain.
+func (c *Column) Extent() domain.Range { return c.extent }
+
+// SetParallelism bounds the scan fan-out of one query, keeping the
+// single knob's contract — at most n workers per query — across both
+// levels. With n == 0 (the default) the router stays serial across
+// shards and every shard independently sizes its intra-shard fan-out
+// from its own segment count and scan volume, so no instant exceeds the
+// unsharded adaptive cap. With n == 1 everything is serial. With n > 1
+// the budget is split statically: the router scans up to n touched
+// shards concurrently and each shard may fan out n/K ways (at least 1),
+// so a full-span query uses up to n workers and a single-shard query
+// n/K — the price of a static split; prefer the adaptive default when
+// queries are span-skewed. The policy is forwarded to the shard
+// strategies, overriding whatever the Builder set; a single-shard
+// column forwards n unchanged — there is no router level to spend the
+// budget on.
+func (c *Column) SetParallelism(n int) {
+	if n < 0 {
+		n = 1
+	}
+	c.par.Store(int32(n))
+	perShard := n
+	if k := len(c.shards); k > 1 && n > 1 {
+		perShard = n / k
+		if perShard < 1 {
+			perShard = 1
+		}
+	}
+	for _, s := range c.shards {
+		if p, ok := s.(interface{ SetParallelism(int) }); ok {
+			p.SetParallelism(perShard)
+		}
+	}
+}
+
+// rangeOf returns the index of the range containing v (ranges are
+// ascending and adjacent; v must lie in their union).
+func rangeOf(ranges []domain.Range, v domain.Value) int {
+	return sort.Search(len(ranges), func(i int) bool { return ranges[i].Hi >= v })
+}
+
+// spanOf returns the half-open index interval [lo, hi) of ranges
+// overlapping q — the shard-level meta-index lookup.
+func spanOf(ranges []domain.Range, q domain.Range) (int, int) {
+	if q.IsEmpty() {
+		return 0, 0
+	}
+	lo := sort.Search(len(ranges), func(i int) bool { return ranges[i].Hi >= q.Lo })
+	hi := sort.Search(len(ranges), func(i int) bool { return ranges[i].Lo > q.Hi })
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// snapshot overwrites the storage measures of st with the column-wide
+// sums, so sharded per-query stats snapshot the whole column exactly as
+// unsharded ones do. The shards the operation touched — the half-open
+// span [lo, hi) — are re-read (their counters just changed); the rest
+// come from the lock-free cache, so an operation never takes an
+// untouched shard's lock. (For a single-shard column the sums equal the
+// shard's own snapshot, so delegated stats are unchanged bit for bit.)
+func (c *Column) snapshot(st *core.QueryStats, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		c.refresh(i)
+	}
+	var logical, phys int64
+	for i := range c.stor {
+		logical += c.stor[i].logical.Load()
+		phys += c.stor[i].phys.Load()
+	}
+	st.StorageBytes = logical
+	st.CompressedBytes = phys
+}
+
+// Select implements core.Strategy: route to the overlapping shards, scan
+// each (concurrently when the fan-out allows), and concatenate the
+// sub-results in shard order. Reorganization piggy-backs inside each
+// shard exactly as unsharded.
+func (c *Column) Select(q domain.Range) ([]domain.Value, core.QueryStats) {
+	vals, _, st := c.query(q, true)
+	return vals, st
+}
+
+// Count implements core.Strategy: the counting pass of Select with
+// per-shard counts summed in shard order.
+func (c *Column) Count(q domain.Range) (int64, core.QueryStats) {
+	_, n, st := c.query(q, false)
+	return n, st
+}
+
+// query is the shared routed read path.
+func (c *Column) query(q domain.Range, wantVals bool) ([]domain.Value, int64, core.QueryStats) {
+	var st core.QueryStats
+	lo, hi := spanOf(c.ranges, q)
+	n := hi - lo
+	switch {
+	case n == 0:
+		c.snapshot(&st, 0, 0)
+		return nil, 0, st
+	case n == 1:
+		// Single-shard fast path: pure delegation, no merge step. This is
+		// the every-call path of a 1-shard column (byte-identical to the
+		// unsharded strategy) and the common path of point-ish queries on
+		// K-shard columns.
+		var vals []domain.Value
+		var cnt int64
+		if wantVals {
+			vals, st = c.shards[lo].Select(q)
+		} else {
+			cnt, st = c.shards[lo].Count(q)
+		}
+		c.snapshot(&st, lo, hi)
+		return vals, cnt, st
+	}
+
+	type shardOut struct {
+		vals []domain.Value
+		cnt  int64
+		st   core.QueryStats
+	}
+	outs := make([]shardOut, n)
+	run := func(i int) {
+		s := c.shards[lo+i]
+		if wantVals {
+			outs[i].vals, outs[i].st = s.Select(q)
+		} else {
+			outs[i].cnt, outs[i].st = s.Count(q)
+		}
+	}
+	if par := c.fanout(); par <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+	} else {
+		workers := par
+		if workers > n {
+			workers = n
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	var vals []domain.Value
+	var cnt int64
+	if wantVals {
+		total := 0
+		for i := range outs {
+			total += len(outs[i].vals)
+		}
+		vals = make([]domain.Value, 0, total)
+	}
+	for i := range outs {
+		st.Add(outs[i].st)
+		vals = append(vals, outs[i].vals...)
+		cnt += outs[i].cnt
+	}
+	c.snapshot(&st, lo, hi)
+	return vals, cnt, st
+}
+
+// fanout resolves the cross-shard worker count for one query. The
+// single Parallelism budget must not multiply across the two levels, so
+// exactly one level widens: with the adaptive default (0) the router
+// stays serial and each shard adapts its own fan-out from its own
+// segment count and scan volume (never exceeding the unsharded adaptive
+// cap at any instant); with an explicit budget the router scans shards
+// concurrently and SetParallelism has already divided the budget among
+// the shards.
+func (c *Column) fanout() int {
+	par := int(c.par.Load())
+	if par == 0 {
+		return 1
+	}
+	return par
+}
+
+// Insert implements core.DeltaStrategy: the row lands in the owning
+// shard's delta store, contending only with writers of that shard.
+func (c *Column) Insert(v domain.Value) (core.QueryStats, error) {
+	if !c.extent.Contains(v) {
+		return core.QueryStats{}, fmt.Errorf("shard: insert value %d outside extent %v", v, c.extent)
+	}
+	i := rangeOf(c.ranges, v)
+	st, err := c.shards[i].Insert(v)
+	c.snapshot(&st, i, i+1)
+	return st, err
+}
+
+// writeTarget picks the shard whose store should account a write against
+// v: the owner when v is in extent, shard 0 otherwise (the shard's own
+// extent check then records the miss, mirroring unsharded behaviour).
+func (c *Column) writeTarget(v domain.Value) int {
+	if c.extent.Contains(v) {
+		return rangeOf(c.ranges, v)
+	}
+	return 0
+}
+
+// Delete implements core.DeltaStrategy: routed to the shard owning v.
+func (c *Column) Delete(v domain.Value) (bool, core.QueryStats) {
+	i := c.writeTarget(v)
+	ok, st := c.shards[i].Delete(v)
+	c.snapshot(&st, i, i+1)
+	return ok, st
+}
+
+// Update implements core.DeltaStrategy. When old and new fall into the
+// same shard the update is single-version atomic exactly as unsharded.
+// A cross-shard update decomposes into Delete(old) in the owning shard
+// followed by Insert(new) in the target shard — two versions, on two
+// independent clocks, so a reader pinning between them can observe the
+// row absent (never duplicated). DeltaStats counts such an update as one
+// delete plus one insert.
+func (c *Column) Update(old, new domain.Value) (bool, core.QueryStats) {
+	if !c.extent.Contains(old) || !c.extent.Contains(new) {
+		i := c.writeTarget(old)
+		ok, st := c.shards[i].Update(old, new)
+		c.snapshot(&st, i, i+1)
+		return ok, st
+	}
+	i, j := rangeOf(c.ranges, old), rangeOf(c.ranges, new)
+	if i == j {
+		ok, st := c.shards[i].Update(old, new)
+		c.snapshot(&st, i, i+1)
+		return ok, st
+	}
+	ok, st := c.shards[i].Delete(old)
+	if !ok {
+		c.snapshot(&st, i, i+1)
+		return false, st
+	}
+	ist, err := c.shards[j].Insert(new)
+	st.Add(ist)
+	c.refresh(i)
+	c.snapshot(&st, j, j+1)
+	if err != nil {
+		// Unreachable: new is inside shard j's extent by routing.
+		panic(fmt.Sprintf("shard: cross-shard update insert failed: %v", err))
+	}
+	return true, st
+}
+
+// MergeDeltas implements core.DeltaStrategy: force-drains every shard's
+// write store, shard by shard. Automatic merge-back needs no such sweep —
+// each shard's thresholds trigger independently.
+func (c *Column) MergeDeltas() (core.QueryStats, error) {
+	var st core.QueryStats
+	for i, s := range c.shards {
+		mst, err := s.MergeDeltas()
+		st.Add(mst)
+		if err != nil {
+			c.snapshot(&st, 0, i+1)
+			return st, err
+		}
+	}
+	c.snapshot(&st, 0, len(c.shards))
+	return st, nil
+}
+
+// SetDeltaPolicy implements core.DeltaStrategy. The thresholds trigger
+// per shard — a shard merges when ITS pending writes trip, so a hot
+// shard checkpoints without stalling its siblings — but maxBytes keeps
+// its column-level meaning: it is split evenly across the shards
+// (ceiling), so the column-wide pending bound (and the overlay volume
+// queries pay) stays comparable at every shard count. The ratio trigger
+// is naturally per shard (pending vs that shard's base size) and is
+// passed through unchanged.
+func (c *Column) SetDeltaPolicy(maxBytes int64, ratio float64) {
+	perShard := maxBytes
+	if perShard > 0 && len(c.shards) > 1 {
+		k := int64(len(c.shards))
+		perShard = (maxBytes + k - 1) / k
+	}
+	for _, s := range c.shards {
+		s.SetDeltaPolicy(perShard, ratio)
+	}
+}
+
+// DeltaStats implements core.DeltaStrategy: per-shard counters summed.
+// Watermark is the maximum of the per-shard version clocks (each shard
+// stamps independently); a cross-shard update counts as one delete plus
+// one insert.
+func (c *Column) DeltaStats() delta.Stats {
+	var out delta.Stats
+	for _, s := range c.shards {
+		ds := s.DeltaStats()
+		out.Inserts += ds.Inserts
+		out.Updates += ds.Updates
+		out.Deletes += ds.Deletes
+		out.DeleteMisses += ds.DeleteMisses
+		out.Pending += ds.Pending
+		out.PendingBytes += ds.PendingBytes
+		out.Merges += ds.Merges
+		out.MergedEntries += ds.MergedEntries
+		if ds.Watermark > out.Watermark {
+			out.Watermark = ds.Watermark
+		}
+	}
+	return out
+}
+
+// EncodingStats implements core.DeltaStrategy: per-shard breakdowns
+// accumulated.
+func (c *Column) EncodingStats() segment.EncodingStats {
+	var es segment.EncodingStats
+	for _, s := range c.shards {
+		es.Add(s.EncodingStats())
+	}
+	return es
+}
+
+// SegmentCount implements core.Strategy.
+func (c *Column) SegmentCount() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.SegmentCount()
+	}
+	return n
+}
+
+// StorageBytes implements core.Strategy.
+func (c *Column) StorageBytes() domain.ByteSize {
+	var b domain.ByteSize
+	for _, s := range c.shards {
+		b += s.StorageBytes()
+	}
+	return b
+}
+
+// UncompressedBytes implements core.Strategy.
+func (c *Column) UncompressedBytes() domain.ByteSize {
+	var b domain.ByteSize
+	for _, s := range c.shards {
+		b += s.UncompressedBytes()
+	}
+	return b
+}
+
+// SegmentSizes implements core.Strategy: per-shard sizes concatenated in
+// shard order.
+func (c *Column) SegmentSizes() []float64 {
+	var out []float64
+	for _, s := range c.shards {
+		out = append(out, s.SegmentSizes()...)
+	}
+	return out
+}
+
+// Name implements core.Strategy: the underlying strategy's name, tagged
+// with the shard count when sharded.
+func (c *Column) Name() string {
+	if len(c.shards) == 1 {
+		return c.shards[0].Name()
+	}
+	return fmt.Sprintf("%s x%dsh", c.shards[0].Name(), len(c.shards))
+}
+
+// BulkLoad appends a batch of values, scattered to the owning shards
+// (order-preserving within each shard) and loaded per shard. Values are
+// validated against the extent before any shard is touched.
+func (c *Column) BulkLoad(vals []domain.Value) (core.QueryStats, error) {
+	var st core.QueryStats
+	for i, v := range vals {
+		if !c.extent.Contains(v) {
+			return st, fmt.Errorf("shard: bulk value %d (index %d) outside extent %v", v, i, c.extent)
+		}
+	}
+	parts := SplitValues(c.ranges, vals)
+	for i, s := range c.shards {
+		if len(parts[i]) == 0 {
+			continue
+		}
+		bl, ok := s.(bulkLoader)
+		if !ok {
+			return st, fmt.Errorf("shard: %s does not support bulk loading", s.Name())
+		}
+		bst, err := bl.BulkLoad(parts[i])
+		st.Add(bst)
+		if err != nil {
+			return st, err
+		}
+		c.refresh(i)
+	}
+	c.snapshot(&st, 0, 0)
+	return st, nil
+}
+
+// GlueSmall merges adjacent small segments within every Segmenter shard
+// (gluing never crosses a shard boundary — boundaries are permanent
+// partition points). It reports false when any shard is not a Segmenter.
+func (c *Column) GlueSmall(minBytes int64) (int64, bool) {
+	var rewritten int64
+	for i, s := range c.shards {
+		seg, ok := s.(*core.Segmenter)
+		if !ok {
+			return rewritten, false
+		}
+		rewritten += seg.GlueSmall(minBytes)
+		c.refresh(i)
+	}
+	return rewritten, true
+}
+
+// TreeDepth returns the maximum replica-tree depth over the shards
+// (0 when the shards are not Replicators).
+func (c *Column) TreeDepth() int {
+	depth := 0
+	for _, s := range c.shards {
+		if r, ok := s.(*core.Replicator); ok && r.Depth() > depth {
+			depth = r.Depth()
+		}
+	}
+	return depth
+}
+
+// VirtualCount returns the total virtual-segment count over the shards
+// (0 for segmentation shards).
+func (c *Column) VirtualCount() int {
+	n := 0
+	for _, s := range c.shards {
+		if r, ok := s.(*core.Replicator); ok {
+			n += r.VirtualCount()
+		}
+	}
+	return n
+}
+
+// Validate checks the router's partition invariants — shard ranges tile
+// the extent, adjacent and ascending — and every shard's own structural
+// invariants.
+func (c *Column) Validate() error {
+	if len(c.ranges) == 0 {
+		return fmt.Errorf("shard: no shards")
+	}
+	if c.ranges[0].Lo != c.extent.Lo || c.ranges[len(c.ranges)-1].Hi != c.extent.Hi {
+		return fmt.Errorf("shard: ranges %v..%v do not tile extent %v",
+			c.ranges[0], c.ranges[len(c.ranges)-1], c.extent)
+	}
+	for i := 1; i < len(c.ranges); i++ {
+		if !c.ranges[i-1].Adjacent(c.ranges[i]) {
+			return fmt.Errorf("shard: ranges %v and %v not adjacent", c.ranges[i-1], c.ranges[i])
+		}
+	}
+	for i, s := range c.shards {
+		var err error
+		switch t := s.(type) {
+		case *core.Segmenter:
+			err = t.List().Validate()
+		case *core.Replicator:
+			err = t.Validate()
+		}
+		if err != nil {
+			return fmt.Errorf("shard %d %v: %w", i, c.ranges[i], err)
+		}
+	}
+	return nil
+}
+
+// Layout renders every shard's layout under a per-shard header.
+func (c *Column) Layout() string {
+	if len(c.shards) == 1 {
+		return c.layoutOf(0)
+	}
+	var b strings.Builder
+	for i := range c.shards {
+		layout := c.layoutOf(i)
+		fmt.Fprintf(&b, "shard %d %v:\n%s", i, c.ranges[i], layout)
+		if !strings.HasSuffix(layout, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func (c *Column) layoutOf(i int) string {
+	switch t := c.shards[i].(type) {
+	case *core.Segmenter:
+		return t.List().Dump()
+	case *core.Replicator:
+		return t.Dump()
+	default:
+		return t.Name()
+	}
+}

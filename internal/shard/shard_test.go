@@ -1,0 +1,556 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"selforg/internal/compress"
+	"selforg/internal/core"
+	"selforg/internal/domain"
+	"selforg/internal/model"
+	"selforg/internal/workload"
+)
+
+// testDom is a small domain so boundary geometry is easy to reason about.
+var testDom = domain.NewRange(0, 99_999)
+
+// genValues draws n uniform values over dom (the sim generator, inlined:
+// the sim package imports this one, so tests here cannot import it back).
+func genValues(n int, dom domain.Range, seed int64) []domain.Value {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]domain.Value, n)
+	for i := range vals {
+		vals[i] = dom.Lo + rng.Int63n(dom.Width())
+	}
+	return vals
+}
+
+func testValues(n int, seed int64) []domain.Value {
+	return genValues(n, testDom, seed)
+}
+
+// segBuilder returns a Builder producing APM Segmenters (fresh model per
+// shard) under the given compression mode.
+func segBuilder(mode compress.Mode) Builder {
+	return func(idx int, rng domain.Range, vals []domain.Value) core.DeltaStrategy {
+		s := core.NewSegmenter(rng, vals, 4, model.NewAPM(600, 2400), nil)
+		s.SetCompression(mode)
+		return s
+	}
+}
+
+// replBuilder returns a Builder producing APM Replicators.
+func replBuilder(mode compress.Mode) Builder {
+	return func(idx int, rng domain.Range, vals []domain.Value) core.DeltaStrategy {
+		r := core.NewReplicator(rng, vals, 4, model.NewAPM(600, 2400), nil)
+		r.SetCompression(mode)
+		return r
+	}
+}
+
+func sorted(vals []domain.Value) []domain.Value {
+	out := append([]domain.Value(nil), vals...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestShardPartition(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 7, 16} {
+		ranges := Partition(testDom, k)
+		if len(ranges) != k {
+			t.Fatalf("k=%d: got %d ranges", k, len(ranges))
+		}
+		if ranges[0].Lo != testDom.Lo || ranges[len(ranges)-1].Hi != testDom.Hi {
+			t.Fatalf("k=%d: ranges %v do not tile %v", k, ranges, testDom)
+		}
+		var width int64
+		for i, r := range ranges {
+			width += r.Width()
+			if i > 0 && !ranges[i-1].Adjacent(r) {
+				t.Fatalf("k=%d: ranges %v and %v not adjacent", k, ranges[i-1], r)
+			}
+		}
+		if width != testDom.Width() {
+			t.Fatalf("k=%d: widths sum to %d, want %d", k, width, testDom.Width())
+		}
+	}
+	// k above the domain width is clamped: every shard keeps at least one
+	// value of domain.
+	tiny := domain.NewRange(0, 2)
+	if got := len(Partition(tiny, 10)); got != 3 {
+		t.Fatalf("clamp: got %d ranges, want 3", got)
+	}
+	if got := len(Partition(testDom, 0)); got != 1 {
+		t.Fatalf("k=0: got %d ranges, want 1", got)
+	}
+}
+
+func TestShardSplitValuesPreservesOrder(t *testing.T) {
+	ranges := Partition(testDom, 4)
+	vals := testValues(10_000, 3)
+	parts := SplitValues(ranges, vals)
+	total := 0
+	for i, part := range parts {
+		total += len(part)
+		for _, v := range part {
+			if !ranges[i].Contains(v) {
+				t.Fatalf("shard %d: value %d outside %v", i, v, ranges[i])
+			}
+		}
+	}
+	if total != len(vals) {
+		t.Fatalf("scatter lost values: %d != %d", total, len(vals))
+	}
+	// Order preservation: re-interleaving the parts by walking the
+	// original slice must consume each part front to back.
+	idx := make([]int, len(parts))
+	for _, v := range vals {
+		i := rangeOf(ranges, v)
+		if parts[i][idx[i]] != v {
+			t.Fatalf("shard %d: order not preserved", i)
+		}
+		idx[i]++
+	}
+}
+
+// TestShardSingleShardByteIdentical is the single-shard fallback
+// guarantee: a 1-shard Column is byte-identical — results, stats, layout
+// — to using the strategy directly.
+func TestShardSingleShardByteIdentical(t *testing.T) {
+	type mk struct {
+		name  string
+		bare  func(vals []domain.Value) core.DeltaStrategy
+		build Builder
+	}
+	cases := []mk{}
+	for _, mode := range []compress.Mode{compress.Off, compress.Auto} {
+		mode := mode
+		cases = append(cases,
+			mk{
+				name: fmt.Sprintf("segm/compress=%v", mode),
+				bare: func(vals []domain.Value) core.DeltaStrategy {
+					s := core.NewSegmenter(testDom, vals, 4, model.NewAPM(600, 2400), nil)
+					s.SetCompression(mode)
+					return s
+				},
+				build: segBuilder(mode),
+			},
+			mk{
+				name: fmt.Sprintf("repl/compress=%v", mode),
+				bare: func(vals []domain.Value) core.DeltaStrategy {
+					r := core.NewReplicator(testDom, vals, 4, model.NewAPM(600, 2400), nil)
+					r.SetCompression(mode)
+					return r
+				},
+				build: replBuilder(mode),
+			},
+			mk{
+				name: fmt.Sprintf("segm-gd/compress=%v", mode),
+				bare: func(vals []domain.Value) core.DeltaStrategy {
+					s := core.NewSegmenter(testDom, vals, 4, model.NewGaussianDice(7), nil)
+					s.SetCompression(mode)
+					return s
+				},
+				build: func(idx int, rng domain.Range, vals []domain.Value) core.DeltaStrategy {
+					s := core.NewSegmenter(rng, vals, 4, model.NewGaussianDice(model.ShardSeed(7, idx)), nil)
+					s.SetCompression(mode)
+					return s
+				},
+			},
+		)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vals := testValues(20_000, 1)
+			bare := tc.bare(append([]domain.Value(nil), vals...))
+			col, err := New(testDom, append([]domain.Value(nil), vals...), 1, tc.build)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen := workload.NewUniform(testDom, 10_000, 2)
+			for q := 0; q < 150; q++ {
+				qq := gen.Next().Range()
+				wantV, wantSt := bare.Select(qq)
+				gotV, gotSt := col.Select(qq)
+				if !reflect.DeepEqual(wantV, gotV) {
+					t.Fatalf("query %d %v: results diverge", q, qq)
+				}
+				if wantSt != gotSt {
+					t.Fatalf("query %d %v: stats diverge\nbare: %+v\nshard: %+v", q, qq, wantSt, gotSt)
+				}
+				if q%10 == 0 {
+					wantN, _ := bare.Count(qq)
+					gotN, _ := col.Count(qq)
+					if wantN != gotN {
+						t.Fatalf("query %d: count %d != %d", q, gotN, wantN)
+					}
+				}
+			}
+			if bare.SegmentCount() != col.SegmentCount() {
+				t.Fatalf("segment counts diverge: %d != %d", col.SegmentCount(), bare.SegmentCount())
+			}
+			if !reflect.DeepEqual(bare.SegmentSizes(), col.SegmentSizes()) {
+				t.Fatal("segment sizes diverge")
+			}
+			if bare.StorageBytes() != col.StorageBytes() || bare.UncompressedBytes() != col.UncompressedBytes() {
+				t.Fatal("storage accounting diverges")
+			}
+			if bare.Name() != col.Name() {
+				t.Fatalf("names diverge: %q != %q", col.Name(), bare.Name())
+			}
+			if err := col.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestShardedMatchesUnshardedResults: a K-sharded column returns the same
+// result multiset and counts as the unsharded strategy for every query,
+// across strategy × model × compression.
+func TestShardedMatchesUnshardedResults(t *testing.T) {
+	mods := map[string]func(idx int64) model.Model{
+		"apm": func(int64) model.Model { return model.NewAPM(600, 2400) },
+		"gd":  func(idx int64) model.Model { return model.NewGaussianDice(model.ShardSeed(7, int(idx))) },
+	}
+	for _, k := range []int{2, 4, 7} {
+		for mname, mk := range mods {
+			for _, repl := range []bool{false, true} {
+				for _, mode := range []compress.Mode{compress.Off, compress.Auto} {
+					name := fmt.Sprintf("k=%d/%s/repl=%v/comp=%v", k, mname, repl, mode)
+					t.Run(name, func(t *testing.T) {
+						vals := testValues(20_000, 1)
+						build := func(idx int, rng domain.Range, svals []domain.Value) core.DeltaStrategy {
+							if repl {
+								r := core.NewReplicator(rng, svals, 4, mk(int64(idx)), nil)
+								r.SetCompression(mode)
+								return r
+							}
+							s := core.NewSegmenter(rng, svals, 4, mk(int64(idx)), nil)
+							s.SetCompression(mode)
+							return s
+						}
+						bare := build(0, testDom, append([]domain.Value(nil), vals...))
+						col, err := New(testDom, append([]domain.Value(nil), vals...), k, build)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if col.Shards() != k {
+							t.Fatalf("got %d shards, want %d", col.Shards(), k)
+						}
+						gen := workload.NewUniform(testDom, 10_000, 2)
+						for q := 0; q < 100; q++ {
+							qq := gen.Next().Range()
+							wantV, _ := bare.Select(qq)
+							gotV, gotSt := col.Select(qq)
+							if !reflect.DeepEqual(sorted(wantV), sorted(gotV)) {
+								t.Fatalf("query %d %v: result multisets diverge (%d vs %d rows)",
+									q, qq, len(gotV), len(wantV))
+							}
+							if gotSt.ResultCount != int64(len(gotV)) {
+								t.Fatalf("query %d: ResultCount %d != %d", q, gotSt.ResultCount, len(gotV))
+							}
+							gotN, _ := col.Count(qq)
+							if gotN != int64(len(wantV)) {
+								t.Fatalf("query %d: count %d != %d", q, gotN, len(wantV))
+							}
+						}
+						if err := col.Validate(); err != nil {
+							t.Fatal(err)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestShardRoutingEdges exercises the router's boundary geometry on a
+// 4-shard column.
+func TestShardRoutingEdges(t *testing.T) {
+	vals := testValues(20_000, 1)
+	col, err := New(testDom, vals, 4, segBuilder(compress.Off))
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := func(q domain.Range) []domain.Value {
+		var out []domain.Value
+		for _, v := range testValues(20_000, 1) {
+			if q.Contains(v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	b0 := col.ShardRange(0)
+	b1 := col.ShardRange(1)
+	queries := []domain.Range{
+		testDom,                                   // spans all shards
+		{Lo: b0.Hi, Hi: b1.Lo},                    // exactly straddles one boundary
+		{Lo: b0.Hi + 1, Hi: b1.Hi},                // aligned to shard 1 exactly
+		{Lo: b0.Lo, Hi: b0.Hi},                    // exactly shard 0
+		{Lo: b1.Lo + 10, Hi: b1.Lo + 10},          // point query inside a shard
+		{Lo: b0.Hi, Hi: b0.Hi},                    // point query on a boundary
+		{Lo: testDom.Hi - 5, Hi: testDom.Hi + 50}, // clipped at the extent top
+		{Lo: testDom.Hi + 1, Hi: testDom.Hi + 10}, // fully outside
+		{Lo: 10, Hi: 5},                           // empty range
+	}
+	for _, q := range queries {
+		got, st := col.Select(q)
+		want := naive(q)
+		if !reflect.DeepEqual(sorted(got), sorted(want)) {
+			t.Fatalf("query %v: %d rows, want %d", q, len(got), len(want))
+		}
+		if st.ResultCount != int64(len(want)) {
+			t.Fatalf("query %v: ResultCount %d, want %d", q, st.ResultCount, len(want))
+		}
+		n, _ := col.Count(q)
+		if n != int64(len(want)) {
+			t.Fatalf("query %v: count %d, want %d", q, n, len(want))
+		}
+	}
+	if err := col.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardEmptyShard: shards whose sub-range holds no values stay
+// queryable and writable.
+func TestShardEmptyShard(t *testing.T) {
+	// All values in the lowest quarter: shards 1..3 are empty.
+	lowDom := domain.NewRange(testDom.Lo, testDom.Hi/4)
+	vals := genValues(5_000, lowDom, 1)
+	col, err := New(testDom, vals, 4, segBuilder(compress.Off))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := col.ShardRange(3)
+	if got, _ := col.Select(hi); len(got) != 0 {
+		t.Fatalf("empty shard returned %d rows", len(got))
+	}
+	if n, _ := col.Count(testDom); n != 5_000 {
+		t.Fatalf("count %d, want 5000", n)
+	}
+	// Writes into an empty shard land and read back.
+	if _, err := col.Insert(hi.Lo + 1); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := col.Select(hi); len(got) != 1 || got[0] != hi.Lo+1 {
+		t.Fatalf("insert into empty shard not visible: %v", got)
+	}
+	if _, err := col.MergeDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := col.Select(hi); len(got) != 1 || got[0] != hi.Lo+1 {
+		t.Fatalf("merged insert lost: %v", got)
+	}
+	if err := col.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardCrossShardUpdate: an update whose old and new values live in
+// different shards decomposes into delete+insert and stays exact.
+func TestShardCrossShardUpdate(t *testing.T) {
+	vals := testValues(10_000, 1)
+	col, err := New(testDom, vals, 4, segBuilder(compress.Off))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := vals[0]          // lives in some shard
+	new := testDom.Hi - old // mirror value: distinct shard for most olds
+	if rangeOf(col.ranges, old) == rangeOf(col.ranges, new) {
+		new = col.ShardRange((rangeOf(col.ranges, old)+2)%4).Lo + 5
+	}
+	preOld, _ := col.Count(domain.Range{Lo: old, Hi: old})
+	preNew, _ := col.Count(domain.Range{Lo: new, Hi: new})
+	ok, _ := col.Update(old, new)
+	if !ok {
+		t.Fatal("update refused")
+	}
+	if n, _ := col.Count(domain.Range{Lo: old, Hi: old}); n != preOld-1 {
+		t.Fatalf("old count %d, want %d", n, preOld-1)
+	}
+	if n, _ := col.Count(domain.Range{Lo: new, Hi: new}); n != preNew+1 {
+		t.Fatalf("new count %d, want %d", n, preNew+1)
+	}
+	ds := col.DeltaStats()
+	if ds.Deletes != 1 || ds.Inserts != 1 || ds.Updates != 0 {
+		t.Fatalf("cross-shard update accounting: %+v", ds)
+	}
+	// Same-shard update stays a real single-version update.
+	sameOld := new
+	sameNew := sameOld + 1
+	if rangeOf(col.ranges, sameOld) != rangeOf(col.ranges, sameNew) {
+		sameNew = sameOld - 1
+	}
+	if ok, _ := col.Update(sameOld, sameNew); !ok {
+		t.Fatal("same-shard update refused")
+	}
+	if ds := col.DeltaStats(); ds.Updates != 1 {
+		t.Fatalf("same-shard update accounting: %+v", ds)
+	}
+	// Misses: values outside the extent are refused and recorded.
+	if ok, _ := col.Delete(testDom.Hi + 100); ok {
+		t.Fatal("out-of-extent delete accepted")
+	}
+	if ok, _ := col.Update(testDom.Hi+100, 5); ok {
+		t.Fatal("out-of-extent update accepted")
+	}
+	if ds := col.DeltaStats(); ds.DeleteMisses != 2 {
+		t.Fatalf("miss accounting: %+v", ds)
+	}
+}
+
+// TestShardMergeBackIsolation: a merge-back draining one shard leaves a
+// view pinned over another shard (and over the merged shard, for
+// segmentation) untouched, while new queries see the writes.
+func TestShardMergeBackIsolation(t *testing.T) {
+	vals := testValues(10_000, 1)
+	col, err := New(testDom, vals, 2, segBuilder(compress.Off))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.SetDeltaPolicy(0, 0) // manual merging
+	r0, r1 := col.ShardRange(0), col.ShardRange(1)
+	v := col.Pin()
+	if v == nil {
+		t.Fatal("no view")
+	}
+	before0 := v.Count(r0)
+	before1 := v.Count(r1)
+	// Write a burst into shard 1 only, then drain it.
+	for i := int64(0); i < 50; i++ {
+		if _, err := col.Insert(r1.Lo + i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ds := col.Shard(0).DeltaStats(); ds.Pending != 0 {
+		t.Fatalf("shard 0 store dirtied: %+v", ds)
+	}
+	if _, err := col.MergeDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if ds := col.Shard(1).DeltaStats(); ds.Pending != 0 || ds.Merges != 1 {
+		t.Fatalf("shard 1 merge missing: %+v", ds)
+	}
+	if ds := col.Shard(0).DeltaStats(); ds.Merges != 0 {
+		t.Fatalf("shard 0 merged with nothing pending: %+v", ds)
+	}
+	// The pinned view predates the writes: both shards unchanged.
+	if got := v.Count(r0); got != before0 {
+		t.Fatalf("view shard 0 moved: %d != %d", got, before0)
+	}
+	if got := v.Count(r1); got != before1 {
+		t.Fatalf("view shard 1 moved: %d != %d", got, before1)
+	}
+	if v.Stale() {
+		t.Fatal("segmentation view went stale")
+	}
+	// New queries see the merged rows.
+	if n, _ := col.Count(r1); n != before1+50 {
+		t.Fatalf("post-merge count %d, want %d", n, before1+50)
+	}
+}
+
+// TestShardMergeWhileScanning races a merge-churning writer in shard 1
+// against scanners of shard 0 — the "merge-back firing in one shard
+// while another is mid-scan" edge, run under -race in CI.
+func TestShardMergeWhileScanning(t *testing.T) {
+	vals := testValues(20_000, 1)
+	col, err := New(testDom, vals, 2, segBuilder(compress.Auto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.SetDeltaPolicy(64, 0) // merge every 16 pending entries (4 B elems)
+	r0, r1 := col.ShardRange(0), col.ShardRange(1)
+	want, _ := col.Count(r0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			gen := workload.NewUniform(r0, 5_000, seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := gen.Next().Range()
+				col.Select(q)
+				if n, _ := col.Count(r0); n != want {
+					panic(fmt.Sprintf("shard 0 cardinality moved: %d != %d", n, want))
+				}
+			}
+		}(int64(w + 1))
+	}
+	for i := int64(0); i < 400; i++ {
+		if _, err := col.Insert(r1.Lo + i%r1.Width()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if ds := col.Shard(1).DeltaStats(); ds.Merges == 0 {
+		t.Fatal("no merge-back churn in shard 1")
+	}
+	if err := col.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardBulkLoad scatters a batch across shards.
+func TestShardBulkLoad(t *testing.T) {
+	vals := testValues(10_000, 1)
+	col, err := New(testDom, vals, 4, replBuilder(compress.Off))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := testValues(1_000, 9)
+	if _, err := col.BulkLoad(batch); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := col.Count(testDom); n != 11_000 {
+		t.Fatalf("count %d after bulk load, want 11000", n)
+	}
+	if _, err := col.BulkLoad([]domain.Value{testDom.Hi + 1}); err == nil {
+		t.Fatal("out-of-extent bulk load accepted")
+	}
+	if err := col.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardDeltaStatsAggregation: counters sum, watermark is the max of
+// the per-shard clocks.
+func TestShardDeltaStatsAggregation(t *testing.T) {
+	vals := testValues(5_000, 1)
+	col, err := New(testDom, vals, 4, segBuilder(compress.Off))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.SetDeltaPolicy(0, 0)
+	r0, r3 := col.ShardRange(0), col.ShardRange(3)
+	for i := int64(0); i < 5; i++ {
+		col.Insert(r0.Lo + i)
+	}
+	for i := int64(0); i < 3; i++ {
+		col.Insert(r3.Lo + i)
+	}
+	ds := col.DeltaStats()
+	if ds.Inserts != 8 || ds.Pending != 8 {
+		t.Fatalf("aggregate: %+v", ds)
+	}
+	if ds.Watermark != 5 { // busiest shard's clock
+		t.Fatalf("watermark %d, want 5", ds.Watermark)
+	}
+	if ds.PendingBytes != 8*4 {
+		t.Fatalf("pending bytes %d", ds.PendingBytes)
+	}
+}

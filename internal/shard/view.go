@@ -1,0 +1,78 @@
+package shard
+
+import (
+	"selforg/internal/core"
+	"selforg/internal/domain"
+)
+
+// View is a read-only MVCC view of a sharded column: one pinned
+// core.View per shard, pinned in shard order. Consistency is per shard —
+// each shard's (segment snapshot, delta watermark) pair is exact, but a
+// writer may land between two shard pins, so a multi-shard read is not a
+// single column-wide snapshot (the price of independent shard clocks).
+// Reads route exactly like Column queries and drive no adaptation.
+type View struct {
+	ranges []domain.Range
+	views  []*core.View
+}
+
+// Pin returns a read-only view of the column, or nil when a shard's
+// strategy does not support pinning.
+func (c *Column) Pin() *View {
+	v := &View{ranges: c.ranges, views: make([]*core.View, len(c.shards))}
+	for i, s := range c.shards {
+		switch t := s.(type) {
+		case *core.Segmenter:
+			v.views[i] = t.Pin()
+		case *core.Replicator:
+			v.views[i] = t.Pin()
+		default:
+			return nil
+		}
+	}
+	return v
+}
+
+// Select returns the values matching q as of the per-shard pins,
+// concatenated in shard order.
+func (v *View) Select(q domain.Range) []domain.Value {
+	var out []domain.Value
+	lo, hi := spanOf(v.ranges, q)
+	for i := lo; i < hi; i++ {
+		out = append(out, v.views[i].Select(q)...)
+	}
+	return out
+}
+
+// Count returns the cardinality of q as of the per-shard pins.
+func (v *View) Count(q domain.Range) int64 {
+	var n int64
+	lo, hi := spanOf(v.ranges, q)
+	for i := lo; i < hi; i++ {
+		n += v.views[i].Count(q)
+	}
+	return n
+}
+
+// Watermark returns the highest per-shard pinned version (each shard
+// stamps on its own clock; a single column-wide version does not exist).
+func (v *View) Watermark() int64 {
+	var w int64
+	for _, sv := range v.views {
+		if sv.Watermark() > w {
+			w = sv.Watermark()
+		}
+	}
+	return w
+}
+
+// Stale reports whether ANY shard's pinned visibility was invalidated
+// (replication shards only; segmentation shards never go stale).
+func (v *View) Stale() bool {
+	for _, sv := range v.views {
+		if sv.Stale() {
+			return true
+		}
+	}
+	return false
+}

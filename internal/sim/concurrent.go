@@ -59,11 +59,8 @@ func RunConcurrent(cfg ConcurrentConfig) *ConcurrentResult {
 		cfg.Clients = 4
 	}
 	strat := cfg.buildStrategy()
-	switch s := strat.(type) {
-	case *core.Segmenter:
-		s.SetParallelism(cfg.Parallelism)
-	case *core.Replicator:
-		s.SetParallelism(cfg.Parallelism)
+	if p, ok := strat.(parallelizable); ok {
+		p.SetParallelism(cfg.Parallelism)
 	}
 
 	perClient := cfg.NumQueries / cfg.Clients

@@ -217,6 +217,8 @@ func Experiments() []Experiment {
 		{ID: "compress", Title: "Extension: adaptive per-segment compression vs plain storage", Run: runCompress},
 		{ID: "concurrent", Title: "Extension: N concurrent query streams over one shared column", Run: runConcurrentExperiment},
 		{ID: "mixed", Title: "Extension: mixed read-write streams through the MVCC delta store", Run: runMixedExperiment},
+		{ID: "sharded", Title: "Extension: domain-sharded column, concurrent read scaling", Run: runShardedExperiment},
+		{ID: "sharded-mixed", Title: "Extension: domain-sharded column, mixed read-write writer scaling", Run: runShardedMixedExperiment},
 		{ID: "report", Title: "Numeric digest of every §6.1 exhibit (for EXPERIMENTS.md)", Run: runReport},
 	}
 }

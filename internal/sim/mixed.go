@@ -80,11 +80,8 @@ func RunMixed(cfg MixedConfig) *MixedResult {
 	// the original slice.
 	pool := append([]domain.Value(nil), vals...)
 	strat := cfg.buildStrategyOver(vals)
-	switch s := strat.(type) {
-	case *core.Segmenter:
-		s.SetParallelism(cfg.Parallelism)
-	case *core.Replicator:
-		s.SetParallelism(cfg.Parallelism)
+	if p, ok := strat.(parallelizable); ok {
+		p.SetParallelism(cfg.Parallelism)
 	}
 	strat.SetDeltaPolicy(cfg.DeltaMaxBytes, cfg.DeltaMaxRatio)
 

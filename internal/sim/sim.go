@@ -18,6 +18,7 @@ import (
 	"selforg/internal/domain"
 	"selforg/internal/model"
 	"selforg/internal/segment"
+	"selforg/internal/shard"
 	"selforg/internal/stats"
 	"selforg/internal/workload"
 )
@@ -86,6 +87,10 @@ type Config struct {
 	// (RLE/dictionary-friendly) instead of the paper's 1M-value domain —
 	// the data shape of dimension-key and categorical columns.
 	LowCardinality int
+	// Shards range-partitions the domain into this many independently
+	// locked shards (internal/shard); 0 or 1 keeps the single-shard
+	// column. Each shard gets its own model instance and delta store.
+	Shards int
 }
 
 // DefaultConfig returns the §6.1 experimental setup.
@@ -144,19 +149,25 @@ func (c Config) withDefaults() Config {
 }
 
 // StrategyName is the label used in the paper's figures, e.g. "GD Segm",
-// "APM Repl"; compressed runs are suffixed "+C".
+// "APM Repl"; compressed runs are suffixed "+C", sharded ones "x<K>sh".
 func (c Config) StrategyName() string {
+	name := fmt.Sprintf("%v %v", c.Model, c.Strategy)
 	if c.Compression.Enabled() {
-		return fmt.Sprintf("%v %v +C", c.Model, c.Strategy)
+		name += " +C"
 	}
-	return fmt.Sprintf("%v %v", c.Model, c.Strategy)
+	if c.Shards > 1 {
+		name += fmt.Sprintf(" x%dsh", c.Shards)
+	}
+	return name
 }
 
-// buildModel instantiates the configured segmentation model.
-func (c Config) buildModel() model.Model {
+// buildModel instantiates the configured segmentation model for one
+// shard (shard 0 is the whole column when unsharded); GD streams are
+// decorrelated per shard.
+func (c Config) buildModel(shardIdx int) model.Model {
 	switch c.Model {
 	case GD:
-		return model.NewGaussianDice(c.ModelSeed)
+		return model.NewGaussianDice(model.ShardSeed(c.ModelSeed, shardIdx))
 	case APM:
 		return model.NewAPM(c.APMMin, c.APMMax)
 	default:
@@ -173,22 +184,35 @@ func (c Config) generateValues() []domain.Value {
 }
 
 // buildStrategyOver instantiates the strategy over vals (consumed: the
-// strategy takes ownership).
+// strategy takes ownership), sharding the domain when Shards > 1.
 func (c Config) buildStrategyOver(vals []domain.Value) core.DeltaStrategy {
-	m := c.buildModel()
-	switch c.Strategy {
-	case Segmentation:
-		s := core.NewSegmenter(c.Dom, vals, c.ElemSize, m, nil)
-		s.SetCompression(c.Compression)
-		return s
-	case Replication:
-		r := core.NewReplicator(c.Dom, vals, c.ElemSize, m, nil)
-		r.SetCompression(c.Compression)
-		return r
-	default:
-		panic(fmt.Sprintf("sim: unknown strategy kind %d", c.Strategy))
+	buildOne := func(idx int, rng domain.Range, svals []domain.Value) core.DeltaStrategy {
+		switch c.Strategy {
+		case Segmentation:
+			s := core.NewSegmenter(rng, svals, c.ElemSize, c.buildModel(idx), nil)
+			s.SetCompression(c.Compression)
+			return s
+		case Replication:
+			r := core.NewReplicator(rng, svals, c.ElemSize, c.buildModel(idx), nil)
+			r.SetCompression(c.Compression)
+			return r
+		default:
+			panic(fmt.Sprintf("sim: unknown strategy kind %d", c.Strategy))
+		}
 	}
+	if c.Shards > 1 {
+		sc, err := shard.New(c.Dom, vals, c.Shards, buildOne)
+		if err != nil {
+			panic(fmt.Sprintf("sim: %v", err))
+		}
+		return sc
+	}
+	return buildOne(0, c.Dom, vals)
 }
+
+// parallelizable is the SetParallelism surface shared by the strategies
+// and the shard router.
+type parallelizable interface{ SetParallelism(int) }
 
 // buildStrategy instantiates the strategy over freshly generated data.
 func (c Config) buildStrategy() core.DeltaStrategy {

@@ -50,6 +50,7 @@ type ConcurrentRunResult struct {
 	Scheme   string
 	Workload WorkloadName
 	Clients  int
+	Shards   int
 	Queries  int
 	// SelectionMs / AdaptationMs are the total virtual times on the disk
 	// clock, summed over all clients.
@@ -71,23 +72,28 @@ type ConcurrentRunResult struct {
 // copy and a fresh buffer pool, like the serial Run; parallelism is the
 // per-query scan fan-out handed to the strategy.
 func RunConcurrent(ds *Dataset, scheme Scheme, name WorkloadName, cfg Config, clients, parallelism int) *ConcurrentRunResult {
+	return RunShardedConcurrent(ds, scheme, name, cfg, clients, parallelism, 1)
+}
+
+// RunShardedConcurrent is RunConcurrent over a domain-sharded column:
+// the shared column is split into shards independently locked
+// sub-columns (internal/shard), so concurrent clients adapting disjoint
+// domain regions stop serializing on one writer lock. parallelism is
+// handed to the strategy; a sharded column keeps the single-knob bound
+// across both levels (see shard.Column.SetParallelism).
+func RunShardedConcurrent(ds *Dataset, scheme Scheme, name WorkloadName, cfg Config, clients, parallelism, shards int) *ConcurrentRunResult {
 	if clients < 1 {
 		clients = 1
+	}
+	if shards < 1 {
+		shards = 1
 	}
 	queries := Queries(ds, name, cfg.Workload)
 	pool := bpm.New(cfg.Pool)
 	tr := &concTracer{pool: pool}
-	var seg core.Strategy
-	if scheme.Replication {
-		r := core.NewReplicator(ds.Domain(), ds.ScaledRA(), cfg.ElemSize, scheme.buildModel(), tr)
-		r.SetCompression(scheme.Compression)
-		r.SetParallelism(parallelism)
-		seg = r
-	} else {
-		s := core.NewSegmenter(ds.Domain(), ds.ScaledRA(), cfg.ElemSize, scheme.buildModel(), tr)
-		s.SetCompression(scheme.Compression)
-		s.SetParallelism(parallelism)
-		seg = s
+	var seg core.Strategy = buildStrategy(ds, scheme, cfg, tr, shards)
+	if p, ok := seg.(interface{ SetParallelism(int) }); ok {
+		p.SetParallelism(parallelism)
 	}
 	// The initial column registration is not query time.
 	tr.scanNs.Store(0)
@@ -112,6 +118,7 @@ func RunConcurrent(ds *Dataset, scheme Scheme, name WorkloadName, cfg Config, cl
 		Scheme:       scheme.Name,
 		Workload:     name,
 		Clients:      clients,
+		Shards:       shards,
 		Queries:      len(queries),
 		SelectionMs:  float64(time.Duration(tr.scanNs.Load()).Microseconds()) / 1000,
 		AdaptationMs: float64(time.Duration(tr.writeNs.Load()).Microseconds()) / 1000,
@@ -142,6 +149,30 @@ func ConcurrentTable(ds *Dataset, cfg Config) *stats.Table {
 		for _, clients := range []int{1, 2, 4, 8} {
 			r := RunConcurrent(ds, scheme, w, cfg, clients, 4)
 			tb.AddRow(string(w), fmt.Sprint(clients),
+				fmt.Sprintf("%.0f", r.SelectionMs),
+				fmt.Sprintf("%.0f", r.AdaptationMs),
+				fmt.Sprint(r.SegmentCount),
+				fmt.Sprintf("%d", r.Wall.Milliseconds()),
+				fmt.Sprintf("%.0f", r.QPS))
+		}
+	}
+	return tb
+}
+
+// ShardedTable runs the APM 1-5 scheme with 4 concurrent clients across
+// shard counts per workload — the prototype-side read-scaling check of
+// the domain-sharding extension (virtual clock totals should stay near
+// the unsharded run; the router must not inflate scan volume).
+func ShardedTable(ds *Dataset, cfg Config) *stats.Table {
+	tb := stats.NewTable(
+		fmt.Sprintf("Domain-sharded concurrent clients on the SkyServer prototype (APM 1-5, GOMAXPROCS=%d)",
+			runtime.GOMAXPROCS(0)),
+		"Workload", "Shards", "Clients", "Select ms", "Adapt ms", "Segments", "Wall ms", "QPS")
+	scheme := Scheme{Name: "APM 1-5", Kind: APMScheme, Mmin: cfg.Mmin, Mmax: cfg.MmaxSmall}
+	for _, w := range WorkloadNames() {
+		for _, shards := range []int{1, 2, 4} {
+			r := RunShardedConcurrent(ds, scheme, w, cfg, 4, 0, shards)
+			tb.AddRow(string(w), fmt.Sprint(shards), fmt.Sprint(r.Clients),
 				fmt.Sprintf("%.0f", r.SelectionMs),
 				fmt.Sprintf("%.0f", r.AdaptationMs),
 				fmt.Sprint(r.SegmentCount),

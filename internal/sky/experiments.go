@@ -150,6 +150,10 @@ func Experiments() []Experiment {
 			Run: func(ds *Dataset, cfg Config) string { return ConcurrentTable(ds, cfg).Render() }},
 		{ID: "mixed", Title: "Extension: mixed read-write clients through the MVCC delta store",
 			Run: func(ds *Dataset, cfg Config) string { return MixedTable(ds, cfg).Render() }},
+		{ID: "sharded", Title: "Extension: domain-sharded column, concurrent read scaling",
+			Run: func(ds *Dataset, cfg Config) string { return ShardedTable(ds, cfg).Render() }},
+		{ID: "sharded-mixed", Title: "Extension: domain-sharded column, mixed read-write writer scaling",
+			Run: func(ds *Dataset, cfg Config) string { return ShardedMixedTable(ds, cfg).Render() }},
 	}
 }
 

@@ -10,6 +10,8 @@ import (
 	"selforg/internal/bpm"
 	"selforg/internal/core"
 	"selforg/internal/domain"
+	"selforg/internal/model"
+	"selforg/internal/shard"
 	"selforg/internal/stats"
 )
 
@@ -27,6 +29,7 @@ type MixedRunResult struct {
 	Scheme     string
 	Workload   WorkloadName
 	Clients    int
+	Shards     int
 	WriteRatio float64
 	// Queries and Writes count executed operations, Misses the refused
 	// update/delete attempts.
@@ -50,25 +53,60 @@ type MixedRunResult struct {
 // point writes (50% insert, 25% update, 25% delete) against the shared
 // self-organizing column.
 func RunMixedConcurrent(ds *Dataset, scheme Scheme, name WorkloadName, cfg Config, clients int, writeRatio float64) *MixedRunResult {
+	return runMixed(ds, scheme, name, cfg, clients, writeRatio, 1)
+}
+
+// RunShardedMixed is RunMixedConcurrent over a domain-sharded column
+// (internal/shard): shards independently locked sub-columns, each with
+// its own model instance and delta store, sharing one buffer pool and
+// virtual clock.
+func RunShardedMixed(ds *Dataset, scheme Scheme, name WorkloadName, cfg Config, clients int, writeRatio float64, shards int) *MixedRunResult {
+	return runMixed(ds, scheme, name, cfg, clients, writeRatio, shards)
+}
+
+// buildStrategy constructs the scheme's (possibly sharded) strategy over
+// the dataset, attaching tr to every shard.
+func buildStrategy(ds *Dataset, scheme Scheme, cfg Config, tr core.Tracer, shards int) core.DeltaStrategy {
+	buildOne := func(idx int, rng domain.Range, vals []domain.Value) core.DeltaStrategy {
+		var m model.Model
+		if scheme.Kind == GDScheme {
+			m = model.NewGaussianDice(model.ShardSeed(scheme.GDSeed, idx))
+		} else {
+			m = scheme.buildModel()
+		}
+		if scheme.Replication {
+			r := core.NewReplicator(rng, vals, cfg.ElemSize, m, tr)
+			r.SetCompression(scheme.Compression)
+			return r
+		}
+		s := core.NewSegmenter(rng, vals, cfg.ElemSize, m, tr)
+		s.SetCompression(scheme.Compression)
+		return s
+	}
+	if shards > 1 {
+		sc, err := shard.New(ds.Domain(), ds.ScaledRA(), shards, buildOne)
+		if err != nil {
+			panic(fmt.Sprintf("sky: %v", err))
+		}
+		return sc
+	}
+	return buildOne(0, ds.Domain(), ds.ScaledRA())
+}
+
+func runMixed(ds *Dataset, scheme Scheme, name WorkloadName, cfg Config, clients int, writeRatio float64, shards int) *MixedRunResult {
 	if clients < 1 {
 		clients = 1
 	}
 	if writeRatio <= 0 {
 		writeRatio = 0.2
 	}
+	if shards < 1 {
+		shards = 1
+	}
 	queries := Queries(ds, name, cfg.Workload)
 	pool := bpm.New(cfg.Pool)
 	tr := &concTracer{pool: pool}
-	var seg core.DeltaStrategy
-	if scheme.Replication {
-		r := core.NewReplicator(ds.Domain(), ds.ScaledRA(), cfg.ElemSize, scheme.buildModel(), tr)
-		r.SetCompression(scheme.Compression)
-		seg = r
-	} else {
-		s := core.NewSegmenter(ds.Domain(), ds.ScaledRA(), cfg.ElemSize, scheme.buildModel(), tr)
-		s.SetCompression(scheme.Compression)
-		seg = s
-	}
+	seg := buildStrategy(ds, scheme, cfg, tr, shards)
 	// Merge every 32 pending entries: the SkyServer workloads run only a
 	// few hundred operations, so the threshold must be small for the
 	// checkpoint churn to show up on the virtual clock.
@@ -121,6 +159,7 @@ func RunMixedConcurrent(ds *Dataset, scheme Scheme, name WorkloadName, cfg Confi
 		Scheme:        scheme.Name,
 		Workload:      name,
 		Clients:       clients,
+		Shards:        shards,
 		WriteRatio:    writeRatio,
 		SelectionMs:   float64(time.Duration(tr.scanNs.Load()).Microseconds()) / 1000,
 		AdaptationMs:  float64(time.Duration(tr.writeNs.Load()).Microseconds()) / 1000,
@@ -140,6 +179,33 @@ func RunMixedConcurrent(ds *Dataset, scheme Scheme, name WorkloadName, cfg Confi
 		res.OPS = float64(res.Queries+res.Writes) / sec
 	}
 	return res
+}
+
+// ShardedMixedTable runs the APM 1-5 segmentation scheme under
+// write-heavy mixed load across shard counts — the prototype-side
+// writer-scaling measurement of the domain-sharding extension. OPS is
+// the writer-throughput column; Merges shows the per-shard merge-back
+// churn.
+func ShardedMixedTable(ds *Dataset, cfg Config) *stats.Table {
+	tb := stats.NewTable(
+		fmt.Sprintf("Domain-sharded mixed read-write clients on the SkyServer prototype (APM 1-5, GOMAXPROCS=%d)",
+			runtime.GOMAXPROCS(0)),
+		"Workload", "Shards", "Clients", "Write%", "Select ms", "Adapt ms", "Merges", "Merged", "Segments", "OPS")
+	scheme := Scheme{Name: "APM 1-5", Kind: APMScheme, Mmin: cfg.Mmin, Mmax: cfg.MmaxSmall}
+	for _, w := range WorkloadNames() {
+		for _, shards := range []int{1, 2, 4} {
+			r := RunShardedMixed(ds, scheme, w, cfg, 4, 0.5, shards)
+			tb.AddRow(string(w), fmt.Sprint(shards), fmt.Sprint(r.Clients),
+				fmt.Sprintf("%.0f", r.WriteRatio*100),
+				fmt.Sprintf("%.0f", r.SelectionMs),
+				fmt.Sprintf("%.0f", r.AdaptationMs),
+				fmt.Sprint(r.Merges),
+				fmt.Sprint(r.MergedEntries),
+				fmt.Sprint(r.SegmentCount),
+				fmt.Sprintf("%.0f", r.OPS))
+		}
+	}
+	return tb
 }
 
 // MixedTable runs the APM 1-5 segmentation scheme under mixed

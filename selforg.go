@@ -87,6 +87,22 @@
 //	col.Delete(205_118)
 //	col.MergeDeltas() // explicit checkpoint; auto-merge is the default
 //
+// # Domain sharding
+//
+// Options.Shards range-partitions the column domain into K independently
+// locked shards (internal/shard), each owning its own segment list,
+// model state, compression advisor and MVCC delta store. Queries route
+// to the minimal shard subset overlapping their predicate and merge
+// sub-results in shard order; point writes touch exactly one shard's
+// locks, so concurrent writers on disjoint ranges no longer contend, and
+// delta merge-backs trigger per shard. Shards: 1 (the default) is the
+// unsharded column, byte-identical to previous releases:
+//
+//	col, _ := selforg.New(extent, values, selforg.Options{
+//		Model:  selforg.APM,
+//		Shards: 4,
+//	})
+//
 // The experiment harnesses that reproduce the paper's evaluation live in
 // internal/sim (§6.1) and internal/sky (§6.2), runnable through
 // cmd/sosim and cmd/skybench; the MonetDB-style substrate (BATs, MAL, the
@@ -102,6 +118,7 @@ import (
 	"selforg/internal/core"
 	"selforg/internal/domain"
 	"selforg/internal/model"
+	"selforg/internal/shard"
 )
 
 // Strategy selects the self-organizing technique.
@@ -244,6 +261,10 @@ type Options struct {
 	// the serial path at every setting — only wall-clock changes. Safety
 	// for concurrent Select calls from multiple goroutines does not
 	// depend on this knob; a Column is always safe for concurrent use.
+	// On a sharded column (Shards > 1) the same bound covers both
+	// levels: n > 1 scans up to n touched shards concurrently (each
+	// shard serial), and 0 lets the router and every shard adapt
+	// independently — one query never exceeds the configured budget.
 	// With Parallelism > 1 an attached Tracer must itself be safe for
 	// concurrent use; when a Tracer is attached and Parallelism is left
 	// at 0, the column runs serial scans (the pre-adaptive contract), so
@@ -262,6 +283,18 @@ type Options struct {
 	// stay in the delta store until MergeDeltas is called. Queries stay
 	// correct either way — the overlay read path serves unmerged writes.
 	DeltaManualMerge bool
+	// Shards range-partitions the column domain into this many
+	// independently locked shards (internal/shard), each owning its own
+	// segment list, model state, compression advisor and MVCC delta
+	// store. 0 or 1 (the default) keeps today's single-shard column.
+	// With K > 1, queries route to the minimal shard subset overlapping
+	// the predicate and merge sub-results in shard order; point writes
+	// touch exactly one shard's locks, so concurrent writers on disjoint
+	// ranges no longer contend, and delta merge-backs trigger per shard.
+	// Each shard gets its own model instance (GDSeed is offset per shard)
+	// and MaxStorageBytes is split evenly across shards; a cross-shard
+	// Update decomposes into a delete plus an insert (two MVCC versions).
+	Shards int
 }
 
 // Tracer re-exports core.Tracer: Scan/Materialize/Drop events with segment
@@ -376,20 +409,34 @@ func New(extent Interval, values []int64, opts Options) (*Column, error) {
 		return nil, fmt.Errorf("selforg: APMMin %d must be below APMMax %d", o.APMMin, o.APMMax)
 	}
 
-	var m model.Model
 	switch o.Model {
-	case APM:
-		if o.AutoTune {
-			m = model.NewAutoAPM(o.APMMin, o.APMMax)
-		} else {
-			m = model.NewAPM(o.APMMin, o.APMMax)
-		}
-	case GD:
-		m = model.NewGaussianDice(o.GDSeed)
-	case None:
-		m = model.Never{}
+	case APM, GD, None:
 	default:
 		return nil, fmt.Errorf("selforg: unknown model %v", o.Model)
+	}
+	switch o.Strategy {
+	case Segmentation, Replication:
+	default:
+		return nil, fmt.Errorf("selforg: unknown strategy %v", o.Strategy)
+	}
+	if o.Shards < 0 {
+		return nil, fmt.Errorf("selforg: negative shard count %d", o.Shards)
+	}
+	// modelFor builds one model instance per shard — models are stateful
+	// (GD owns a random stream, AutoAPM tunes its bounds), so shards must
+	// never share one. GD seeds are decorrelated per shard.
+	modelFor := func(shardIdx int) model.Model {
+		switch o.Model {
+		case APM:
+			if o.AutoTune {
+				return model.NewAutoAPM(o.APMMin, o.APMMax)
+			}
+			return model.NewAPM(o.APMMin, o.APMMax)
+		case GD:
+			return model.NewGaussianDice(model.ShardSeed(o.GDSeed, shardIdx))
+		default:
+			return model.Never{}
+		}
 	}
 
 	// Delta merge-back policy: defaults, explicit disables, manual mode.
@@ -416,33 +463,67 @@ func New(extent Interval, values []int64, opts Options) (*Column, error) {
 		par = 1
 	}
 
+	// Replica storage budgets are split evenly across the shards that
+	// will actually exist — Partition clamps the count to the domain
+	// width, and dividing by the requested count instead would silently
+	// shrink the column-wide budget (ceiling, so a positive column
+	// budget never rounds a shard's budget to zero).
+	nShards := 1
+	if o.Shards > 1 {
+		nShards = len(shard.Partition(rng, o.Shards))
+	}
+	shardBudget := o.MaxStorageBytes
+	if shardBudget > 0 && nShards > 1 {
+		shardBudget = (shardBudget + int64(nShards) - 1) / int64(nShards)
+	}
+	buildOne := func(idx int, srng domain.Range, svals []domain.Value) core.DeltaStrategy {
+		switch o.Strategy {
+		case Segmentation:
+			s := core.NewSegmenter(srng, svals, o.ElemSize, modelFor(idx), o.Tracer)
+			if o.Compression != CompressionOff {
+				s.SetCompression(o.Compression.mode())
+			}
+			s.SetParallelism(par)
+			return s
+		default:
+			r := core.NewReplicator(srng, svals, o.ElemSize, modelFor(idx), o.Tracer)
+			if shardBudget > 0 {
+				r.SetStorageBudget(shardBudget)
+			}
+			if o.MaxTreeDepth > 0 {
+				r.SetMaxDepth(o.MaxTreeDepth)
+			}
+			if o.Compression != CompressionOff {
+				r.SetCompression(o.Compression.mode())
+			}
+			r.SetParallelism(par)
+			return r
+		}
+	}
+
 	var strat core.DeltaStrategy
-	switch o.Strategy {
-	case Segmentation:
-		s := core.NewSegmenter(rng, values, o.ElemSize, m, o.Tracer)
-		if o.Compression != CompressionOff {
-			s.SetCompression(o.Compression.mode())
+	if o.Shards > 1 {
+		sc, err := shard.New(rng, values, o.Shards, buildOne)
+		if err != nil {
+			return nil, fmt.Errorf("selforg: %w", err)
 		}
-		s.SetParallelism(par)
-		strat = s
-	case Replication:
-		r := core.NewReplicator(rng, values, o.ElemSize, m, o.Tracer)
-		if o.MaxStorageBytes > 0 {
-			r.SetStorageBudget(o.MaxStorageBytes)
-		}
-		if o.MaxTreeDepth > 0 {
-			r.SetMaxDepth(o.MaxTreeDepth)
-		}
-		if o.Compression != CompressionOff {
-			r.SetCompression(o.Compression.mode())
-		}
-		r.SetParallelism(par)
-		strat = r
-	default:
-		return nil, fmt.Errorf("selforg: unknown strategy %v", o.Strategy)
+		sc.SetParallelism(par)
+		strat = sc
+	} else {
+		// Single shard: the strategy is used directly — byte-identical to
+		// the pre-sharding column, no routing layer at all.
+		strat = buildOne(0, rng, values)
 	}
 	strat.SetDeltaPolicy(deltaMax, deltaRatio)
 	return &Column{strat: strat, extent: rng, opts: o}, nil
+}
+
+// Shards returns the configured shard count (1 for unsharded columns).
+func (c *Column) Shards() int {
+	if sc, ok := c.strat.(*shard.Column); ok {
+		return sc.Shards()
+	}
+	return 1
 }
 
 // Select answers the range query `value between lo and hi` (inclusive) and
@@ -536,6 +617,8 @@ func (c *Column) Layout() string {
 		return s.List().Dump()
 	case *core.Replicator:
 		return s.Dump()
+	case *shard.Column:
+		return s.Layout()
 	default:
 		return c.strat.Name()
 	}
@@ -551,6 +634,8 @@ func (c *Column) Validate() error {
 		return s.List().Validate()
 	case *core.Replicator:
 		return s.Validate()
+	case *shard.Column:
+		return s.Validate()
 	default:
 		return nil
 	}
@@ -559,19 +644,26 @@ func (c *Column) Validate() error {
 // Replication-specific inspection: Depth and VirtualCount return the
 // replica tree shape, or zero for segmentation columns.
 
-// TreeDepth returns the replica tree depth (0 for segmentation).
+// TreeDepth returns the replica tree depth (0 for segmentation; the
+// maximum over the shards when sharded).
 func (c *Column) TreeDepth() int {
-	if r, ok := c.strat.(*core.Replicator); ok {
-		return r.Depth()
+	switch s := c.strat.(type) {
+	case *core.Replicator:
+		return s.Depth()
+	case *shard.Column:
+		return s.TreeDepth()
 	}
 	return 0
 }
 
 // VirtualCount returns the number of virtual segments (0 for
-// segmentation).
+// segmentation; summed over the shards when sharded).
 func (c *Column) VirtualCount() int {
-	if r, ok := c.strat.(*core.Replicator); ok {
-		return r.VirtualCount()
+	switch s := c.strat.(type) {
+	case *core.Replicator:
+		return s.VirtualCount()
+	case *shard.Column:
+		return s.VirtualCount()
 	}
 	return 0
 }
@@ -581,8 +673,11 @@ func (c *Column) VirtualCount() int {
 // fragmentation. It returns the bytes rewritten and reports whether the
 // column supports gluing.
 func (c *Column) GlueSmall(minBytes int64) (int64, bool) {
-	if s, ok := c.strat.(*core.Segmenter); ok {
+	switch s := c.strat.(type) {
+	case *core.Segmenter:
 		return s.GlueSmall(minBytes), true
+	case *shard.Column:
+		return s.GlueSmall(minBytes)
 	}
 	return 0, false
 }
@@ -598,6 +693,8 @@ func (c *Column) BulkLoad(values []int64) (Stats, error) {
 	case *core.Segmenter:
 		qs, err = s.BulkLoad(values)
 	case *core.Replicator:
+		qs, err = s.BulkLoad(values)
+	case *shard.Column:
 		qs, err = s.BulkLoad(values)
 	default:
 		return Stats{}, fmt.Errorf("selforg: %s does not support bulk loading", c.strat.Name())
@@ -710,14 +807,30 @@ func (c *Column) View() *View {
 		return &View{v: s.Pin()}
 	case *core.Replicator:
 		return &View{v: s.Pin()}
+	case *shard.Column:
+		if v := s.Pin(); v != nil {
+			return &View{v: v}
+		}
+		return nil
 	default:
 		return nil
 	}
 }
 
-// View is a pinned read-only MVCC view of a Column.
+// pinnedView is the common surface of core.View and shard.View.
+type pinnedView interface {
+	Select(q domain.Range) []domain.Value
+	Count(q domain.Range) int64
+	Watermark() int64
+	Stale() bool
+}
+
+// View is a pinned read-only MVCC view of a Column. For sharded columns
+// it pins one view per shard (in shard order): each shard's pair is
+// exact, but the pins are not one column-wide atomic snapshot, and
+// Watermark reports the highest per-shard clock.
 type View struct {
-	v *core.View
+	v pinnedView
 }
 
 // Select returns the values in [lo, hi] as of the pinned view (order
