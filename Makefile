@@ -35,7 +35,10 @@ bench-ci:
 	/tmp/benchdiff -parse -out BENCH_ci.json < /tmp/bench_raw.jsonl
 
 # bench-check is the local perf-regression gate: >25% geomean slowdown
-# against the checked-in baseline fails.
+# against the checked-in baseline fails. (CI pull requests do better:
+# they benchmark the merge-base in the same job on the same host and
+# diff head-vs-base, so the checked-in baseline's machine-relativity
+# only affects direct pushes and local runs.)
 bench-check: bench-ci
 	/tmp/benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 0.25
 

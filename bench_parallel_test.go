@@ -85,3 +85,82 @@ func BenchmarkConcurrentScanners(b *testing.B) {
 		}
 	})
 }
+
+// convergedReplicatedColumn builds a replication column and converges it
+// on a fixed query pool: after a few passes every pool query's cover is
+// materialized and leaf-aligned, so a pool query's scan detects no
+// adaptation work and takes zero locks — the state the PR-5 lock-free
+// read path is designed for. Returns the column and the pool.
+func convergedReplicatedColumn(b *testing.B) (*Column, [][2]int64) {
+	b.Helper()
+	const (
+		nVals = 1_000_000
+		dom   = 1 << 26
+		pool  = 64
+	)
+	r := rand.New(rand.NewSource(19))
+	vals := make([]int64, nVals)
+	for i := range vals {
+		vals[i] = r.Int63n(dom)
+	}
+	col, err := New(Interval{0, dom - 1}, vals, Options{
+		Strategy: Replication,
+		Model:    APM,
+		ElemSize: 8,
+		APMMin:   64 << 10,
+		APMMax:   512 << 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qr := rand.New(rand.NewSource(23))
+	queries := make([][2]int64, pool)
+	for i := range queries {
+		lo := qr.Int63n(dom - dom/16)
+		queries[i] = [2]int64{lo, lo + dom/16 - 1}
+	}
+	for pass := 0; pass < 4; pass++ {
+		for _, q := range queries {
+			col.Select(q[0], q[1])
+		}
+	}
+	return col, queries
+}
+
+// BenchmarkReplicatedConcurrentScanners is the PR-5 acceptance
+// measurement: aggregate scan throughput of concurrent clients on one
+// converged *replication* column. Before the persistent replica tree
+// every scan serialized behind the writer mutex, so throughput flatlined
+// no matter how many goroutines queried; now pool-aligned scans take
+// zero locks and throughput scales with the worker count. Run with
+// `-cpu 1,2,4,8` to see the scaling curve (numbers in BENCH.md).
+func BenchmarkReplicatedConcurrentScanners(b *testing.B) {
+	col, queries := convergedReplicatedColumn(b)
+	b.Logf("replicas: %d (depth %d)", col.SegmentCount(), col.TreeDepth())
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rand.New(rand.NewSource(41))
+		for pb.Next() {
+			q := queries[r.Intn(len(queries))]
+			res, _ := col.Select(q[0], q[1])
+			if len(res) == 0 {
+				b.Fatal("empty result")
+			}
+		}
+	})
+}
+
+// BenchmarkReplicatedScanSerial is the single-goroutine baseline for the
+// concurrent benchmark above (same converged column, same query pool).
+func BenchmarkReplicatedScanSerial(b *testing.B) {
+	col, queries := convergedReplicatedColumn(b)
+	b.ResetTimer()
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < b.N; i++ {
+		q := queries[r.Intn(len(queries))]
+		res, _ := col.Select(q[0], q[1])
+		if len(res) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}

@@ -34,6 +34,7 @@ type shell struct {
 	lo, hi   int64
 	opts     selforg.Options
 	col      *selforg.Column
+	pins     map[string]*selforg.View
 	out      *bufio.Writer
 	echoedOK bool
 }
@@ -87,6 +88,9 @@ func (sh *shell) exec(line string) error {
   delete V                  remove one occurrence of V
   merge                     force the delta merge-back into the base
   delta                     show the write store's counters
+  pin NAME                  hold a named MVCC view open at the current snapshot
+  view NAME LO HI           query a pinned view (stable across later writes/merges)
+  unpin NAME                release a pinned view
   layout                    show the segment layout / replica tree
   totals                    cumulative statistics
   glue MINBYTES             merge segments smaller than MINBYTES
@@ -196,6 +200,7 @@ func (sh *shell) exec(line string) error {
 			return err
 		}
 		sh.col = col
+		sh.pins = nil // pins belong to the previous column
 		fmt.Fprintf(sh.out, "built %s over %d values", col.Name(), len(sh.values))
 		if k := col.Shards(); k > 1 {
 			fmt.Fprintf(sh.out, " (%d shards)", k)
@@ -327,6 +332,56 @@ func (sh *shell) exec(line string) error {
 		fmt.Fprintf(sh.out, "inserts %d, updates %d, deletes %d (misses %d); pending %d (%d B); merges %d (%d entries); watermark %d\n",
 			ds.Inserts, ds.Updates, ds.Deletes, ds.DeleteMisses,
 			ds.Pending, ds.PendingBytes, ds.Merges, ds.MergedEntries, ds.Watermark)
+		return nil
+	case "pin":
+		// A pinned view demonstrates the snapshot guarantee interactively:
+		// writes, merges and bulk loads after the pin never show through
+		// it, for both strategies (the persistent replica tree made
+		// replication views stable across merge-backs).
+		if sh.col == nil {
+			return fmt.Errorf("no column: run 'build' first")
+		}
+		if len(args) != 1 {
+			return fmt.Errorf("pin NAME")
+		}
+		v := sh.col.View()
+		if v == nil {
+			return fmt.Errorf("column does not support views")
+		}
+		if sh.pins == nil {
+			sh.pins = make(map[string]*selforg.View)
+		}
+		sh.pins[args[0]] = v
+		fmt.Fprintf(sh.out, "pinned view %q at watermark %d\n", args[0], v.Watermark())
+		return nil
+	case "view":
+		if len(args) != 3 {
+			return fmt.Errorf("view NAME LO HI")
+		}
+		v, ok := sh.pins[args[0]]
+		if !ok {
+			return fmt.Errorf("no pinned view %q ('pin %s' first)", args[0], args[0])
+		}
+		lo, err := atoi(args[1])
+		if err != nil {
+			return err
+		}
+		hi, err := atoi(args[2])
+		if err != nil {
+			return err
+		}
+		n := v.Count(lo, hi)
+		fmt.Fprintf(sh.out, "%d rows as of watermark %d\n", n, v.Watermark())
+		return nil
+	case "unpin":
+		if len(args) != 1 {
+			return fmt.Errorf("unpin NAME")
+		}
+		if _, ok := sh.pins[args[0]]; !ok {
+			return fmt.Errorf("no pinned view %q", args[0])
+		}
+		delete(sh.pins, args[0])
+		fmt.Fprintf(sh.out, "unpinned %q\n", args[0])
 		return nil
 	case "layout":
 		if sh.col == nil {

@@ -139,3 +139,44 @@ func TestShellModelNone(t *testing.T) {
 		t.Error("none model adapted")
 	}
 }
+
+func TestShellPinnedViewSurvivesMerge(t *testing.T) {
+	// The pin/unpin session demonstrates the PR-5 snapshot guarantee on
+	// a replication column: the pinned view's count never moves while
+	// writes land and merge-backs rewrite the replica tree under it.
+	sh, out := newTestShell()
+	run(t, sh,
+		"gen 1000 0 9999 3",
+		"strategy replication",
+		"model apm 64 256",
+		"build",
+		"select 1000 4999",
+		"pin before",
+		"view before 0 9999",
+		"insert 42",
+		"insert 43",
+		"merge",
+		"view before 0 9999",
+		"unpin before",
+	)
+	text := out.String()
+	if !strings.Contains(text, "pinned view \"before\"") {
+		t.Fatalf("pin output missing:\n%s", text)
+	}
+	if strings.Count(text, "1000 rows as of watermark") != 2 {
+		t.Fatalf("pinned view drifted across the merge:\n%s", text)
+	}
+	if !strings.Contains(text, "unpinned \"before\"") {
+		t.Fatalf("unpin output missing:\n%s", text)
+	}
+	// The live column sees both inserts.
+	if n, _ := sh.col.Count(0, 9999); n != 1002 {
+		t.Fatalf("live count = %d, want 1002", n)
+	}
+	if err := sh.exec("view before 0 9999"); err == nil {
+		t.Error("view of unpinned name accepted")
+	}
+	if err := sh.exec("unpin nosuch"); err == nil {
+		t.Error("unpin of unknown name accepted")
+	}
+}

@@ -189,6 +189,116 @@ func TestParallelMatchesSerialExactly(t *testing.T) {
 	}
 }
 
+// TestReplicationScannersWithWritersStress is the PR-5 acceptance
+// stress: 8 concurrent scanners on one replication column while 2
+// writers push point writes, bulk loads and merge-backs through it.
+// Before the persistent replica tree every one of these scans serialized
+// behind the writer mutex (and merge churn would have demoted pinned
+// views to read-committed); now the scans are lock-free and a view
+// pinned before the churn must stay byte-stable through all of it.
+func TestReplicationScannersWithWritersStress(t *testing.T) {
+	const (
+		nVals    = 20_000
+		dom      = 200_000
+		scanners = 8
+		writers  = 2
+	)
+	vals := concValues(nVals, dom, 17)
+	col, err := New(Interval{0, dom - 1}, append([]int64(nil), vals...), Options{
+		Strategy:      Replication,
+		Model:         APM,
+		DeltaMaxBytes: 512, // merge-back churn: drain every 128 entries
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := col.View()
+	pinnedWant := pinned.Count(0, dom-1)
+
+	var inserted, deleted, loaded int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(500 + w)))
+			var ins, del, load int64
+			for i := 0; i < 200; i++ {
+				switch r.Intn(5) {
+				case 0:
+					batch := make([]int64, 25)
+					for j := range batch {
+						batch[j] = r.Int63n(dom)
+					}
+					if _, err := col.BulkLoad(batch); err != nil {
+						t.Errorf("bulk load: %v", err)
+						return
+					}
+					load += int64(len(batch))
+				case 1:
+					if ok, _ := col.Delete(vals[r.Intn(len(vals))]); ok {
+						del++
+					}
+				default:
+					if _, err := col.Insert(r.Int63n(dom)); err != nil {
+						t.Errorf("insert: %v", err)
+						return
+					}
+					ins++
+				}
+			}
+			mu.Lock()
+			inserted += ins
+			deleted += del
+			loaded += load
+			mu.Unlock()
+		}(w)
+	}
+	for g := 0; g < scanners; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(900 + g)))
+			for i := 0; i < 120; i++ {
+				lo := r.Int63n(dom)
+				hi := lo + r.Int63n(dom/10)
+				if hi >= dom {
+					hi = dom - 1
+				}
+				res, _ := col.Select(lo, hi)
+				for _, v := range res {
+					if v < lo || v > hi {
+						t.Errorf("value %d outside [%d, %d]", v, lo, hi)
+						return
+					}
+				}
+				// The pre-churn view must stay exact mid-flight.
+				if i%20 == 10 {
+					if n := pinned.Count(0, dom-1); n != pinnedWant {
+						t.Errorf("pinned view drifted mid-churn: %d != %d", n, pinnedWant)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := col.Validate(); err != nil {
+		t.Fatalf("invalid layout after stress: %v", err)
+	}
+	if n := pinned.Count(0, dom-1); n != pinnedWant {
+		t.Fatalf("pinned view drifted: %d != %d", n, pinnedWant)
+	}
+	if _, err := col.MergeDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(nVals) + inserted + loaded - deleted
+	if n, _ := col.Count(0, dom-1); n != want {
+		t.Fatalf("full count = %d, want %d", n, want)
+	}
+}
+
 // TestConcurrentBulkLoadAndScan mixes writers (BulkLoad) with scanners:
 // every scanned value must lie in the query range and the final count
 // must equal the initial plus loaded values.

@@ -90,9 +90,10 @@ func BenchmarkGetCover(b *testing.B) {
 		r.Select(q)
 	}
 	qs := benchQueries(64)
+	root, _ := r.eng.Pin()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cover := r.getCover(qs[i%len(qs)])
+		cover := getCover(root, qs[i%len(qs)])
 		if len(cover) == 0 {
 			b.Fatal("empty cover")
 		}

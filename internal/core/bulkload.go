@@ -12,11 +12,10 @@ package core
 // the value is appended to each of them, and the size estimates of
 // virtual segments on the path are refreshed.
 //
-// Both loaders run behind their strategy's single-writer lock; the
-// segmented loader rebuilds the touched segments copy-on-write and
-// publishes the fully loaded list in one atomic step, so concurrent
-// readers see either the pre-load or the post-load column, never a
-// half-loaded one.
+// Both loaders run behind their strategy's single-writer lock, rebuild
+// the touched base copy-on-write and publish the fully loaded snapshot
+// in one atomic step, so lock-free readers (and pinned Views) see either
+// the pre-load or the post-load column, never a half-loaded one.
 
 import (
 	"fmt"
@@ -34,9 +33,9 @@ func (s *Segmenter) BulkLoad(vals []domain.Value) (QueryStats, error) {
 	if len(vals) == 0 {
 		return st, nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	list := s.list.Load()
+	s.eng.Mu.Lock()
+	defer s.eng.Mu.Unlock()
+	list := s.eng.Base()
 	extent := list.Extent()
 	for _, v := range vals {
 		if !extent.Contains(v) {
@@ -84,7 +83,7 @@ func (s *Segmenter) BulkLoad(vals []domain.Value) (QueryStats, error) {
 		s.tracer.Drop(sg.ID, oldBytes)
 		s.tracer.Materialize(repl.ID, newBytes)
 	}
-	s.list.Store(list)
+	s.eng.Publish(list)
 	s.totalBytes.Add(int64(len(vals)) * elem)
 	s.snapshot(&st)
 	return st, nil
@@ -93,63 +92,30 @@ func (s *Segmenter) BulkLoad(vals []domain.Value) (QueryStats, error) {
 // BulkLoad appends vals to the replicated column: each value is added to
 // every materialized segment whose range contains it (replicas are
 // copies), and virtual-segment size estimates along the path are bumped.
+// The rewrite shares the merge-back's batched routing pass — touched
+// replicas are rebuilt copy-on-write exactly once and the new root is
+// published atomically, so pinned Views stay stable across the load.
 func (r *Replicator) BulkLoad(vals []domain.Value) (QueryStats, error) {
 	var st QueryStats
 	if len(vals) == 0 {
 		return st, nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	extent := r.sentinel.seg.Rng
+	r.eng.Mu.Lock()
+	defer r.eng.Mu.Unlock()
+	extent := r.eng.Base().seg.Rng
 	for _, v := range vals {
 		if !extent.Contains(v) {
 			return st, fmt.Errorf("core: bulk value %d outside extent %v", v, extent)
 		}
 	}
-	buckets := make(map[*node][]domain.Value) // node -> values to append
-	for _, v := range vals {
-		r.loadValue(r.sentinel, v, buckets)
+	next, mst, err := r.applyDeltaLocked(vals, nil)
+	if err != nil {
+		return st, err
 	}
-	for n, add := range buckets {
-		// The rewrite scans the old payload and materializes the merged
-		// one; encoded replicas are decoded, extended and re-encoded, so
-		// read/write volumes are the physical footprints on both sides.
-		oldBytes := int64(n.seg.StoredBytes(r.elemSize))
-		n.seg.Decode()
-		n.seg.Vals = append(n.seg.Vals, add...)
-		if n.seg.Encode(r.codec) {
-			st.Recodes++
-		}
-		newBytes := int64(n.seg.StoredBytes(r.elemSize))
-		st.ReadBytes += oldBytes
-		st.WriteBytes += newBytes
-		r.storage += int64(len(add)) * r.elemSize
-		r.stored += newBytes - oldBytes
-		r.tracer.Scan(n.seg.ID, oldBytes)
-		r.tracer.Drop(n.seg.ID, oldBytes)
-		r.tracer.Materialize(n.seg.ID, newBytes)
+	st.Add(mst)
+	if next != nil {
+		r.eng.Publish(next)
 	}
-	r.totalBytes += int64(len(vals)) * r.elemSize
-	r.contentEpoch.Add(1)
 	r.snapshot(&st)
 	return st, nil
-}
-
-// loadValue routes one value down the tree: buckets it for every
-// materialized node on its path, bumps virtual estimates, and recurses
-// into the child whose range contains it.
-func (r *Replicator) loadValue(n *node, v domain.Value, buckets map[*node][]domain.Value) {
-	if n != r.sentinel {
-		if n.seg.Virtual {
-			n.seg.EstCount++
-		} else {
-			buckets[n] = append(buckets[n], v)
-		}
-	}
-	for _, c := range n.children {
-		if c.seg.Rng.Contains(v) {
-			r.loadValue(c, v, buckets)
-			return
-		}
-	}
 }

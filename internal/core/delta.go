@@ -4,7 +4,7 @@ package core
 // this file adds the single-row half on top of the immutable-snapshot
 // substrate: Insert/Update/Delete land in a per-column write store
 // (internal/delta), queries overlay the store's pinned snapshot onto
-// their segment scans, and a self-organizing merge-back — triggered by
+// their base scans, and a self-organizing merge-back — triggered by
 // delta-size and delta-to-base-ratio thresholds — drains accumulated
 // writes into the base through the same single-writer rewrite pipeline
 // bulk loads use. Merged rows then flow through the ordinary
@@ -13,12 +13,13 @@ package core
 //
 // Lock order: the delta store's mutex is always taken before the
 // strategy's writer lock (Store.Merge holds its mutex across the apply
-// callback, which acquires mu/r.mu). Queries take only the writer lock
-// and read the store through lock-free snapshots, so writers never
-// perturb in-flight scans.
+// callback, which acquires eng.Mu). Queries take no lock at all: they
+// pin a consistent (base, delta) pair through the engine's epoch
+// protocol, so writers never perturb in-flight scans.
 
 import (
 	"fmt"
+	"sort"
 
 	"selforg/internal/delta"
 	"selforg/internal/domain"
@@ -31,23 +32,22 @@ import (
 // as the paper's queries pay for splits). Zero disables the respective
 // trigger; both zero leaves merging to explicit MergeDeltas calls.
 func (s *Segmenter) SetDeltaPolicy(maxBytes int64, ratio float64) {
-	s.deltaMaxBytes.Store(maxBytes)
-	s.deltaRatioBP.Store(int64(ratio * 10000))
+	s.eng.SetDeltaPolicy(maxBytes, ratio)
 }
 
 // DeltaStats implements DeltaStrategy.
-func (s *Segmenter) DeltaStats() delta.Stats { return s.delta.Stats() }
+func (s *Segmenter) DeltaStats() delta.Stats { return s.eng.DeltaStats() }
 
 // Insert implements DeltaStrategy: one row lands in the write store and
 // becomes visible to every query pinned afterwards. The write may
 // trigger a merge-back; its cost is folded into the returned stats.
 func (s *Segmenter) Insert(v domain.Value) (QueryStats, error) {
 	var st QueryStats
-	list := s.list.Load()
+	list := s.eng.Base()
 	if !list.Extent().Contains(v) {
 		return st, fmt.Errorf("core: insert value %d outside extent %v", v, list.Extent())
 	}
-	s.delta.Insert(v)
+	s.eng.Delta.Insert(v)
 	st.WriteBytes += list.ElemSize()
 	err := maybeMergeDeltas(s, &st)
 	s.snapshot(&st)
@@ -59,13 +59,13 @@ func (s *Segmenter) Insert(v domain.Value) (QueryStats, error) {
 // reports false when no visible row carries v.
 func (s *Segmenter) Delete(v domain.Value) (bool, QueryStats) {
 	var st QueryStats
-	list := s.list.Load()
+	list := s.eng.Base()
 	if !list.Extent().Contains(v) {
-		s.delta.RecordMiss()
+		s.eng.Delta.RecordMiss()
 		s.snapshot(&st)
 		return false, st
 	}
-	if !s.delta.Delete(v, s.baseCount) {
+	if !s.eng.Delta.Delete(v, s.baseCount) {
 		s.snapshot(&st)
 		return false, st
 	}
@@ -80,13 +80,13 @@ func (s *Segmenter) Delete(v domain.Value) (bool, QueryStats) {
 // old row or the new one.
 func (s *Segmenter) Update(old, new domain.Value) (bool, QueryStats) {
 	var st QueryStats
-	list := s.list.Load()
+	list := s.eng.Base()
 	if !list.Extent().Contains(old) || !list.Extent().Contains(new) {
-		s.delta.RecordMiss()
+		s.eng.Delta.RecordMiss()
 		s.snapshot(&st)
 		return false, st
 	}
-	if !s.delta.Update(old, new, s.baseCount) {
+	if !s.eng.Delta.Update(old, new, s.baseCount) {
 		s.snapshot(&st)
 		return false, st
 	}
@@ -111,7 +111,7 @@ func (s *Segmenter) MergeDeltas() (QueryStats, error) {
 // immutable and merge-back serializes on the same store mutex, so the
 // base cannot lose rows mid-validation).
 func (s *Segmenter) baseCount(v domain.Value) int64 {
-	list := s.list.Load()
+	list := s.eng.Base()
 	q := domain.Range{Lo: v, Hi: v}
 	lo, hi := list.Overlapping(q)
 	var n int64
@@ -123,15 +123,17 @@ func (s *Segmenter) baseCount(v domain.Value) int64 {
 
 // deltaMerger abstracts the strategy-specific halves of the merge-back
 // path, so the trigger evaluation and drain protocol live in one place
-// for both strategies.
+// for both strategies (the thresholds and the store itself live on the
+// shared engine; the thin forwarders below bridge the generic engine
+// instantiations onto one interface).
 type deltaMerger interface {
 	deltaStore() *delta.Store
 	deltaThresholds() (maxBytes, ratioBP int64)
 	baseLogicalBytes() int64
 	// applyDrained applies the drained entries under the strategy's
-	// writer lock and calls commit while still holding it, so the
-	// rewritten base and the drained store publish atomically for
-	// readers pinning their (base, delta) pair under that same lock.
+	// writer lock and publishes the rewritten base together with the
+	// store's commit (engine.PublishMerged), so the post-merge base and
+	// the drained store appear atomically to lock-free pinners.
 	applyDrained(st *QueryStats, ins, del []domain.Value, commit func()) error
 }
 
@@ -164,45 +166,46 @@ func mergeDeltasNow(m deltaMerger, st *QueryStats) error {
 }
 
 // deltaStore implements deltaMerger.
-func (s *Segmenter) deltaStore() *delta.Store { return s.delta }
+func (s *Segmenter) deltaStore() *delta.Store { return s.eng.Delta }
 
 // deltaThresholds implements deltaMerger.
-func (s *Segmenter) deltaThresholds() (int64, int64) {
-	return s.deltaMaxBytes.Load(), s.deltaRatioBP.Load()
-}
+func (s *Segmenter) deltaThresholds() (int64, int64) { return s.eng.deltaThresholds() }
 
 // baseLogicalBytes implements deltaMerger.
 func (s *Segmenter) baseLogicalBytes() int64 { return s.totalBytes.Load() }
 
 // applyDrained implements deltaMerger: the rewritten list and the
-// drained store are published while holding mu, so queries pinning
-// their (list, delta) pair under mu always see a consistent view.
+// drained store are published as one epoch step (PublishMerged), so
+// lock-free pinners always see a consistent (list, delta) pair.
 func (s *Segmenter) applyDrained(st *QueryStats, ins, del []domain.Value, commit func()) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	mst, err := s.applyDeltaLocked(ins, del)
+	s.eng.Mu.Lock()
+	defer s.eng.Mu.Unlock()
+	next, mst, err := s.applyDeltaLocked(ins, del)
 	if err != nil {
 		return err
 	}
 	st.Add(mst)
-	commit()
+	if next == nil {
+		next = s.eng.Base() // nothing drained touched the base; re-stamp it
+	}
+	s.eng.PublishMerged(next, commit)
 	return nil
 }
 
-// applyDeltaLocked rewrites every segment touched by the drained
-// entries (caller holds mu): tombstones remove one occurrence each,
-// inserts append, and each touched segment is rebuilt copy-on-write,
-// re-encoded and published — the bulk-load pipeline with removals. The
-// Segmenter's models then reorganize the merged rows on later queries.
-// All rewrites are staged and validated before anything is published or
-// accounted, so an error leaves the column (and the un-drained store)
-// exactly as they were.
-func (s *Segmenter) applyDeltaLocked(ins, del []domain.Value) (QueryStats, error) {
+// applyDeltaLocked stages the rewrite of every segment touched by the
+// drained entries (caller holds eng.Mu): tombstones remove one
+// occurrence each, inserts append, and each touched segment is rebuilt
+// copy-on-write, re-encoded and accounted — the bulk-load pipeline with
+// removals. The Segmenter's models then reorganize the merged rows on
+// later queries. All rewrites are staged and validated before anything
+// is accounted, and the caller publishes the returned list, so an error
+// leaves the column (and the un-drained store) exactly as they were.
+func (s *Segmenter) applyDeltaLocked(ins, del []domain.Value) (*segment.List, QueryStats, error) {
 	var st QueryStats
 	if len(ins) == 0 && len(del) == 0 {
-		return st, nil
+		return nil, st, nil
 	}
-	list := s.list.Load()
+	list := s.eng.Base()
 	elem := list.ElemSize()
 	codec := s.codec.Load()
 	insB := make(map[int][]domain.Value)
@@ -217,14 +220,14 @@ func (s *Segmenter) applyDeltaLocked(ins, del []domain.Value) (QueryStats, error
 	for _, v := range ins {
 		i, err := locate(v)
 		if err != nil {
-			return st, err
+			return nil, st, err
 		}
 		insB[i] = append(insB[i], v)
 	}
 	for _, v := range del {
 		i, err := locate(v)
 		if err != nil {
-			return st, err
+			return nil, st, err
 		}
 		if delB[i] == nil {
 			delB[i] = make(map[domain.Value]int)
@@ -263,7 +266,7 @@ func (s *Segmenter) applyDeltaLocked(ins, del []domain.Value) (QueryStats, error
 			removed += rm
 			for v, n := range dead {
 				if n > 0 {
-					return st, fmt.Errorf("core: tombstone for %d has no base row in %v", v, sg.Rng)
+					return nil, st, fmt.Errorf("core: tombstone for %d has no base row in %v", v, sg.Rng)
 				}
 			}
 		}
@@ -279,7 +282,7 @@ func (s *Segmenter) applyDeltaLocked(ins, del []domain.Value) (QueryStats, error
 			newBytes: int64(repl.StoredBytes(elem)),
 		})
 	}
-	// Commit: account and publish.
+	// Commit the accounting; the caller publishes the list.
 	for _, rw := range rewrites {
 		st.ReadBytes += rw.oldBytes // the rewrite scans the old segment
 		st.WriteBytes += rw.newBytes
@@ -288,9 +291,8 @@ func (s *Segmenter) applyDeltaLocked(ins, del []domain.Value) (QueryStats, error
 		s.tracer.Drop(rw.old.ID, rw.oldBytes)
 		s.tracer.Materialize(rw.repl.ID, rw.newBytes)
 	}
-	s.list.Store(list)
 	s.totalBytes.Add((int64(len(ins)) - removed) * elem)
-	return st, nil
+	return list, st, nil
 }
 
 // sortDesc sorts ints descending (tiny n; insertion sort keeps the
@@ -316,17 +318,11 @@ func deltaOverThreshold(pending, maxBytes, ratioBP, baseBytes int64) bool {
 
 // --- Replicator counterparts ---
 
-// SetDeltaPolicy implements DeltaStrategy (see Segmenter.SetDeltaPolicy).
-func (r *Replicator) SetDeltaPolicy(maxBytes int64, ratio float64) {
-	r.deltaMaxBytes.Store(maxBytes)
-	r.deltaRatioBP.Store(int64(ratio * 10000))
-}
-
 // DeltaStats implements DeltaStrategy.
-func (r *Replicator) DeltaStats() delta.Stats { return r.delta.Stats() }
+func (r *Replicator) DeltaStats() delta.Stats { return r.eng.DeltaStats() }
 
 // extent returns the column's domain (the sentinel covers it all).
-func (r *Replicator) extent() domain.Range { return r.sentinel.seg.Rng }
+func (r *Replicator) extent() domain.Range { return r.eng.Base().seg.Rng }
 
 // Insert implements DeltaStrategy.
 func (r *Replicator) Insert(v domain.Value) (QueryStats, error) {
@@ -334,10 +330,10 @@ func (r *Replicator) Insert(v domain.Value) (QueryStats, error) {
 	if !r.extent().Contains(v) {
 		return st, fmt.Errorf("core: insert value %d outside extent %v", v, r.extent())
 	}
-	r.delta.Insert(v)
+	r.eng.Delta.Insert(v)
 	st.WriteBytes += r.elemSize
 	err := maybeMergeDeltas(r, &st)
-	r.statsSnapshot(&st)
+	r.snapshot(&st)
 	return st, err
 }
 
@@ -345,17 +341,17 @@ func (r *Replicator) Insert(v domain.Value) (QueryStats, error) {
 func (r *Replicator) Delete(v domain.Value) (bool, QueryStats) {
 	var st QueryStats
 	if !r.extent().Contains(v) {
-		r.delta.RecordMiss()
-		r.statsSnapshot(&st)
+		r.eng.Delta.RecordMiss()
+		r.snapshot(&st)
 		return false, st
 	}
-	if !r.delta.Delete(v, r.baseCount) {
-		r.statsSnapshot(&st)
+	if !r.eng.Delta.Delete(v, r.baseCount) {
+		r.snapshot(&st)
 		return false, st
 	}
 	st.WriteBytes += r.elemSize
 	mustMergeDeltas(r, &st)
-	r.statsSnapshot(&st)
+	r.snapshot(&st)
 	return true, st
 }
 
@@ -363,17 +359,17 @@ func (r *Replicator) Delete(v domain.Value) (bool, QueryStats) {
 func (r *Replicator) Update(old, new domain.Value) (bool, QueryStats) {
 	var st QueryStats
 	if !r.extent().Contains(old) || !r.extent().Contains(new) {
-		r.delta.RecordMiss()
-		r.statsSnapshot(&st)
+		r.eng.Delta.RecordMiss()
+		r.snapshot(&st)
 		return false, st
 	}
-	if !r.delta.Update(old, new, r.baseCount) {
-		r.statsSnapshot(&st)
+	if !r.eng.Delta.Update(old, new, r.baseCount) {
+		r.snapshot(&st)
 		return false, st
 	}
 	st.WriteBytes += 2 * r.elemSize
 	mustMergeDeltas(r, &st)
-	r.statsSnapshot(&st)
+	r.snapshot(&st)
 	return true, st
 }
 
@@ -381,168 +377,172 @@ func (r *Replicator) Update(old, new domain.Value) (bool, QueryStats) {
 func (r *Replicator) MergeDeltas() (QueryStats, error) {
 	var st QueryStats
 	err := mergeDeltasNow(r, &st)
-	r.statsSnapshot(&st)
+	r.snapshot(&st)
 	return st, err
 }
 
-// statsSnapshot fills the storage measures under the writer lock (the
-// write paths run outside it).
-func (r *Replicator) statsSnapshot(st *QueryStats) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.snapshot(st)
-}
-
-// baseCount counts base rows carrying v — the point cover's count.
-// Called under the store's mutex; acquires the tree lock (lock order:
-// store mutex before tree mutex, matching the merge path).
+// baseCount counts base rows carrying v — the point cover's count on the
+// current snapshot, lock-free. Called under the store's mutex; the store
+// serializes merges on that same mutex, so the base cannot lose rows
+// mid-validation (tree reorganization preserves content).
 func (r *Replicator) baseCount(v domain.Value) int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	q := domain.Range{Lo: v, Hi: v}
 	var n int64
-	for _, c := range r.getCover(q) {
+	for _, c := range getCover(r.eng.Base(), q) {
 		n += c.seg.SelectCount(q)
 	}
 	return n
 }
 
 // deltaStore implements deltaMerger.
-func (r *Replicator) deltaStore() *delta.Store { return r.delta }
+func (r *Replicator) deltaStore() *delta.Store { return r.eng.Delta }
 
 // deltaThresholds implements deltaMerger.
-func (r *Replicator) deltaThresholds() (int64, int64) {
-	return r.deltaMaxBytes.Load(), r.deltaRatioBP.Load()
-}
+func (r *Replicator) deltaThresholds() (int64, int64) { return r.eng.deltaThresholds() }
 
 // baseLogicalBytes implements deltaMerger.
-func (r *Replicator) baseLogicalBytes() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.totalBytes
-}
+func (r *Replicator) baseLogicalBytes() int64 { return r.totalBytes.Load() }
 
 // applyDrained implements deltaMerger (see Segmenter.applyDrained).
 func (r *Replicator) applyDrained(st *QueryStats, ins, del []domain.Value, commit func()) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	mst, err := r.applyDeltaLocked(ins, del)
+	r.eng.Mu.Lock()
+	defer r.eng.Mu.Unlock()
+	next, mst, err := r.applyDeltaLocked(ins, del)
 	if err != nil {
 		return err
 	}
 	st.Add(mst)
-	commit()
+	if next == nil {
+		next = r.eng.Base() // all entries cancelled out; re-stamp the root
+	}
+	r.eng.PublishMerged(next, commit)
 	return nil
 }
 
-// applyDeltaLocked drains merged entries into the replica tree (caller
-// holds the tree lock): a tombstone removes one occurrence of its value
-// from every materialized replica on the value's path (replicas are
-// copies) and decrements virtual estimates; inserts follow the BulkLoad
-// routing. Every touched replica is rewritten once. Like the Segmenter
-// counterpart, all rewrites are staged and validated first — an error
-// leaves the tree (and the un-drained store) exactly as they were.
-func (r *Replicator) applyDeltaLocked(ins, del []domain.Value) (QueryStats, error) {
+// applyDeltaLocked builds the post-merge replica tree (caller holds
+// eng.Mu): one batched routing pass partitions every drained insert and
+// tombstone down the tree, so each touched replica is rewritten exactly
+// once per merge batch no matter how many entries its range covers — a
+// tombstone removes one occurrence of its value from every materialized
+// replica on the value's path (replicas are copies), inserts follow the
+// bulk-load routing, and virtual estimates adjust by the net count.
+// Untouched subtrees are shared with the old tree (path copying). All
+// rewrites are staged and validated before anything is accounted, and
+// the caller publishes the returned root — an error leaves the tree (and
+// the un-drained store) exactly as they were.
+func (r *Replicator) applyDeltaLocked(ins, del []domain.Value) (*node, QueryStats, error) {
 	var st QueryStats
 	if len(ins) == 0 && len(del) == 0 {
-		return st, nil
+		return nil, st, nil
 	}
-	insB := make(map[*node][]domain.Value)
-	delB := make(map[*node]map[domain.Value]int)
-	virtAdj := make(map[*node]int64)
-	for _, v := range del {
-		r.routeDelta(r.sentinel, v, -1, nil, delB, virtAdj)
-	}
-	for _, v := range ins {
-		r.routeDelta(r.sentinel, v, +1, insB, nil, virtAdj)
-	}
-	touched := make(map[*node]bool, len(insB)+len(delB))
-	for n := range insB {
-		touched[n] = true
-	}
-	for n := range delB {
-		touched[n] = true
-	}
-	// Stage: build every replacement payload on fresh slices, validating
-	// tombstone targets, before mutating any node.
+	insS := routedSorted(ins)
+	delS := routedSorted(del)
+	codec := r.codec.Load()
 	type rewrite struct {
-		n        *node
-		vals     []domain.Value
+		repl     *segment.Segment
 		oldBytes int64
+		recoded  bool
 		net      int64 // logical elements added minus removed
 	}
-	rewrites := make([]rewrite, 0, len(touched))
-	for n := range touched {
-		vals := make([]domain.Value, 0, int(n.seg.Count())+len(insB[n]))
-		vals = n.seg.AppendValues(vals)
-		var removed int64
-		if dead := delB[n]; dead != nil {
-			vals, removed = delta.RemoveOccurrences(vals, dead)
-			for v, c := range dead {
-				if c > 0 {
-					return st, fmt.Errorf("core: tombstone for %d has no row in replica %v", v, n.seg.Rng)
+	var rewrites []rewrite
+	sentinel := r.eng.Base()
+
+	var rebuild func(n *node, ins, del []domain.Value) (*node, error)
+	rebuild = func(n *node, ins, del []domain.Value) (*node, error) {
+		if len(ins) == 0 && len(del) == 0 {
+			return n, nil // untouched subtree, shared as-is
+		}
+		seg := n.seg
+		if n != sentinel {
+			if seg.Virtual {
+				est := seg.EstCount + int64(len(ins)) - int64(len(del))
+				if est < 0 {
+					est = 0
 				}
+				seg = &segment.Segment{ID: seg.ID, Rng: seg.Rng, Virtual: true, EstCount: est}
+			} else {
+				vals := make([]domain.Value, 0, int(seg.Count())+len(ins))
+				vals = seg.AppendValues(vals)
+				var removed int64
+				if len(del) > 0 {
+					dead := make(map[domain.Value]int, len(del))
+					for _, v := range del {
+						dead[v]++
+					}
+					vals, removed = delta.RemoveOccurrences(vals, dead)
+					for v, c := range dead {
+						if c > 0 {
+							return nil, fmt.Errorf("core: tombstone for %d has no row in replica %v", v, seg.Rng)
+						}
+					}
+				}
+				vals = append(vals, ins...)
+				repl := seg.Filled(vals)
+				recoded := repl.Encode(codec)
+				rewrites = append(rewrites, rewrite{
+					repl:     repl,
+					oldBytes: int64(seg.StoredBytes(r.elemSize)),
+					recoded:  recoded,
+					net:      int64(len(ins)) - removed,
+				})
+				seg = repl
 			}
 		}
-		vals = append(vals, insB[n]...)
-		rewrites = append(rewrites, rewrite{
-			n: n, vals: vals,
-			oldBytes: int64(n.seg.StoredBytes(r.elemSize)),
-			net:      int64(len(insB[n])) - removed,
-		})
+		kids := n.children
+		changed := false
+		for i, c := range n.children {
+			cIns := rangeSlice(ins, c.seg.Rng)
+			cDel := rangeSlice(del, c.seg.Rng)
+			nc, err := rebuild(c, cIns, cDel)
+			if err != nil {
+				return nil, err
+			}
+			if nc != c {
+				if !changed {
+					kids = append([]*node(nil), n.children...)
+					changed = true
+				}
+				kids[i] = nc
+			}
+		}
+		if seg == n.seg && !changed {
+			return n, nil
+		}
+		return &node{seg: seg, children: kids}, nil
 	}
-	// Commit: swap payloads, re-encode, account, adjust estimates.
-	var netStorage int64
+	next, err := rebuild(sentinel, insS, delS)
+	if err != nil {
+		return nil, st, err
+	}
+	// Commit the accounting; the caller publishes the root.
 	for _, rw := range rewrites {
-		rw.n.seg.SetPayload(rw.vals)
-		if rw.n.seg.Encode(r.codec) {
+		newBytes := int64(rw.repl.StoredBytes(r.elemSize))
+		st.ReadBytes += rw.oldBytes // the rewrite scans the old replica
+		st.WriteBytes += newBytes
+		if rw.recoded {
 			st.Recodes++
 		}
-		newBytes := int64(rw.n.seg.StoredBytes(r.elemSize))
-		st.ReadBytes += rw.oldBytes
-		st.WriteBytes += newBytes
-		netStorage += rw.net
-		r.stored += newBytes - rw.oldBytes
-		r.tracer.Scan(rw.n.seg.ID, rw.oldBytes)
-		r.tracer.Drop(rw.n.seg.ID, rw.oldBytes)
-		r.tracer.Materialize(rw.n.seg.ID, newBytes)
+		r.stored.Add(newBytes - rw.oldBytes)
+		r.storage.Add(rw.net * r.elemSize)
+		r.tracer.Scan(rw.repl.ID, rw.oldBytes)
+		r.tracer.Drop(rw.repl.ID, rw.oldBytes)
+		r.tracer.Materialize(rw.repl.ID, newBytes)
 	}
-	for n, adj := range virtAdj {
-		n.seg.EstCount += adj
-		if n.seg.EstCount < 0 {
-			n.seg.EstCount = 0
-		}
-	}
-	r.storage += netStorage * r.elemSize
-	r.totalBytes += (int64(len(ins)) - int64(len(del))) * r.elemSize
-	r.contentEpoch.Add(1)
-	return st, nil
+	r.totalBytes.Add((int64(len(ins)) - int64(len(del))) * r.elemSize)
+	return next, st, nil
 }
 
-// routeDelta routes one drained entry down the tree without mutating
-// it: materialized nodes on the value's path collect the insert value
-// (insB) or a removal tally (delB), virtual nodes collect estimate
-// adjustments (sign per entry), and the walk recurses into the child
-// whose range contains the value — the BulkLoad routing, made pure so
-// the apply step can stage-then-commit.
-func (r *Replicator) routeDelta(n *node, v domain.Value, sign int64, insB map[*node][]domain.Value, delB map[*node]map[domain.Value]int, virtAdj map[*node]int64) {
-	if n != r.sentinel {
-		switch {
-		case n.seg.Virtual:
-			virtAdj[n] += sign
-		case sign > 0:
-			insB[n] = append(insB[n], v)
-		default:
-			if delB[n] == nil {
-				delB[n] = make(map[domain.Value]int)
-			}
-			delB[n][v]++
-		}
-	}
-	for _, c := range n.children {
-		if c.seg.Rng.Contains(v) {
-			r.routeDelta(c, v, sign, insB, delB, virtAdj)
-			return
-		}
-	}
+// routedSorted returns a sorted copy (the routing pass partitions by
+// binary search).
+func routedSorted(vs []domain.Value) []domain.Value {
+	out := append([]domain.Value(nil), vs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// rangeSlice returns the subslice of sorted vals falling inside rng.
+func rangeSlice(vals []domain.Value, rng domain.Range) []domain.Value {
+	lo := sort.Search(len(vals), func(i int) bool { return vals[i] >= rng.Lo })
+	hi := sort.Search(len(vals), func(i int) bool { return vals[i] > rng.Hi })
+	return vals[lo:hi]
 }

@@ -190,43 +190,48 @@ func TestDeltaViewPinsVisibility(t *testing.T) {
 	if got := sortedVals(after.Select(extent)); !valsEq(got, want) {
 		t.Fatalf("post-write view changed by merge: %v", got)
 	}
-	if before.Stale() || after.Stale() {
-		t.Fatal("segmentation views must never be stale")
-	}
 	if before.Count(extent) != 3 || after.Count(extent) != 3 {
 		t.Fatal("view counts diverge from view selects")
 	}
 }
 
-func TestDeltaViewReplicatorStaleness(t *testing.T) {
+// TestDeltaViewReplicatorStableAcrossMerges pins replication views around
+// writes, merge-backs and bulk loads: with the persistent replica tree a
+// pinned (root, delta watermark) pair is a true snapshot, byte-identical
+// to the segmentation View contract — the old stale/read-committed
+// fallback is gone.
+func TestDeltaViewReplicatorStableAcrossMerges(t *testing.T) {
 	extent := domain.NewRange(0, 999)
 	repl := NewReplicator(extent, []domain.Value{100, 200}, 4, model.NewAPM(32, 128), nil)
 	v := repl.Pin()
 	repl.Insert(150)
-	if v.Stale() {
-		t.Fatal("view stale before any merge")
-	}
 	if got := sortedVals(v.Select(extent)); !valsEq(got, []domain.Value{100, 200}) {
 		t.Fatalf("pinned view sees later insert: %v", got)
 	}
 	if _, err := repl.MergeDeltas(); err != nil {
 		t.Fatal(err)
 	}
-	if !v.Stale() {
-		t.Fatal("view not stale after merge-back")
+	// The merge-back drained the insert into the tree; the pinned view
+	// must keep serving its snapshot, not the merged content.
+	if got := sortedVals(v.Select(extent)); !valsEq(got, []domain.Value{100, 200}) {
+		t.Fatalf("view changed by merge-back: %v", got)
 	}
-	// Stale views degrade to read-committed: current content.
-	if got := sortedVals(v.Select(extent)); !valsEq(got, []domain.Value{100, 150, 200}) {
-		t.Fatalf("stale view select = %v, want current content", got)
+	if n := v.Count(extent); n != 2 {
+		t.Fatalf("view count after merge = %d, want 2", n)
 	}
-	// BulkLoad also mutates the tree's content in place, so it must
-	// invalidate pinned views just like a merge-back does.
+	// A view pinned between the merge and a bulk load sees the merged
+	// row but not the loaded one.
 	v2 := repl.Pin()
 	if _, err := repl.BulkLoad([]domain.Value{500}); err != nil {
 		t.Fatal(err)
 	}
-	if !v2.Stale() {
-		t.Fatal("view not stale after BulkLoad")
+	if got := sortedVals(v2.Select(extent)); !valsEq(got, []domain.Value{100, 150, 200}) {
+		t.Fatalf("view changed by bulk load: %v", got)
+	}
+	// Fresh reads see everything.
+	got, _ := repl.Select(extent)
+	if !valsEq(sortedVals(got), []domain.Value{100, 150, 200, 500}) {
+		t.Fatalf("live select = %v", sortedVals(got))
 	}
 }
 

@@ -1,0 +1,134 @@
+package core
+
+// The snapshot-publication engine shared by both self-organizing
+// strategies. Before this file existed the Segmenter and the Replicator
+// each carried their own copy of the same machinery — a writer mutex, an
+// atomically published immutable base snapshot, an MVCC write store with
+// merge thresholds, and the merge-back commit protocol that publishes
+// the rewritten base and the drained store as one atomic step. The
+// engine hoists all of it into one place, parameterized over the base
+// snapshot type: `*segment.List` for segmentation, the replica tree's
+// root `*node` for replication.
+//
+// # Lock-free consistent pins
+//
+// The engine publishes the base through an atomic pointer and the delta
+// store publishes its snapshots the same way, so either can be loaded
+// without a lock — but a reader needs the *pair* to be consistent: after
+// a merge-back drains pending writes into the base, pairing the new base
+// with a pre-drain delta snapshot would double-count the merged entries,
+// and pairing the old base with the drained snapshot would lose them.
+// Rather than serializing readers through the writer mutex (what both
+// strategies did before), the engine stamps every published base with
+// the number of merges drained into it and the delta store stamps every
+// snapshot with the number of merges committed before it; Pin loads
+// both sides and retries until the two epochs agree. Non-merge
+// publications keep their side's epoch, so the loop only ever retries
+// inside the few instructions between a merge's base publication and its
+// store commit — readers are wait-free in steady state and never block
+// on reorganization, bulk loads or merge-backs.
+//
+// Everything else keeps the single-writer discipline of PR 2: all base
+// mutations happen under Mu and publish via Publish (same epoch) or
+// PublishMerged (epoch + 1, paired with the store's commit callback).
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"selforg/internal/delta"
+)
+
+// published is one (base snapshot, merge epoch) pair.
+type published[B any] struct {
+	base  *B
+	epoch int64 // delta merges drained into this base
+}
+
+// engine owns the publication state of one strategy instance.
+type engine[B any] struct {
+	// Mu is the single-writer path: model decisions and every base
+	// mutation (splits, replica materialization, drops, bulk loads,
+	// merge-backs, re-encoding) happen under it. Readers never take it.
+	Mu  sync.Mutex
+	cur atomic.Pointer[published[B]]
+	// Delta is the column's MVCC write store; deltaMaxBytes /
+	// deltaRatioBP are the self-organizing merge-back triggers (pending
+	// bytes, pending-to-base ratio in basis points; 0 disables).
+	Delta         *delta.Store
+	deltaMaxBytes atomic.Int64
+	deltaRatioBP  atomic.Int64
+}
+
+// initEngine installs the initial base snapshot and a fresh write store.
+func (e *engine[B]) initEngine(base *B, elemSize int64) {
+	e.Delta = delta.NewStore(elemSize)
+	e.cur.Store(&published[B]{base: base})
+}
+
+// Base returns the current base snapshot without ordering against the
+// delta store — for accessors (layout, stats, validation) and for the
+// writer path, which holds Mu anyway.
+func (e *engine[B]) Base() *B { return e.cur.Load().base }
+
+// Pin returns a consistent (base, delta) pair without taking any lock.
+// Two checks close the two interleavings that could tear the pair:
+//
+//   - The epoch match catches a merge-back landing between the two
+//     loads: its base (epoch+1) must not pair with the pre-drain store
+//     (double-count) nor the old base with the drained store (loss).
+//   - The pointer re-check catches a content-changing same-epoch
+//     publication (a bulk load) landing between the two loads: pairing
+//     the pre-load base with a delta snapshot taken after the load
+//     would expose a column state that never existed. Publications
+//     always store a freshly allocated pair, so an unchanged pointer
+//     proves no publication completed in between (no ABA).
+//
+// Both windows are a few instructions wide; readers are wait-free in
+// steady state.
+func (e *engine[B]) Pin() (*B, *delta.Snapshot) {
+	for {
+		p := e.cur.Load()
+		ds := e.Delta.Snapshot()
+		if p.epoch == ds.MergeEpoch() && e.cur.Load() == p {
+			return p.base, ds
+		}
+	}
+}
+
+// Publish installs a new base snapshot that carries the same logical
+// delta state (reorganization, bulk load, re-encoding). Caller holds Mu.
+func (e *engine[B]) Publish(base *B) {
+	e.cur.Store(&published[B]{base: base, epoch: e.cur.Load().epoch})
+}
+
+// PublishMerged installs a base snapshot that has absorbed a drained
+// delta batch, then commits the drain: the epoch bump on the base side
+// and commit's epoch bump on the store side re-align the pair for
+// lock-free pinners. Caller holds Mu and is inside delta.Store.Merge
+// (commit is Merge's callback).
+func (e *engine[B]) PublishMerged(base *B, commit func()) {
+	e.cur.Store(&published[B]{base: base, epoch: e.cur.Load().epoch + 1})
+	commit()
+}
+
+// SetDeltaPolicy implements the DeltaStrategy knob for both strategies:
+// a write that leaves more than maxBytes pending, or more than ratio ×
+// the base's logical size, drains the write store inline. Zero disables
+// the respective trigger; both zero leaves merging to explicit
+// MergeDeltas calls.
+func (e *engine[B]) SetDeltaPolicy(maxBytes int64, ratio float64) {
+	e.deltaMaxBytes.Store(maxBytes)
+	e.deltaRatioBP.Store(int64(ratio * 10000))
+}
+
+// deltaStore implements deltaMerger.
+func (e *engine[B]) deltaStore() *delta.Store { return e.Delta }
+
+// deltaThresholds implements deltaMerger.
+func (e *engine[B]) deltaThresholds() (int64, int64) {
+	return e.deltaMaxBytes.Load(), e.deltaRatioBP.Load()
+}
+
+// DeltaStats implements DeltaStrategy.
+func (e *engine[B]) DeltaStats() delta.Stats { return e.Delta.Stats() }

@@ -7,7 +7,6 @@ import (
 	"sync/atomic"
 
 	"selforg/internal/compress"
-	"selforg/internal/delta"
 	"selforg/internal/domain"
 	"selforg/internal/model"
 	"selforg/internal/segment"
@@ -21,64 +20,99 @@ import (
 //
 // # Concurrency model
 //
-// The Replicator is safe for concurrent use: the replica tree is a
-// mutable linked structure (children attach, payloads fill, nodes splice
-// out), so every query runs behind the single writer mutex — replica
-// creation, re-encoding and drops never race. Unlike the Segmenter there
-// is no lock-free read path; concurrent query streams serialize, which
-// the facade documents as the replication trade-off. With
-// SetParallelism(n > 1) the result extraction of one query still fans out
+// The replica tree is persistent: nodes are immutable after publication
+// and every mutation — replica creation, materialization, re-encoding,
+// drops, bulk loads, delta merge-backs — path-copies from the touched
+// node up to the sentinel and publishes the new root through the shared
+// snapshot-publication engine. A query therefore takes **no lock at
+// all** on its read path: it pins a consistent (root, delta) pair
+// lock-free, computes its cover and scans it on the pinned snapshot, and
+// overlays the pinned delta — concurrent scanners never serialize, no
+// matter how much reorganization runs beside them.
+//
+// The adaptation half of the paper's algorithms (model decisions, replica
+// materialization, drops) is hoisted out of the read path onto the
+// single-writer pipeline: a query that detects adaptation opportunities
+// in its cover enqueues its range and the queue is drained behind the
+// writer mutex with TryLock semantics — a scanner never *blocks* on the
+// mutex; if another query (or a bulk load, or a merge-back) holds it,
+// the range stays queued and the current holder (or the next adapting
+// query) picks it up. Single-threaded use always wins the TryLock, so
+// serial behaviour — results, stats, layout evolution — is bit-for-bit
+// identical to the fully locked implementation this replaces.
+//
+// With SetParallelism(n > 1) the result extraction of one query fans out
 // across the (disjoint) covering segments on a bounded worker pool, with
-// per-worker stats deltas merged in cover order, so large scans
-// parallelize inside the lock.
+// per-worker stats deltas merged in cover order. An attached Tracer must
+// be safe for concurrent use when multiple goroutines query the column
+// (scan events are no longer serialized by a query lock).
 type Replicator struct {
-	// mu is the single-writer path guarding the tree, the model and the
-	// storage counters.
-	mu sync.Mutex
-	// sentinel is a permanent virtual holder of the forest. The paper's
-	// tree root (the whole column) can itself be dropped once fully
-	// replicated ("the initial segment containing the entire column was
-	// fully replicated by its materialized children and dropped", §6.1.3);
-	// the sentinel keeps the remaining forest addressable and is exempt
-	// from dropping.
-	sentinel *node
+	// eng owns the published (root, delta) pair, the writer mutex and
+	// the merge-back protocol, shared with the Segmenter.
+	eng engine[node]
+	// mod is the stateful segmentation model (GD owns a random stream,
+	// AutoAPM tunes its bounds); consulted only under eng.Mu.
 	mod      model.Model
 	tracer   Tracer
 	elemSize int64
-	codec    *compress.Codec // nil = compression off
+	codec    atomic.Pointer[compress.Codec] // nil = compression off
 	// totalBytes is the original logical column size — GD's TotSize.
-	totalBytes int64
+	totalBytes atomic.Int64
 	// storage tracks logical materialized bytes currently held
 	// (Figures 8, 9); stored tracks the physical (compressed) footprint.
-	// The two are equal with compression off.
-	storage int64
-	stored  int64
+	// The two are equal with compression off. Atomics so lock-free
+	// readers can fill their stats snapshot.
+	storage atomic.Int64
+	stored  atomic.Int64
 	// budget bounds storage (0 = unlimited): the §8 extension "optimal
 	// replica configuration in the presence of storage limitations". New
 	// replicas whose estimated size would exceed the budget are declined;
-	// queries stay correct, served from the covering ancestors.
+	// queries stay correct, served from the covering ancestors. Written
+	// and read under eng.Mu.
 	budget int64
 	// maxDepth bounds the replica tree depth (0 = unlimited), the other
-	// §6.1.3/§8 open knob ("we do not impose limitations on the replica
-	// tree depth"). At the limit, leaves are no longer split; virtual
-	// leaves may still materialize whole (which adds no depth).
+	// §6.1.3/§8 open knob. At the limit, leaves are no longer split;
+	// virtual leaves may still materialize whole (which adds no depth).
+	// Written and read under eng.Mu.
 	maxDepth int
 	// declined counts replicas refused by the budget or depth guards.
-	declined int
+	declined atomic.Int64
 	// par is the per-query extraction fan-out width (0 = adaptive,
 	// 1 = serial, n > 1 = bounded at n).
-	par int
-	// delta is the column's MVCC write store (see core/delta.go); the
-	// merge thresholds mirror the Segmenter's.
-	delta         *delta.Store
-	deltaMaxBytes atomic.Int64
-	deltaRatioBP  atomic.Int64
-	// contentEpoch counts the mutations that change the tree's logical
-	// content in place — bulk loads and delta merge-backs. Pinned Views
-	// use it to detect that their snapshot-isolation window has closed
-	// (tree reorganization preserves content and does not bump it).
-	contentEpoch atomic.Int64
+	par atomic.Int32
+	// adapt queues the ranges whose adaptation is still pending — the
+	// hand-off from the lock-free read path to the writer pipeline.
+	adapt adaptQueue
 }
+
+// adaptQueue is the tiny pending-adaptation buffer between the lock-free
+// read path and the single-writer pipeline. Its mutex guards only the
+// slice append/swap — never any scan, model or tree work — and queries
+// with no adaptation work never touch it: emptiness is answered from an
+// atomic counter, so the converged scan path stays zero-lock.
+type adaptQueue struct {
+	mu      sync.Mutex
+	pending []domain.Range
+	n       atomic.Int64 // len(pending), readable without the mutex
+}
+
+func (a *adaptQueue) add(q domain.Range) {
+	a.mu.Lock()
+	a.pending = append(a.pending, q)
+	a.n.Store(int64(len(a.pending)))
+	a.mu.Unlock()
+}
+
+func (a *adaptQueue) drain() []domain.Range {
+	a.mu.Lock()
+	p := a.pending
+	a.pending = nil
+	a.n.Store(0)
+	a.mu.Unlock()
+	return p
+}
+
+func (a *adaptQueue) empty() bool { return a.n.Load() == 0 }
 
 // NewReplicator builds the strategy over a fresh one-segment column (the
 // replica-tree root) covering extent and holding vals. tracer may be nil.
@@ -90,19 +124,24 @@ func NewReplicator(extent domain.Range, vals []domain.Value, elemSize int64, m m
 		tracer = nopTracer{}
 	}
 	root := &node{seg: segment.NewMaterialized(extent, vals)}
-	sentinel := &node{seg: segment.NewVirtual(extent, int64(len(vals)))}
-	sentinel.addChildren(root)
+	// sentinel is a permanent virtual holder of the forest. The paper's
+	// tree root (the whole column) can itself be dropped once fully
+	// replicated ("the initial segment containing the entire column was
+	// fully replicated by its materialized children and dropped", §6.1.3);
+	// the sentinel keeps the remaining forest addressable and is exempt
+	// from dropping.
+	sentinel := &node{seg: segment.NewVirtual(extent, int64(len(vals))), children: []*node{root}}
 	r := &Replicator{
-		sentinel:   sentinel,
-		mod:        m,
-		tracer:     tracer,
-		elemSize:   elemSize,
-		totalBytes: int64(len(vals)) * elemSize,
-		storage:    int64(len(vals)) * elemSize,
-		stored:     int64(len(vals)) * elemSize,
-		delta:      delta.NewStore(elemSize),
+		mod:      m,
+		tracer:   tracer,
+		elemSize: elemSize,
 	}
-	r.tracer.Materialize(root.seg.ID, r.storage)
+	r.eng.initEngine(sentinel, elemSize)
+	bytes := int64(len(vals)) * elemSize
+	r.totalBytes.Store(bytes)
+	r.storage.Store(bytes)
+	r.stored.Store(bytes)
+	r.tracer.Materialize(root.seg.ID, bytes)
 	return r
 }
 
@@ -114,88 +153,104 @@ func (r *Replicator) Name() string { return r.mod.Name() + " Repl" }
 // per query from the cover's segment count and scan volume; 1 forces
 // serial; n > 1 bounds the fan-out at n.
 func (r *Replicator) SetParallelism(n int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if n < 0 {
 		n = 1
 	}
-	r.par = n
+	r.par.Store(int32(n))
 }
 
 // SetCompression attaches the compression subsystem: new replicas are
 // encoded as they materialize, and the existing materialized tree is
-// re-encoded immediately.
+// re-encoded copy-on-write and republished, so concurrent readers keep
+// their consistent snapshot.
 func (r *Replicator) SetCompression(mode compress.Mode) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.codec = compress.NewCodec(mode, r.elemSize)
-	if !r.codec.Enabled() {
+	r.eng.Mu.Lock()
+	defer r.eng.Mu.Unlock()
+	codec := compress.NewCodec(mode, r.elemSize)
+	r.codec.Store(codec)
+	if !codec.Enabled() {
 		return
 	}
-	r.sentinel.walk(func(n *node, _ int) {
-		if n == r.sentinel || n.seg.Virtual {
-			return
+	var delta int64
+	var encode func(n *node) *node
+	encode = func(n *node) *node {
+		kids := n.children
+		changed := false
+		for i, c := range n.children {
+			if nc := encode(c); nc != c {
+				if !changed {
+					kids = append([]*node(nil), n.children...)
+					changed = true
+				}
+				kids[i] = nc
+			}
 		}
-		before := int64(n.seg.StoredBytes(r.elemSize))
-		if n.seg.Encode(r.codec) {
-			r.stored += int64(n.seg.StoredBytes(r.elemSize)) - before
+		seg := n.seg
+		if !seg.Virtual && seg.Enc == nil {
+			before := int64(seg.StoredBytes(r.elemSize))
+			cp := seg.EncodedCopy(codec)
+			if cp.Enc != nil {
+				delta += int64(cp.StoredBytes(r.elemSize)) - before
+				seg = cp
+			}
 		}
-	})
+		if seg == n.seg && !changed {
+			return n
+		}
+		return &node{seg: seg, children: kids}
+	}
+	sentinel := r.eng.Base()
+	next := encode(sentinel)
+	if next != sentinel {
+		r.eng.Publish(next)
+		r.stored.Add(delta)
+	}
 }
 
 // Compression returns the active compression mode.
-func (r *Replicator) Compression() compress.Mode {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.codec.Mode()
-}
+func (r *Replicator) Compression() compress.Mode { return r.codec.Load().Mode() }
 
 // SetStorageBudget bounds the materialized replica storage in bytes
 // (0 = unlimited). Replicas that would exceed the budget are declined.
 func (r *Replicator) SetStorageBudget(maxBytes int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.eng.Mu.Lock()
+	defer r.eng.Mu.Unlock()
 	r.budget = maxBytes
 }
 
 // SetMaxDepth bounds the replica tree depth (0 = unlimited).
 func (r *Replicator) SetMaxDepth(depth int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.eng.Mu.Lock()
+	defer r.eng.Mu.Unlock()
 	r.maxDepth = depth
 }
 
 // Declined returns how many replica creations the budget/depth guards
 // refused.
-func (r *Replicator) Declined() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.declined
+func (r *Replicator) Declined() int { return int(r.declined.Load()) }
+
+// SetDeltaPolicy implements DeltaStrategy (shared engine knob).
+func (r *Replicator) SetDeltaPolicy(maxBytes int64, ratio float64) {
+	r.eng.SetDeltaPolicy(maxBytes, ratio)
 }
 
 // StorageBytes implements Strategy: the total physical materialized
 // replica storage, the y-axis of Figures 8 and 9 (compressed footprint
 // where replicas are encoded).
-func (r *Replicator) StorageBytes() domain.ByteSize {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return domain.ByteSize(r.stored)
-}
+func (r *Replicator) StorageBytes() domain.ByteSize { return domain.ByteSize(r.stored.Load()) }
 
 // UncompressedBytes implements Strategy: the logical replica storage.
 func (r *Replicator) UncompressedBytes() domain.ByteSize {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return domain.ByteSize(r.storage)
+	return domain.ByteSize(r.storage.Load())
 }
 
 // SegmentCount implements Strategy: the number of materialized segments.
+// Lock-free: the walk runs on the current immutable snapshot.
 func (r *Replicator) SegmentCount() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	sentinel := r.eng.Base()
 	n := 0
-	r.sentinel.walk(func(m *node, _ int) {
-		if m != r.sentinel && !m.seg.Virtual {
+	sentinel.walk(func(m *node, _ int) {
+		if m != sentinel && !m.seg.Virtual {
 			n++
 		}
 	})
@@ -204,11 +259,10 @@ func (r *Replicator) SegmentCount() int {
 
 // VirtualCount returns the number of virtual segments in the tree.
 func (r *Replicator) VirtualCount() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	sentinel := r.eng.Base()
 	n := 0
-	r.sentinel.walk(func(m *node, _ int) {
-		if m != r.sentinel && m.seg.Virtual {
+	sentinel.walk(func(m *node, _ int) {
+		if m != sentinel && m.seg.Virtual {
 			n++
 		}
 	})
@@ -218,10 +272,8 @@ func (r *Replicator) VirtualCount() int {
 // Depth returns the maximum depth of the replica tree (sentinel at 0).
 // §6.1.3 evaluates tree depth as a replication cost parameter.
 func (r *Replicator) Depth() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	max := 0
-	r.sentinel.walk(func(_ *node, d int) {
+	r.eng.Base().walk(func(_ *node, d int) {
 		if d > max {
 			max = d
 		}
@@ -232,11 +284,10 @@ func (r *Replicator) Depth() int {
 // EncodingStats implements DeltaStrategy: the per-encoding storage
 // breakdown of the materialized replicas.
 func (r *Replicator) EncodingStats() segment.EncodingStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	sentinel := r.eng.Base()
 	var es segment.EncodingStats
-	r.sentinel.walk(func(m *node, _ int) {
-		if m != r.sentinel {
+	sentinel.walk(func(m *node, _ int) {
+		if m != sentinel {
 			es.Observe(m.seg, r.elemSize)
 		}
 	})
@@ -246,11 +297,10 @@ func (r *Replicator) EncodingStats() segment.EncodingStats {
 // SegmentSizes implements Strategy: logical sizes of materialized
 // segments.
 func (r *Replicator) SegmentSizes() []float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	sentinel := r.eng.Base()
 	var out []float64
-	r.sentinel.walk(func(m *node, _ int) {
-		if m != r.sentinel && !m.seg.Virtual {
+	sentinel.walk(func(m *node, _ int) {
+		if m != sentinel && !m.seg.Virtual {
 			out = append(out, float64(m.seg.Count()*r.elemSize))
 		}
 	})
@@ -260,10 +310,8 @@ func (r *Replicator) SegmentSizes() []float64 {
 // Dump renders the replica tree in Figure-4 style (virtual segments marked
 // "vir").
 func (r *Replicator) Dump() string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var b strings.Builder
-	for _, c := range r.sentinel.children {
+	for _, c := range r.eng.Base().children {
 		c.dump(&b, 0)
 	}
 	return b.String()
@@ -271,9 +319,7 @@ func (r *Replicator) Dump() string {
 
 // Validate checks the tree invariants; tests run it after every query.
 func (r *Replicator) Validate() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.sentinel.validate(false)
+	return r.eng.Base().validate(false)
 }
 
 // info builds the model's view of a segment (estimated size for virtual
@@ -282,7 +328,7 @@ func (r *Replicator) info(sg *segment.Segment) model.SegmentInfo {
 	return model.SegmentInfo{
 		Rng:        sg.Rng,
 		Bytes:      sg.Count() * r.elemSize,
-		TotalBytes: r.totalBytes,
+		TotalBytes: r.totalBytes.Load(),
 	}
 }
 
@@ -295,7 +341,9 @@ func (r *Replicator) info(sg *segment.Segment) model.SegmentInfo {
 //	    check4Drop(s)
 //
 // It returns the selection result assembled from one scan per covering
-// segment, with replica materialization piggy-backed on those scans.
+// segment, with replica materialization piggy-backed on the query (the
+// scan itself is lock-free; the materialization runs on the writer
+// pipeline).
 func (r *Replicator) Select(q domain.Range) ([]domain.Value, QueryStats) {
 	res, _, st := r.run(q, true)
 	st.ResultCount = int64(len(res))
@@ -312,27 +360,26 @@ func (r *Replicator) Count(q domain.Range) (int64, QueryStats) {
 	return n, st
 }
 
-// run is the shared Algorithm-2 pass behind Select and Count, entirely
-// under the writer lock. Serial mode interleaves analyse → scan →
-// materialize → drop per covering segment, exactly as the paper's
-// pseudocode. Parallel mode (SetParallelism > 1) hoists the phases:
-// every cover segment is analysed first (preserving the model's decision
-// order), the read-only extraction fans out across the worker pool, and
-// materialization plus drop run serially in cover order afterwards — the
-// covering subtrees are disjoint, so the hoisting is observationally
-// identical to the serial interleaving.
+// run is the shared Algorithm-2 pass behind Select and Count:
+//
+//  1. READ (lock-free): pin a consistent (root, delta) pair, compute the
+//     cover on the pinned root, scan the covering segments — serially or
+//     fanned out across the worker pool — and overlay the pinned delta.
+//  2. ADAPT (writer pipeline): if the cover shows adaptation
+//     opportunities (a virtual leaf to materialize, a partially covered
+//     leaf the model may split), enqueue the range and drain the queue
+//     behind the writer mutex with TryLock — never blocking the scan.
+//
+// In single-threaded use step 2 always runs inline, so the serial
+// analyse → scan → materialize → drop interleaving of the paper's
+// pseudocode is reproduced exactly (model decisions in cover order,
+// byte-identical stats and layout evolution).
 func (r *Replicator) run(q domain.Range, extract bool) ([]domain.Value, int64, QueryStats) {
 	var st QueryStats
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	// Pin the delta snapshot for the whole query. The tree lock is held
-	// throughout and merge-back publishes the drained store while holding
-	// it, so the (tree, delta) pair is consistent.
-	dsnap := r.delta.Snapshot()
-	cover := r.getCover(q)
-	tasks := make([][]*node, len(cover))
+	root, dsnap := r.eng.Pin()
+	cover := getCover(root, q)
 
-	par := r.par
+	par := int(r.par.Load())
 	if par == 0 {
 		var coverBytes int64
 		for _, c := range cover {
@@ -341,138 +388,224 @@ func (r *Replicator) run(q domain.Range, extract bool) ([]domain.Value, int64, Q
 		par = adaptiveFanout(len(cover), coverBytes)
 	}
 
+	var result []domain.Value
+	var count int64
 	if par <= 1 || len(cover) < 2 {
-		var result []domain.Value
-		var count int64
-		for i, c := range cover {
-			r.analyzeRepl(q, c, &tasks[i], &st)
+		for _, c := range cover {
 			if extract {
 				result = r.scanCover(c, q, true, result, &st)
 			} else {
 				count += c.seg.SelectCount(q)
 				r.scanCover(c, q, false, nil, &st)
 			}
-			r.materializeTasks(c, tasks[i], &st)
-			r.check4Drop(c, &st)
 		}
-		result, count = overlayDelta(dsnap, q, extract, result, count, &st)
-		r.snapshot(&st)
-		return result, count, st
-	}
-
-	for i, c := range cover {
-		r.analyzeRepl(q, c, &tasks[i], &st)
-	}
-
-	// Fan the per-cover extraction out: read-only on disjoint segments,
-	// outcomes in cover-order slots, per-worker read deltas merged after.
-	type coverOut struct {
-		vals  []domain.Value
-		count int64
-	}
-	outs := make([]coverOut, len(cover))
-	workers := par
-	if workers > len(cover) {
-		workers = len(cover)
-	}
-	deltas := make([]QueryStats, workers)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(cover) {
-					return
+	} else {
+		// Fan the per-cover extraction out: read-only on disjoint
+		// segments, outcomes in cover-order slots, per-worker read deltas
+		// merged after.
+		type coverOut struct {
+			vals  []domain.Value
+			count int64
+		}
+		outs := make([]coverOut, len(cover))
+		workers := par
+		if workers > len(cover) {
+			workers = len(cover)
+		}
+		deltas := make([]QueryStats, workers)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(cover) {
+						return
+					}
+					c := cover[i]
+					if extract {
+						outs[i].vals = r.scanCover(c, q, true, nil, &deltas[w])
+					} else {
+						outs[i].count = c.seg.SelectCount(q)
+						r.scanCover(c, q, false, nil, &deltas[w])
+					}
 				}
-				c := cover[i]
-				if extract {
-					outs[i].vals = r.scanCover(c, q, true, nil, &deltas[w])
-				} else {
-					outs[i].count = c.seg.SelectCount(q)
-					r.scanCover(c, q, false, nil, &deltas[w])
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	for i := range deltas {
-		st.ReadBytes += deltas[i].ReadBytes
-	}
-
-	var result []domain.Value
-	var count int64
-	for i, c := range cover {
-		result = append(result, outs[i].vals...)
-		count += outs[i].count
-		r.materializeTasks(c, tasks[i], &st)
-		r.check4Drop(c, &st)
+			}(w)
+		}
+		wg.Wait()
+		for i := range deltas {
+			st.ReadBytes += deltas[i].ReadBytes
+		}
+		for i := range cover {
+			result = append(result, outs[i].vals...)
+			count += outs[i].count
+		}
 	}
 	result, count = overlayDelta(dsnap, q, extract, result, count, &st)
+
+	if coverNeedsAdaptation(cover, q) {
+		r.adapt.add(q)
+	}
+	r.drainAdaptation(&st)
 	r.snapshot(&st)
 	return result, count, st
 }
 
-// snapshot fills the per-query storage measures.
-func (r *Replicator) snapshot(st *QueryStats) {
-	st.StorageBytes = r.storage
-	st.CompressedBytes = r.stored
+// coverNeedsAdaptation reports, without consulting the model, whether
+// the Algorithm-4 pass over this cover could possibly do anything: a
+// virtual leaf overlapping q can materialize, and a materialized leaf
+// only partially covered (with a splittable range) may be split. When it
+// returns false, every model in the system is guaranteed to answer
+// NoSplit for every overlapping leaf (a covering query is never
+// splittable) without consuming any model state, so skipping the writer
+// pipeline is observationally identical to running it — this is what
+// makes the scan path on a converged tree completely lock-free.
+func coverNeedsAdaptation(cover []*node, q domain.Range) bool {
+	for _, c := range cover {
+		if leafNeedsAdaptation(c, q) {
+			return true
+		}
+	}
+	return false
 }
 
-// getCover implements Algorithm 3: the minimal set of materialized
-// segments covering the query — deepest materialized descendants, backing
-// off to the nearest materialized ancestor when any branch bottoms out in
-// a virtual leaf.
-func (r *Replicator) getCover(q domain.Range) []*node {
-	var cover []*node
-	if !r.coverRec(q, r.sentinel, &cover) {
-		// Unreachable while the coverability invariant holds: every leaf
-		// has a materialized node on its path below the sentinel.
+func leafNeedsAdaptation(n *node, q domain.Range) bool {
+	if !n.isLeaf() {
+		for _, c := range n.overlapChildren(q) {
+			if leafNeedsAdaptation(c, q) {
+				return true
+			}
+		}
+		return false
+	}
+	if n.seg.Virtual {
+		return true // materialization opportunity (split or whole)
+	}
+	// A materialized leaf is a split candidate only if the query covers
+	// it partially and the range is wide enough to cut — exactly the
+	// models' shared splittable() precondition.
+	return n.seg.Rng.Width() >= 2 && domain.Classify(n.seg.Rng, q) != domain.CoversAll
+}
+
+// drainAdaptation runs queued adaptation ranges on the writer pipeline
+// without ever blocking: TryLock wins → drain and apply; TryLock loses →
+// whoever holds the mutex (another adapting query, a bulk load, a
+// merge-back) leaves it soon, and the loop in *their* drainAdaptation —
+// or the next adapting query — picks the queue up. Stats of applied work
+// are attributed to the applying query (identical to the serial
+// attribution in single-threaded use, where TryLock always wins).
+func (r *Replicator) drainAdaptation(st *QueryStats) {
+	for !r.adapt.empty() {
+		if !r.eng.Mu.TryLock() {
+			return
+		}
+		for _, q := range r.adapt.drain() {
+			r.adaptLocked(q, st)
+		}
+		r.eng.Mu.Unlock()
+	}
+}
+
+// coverAt pairs a cover node with its depth below the sentinel.
+type coverAt struct {
+	n     *node
+	depth int
+}
+
+// coverWithDepth is getCover tracking depths (writer side needs them for
+// the MaxDepth guard).
+func coverWithDepth(root *node, q domain.Range) []coverAt {
+	var cover []coverAt
+	var rec func(n *node, depth int) bool
+	rec = func(n *node, depth int) bool {
+		if n.isLeaf() {
+			if n.seg.Virtual {
+				return false
+			}
+			cover = append(cover, coverAt{n, depth})
+			return true
+		}
+		start := len(cover)
+		for _, c := range n.overlapChildren(q) {
+			if !rec(c, depth+1) {
+				cover = cover[:start]
+				if n.seg.Virtual {
+					return false
+				}
+				cover = append(cover, coverAt{n, depth})
+				return true
+			}
+		}
+		return true
+	}
+	if !rec(root, 0) {
 		panic(fmt.Sprintf("core: no cover for %v — replica tree invariant broken", q))
 	}
 	return cover
 }
 
-func (r *Replicator) coverRec(q domain.Range, n *node, cover *[]*node) bool {
-	if n.isLeaf() {
-		if n.seg.Virtual {
-			return false
+// adaptLocked is the writer half of Algorithm 2 for one query range
+// (caller holds eng.Mu): recompute the cover on the *current* root (a
+// concurrent query may have reorganized since the range was queued —
+// recomputing is the revalidation/coalescing step), run analyseRepl +
+// scanMat's materialization + check4Drop per cover node as a path-copying
+// rebuild, and publish the new root. Skips covers with nothing to do, so
+// racing identical queries coalesce into one application.
+func (r *Replicator) adaptLocked(q domain.Range, st *QueryStats) {
+	root := r.eng.Base()
+	for _, c := range coverWithDepth(root, q) {
+		// c.n is reachable from the latest root even after earlier covers
+		// were rebuilt: covers are disjoint subtrees, and path copying
+		// shares every untouched node.
+		cur := r.eng.Base()
+		rebuilt := r.analyzeBuild(c.n, c.n, c.depth, q, st)
+		repl := r.dropPass(rebuilt, st)
+		if len(repl) == 1 && repl[0] == c.n {
+			continue
 		}
-		*cover = append(*cover, n)
-		return true
-	}
-	start := len(*cover)
-	for _, c := range n.overlapChildren(q) {
-		if !r.coverRec(q, c, cover) {
-			*cover = (*cover)[:start] // backtrack
-			if n.seg.Virtual {
-				return false
-			}
-			*cover = append(*cover, n)
-			return true
+		next, ok := rebuildAt(cur, c.n, repl)
+		if !ok {
+			panic(fmt.Sprintf("core: cover %v not reachable from root", c.n.seg))
 		}
+		r.eng.Publish(next)
 	}
-	return true
 }
 
-// analyzeRepl implements Algorithm 4: descend to the leaves under cover
-// segment n that overlap the query and decide, per leaf, which replicas to
-// create. New children are attached immediately (virtual, to be filled by
-// materializeTasks); nodes to materialize are appended to tasks.
-func (r *Replicator) analyzeRepl(q domain.Range, n *node, tasks *[]*node, st *QueryStats) {
+// analyzeBuild implements Algorithm 4 (analyseRepl) fused with the
+// materialization half of scanMat as a persistent-tree transform:
+// descend from cover c to the leaves overlapping q, consult the model per
+// leaf, and return the rebuilt subtree — split leaves gain (virtual)
+// children with the selection overlap materialized, virtual leaves the
+// model declines to split materialize whole. Nodes with nothing to do are
+// returned unchanged (shared). Caller holds eng.Mu.
+func (r *Replicator) analyzeBuild(c, n *node, depth int, q domain.Range, st *QueryStats) *node {
 	if !n.isLeaf() {
-		for _, c := range n.overlapChildren(q) {
-			r.analyzeRepl(q, c, tasks, st)
+		kids := n.children
+		changed := false
+		for i, ch := range n.children {
+			if !ch.seg.Rng.Overlaps(q) {
+				continue
+			}
+			if nc := r.analyzeBuild(c, ch, depth+1, q, st); nc != ch {
+				if !changed {
+					kids = append([]*node(nil), n.children...)
+					changed = true
+				}
+				kids[i] = nc
+			}
 		}
-		return
+		if !changed {
+			return n
+		}
+		return n.withChildren(kids)
 	}
 	d := r.mod.Decide(q, r.info(n.seg))
-	if r.maxDepth > 0 && n.depth >= r.maxDepth && d.Action != model.NoSplit {
+	if r.maxDepth > 0 && depth >= r.maxDepth && d.Action != model.NoSplit {
 		// Depth guard: no further splitting at the limit; a virtual leaf
 		// may still materialize whole via the NoSplit path below.
-		r.declined++
+		r.declined.Add(1)
 		d = model.Decision{Action: model.NoSplit}
 	}
 	switch d.Action {
@@ -480,8 +613,11 @@ func (r *Replicator) analyzeRepl(q domain.Range, n *node, tasks *[]*node, st *Qu
 		// Case 0: "query entirely covers s or small subsegments in small
 		// s" — if s is virtual it is materialized without split.
 		if n.seg.Virtual {
-			*tasks = append(*tasks, n)
+			if filled := r.materialize(c, n.seg, st); filled != nil {
+				return &node{seg: filled}
+			}
 		}
+		return n
 
 	case model.SplitBounds:
 		// Cases 1–3: materialize the selection overlap, complement with
@@ -496,9 +632,11 @@ func (r *Replicator) analyzeRepl(q domain.Range, n *node, tasks *[]*node, st *Qu
 		if !sp.Right.IsEmpty() {
 			kids = append(kids, r.newVirtualNode(n.seg, sp.Right))
 		}
-		n.addChildren(kids...)
-		*tasks = append(*tasks, m)
+		if filled := r.materialize(c, m.seg, st); filled != nil {
+			kids[indexOf(kids, m)] = &node{seg: filled}
+		}
 		st.Splits++
+		return n.withChildren(kids)
 
 	case model.SplitPoint:
 		// Case 4: "some subsegment is small but s is large" — split on one
@@ -508,17 +646,133 @@ func (r *Replicator) analyzeRepl(q domain.Range, n *node, tasks *[]*node, st *Qu
 		hi := domain.Range{Lo: d.Point + 1, Hi: n.seg.Rng.Hi}
 		l := r.newVirtualNode(n.seg, lo)
 		h := r.newVirtualNode(n.seg, hi)
-		n.addChildren(l, h)
+		target := h
 		if d.MatLeft {
-			*tasks = append(*tasks, l)
-		} else {
-			*tasks = append(*tasks, h)
+			target = l
+		}
+		kids := []*node{l, h}
+		if filled := r.materialize(c, target.seg, st); filled != nil {
+			kids[indexOf(kids, target)] = &node{seg: filled}
 		}
 		st.Splits++
+		return n.withChildren(kids)
 
 	default:
 		panic(fmt.Sprintf("core: unknown model action %v", d.Action))
 	}
+}
+
+func indexOf(kids []*node, n *node) int {
+	for i, k := range kids {
+		if k == n {
+			return i
+		}
+	}
+	panic("core: node not among its siblings")
+}
+
+// materialize fills one replica scheduled by analyzeBuild — the
+// materialization half of the paper's scanMat: extract the replica's
+// range from the covering segment c, encode it, account the write. It
+// returns nil when the storage budget declines the replica (the segment
+// stays virtual and later queries keep using the covering ancestor).
+// Caller holds eng.Mu.
+func (r *Replicator) materialize(c *node, virt *segment.Segment, st *QueryStats) *segment.Segment {
+	if r.budget > 0 && r.stored.Load()+virt.Count()*r.elemSize > r.budget {
+		// Storage guard (§8 extension): the guard uses the logical size
+		// estimate (the encoded size is unknown before the scan), so it
+		// only errs towards declining.
+		r.declined.Add(1)
+		return nil
+	}
+	vals := c.seg.Select(virt.Rng)
+	filled := virt.Filled(vals)
+	logical := int64(len(vals)) * r.elemSize
+	if filled.Encode(r.codec.Load()) {
+		st.Recodes++
+	}
+	b := int64(filled.StoredBytes(r.elemSize))
+	st.WriteBytes += b
+	r.storage.Add(logical)
+	r.stored.Add(b)
+	r.tracer.Materialize(filled.ID, b)
+	return filled
+}
+
+// dropPass implements Algorithm 5 (check4Drop) as a persistent-tree
+// transform: bottom-up over the subtree, a segment whose immediate
+// children are all materialized is dropped — its children hoist into its
+// parent's tiling — and dropping a materialized segment releases its
+// storage. The returned slice replaces n in its parent (length 1 and
+// identical pointer = nothing changed). Caller holds eng.Mu.
+func (r *Replicator) dropPass(n *node, st *QueryStats) []*node {
+	if n.isLeaf() {
+		return []*node{n}
+	}
+	kids := make([]*node, 0, len(n.children))
+	changed := false
+	for _, c := range n.children {
+		rep := r.dropPass(c, st)
+		if len(rep) != 1 || rep[0] != c {
+			changed = true
+		}
+		kids = append(kids, rep...)
+	}
+	cur := n
+	if changed {
+		cur = n.withChildren(kids)
+	}
+	for _, k := range kids {
+		if k.seg.Virtual {
+			return []*node{cur} // children do not replicate cur
+		}
+	}
+	if !cur.seg.Virtual {
+		logical := cur.seg.Count() * r.elemSize
+		physical := int64(cur.seg.StoredBytes(r.elemSize))
+		r.storage.Add(-logical)
+		r.stored.Add(-physical)
+		r.tracer.Drop(cur.seg.ID, physical)
+		st.Drops++
+	}
+	return kids
+}
+
+// rebuildAt path-copies from root down to target, splicing repl into
+// target's parent's tiling in target's place. Descent is by range (the
+// unique child containing target's range), confirmation by identity —
+// persistent sharing keeps target reachable from every root published
+// since it was, unless a concurrent rewrite replaced it.
+func rebuildAt(root, target *node, repl []*node) (*node, bool) {
+	if root == target {
+		panic("core: cannot replace the sentinel")
+	}
+	for i, c := range root.children {
+		if !c.seg.Rng.Contains(target.seg.Rng.Lo) {
+			continue
+		}
+		if c == target {
+			kids := make([]*node, 0, len(root.children)+len(repl)-1)
+			kids = append(kids, root.children[:i]...)
+			kids = append(kids, repl...)
+			kids = append(kids, root.children[i+1:]...)
+			return root.withChildren(kids), true
+		}
+		sub, ok := rebuildAt(c, target, repl)
+		if !ok {
+			return nil, false
+		}
+		kids := append([]*node(nil), root.children...)
+		kids[i] = sub
+		return root.withChildren(kids), true
+	}
+	return nil, false
+}
+
+// snapshot fills the per-query storage measures — atomic loads, no lock.
+func (r *Replicator) snapshot(st *QueryStats) {
+	st.StorageBytes = r.storage.Load()
+	st.CompressedBytes = r.stored.Load()
 }
 
 // newVirtualNode creates a virtual child segment of parent covering rng,
@@ -530,9 +784,8 @@ func (r *Replicator) newVirtualNode(parent *segment.Segment, rng domain.Range) *
 
 // scanCover accounts the "single scan of the covering segment" (§5) and,
 // when extract is set, returns result extended with the qualifying values
-// of c. It reads only the covering segment, so parallel extraction across
-// disjoint cover segments is safe; replica materialization is the
-// writer-side counterpart in materializeTasks.
+// of c. It reads only the pinned covering segment, so any number of
+// queries (and their fan-out workers) scan concurrently with no lock.
 func (r *Replicator) scanCover(c *node, q domain.Range, extract bool, result []domain.Value, st *QueryStats) []domain.Value {
 	bytes := int64(c.seg.StoredBytes(r.elemSize))
 	st.ReadBytes += bytes
@@ -541,67 +794,4 @@ func (r *Replicator) scanCover(c *node, q domain.Range, extract bool, result []d
 		result = c.seg.AppendSelect(q, result)
 	}
 	return result
-}
-
-// materializeTasks fills the replicas analyzeRepl scheduled under cover
-// segment c — the materialization half of the paper's scanMat. Fresh
-// replicas are handed to the codec, so replica storage (the y-axis of
-// Figures 8/9) is the compressed footprint.
-func (r *Replicator) materializeTasks(c *node, tasks []*node, st *QueryStats) {
-	for _, t := range tasks {
-		if r.budget > 0 && r.stored+t.seg.Count()*r.elemSize > r.budget {
-			// Storage guard (§8 extension): decline the replica; the
-			// segment stays virtual and later queries keep using the
-			// covering ancestor. The guard uses the logical size estimate
-			// (the encoded size is unknown before the scan), so it only
-			// errs towards declining.
-			r.declined++
-			continue
-		}
-		vals := c.seg.Select(t.seg.Rng)
-		t.seg.SetPayload(vals)
-		logical := int64(len(vals)) * r.elemSize
-		if t.seg.Encode(r.codec) {
-			st.Recodes++
-		}
-		b := int64(t.seg.StoredBytes(r.elemSize))
-		st.WriteBytes += b
-		r.storage += logical
-		r.stored += b
-		r.tracer.Materialize(t.seg.ID, b)
-	}
-}
-
-// check4Drop implements Algorithm 5: bottom-up over the subtree, a segment
-// whose immediate children are all materialized is dropped from the tree,
-// its children attached to its parent; dropping a materialized segment
-// releases its storage.
-func (r *Replicator) check4Drop(n *node, st *QueryStats) {
-	if n.isLeaf() {
-		return
-	}
-	// Recurse on a snapshot: child drops splice grandchildren into
-	// n.children during iteration.
-	snapshot := append([]*node(nil), n.children...)
-	for _, c := range snapshot {
-		r.check4Drop(c, st)
-	}
-	for _, c := range n.children {
-		if c.seg.Virtual {
-			return // children do not replicate n
-		}
-	}
-	if n == r.sentinel {
-		return
-	}
-	wasMat := !n.seg.Virtual
-	logical := n.seg.Count() * r.elemSize
-	physical := int64(n.seg.StoredBytes(r.elemSize))
-	n.spliceOut()
-	if wasMat {
-		r.storage -= logical
-		r.stored -= physical
-		r.tracer.Drop(n.seg.ID, physical)
-		st.Drops++
-	}
 }

@@ -48,11 +48,12 @@ import (
 // concurrent use when parallelism is enabled, and its events may be
 // reordered relative to serial execution.
 type Segmenter struct {
-	// mu is the single-writer path: model decisions (the models are
-	// stateful — GD owns a random stream, AutoAPM tunes its bounds) and
-	// every list mutation happen under it.
-	mu     sync.Mutex
-	list   atomic.Pointer[segment.List]
+	// eng owns the published (list, delta) pair, the writer mutex and
+	// the merge-back protocol, shared with the Replicator. eng.Mu is the
+	// single-writer path: model decisions (the models are stateful — GD
+	// owns a random stream, AutoAPM tunes its bounds) and every list
+	// mutation happen under it.
+	eng    engine[segment.List]
 	mod    model.Model
 	tracer Tracer
 	codec  atomic.Pointer[compress.Codec] // nil = compression off
@@ -64,15 +65,6 @@ type Segmenter struct {
 	// par is the per-query scan fan-out width (0 = adaptive, 1 = serial,
 	// n > 1 = bounded at n).
 	par atomic.Int32
-	// delta is the column's MVCC write store; queries pin its snapshot
-	// together with the list snapshot (under mu, so merge-back publishes
-	// both sides atomically) and overlay it onto their scans.
-	delta *delta.Store
-	// deltaMaxBytes / deltaRatioBP are the merge-back triggers: pending
-	// delta bytes, and pending-to-base ratio in basis points (1/10000).
-	// Zero disables the respective trigger.
-	deltaMaxBytes atomic.Int64
-	deltaRatioBP  atomic.Int64
 }
 
 // NewSegmenter builds the strategy over a fresh single-segment column
@@ -83,8 +75,8 @@ func NewSegmenter(extent domain.Range, vals []domain.Value, elemSize int64, m mo
 		tracer = nopTracer{}
 	}
 	l := segment.NewList(extent, vals, elemSize)
-	s := &Segmenter{mod: m, tracer: tracer, delta: delta.NewStore(elemSize)}
-	s.list.Store(l)
+	s := &Segmenter{mod: m, tracer: tracer}
+	s.eng.initEngine(l, elemSize)
 	s.totalBytes.Store(int64(l.TotalBytes()))
 	s.stored.Store(int64(l.TotalBytes()))
 	// The initial column is materialized storage the buffer layer should
@@ -146,14 +138,14 @@ func adaptiveFanout(nTasks int, scanBytes int64) int {
 // snapshot. Off detaches the codec, decoding nothing — already encoded
 // segments stay encoded and decay lazily as splits rewrite them.
 func (s *Segmenter) SetCompression(mode compress.Mode) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	list := s.list.Load()
+	s.eng.Mu.Lock()
+	defer s.eng.Mu.Unlock()
+	list := s.eng.Base()
 	codec := compress.NewCodec(mode, list.ElemSize())
 	s.codec.Store(codec)
 	if codec.Enabled() {
 		list = list.Encoded(codec)
-		s.list.Store(list)
+		s.eng.Publish(list)
 	}
 	s.stored.Store(int64(list.StoredBytes()))
 }
@@ -168,10 +160,10 @@ func (s *Segmenter) Name() string { return s.mod.Name() + " Segm" }
 // diagnostics, validation in tests, Table 2 statistics). The snapshot is
 // immutable; later reorganization publishes successors without touching
 // it.
-func (s *Segmenter) List() *segment.List { return s.list.Load() }
+func (s *Segmenter) List() *segment.List { return s.eng.Base() }
 
 // SegmentCount implements Strategy.
-func (s *Segmenter) SegmentCount() int { return s.list.Load().Len() }
+func (s *Segmenter) SegmentCount() int { return s.eng.Base().Len() }
 
 // StorageBytes implements Strategy: the physical storage held. Adaptive
 // segmentation reorganizes in place, so without compression this is
@@ -185,13 +177,13 @@ func (s *Segmenter) UncompressedBytes() domain.ByteSize {
 }
 
 // SegmentSizes implements Strategy.
-func (s *Segmenter) SegmentSizes() []float64 { return s.list.Load().SegmentBytes() }
+func (s *Segmenter) SegmentSizes() []float64 { return s.eng.Base().SegmentBytes() }
 
 // EncodingStats implements DeltaStrategy: the per-encoding storage
 // breakdown of the current snapshot (satisfied without locking — the
 // snapshot is immutable).
 func (s *Segmenter) EncodingStats() segment.EncodingStats {
-	return s.list.Load().EncodingStats()
+	return s.eng.Base().EncodingStats()
 }
 
 // info builds the model's view of a segment. Models reason about logical
@@ -278,14 +270,17 @@ func (s *Segmenter) Count(q domain.Range) (int64, QueryStats) {
 // to copy values out, a count answers them from the meta-index for free).
 func (s *Segmenter) run(q domain.Range, wantVals, scanCovered bool) ([]domain.Value, int64, QueryStats) {
 	var st QueryStats
-	s.mu.Lock()
+	s.eng.Mu.Lock()
 	// Pin the MVCC view: the (list snapshot, delta snapshot) pair. Both
-	// are taken under mu, and merge-back publishes its rewritten list and
-	// drained store while holding mu, so the pair is always consistent —
-	// a delta entry is visible either through the overlay or through the
-	// merged base, never both, never neither.
-	list := s.list.Load()
-	dsnap := s.delta.Snapshot()
+	// are taken under the writer lock, and merge-back publishes its
+	// rewritten list and drained store while holding it, so the pair is
+	// always consistent — a delta entry is visible either through the
+	// overlay or through the merged base, never both, never neither.
+	// (Lock-free pinners — Pin, the shard router's views — use
+	// eng.Pin's epoch protocol instead; the plan phase needs the lock
+	// for the stateful model anyway, so pinning under it costs nothing.)
+	list := s.eng.Base()
+	dsnap := s.eng.Delta.Snapshot()
 	elem := list.ElemSize()
 	lo, hi := list.Overlapping(q)
 	tasks := make([]segTask, 0, hi-lo)
@@ -332,14 +327,14 @@ func (s *Segmenter) run(q domain.Range, wantVals, scanCovered bool) ([]domain.Va
 		}
 		vals, count = overlayDelta(dsnap, q, wantVals, vals, count, &st)
 		s.snapshot(&st)
-		s.mu.Unlock()
+		s.eng.Mu.Unlock()
 		return vals, count, st
 	}
-	s.mu.Unlock()
+	s.eng.Mu.Unlock()
 
 	outs := s.execParallel(q, tasks, wantVals, scanCovered, par, elem, codec, &st)
 
-	s.mu.Lock()
+	s.eng.Mu.Lock()
 	var vals []domain.Value
 	var count int64
 	for i, t := range tasks {
@@ -351,7 +346,7 @@ func (s *Segmenter) run(q domain.Range, wantVals, scanCovered bool) ([]domain.Va
 	}
 	vals, count = overlayDelta(dsnap, q, wantVals, vals, count, &st)
 	s.snapshot(&st)
-	s.mu.Unlock()
+	s.eng.Mu.Unlock()
 	return vals, count, st
 }
 
@@ -507,7 +502,7 @@ func (s *Segmenter) execParallel(q domain.Range, tasks []segTask, wantVals, scan
 // that is how identical piggy-backed work from concurrent scans coalesces
 // into one application.
 func (s *Segmenter) applyIntent(t segTask, out segOutcome, st *QueryStats) {
-	list := s.list.Load()
+	list := s.eng.Base()
 	i := list.IndexOf(t.seg)
 	if i < 0 {
 		return
@@ -525,7 +520,7 @@ func (s *Segmenter) applyIntent(t segTask, out segOutcome, st *QueryStats) {
 		written += b
 		s.tracer.Materialize(sub.ID, b)
 	}
-	s.list.Store(next)
+	s.eng.Publish(next)
 	old := int64(t.seg.StoredBytes(elem))
 	s.stored.Add(written - old)
 	s.tracer.Drop(t.seg.ID, old)
@@ -537,15 +532,15 @@ func (s *Segmenter) applyIntent(t segTask, out segOutcome, st *QueryStats) {
 // merging counterpart the paper names as the antidote to GD fragmentation
 // (§8). It returns the bytes rewritten. Exposed for the merge ablation.
 func (s *Segmenter) Glue(i, j int) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.eng.Mu.Lock()
+	defer s.eng.Mu.Unlock()
 	return s.glueLocked(i, j)
 }
 
 // glueLocked performs one copy-on-write glue and publishes the result
 // (caller holds mu).
 func (s *Segmenter) glueLocked(i, j int) int64 {
-	list := s.list.Load()
+	list := s.eng.Base()
 	elem := list.ElemSize()
 	var rewritten int64
 	for k := i; k <= j; k++ {
@@ -563,7 +558,7 @@ func (s *Segmenter) glueLocked(i, j int) int64 {
 	mb := int64(merged.StoredBytes(elem))
 	s.stored.Add(mb)
 	s.tracer.Materialize(merged.ID, mb)
-	s.list.Store(next)
+	s.eng.Publish(next)
 	return rewritten
 }
 
@@ -573,11 +568,11 @@ func (s *Segmenter) glueLocked(i, j int) int64 {
 // in the ablation benches. Size comparisons are logical so gluing behaves
 // identically with compression on.
 func (s *Segmenter) GlueSmall(minBytes int64) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.eng.Mu.Lock()
+	defer s.eng.Mu.Unlock()
 	var rewritten int64
 	for i := 0; ; {
-		list := s.list.Load()
+		list := s.eng.Base()
 		if i >= list.Len()-1 {
 			break
 		}

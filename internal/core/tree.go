@@ -8,31 +8,53 @@ import (
 	"selforg/internal/segment"
 )
 
-// node is one vertex of the replica tree (§5): "A segment S is a child of
-// a segment P if the range of values in P is a super-set of the range of
-// values in S." Children tile the parent's range exactly, in ascending
-// order. (The paper's pseudocode calls the down-pointers `ancestors`; they
-// are children — see DESIGN.md.)
+// node is one vertex of the persistent replica tree (§5): "A segment S is
+// a child of a segment P if the range of values in P is a super-set of
+// the range of values in S." Children tile the parent's range exactly, in
+// ascending order. (The paper's pseudocode calls the down-pointers
+// `ancestors`; they are children — see DESIGN.md.)
+//
+// Concurrency contract: a node published through the engine's base
+// pointer is immutable — its segment, its children slice and every node
+// reachable from it never change. All tree mutation is path copying: the
+// writer builds fresh nodes from the touched leaf up to the sentinel and
+// publishes the new root atomically, so any reader (or pinned View)
+// holding an old root keeps a consistent tree forever. There are no
+// parent pointers — a persistent structure cannot have back-edges — and
+// no stored depth; both fall out of the writer's descent.
 type node struct {
 	seg      *segment.Segment
-	parent   *node
 	children []*node
-	// depth below the sentinel (sentinel = 0); maintained on attach and
-	// splice so the MaxDepth extension can bound tree growth.
-	depth int
 }
 
 // isLeaf reports whether the node has no children (the pseudocode's
 // `s.ancnumber = 0`).
 func (n *node) isLeaf() bool { return len(n.children) == 0 }
 
-// addChildren installs kids as n's children. kids must tile n's range.
-func (n *node) addChildren(kids ...*node) {
+// withChildren returns a copy of n holding kids — the path-copying
+// counterpart of attaching or replacing children. kids must tile n's
+// range; assertTiling guards the invariant at construction time, the
+// only time it can break.
+func (n *node) withChildren(kids []*node) *node {
+	assertTiling(n.seg.Rng, kids)
+	return &node{seg: n.seg, children: kids}
+}
+
+// withSeg returns a copy of n holding seg in place of its segment (same
+// children) — the path-copying counterpart of filling or rewriting a
+// payload.
+func (n *node) withSeg(seg *segment.Segment) *node {
+	return &node{seg: seg, children: n.children}
+}
+
+// assertTiling panics unless kids tile rng exactly: adjacent, ascending,
+// first starts at rng.Lo, last ends at rng.Hi.
+func assertTiling(rng domain.Range, kids []*node) {
 	if len(kids) == 0 {
-		panic("core: addChildren with no children")
+		panic("core: node with empty child tiling")
 	}
-	if kids[0].seg.Rng.Lo != n.seg.Rng.Lo || kids[len(kids)-1].seg.Rng.Hi != n.seg.Rng.Hi {
-		panic(fmt.Sprintf("core: children do not tile %v", n.seg.Rng))
+	if kids[0].seg.Rng.Lo != rng.Lo || kids[len(kids)-1].seg.Rng.Hi != rng.Hi {
+		panic(fmt.Sprintf("core: children do not tile %v", rng))
 	}
 	for i := 1; i < len(kids); i++ {
 		if !kids[i-1].seg.Rng.Adjacent(kids[i].seg.Rng) {
@@ -40,52 +62,10 @@ func (n *node) addChildren(kids ...*node) {
 				kids[i-1].seg.Rng, kids[i].seg.Rng))
 		}
 	}
-	for _, k := range kids {
-		k.parent = n
-		k.setDepth(n.depth + 1)
-	}
-	n.children = kids
 }
 
-// setDepth fixes the depth of the subtree rooted at n.
-func (n *node) setDepth(d int) {
-	n.depth = d
-	for _, c := range n.children {
-		c.setDepth(d + 1)
-	}
-}
-
-// spliceOut removes n from its parent, attaching n's children in its place
-// (Algorithm 5's drop). n must have children and a parent.
-func (n *node) spliceOut() {
-	p := n.parent
-	if p == nil {
-		panic("core: spliceOut of parentless node")
-	}
-	idx := -1
-	for i, c := range p.children {
-		if c == n {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
-		panic("core: node not found in parent's children")
-	}
-	for _, c := range n.children {
-		c.parent = p
-		c.setDepth(p.depth + 1)
-	}
-	out := make([]*node, 0, len(p.children)+len(n.children)-1)
-	out = append(out, p.children[:idx]...)
-	out = append(out, n.children...)
-	out = append(out, p.children[idx+1:]...)
-	p.children = out
-	n.parent = nil
-	n.children = nil
-}
-
-// walk visits every node under n (including n) in depth-first order.
+// walk visits every node under n (including n) in depth-first order,
+// with the depth below n.
 func (n *node) walk(visit func(*node, int)) {
 	var rec func(*node, int)
 	rec = func(m *node, depth int) {
@@ -120,9 +100,6 @@ func (n *node) validate(coveredAbove bool) error {
 		if i > 0 && !n.children[i-1].seg.Rng.Adjacent(c.seg.Rng) {
 			return fmt.Errorf("core: children %v / %v of %v not adjacent",
 				n.children[i-1].seg, c.seg, n.seg)
-		}
-		if c.parent != n {
-			return fmt.Errorf("core: child %v has wrong parent", c.seg)
 		}
 		if err := c.validate(covered); err != nil {
 			return err
@@ -170,4 +147,41 @@ func (n *node) overlapChildren(q domain.Range) []*node {
 		}
 	}
 	return out
+}
+
+// getCover implements Algorithm 3 on a pinned root: the minimal set of
+// materialized segments covering the query — deepest materialized
+// descendants, backing off to the nearest materialized ancestor when any
+// branch bottoms out in a virtual leaf. The walk is read-only, so any
+// goroutine may run it on any snapshot it holds.
+func getCover(root *node, q domain.Range) []*node {
+	var cover []*node
+	if !coverRec(root, q, &cover) {
+		// Unreachable while the coverability invariant holds: every leaf
+		// has a materialized node on its path below the sentinel.
+		panic(fmt.Sprintf("core: no cover for %v — replica tree invariant broken", q))
+	}
+	return cover
+}
+
+func coverRec(n *node, q domain.Range, cover *[]*node) bool {
+	if n.isLeaf() {
+		if n.seg.Virtual {
+			return false
+		}
+		*cover = append(*cover, n)
+		return true
+	}
+	start := len(*cover)
+	for _, c := range n.overlapChildren(q) {
+		if !coverRec(c, q, cover) {
+			*cover = (*cover)[:start] // backtrack
+			if n.seg.Virtual {
+				return false
+			}
+			*cover = append(*cover, n)
+			return true
+		}
+	}
+	return true
 }

@@ -1,10 +1,10 @@
 package core
 
-// Pinned MVCC views. A query's visibility rule — pin a (segment
-// snapshot, delta watermark) pair at start, overlay the pinned delta
-// onto the pinned base — is exposed here as a first-class object, so
-// callers can hold a consistent read view across several operations
-// (and tests can demonstrate that writes after the pin are invisible).
+// Pinned MVCC views. A query's visibility rule — pin a (base snapshot,
+// delta watermark) pair at start, overlay the pinned delta onto the
+// pinned base — is exposed here as a first-class object, so callers can
+// hold a consistent read view across several operations (and tests can
+// demonstrate that writes after the pin are invisible).
 
 import (
 	"selforg/internal/delta"
@@ -16,67 +16,43 @@ import (
 // Reads through it drive no adaptation, no statistics and no tracer
 // events.
 //
-// For segmentation columns the view is fully stable: it holds an
-// immutable list snapshot plus an immutable delta snapshot, and stays
-// consistent forever, across any number of concurrent writes, splits
-// and merge-backs.
-//
-// For replication columns the base (the replica tree) cannot be pinned
-// cheaply — it is a mutable structure behind a lock — so the view pins
-// only the delta snapshot. Tree reorganization preserves content, so the
-// view stays exact until something changes the tree's content in place —
-// a merge-back draining entries into it, or a BulkLoad; from then on it
-// is Stale and falls back to read-committed (the current content), which
-// Stale reports.
+// Views are fully stable for both strategies: the pinned base — an
+// immutable segment-list snapshot for segmentation, an immutable
+// persistent-tree root for replication — plus the pinned delta snapshot
+// stay consistent forever, across any number of concurrent writes,
+// splits, drops, bulk loads and merge-backs. (Before the persistent
+// replica tree, replication views degraded to read-committed after a
+// merge-back; that fallback is gone.)
 type View struct {
-	seg   *Segmenter
-	repl  *Replicator
-	list  *segment.List
+	list  *segment.List // segmentation base (nil for replication views)
+	root  *node         // replication base (nil for segmentation views)
 	dsnap *delta.Snapshot
-	epoch int64 // replication: the tree's content epoch at pin time
 }
 
 // Pin returns a stable MVCC view of the segmented column.
 func (s *Segmenter) Pin() *View {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Under mu the (list, delta) pair is consistent — merge-back
-	// publishes both sides while holding mu.
-	return &View{seg: s, list: s.list.Load(), dsnap: s.delta.Snapshot()}
+	list, dsnap := s.eng.Pin()
+	return &View{list: list, dsnap: dsnap}
 }
 
-// Pin returns an MVCC view of the replicated column (exact until the
-// next merge-back or bulk load; see View).
+// Pin returns a stable MVCC view of the replicated column.
 func (r *Replicator) Pin() *View {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return &View{repl: r, dsnap: r.delta.Snapshot(), epoch: r.contentEpoch.Load()}
+	root, dsnap := r.eng.Pin()
+	return &View{root: root, dsnap: dsnap}
 }
 
 // Watermark returns the version high-water mark pinned by the view:
 // writes stamped above it are invisible.
 func (v *View) Watermark() int64 { return v.dsnap.Watermark() }
 
-// Stale reports whether an in-place content mutation of the base — a
-// merge-back or a BulkLoad — has invalidated the pinned visibility
-// (possible only for replication views; segmentation views pin their
-// list snapshot and are never stale).
-func (v *View) Stale() bool {
-	if v.repl == nil {
-		return false
-	}
-	return v.repl.contentEpoch.Load() != v.epoch
-}
-
 // Select returns the values matching q as of the pinned view (order
-// unspecified). A stale replication view serves the current content
-// instead.
+// unspecified).
 func (v *View) Select(q domain.Range) []domain.Value {
 	if q.IsEmpty() {
 		return nil
 	}
-	if v.seg != nil {
-		var out []domain.Value
+	var out []domain.Value
+	if v.list != nil {
 		lo, hi := v.list.Overlapping(q)
 		for i := lo; i < hi; i++ {
 			sg := v.list.Seg(i)
@@ -86,22 +62,12 @@ func (v *View) Select(q domain.Range) []domain.Value {
 				out = sg.AppendSelect(q, out)
 			}
 		}
-		return v.dsnap.Overlay(q, out)
+	} else {
+		for _, c := range getCover(v.root, q) {
+			out = c.seg.AppendSelect(q, out)
+		}
 	}
-	r := v.repl
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	// Re-check staleness under the lock: content mutations happen while
-	// holding it, so the decision is race-free here.
-	dsnap := v.dsnap
-	if r.contentEpoch.Load() != v.epoch {
-		dsnap = r.delta.Snapshot()
-	}
-	var out []domain.Value
-	for _, c := range r.getCover(q) {
-		out = c.seg.AppendSelect(q, out)
-	}
-	return dsnap.Overlay(q, out)
+	return v.dsnap.Overlay(q, out)
 }
 
 // Count returns the cardinality of q as of the pinned view.
@@ -109,8 +75,8 @@ func (v *View) Count(q domain.Range) int64 {
 	if q.IsEmpty() {
 		return 0
 	}
-	if v.seg != nil {
-		var n int64
+	var n int64
+	if v.list != nil {
 		lo, hi := v.list.Overlapping(q)
 		for i := lo; i < hi; i++ {
 			sg := v.list.Seg(i)
@@ -120,18 +86,10 @@ func (v *View) Count(q domain.Range) int64 {
 				n += sg.SelectCount(q)
 			}
 		}
-		return n + v.dsnap.CountDelta(q)
+	} else {
+		for _, c := range getCover(v.root, q) {
+			n += c.seg.SelectCount(q)
+		}
 	}
-	r := v.repl
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	dsnap := v.dsnap
-	if r.contentEpoch.Load() != v.epoch {
-		dsnap = r.delta.Snapshot()
-	}
-	var n int64
-	for _, c := range r.getCover(q) {
-		n += c.seg.SelectCount(q)
-	}
-	return n + dsnap.CountDelta(q)
+	return n + v.dsnap.CountDelta(q)
 }

@@ -84,13 +84,30 @@ type Snapshot struct {
 	watermark int64
 	elemSize  int64
 	// mergedThrough mirrors the store's merge progress at pin time
-	// (diagnostics; the Segmenter pairs the snapshot with the matching
-	// base list, so readers never need it for correctness).
+	// (diagnostics; the core layer pairs the snapshot with the matching
+	// base snapshot via mergeEpoch, so readers never need it).
 	mergedThrough int64
+	// mergeEpoch is the number of draining merges committed before this
+	// snapshot was published. The core publication engine pairs a base
+	// snapshot carrying the same epoch with this delta snapshot to pin a
+	// consistent (base, delta) view without taking any lock: a merged
+	// entry is visible either through the overlay (old epoch on both
+	// sides) or through the base (new epoch on both sides), never both.
+	mergeEpoch int64
 }
 
 // Watermark returns the highest version visible through this snapshot.
 func (s *Snapshot) Watermark() int64 { return s.watermark }
+
+// MergeEpoch returns the number of draining merges committed before this
+// snapshot was published — the pairing key of the lock-free (base,
+// delta) pin in internal/core.
+func (s *Snapshot) MergeEpoch() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.mergeEpoch
+}
 
 // Len returns the number of pinned pending entries.
 func (s *Snapshot) Len() int {
@@ -270,6 +287,7 @@ func (d *Store) publish() {
 		watermark:     d.version,
 		elemSize:      d.elemSize,
 		mergedThrough: d.mergedThrough,
+		mergeEpoch:    d.mergeEpoch.Load(),
 	})
 }
 
@@ -414,8 +432,11 @@ func (d *Store) Merge(apply func(inserts, tombstones []domain.Value, commit func
 		d.entries = nil
 		d.liveIns = make(map[domain.Value][]*Entry)
 		d.tombs = make(map[domain.Value]int)
-		d.publish()
+		// Bump the epoch before publishing so the drained snapshot
+		// carries it — lock-free readers pair it with the base snapshot
+		// published just before commit was called.
 		d.mergeEpoch.Add(1)
+		d.publish()
 	}
 	if err := apply(ins, del, commit); err != nil {
 		if committed {

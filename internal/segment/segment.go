@@ -136,10 +136,26 @@ func (s *Segment) Decode() {
 }
 
 // SetPayload makes s a materialized raw segment holding vals, clearing
-// any virtual or encoded state. The replica tree uses it when scanMat
-// fills a virtual replica.
+// any virtual or encoded state. It may only run on segments never
+// published to concurrent readers; the persistent replica tree uses
+// Filled instead.
 func (s *Segment) SetPayload(vals []domain.Value) {
 	s.Vals, s.Enc, s.Virtual, s.EstCount = vals, nil, false, 0
+}
+
+// Filled returns a fresh materialized raw segment with s's identity (ID
+// and range) holding vals — the persistent-tree counterpart of
+// SetPayload: the receiver (possibly published in an older tree
+// snapshot) is left untouched, so lock-free readers of that snapshot
+// never observe the fill. It panics if any value falls outside the
+// range, like NewMaterialized.
+func (s *Segment) Filled(vals []domain.Value) *Segment {
+	for _, v := range vals {
+		if !s.Rng.Contains(v) {
+			panic(fmt.Sprintf("segment: value %d outside range %v", v, s.Rng))
+		}
+	}
+	return &Segment{ID: s.ID, Rng: s.Rng, Vals: vals}
 }
 
 // values returns the payload for scanning: the raw slice, or a decoded

@@ -7,9 +7,11 @@ import (
 
 // View is a read-only MVCC view of a sharded column: one pinned
 // core.View per shard, pinned in shard order. Consistency is per shard —
-// each shard's (segment snapshot, delta watermark) pair is exact, but a
-// writer may land between two shard pins, so a multi-shard read is not a
-// single column-wide snapshot (the price of independent shard clocks).
+// each shard's (base snapshot, delta watermark) pair is exact and stays
+// exact forever (per-shard pins are stable across splits, drops, bulk
+// loads and merge-backs for both strategies), but a writer may land
+// between two shard pins, so a multi-shard read is not a single
+// column-wide snapshot (the price of independent shard clocks).
 // Reads route exactly like Column queries and drive no adaptation.
 type View struct {
 	ranges []domain.Range
@@ -64,15 +66,4 @@ func (v *View) Watermark() int64 {
 		}
 	}
 	return w
-}
-
-// Stale reports whether ANY shard's pinned visibility was invalidated
-// (replication shards only; segmentation shards never go stale).
-func (v *View) Stale() bool {
-	for _, sv := range v.views {
-		if sv.Stale() {
-			return true
-		}
-	}
-	return false
 }

@@ -35,3 +35,25 @@ func TestRunConcurrentExperimentRenders(t *testing.T) {
 		t.Fatal("empty experiment output")
 	}
 }
+
+func TestRunReplicatedConcurrentExperimentRenders(t *testing.T) {
+	out := runReplicatedConcurrentExperiment(Scale{Queries: 200})
+	if out == "" {
+		t.Fatal("empty experiment output")
+	}
+}
+
+func TestRunConcurrentWarmupConverges(t *testing.T) {
+	cfg := ConcurrentConfig{Clients: 4, WarmupQueries: 300}
+	cfg.Config = DefaultConfig()
+	cfg.ColumnCount = 20_000
+	cfg.NumQueries = 400
+	cfg.Strategy = Replication
+	r := RunConcurrent(cfg)
+	if r.Queries != 400 {
+		t.Fatalf("queries = %d, want 400", r.Queries)
+	}
+	if r.FinalSegments < 2 {
+		t.Fatal("warmup never converged the column")
+	}
+}

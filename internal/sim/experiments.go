@@ -216,6 +216,7 @@ func Experiments() []Experiment {
 		{ID: "fig9", Title: "Figure 9: replica storage, Zipf", Run: runFig9},
 		{ID: "compress", Title: "Extension: adaptive per-segment compression vs plain storage", Run: runCompress},
 		{ID: "concurrent", Title: "Extension: N concurrent query streams over one shared column", Run: runConcurrentExperiment},
+		{ID: "replicated-concurrent", Title: "Extension: lock-free concurrent scans on a converged replicated column", Run: runReplicatedConcurrentExperiment},
 		{ID: "mixed", Title: "Extension: mixed read-write streams through the MVCC delta store", Run: runMixedExperiment},
 		{ID: "sharded", Title: "Extension: domain-sharded column, concurrent read scaling", Run: runShardedExperiment},
 		{ID: "sharded-mixed", Title: "Extension: domain-sharded column, mixed read-write writer scaling", Run: runShardedMixedExperiment},

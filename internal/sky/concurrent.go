@@ -159,6 +159,35 @@ func ConcurrentTable(ds *Dataset, cfg Config) *stats.Table {
 	return tb
 }
 
+// ReplicatedConcurrentTable is the serialization-win measurement of the
+// persistent replica tree on the prototype: the APM 1-5 *replication*
+// scheme under 1–8 concurrent clients per workload. Before PR 5 every
+// replication scan held the tree's writer mutex end to end, so wall-clock
+// throughput flatlined at the single-client rate; with the lock-free
+// read path the aggregate QPS is free to scale with the host's cores
+// (virtual disk-clock totals stay near the serial run — the same
+// aggregate workload drives the same adaptation either way).
+func ReplicatedConcurrentTable(ds *Dataset, cfg Config) *stats.Table {
+	tb := stats.NewTable(
+		fmt.Sprintf("Concurrent clients on a replicated SkyServer column (APM 1-5 Repl, GOMAXPROCS=%d)",
+			runtime.GOMAXPROCS(0)),
+		"Workload", "Clients", "Select ms", "Adapt ms", "Replicas", "Wall ms", "QPS", "QPS/client")
+	scheme := Scheme{Name: "APM 1-5 Repl", Kind: APMScheme, Mmin: cfg.Mmin, Mmax: cfg.MmaxSmall, Replication: true}
+	for _, w := range WorkloadNames() {
+		for _, clients := range []int{1, 2, 4, 8} {
+			r := RunConcurrent(ds, scheme, w, cfg, clients, 0)
+			tb.AddRow(string(w), fmt.Sprint(clients),
+				fmt.Sprintf("%.0f", r.SelectionMs),
+				fmt.Sprintf("%.0f", r.AdaptationMs),
+				fmt.Sprint(r.SegmentCount),
+				fmt.Sprintf("%d", r.Wall.Milliseconds()),
+				fmt.Sprintf("%.0f", r.QPS),
+				fmt.Sprintf("%.0f", r.QPS/float64(clients)))
+		}
+	}
+	return tb
+}
+
 // ShardedTable runs the APM 1-5 scheme with 4 concurrent clients across
 // shard counts per workload — the prototype-side read-scaling check of
 // the domain-sharding extension (virtual clock totals should stay near

@@ -32,3 +32,12 @@ func TestRunConcurrentReplication(t *testing.T) {
 		t.Fatalf("bad run: %+v", r)
 	}
 }
+
+func TestReplicatedConcurrentTableRenders(t *testing.T) {
+	cfg := testConfig()
+	ds := testDataset(t, cfg)
+	out := ReplicatedConcurrentTable(ds, cfg).Render()
+	if out == "" {
+		t.Fatal("empty table")
+	}
+}

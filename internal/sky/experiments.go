@@ -148,6 +148,8 @@ func Experiments() []Experiment {
 			Run: func(ds *Dataset, cfg Config) string { return Fig10Compression(ds, cfg).Render() }},
 		{ID: "concurrent", Title: "Extension: N concurrent clients on one self-organizing column",
 			Run: func(ds *Dataset, cfg Config) string { return ConcurrentTable(ds, cfg).Render() }},
+		{ID: "replicated-concurrent", Title: "Extension: lock-free concurrent scans on a replicated column",
+			Run: func(ds *Dataset, cfg Config) string { return ReplicatedConcurrentTable(ds, cfg).Render() }},
 		{ID: "mixed", Title: "Extension: mixed read-write clients through the MVCC delta store",
 			Run: func(ds *Dataset, cfg Config) string { return MixedTable(ds, cfg).Render() }},
 		{ID: "sharded", Title: "Extension: domain-sharded column, concurrent read scaling",

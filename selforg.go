@@ -795,12 +795,13 @@ type DeltaStats struct {
 	Watermark int64
 }
 
-// View returns a read-only MVCC view pinned at the current (segment
-// snapshot, delta watermark) pair: writes, splits and merge-backs after
-// the pin are invisible through it. Reads through a View drive no
-// adaptation and no statistics. For Replication columns the view stays
-// exact until the next merge-back (Stale reports the fallback to
-// read-committed); Segmentation views are stable forever.
+// View returns a read-only MVCC view pinned at the current (base
+// snapshot, delta watermark) pair: writes, splits, drops, bulk loads and
+// merge-backs after the pin are invisible through it. Reads through a
+// View drive no adaptation and no statistics. Views are stable forever
+// for both strategies — a Replication view pins an immutable
+// persistent-tree root exactly as a Segmentation view pins an immutable
+// segment list, so snapshot isolation holds across any later write.
 func (c *Column) View() *View {
 	switch s := c.strat.(type) {
 	case *core.Segmenter:
@@ -822,7 +823,6 @@ type pinnedView interface {
 	Select(q domain.Range) []domain.Value
 	Count(q domain.Range) int64
 	Watermark() int64
-	Stale() bool
 }
 
 // View is a pinned read-only MVCC view of a Column. For sharded columns
@@ -853,10 +853,6 @@ func (v *View) Count(lo, hi int64) int64 {
 // Watermark returns the pinned MVCC version: writes stamped above it
 // are invisible to this view.
 func (v *View) Watermark() int64 { return v.v.Watermark() }
-
-// Stale reports whether a merge-back invalidated the pinned visibility
-// (Replication columns only; Segmentation views never go stale).
-func (v *View) Stale() bool { return v.v.Stale() }
 
 // EncodingStats describes the per-encoding storage breakdown of the
 // column's materialized segments — one row per encoding the compression

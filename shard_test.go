@@ -148,9 +148,6 @@ func TestShardedFacadeSurface(t *testing.T) {
 	if got := v.Count(shardDom.Lo, shardDom.Hi); got != before {
 		t.Fatalf("pinned view moved: %d != %d", got, before)
 	}
-	if v.Stale() {
-		t.Fatal("segmentation view stale")
-	}
 	if n, _ := col.Count(shardDom.Lo, shardDom.Hi); n != before+1 {
 		t.Fatalf("live count %d, want %d", n, before+1)
 	}

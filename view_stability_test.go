@@ -1,0 +1,146 @@
+package selforg_test
+
+// The PR-5 view-stability matrix: for every strategy × model ×
+// compression × shards combination, a pinned View must return identical
+// results before, during and after concurrent merge-backs and bulk
+// loads. Segmentation had this guarantee since PR 3; the persistent
+// replica tree extends it to replication (the old stale/read-committed
+// fallback is gone), and sharded columns inherit it per shard.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"selforg"
+)
+
+func TestViewStabilityMatrix(t *testing.T) {
+	const (
+		n     = 3_000
+		domHi = 99_999
+	)
+	strategies := []selforg.Strategy{selforg.Segmentation, selforg.Replication}
+	models := []selforg.Model{selforg.APM, selforg.GD}
+	compressions := []selforg.Compression{selforg.CompressionOff, selforg.CompressionAuto}
+	shardCounts := []int{1, 3}
+	probes := [][2]int64{{0, domHi}, {10_000, 29_999}, {70_000, 70_999}}
+
+	for _, strat := range strategies {
+		for _, mod := range models {
+			for _, comp := range compressions {
+				for _, shards := range shardCounts {
+					name := fmt.Sprintf("%v-%v-%v-shards%d", strat, mod, comp, shards)
+					t.Run(name, func(t *testing.T) {
+						t.Parallel()
+						rnd := rand.New(rand.NewSource(5))
+						vals := make([]int64, n)
+						for i := range vals {
+							vals[i] = rnd.Int63n(domHi + 1)
+						}
+						col, err := selforg.New(selforg.Interval{Lo: 0, Hi: domHi}, vals, selforg.Options{
+							Strategy:      strat,
+							Model:         mod,
+							Compression:   comp,
+							Shards:        shards,
+							APMMin:        512,
+							APMMax:        4 * 1024,
+							DeltaMaxBytes: 256, // aggressive merge-back churn
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						// Warm the layout, then pin.
+						for lo := int64(0); lo < 90_000; lo += 9_000 {
+							col.Select(lo, lo+8_999)
+						}
+						v := col.View()
+						if v == nil {
+							t.Fatal("no view")
+						}
+						type probeState struct {
+							sel []int64
+							cnt int64
+						}
+						want := make([]probeState, len(probes))
+						for i, p := range probes {
+							want[i] = probeState{sortInts(v.Select(p[0], p[1])), v.Count(p[0], p[1])}
+							if want[i].cnt != int64(len(want[i].sel)) {
+								t.Fatalf("probe %d: count %d != select %d", i, want[i].cnt, len(want[i].sel))
+							}
+						}
+						check := func(stage string) {
+							for i, p := range probes {
+								got := sortInts(v.Select(p[0], p[1]))
+								if !intsEq(got, want[i].sel) {
+									t.Errorf("%s probe [%d,%d]: view drifted (%d rows, want %d)",
+										stage, p[0], p[1], len(got), len(want[i].sel))
+									return
+								}
+								if c := v.Count(p[0], p[1]); c != want[i].cnt {
+									t.Errorf("%s probe [%d,%d]: count drifted (%d, want %d)",
+										stage, p[0], p[1], c, want[i].cnt)
+									return
+								}
+							}
+						}
+
+						var wg sync.WaitGroup
+						stop := make(chan struct{})
+						// Writer: point writes with inline merge-backs plus
+						// bulk loads — both classes of in-place content
+						// mutation the old replication views degraded on.
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							w := rand.New(rand.NewSource(11))
+							for i := 0; i < 150; i++ {
+								switch w.Intn(4) {
+								case 0:
+									batch := make([]int64, 20)
+									for j := range batch {
+										batch[j] = w.Int63n(domHi + 1)
+									}
+									if _, err := col.BulkLoad(batch); err != nil {
+										t.Errorf("bulk load: %v", err)
+										return
+									}
+								case 1:
+									col.Delete(vals[w.Intn(len(vals))])
+								default:
+									if _, err := col.Insert(w.Int63n(domHi + 1)); err != nil {
+										t.Errorf("insert: %v", err)
+										return
+									}
+								}
+							}
+							close(stop)
+						}()
+						// Reader: assert stability *during* the churn.
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							for {
+								select {
+								case <-stop:
+									return
+								default:
+									check("during")
+								}
+							}
+						}()
+						wg.Wait()
+						if _, err := col.MergeDeltas(); err != nil {
+							t.Fatal(err)
+						}
+						check("after")
+						if err := col.Validate(); err != nil {
+							t.Fatal(err)
+						}
+					})
+				}
+			}
+		}
+	}
+}
