@@ -7,7 +7,7 @@ GO ?= go
 # deterministic-workload benchmarks spanning the hot paths (converged
 # scans, compression fast paths, delta writes, merge-back, sharded
 # writers). Keep this in sync with .github/workflows/ci.yml.
-BENCH_SET  := AblationCompressedScan|AblationCompressedCount|LargeScanSerial|LargeScanParallel4|DeltaInsert|DeltaOverlayScan|DeltaMergeBack|Sharded|SelectRange|CountRange
+BENCH_SET  := AblationCompressedScan|AblationCompressedCount|LargeScanSerial|LargeScanParallel4|DeltaInsert|DeltaOverlayScan|DeltaMergeBack|Sharded|SelectRange|CountRange|ScanObsOn|ScanObsOff
 BENCH_PKGS := . ./internal/compress
 BENCH_ARGS := -run '^$$' -bench '$(BENCH_SET)' -benchtime 10x -count 3
 

@@ -1,0 +1,166 @@
+// Command soserve serves a self-organizing column over HTTP with the
+// full observability surface mounted: Prometheus metrics, per-query
+// phase traces, the adaptation event log, the per-shard layout
+// breakdown and pprof.
+//
+//	$ soserve -n 1000000 -strategy segmentation -model apm -trace -qps 50
+//	$ curl localhost:8080/metrics              # Prometheus text format
+//	$ curl localhost:8080/query?lo=1000&hi=2000
+//	$ curl localhost:8080/debug/queries | jq .
+//	$ curl localhost:8080/debug/adaptations | jq .
+//	$ curl localhost:8080/debug/layout | jq .
+//
+// The optional built-in workload driver (-qps) issues random range
+// queries against the column so the self-organizing loop — and every
+// dashboard behind /metrics — has something to show without an external
+// client.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"selforg"
+
+	"selforg/internal/domain"
+	"selforg/internal/sim"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		n       = flag.Int("n", 1_000_000, "number of generated values")
+		lo      = flag.Int64("lo", 0, "domain lower bound")
+		hi      = flag.Int64("hi", 999_999, "domain upper bound")
+		seed    = flag.Int64("seed", 42, "data generator seed")
+		strat   = flag.String("strategy", "segmentation", "segmentation|replication")
+		mdl     = flag.String("model", "apm", "apm|gd|none")
+		shards  = flag.Int("shards", 1, "domain shard count")
+		compr   = flag.Bool("compress", false, "adaptive per-segment compression")
+		trace   = flag.Bool("trace", false, "per-query phase tracing")
+		sample  = flag.Int("trace-sample", 1, "trace 1 in N queries")
+		slow    = flag.Duration("slow", 0, "slow-query threshold (0 = 10ms default)")
+		drain   = flag.Duration("drain", 0, "background adaptation drain interval (0 = off)")
+		qps     = flag.Int("qps", 0, "built-in workload driver: queries per second (0 = off)")
+		selPerc = flag.Float64("sel", 0.001, "workload driver selectivity (fraction of the domain)")
+	)
+	flag.Parse()
+
+	opts := selforg.Options{
+		Shards: *shards,
+		Observability: selforg.Observability{
+			Trace:           *trace,
+			TraceSample:     *sample,
+			SlowQuery:       *slow,
+			BackgroundDrain: *drain,
+		},
+	}
+	switch *strat {
+	case "segmentation", "segm":
+		opts.Strategy = selforg.Segmentation
+	case "replication", "repl":
+		opts.Strategy = selforg.Replication
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strat)
+		os.Exit(2)
+	}
+	switch *mdl {
+	case "apm":
+		opts.Model = selforg.APM
+	case "gd":
+		opts.Model = selforg.GD
+	case "none":
+		opts.Model = selforg.None
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *mdl)
+		os.Exit(2)
+	}
+	if *compr {
+		opts.Compression = selforg.CompressionAuto
+	}
+
+	vals := sim.GenerateColumn(*n, domain.NewRange(*lo, *hi), *seed)
+	col, err := selforg.New(selforg.Interval{Lo: *lo, Hi: *hi}, vals, opts)
+	if err != nil {
+		log.Fatalf("soserve: %v", err)
+	}
+	defer col.Close()
+	log.Printf("serving %s over %d values on %s", col.Name(), *n, *addr)
+
+	if *qps > 0 {
+		go drive(col, *lo, *hi, *qps, *selPerc, *seed)
+		log.Printf("workload driver: %d qps, selectivity %.4f", *qps, *selPerc)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		serveQuery(col, w, r)
+	})
+	// Everything else — /metrics, /debug/queries, /debug/adaptations,
+	// /debug/layout, /debug/pprof — is the observer's surface.
+	mux.Handle("/", selforg.DefaultObserver().Handler())
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// serveQuery answers /query?lo=&hi=[&op=select|count] with the result
+// cardinality and the query's cost stats as JSON. Every query served
+// here drives adaptation exactly like a library call would.
+func serveQuery(col *selforg.Column, w http.ResponseWriter, r *http.Request) {
+	lo, err1 := strconv.ParseInt(r.URL.Query().Get("lo"), 10, 64)
+	hi, err2 := strconv.ParseInt(r.URL.Query().Get("hi"), 10, 64)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "need integer lo= and hi= parameters", http.StatusBadRequest)
+		return
+	}
+	var (
+		count int64
+		st    selforg.Stats
+	)
+	if r.URL.Query().Get("op") == "count" {
+		count, st = col.Count(lo, hi)
+	} else {
+		var res []int64
+		res, st = col.Select(lo, hi)
+		count = int64(len(res))
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Count    int64         `json:"count"`
+		Stats    selforg.Stats `json:"stats"`
+		Segments int           `json:"segments"`
+		Totals   selforg.Stats `json:"totals"`
+	}{count, st, col.SegmentCount(), col.Totals()})
+}
+
+// drive issues random range queries at the requested rate so the column
+// self-organizes (and the observability endpoints fill) unattended.
+func drive(col *selforg.Column, lo, hi int64, qps int, sel float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	width := int64(float64(hi-lo+1) * sel)
+	if width < 1 {
+		width = 1
+	}
+	tick := time.NewTicker(time.Second / time.Duration(qps))
+	defer tick.Stop()
+	for range tick.C {
+		qlo := lo + rng.Int63n(hi-lo+1)
+		qhi := qlo + width - 1
+		if qhi > hi {
+			qhi = hi
+		}
+		if rng.Intn(4) == 0 {
+			col.Count(qlo, qhi)
+		} else {
+			col.Select(qlo, qhi)
+		}
+	}
+}

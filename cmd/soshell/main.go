@@ -22,6 +22,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"selforg"
 
@@ -93,6 +94,11 @@ func (sh *shell) exec(line string) error {
   unpin NAME                release a pinned view
   layout                    show the segment layout / replica tree
   totals                    cumulative statistics
+  metrics                   dump the metrics registry (Prometheus text format)
+  trace on [N [SLOWMS]]     trace 1-in-N queries (default every), slow bar SLOWMS
+  trace off                 disable per-query phase tracing
+  trace show                show traced queries (slow ones marked)
+  events                    show the adaptation event log (splits, replicas, merges...)
   glue MINBYTES             merge segments smaller than MINBYTES
   quit
 `)
@@ -396,6 +402,86 @@ func (sh *shell) exec(line string) error {
 		t := sh.col.Totals()
 		fmt.Fprintf(sh.out, "queries %d: read %d B, wrote %d B, %d splits, %d drops, storage %d B\n",
 			sh.col.Queries(), t.ReadBytes, t.WriteBytes, t.Splits, t.Drops, sh.col.StorageBytes())
+		return nil
+	case "metrics":
+		// Columns built by the shell report into the process-wide default
+		// observer; this renders its registry exactly as /metrics would.
+		selforg.DefaultObserver().Registry.WritePrometheus(sh.out)
+		return nil
+	case "trace":
+		if len(args) < 1 {
+			return fmt.Errorf("trace on|off|show")
+		}
+		tl := selforg.DefaultObserver().Traces
+		switch args[0] {
+		case "on":
+			sample := int64(1)
+			slow := time.Duration(0)
+			var err error
+			if len(args) > 1 {
+				if sample, err = atoi(args[1]); err != nil {
+					return err
+				}
+			}
+			if len(args) > 2 {
+				ms, err := atoi(args[2])
+				if err != nil {
+					return err
+				}
+				slow = time.Duration(ms) * time.Millisecond
+			}
+			tl.Enable(int(sample), slow)
+			fmt.Fprintf(sh.out, "tracing 1 in %d queries (slow bar %v)\n", tl.SampleN(), tl.SlowThreshold())
+			return nil
+		case "off":
+			tl.Disable()
+			fmt.Fprintln(sh.out, "tracing off")
+			return nil
+		case "show":
+			traces := tl.Recent()
+			if len(traces) == 0 {
+				fmt.Fprintln(sh.out, "no traces (run 'trace on', then some queries)")
+				return nil
+			}
+			for _, t := range traces {
+				slowMark := ""
+				if t.Slow {
+					slowMark = " SLOW"
+				}
+				fmt.Fprintf(sh.out, "#%d %s/%s shard %d [%d, %d]: total %v (route %v, scan %v, overlay %v, adapt %v); read %d B, %d rows, %d splits%s\n",
+					t.Seq, t.Op, t.Strategy, t.Shard, t.Lo, t.Hi,
+					time.Duration(t.TotalNs), time.Duration(t.RouteNs), time.Duration(t.ScanNs),
+					time.Duration(t.OverlayNs), time.Duration(t.AdaptNs),
+					t.ReadBytes, t.Rows, t.Splits, slowMark)
+			}
+			return nil
+		default:
+			return fmt.Errorf("trace on|off|show")
+		}
+	case "events":
+		ev := selforg.DefaultObserver().Events
+		events := ev.Recent()
+		if len(events) == 0 {
+			fmt.Fprintln(sh.out, "no adaptation events yet")
+			return nil
+		}
+		for _, e := range events {
+			fmt.Fprintf(sh.out, "#%d %s %s/shard %d", e.Seq, e.Kind, e.Strategy, e.Shard)
+			if e.Lo != 0 || e.Hi != 0 {
+				fmt.Fprintf(sh.out, " [%d, %d]", e.Lo, e.Hi)
+			}
+			if e.Before != 0 || e.After != 0 {
+				fmt.Fprintf(sh.out, " %d -> %d segments", e.Before, e.After)
+			}
+			if e.Bytes != 0 {
+				fmt.Fprintf(sh.out, " (%d B)", e.Bytes)
+			}
+			if e.Note != "" {
+				fmt.Fprintf(sh.out, " %s", e.Note)
+			}
+			fmt.Fprintln(sh.out)
+		}
+		fmt.Fprintf(sh.out, "%d events total (ring holds the most recent %d)\n", ev.Total(), len(events))
 		return nil
 	case "glue":
 		if sh.col == nil {

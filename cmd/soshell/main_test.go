@@ -180,3 +180,40 @@ func TestShellPinnedViewSurvivesMerge(t *testing.T) {
 		t.Error("unpin of unknown name accepted")
 	}
 }
+
+func TestShellObservability(t *testing.T) {
+	// metrics/trace/events read the process-wide default observer the
+	// shell's columns attach to.
+	sh, out := newTestShell()
+	run(t, sh,
+		"gen 5000 0 99999 11",
+		"model apm 512 2048",
+		"trace on 1 250",
+		"build",
+		"select 10000 29999",
+		"select 10000 29999",
+		"trace show",
+		"events",
+		"metrics",
+		"trace off",
+	)
+	text := out.String()
+	for _, want := range []string{
+		"tracing 1 in 1 queries",
+		"select/segm shard 0 [10000, 29999]",
+		"split segm/shard 0",
+		"# TYPE selforg_queries_total counter",
+		"selforg_adaptation_events_total{kind=\"split\"",
+		"tracing off",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("observability session output missing %q:\n%s", want, text)
+		}
+	}
+	if err := sh.exec("trace bogus"); err == nil {
+		t.Error("bad trace subcommand accepted")
+	}
+	if err := sh.exec("trace"); err == nil {
+		t.Error("bare trace accepted")
+	}
+}

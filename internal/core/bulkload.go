@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"selforg/internal/domain"
+	"selforg/internal/obs"
 	"selforg/internal/segment"
 )
 
@@ -86,6 +87,18 @@ func (s *Segmenter) BulkLoad(vals []domain.Value) (QueryStats, error) {
 	s.eng.Publish(list)
 	s.totalBytes.Add(int64(len(vals)) * elem)
 	s.snapshot(&st)
+	if so := s.ob.Load(); so != nil {
+		so.volumes(&st)
+		so.event(so.evBulkload, "bulkload", obs.Event{
+			Lo:     sorted[0],
+			Hi:     sorted[len(sorted)-1],
+			Before: len(buckets),
+			After:  len(buckets),
+			Bytes:  st.WriteBytes,
+			Note:   fmt.Sprintf("values=%d", len(vals)),
+		})
+		so.recodes(st.Recodes)
+	}
 	return st, nil
 }
 
@@ -117,5 +130,13 @@ func (r *Replicator) BulkLoad(vals []domain.Value) (QueryStats, error) {
 		r.eng.Publish(next)
 	}
 	r.snapshot(&st)
+	if so := r.ob.Load(); so != nil {
+		so.volumes(&st)
+		so.event(so.evBulkload, "bulkload", obs.Event{
+			Bytes: st.WriteBytes,
+			Note:  fmt.Sprintf("values=%d", len(vals)),
+		})
+		so.recodes(st.Recodes)
+	}
 	return st, nil
 }

@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"selforg/internal/delta"
 	"selforg/internal/domain"
@@ -51,6 +52,9 @@ func (s *Segmenter) Insert(v domain.Value) (QueryStats, error) {
 	st.WriteBytes += list.ElemSize()
 	err := maybeMergeDeltas(s, &st)
 	s.snapshot(&st)
+	if so := s.ob.Load(); so != nil {
+		so.write(so.wIns, &st)
+	}
 	return st, err
 }
 
@@ -72,6 +76,9 @@ func (s *Segmenter) Delete(v domain.Value) (bool, QueryStats) {
 	st.WriteBytes += list.ElemSize()
 	mustMergeDeltas(s, &st)
 	s.snapshot(&st)
+	if so := s.ob.Load(); so != nil {
+		so.write(so.wDel, &st)
+	}
 	return true, st
 }
 
@@ -93,6 +100,9 @@ func (s *Segmenter) Update(old, new domain.Value) (bool, QueryStats) {
 	st.WriteBytes += 2 * list.ElemSize()
 	mustMergeDeltas(s, &st)
 	s.snapshot(&st)
+	if so := s.ob.Load(); so != nil {
+		so.write(so.wUpd, &st)
+	}
 	return true, st
 }
 
@@ -102,6 +112,9 @@ func (s *Segmenter) MergeDeltas() (QueryStats, error) {
 	var st QueryStats
 	err := mergeDeltasNow(s, &st)
 	s.snapshot(&st)
+	if so := s.ob.Load(); so != nil {
+		so.volumes(&st)
+	}
 	return st, err
 }
 
@@ -130,6 +143,10 @@ type deltaMerger interface {
 	deltaStore() *delta.Store
 	deltaThresholds() (maxBytes, ratioBP int64)
 	baseLogicalBytes() int64
+	// obsHandle returns the strategy's current observability handles
+	// (nil = uninstrumented), so the shared merge path accounts
+	// merge-backs without knowing the concrete strategy.
+	obsHandle() *strategyObs
 	// applyDrained applies the drained entries under the strategy's
 	// writer lock and publishes the rewritten base together with the
 	// store's commit (engine.PublishMerged), so the post-merge base and
@@ -158,10 +175,20 @@ func mustMergeDeltas(m deltaMerger, st *QueryStats) {
 // mergeDeltasNow drains the store through the strategy's single-writer
 // rewrite path regardless of the thresholds.
 func mergeDeltasNow(m deltaMerger, st *QueryStats) error {
+	so := m.obsHandle()
+	var begin time.Time
+	if so != nil {
+		begin = time.Now()
+	}
+	preRecodes := st.Recodes
 	n, err := m.deltaStore().Merge(func(ins, del []domain.Value, commit func()) error {
 		return m.applyDrained(st, ins, del, commit)
 	})
 	st.Merged += n
+	if err == nil {
+		so.merged(n, begin)
+		so.recodes(st.Recodes - preRecodes)
+	}
 	return err
 }
 
@@ -173,6 +200,9 @@ func (s *Segmenter) deltaThresholds() (int64, int64) { return s.eng.deltaThresho
 
 // baseLogicalBytes implements deltaMerger.
 func (s *Segmenter) baseLogicalBytes() int64 { return s.totalBytes.Load() }
+
+// obsHandle implements deltaMerger.
+func (s *Segmenter) obsHandle() *strategyObs { return s.ob.Load() }
 
 // applyDrained implements deltaMerger: the rewritten list and the
 // drained store are published as one epoch step (PublishMerged), so
@@ -334,6 +364,9 @@ func (r *Replicator) Insert(v domain.Value) (QueryStats, error) {
 	st.WriteBytes += r.elemSize
 	err := maybeMergeDeltas(r, &st)
 	r.snapshot(&st)
+	if so := r.ob.Load(); so != nil {
+		so.write(so.wIns, &st)
+	}
 	return st, err
 }
 
@@ -352,6 +385,9 @@ func (r *Replicator) Delete(v domain.Value) (bool, QueryStats) {
 	st.WriteBytes += r.elemSize
 	mustMergeDeltas(r, &st)
 	r.snapshot(&st)
+	if so := r.ob.Load(); so != nil {
+		so.write(so.wDel, &st)
+	}
 	return true, st
 }
 
@@ -370,6 +406,9 @@ func (r *Replicator) Update(old, new domain.Value) (bool, QueryStats) {
 	st.WriteBytes += 2 * r.elemSize
 	mustMergeDeltas(r, &st)
 	r.snapshot(&st)
+	if so := r.ob.Load(); so != nil {
+		so.write(so.wUpd, &st)
+	}
 	return true, st
 }
 
@@ -378,6 +417,9 @@ func (r *Replicator) MergeDeltas() (QueryStats, error) {
 	var st QueryStats
 	err := mergeDeltasNow(r, &st)
 	r.snapshot(&st)
+	if so := r.ob.Load(); so != nil {
+		so.volumes(&st)
+	}
 	return st, err
 }
 
@@ -402,6 +444,9 @@ func (r *Replicator) deltaThresholds() (int64, int64) { return r.eng.deltaThresh
 
 // baseLogicalBytes implements deltaMerger.
 func (r *Replicator) baseLogicalBytes() int64 { return r.totalBytes.Load() }
+
+// obsHandle implements deltaMerger.
+func (r *Replicator) obsHandle() *strategyObs { return r.ob.Load() }
 
 // applyDrained implements deltaMerger (see Segmenter.applyDrained).
 func (r *Replicator) applyDrained(st *QueryStats, ins, del []domain.Value, commit func()) error {

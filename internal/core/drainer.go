@@ -1,0 +1,56 @@
+package core
+
+// Background adaptation drainer. The Replicator's read path never blocks
+// on the writer mutex: a query that detects adaptation opportunities
+// enqueues its range, and the queue drains when some query's TryLock
+// wins. Under a sustained read load against a contended writer that win
+// can be deferred indefinitely, leaving the layout stale — this file
+// bounds that staleness with a low-priority goroutine that periodically
+// drains the queue with a blocking lock acquisition. The drainer is off
+// by default (it introduces background work, which perturbs the serial
+// determinism the tests and benches rely on) and is enabled through the
+// facade's Options.Observability.BackgroundDrain knob.
+
+import (
+	"sync"
+	"time"
+)
+
+// StartBackgroundDrain launches a goroutine that drains the queued
+// replication adaptation work every interval, so layout staleness is
+// bounded by the interval instead of the next query's TryLock win.
+// Applied work's stats are not attributed to any query; the obs layer
+// (when attached) accounts each drain under mode="background" and
+// exports the live queue depth. The returned stop function terminates
+// the goroutine and waits for it to exit; it is idempotent.
+func (r *Replicator) StartBackgroundDrain(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				r.DrainPendingAdaptation()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			// Leave nothing queued behind: anything enqueued between the
+			// last tick and the stop is applied now.
+			r.DrainPendingAdaptation()
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"selforg/internal/domain"
+	"selforg/internal/model"
+	"selforg/internal/obs"
+)
+
+// TestBackgroundDrainDrainsQueuedAdaptation pins the drainer's contract:
+// adaptation queued because queries lost the inline TryLock is applied
+// by the background goroutine, accounted under mode="background", and
+// the queue-depth gauge returns to zero.
+func TestBackgroundDrainDrainsQueuedAdaptation(t *testing.T) {
+	r := NewReplicator(domain.NewRange(0, 999), denseColumn(1000), 1, model.Always{}, nil)
+	ob := obs.NewObserver()
+	r.SetObserver(ob, 0)
+
+	// Hold the writer lock so the query's inline TryLock loses and the
+	// adaptation it wants (replicating the partial cover) stays queued.
+	r.eng.Mu.Lock()
+	res, _ := r.Select(domain.Range{Lo: 100, Hi: 200})
+	if len(res) != 101 {
+		t.Fatalf("query under a held writer lock returned %d rows, want 101", len(res))
+	}
+	if r.adapt.empty() {
+		t.Fatal("query should have queued adaptation while the writer lock was held")
+	}
+	r.eng.Mu.Unlock()
+
+	stop := r.StartBackgroundDrain(time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for !r.adapt.empty() {
+		if time.Now().After(deadline) {
+			t.Fatal("background drainer never drained the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+
+	bg := ob.Registry.Counter(`selforg_adapt_drains_total{mode="background",strategy="repl",shard="0"}`)
+	if bg.Value() < 1 {
+		t.Fatalf("background drain counter = %d, want >= 1", bg.Value())
+	}
+	// The drained adaptation materialized the queried range: later
+	// queries see a multi-segment tree.
+	if r.SegmentCount() < 2 {
+		t.Fatalf("drained adaptation left %d segments, want >= 2", r.SegmentCount())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainPendingAdaptationNoQueue pins the fast path: with nothing
+// queued the blocking drain is a no-op that takes no lock.
+func TestDrainPendingAdaptationNoQueue(t *testing.T) {
+	r := NewReplicator(domain.NewRange(0, 999), denseColumn(1000), 1, model.Always{}, nil)
+	r.eng.Mu.Lock() // would deadlock if the empty drain acquired it
+	defer r.eng.Mu.Unlock()
+	if n := r.DrainPendingAdaptation(); n != 0 {
+		t.Fatalf("empty drain applied %d ranges", n)
+	}
+}
+
+// TestStopDrainsRemainder pins the stop contract: whatever is queued at
+// stop time is applied before stop returns.
+func TestStopDrainsRemainder(t *testing.T) {
+	r := NewReplicator(domain.NewRange(0, 999), denseColumn(1000), 1, model.Always{}, nil)
+	stop := r.StartBackgroundDrain(time.Hour) // ticks never fire in this test
+	r.eng.Mu.Lock()
+	r.Select(domain.Range{Lo: 300, Hi: 400})
+	r.eng.Mu.Unlock()
+	if r.adapt.empty() {
+		t.Skip("inline drain won the race; nothing left to test")
+	}
+	stop()
+	if !r.adapt.empty() {
+		t.Fatal("stop returned with adaptation still queued")
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 
 	"selforg/internal/delta"
+	"selforg/internal/obs"
 )
 
 // published is one (base snapshot, merge epoch) pair.
@@ -58,7 +59,14 @@ type engine[B any] struct {
 	Delta         *delta.Store
 	deltaMaxBytes atomic.Int64
 	deltaRatioBP  atomic.Int64
+	// pub counts base publications (snapshot installs) when an observer
+	// is attached; obs.Counter methods are nil-safe, so the unobserved
+	// cost is one atomic load per publication.
+	pub atomic.Pointer[obs.Counter]
 }
+
+// setPublishCounter attaches the publication counter (nil detaches).
+func (e *engine[B]) setPublishCounter(c *obs.Counter) { e.pub.Store(c) }
 
 // initEngine installs the initial base snapshot and a fresh write store.
 func (e *engine[B]) initEngine(base *B, elemSize int64) {
@@ -100,6 +108,7 @@ func (e *engine[B]) Pin() (*B, *delta.Snapshot) {
 // delta state (reorganization, bulk load, re-encoding). Caller holds Mu.
 func (e *engine[B]) Publish(base *B) {
 	e.cur.Store(&published[B]{base: base, epoch: e.cur.Load().epoch})
+	e.pub.Load().Inc()
 }
 
 // PublishMerged installs a base snapshot that has absorbed a drained
@@ -110,6 +119,7 @@ func (e *engine[B]) Publish(base *B) {
 func (e *engine[B]) PublishMerged(base *B, commit func()) {
 	e.cur.Store(&published[B]{base: base, epoch: e.cur.Load().epoch + 1})
 	commit()
+	e.pub.Load().Inc()
 }
 
 // SetDeltaPolicy implements the DeltaStrategy knob for both strategies:

@@ -5,10 +5,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"selforg/internal/compress"
 	"selforg/internal/domain"
 	"selforg/internal/model"
+	"selforg/internal/obs"
 	"selforg/internal/segment"
 )
 
@@ -83,6 +85,9 @@ type Replicator struct {
 	// adapt queues the ranges whose adaptation is still pending — the
 	// hand-off from the lock-free read path to the writer pipeline.
 	adapt adaptQueue
+	// ob is the resolved observability handle set (nil = uninstrumented;
+	// the query path pays one atomic load either way).
+	ob atomic.Pointer[strategyObs]
 }
 
 // adaptQueue is the tiny pending-adaptation buffer between the lock-free
@@ -157,6 +162,30 @@ func (r *Replicator) SetParallelism(n int) {
 		n = 1
 	}
 	r.par.Store(int32(n))
+}
+
+// SetObserver attaches (or, with a nil observer, detaches) the
+// observability layer; see Segmenter.SetObserver. The replication
+// surface adds the adaptation-queue depth and declined-replica gauges.
+// All gauge callbacks are lock-free (atomics and immutable snapshots),
+// so a scrape never orders against the writer pipeline.
+func (r *Replicator) SetObserver(ob *obs.Observer, shardIdx int) {
+	if ob == nil {
+		r.ob.Store(nil)
+		return
+	}
+	so := newStrategyObs(ob, "repl", shardIdx)
+	r.ob.Store(so)
+	r.eng.setPublishCounter(ob.Registry.Counter(so.seriesName("selforg_publications_total")))
+	reg := ob.Registry
+	reg.GaugeFunc(so.seriesName("selforg_delta_pending_bytes"), r.eng.Delta.PendingBytes)
+	reg.GaugeFunc(so.seriesName("selforg_storage_bytes"), r.stored.Load)
+	reg.GaugeFunc(so.seriesName("selforg_storage_uncompressed_bytes"), r.storage.Load)
+	reg.GaugeFunc(so.seriesName("selforg_segments"), func() int64 {
+		return int64(r.SegmentCount())
+	})
+	reg.GaugeFunc(so.seriesName("selforg_adapt_queue_depth"), r.adapt.n.Load)
+	reg.GaugeFunc(so.seriesName("selforg_replicas_declined"), r.declined.Load)
 }
 
 // SetCompression attaches the compression subsystem: new replicas are
@@ -345,8 +374,19 @@ func (r *Replicator) info(sg *segment.Segment) model.SegmentInfo {
 // scan itself is lock-free; the materialization runs on the writer
 // pipeline).
 func (r *Replicator) Select(q domain.Range) ([]domain.Value, QueryStats) {
-	res, _, st := r.run(q, true)
+	so := r.ob.Load()
+	var begin time.Time
+	var span *obs.Span
+	if so != nil {
+		begin = time.Now()
+		span = so.span("select", q)
+	}
+	res, _, st := r.run(q, true, span)
 	st.ResultCount = int64(len(res))
+	if so != nil {
+		so.query(true, begin, &st)
+		finishSpan(span, &st)
+	}
 	return res, st
 }
 
@@ -355,8 +395,19 @@ func (r *Replicator) Select(q domain.Range) ([]domain.Value, QueryStats) {
 // compressed) form. Replica analysis, materialization and drops all still
 // happen — counting queries drive adaptation like any others.
 func (r *Replicator) Count(q domain.Range) (int64, QueryStats) {
-	_, n, st := r.run(q, false)
+	so := r.ob.Load()
+	var begin time.Time
+	var span *obs.Span
+	if so != nil {
+		begin = time.Now()
+		span = so.span("count", q)
+	}
+	_, n, st := r.run(q, false, span)
 	st.ResultCount = n
+	if so != nil {
+		so.query(false, begin, &st)
+		finishSpan(span, &st)
+	}
 	return n, st
 }
 
@@ -374,10 +425,12 @@ func (r *Replicator) Count(q domain.Range) (int64, QueryStats) {
 // analyse → scan → materialize → drop interleaving of the paper's
 // pseudocode is reproduced exactly (model decisions in cover order,
 // byte-identical stats and layout evolution).
-func (r *Replicator) run(q domain.Range, extract bool) ([]domain.Value, int64, QueryStats) {
+func (r *Replicator) run(q domain.Range, extract bool, span *obs.Span) ([]domain.Value, int64, QueryStats) {
 	var st QueryStats
+	tRoute := span.StartPhase()
 	root, dsnap := r.eng.Pin()
 	cover := getCover(root, q)
+	span.EndPhase(obs.PhaseRoute, tRoute)
 
 	par := int(r.par.Load())
 	if par == 0 {
@@ -443,12 +496,16 @@ func (r *Replicator) run(q domain.Range, extract bool) ([]domain.Value, int64, Q
 			count += outs[i].count
 		}
 	}
+	tOv := span.StartPhase()
 	result, count = overlayDelta(dsnap, q, extract, result, count, &st)
+	span.EndPhase(obs.PhaseOverlay, tOv)
 
 	if coverNeedsAdaptation(cover, q) {
 		r.adapt.add(q)
 	}
+	tAdapt := span.StartPhase()
 	r.drainAdaptation(&st)
+	span.EndPhase(obs.PhaseAdapt, tAdapt)
 	r.snapshot(&st)
 	return result, count, st
 }
@@ -501,11 +558,43 @@ func (r *Replicator) drainAdaptation(st *QueryStats) {
 		if !r.eng.Mu.TryLock() {
 			return
 		}
-		for _, q := range r.adapt.drain() {
+		so := r.ob.Load()
+		var begin time.Time
+		if so != nil {
+			begin = time.Now()
+		}
+		drained := r.adapt.drain()
+		for _, q := range drained {
 			r.adaptLocked(q, st)
 		}
 		r.eng.Mu.Unlock()
+		so.drained(false, len(drained), begin)
 	}
+}
+
+// DrainPendingAdaptation drains the queued adaptation work right now,
+// blocking on the writer mutex instead of TryLock — the background
+// drainer's entry point (see StartBackgroundDrain). It returns the
+// number of queued ranges applied; their stats are not attributed to any
+// query.
+func (r *Replicator) DrainPendingAdaptation() int {
+	if r.adapt.empty() {
+		return 0
+	}
+	so := r.ob.Load()
+	var begin time.Time
+	if so != nil {
+		begin = time.Now()
+	}
+	var st QueryStats
+	r.eng.Mu.Lock()
+	drained := r.adapt.drain()
+	for _, q := range drained {
+		r.adaptLocked(q, &st)
+	}
+	r.eng.Mu.Unlock()
+	so.drained(true, len(drained), begin)
+	return len(drained)
 }
 
 // coverAt pairs a cover node with its depth below the sentinel.
@@ -636,6 +725,7 @@ func (r *Replicator) analyzeBuild(c, n *node, depth int, q domain.Range, st *Que
 			kids[indexOf(kids, m)] = &node{seg: filled}
 		}
 		st.Splits++
+		r.splitEvent(n, kids)
 		return n.withChildren(kids)
 
 	case model.SplitPoint:
@@ -655,11 +745,26 @@ func (r *Replicator) analyzeBuild(c, n *node, depth int, q domain.Range, st *Que
 			kids[indexOf(kids, target)] = &node{seg: filled}
 		}
 		st.Splits++
+		r.splitEvent(n, kids)
 		return n.withChildren(kids)
 
 	default:
 		panic(fmt.Sprintf("core: unknown model action %v", d.Action))
 	}
+}
+
+// splitEvent files a replica-tree split: leaf n gained the kids tiling.
+func (r *Replicator) splitEvent(n *node, kids []*node) {
+	so := r.ob.Load()
+	if so == nil {
+		return
+	}
+	so.event(so.evSplit, "split", obs.Event{
+		Lo:     n.seg.Rng.Lo,
+		Hi:     n.seg.Rng.Hi,
+		Before: 1,
+		After:  len(kids),
+	})
 }
 
 func indexOf(kids []*node, n *node) int {
@@ -688,7 +793,8 @@ func (r *Replicator) materialize(c *node, virt *segment.Segment, st *QueryStats)
 	vals := c.seg.Select(virt.Rng)
 	filled := virt.Filled(vals)
 	logical := int64(len(vals)) * r.elemSize
-	if filled.Encode(r.codec.Load()) {
+	recoded := filled.Encode(r.codec.Load())
+	if recoded {
 		st.Recodes++
 	}
 	b := int64(filled.StoredBytes(r.elemSize))
@@ -696,6 +802,17 @@ func (r *Replicator) materialize(c *node, virt *segment.Segment, st *QueryStats)
 	r.storage.Add(logical)
 	r.stored.Add(b)
 	r.tracer.Materialize(filled.ID, b)
+	if so := r.ob.Load(); so != nil {
+		so.event(so.evReplicate, "replicate", obs.Event{
+			Lo:    filled.Rng.Lo,
+			Hi:    filled.Rng.Hi,
+			After: 1,
+			Bytes: b,
+		})
+		if recoded {
+			so.recodes(1)
+		}
+	}
 	return filled
 }
 
@@ -734,6 +851,15 @@ func (r *Replicator) dropPass(n *node, st *QueryStats) []*node {
 		r.stored.Add(-physical)
 		r.tracer.Drop(cur.seg.ID, physical)
 		st.Drops++
+		if so := r.ob.Load(); so != nil {
+			so.event(so.evDrop, "drop", obs.Event{
+				Lo:     cur.seg.Rng.Lo,
+				Hi:     cur.seg.Rng.Hi,
+				Before: 1,
+				After:  len(kids),
+				Bytes:  physical,
+			})
+		}
 	}
 	return kids
 }

@@ -5,11 +5,13 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"selforg/internal/compress"
 	"selforg/internal/delta"
 	"selforg/internal/domain"
 	"selforg/internal/model"
+	"selforg/internal/obs"
 	"selforg/internal/segment"
 )
 
@@ -65,6 +67,9 @@ type Segmenter struct {
 	// par is the per-query scan fan-out width (0 = adaptive, 1 = serial,
 	// n > 1 = bounded at n).
 	par atomic.Int32
+	// ob is the resolved observability handle set (nil = uninstrumented;
+	// the query path pays one atomic load either way).
+	ob atomic.Pointer[strategyObs]
 }
 
 // NewSegmenter builds the strategy over a fresh single-segment column
@@ -128,6 +133,29 @@ func adaptiveFanout(nTasks int, scanBytes int64) int {
 		par = 16
 	}
 	return par
+}
+
+// SetObserver attaches (or, with a nil observer, detaches) the
+// observability layer: metric handles are resolved once here, gauge
+// callbacks — all lock-free: atomics and immutable snapshots only — are
+// registered under this instance's strategy/shard labels, and subsequent
+// queries, writes and reorganizations account against them. shardIdx
+// labels the series ("0" for an unsharded column).
+func (s *Segmenter) SetObserver(ob *obs.Observer, shardIdx int) {
+	if ob == nil {
+		s.ob.Store(nil)
+		return
+	}
+	so := newStrategyObs(ob, "segm", shardIdx)
+	s.ob.Store(so)
+	s.eng.setPublishCounter(ob.Registry.Counter(so.seriesName("selforg_publications_total")))
+	reg := ob.Registry
+	reg.GaugeFunc(so.seriesName("selforg_delta_pending_bytes"), s.eng.Delta.PendingBytes)
+	reg.GaugeFunc(so.seriesName("selforg_storage_bytes"), s.stored.Load)
+	reg.GaugeFunc(so.seriesName("selforg_storage_uncompressed_bytes"), s.totalBytes.Load)
+	reg.GaugeFunc(so.seriesName("selforg_segments"), func() int64 {
+		return int64(s.eng.Base().Len())
+	})
 }
 
 // SetCompression attaches the compression subsystem: subsequent
@@ -236,8 +264,19 @@ type segOutcome struct {
 // values. Segments are visited high-to-low, matching the paper's
 // in-place replacement order.
 func (s *Segmenter) Select(q domain.Range) ([]domain.Value, QueryStats) {
-	vals, _, st := s.run(q, true, true)
+	so := s.ob.Load()
+	var begin time.Time
+	var span *obs.Span
+	if so != nil {
+		begin = time.Now()
+		span = so.span("select", q)
+	}
+	vals, _, st := s.run(q, true, true, span)
 	st.ResultCount = int64(len(vals))
+	if so != nil {
+		so.query(true, begin, &st)
+		finishSpan(span, &st)
+	}
 	return vals, st
 }
 
@@ -246,8 +285,19 @@ func (s *Segmenter) Select(q domain.Range) ([]domain.Value, QueryStats) {
 // count without being scanned at all, and partially covered segments are
 // counted on their (possibly compressed) form without copying a value.
 func (s *Segmenter) Count(q domain.Range) (int64, QueryStats) {
-	_, n, st := s.run(q, false, false)
+	so := s.ob.Load()
+	var begin time.Time
+	var span *obs.Span
+	if so != nil {
+		begin = time.Now()
+		span = so.span("count", q)
+	}
+	_, n, st := s.run(q, false, false, span)
 	st.ResultCount = n
+	if so != nil {
+		so.query(false, begin, &st)
+		finishSpan(span, &st)
+	}
 	return n, st
 }
 
@@ -268,8 +318,9 @@ func (s *Segmenter) Count(q domain.Range) (int64, QueryStats) {
 // wantVals selects extraction vs counting sinks; scanCovered controls
 // whether fully covered segments account a scan (a selection reads them
 // to copy values out, a count answers them from the meta-index for free).
-func (s *Segmenter) run(q domain.Range, wantVals, scanCovered bool) ([]domain.Value, int64, QueryStats) {
+func (s *Segmenter) run(q domain.Range, wantVals, scanCovered bool, span *obs.Span) ([]domain.Value, int64, QueryStats) {
 	var st QueryStats
+	tRoute := span.StartPhase()
 	s.eng.Mu.Lock()
 	// Pin the MVCC view: the (list snapshot, delta snapshot) pair. Both
 	// are taken under the writer lock, and merge-back publishes its
@@ -308,6 +359,7 @@ func (s *Segmenter) run(q domain.Range, wantVals, scanCovered bool) ([]domain.Va
 	if par == 0 {
 		par = adaptiveFanout(len(tasks), scanBytes)
 	}
+	span.EndPhase(obs.PhaseRoute, tRoute)
 
 	if par <= 1 || len(tasks) < 2 {
 		// Serial: execute and apply each task in order while holding the
@@ -320,12 +372,16 @@ func (s *Segmenter) run(q domain.Range, wantVals, scanCovered bool) ([]domain.Va
 		for _, t := range tasks {
 			out := s.execTask(q, t, wantVals, scanCovered, elem, codec, &st, vals)
 			if out.subs != nil {
+				tAdapt := span.StartPhase()
 				s.applyIntent(t, out, &st)
+				span.EndPhase(obs.PhaseAdapt, tAdapt)
 			}
 			vals = out.vals
 			count += out.count
 		}
+		tOv := span.StartPhase()
 		vals, count = overlayDelta(dsnap, q, wantVals, vals, count, &st)
+		span.EndPhase(obs.PhaseOverlay, tOv)
 		s.snapshot(&st)
 		s.eng.Mu.Unlock()
 		return vals, count, st
@@ -334,6 +390,7 @@ func (s *Segmenter) run(q domain.Range, wantVals, scanCovered bool) ([]domain.Va
 
 	outs := s.execParallel(q, tasks, wantVals, scanCovered, par, elem, codec, &st)
 
+	tAdapt := span.StartPhase()
 	s.eng.Mu.Lock()
 	var vals []domain.Value
 	var count int64
@@ -344,7 +401,10 @@ func (s *Segmenter) run(q domain.Range, wantVals, scanCovered bool) ([]domain.Va
 		vals = append(vals, outs[i].vals...)
 		count += outs[i].count
 	}
+	span.EndPhase(obs.PhaseAdapt, tAdapt)
+	tOv := span.StartPhase()
 	vals, count = overlayDelta(dsnap, q, wantVals, vals, count, &st)
+	span.EndPhase(obs.PhaseOverlay, tOv)
 	s.snapshot(&st)
 	s.eng.Mu.Unlock()
 	return vals, count, st
@@ -526,6 +586,16 @@ func (s *Segmenter) applyIntent(t segTask, out segOutcome, st *QueryStats) {
 	s.tracer.Drop(t.seg.ID, old)
 	st.Splits++
 	st.Recodes += out.recodes
+	if so := s.ob.Load(); so != nil {
+		so.event(so.evSplit, "split", obs.Event{
+			Lo:     t.seg.Rng.Lo,
+			Hi:     t.seg.Rng.Hi,
+			Before: list.Len(),
+			After:  next.Len(),
+			Bytes:  written,
+		})
+		so.recodes(out.recodes)
+	}
 }
 
 // Glue merges the adjacent segment run [i, j] back into one segment — the
@@ -559,6 +629,15 @@ func (s *Segmenter) glueLocked(i, j int) int64 {
 	s.stored.Add(mb)
 	s.tracer.Materialize(merged.ID, mb)
 	s.eng.Publish(next)
+	if so := s.ob.Load(); so != nil {
+		so.event(so.evGlue, "glue", obs.Event{
+			Lo:     merged.Rng.Lo,
+			Hi:     merged.Rng.Hi,
+			Before: j - i + 1,
+			After:  1,
+			Bytes:  rewritten,
+		})
+	}
 	return rewritten
 }
 

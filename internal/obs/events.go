@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one structured reorganization step: the physical layout
+// changed (or was asked to change) and this records what, where, and
+// how the layout looked on both sides of the change.
+type Event struct {
+	Seq  int64     `json:"seq"`
+	Time time.Time `json:"time"`
+	// Kind names the reorganization: "split", "replicate", "drop",
+	// "recode", "merge", "glue", "bulkload", "drain".
+	Kind     string `json:"kind"`
+	Strategy string `json:"strategy"`
+	Shard    int    `json:"shard"`
+	// Lo/Hi bound the affected key range (zero when the whole column
+	// was affected).
+	Lo int64 `json:"lo,omitempty"`
+	Hi int64 `json:"hi,omitempty"`
+	// Before/After count layout units (segments or replica nodes)
+	// around the change.
+	Before int `json:"before"`
+	After  int `json:"after"`
+	// Bytes is the data volume the step touched (merged delta bytes,
+	// materialized replica bytes, …).
+	Bytes int64 `json:"bytes,omitempty"`
+	// Note carries step-specific detail ("fanout=4", "declined", …).
+	Note string `json:"note,omitempty"`
+}
+
+// EventLog is a bounded ring of adaptation events. Appends are
+// mutex-guarded (adaptations are rare next to queries) and never
+// allocate beyond the ring itself.
+type EventLog struct {
+	seq atomic.Int64
+
+	mu sync.Mutex
+	r  ring[Event]
+}
+
+// NewEventLog builds an event log retaining the last capacity events.
+func NewEventLog(capacity int) *EventLog {
+	return &EventLog{r: newRing[Event](capacity)}
+}
+
+// Add stamps ev with a sequence number and wall time and files it.
+// A nil EventLog drops the event.
+func (el *EventLog) Add(ev Event) {
+	if el == nil {
+		return
+	}
+	ev.Seq = el.seq.Add(1)
+	ev.Time = time.Now()
+	el.mu.Lock()
+	el.r.push(ev)
+	el.mu.Unlock()
+}
+
+// Recent returns the retained events, oldest first.
+func (el *EventLog) Recent() []Event {
+	if el == nil {
+		return nil
+	}
+	el.mu.Lock()
+	defer el.mu.Unlock()
+	return el.r.snapshot()
+}
+
+// Total returns the number of events ever filed (including evicted
+// ones).
+func (el *EventLog) Total() int64 {
+	if el == nil {
+		return 0
+	}
+	return el.seq.Load()
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Handler returns the observer's HTTP surface:
+//
+//	/metrics            Prometheus text exposition 0.0.4
+//	/debug/queries      recent + slow phase traces (JSON); ?slow=1 for slow only
+//	/debug/adaptations  the adaptation event ring (JSON)
+//	/debug/layout       the installed layout snapshot (JSON)
+//	/debug/pprof/...    stdlib runtime profiles
+//
+// Mount it at the root of a mux (or pass it straight to http.Serve).
+func (o *Observer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", o.serveMetrics)
+	mux.HandleFunc("/debug/queries", o.serveQueries)
+	mux.HandleFunc("/debug/adaptations", o.serveAdaptations)
+	mux.HandleFunc("/debug/layout", o.serveLayout)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (o *Observer) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	bw := bufio.NewWriter(w)
+	o.Registry.WritePrometheus(bw)
+	bw.Flush()
+}
+
+// queriesPayload is the /debug/queries response body.
+type queriesPayload struct {
+	Enabled       bool    `json:"enabled"`
+	SampleN       int     `json:"sample_n"`
+	SlowThreshold string  `json:"slow_threshold"`
+	Recent        []Trace `json:"recent"`
+	Slow          []Trace `json:"slow"`
+}
+
+func (o *Observer) serveQueries(w http.ResponseWriter, r *http.Request) {
+	p := queriesPayload{
+		Enabled:       o.Traces.Enabled(),
+		SampleN:       o.Traces.SampleN(),
+		SlowThreshold: o.Traces.SlowThreshold().String(),
+		Slow:          o.Traces.Slow(),
+	}
+	if slow, _ := strconv.ParseBool(r.URL.Query().Get("slow")); !slow {
+		p.Recent = o.Traces.Recent()
+	}
+	writeJSON(w, p)
+}
+
+// adaptationsPayload is the /debug/adaptations response body.
+type adaptationsPayload struct {
+	Total  int64   `json:"total"`
+	Events []Event `json:"events"`
+}
+
+func (o *Observer) serveAdaptations(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, adaptationsPayload{Total: o.Events.Total(), Events: o.Events.Recent()})
+}
+
+// layoutPayload is the /debug/layout response body.
+type layoutPayload struct {
+	Time   time.Time `json:"time"`
+	Layout any       `json:"layout"`
+}
+
+func (o *Observer) serveLayout(w http.ResponseWriter, _ *http.Request) {
+	fn := o.layoutProvider()
+	if fn == nil {
+		http.Error(w, "no layout provider installed", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, layoutPayload{Time: time.Now(), Layout: fn()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

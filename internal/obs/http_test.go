@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// get runs one request against the observer's handler and fails the
+// test unless it answers wantCode.
+func get(t *testing.T, h http.Handler, path string, wantCode int) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	if rec.Code != wantCode {
+		t.Fatalf("GET %s = %d, want %d\n%s", path, rec.Code, wantCode, rec.Body.String())
+	}
+	return rec
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	o := NewObserver()
+	o.Registry.Counter(`h_queries_total{op="select"}`).Add(4)
+	rec := get(t, o.Handler(), "/metrics", http.StatusOK)
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics Content-Type %q lacks the 0.0.4 version tag", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "# TYPE h_queries_total counter") ||
+		!strings.Contains(body, `h_queries_total{op="select"} 4`) {
+		t.Errorf("metrics body missing counter exposition:\n%s", body)
+	}
+}
+
+func TestHandlerQueries(t *testing.T) {
+	o := NewObserver()
+	o.Traces.Enable(1, time.Nanosecond)
+	span := o.Traces.Start("select", "segm", 0, 10, 20)
+	span.Stats(512, 0, 7, 0, 0, 0)
+	span.Finish()
+
+	rec := get(t, o.Handler(), "/debug/queries", http.StatusOK)
+	var p queriesPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatalf("queries payload not JSON: %v", err)
+	}
+	if !p.Enabled || len(p.Recent) != 1 {
+		t.Fatalf("payload = %+v, want enabled with 1 recent trace", p)
+	}
+	tr := p.Recent[0]
+	if tr.Op != "select" || tr.Lo != 10 || tr.Hi != 20 || tr.Rows != 7 || tr.TotalNs <= 0 {
+		t.Fatalf("trace did not round-trip: %+v", tr)
+	}
+	// ?slow=1 omits the recent ring but keeps the slow one (the
+	// nanosecond threshold makes every trace slow).
+	rec = get(t, o.Handler(), "/debug/queries?slow=1", http.StatusOK)
+	p = queriesPayload{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Recent) != 0 || len(p.Slow) != 1 {
+		t.Fatalf("?slow=1 payload = %d recent / %d slow, want 0/1", len(p.Recent), len(p.Slow))
+	}
+}
+
+func TestHandlerAdaptations(t *testing.T) {
+	o := NewObserver()
+	o.Events.Add(Event{Kind: "split", Strategy: "segm", Lo: 5, Hi: 9, Before: 1, After: 2})
+	rec := get(t, o.Handler(), "/debug/adaptations", http.StatusOK)
+	var p adaptationsPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatalf("adaptations payload not JSON: %v", err)
+	}
+	if p.Total != 1 || len(p.Events) != 1 || p.Events[0].Kind != "split" || p.Events[0].After != 2 {
+		t.Fatalf("event did not round-trip: %+v", p)
+	}
+}
+
+func TestHandlerLayout(t *testing.T) {
+	o := NewObserver()
+	// Without a provider the endpoint is a 404, not an empty document.
+	get(t, o.Handler(), "/debug/layout", http.StatusNotFound)
+
+	o.SetLayoutProvider(func() any {
+		return []map[string]any{{"shard": 0, "segments": 3}}
+	})
+	rec := get(t, o.Handler(), "/debug/layout", http.StatusOK)
+	var p struct {
+		Time   time.Time        `json:"time"`
+		Layout []map[string]any `json:"layout"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatalf("layout payload not JSON: %v", err)
+	}
+	if len(p.Layout) != 1 || p.Layout[0]["segments"].(float64) != 3 {
+		t.Fatalf("layout did not round-trip: %+v", p)
+	}
+	if p.Time.IsZero() {
+		t.Error("layout payload missing its timestamp")
+	}
+}
+
+func TestHandlerPprof(t *testing.T) {
+	o := NewObserver()
+	rec := get(t, o.Handler(), "/debug/pprof/", http.StatusOK)
+	if !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Error("pprof index missing profile listing")
+	}
+}

@@ -1,0 +1,86 @@
+// Package obs is the first-class observability layer of the
+// self-organizing column store: a zero-dependency, allocation-conscious
+// metrics subsystem plus the tracing and event machinery that makes the
+// paper's central claim — the column reorganizes itself under the query
+// workload — watchable live instead of post-hoc.
+//
+// Three concerns, three data structures:
+//
+//   - Metrics. A named Registry of atomic Counters, Gauges (settable or
+//     callback-backed) and log-bucketed lock-free Histograms, exposed in
+//     Prometheus text format 0.0.4. Hot-path cost is one atomic add per
+//     counter bump: instrumented layers resolve their metric handles
+//     once at construction, so query execution never touches the
+//     registry map.
+//
+//   - Per-query phase tracing. A sampled Span measures the phases of one
+//     query (route → scan → overlay → adapt) with nanosecond timings and
+//     bytes touched; finished traces land in a bounded ring, with a
+//     second ring keeping the queries slower than a configurable
+//     threshold. Tracing is off by default and costs one atomic load per
+//     query while off.
+//
+//   - Adaptation events. Every reorganization step — split, replicate,
+//     drop, merge-back, glue, bulk load — appends a structured Event
+//     (range, bytes, before/after layout counts) to a bounded ring, so
+//     convergence can be observed as it happens.
+//
+// An Observer bundles the three and serves them over HTTP: /metrics
+// (Prometheus text), /debug/queries (recent and slow traces, JSON),
+// /debug/adaptations (the event log, JSON), /debug/layout (a
+// caller-provided layout snapshot, JSON) and the stdlib pprof surface
+// under /debug/pprof/. The package-level Default observer is what the
+// selforg facade wires into every column unless told otherwise.
+package obs
+
+import (
+	"sync/atomic"
+)
+
+// Observer bundles a metrics registry, a query-trace log and an
+// adaptation event log — the full observability surface of one process
+// (or, when constructed explicitly, of one column).
+type Observer struct {
+	// Registry holds the named metrics.
+	Registry *Registry
+	// Traces holds the sampled per-query phase traces.
+	Traces *TraceLog
+	// Events holds the structured adaptation event ring.
+	Events *EventLog
+	// layout is the /debug/layout provider: a func() any returning a
+	// JSON-marshalable snapshot of the current physical layout.
+	layout atomic.Value
+}
+
+// NewObserver builds an empty observer with default ring capacities
+// (128 recent traces, 64 slow traces, 256 adaptation events).
+func NewObserver() *Observer {
+	o := &Observer{
+		Registry: NewRegistry(),
+		Events:   NewEventLog(DefaultEventCap),
+	}
+	o.Traces = NewTraceLog(DefaultTraceCap, DefaultSlowCap,
+		o.Registry.Counter(`selforg_slow_queries_total`))
+	return o
+}
+
+// Default is the process-wide observer. The selforg facade instruments
+// every column against it unless Options.Observability names another
+// observer (or disables observability).
+var Default = NewObserver()
+
+// SetLayoutProvider installs the /debug/layout callback. fn must be safe
+// for concurrent use and return a JSON-marshalable value; the last
+// provider installed wins (one live layout per observer — give each
+// column its own Observer to debug several at once).
+func (o *Observer) SetLayoutProvider(fn func() any) {
+	if fn != nil {
+		o.layout.Store(fn)
+	}
+}
+
+// layoutProvider returns the installed provider, or nil.
+func (o *Observer) layoutProvider() func() any {
+	fn, _ := o.layout.Load().(func() any)
+	return fn
+}

@@ -1,0 +1,352 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must not be negative; counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add shifts the value by n (negative allowed).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the bucket count of a Histogram: 63 finite power-of-two
+// upper bounds (1, 2, 4, …, 2⁶²) plus one overflow bucket rendered as
+// +Inf. Power-of-two bounds keep Observe branch-free — one bits.Len —
+// while giving ~2x resolution at every scale, enough for latencies (ns)
+// and volumes (bytes) alike.
+const histBuckets = 64
+
+// Histogram is a lock-free log-bucketed histogram: every Observe is
+// two atomic adds plus one atomic increment, and scrapes read the
+// buckets without stopping writers (per-bucket counts are exact;
+// cross-bucket skew during a concurrent scrape is bounded by the writes
+// in flight, the usual Prometheus contract).
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// bucketIndex returns the bucket of v: the smallest i with v ≤ 2^i
+// (non-positive values land in bucket 0, values above 2⁶² in the
+// overflow bucket).
+func bucketIndex(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(v - 1))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Bucket returns the upper bound and count of bucket i (the last
+// bucket's bound renders as +Inf).
+func (h *Histogram) Bucket(i int) (le int64, n int64) {
+	return int64(1) << uint(i), h.buckets[i].Load()
+}
+
+// metricKind distinguishes the registry's families for TYPE lines.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// Registry is a named metric store. Names follow the convention of
+// full Prometheus series names with inline labels —
+// `selforg_queries_total{op="select",strategy="segm",shard="0"}` — so
+// callers resolve one handle per label combination and the hot path
+// never builds a label string. Get-or-create calls are mutex-guarded;
+// resolved handles are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	funcs    map[string]func() int64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		funcs:    make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// checkName panics on names the exposition could not render.
+func checkName(name string) {
+	if name == "" || strings.ContainsAny(name, " \n") {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if i := strings.IndexByte(name, '{'); i >= 0 && !strings.HasSuffix(name, "}") {
+		panic(fmt.Sprintf("obs: unbalanced labels in metric name %q", name))
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Panics if name is registered as a different metric kind.
+func (r *Registry) Counter(name string) *Counter {
+	checkName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkFree(name, kindCounter)
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the settable gauge registered under name, creating it on
+// first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	checkName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkFree(name, kindGauge)
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// GaugeFunc registers (or replaces) a callback-backed gauge. fn must be
+// safe for concurrent use and must not block on locks the instrumented
+// hot paths hold — it is invoked on every scrape, after the registry
+// lock is released. Re-registration replaces the callback, so a
+// rebuilt column takes over its gauge names.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	checkName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.funcs[name]; !ok {
+		r.checkFree(name, kindGauge)
+	}
+	r.funcs[name] = fn
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	checkName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.checkFree(name, kindHistogram)
+	h := &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// checkFree panics when name is already taken by another kind (caller
+// holds mu).
+func (r *Registry) checkFree(name string, want metricKind) {
+	_, c := r.counters[name]
+	_, g := r.gauges[name]
+	_, f := r.funcs[name]
+	_, h := r.hists[name]
+	if (c && want != kindCounter) || ((g || f) && want != kindGauge) || (h && want != kindHistogram) {
+		panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+	}
+}
+
+// family splits a full series name into its family (the name up to the
+// label block) and the label block's inner text ("" when unlabeled).
+func family(name string) (fam, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// series re-joins a family with a label set, appending extra labels.
+func series(fam, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return fam
+	case labels == "":
+		return fam + "{" + extra + "}"
+	case extra == "":
+		return fam + "{" + labels + "}"
+	default:
+		return fam + "{" + labels + "," + extra + "}"
+	}
+}
+
+// expoRow is one resolved series, snapshotted under the registry lock
+// and rendered after it is released — scrapes never hold the lock while
+// reading metric values or invoking gauge callbacks, so callbacks may
+// take their own (lock-free or short) synchronization without ordering
+// against instrumented paths.
+type expoRow struct {
+	name string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	fn   func() int64
+	h    *Histogram
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format 0.0.4, families sorted by name, one TYPE comment
+// per family. Histograms render cumulative le buckets (empty buckets
+// are skipped, +Inf always present) plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	rows := make([]expoRow, 0, len(r.counters)+len(r.gauges)+len(r.funcs)+len(r.hists))
+	for n, c := range r.counters {
+		rows = append(rows, expoRow{name: n, kind: kindCounter, c: c})
+	}
+	for n, g := range r.gauges {
+		rows = append(rows, expoRow{name: n, kind: kindGauge, g: g})
+	}
+	for n, fn := range r.funcs {
+		rows = append(rows, expoRow{name: n, kind: kindGauge, fn: fn})
+	}
+	for n, h := range r.hists {
+		rows = append(rows, expoRow{name: n, kind: kindHistogram, h: h})
+	}
+	r.mu.Unlock()
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	lastFam := ""
+	for _, row := range rows {
+		fam, labels := family(row.name)
+		if fam != lastFam {
+			fmt.Fprintf(w, "# TYPE %s %s\n", fam, typeName(row.kind))
+			lastFam = fam
+		}
+		switch row.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%s %d\n", row.name, row.c.Value())
+		case kindGauge:
+			v := int64(0)
+			if row.fn != nil {
+				v = row.fn()
+			} else {
+				v = row.g.Value()
+			}
+			fmt.Fprintf(w, "%s %d\n", row.name, v)
+		case kindHistogram:
+			var cum int64
+			for i := 0; i < histBuckets; i++ {
+				le, n := row.h.Bucket(i)
+				if n == 0 {
+					continue
+				}
+				cum += n
+				if i == histBuckets-1 {
+					break // rendered by the +Inf line below
+				}
+				fmt.Fprintf(w, "%s %d\n", series(fam+"_bucket", labels, fmt.Sprintf("le=%q", fmt.Sprint(le))), cum)
+			}
+			fmt.Fprintf(w, "%s %d\n", series(fam+"_bucket", labels, `le="+Inf"`), row.h.Count())
+			fmt.Fprintf(w, "%s %d\n", series(fam+"_sum", labels, ""), row.h.Sum())
+			fmt.Fprintf(w, "%s %d\n", series(fam+"_count", labels, ""), row.h.Count())
+		}
+	}
+}
+
+func typeName(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestBucketIndexBoundaries pins the log-bucket mapping at every
+// boundary class: the smallest i with v ≤ 2^i, non-positive values in
+// bucket 0, values above 2⁶² in the overflow bucket.
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{math.MinInt64, 0},
+		{-1, 0},
+		{0, 0},
+		{1, 0},
+		{2, 1},
+		{3, 2},
+		{4, 2},
+		{5, 3},
+		{8, 3},
+		{9, 4},
+		{(1 << 20), 20},
+		{(1 << 20) + 1, 21},
+		{(1 << 62) - 1, 62},
+		{1 << 62, 62},
+		{(1 << 62) + 1, histBuckets - 1},
+		{math.MaxInt64, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(100)
+	h.Observe(-7) // clamps to 0, lands in bucket 0
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 104 {
+		t.Fatalf("Sum = %d, want 104 (negative observation clamps to 0)", got)
+	}
+	wantBuckets := map[int]int64{0: 2, 2: 1, 7: 1} // le 1, le 4, le 128
+	for i := 0; i < histBuckets; i++ {
+		le, n := h.Bucket(i)
+		if n != wantBuckets[i] {
+			t.Errorf("bucket %d (le %d) = %d, want %d", i, le, n, wantBuckets[i])
+		}
+	}
+}
+
+// TestHistogramNil makes sure the typed-nil contract holds for every
+// metric type: instrumented paths call without nil checks.
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(5)
+	g.Add(5)
+	h.Observe(5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition format: TYPE comment per
+// family, sorted output, cumulative le buckets with _bucket/_sum/_count
+// suffixes, label sets contiguous within a family.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`t_queries_total{op="a"}`).Add(3)
+	r.Counter(`t_queries_total{op="b"}`).Add(5)
+	r.Gauge(`t_gauge`).Set(7)
+	r.GaugeFunc(`t_func`, func() int64 { return 9 })
+	h := r.Histogram(`t_lat`)
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(100)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	want := `# TYPE t_func gauge
+t_func 9
+# TYPE t_gauge gauge
+t_gauge 7
+# TYPE t_lat histogram
+t_lat_bucket{le="1"} 1
+t_lat_bucket{le="4"} 2
+t_lat_bucket{le="128"} 3
+t_lat_bucket{le="+Inf"} 3
+t_lat_sum 104
+t_lat_count 3
+# TYPE t_queries_total counter
+t_queries_total{op="a"} 3
+t_queries_total{op="b"} 5
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total")
+	c1.Inc()
+	if c2 := r.Counter("x_total"); c2 != c1 {
+		t.Fatal("same name must resolve to the same counter")
+	}
+	if got := r.Counter("x_total").Value(); got != 1 {
+		t.Fatalf("counter lost its value across lookups: %d", got)
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a histogram under a counter's name must panic")
+		}
+	}()
+	r.Histogram("clash")
+}
+
+// TestGaugeFuncReplace pins the replace semantics rebuilt columns rely
+// on: re-registering a callback gauge swaps the callback.
+func TestGaugeFuncReplace(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("g", func() int64 { return 1 })
+	r.GaugeFunc("g", func() int64 { return 2 })
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "g 2\n") {
+		t.Fatalf("replaced gauge func not in effect:\n%s", buf.String())
+	}
+}
+
+// TestRegistryConcurrentScrape hammers one registry from 8 writer
+// goroutines — bumping existing handles and creating fresh series —
+// while scrapes run concurrently. Run under -race in CI; the assertion
+// here is the final counter total.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perWriter = 2000
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.WritePrometheus(io.Discard)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			shared := r.Counter("shared_total")
+			h := r.Histogram("shared_lat")
+			for i := 0; i < perWriter; i++ {
+				shared.Inc()
+				h.Observe(int64(i))
+				if i%100 == 0 {
+					// Get-or-create churn against concurrent scrapes.
+					r.Counter("shared_total").Inc()
+					r.Gauge("shared_gauge").Set(int64(i))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+	const wantShared = writers * (perWriter + perWriter/100)
+	if got := r.Counter("shared_total").Value(); got != int64(wantShared) {
+		t.Fatalf("shared_total = %d, want %d", got, wantShared)
+	}
+	if got := r.Histogram("shared_lat").Count(); got != writers*perWriter {
+		t.Fatalf("shared_lat count = %d, want %d", got, writers*perWriter)
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTraceLogDisabledIsNil(t *testing.T) {
+	tl := NewTraceLog(8, 4, nil)
+	if span := tl.Start("select", "segm", 0, 1, 2); span != nil {
+		t.Fatal("disabled trace log must hand out nil spans")
+	}
+	var nilLog *TraceLog
+	if span := nilLog.Start("select", "segm", 0, 1, 2); span != nil {
+		t.Fatal("nil trace log must hand out nil spans")
+	}
+	// The nil span's whole surface must be callable.
+	var span *Span
+	span.Add(PhaseRoute, time.Millisecond)
+	span.EndPhase(PhaseAdapt, span.StartPhase())
+	span.Stats(1, 2, 3, 4, 5, 6)
+	span.Finish()
+}
+
+func TestTraceSampling(t *testing.T) {
+	tl := NewTraceLog(64, 4, nil)
+	tl.Enable(3, 0)
+	traced := 0
+	for i := 0; i < 30; i++ {
+		if span := tl.Start("select", "segm", 0, 0, 9); span != nil {
+			traced++
+			span.Finish()
+		}
+	}
+	if traced != 10 {
+		t.Fatalf("1-in-3 sampling over 30 queries traced %d, want 10", traced)
+	}
+	if got := len(tl.Recent()); got != 10 {
+		t.Fatalf("recent ring holds %d, want 10", got)
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	tl := NewTraceLog(4, 4, nil)
+	tl.Enable(1, 0)
+	for i := int64(0); i < 10; i++ {
+		span := tl.Start("select", "segm", 0, i, i)
+		span.Finish()
+	}
+	got := tl.Recent()
+	if len(got) != 4 {
+		t.Fatalf("ring of 4 holds %d traces", len(got))
+	}
+	// Oldest first, and only the newest four retained (Lo carries i).
+	for j, tr := range got {
+		if want := int64(6 + j); tr.Lo != want {
+			t.Errorf("trace %d has Lo %d, want %d", j, tr.Lo, want)
+		}
+		if tr.Seq != int64(7+j) {
+			t.Errorf("trace %d has Seq %d, want %d", j, tr.Seq, 7+j)
+		}
+	}
+}
+
+// TestTraceSlowRing pins the slow-path plumbing: a trace at or above the
+// threshold lands in the slow ring, is marked Slow, and bumps the slow
+// counter; fast traces do neither.
+func TestTraceSlowRing(t *testing.T) {
+	var slowCnt Counter
+	tl := NewTraceLog(8, 8, &slowCnt)
+	tl.Enable(1, time.Nanosecond) // everything is slow
+	span := tl.Start("select", "repl", 2, 5, 6)
+	time.Sleep(time.Microsecond)
+	span.Finish()
+	if got := len(tl.Slow()); got != 1 {
+		t.Fatalf("slow ring holds %d, want 1", got)
+	}
+	if !tl.Slow()[0].Slow {
+		t.Fatal("slow trace not marked Slow")
+	}
+	if slowCnt.Value() != 1 {
+		t.Fatalf("slow counter = %d, want 1", slowCnt.Value())
+	}
+
+	tl.Enable(1, time.Hour) // nothing is slow
+	span = tl.Start("select", "repl", 2, 5, 6)
+	span.Finish()
+	if got := len(tl.Slow()); got != 1 {
+		t.Fatalf("fast trace leaked into the slow ring (%d entries)", got)
+	}
+	if slowCnt.Value() != 1 {
+		t.Fatalf("fast trace bumped the slow counter (%d)", slowCnt.Value())
+	}
+}
+
+// TestSpanScanResidual pins the residual computation: scan time is the
+// total minus the explicitly timed phases (plus any explicit scan time).
+func TestSpanScanResidual(t *testing.T) {
+	tl := NewTraceLog(8, 8, nil)
+	tl.Enable(1, 0)
+	span := tl.Start("select", "segm", 0, 0, 9)
+	span.Add(PhaseRoute, 10*time.Nanosecond)
+	span.Add(PhaseOverlay, 20*time.Nanosecond)
+	span.Add(PhaseAdapt, 30*time.Nanosecond)
+	span.Stats(1024, 64, 17, 1, 0, 2)
+	time.Sleep(time.Microsecond)
+	span.Finish()
+	tr := tl.Recent()[0]
+	if tr.RouteNs != 10 || tr.OverlayNs != 20 || tr.AdaptNs != 30 {
+		t.Fatalf("explicit phases lost: route %d overlay %d adapt %d", tr.RouteNs, tr.OverlayNs, tr.AdaptNs)
+	}
+	if want := tr.TotalNs - 60; tr.ScanNs != want {
+		t.Fatalf("scan residual = %d, want total-60 = %d", tr.ScanNs, want)
+	}
+	if tr.ReadBytes != 1024 || tr.DeltaReadBytes != 64 || tr.Rows != 17 || tr.Splits != 1 || tr.Recodes != 2 {
+		t.Fatalf("stats lost: %+v", tr)
+	}
+}
+
+func TestEventLog(t *testing.T) {
+	el := NewEventLog(3)
+	var nilLog *EventLog
+	nilLog.Add(Event{Kind: "split"}) // nil-safe
+	for i := 0; i < 5; i++ {
+		el.Add(Event{Kind: "split", Strategy: "segm", Lo: int64(i)})
+	}
+	if el.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", el.Total())
+	}
+	got := el.Recent()
+	if len(got) != 3 {
+		t.Fatalf("ring of 3 holds %d", len(got))
+	}
+	for j, e := range got {
+		if want := int64(2 + j); e.Lo != want {
+			t.Errorf("event %d has Lo %d, want %d (oldest first)", j, e.Lo, want)
+		}
+		if e.Seq != int64(3+j) {
+			t.Errorf("event %d has Seq %d, want %d", j, e.Seq, 3+j)
+		}
+		if e.Time.IsZero() {
+			t.Errorf("event %d has no timestamp", j)
+		}
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"selforg/internal/core"
 	"selforg/internal/delta"
 	"selforg/internal/domain"
+	"selforg/internal/obs"
 	"selforg/internal/segment"
 )
 
@@ -74,6 +75,10 @@ type Column struct {
 	// 1 = serial, n > 1 = bounded at n). Intra-shard scan fan-out is each
 	// shard strategy's own knob; SetParallelism keeps the two consistent.
 	par atomic.Int32
+	// ob holds the router's resolved observability handles (nil =
+	// uninstrumented); per-shard metrics live on the shard strategies
+	// themselves, labeled shard="i".
+	ob atomic.Pointer[routerObs]
 	// stor caches each shard's (logical, physical) storage counters.
 	// Per-query stats snapshot the whole column, but asking an untouched
 	// Replicator shard for its counters takes that shard's writer mutex —
@@ -90,6 +95,45 @@ type Column struct {
 type storCell struct {
 	logical atomic.Int64
 	phys    atomic.Int64
+}
+
+// routerObs is the router's resolved metric handle set: routed query
+// counters per op and the span-width histogram (how many shards one
+// query touched — the routing fan-out distribution).
+type routerObs struct {
+	sel, cnt *obs.Counter
+	span     *obs.Histogram
+}
+
+// observable is the shard-strategy observer surface (both core
+// strategies implement it).
+type observable interface {
+	SetObserver(ob *obs.Observer, shardIdx int)
+}
+
+// SetObserver attaches (or, with nil, detaches) the observability layer:
+// the router registers its routing counters and forwards the observer to
+// every shard strategy, labeling each with its shard index.
+func (c *Column) SetObserver(ob *obs.Observer) {
+	if ob == nil {
+		c.ob.Store(nil)
+		for _, s := range c.shards {
+			if o, ok := s.(observable); ok {
+				o.SetObserver(nil, 0)
+			}
+		}
+		return
+	}
+	c.ob.Store(&routerObs{
+		sel:  ob.Registry.Counter(`selforg_router_queries_total{op="select"}`),
+		cnt:  ob.Registry.Counter(`selforg_router_queries_total{op="count"}`),
+		span: ob.Registry.Histogram(`selforg_router_span_shards`),
+	})
+	for i, s := range c.shards {
+		if o, ok := s.(observable); ok {
+			o.SetObserver(ob, i)
+		}
+	}
 }
 
 // Partition range-partitions extent into k contiguous sub-ranges of
@@ -277,6 +321,14 @@ func (c *Column) query(q domain.Range, wantVals bool) ([]domain.Value, int64, co
 	var st core.QueryStats
 	lo, hi := spanOf(c.ranges, q)
 	n := hi - lo
+	if ro := c.ob.Load(); ro != nil {
+		if wantVals {
+			ro.sel.Inc()
+		} else {
+			ro.cnt.Inc()
+		}
+		ro.span.Observe(int64(n))
+	}
 	switch {
 	case n == 0:
 		c.snapshot(&st, 0, 0)

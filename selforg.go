@@ -112,7 +112,7 @@ package selforg
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"selforg/internal/compress"
 	"selforg/internal/core"
@@ -295,6 +295,12 @@ type Options struct {
 	// and MaxStorageBytes is split evenly across shards; a cross-shard
 	// Update decomposes into a delete plus an insert (two MVCC versions).
 	Shards int
+	// Observability configures the column's reporting: which Observer
+	// to attach to, per-query phase tracing, the slow-query threshold
+	// and the background adaptation drainer. The zero value attaches
+	// the process-wide DefaultObserver() with tracing off; see the
+	// Observability type in observe.go.
+	Observability Observability
 }
 
 // Tracer re-exports core.Tracer: Scan/Materialize/Drop events with segment
@@ -372,11 +378,61 @@ type Column struct {
 	extent domain.Range
 	opts   Options
 
-	// mu guards the accumulated totals; per-query stats are returned by
-	// value and need no synchronization.
-	mu     sync.Mutex
-	totals Stats
-	nq     int
+	// acct accumulates the lifetime totals lock-free; per-query stats
+	// are returned by value and need no synchronization.
+	acct totalsAcc
+	// stops terminates the background drainer goroutines (see Close).
+	stops []func()
+}
+
+// totalsAcc is the column's lifetime Stats accumulator: one atomic per
+// additive measure, plus carry-last cells for the storage snapshot,
+// mirroring Stats.Add exactly. All-atomic so the facade adds no lock
+// acquisition to the query path and scrapes never contend with queries.
+type totalsAcc struct {
+	readBytes, writeBytes, resultCount atomic.Int64
+	splits, drops, recodes             atomic.Int64
+	deltaReadBytes, merged             atomic.Int64
+	storageBytes, compressedBytes      atomic.Int64
+	nq                                 atomic.Int64
+}
+
+// add accumulates one operation's stats (the atomic Stats.Add).
+func (a *totalsAcc) add(st Stats) {
+	a.readBytes.Add(st.ReadBytes)
+	a.writeBytes.Add(st.WriteBytes)
+	a.resultCount.Add(st.ResultCount)
+	a.splits.Add(int64(st.Splits))
+	a.drops.Add(int64(st.Drops))
+	a.recodes.Add(int64(st.Recodes))
+	a.deltaReadBytes.Add(st.DeltaReadBytes)
+	a.merged.Add(int64(st.Merged))
+	// Carry-last semantics: the storage snapshot of the latest
+	// operation wins, as in Stats.Add.
+	a.storageBytes.Store(st.StorageBytes)
+	a.compressedBytes.Store(st.CompressedBytes)
+}
+
+// query accumulates one read query's stats and bumps the query count.
+func (a *totalsAcc) query(st Stats) {
+	a.add(st)
+	a.nq.Add(1)
+}
+
+// snapshot assembles the accumulated Stats value.
+func (a *totalsAcc) snapshot() Stats {
+	return Stats{
+		ReadBytes:       a.readBytes.Load(),
+		WriteBytes:      a.writeBytes.Load(),
+		ResultCount:     a.resultCount.Load(),
+		Splits:          int(a.splits.Load()),
+		Drops:           int(a.drops.Load()),
+		Recodes:         int(a.recodes.Load()),
+		DeltaReadBytes:  a.deltaReadBytes.Load(),
+		Merged:          int(a.merged.Load()),
+		StorageBytes:    a.storageBytes.Load(),
+		CompressedBytes: a.compressedBytes.Load(),
+	}
 }
 
 // New builds an adaptive column over values, whose domain is extent.
@@ -515,7 +571,9 @@ func New(extent Interval, values []int64, opts Options) (*Column, error) {
 		strat = buildOne(0, rng, values)
 	}
 	strat.SetDeltaPolicy(deltaMax, deltaRatio)
-	return &Column{strat: strat, extent: rng, opts: o}, nil
+	col := &Column{strat: strat, extent: rng, opts: o}
+	col.observe()
+	return col, nil
 }
 
 // Shards returns the configured shard count (1 for unsharded columns).
@@ -536,10 +594,7 @@ func (c *Column) Select(lo, hi int64) ([]int64, Stats) {
 	}
 	res, qs := c.strat.Select(domain.Range{Lo: lo, Hi: hi})
 	st := statsFrom(qs)
-	c.mu.Lock()
-	c.totals.Add(st)
-	c.nq++
-	c.mu.Unlock()
+	c.acct.query(st)
 	return res, st
 }
 
@@ -555,10 +610,7 @@ func (c *Column) Count(lo, hi int64) (int64, Stats) {
 	}
 	n, qs := c.strat.Count(domain.Range{Lo: lo, Hi: hi})
 	st := statsFrom(qs)
-	c.mu.Lock()
-	c.totals.Add(st)
-	c.nq++
-	c.mu.Unlock()
+	c.acct.query(st)
 	return n, st
 }
 
@@ -590,18 +642,17 @@ func (c *Column) SegmentSizes() []float64 { return c.strat.SegmentSizes() }
 // Extent returns the column's value domain.
 func (c *Column) Extent() Interval { return Interval{c.extent.Lo, c.extent.Hi} }
 
-// Totals returns the accumulated statistics over all queries.
+// Totals returns the accumulated statistics over all queries. The
+// accumulator is all-atomic: under concurrent queries each additive
+// field is exact, while the snapshot as a whole is a consistent-enough
+// cut (fields are loaded one by one, not under one lock).
 func (c *Column) Totals() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.totals
+	return c.acct.snapshot()
 }
 
-// Queries returns the number of Select calls served.
+// Queries returns the number of Select and Count calls served.
 func (c *Column) Queries() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.nq
+	return int(c.acct.nq.Load())
 }
 
 // Name describes the configured strategy/model, in the labels the paper
@@ -703,9 +754,7 @@ func (c *Column) BulkLoad(values []int64) (Stats, error) {
 		return Stats{}, err
 	}
 	st := statsFrom(qs)
-	c.mu.Lock()
-	c.totals.Add(st)
-	c.mu.Unlock()
+	c.acct.add(st)
 	return st, nil
 }
 
@@ -719,9 +768,7 @@ func (c *Column) BulkLoad(values []int64) (Stats, error) {
 func (c *Column) Insert(v int64) (Stats, error) {
 	qs, err := c.strat.Insert(v)
 	st := statsFrom(qs)
-	c.mu.Lock()
-	c.totals.Add(st)
-	c.mu.Unlock()
+	c.acct.add(st)
 	return st, err
 }
 
@@ -731,9 +778,7 @@ func (c *Column) Insert(v int64) (Stats, error) {
 func (c *Column) Delete(v int64) (bool, Stats) {
 	ok, qs := c.strat.Delete(v)
 	st := statsFrom(qs)
-	c.mu.Lock()
-	c.totals.Add(st)
-	c.mu.Unlock()
+	c.acct.add(st)
 	return ok, st
 }
 
@@ -743,9 +788,7 @@ func (c *Column) Delete(v int64) (bool, Stats) {
 func (c *Column) Update(old, new int64) (bool, Stats) {
 	ok, qs := c.strat.Update(old, new)
 	st := statsFrom(qs)
-	c.mu.Lock()
-	c.totals.Add(st)
-	c.mu.Unlock()
+	c.acct.add(st)
 	return ok, st
 }
 
@@ -755,9 +798,7 @@ func (c *Column) Update(old, new int64) (bool, Stats) {
 func (c *Column) MergeDeltas() (Stats, error) {
 	qs, err := c.strat.MergeDeltas()
 	st := statsFrom(qs)
-	c.mu.Lock()
-	c.totals.Add(st)
-	c.mu.Unlock()
+	c.acct.add(st)
 	return st, err
 }
 
@@ -859,11 +900,11 @@ func (v *View) Watermark() int64 { return v.v.Watermark() }
 // subsystem knows (plain counts raw segments too).
 type EncodingStats struct {
 	// Encoding is the encoding's name ("plain", "rle", "dict", "for").
-	Encoding string
+	Encoding string `json:"encoding"`
 	// Segments is the number of materialized segments stored in it,
 	// Bytes their physical footprint.
-	Segments int
-	Bytes    int64
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
 }
 
 // EncodingBreakdown returns one EncodingStats row per encoding, Plain
