@@ -6,12 +6,13 @@ GO ?= go
 # The benchmark smoke set tracked by the bench-regression gate: fast,
 # deterministic-workload benchmarks spanning the hot paths (converged
 # scans, compression fast paths, delta writes, merge-back, sharded
-# writers). Keep this in sync with .github/workflows/ci.yml.
-BENCH_SET  := AblationCompressedScan|AblationCompressedCount|LargeScanSerial|LargeScanParallel4|DeltaInsert|DeltaOverlayScan|DeltaMergeBack|Sharded|SelectRange|CountRange|ScanObsOn|ScanObsOff
-BENCH_PKGS := . ./internal/compress
+# writers, the query service tier). Keep this in sync with
+# .github/workflows/ci.yml.
+BENCH_SET  := AblationCompressedScan|AblationCompressedCount|LargeScanSerial|LargeScanParallel4|DeltaInsert|DeltaOverlayScan|DeltaMergeBack|Sharded|SelectRange|CountRange|ScanObsOn|ScanObsOff|SQLColdVsWarmPlan|SoserveThroughput
+BENCH_PKGS := . ./internal/compress ./internal/server
 BENCH_ARGS := -run '^$$' -bench '$(BENCH_SET)' -benchtime 10x -count 3
 
-.PHONY: build test race lint bench-ci bench-check bench-baseline ci
+.PHONY: build test race lint fuzz-smoke bench-ci bench-check bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -25,6 +26,13 @@ race:
 lint:
 	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
 	$(GO) vet ./...
+
+# fuzz-smoke runs the SQL front end's fuzz targets briefly (go's -fuzz
+# accepts one target per invocation). New crashers land in
+# internal/sql/testdata/fuzz/ — commit them as regression seeds.
+fuzz-smoke:
+	$(GO) test ./internal/sql/ -run '^$$' -fuzz FuzzParse -fuzztime 30s
+	$(GO) test ./internal/sql/ -run '^$$' -fuzz FuzzNormalize -fuzztime 30s
 
 # bench-ci runs the smoke benchmarks and emits BENCH_ci.json. The raw
 # stream is staged in a file (not piped) so benchdiff's compile and run

@@ -1,42 +1,48 @@
-// Command soserve serves a self-organizing column over HTTP with the
-// full observability surface mounted: Prometheus metrics, per-query
-// phase traces, the adaptation event log, the per-shard layout
-// breakdown and pprof.
+// Command soserve is the query service tier over a self-organizing
+// column: SQL over the wire with a normalized-fingerprint plan cache,
+// admission control, per-tenant columns, and the full observability
+// surface of PR 6 (Prometheus metrics, phase traces, adaptation events,
+// layout breakdown, pprof).
 //
 //	$ soserve -n 1000000 -strategy segmentation -model apm -trace -qps 50
-//	$ curl localhost:8080/metrics              # Prometheus text format
-//	$ curl localhost:8080/query?lo=1000&hi=2000
+//	$ curl -d 'SELECT COUNT(*) FROM P WHERE v BETWEEN 1000 AND 2000' localhost:8080/sql
+//	$ curl -d 'SELECT SUM(v) FROM P WHERE v BETWEEN 1000 AND 2000' 'localhost:8080/sql?tenant=alice'
+//	$ curl localhost:8080/metrics              # plancache_hits_total, sql_inflight, ...
+//	$ curl localhost:8080/query?lo=1000&hi=2000  # legacy range endpoint
+//	$ curl -X POST 'localhost:8080/write?op=insert&v=1234'
 //	$ curl localhost:8080/debug/queries | jq .
-//	$ curl localhost:8080/debug/adaptations | jq .
-//	$ curl localhost:8080/debug/layout | jq .
+//
+// Statements compile through the full parse → MAL codegen → tactical
+// optimization pipeline exactly once per query shape: constants are
+// lifted into bind values, the canonical fingerprint keys a sharded LRU
+// of compiled plans, and a warm request costs one lex pass plus a cache
+// hit before it touches the column. Requests beyond the admission
+// gate's workers+backlog budget are shed with 429 and a Retry-After
+// hint.
 //
 // The optional built-in workload driver (-qps) issues random range
-// queries against the column so the self-organizing loop — and every
-// dashboard behind /metrics — has something to show without an external
-// client.
+// queries against the default tenant so the self-organizing loop — and
+// every dashboard behind /metrics — has something to show without an
+// external client.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
-	"strconv"
 	"time"
 
 	"selforg"
-
-	"selforg/internal/domain"
-	"selforg/internal/sim"
+	"selforg/internal/server"
 )
 
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
-		n       = flag.Int("n", 1_000_000, "number of generated values")
+		n       = flag.Int("n", 1_000_000, "number of generated values per tenant")
 		lo      = flag.Int64("lo", 0, "domain lower bound")
 		hi      = flag.Int64("hi", 999_999, "domain upper bound")
 		seed    = flag.Int64("seed", 42, "data generator seed")
@@ -44,6 +50,12 @@ func main() {
 		mdl     = flag.String("model", "apm", "apm|gd|none")
 		shards  = flag.Int("shards", 1, "domain shard count")
 		compr   = flag.Bool("compress", false, "adaptive per-segment compression")
+		par     = flag.Int("parallelism", 0, "per-query scan fan-out (0 = adaptive)")
+		workers = flag.Int("workers", 0, "concurrent /sql executions (0 = from parallelism/GOMAXPROCS)")
+		backlog = flag.Int("backlog", 0, "admitted requests waiting for a worker (0 = 2x workers)")
+		plans   = flag.Int("plans", 0, "plan cache capacity (0 = 1024)")
+		maxRows = flag.Int("maxrows", 1000, "rows a SELECT returns over the wire")
+		column  = flag.String("column", "v", "served column name (sys.P.<column>)")
 		trace   = flag.Bool("trace", false, "per-query phase tracing")
 		sample  = flag.Int("trace-sample", 1, "trace 1 in N queries")
 		slow    = flag.Duration("slow", 0, "slow-query threshold (0 = 10ms default)")
@@ -54,7 +66,8 @@ func main() {
 	flag.Parse()
 
 	opts := selforg.Options{
-		Shards: *shards,
+		Shards:      *shards,
+		Parallelism: *par,
 		Observability: selforg.Observability{
 			Trace:           *trace,
 			TraceSample:     *sample,
@@ -86,59 +99,33 @@ func main() {
 		opts.Compression = selforg.CompressionAuto
 	}
 
-	vals := sim.GenerateColumn(*n, domain.NewRange(*lo, *hi), *seed)
-	col, err := selforg.New(selforg.Interval{Lo: *lo, Hi: *hi}, vals, opts)
+	srv := server.New(server.Config{
+		Extent:        selforg.Interval{Lo: *lo, Hi: *hi},
+		N:             *n,
+		Seed:          *seed,
+		Options:       opts,
+		Column:        *column,
+		CacheCapacity: *plans,
+		Workers:       *workers,
+		Backlog:       *backlog,
+		MaxRows:       *maxRows,
+	})
+	defer srv.Close()
+
+	// Build the default tenant up front so the first request doesn't pay
+	// for data generation.
+	col, err := srv.Tenant("")
 	if err != nil {
 		log.Fatalf("soserve: %v", err)
 	}
-	defer col.Close()
-	log.Printf("serving %s over %d values on %s", col.Name(), *n, *addr)
+	log.Printf("serving sys.P.%s (%s) over %d values on %s", *column, col.Name(), *n, *addr)
 
 	if *qps > 0 {
 		go drive(col, *lo, *hi, *qps, *selPerc, *seed)
 		log.Printf("workload driver: %d qps, selectivity %.4f", *qps, *selPerc)
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		serveQuery(col, w, r)
-	})
-	// Everything else — /metrics, /debug/queries, /debug/adaptations,
-	// /debug/layout, /debug/pprof — is the observer's surface.
-	mux.Handle("/", selforg.DefaultObserver().Handler())
-	log.Fatal(http.ListenAndServe(*addr, mux))
-}
-
-// serveQuery answers /query?lo=&hi=[&op=select|count] with the result
-// cardinality and the query's cost stats as JSON. Every query served
-// here drives adaptation exactly like a library call would.
-func serveQuery(col *selforg.Column, w http.ResponseWriter, r *http.Request) {
-	lo, err1 := strconv.ParseInt(r.URL.Query().Get("lo"), 10, 64)
-	hi, err2 := strconv.ParseInt(r.URL.Query().Get("hi"), 10, 64)
-	if err1 != nil || err2 != nil {
-		http.Error(w, "need integer lo= and hi= parameters", http.StatusBadRequest)
-		return
-	}
-	var (
-		count int64
-		st    selforg.Stats
-	)
-	if r.URL.Query().Get("op") == "count" {
-		count, st = col.Count(lo, hi)
-	} else {
-		var res []int64
-		res, st = col.Select(lo, hi)
-		count = int64(len(res))
-	}
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(struct {
-		Count    int64         `json:"count"`
-		Stats    selforg.Stats `json:"stats"`
-		Segments int           `json:"segments"`
-		Totals   selforg.Stats `json:"totals"`
-	}{count, st, col.SegmentCount(), col.Totals()})
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }
 
 // drive issues random range queries at the requested rate so the column

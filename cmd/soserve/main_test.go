@@ -1,0 +1,272 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"selforg"
+	"selforg/internal/server"
+)
+
+// newTestServer stands up the same service surface main serves, on an
+// httptest listener with a small column and isolated metrics.
+func newTestServer(t *testing.T, mutate func(*server.Config)) (*server.Server, *httptest.Server) {
+	t.Helper()
+	cfg := server.Config{
+		Extent:   selforg.Interval{Lo: 0, Hi: 9999},
+		N:        20_000,
+		Seed:     7,
+		MaxRows:  100,
+		Observer: selforg.NewObserver(),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv := server.New(cfg)
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postSQL(t *testing.T, url, stmt string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/sql", "text/plain", strings.NewReader(stmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func decodeResult(t *testing.T, body []byte) *server.Result {
+	t.Helper()
+	var r server.Result
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	return &r
+}
+
+func TestSQLHappyPaths(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+
+	resp, body := postSQL(t, ts.URL, "SELECT v FROM P WHERE v BETWEEN 42 AND 52")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("SELECT status %d: %s", resp.StatusCode, body)
+	}
+	sel := decodeResult(t, body)
+	if sel.Op != "select" || sel.Count == 0 || int64(len(sel.Rows)) != sel.Count {
+		t.Errorf("SELECT result = %+v", sel)
+	}
+	for _, v := range sel.Rows {
+		if v < 42 || v > 52 {
+			t.Errorf("row %d outside [42, 52]", v)
+		}
+	}
+
+	resp, body = postSQL(t, ts.URL, "SELECT COUNT(*) FROM P WHERE v BETWEEN 42 AND 52")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("COUNT status %d: %s", resp.StatusCode, body)
+	}
+	cnt := decodeResult(t, body)
+	if cnt.Op != "count" || cnt.Count != sel.Count {
+		t.Errorf("COUNT(*) = %+v, want count %d", cnt, sel.Count)
+	}
+
+	resp, body = postSQL(t, ts.URL, "SELECT SUM(v) FROM P WHERE v BETWEEN 42 AND 52")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("SUM status %d: %s", resp.StatusCode, body)
+	}
+	sum := decodeResult(t, body)
+	var want int64
+	for _, v := range sel.Rows {
+		want += v
+	}
+	if sum.Op != "sum" || sum.Sum != want {
+		t.Errorf("SUM(v) = %+v, want %d", sum, want)
+	}
+}
+
+func TestSQLParseErrorPosition(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	const stmt = "SELECT v FROM P WHERE v BETWEEN 1 OR 2"
+	resp, body := postSQL(t, ts.URL, stmt)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Error  string `json:"error"`
+		Offset *int   `json:"offset"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Offset == nil {
+		t.Fatalf("no offset in %s", body)
+	}
+	if *e.Offset != strings.Index(stmt, "OR") {
+		t.Errorf("offset = %d, want %d (position of OR)", *e.Offset, strings.Index(stmt, "OR"))
+	}
+	if !strings.Contains(e.Error, "AND") {
+		t.Errorf("error %q does not name the expected token", e.Error)
+	}
+}
+
+func TestSQLSaturation429(t *testing.T) {
+	srv, ts := newTestServer(t, func(cfg *server.Config) {
+		cfg.Workers = 2
+		cfg.Backlog = -1
+		cfg.SlowExec = 400 * time.Millisecond
+	})
+	if _, err := srv.Tenant(""); err != nil {
+		t.Fatal(err)
+	}
+
+	const stmt = "SELECT COUNT(*) FROM P WHERE v BETWEEN 1 AND 100"
+	// Occupy both workers.
+	errc := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/sql", "text/plain", strings.NewReader(stmt))
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("worker request status %d", resp.StatusCode)
+				}
+			}
+			errc <- err
+		}()
+	}
+	time.Sleep(150 * time.Millisecond) // both workers are inside SlowExec
+	resp, body := postSQL(t, ts.URL, stmt)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
+	}
+	retry := resp.Header.Get("Retry-After")
+	if _, err := strconv.Atoi(retry); err != nil {
+		t.Errorf("Retry-After = %q, want integer seconds", retry)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTenantIsolationOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	const stmt = "SELECT COUNT(*) FROM P WHERE v BETWEEN 0 AND 9999"
+
+	post := func(tenant string) *server.Result {
+		resp, err := http.Post(ts.URL+"/sql?tenant="+tenant, "text/plain", strings.NewReader(stmt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tenant %q status %d: %s", tenant, resp.StatusCode, body)
+		}
+		return decodeResult(t, body)
+	}
+
+	before := post("alice")
+	// Write into alice only.
+	for i := 0; i < 5; i++ {
+		resp, err := http.Post(ts.URL+"/write?tenant=alice&op=insert&v=777", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/write status %d", resp.StatusCode)
+		}
+	}
+	after := post("alice")
+	if after.Count != before.Count+5 {
+		t.Errorf("alice count = %d, want %d", after.Count, before.Count+5)
+	}
+	bob := post("bob")
+	if bob.Count != before.Count {
+		t.Errorf("bob count = %d, want pristine %d — tenant bleed", bob.Count, before.Count)
+	}
+	if bob.Tenant != "bob" || after.Tenant != "alice" {
+		t.Errorf("responses carry tenants %q/%q", after.Tenant, bob.Tenant)
+	}
+}
+
+// TestMetricsCacheCounters scrapes /metrics and asserts the plan
+// cache's hit/miss counters move with traffic.
+func TestMetricsCacheCounters(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+
+	scrape := func(name string) int64 {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`)
+		m := re.FindSubmatch(body)
+		if m == nil {
+			t.Fatalf("metric %s not in exposition:\n%s", name, body)
+		}
+		v, _ := strconv.ParseInt(string(m[1]), 10, 64)
+		return v
+	}
+
+	if h := scrape("plancache_hits_total"); h != 0 {
+		t.Fatalf("fresh server has %d hits", h)
+	}
+	postSQL(t, ts.URL, "SELECT COUNT(*) FROM P WHERE v BETWEEN 1 AND 2")
+	if m := scrape("plancache_misses_total"); m != 1 {
+		t.Errorf("misses after cold query = %d, want 1", m)
+	}
+	postSQL(t, ts.URL, "SELECT COUNT(*) FROM P WHERE v BETWEEN 500 AND 600")
+	postSQL(t, ts.URL, "select count ( * ) from P where v between 7 and 8;")
+	if h := scrape("plancache_hits_total"); h != 2 {
+		t.Errorf("hits after two warm queries = %d, want 2", h)
+	}
+	if sz := scrape("plancache_size"); sz != 1 {
+		t.Errorf("plancache_size = %d, want 1", sz)
+	}
+}
+
+// TestLegacyQueryEndpoint keeps the PR 6 contract: /query?lo=&hi=
+// answers with count, stats and totals.
+func TestLegacyQueryEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/query?lo=100&hi=200&op=count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/query status %d", resp.StatusCode)
+	}
+	var out struct {
+		Count    int64 `json:"count"`
+		Segments int   `json:"segments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count == 0 || out.Segments == 0 {
+		t.Errorf("legacy /query = %+v", out)
+	}
+}

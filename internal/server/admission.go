@@ -1,0 +1,67 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"selforg/internal/obs"
+)
+
+// gate is the tier's admission control: a two-stage semaphore bounding
+// both concurrent executions (slots, sized from the engine's
+// Parallelism budget) and the queue behind them (tickets). A request
+// first try-acquires a ticket — failure means workers and backlog are
+// both full, and the request is shed immediately with 429 rather than
+// queueing without bound — then blocks for a worker slot. Shedding at
+// the door keeps tail latency bounded: an admitted request waits behind
+// at most backlog executions.
+type gate struct {
+	tickets chan struct{} // capacity workers+backlog: admission
+	slots   chan struct{} // capacity workers: execution
+	shed    atomic.Int64
+	obsShed *obs.Counter
+}
+
+func newGate(workers, backlog int) *gate {
+	if workers < 1 {
+		workers = 1
+	}
+	if backlog < 0 {
+		backlog = 0
+	}
+	return &gate{
+		tickets: make(chan struct{}, workers+backlog),
+		slots:   make(chan struct{}, workers),
+	}
+}
+
+// instrument registers the gate's metrics: shed counter plus live
+// in-flight and waiting gauges.
+func (g *gate) instrument(r *obs.Registry) {
+	g.obsShed = r.Counter("sql_shed_total")
+	g.obsShed.Add(g.shed.Load())
+	r.GaugeFunc("sql_inflight", func() int64 { return int64(len(g.slots)) })
+	r.GaugeFunc("sql_admitted", func() int64 { return int64(len(g.tickets)) })
+}
+
+// acquire admits the request and blocks for a worker slot. It returns
+// the release function and true, or (nil, false) when the request must
+// be shed.
+func (g *gate) acquire() (func(), bool) {
+	select {
+	case g.tickets <- struct{}{}:
+	default:
+		g.shed.Add(1)
+		if g.obsShed != nil {
+			g.obsShed.Inc()
+		}
+		return nil, false
+	}
+	g.slots <- struct{}{}
+	return func() {
+		<-g.slots
+		<-g.tickets
+	}, true
+}
+
+// Shed reports how many requests the gate refused.
+func (g *gate) Shed() int64 { return g.shed.Load() }

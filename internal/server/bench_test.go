@@ -1,0 +1,103 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"selforg"
+)
+
+// benchServer is the benchmark fixture: a mid-size column, full rows
+// disabled (count queries) so the measured work is the query tier, not
+// JSON volume.
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	s := New(Config{
+		Extent:   selforg.Interval{Lo: 0, Hi: 99_999},
+		N:        200_000,
+		Seed:     3,
+		MaxRows:  100,
+		Observer: selforg.NewObserver(),
+	})
+	b.Cleanup(s.Close)
+	if _, err := s.Tenant(""); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkSQLColdVsWarmPlan measures what the plan cache buys: Cold
+// flushes the cache before every statement (full parse → MAL codegen →
+// optimize every time), Warm replays one shape with varying constants
+// (one lex pass + cache hit). The execution against the column is
+// identical in both arms, so the difference is pure compilation cost.
+func BenchmarkSQLColdVsWarmPlan(b *testing.B) {
+	// A fixed 16-range working set: the column converges after the first
+	// pass, so steady-state iterations isolate the per-statement front-end
+	// cost the two arms differ in.
+	stmt := func(i int) string {
+		lo := (i % 16) * 5_000
+		return fmt.Sprintf("SELECT COUNT(*) FROM P WHERE v BETWEEN %d AND %d", lo, lo+500)
+	}
+	b.Run("Cold", func(b *testing.B) {
+		s := benchServer(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.InvalidatePlans()
+			if _, err := s.Exec("", stmt(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Warm", func(b *testing.B) {
+		s := benchServer(b)
+		if _, err := s.Exec("", stmt(0)); err != nil { // populate
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := s.Exec("", stmt(i+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Cached {
+				b.Fatal("warm arm missed the cache")
+			}
+		}
+	})
+}
+
+// BenchmarkSoserveThroughput is the end-to-end service number: POST
+// /sql over a real HTTP listener, admission gate and JSON envelope
+// included, parallel clients sharing one warm plan.
+func BenchmarkSoserveThroughput(b *testing.B) {
+	s := benchServer(b)
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	client := ts.Client()
+	if _, err := s.Exec("", "SELECT COUNT(*) FROM P WHERE v BETWEEN 0 AND 500"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			lo := (i * 131) % 90_000
+			stmt := fmt.Sprintf("SELECT COUNT(*) FROM P WHERE v BETWEEN %d AND %d", lo, lo+500)
+			resp, err := client.Post(ts.URL+"/sql", "text/plain", strings.NewReader(stmt))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+			io.Copy(io.Discard, resp.Body) // drain for keep-alive reuse
+			resp.Body.Close()
+		}
+	})
+}

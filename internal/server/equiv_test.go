@@ -1,0 +1,158 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"selforg"
+)
+
+// TestCachedUncachedEquivalence is the tier's core correctness claim:
+// executing through a warm plan cache returns byte-identical results
+// AND identical QueryStats to compiling every statement from scratch,
+// across every strategy × model × shard-count combination. Two servers
+// with identical configuration run the same statement sequence twice
+// (cold pass, then warm replay); the reference server flushes its plan
+// cache before every statement so nothing is ever warm. Layout
+// evolution is driven by the same query sequence on both sides, so any
+// divergence — result or stats — is the cache's fault.
+func TestCachedUncachedEquivalence(t *testing.T) {
+	queries := []string{
+		"SELECT v FROM P WHERE v BETWEEN 100 AND 300",
+		"SELECT COUNT(*) FROM P WHERE v BETWEEN 2000 AND 2600",
+		"SELECT SUM(v) FROM P WHERE v BETWEEN 50 AND 450",
+		"select v from P where v between 100 and 300", // same shape as #1
+		"SELECT COUNT(*) FROM P WHERE v BETWEEN 8000 AND 8100",
+		"SELECT v FROM P WHERE v BETWEEN 9.5 AND 199.5",
+		"SELECT SUM(v) FROM P WHERE v BETWEEN 4000 AND 4999",
+	}
+	strategies := []selforg.Strategy{selforg.Segmentation, selforg.Replication}
+	models := []selforg.Model{selforg.APM, selforg.GD}
+	shardCounts := []int{1, 3}
+
+	for _, strat := range strategies {
+		for _, mdl := range models {
+			for _, shards := range shardCounts {
+				name := fmt.Sprintf("%v_%v_shards%d", strat, mdl, shards)
+				t.Run(name, func(t *testing.T) {
+					cfg := testConfig()
+					cfg.N = 10_000
+					cfg.Options = selforg.Options{Strategy: strat, Model: mdl, Shards: shards}
+					cached := New(cfg)
+					defer cached.Close()
+					cfg2 := cfg
+					cfg2.Observer = selforg.NewObserver()
+					uncached := New(cfg2)
+					defer uncached.Close()
+
+					run := func(pass string) {
+						for i, q := range queries {
+							rc, err := cached.Exec("", q)
+							if err != nil {
+								t.Fatalf("%s cached Exec(%q): %v", pass, q, err)
+							}
+							uncached.InvalidatePlans()
+							ru, err := uncached.Exec("", q)
+							if err != nil {
+								t.Fatalf("%s uncached Exec(%q): %v", pass, q, err)
+							}
+							if ru.Cached {
+								t.Fatalf("%s reference server unexpectedly warm", pass)
+							}
+							if rc.Count != ru.Count || rc.Sum != ru.Sum {
+								t.Errorf("%s query %d results differ: cached count=%d sum=%d, uncached count=%d sum=%d",
+									pass, i, rc.Count, rc.Sum, ru.Count, ru.Sum)
+							}
+							if len(rc.Rows) != len(ru.Rows) {
+								t.Fatalf("%s query %d row counts differ: %d vs %d", pass, i, len(rc.Rows), len(ru.Rows))
+							}
+							for j := range rc.Rows {
+								if rc.Rows[j] != ru.Rows[j] {
+									t.Fatalf("%s query %d row %d differs: %d vs %d", pass, i, j, rc.Rows[j], ru.Rows[j])
+								}
+							}
+							if rc.Stats != ru.Stats {
+								t.Errorf("%s query %d stats differ:\n  cached   %+v\n  uncached %+v", pass, i, rc.Stats, ru.Stats)
+							}
+						}
+					}
+					run("cold")
+					run("warm") // replay: cached server now hits for every shape
+					hits, _, _ := cached.CacheStats()
+					if hits == 0 {
+						t.Error("warm replay produced no cache hits")
+					}
+					if h, _, _ := uncached.CacheStats(); h != 0 {
+						t.Errorf("reference server recorded %d hits", h)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRaceStress hammers one server from 8 clients sharing the plan
+// cache while writes force concurrent delta merge-backs. Run under
+// -race; the assertions are liveness (no errors) and accounting (every
+// lookup is a hit or a miss).
+func TestRaceStress(t *testing.T) {
+	cfg := testConfig()
+	cfg.N = 5000
+	cfg.Options = selforg.Options{
+		Shards:        2,
+		DeltaMaxBytes: 256, // tiny threshold: writes trigger merge-backs constantly
+	}
+	s := New(cfg)
+	defer s.Close()
+	if _, err := s.Tenant(""); err != nil {
+		t.Fatal(err)
+	}
+
+	shapes := []string{
+		"SELECT COUNT(*) FROM P WHERE v BETWEEN %d AND %d",
+		"SELECT SUM(v) FROM P WHERE v BETWEEN %d AND %d",
+		"SELECT v FROM P WHERE v BETWEEN %d AND %d",
+	}
+	const clients, iters = 8, 60
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			col, err := s.Tenant("")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < iters; i++ {
+				lo := int64((c*131 + i*37) % 9000)
+				src := fmt.Sprintf(shapes[(c+i)%len(shapes)], lo, lo+200)
+				if _, err := s.Exec("", src); err != nil {
+					t.Errorf("client %d: Exec(%q): %v", c, src, err)
+					return
+				}
+				switch i % 4 {
+				case 0:
+					if _, err := col.Insert(lo); err != nil {
+						t.Errorf("client %d: Insert: %v", c, err)
+						return
+					}
+				case 2:
+					col.Delete(lo + 100)
+				}
+				if c == 0 && i%20 == 10 {
+					s.InvalidatePlans()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	hits, misses, _ := s.CacheStats()
+	if hits+misses != clients*iters {
+		t.Errorf("cache lookups = %d, want %d", hits+misses, clients*iters)
+	}
+	if hits == 0 {
+		t.Error("no cache hits across 8 clients sharing 3 shapes")
+	}
+}

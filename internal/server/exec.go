@@ -1,0 +1,183 @@
+package server
+
+import (
+	"math"
+	"time"
+
+	"selforg"
+	"selforg/internal/opt"
+	"selforg/internal/sql"
+)
+
+// opKind is the executable shape a compiled statement binds to.
+type opKind int
+
+const (
+	opSelect opKind = iota
+	opCount
+	opSum
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opCount:
+		return "count"
+	case opSum:
+		return "sum"
+	default:
+		return "select"
+	}
+}
+
+// plan is one cached compilation: the executable shape plus the
+// optimized MAL text for explain output. Plans carry no constants (the
+// fingerprint's binds substitute at execution) and no tenant state, so
+// one plan serves every tenant and every constant instantiation of its
+// shape.
+type plan struct {
+	fingerprint string
+	kind        opKind
+	mal         string
+}
+
+// CompileError wraps a compile-side failure that is not a syntax error
+// — an unknown table or column, an unsupported shape. The HTTP layer
+// maps it (like *sql.SyntaxError) to 400.
+type CompileError struct{ Err error }
+
+func (e *CompileError) Error() string { return e.Err.Error() }
+func (e *CompileError) Unwrap() error { return e.Err }
+
+// Result is one executed statement's answer.
+type Result struct {
+	Op    string  `json:"op"`
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum,omitempty"`
+	Rows  []int64 `json:"rows,omitempty"`
+	// Truncated reports that Rows was capped at Config.MaxRows; Count
+	// still carries the full cardinality.
+	Truncated   bool          `json:"truncated,omitempty"`
+	Stats       selforg.Stats `json:"stats"`
+	Cached      bool          `json:"cached"`
+	Fingerprint string        `json:"fingerprint"`
+	Tenant      string        `json:"tenant"`
+	Plan        string        `json:"-"`
+}
+
+// compile resolves src to a plan and its bind values. The warm path is
+// a lex pass (Normalize) plus a cache hit — no parse, no codegen, no
+// optimizer. The cold path runs the full §2 front half and publishes
+// the plan under the fingerprint, stamped with the epoch captured
+// before compilation so a racing InvalidatePlans refuses it.
+func (s *Server) compile(src string) (*plan, []float64, bool, error) {
+	n, err := sql.Normalize(src)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if v, ok := s.cache.Get(n.Fingerprint); ok {
+		return v.(*plan), n.Binds, true, nil
+	}
+	epoch := s.cache.Epoch()
+	q, err := sql.Parse(src)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	prog, err := sql.Generate(q, s.cat)
+	if err != nil {
+		return nil, nil, false, &CompileError{Err: err}
+	}
+	// Tactical optimization with UnrollThreshold 0: the iterator form is
+	// layout-independent, so cached plans never go stale as the column
+	// self-organizes — only catalog epoch changes invalidate.
+	if err := opt.Default().Optimize(prog, &opt.Context{Catalog: s.cat}); err != nil {
+		return nil, nil, false, &CompileError{Err: err}
+	}
+	p := &plan{fingerprint: n.Fingerprint, mal: prog.String()}
+	switch q.Aggregate {
+	case "count":
+		p.kind = opCount
+	case "sum":
+		p.kind = opSum
+	default:
+		p.kind = opSelect
+	}
+	s.cache.Put(n.Fingerprint, p, epoch)
+	return p, n.Binds, false, nil
+}
+
+// Exec compiles (or cache-hits) src and runs it against the named
+// tenant's column. It is the admission-free core: the HTTP layer adds
+// the gate, Exec is what benchmarks and in-process callers use.
+func (s *Server) Exec(tenant, src string) (*Result, error) {
+	p, binds, cached, err := s.compile(src)
+	if err != nil {
+		return nil, err
+	}
+	col, err := s.Tenant(tenant)
+	if err != nil {
+		return nil, err
+	}
+	res := s.run(col, p, binds)
+	res.Cached = cached
+	if tenant == "" {
+		tenant = "default"
+	}
+	res.Tenant = tenant
+	return res, nil
+}
+
+// run executes a compiled plan with its bind values against a column.
+// Cold and warm paths share this function, so cached execution is
+// byte-identical to uncached execution by construction.
+func (s *Server) run(col *selforg.Column, p *plan, binds []float64) *Result {
+	if s.cfg.SlowExec > 0 {
+		time.Sleep(s.cfg.SlowExec)
+	}
+	lo, hi := bindBounds(binds)
+	res := &Result{Op: p.kind.String(), Fingerprint: p.fingerprint, Plan: p.mal}
+	switch p.kind {
+	case opCount:
+		res.Count, res.Stats = col.Count(lo, hi)
+	case opSum:
+		vals, st := col.Select(lo, hi)
+		var sum int64
+		for _, v := range vals {
+			sum += v
+		}
+		res.Sum, res.Count, res.Stats = sum, int64(len(vals)), st
+	default:
+		vals, st := col.Select(lo, hi)
+		res.Count, res.Stats = int64(len(vals)), st
+		if len(vals) > s.cfg.MaxRows {
+			res.Rows, res.Truncated = vals[:s.cfg.MaxRows], true
+		} else {
+			res.Rows = vals
+		}
+	}
+	return res
+}
+
+// bindBounds maps the fingerprint's float binds onto the facade's
+// inclusive integer interval: the integers inside [lo, hi] are
+// ceil(lo) .. floor(hi), matching the MAL plan's dbl-typed A0/A1
+// parameters evaluated over integer values.
+func bindBounds(binds []float64) (int64, int64) {
+	if len(binds) < 2 {
+		// Unreachable for parseable statements (the grammar's only
+		// literals are the two BETWEEN bounds); degrade to an empty range.
+		return 0, -1
+	}
+	lo := int64(math.Ceil(binds[0]))
+	hi := int64(math.Floor(binds[1]))
+	return lo, hi
+}
+
+// Explain compiles src (through the cache) and returns the optimized
+// MAL text of its plan.
+func (s *Server) Explain(src string) (string, error) {
+	p, _, _, err := s.compile(src)
+	if err != nil {
+		return "", err
+	}
+	return p.mal, nil
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"selforg"
+	"selforg/internal/sql"
+)
+
+// maxStatementBytes bounds the /sql request body; the supported
+// statement class is a single line, so anything larger is abuse.
+const maxStatementBytes = 1 << 20
+
+// errorBody is the JSON error envelope of every non-2xx answer.
+type errorBody struct {
+	Error string `json:"error"`
+	// Offset is the byte position of a syntax error in the submitted
+	// statement (present only for syntax errors).
+	Offset *int `json:"offset,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	body := errorBody{Error: err.Error()}
+	var se *sql.SyntaxError
+	if errors.As(err, &se) {
+		off := se.Offset
+		body.Offset = &off
+	}
+	writeJSON(w, status, body)
+}
+
+// handleSQL is POST /sql: the statement in the body, ?tenant= routing,
+// admission control in front of execution. A warm request costs one lex
+// pass and a cache hit before it touches the column.
+func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST a SQL statement"))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxStatementBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > maxStatementBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, errors.New("statement too large"))
+		return
+	}
+	release, ok := s.gate.acquire()
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, errors.New("server saturated, retry later"))
+		return
+	}
+	defer release()
+	res, err := s.Exec(r.URL.Query().Get("tenant"), string(body))
+	if err != nil {
+		status := http.StatusInternalServerError
+		if isClientError(err) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	if r.URL.Query().Get("explain") != "" {
+		writeJSON(w, http.StatusOK, struct {
+			*Result
+			Plan string `json:"plan"`
+		}{res, res.Plan})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleQuery is the legacy GET /query?lo=&hi=[&op=count][&tenant=]
+// endpoint of PR 6, kept for dashboards scripted against it; it routes
+// through the same tenant registry but bypasses the SQL front end.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	lo, err1 := strconv.ParseInt(r.URL.Query().Get("lo"), 10, 64)
+	hi, err2 := strconv.ParseInt(r.URL.Query().Get("hi"), 10, 64)
+	if err1 != nil || err2 != nil {
+		writeError(w, http.StatusBadRequest, errors.New("need integer lo= and hi= parameters"))
+		return
+	}
+	col, err := s.Tenant(r.URL.Query().Get("tenant"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var (
+		count int64
+		st    selforg.Stats
+	)
+	if r.URL.Query().Get("op") == "count" {
+		count, st = col.Count(lo, hi)
+	} else {
+		var res []int64
+		res, st = col.Select(lo, hi)
+		count = int64(len(res))
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Count    int64         `json:"count"`
+		Stats    selforg.Stats `json:"stats"`
+		Segments int           `json:"segments"`
+		Totals   selforg.Stats `json:"totals"`
+	}{count, st, col.SegmentCount(), col.Totals()})
+}
+
+// handleWrite is POST /write?op=insert|update|delete&v=|&old=&new=
+// [&tenant=]: single-row MVCC writes against a tenant's column, the
+// over-the-wire counterpart of Column.Insert/Update/Delete. Writes
+// drive the delta store and its self-organizing merge-back exactly like
+// library calls.
+func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST writes"))
+		return
+	}
+	col, err := s.Tenant(r.URL.Query().Get("tenant"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q := r.URL.Query()
+	parse := func(key string) (int64, error) {
+		return strconv.ParseInt(q.Get(key), 10, 64)
+	}
+	var (
+		st  selforg.Stats
+		hit = true
+	)
+	switch q.Get("op") {
+	case "insert":
+		v, err := parse("v")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, errors.New("insert needs integer v="))
+			return
+		}
+		st, err = col.Insert(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	case "update":
+		old, err1 := parse("old")
+		nv, err2 := parse("new")
+		if err1 != nil || err2 != nil {
+			writeError(w, http.StatusBadRequest, errors.New("update needs integer old= and new="))
+			return
+		}
+		hit, st = col.Update(old, nv)
+	case "delete":
+		v, err := parse("v")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, errors.New("delete needs integer v="))
+			return
+		}
+		hit, st = col.Delete(v)
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("op must be insert, update or delete"))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		OK    bool          `json:"ok"`
+		Stats selforg.Stats `json:"stats"`
+	}{hit, st})
+}
+
+// handleFlush is POST /plans/flush: administrative plan-cache
+// invalidation (the catalog-epoch bump exposed over the wire).
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST to flush"))
+		return
+	}
+	s.InvalidatePlans()
+	writeJSON(w, http.StatusOK, struct {
+		Flushed bool  `json:"flushed"`
+		Epoch   int64 `json:"epoch"`
+	}{true, s.cache.Epoch()})
+}

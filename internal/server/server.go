@@ -1,0 +1,297 @@
+// Package server is the query service tier on top of the selforg
+// facade: SQL over the wire, compiled through the full §2 pipeline
+// (parse → MAL codegen → tactical optimization) exactly once per query
+// *shape*, then executed against a self-organizing column.
+//
+// The tier composes four pieces:
+//
+//   - internal/sql.Normalize lifts the constants out of each statement
+//     and produces a canonical fingerprint — the cache key — before any
+//     parse runs.
+//   - internal/plancache holds the compiled plans in a bounded, sharded
+//     LRU stamped with the catalog epoch. A warm request is one lex pass
+//     plus a map hit: no parse, no codegen, no optimizer.
+//   - An admission gate sized from the engine's Parallelism budget
+//     bounds concurrent executions; requests beyond workers+backlog are
+//     shed with 429 and a Retry-After hint instead of queueing without
+//     bound.
+//   - A tenant registry routes ?tenant= to independent facade columns
+//     (each with its own layout, model state and MVCC delta store) that
+//     share the plan cache — compiled plans are tenant-agnostic; only
+//     execution binds a column.
+//
+// Handler mounts the tier next to the observability surface of PR 6:
+// POST /sql, the legacy GET /query, POST /write, and the observer's
+// /metrics + /debug/* endpoints.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"selforg"
+	"selforg/internal/bat"
+	"selforg/internal/domain"
+	"selforg/internal/mal"
+	"selforg/internal/plancache"
+	"selforg/internal/sim"
+	"selforg/internal/sql"
+)
+
+// Config describes one serving instance. The zero value serves a
+// million-value sys.P(v) column under the facade's default options.
+type Config struct {
+	// Extent is the tenant columns' domain (default [0, 999_999]).
+	Extent selforg.Interval
+	// N is the number of generated values per tenant column (default
+	// 1_000_000).
+	N int
+	// Seed seeds the data generator; each tenant's column derives its
+	// own seed from it, so tenants hold distinct data by construction.
+	Seed int64
+	// Options configures every tenant column (strategy, model, shards,
+	// compression, parallelism, observability).
+	Options selforg.Options
+	// Schema, Table and Column name the single served column in the SQL
+	// catalog (defaults sys, P, v).
+	Schema, Table, Column string
+	// CacheCapacity bounds the plan cache (default
+	// plancache.DefaultCapacity).
+	CacheCapacity int
+	// Workers bounds concurrent query executions. 0 derives it from
+	// Options.Parallelism, falling back to GOMAXPROCS.
+	Workers int
+	// Backlog is how many admitted requests may wait for a worker slot
+	// beyond the workers themselves (0 = the 2×Workers default; negative
+	// = no backlog at all). Requests past workers+backlog are shed with
+	// 429.
+	Backlog int
+	// MaxRows caps the rows a SELECT returns over the wire (default
+	// 1000); Count always reports the full cardinality.
+	MaxRows int
+	// Observer receives the tier's metrics and serves /metrics +
+	// /debug/* (default selforg.DefaultObserver()).
+	Observer *selforg.Observer
+	// SlowExec artificially holds each execution's worker slot for the
+	// given duration — a test hook to saturate the admission gate
+	// deterministically.
+	SlowExec time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Extent == (selforg.Interval{}) {
+		c.Extent = selforg.Interval{Lo: 0, Hi: 999_999}
+	}
+	if c.N == 0 {
+		c.N = 1_000_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Schema == "" {
+		c.Schema = "sys"
+	}
+	if c.Table == "" {
+		c.Table = "P"
+	}
+	if c.Column == "" {
+		c.Column = "v"
+	}
+	if c.MaxRows == 0 {
+		c.MaxRows = 1000
+	}
+	if c.Workers == 0 {
+		if c.Options.Parallelism > 0 {
+			c.Workers = c.Options.Parallelism
+		} else {
+			c.Workers = runtime.GOMAXPROCS(0)
+		}
+	}
+	if c.Backlog == 0 {
+		c.Backlog = 2 * c.Workers
+	}
+	if c.Observer == nil {
+		c.Observer = selforg.DefaultObserver()
+	}
+	return c
+}
+
+// Server is one query service instance: a shared plan cache and
+// admission gate over a registry of per-tenant columns. Safe for
+// concurrent use.
+type Server struct {
+	cfg   Config
+	cat   *mal.MemCatalog
+	cache *plancache.Cache
+	gate  *gate
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	closed  bool
+}
+
+// tenant is one isolated facade instance. All tenants share the SQL
+// catalog (one schema) and the plan cache; each owns its column.
+type tenant struct {
+	name string
+	col  *selforg.Column
+}
+
+// New builds a Server. The default tenant's column is built lazily on
+// first use, like every other tenant's.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	// The served schema: one table, one bigint column. The catalog only
+	// feeds compile-time validation and plan shape — execution binds the
+	// tenant's facade column, never these (empty) base bats.
+	cat := mal.NewMemCatalog()
+	cat.AddTable(&mal.Table{
+		Schema: cfg.Schema,
+		Name:   cfg.Table,
+		Cols: map[string]*mal.Column{
+			cfg.Column: {Base: bat.Empty(bat.KOid, bat.KLng)},
+		},
+	})
+	s := &Server{
+		cfg:     cfg,
+		cat:     cat,
+		cache:   plancache.New(cfg.CacheCapacity),
+		gate:    newGate(cfg.Workers, cfg.Backlog),
+		tenants: make(map[string]*tenant),
+	}
+	s.cache.Instrument(cfg.Observer.Registry)
+	s.gate.instrument(cfg.Observer.Registry)
+	return s
+}
+
+// tenantSeed decorrelates per-tenant data: same generator, different
+// stream per name.
+func (s *Server) tenantSeed(name string) int64 {
+	if name == "default" {
+		return s.cfg.Seed
+	}
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return s.cfg.Seed + int64(h.Sum32())
+}
+
+// Tenant returns (building on first use) the named tenant's column.
+// The empty name is the "default" tenant.
+func (s *Server) Tenant(name string) (*selforg.Column, error) {
+	if name == "" {
+		name = "default"
+	}
+	if !validTenant(name) {
+		return nil, &TenantError{Name: name}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("server closed")
+	}
+	if t, ok := s.tenants[name]; ok {
+		return t.col, nil
+	}
+	opts := s.cfg.Options
+	if opts.Observability.Observer == nil && !opts.Observability.Disable {
+		opts.Observability.Observer = s.cfg.Observer
+	}
+	vals := sim.GenerateColumn(s.cfg.N,
+		domain.NewRange(s.cfg.Extent.Lo, s.cfg.Extent.Hi), s.tenantSeed(name))
+	col, err := selforg.New(s.cfg.Extent, vals, opts)
+	if err != nil {
+		return nil, fmt.Errorf("tenant %q: %w", name, err)
+	}
+	s.tenants[name] = &tenant{name: name, col: col}
+	return col, nil
+}
+
+// TenantError reports a tenant name that failed validation — a client
+// mistake, mapped to 400 by the HTTP layer.
+type TenantError struct{ Name string }
+
+func (e *TenantError) Error() string { return fmt.Sprintf("invalid tenant name %q", e.Name) }
+
+// validTenant accepts short names safe to echo and hash: letters,
+// digits, '_' and '-'.
+func validTenant(name string) bool {
+	if len(name) == 0 || len(name) > 32 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Tenants lists the live tenant names (creation order not preserved).
+func (s *Server) Tenants() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.tenants))
+	for n := range s.tenants {
+		names = append(names, n)
+	}
+	return names
+}
+
+// InvalidatePlans bumps the plan-cache epoch, orphaning every compiled
+// plan. Call it when the catalog or a layout generation a plan was
+// compiled against changes meaning; in-flight compiles that started
+// before the bump are refused publication.
+func (s *Server) InvalidatePlans() { s.cache.Invalidate() }
+
+// CacheStats exposes the plan cache's lifetime hit/miss/eviction counts.
+func (s *Server) CacheStats() (hits, misses, evictions int64) { return s.cache.Stats() }
+
+// Close releases every tenant column (stopping background drainers).
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, t := range s.tenants {
+		t.col.Close()
+	}
+	s.tenants = map[string]*tenant{}
+}
+
+// Handler mounts the full service surface:
+//
+//	POST /sql        SQL statement in the body, ?tenant= routing
+//	GET  /query      legacy lo=&hi=&op= range endpoint
+//	POST /write      op=insert|update|delete point writes
+//	POST /plans/flush administrative plan-cache invalidation
+//	     /metrics, /debug/*  the observer's surface (PR 6)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sql", s.handleSQL)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/write", s.handleWrite)
+	mux.HandleFunc("/plans/flush", s.handleFlush)
+	mux.Handle("/", s.cfg.Observer.Handler())
+	return mux
+}
+
+// isClientError classifies an Exec failure for the HTTP layer: every
+// compile-side problem (lexing, parsing, unknown column, unsupported
+// shape) and every malformed tenant name is the client's fault and
+// maps to 400.
+func isClientError(err error) bool {
+	var se *sql.SyntaxError
+	var ce *CompileError
+	var te *TenantError
+	return errors.As(err, &se) || errors.As(err, &ce) || errors.As(err, &te)
+}

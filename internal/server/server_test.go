@@ -1,0 +1,443 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"selforg"
+)
+
+// testConfig is a small, fast column: 20k values over [0, 9999], every
+// row returnable, metrics isolated per test.
+func testConfig() Config {
+	return Config{
+		Extent:   selforg.Interval{Lo: 0, Hi: 9999},
+		N:        20_000,
+		Seed:     1,
+		MaxRows:  20_000,
+		Observer: selforg.NewObserver(),
+	}
+}
+
+func TestExecColdThenWarm(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+
+	r1, err := s.Exec("", "SELECT COUNT(*) FROM P WHERE v BETWEEN 100 AND 200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Error("first execution reported cached")
+	}
+	if r1.Op != "count" || r1.Count <= 0 {
+		t.Errorf("count result = %+v", r1)
+	}
+	// Same shape, different constants: must hit the cache.
+	r2, err := s.Exec("", "select count(*) from P where v between 300 and 400;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Error("same-shape execution missed the cache")
+	}
+	hits, misses, _ := s.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("cache stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	if r1.Fingerprint != r2.Fingerprint {
+		t.Errorf("fingerprints differ: %q vs %q", r1.Fingerprint, r2.Fingerprint)
+	}
+}
+
+func TestExecOps(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+
+	sel, err := s.Exec("", "SELECT v FROM P WHERE v BETWEEN 10 AND 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := s.Exec("", "SELECT COUNT(*) FROM P WHERE v BETWEEN 10 AND 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Exec("", "SELECT SUM(v) FROM P WHERE v BETWEEN 10 AND 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(sel.Rows)) != sel.Count {
+		t.Errorf("select returned %d rows, count %d", len(sel.Rows), sel.Count)
+	}
+	if cnt.Count != sel.Count {
+		t.Errorf("COUNT(*) = %d, SELECT cardinality = %d", cnt.Count, sel.Count)
+	}
+	var want int64
+	for _, v := range sel.Rows {
+		if v < 10 || v > 20 {
+			t.Fatalf("row %d outside predicate", v)
+		}
+		want += v
+	}
+	if sum.Sum != want {
+		t.Errorf("SUM(v) = %d, want %d", sum.Sum, want)
+	}
+}
+
+func TestExecFractionalBounds(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	// [9.5, 20.5] over integers is [10, 20]: same answer as the integer
+	// bounds — the ceil/floor bind conversion.
+	a, err := s.Exec("", "SELECT COUNT(*) FROM P WHERE v BETWEEN 9.5 AND 20.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Exec("", "SELECT COUNT(*) FROM P WHERE v BETWEEN 10 AND 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Count != b.Count {
+		t.Errorf("fractional bounds count %d != integer bounds count %d", a.Count, b.Count)
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	cases := []string{
+		"SELECT", // truncated
+		"SELECT v FROM P WHERE v BETWEEN 2 AND 1",       // inverted bounds
+		"SELECT nope FROM P WHERE v BETWEEN 1 AND 2",    // unknown column
+		"SELECT v FROM Nope WHERE v BETWEEN 1 AND 2",    // unknown table
+		"SELECT SUM(no) FROM P WHERE v BETWEEN 1 AND 2", // unknown aggr column
+	}
+	for _, src := range cases {
+		_, err := s.Exec("", src)
+		if err == nil {
+			t.Errorf("Exec(%q) succeeded", src)
+			continue
+		}
+		if !isClientError(err) {
+			t.Errorf("Exec(%q): %v not classified as client error", src, err)
+		}
+	}
+	// Compile failures must not populate the cache.
+	if hits, _, _ := s.CacheStats(); hits != 0 {
+		t.Errorf("cache hits after errors = %d", hits)
+	}
+}
+
+func TestInvalidatePlansForcesRecompile(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	const q = "SELECT COUNT(*) FROM P WHERE v BETWEEN 1 AND 2"
+	if _, err := s.Exec("", q); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Exec("", q)
+	if err != nil || !r.Cached {
+		t.Fatalf("warm exec: cached=%v err=%v", r.Cached, err)
+	}
+	s.InvalidatePlans()
+	r, err = s.Exec("", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cached {
+		t.Error("execution after InvalidatePlans still cached")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	plan, err := s.Explain("SELECT COUNT(*) FROM P WHERE v BETWEEN 1 AND 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"function user.q0(A0:dbl,A1:dbl)", "aggr.count", "sql.bind"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+}
+
+func TestTenantIsolation(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	const q = "SELECT COUNT(*) FROM P WHERE v BETWEEN 0 AND 9999"
+	a, err := s.Exec("alpha", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate alpha only; beta (and default) must not see the writes.
+	colA, err := s.Tenant("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := colA.Insert(5000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a2, err := s.Exec("alpha", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Count != a.Count+10 {
+		t.Errorf("alpha count after 10 inserts = %d, want %d", a2.Count, a.Count+10)
+	}
+	b, err := s.Exec("beta", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Count != int64(s.cfg.N) {
+		t.Errorf("beta count = %d, want pristine %d", b.Count, s.cfg.N)
+	}
+	// Both tenants share the plan cache: beta's exec was a hit.
+	if !b.Cached {
+		t.Error("cross-tenant execution missed the shared cache")
+	}
+}
+
+func TestTenantNames(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	for _, bad := range []string{"a b", "x/y", strings.Repeat("a", 33), "é"} {
+		if _, err := s.Tenant(bad); err == nil {
+			t.Errorf("Tenant(%q) accepted", bad)
+		}
+	}
+	if _, err := s.Tenant(""); err != nil {
+		t.Errorf("default tenant: %v", err)
+	}
+	if _, err := s.Tenant("ok-1_A"); err != nil {
+		t.Errorf("Tenant(ok-1_A): %v", err)
+	}
+}
+
+func TestGate(t *testing.T) {
+	g := newGate(2, 1)
+	r1, ok1 := g.acquire()
+	r2, ok2 := g.acquire()
+	if !ok1 || !ok2 {
+		t.Fatal("worker-slot acquires shed")
+	}
+	// Third request: admitted (backlog ticket) but blocked on a slot.
+	third := make(chan func(), 1)
+	go func() {
+		r, ok := g.acquire()
+		if !ok {
+			t.Error("backlog acquire shed")
+			return
+		}
+		third <- r
+	}()
+	// Wait for the third request to hold its ticket.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(g.tickets) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("backlog request never took its ticket")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Fourth request: past workers+backlog, shed at the door.
+	if _, ok := g.acquire(); ok {
+		t.Fatal("4th acquire admitted past workers+backlog")
+	}
+	if g.Shed() != 1 {
+		t.Errorf("shed = %d, want 1", g.Shed())
+	}
+	r1() // frees a slot: the backlogged request proceeds
+	select {
+	case r := <-third:
+		r()
+	case <-time.After(5 * time.Second):
+		t.Fatal("backlogged request never got the freed slot")
+	}
+	r2()
+	if len(g.tickets) != 0 || len(g.slots) != 0 {
+		t.Errorf("gate not drained: %d tickets, %d slots", len(g.tickets), len(g.slots))
+	}
+}
+
+func TestHandlerSheds429(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.Backlog = -1 // no backlog: the second concurrent request sheds
+	cfg.SlowExec = 300 * time.Millisecond
+	s := New(cfg)
+	defer s.Close()
+	// Pre-build the column so the slow request's hold window is the
+	// SlowExec sleep, not data generation.
+	if _, err := s.Tenant(""); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func() (*http.Response, error) {
+		return http.Post(ts.URL+"/sql", "text/plain",
+			strings.NewReader("SELECT COUNT(*) FROM P WHERE v BETWEEN 1 AND 2"))
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := post()
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("first request: status %d", resp.StatusCode)
+			}
+		}
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // first request is inside SlowExec
+	resp, err := post()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandlerErrors(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Parse error: 400 with the error offset.
+	resp, err := http.Post(ts.URL+"/sql", "text/plain", strings.NewReader("SELECT v FROM"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Offset == nil {
+		t.Fatalf("400 body has no offset: %+v", body)
+	}
+	if *body.Offset != len("SELECT v FROM") {
+		t.Errorf("offset = %d, want %d", *body.Offset, len("SELECT v FROM"))
+	}
+
+	// GET /sql: 405.
+	resp2, err := http.Get(ts.URL + "/sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /sql status = %d, want 405", resp2.StatusCode)
+	}
+
+	// Malformed tenant name: the client's mistake, 400 not 500.
+	resp3, err := http.Post(ts.URL+"/sql?tenant=..%2Fetc", "text/plain",
+		strings.NewReader("SELECT COUNT(*) FROM P WHERE v BETWEEN 1 AND 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad tenant status = %d, want 400", resp3.StatusCode)
+	}
+}
+
+func TestHandlerWriteAndFlush(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	before, err := s.Exec("", "SELECT COUNT(*) FROM P WHERE v BETWEEN 0 AND 9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/write?op=insert&v=123", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/write status = %d", resp.StatusCode)
+	}
+	after, err := s.Exec("", "SELECT COUNT(*) FROM P WHERE v BETWEEN 0 AND 9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Count != before.Count+1 {
+		t.Errorf("count after insert = %d, want %d", after.Count, before.Count+1)
+	}
+
+	resp2, err := http.Post(ts.URL+"/plans/flush", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flushed struct {
+		Flushed bool  `json:"flushed"`
+		Epoch   int64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&flushed); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if !flushed.Flushed || flushed.Epoch == 0 {
+		t.Errorf("flush response = %+v", flushed)
+	}
+	r, err := s.Exec("", "SELECT COUNT(*) FROM P WHERE v BETWEEN 0 AND 9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cached {
+		t.Error("cached after /plans/flush")
+	}
+}
+
+// TestConcurrentTenantCreation: many goroutines racing on the same
+// fresh tenant must all see the same column.
+func TestConcurrentTenantCreation(t *testing.T) {
+	cfg := testConfig()
+	cfg.N = 2000
+	s := New(cfg)
+	defer s.Close()
+	var wg sync.WaitGroup
+	cols := make([]*selforg.Column, 8)
+	for i := range cols {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			col, err := s.Tenant("shared")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cols[i] = col
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(cols); i++ {
+		if cols[i] != cols[0] {
+			t.Fatal("racing Tenant calls built different columns")
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package sql
+
+import (
+	"errors"
+	"testing"
+
+	"selforg/internal/bat"
+	"selforg/internal/mal"
+)
+
+// fuzzSeeds is the shared seed corpus: every surface form plus the
+// malformed shapes the corpus test pins down.
+var fuzzSeeds = []string{
+	"SELECT objid FROM P WHERE ra BETWEEN 205.1 AND 205.12",
+	"select objid, dec from sys.P where ra between -1e3 and .5;",
+	"SELECT COUNT(*) FROM P WHERE ra BETWEEN 0 AND 360",
+	"SELECT SUM(dec) FROM other.T WHERE ra BETWEEN 1E+2 AND 1E+3",
+	`SELECT "select", "a b" FROM "from" WHERE "where" BETWEEN 5. AND 6.`,
+	`SELECT x FROM "a.b" WHERE v BETWEEN -0.5 AND 0.5`,
+	"SELECT x FROM t WHERE v BETWEEN 1.2.3 AND 9",
+	"SELECT 'lit FROM t WHERE v BETWEEN 1 AND 2",
+	"SELECT x FROM t WHERE v BETWEEN 2 AND 1",
+	"SELECT\tx\nFROM\r\nt WHERE v\nBETWEEN 1 AND 2",
+	";", "", "SELECT", "sElEcT x FrOm T wHeRe V bEtWeEn 1 aNd 2",
+}
+
+// FuzzParse asserts parse→String→parse round-trip stability: any input
+// Parse accepts must re-render to a statement that parses to the same
+// query, and any rejection must be a positioned *SyntaxError whose
+// offset lies inside the input.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Fatalf("Parse(%q): error %T is not *SyntaxError: %v", src, err, err)
+			}
+			if se.Offset < 0 || se.Offset > len(src) {
+				t.Fatalf("Parse(%q): offset %d outside [0, %d]", src, se.Offset, len(src))
+			}
+			return
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but re-parse of %q failed: %v", src, rendered, err)
+		}
+		if got := q2.String(); got != rendered {
+			t.Fatalf("round trip unstable:\n  src      %q\n  render   %q\n  rerender %q", src, rendered, got)
+		}
+	})
+}
+
+// FuzzNormalize asserts the plan-cache invariant: when two statements
+// share a fingerprint (here: the original and the fingerprint with
+// fresh constants restored), they compile to MAL plans of identical
+// shape — so a plan cached under the fingerprint is valid for every
+// statement that normalizes to it.
+func FuzzNormalize(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Normalize(src)
+		if err != nil {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Fatalf("Normalize(%q): error %T is not *SyntaxError", src, err)
+			}
+			return
+		}
+		// Normalization is idempotent across bind restoration.
+		restored := RestoreBinds(n.Fingerprint, n.Binds)
+		n2, err := Normalize(restored)
+		if err != nil {
+			t.Fatalf("Normalize(%q) ok but restored %q fails: %v", src, restored, err)
+		}
+		if n2.Fingerprint != n.Fingerprint {
+			t.Fatalf("fingerprint drift:\n  src  %q -> %q\n  rest %q -> %q", src, n.Fingerprint, restored, n2.Fingerprint)
+		}
+		q1, err := Parse(src)
+		if err != nil {
+			return // fingerprints exist for unparseable statements too
+		}
+		// Same fingerprint, different constants: plan shape must match.
+		fresh := make([]float64, len(n.Binds))
+		for i := range fresh {
+			fresh[i] = float64(i) // 0, 1, ... keeps BETWEEN bounds ordered
+		}
+		q2, err := Parse(RestoreBinds(n.Fingerprint, fresh))
+		if err != nil {
+			t.Fatalf("q1 %q parses but re-bound fingerprint %q does not: %v",
+				src, RestoreBinds(n.Fingerprint, fresh), err)
+		}
+		cat := catalogFor(q1)
+		p1, err1 := Generate(q1, cat)
+		p2, err2 := Generate(q2, cat)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("codegen asymmetry for one fingerprint: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if p1.String() != p2.String() {
+			t.Fatalf("plan shape differs for one fingerprint %q:\n--- q1\n%s\n--- q2\n%s",
+				n.Fingerprint, p1.String(), p2.String())
+		}
+	})
+}
+
+// catalogFor registers the table and every column a parsed query
+// references, so Generate can bind whatever identifiers the fuzzer
+// invented.
+func catalogFor(q *Query) *mal.MemCatalog {
+	cols := map[string]*mal.Column{
+		q.PredCol: {Base: bat.Empty(bat.KOid, bat.KDbl)},
+	}
+	for _, p := range q.Projections {
+		cols[p] = &mal.Column{Base: bat.Empty(bat.KOid, bat.KDbl)}
+	}
+	if q.AggrCol != "" {
+		cols[q.AggrCol] = &mal.Column{Base: bat.Empty(bat.KOid, bat.KDbl)}
+	}
+	cat := mal.NewMemCatalog()
+	cat.AddTable(&mal.Table{Schema: q.Schema, Name: q.Table, Cols: cols})
+	return cat
+}

@@ -1,0 +1,155 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeFingerprint(t *testing.T) {
+	cases := []struct {
+		src, fp string
+		binds   []float64
+	}{
+		{"SELECT objid FROM P WHERE ra BETWEEN 205.1 AND 205.12",
+			"SELECT objid FROM P WHERE ra BETWEEN ? AND ?", []float64{205.1, 205.12}},
+		{"select   objid\nfrom P where ra between 1 and 2;",
+			"SELECT objid FROM P WHERE ra BETWEEN ? AND ?", []float64{1, 2}},
+		{`SELECT "objid" FROM P WHERE ra BETWEEN -1e3 AND .5`,
+			"SELECT objid FROM P WHERE ra BETWEEN ? AND ?", []float64{-1000, 0.5}},
+		{"SELECT COUNT(*) FROM sys.P WHERE ra BETWEEN 0 AND 360",
+			"SELECT COUNT ( * ) FROM sys.P WHERE ra BETWEEN ? AND ?", []float64{0, 360}},
+		{"select sum(dec) from P where ra between 2 and 3",
+			"SELECT SUM ( dec ) FROM P WHERE ra BETWEEN ? AND ?", []float64{2, 3}},
+		{`SELECT "select" FROM t WHERE v BETWEEN 1 AND 2`,
+			`SELECT "select" FROM t WHERE v BETWEEN ? AND ?`, []float64{1, 2}},
+		{`SELECT x FROM "a.b" WHERE v BETWEEN 1 AND 2`,
+			`SELECT x FROM "a.b" WHERE v BETWEEN ? AND ?`, []float64{1, 2}},
+	}
+	for _, c := range cases {
+		n, err := Normalize(c.src)
+		if err != nil {
+			t.Fatalf("Normalize(%q) = %v", c.src, err)
+		}
+		if n.Fingerprint != c.fp {
+			t.Errorf("Normalize(%q).Fingerprint = %q, want %q", c.src, n.Fingerprint, c.fp)
+		}
+		if len(n.Binds) != len(c.binds) {
+			t.Fatalf("Normalize(%q).Binds = %v, want %v", c.src, n.Binds, c.binds)
+		}
+		for i := range c.binds {
+			if n.Binds[i] != c.binds[i] {
+				t.Errorf("Normalize(%q).Binds[%d] = %g, want %g", c.src, i, n.Binds[i], c.binds[i])
+			}
+		}
+	}
+}
+
+// TestNormalizeCollapsesQueryShapes: the normalize-then-cache invariant.
+// Same shape, different constants / case / spacing → one fingerprint.
+func TestNormalizeCollapsesQueryShapes(t *testing.T) {
+	variants := []string{
+		"SELECT objid FROM P WHERE ra BETWEEN 205.1 AND 205.12",
+		"select objid from P where ra between 1 and 2",
+		"SELECT\tobjid  FROM P\nWHERE ra BETWEEN -5 AND 1e6;",
+		`SELECT "objid" FROM P WHERE "ra" BETWEEN .1 AND .2`,
+	}
+	first, err := Normalize(variants[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range variants[1:] {
+		n, err := Normalize(v)
+		if err != nil {
+			t.Fatalf("Normalize(%q) = %v", v, err)
+		}
+		if n.Fingerprint != first.Fingerprint {
+			t.Errorf("fingerprint of %q = %q, want %q", v, n.Fingerprint, first.Fingerprint)
+		}
+	}
+}
+
+// TestNormalizeDistinguishes: statements that parse differently must not
+// share a fingerprint.
+func TestNormalizeDistinguishes(t *testing.T) {
+	distinct := []string{
+		"SELECT a FROM t WHERE v BETWEEN 1 AND 2",
+		"SELECT b FROM t WHERE v BETWEEN 1 AND 2",
+		"SELECT a, b FROM t WHERE v BETWEEN 1 AND 2",
+		"SELECT COUNT(*) FROM t WHERE v BETWEEN 1 AND 2",
+		"SELECT SUM(a) FROM t WHERE v BETWEEN 1 AND 2",
+		"SELECT a FROM u WHERE v BETWEEN 1 AND 2",
+		"SELECT a FROM s.t WHERE v BETWEEN 1 AND 2",
+		`SELECT a FROM "s.t" WHERE v BETWEEN 1 AND 2`,
+		"SELECT a FROM t WHERE w BETWEEN 1 AND 2",
+		`SELECT "FROM" FROM t WHERE v BETWEEN 1 AND 2`,
+		"SELECT A FROM t WHERE v BETWEEN 1 AND 2", // identifiers are case-sensitive
+	}
+	seen := map[string]string{}
+	for _, src := range distinct {
+		n, err := Normalize(src)
+		if err != nil {
+			t.Fatalf("Normalize(%q) = %v", src, err)
+		}
+		if prev, dup := seen[n.Fingerprint]; dup {
+			t.Errorf("fingerprint collision: %q and %q both normalize to %q", prev, src, n.Fingerprint)
+		}
+		seen[n.Fingerprint] = src
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	for _, src := range []string{"", "  ", ";", "SELECT 'oops", `SELECT "x`, "SELECT 1.2.3"} {
+		if _, err := Normalize(src); err == nil {
+			t.Errorf("Normalize(%q) accepted", src)
+		}
+	}
+	// Lexical normalization accepts statements the parser rejects — the
+	// cache key exists before the parse runs.
+	n, err := Normalize("SELECT FROM WHERE")
+	if err != nil {
+		t.Fatalf("lex-only normalize failed: %v", err)
+	}
+	if n.Fingerprint != "SELECT FROM WHERE" {
+		t.Errorf("fingerprint = %q", n.Fingerprint)
+	}
+}
+
+// TestNormalizeBindRestoration: substituting the binds back into the
+// fingerprint yields a statement with the same fingerprint and an
+// identical parse (when the original parsed).
+func TestNormalizeBindRestoration(t *testing.T) {
+	srcs := []string{
+		"SELECT objid FROM P WHERE ra BETWEEN 205.1 AND 205.12",
+		"select count(*) from sys.P where ra between -3e2 and 1e6;",
+		`SELECT SUM("dec") FROM "from" WHERE ra BETWEEN .25 AND 9.75`,
+	}
+	for _, src := range srcs {
+		n, err := Normalize(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored := RestoreBinds(n.Fingerprint, n.Binds)
+		n2, err := Normalize(restored)
+		if err != nil {
+			t.Fatalf("restored %q does not normalize: %v", restored, err)
+		}
+		if n2.Fingerprint != n.Fingerprint {
+			t.Errorf("fingerprint drift: %q -> %q", n.Fingerprint, n2.Fingerprint)
+		}
+		q1, err1 := Parse(src)
+		q2, err2 := Parse(restored)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("parse: %v / %v", err1, err2)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("parse drift:\n  %s\n  %s", q1, q2)
+		}
+	}
+}
+
+func TestRestoreBindsExhaustsPlaceholders(t *testing.T) {
+	out := RestoreBinds("A ? B ? C", []float64{1.5})
+	if !strings.Contains(out, "1.5") || strings.Count(out, "?") != 1 {
+		t.Errorf("RestoreBinds = %q", out)
+	}
+}

@@ -12,12 +12,34 @@
 // The generated plan then flows through the tactical optimizer
 // (internal/opt), where the segment pass applies the §3.1 rewriting if
 // the predicate column is segmented.
+//
+// Normalize (normalize.go) additionally produces the canonical
+// constant-lifted fingerprint of a statement, the key of the query
+// tier's plan cache (internal/plancache).
 package sql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
+
+// SyntaxError is a lexing or parsing failure with the byte offset of the
+// offending input. The query service uses Offset to point clients at
+// the error position.
+type SyntaxError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sql: %s at offset %d", e.Msg, e.Offset)
+}
+
+// errAt builds a positioned syntax error.
+func errAt(off int, format string, args ...any) error {
+	return &SyntaxError{Offset: off, Msg: fmt.Sprintf(format, args...)}
+}
 
 // Query is the parsed form of the supported statement class.
 type Query struct {
@@ -42,22 +64,65 @@ func (q *Query) String() string {
 	case "count":
 		sel = "COUNT(*)"
 	case "sum":
-		sel = fmt.Sprintf("SUM(%s)", q.AggrCol)
+		sel = fmt.Sprintf("SUM(%s)", quoteIdent(q.AggrCol))
 	default:
-		sel = strings.Join(q.Projections, ", ")
+		quoted := make([]string, len(q.Projections))
+		for i, p := range q.Projections {
+			quoted[i] = quoteIdent(p)
+		}
+		sel = strings.Join(quoted, ", ")
 	}
 	return fmt.Sprintf("SELECT %s FROM %s WHERE %s BETWEEN %g AND %g",
-		sel, q.Table, q.PredCol, q.Lo, q.Hi)
+		sel, q.tableRef(), quoteIdent(q.PredCol), q.Lo, q.Hi)
+}
+
+// tableRef renders the FROM target so it re-parses to the same
+// (Schema, Table) pair: a non-default schema joins back into the dotted
+// form the parser splits, while a default-schema table containing dots
+// must be quoted or the re-parse would split it.
+func (q *Query) tableRef() string {
+	if q.Schema != "" && q.Schema != "sys" {
+		return quoteIdent(q.Schema + "." + q.Table)
+	}
+	if strings.ContainsRune(q.Table, '.') {
+		return `"` + q.Table + `"`
+	}
+	return quoteIdent(q.Table)
+}
+
+// quoteIdent renders an identifier, double-quoting it when it would not
+// survive a round trip as a plain token (keyword spelling, exotic
+// characters). Plain identifiers render as-is, so String stays readable.
+func quoteIdent(s string) string {
+	if isPlainIdent(s) && !isKeyword(s) {
+		return s
+	}
+	return `"` + s + `"`
+}
+
+// isPlainIdent reports whether s lexes as a single bare identifier.
+func isPlainIdent(s string) bool {
+	if s == "" || !isIdentStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isIdentPart(s[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Parse parses one statement of the supported class. Keywords are
-// case-insensitive; identifiers keep their case.
+// case-insensitive; identifiers keep their case. Double-quoted
+// identifiers escape keyword interpretation ("select" is a column name).
+// Errors are *SyntaxError values carrying the byte offset of the fault.
 func Parse(src string) (*Query, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{toks: toks, eof: len(src)}
 	return p.parseQuery()
 }
 
@@ -73,9 +138,11 @@ func MustParse(src string) *Query {
 // --- lexer ---
 
 type tok struct {
-	kind string // "ident", "num", "str", "punct"
-	s    string
-	f    float64
+	kind   string // "ident", "num", "str", "punct", "" (eof)
+	s      string
+	f      float64
+	off    int  // byte offset of the token's first character
+	quoted bool // ident came double-quoted: never a keyword
 }
 
 func lex(src string) ([]tok, error) {
@@ -87,7 +154,7 @@ func lex(src string) ([]tok, error) {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			i++
 		case c == ',' || c == '(' || c == ')' || c == '*' || c == ';':
-			out = append(out, tok{kind: "punct", s: string(c)})
+			out = append(out, tok{kind: "punct", s: string(c), off: i})
 			i++
 		case c == '\'':
 			j := i + 1
@@ -95,9 +162,22 @@ func lex(src string) ([]tok, error) {
 				j++
 			}
 			if j >= len(src) {
-				return nil, fmt.Errorf("sql: unterminated string literal")
+				return nil, errAt(i, "unterminated string literal")
 			}
-			out = append(out, tok{kind: "str", s: src[i+1 : j]})
+			out = append(out, tok{kind: "str", s: src[i+1 : j], off: i})
+			i = j + 1
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, errAt(i, "unterminated quoted identifier")
+			}
+			if j == i+1 {
+				return nil, errAt(i, "empty quoted identifier")
+			}
+			out = append(out, tok{kind: "ident", s: src[i+1 : j], off: i, quoted: true})
 			i = j + 1
 		case isDigit(c) || c == '-' || c == '.':
 			j := i
@@ -108,21 +188,23 @@ func lex(src string) ([]tok, error) {
 				src[j] == 'E' || ((src[j] == '+' || src[j] == '-') && (src[j-1] == 'e' || src[j-1] == 'E'))) {
 				j++
 			}
-			var f float64
-			if _, err := fmt.Sscanf(src[i:j], "%g", &f); err != nil {
-				return nil, fmt.Errorf("sql: bad number %q", src[i:j])
+			// strconv is strict where Sscanf is lenient: "1.2.3" or "1e"
+			// must be rejected, not silently truncated to a prefix.
+			f, err := strconv.ParseFloat(src[i:j], 64)
+			if err != nil {
+				return nil, errAt(i, "bad number %q", src[i:j])
 			}
-			out = append(out, tok{kind: "num", s: src[i:j], f: f})
+			out = append(out, tok{kind: "num", s: src[i:j], f: f, off: i})
 			i = j
 		case isIdentStart(c):
 			j := i
 			for j < len(src) && isIdentPart(src[j]) {
 				j++
 			}
-			out = append(out, tok{kind: "ident", s: src[i:j]})
+			out = append(out, tok{kind: "ident", s: src[i:j], off: i})
 			i = j
 		default:
-			return nil, fmt.Errorf("sql: unexpected character %q", c)
+			return nil, errAt(i, "unexpected character %q", string(c))
 		}
 	}
 	return out, nil
@@ -139,11 +221,12 @@ func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) || c == '.'
 type parser struct {
 	toks []tok
 	pos  int
+	eof  int // source length: the offset reported at end of input
 }
 
 func (p *parser) peek() tok {
 	if p.pos >= len(p.toks) {
-		return tok{}
+		return tok{off: p.eof}
 	}
 	return p.toks[p.pos]
 }
@@ -154,11 +237,20 @@ func (p *parser) next() tok {
 	return t
 }
 
+// describe renders a token for error messages.
+func describe(t tok) string {
+	if t.kind == "" {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.s)
+}
+
 // keyword consumes an identifier equal (case-insensitively) to kw.
+// Quoted identifiers never match: "from" is a column named from.
 func (p *parser) keyword(kw string) error {
 	t := p.next()
-	if t.kind != "ident" || !strings.EqualFold(t.s, kw) {
-		return fmt.Errorf("sql: expected %s, found %q", strings.ToUpper(kw), t.s)
+	if t.kind != "ident" || t.quoted || !strings.EqualFold(t.s, kw) {
+		return errAt(t.off, "expected %s, found %s", strings.ToUpper(kw), describe(t))
 	}
 	return nil
 }
@@ -166,10 +258,10 @@ func (p *parser) keyword(kw string) error {
 func (p *parser) ident() (string, error) {
 	t := p.next()
 	if t.kind != "ident" {
-		return "", fmt.Errorf("sql: expected identifier, found %q", t.s)
+		return "", errAt(t.off, "expected identifier, found %s", describe(t))
 	}
-	if isKeyword(t.s) {
-		return "", fmt.Errorf("sql: unexpected keyword %q", t.s)
+	if !t.quoted && isKeyword(t.s) {
+		return "", errAt(t.off, "unexpected keyword %q", t.s)
 	}
 	return t.s, nil
 }
@@ -177,7 +269,7 @@ func (p *parser) ident() (string, error) {
 func (p *parser) punct(s string) error {
 	t := p.next()
 	if t.kind != "punct" || t.s != s {
-		return fmt.Errorf("sql: expected %q, found %q", s, t.s)
+		return errAt(t.off, "expected %q, found %s", s, describe(t))
 	}
 	return nil
 }
@@ -185,7 +277,7 @@ func (p *parser) punct(s string) error {
 func (p *parser) number() (float64, error) {
 	t := p.next()
 	if t.kind != "num" {
-		return 0, fmt.Errorf("sql: expected number, found %q", t.s)
+		return 0, errAt(t.off, "expected number, found %s", describe(t))
 	}
 	return t.f, nil
 }
@@ -206,7 +298,7 @@ func (p *parser) parseQuery() (*Query, error) {
 	// Projection list or aggregate.
 	t := p.peek()
 	switch {
-	case t.kind == "ident" && strings.EqualFold(t.s, "count"):
+	case t.kind == "ident" && !t.quoted && strings.EqualFold(t.s, "count"):
 		p.next()
 		if err := p.punct("("); err != nil {
 			return nil, err
@@ -218,7 +310,7 @@ func (p *parser) parseQuery() (*Query, error) {
 			return nil, err
 		}
 		q.Aggregate = "count"
-	case t.kind == "ident" && strings.EqualFold(t.s, "sum"):
+	case t.kind == "ident" && !t.quoted && strings.EqualFold(t.s, "sum"):
 		p.next()
 		if err := p.punct("("); err != nil {
 			return nil, err
@@ -249,12 +341,14 @@ func (p *parser) parseQuery() (*Query, error) {
 	if err := p.keyword("from"); err != nil {
 		return nil, err
 	}
+	tableTok := p.peek()
 	table, err := p.ident()
 	if err != nil {
 		return nil, err
 	}
-	// Optional schema qualification "schema.table".
-	if i := strings.IndexByte(table, '.'); i >= 0 {
+	// Optional schema qualification "schema.table" (plain identifiers
+	// only: a quoted identifier keeps its dots).
+	if i := strings.IndexByte(table, '.'); i >= 0 && !tableTok.quoted {
 		q.Schema, q.Table = table[:i], table[i+1:]
 	} else {
 		q.Table = table
@@ -269,6 +363,7 @@ func (p *parser) parseQuery() (*Query, error) {
 	if err := p.keyword("between"); err != nil {
 		return nil, err
 	}
+	boundsOff := p.peek().off
 	if q.Lo, err = p.number(); err != nil {
 		return nil, err
 	}
@@ -279,14 +374,14 @@ func (p *parser) parseQuery() (*Query, error) {
 		return nil, err
 	}
 	if q.Hi < q.Lo {
-		return nil, fmt.Errorf("sql: BETWEEN bounds inverted (%g > %g)", q.Lo, q.Hi)
+		return nil, errAt(boundsOff, "BETWEEN bounds inverted (%g > %g)", q.Lo, q.Hi)
 	}
 	// Optional trailing semicolon, then end of input.
 	if p.peek().kind == "punct" && p.peek().s == ";" {
 		p.next()
 	}
 	if p.pos != len(p.toks) {
-		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().s)
+		return nil, errAt(p.peek().off, "trailing input at %s", describe(p.peek()))
 	}
 	return q, nil
 }
