@@ -8,7 +8,7 @@ GO ?= go
 # scans, compression fast paths, delta writes, merge-back, sharded
 # writers, the query service tier). Keep this in sync with
 # .github/workflows/ci.yml.
-BENCH_SET  := AblationCompressedScan|AblationCompressedCount|LargeScanSerial|LargeScanParallel4|DeltaInsert|DeltaOverlayScan|DeltaMergeBack|Sharded|SelectRange|CountRange|ScanObsOn|ScanObsOff|SQLColdVsWarmPlan|SoserveThroughput
+BENCH_SET  := AblationCompressedScan|AblationCompressedCount|LargeScanSerial|LargeScanParallel4|DeltaInsert|DeltaOverlayScan|DeltaMergeBack|Sharded|SelectRange|CountRange|ScanObsOn|ScanObsOff|SQLColdVsWarmPlan|SoserveThroughput|WALAppend|GroupCommitThroughput|OverlayScanSortedRuns
 BENCH_PKGS := . ./internal/compress ./internal/server
 BENCH_ARGS := -run '^$$' -bench '$(BENCH_SET)' -benchtime 10x -count 3
 
@@ -27,12 +27,13 @@ lint:
 	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
 	$(GO) vet ./...
 
-# fuzz-smoke runs the SQL front end's fuzz targets briefly (go's -fuzz
-# accepts one target per invocation). New crashers land in
-# internal/sql/testdata/fuzz/ — commit them as regression seeds.
+# fuzz-smoke runs the fuzz targets briefly (go's -fuzz accepts one
+# target per invocation). New crashers land under the package's
+# testdata/fuzz/ — commit them as regression seeds.
 fuzz-smoke:
 	$(GO) test ./internal/sql/ -run '^$$' -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/sql/ -run '^$$' -fuzz FuzzNormalize -fuzztime 30s
+	$(GO) test ./internal/wal/ -run '^$$' -fuzz FuzzWALReplay -fuzztime 30s
 
 # bench-ci runs the smoke benchmarks and emits BENCH_ci.json. The raw
 # stream is staged in a file (not piped) so benchdiff's compile and run

@@ -62,6 +62,9 @@ func main() {
 		drain   = flag.Duration("drain", 0, "background adaptation drain interval (0 = off)")
 		qps     = flag.Int("qps", 0, "built-in workload driver: queries per second (0 = off)")
 		selPerc = flag.Float64("sel", 0.001, "workload driver selectivity (fraction of the domain)")
+		walDir  = flag.String("wal-dir", "", "durability: per-tenant WAL directory (empty = in-memory only)")
+		walSync = flag.Bool("wal-fsync", false, "durability: fsync every commit group (machine-crash safety)")
+		walWin  = flag.Duration("wal-window", 0, "durability: group-commit gather window (0 = opportunistic)")
 	)
 	flag.Parse()
 
@@ -98,6 +101,13 @@ func main() {
 	if *compr {
 		opts.Compression = selforg.CompressionAuto
 	}
+	if *walDir != "" {
+		opts.Durability = selforg.Durability{
+			Dir:         *walDir,
+			Fsync:       *walSync,
+			GroupWindow: *walWin,
+		}
+	}
 
 	srv := server.New(server.Config{
 		Extent:        selforg.Interval{Lo: *lo, Hi: *hi},
@@ -119,6 +129,13 @@ func main() {
 		log.Fatalf("soserve: %v", err)
 	}
 	log.Printf("serving sys.P.%s (%s) over %d values on %s", *column, col.Name(), *n, *addr)
+	if col.Durable() {
+		mode := "no fsync"
+		if *walSync {
+			mode = "fsync"
+		}
+		log.Printf("durability: WAL under %s (%s, group window %v)", *walDir, mode, *walWin)
+	}
 
 	if *qps > 0 {
 		go drive(col, *lo, *hi, *qps, *selPerc, *seed)

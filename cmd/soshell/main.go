@@ -89,6 +89,12 @@ func (sh *shell) exec(line string) error {
   delete V                  remove one occurrence of V
   merge                     force the delta merge-back into the base
   delta                     show the write store's counters
+  wal on DIR [fsync]        enable durability on the next build: group-commit
+                            writes through per-shard WALs under DIR
+  wal off                   disable durability on the next build
+  wal stats                 show the committer's counters (batches, fsyncs...)
+  checkpoint                capture shard contents, truncate the logs
+  recover                   rebuild the column from the logs in place
   pin NAME                  hold a named MVCC view open at the current snapshot
   view NAME LO HI           query a pinned view (stable across later writes/merges)
   unpin NAME                release a pinned view
@@ -338,6 +344,74 @@ func (sh *shell) exec(line string) error {
 		fmt.Fprintf(sh.out, "inserts %d, updates %d, deletes %d (misses %d); pending %d (%d B); merges %d (%d entries); watermark %d\n",
 			ds.Inserts, ds.Updates, ds.Deletes, ds.DeleteMisses,
 			ds.Pending, ds.PendingBytes, ds.Merges, ds.MergedEntries, ds.Watermark)
+		return nil
+	case "wal":
+		if len(args) < 1 {
+			return fmt.Errorf("wal on DIR [fsync] | off | stats")
+		}
+		switch args[0] {
+		case "on":
+			if len(args) < 2 {
+				return fmt.Errorf("wal on DIR [fsync]")
+			}
+			d := selforg.Durability{Dir: args[1]}
+			if len(args) > 2 {
+				if args[2] != "fsync" {
+					return fmt.Errorf("wal on DIR [fsync]")
+				}
+				d.Fsync = true
+			}
+			sh.opts.Durability = d
+			sh.col = nil
+			mode := "no fsync: survives process death, not machine death"
+			if d.Fsync {
+				mode = "fsync per group commit"
+			}
+			fmt.Fprintf(sh.out, "durability on: WAL under %s (%s); takes effect at 'build'\n", d.Dir, mode)
+			return nil
+		case "off":
+			sh.opts.Durability = selforg.Durability{}
+			sh.col = nil
+			fmt.Fprintln(sh.out, "durability off; takes effect at 'build'")
+			return nil
+		case "stats":
+			if sh.col == nil {
+				return fmt.Errorf("no column: run 'build' first")
+			}
+			ws, ok := sh.col.WALStats()
+			if !ok {
+				return fmt.Errorf("durability is not enabled ('wal on DIR', then 'build')")
+			}
+			fanIn := 0.0
+			if ws.Batches > 0 {
+				fanIn = float64(ws.Records) / float64(ws.Batches)
+			}
+			fmt.Fprintf(sh.out, "groups %d (%d records, %.1f per group); appends %d, fsyncs %d, %d B written; checkpoints %d, log %d B on disk; last seq %d, replayed %d\n",
+				ws.Batches, ws.Records, fanIn, ws.Appends, ws.Fsyncs, ws.Bytes,
+				ws.Checkpoints, ws.WALSize, ws.LastSeq, ws.Replayed)
+			return nil
+		default:
+			return fmt.Errorf("wal on DIR [fsync] | off | stats")
+		}
+	case "checkpoint":
+		if sh.col == nil {
+			return fmt.Errorf("no column: run 'build' first")
+		}
+		if err := sh.col.Checkpoint(); err != nil {
+			return err
+		}
+		ws, _ := sh.col.WALStats()
+		fmt.Fprintf(sh.out, "checkpointed at seq %d; logs truncated (%d B on disk)\n", ws.LastSeq, ws.WALSize)
+		return nil
+	case "recover":
+		if sh.col == nil {
+			return fmt.Errorf("no column: run 'build' first")
+		}
+		if err := sh.col.Recover(); err != nil {
+			return err
+		}
+		ws, _ := sh.col.WALStats()
+		fmt.Fprintf(sh.out, "recovered: replayed %d batches on top of the last checkpoint\n", ws.Replayed)
 		return nil
 	case "pin":
 		// A pinned view demonstrates the snapshot guarantee interactively:

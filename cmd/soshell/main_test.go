@@ -181,6 +181,61 @@ func TestShellPinnedViewSurvivesMerge(t *testing.T) {
 	}
 }
 
+func TestShellDurableSession(t *testing.T) {
+	dir := t.TempDir()
+	sh, out := newTestShell()
+	run(t, sh,
+		"gen 1000 0 9999 3",
+		"model apm 512 2048",
+		"wal on "+dir,
+		"build",
+		"insert 42",
+		"insert 43",
+		"delete 43",
+		"wal stats",
+		"checkpoint",
+		"insert 44",
+		"recover",
+		"wal stats",
+		"count 0 9999",
+	)
+	text := out.String()
+	for _, want := range []string{
+		"durability on: WAL under " + dir,
+		"groups 3 (3 records",
+		"checkpointed at seq",
+		"logs truncated (0 B on disk)",
+		"recovered: replayed 1 batches",
+		"1002 rows", // 1000 base + 42 + 44; 43 cancelled
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("durable session output missing %q:\n%s", want, text)
+		}
+	}
+	// The recovered column keeps serving writes.
+	run(t, sh, "insert 45")
+	if n, _ := sh.col.Count(0, 9999); n != 1003 {
+		t.Errorf("post-recover count = %d, want 1003", n)
+	}
+
+	// wal off takes effect at the next build: an in-memory column again.
+	run(t, sh, "wal off", "build")
+	if err := sh.exec("wal stats"); err == nil {
+		t.Error("wal stats on in-memory column accepted")
+	}
+	if err := sh.exec("checkpoint"); err == nil {
+		t.Error("checkpoint on in-memory column accepted")
+	}
+	if err := sh.exec("recover"); err == nil {
+		t.Error("recover on in-memory column accepted")
+	}
+	for _, c := range []string{"wal", "wal on", "wal bogus", "wal on d extra"} {
+		if err := sh.exec(c); err == nil {
+			t.Errorf("%q: expected error", c)
+		}
+	}
+}
+
 func TestShellObservability(t *testing.T) {
 	// metrics/trace/events read the process-wide default observer the
 	// shell's columns attach to.

@@ -1,0 +1,305 @@
+package selforg
+
+// Public durability surface. The machinery lives in internal/wal (CRC-
+// framed per-shard logs, atomic checkpoint files) and internal/durable
+// (the group-commit committer); this file adapts them to the column:
+//
+//   - Options.Durability selects the log directory, fsync policy and
+//     group-commit window. The zero value keeps the purely in-memory
+//     column — the pre-durability write path, byte for byte.
+//   - With durability on, Insert/Delete/Update submit to the committer:
+//     concurrent writers ride one WAL append, one fsync, one MVCC
+//     version and one snapshot publication per shard per group, and are
+//     acknowledged only once the group is logged and applied.
+//   - New over a non-empty directory recovers: each shard rebuilds from
+//     its last checkpoint (or the initial load) and replays its log;
+//     Column.Recover does the same in place. Checkpoints piggy-back on
+//     delta merge-back and truncate the logs; Column.Checkpoint forces
+//     one.
+//
+// Bulk loads bypass the WAL (they are not point writes); call
+// Checkpoint after a BulkLoad to make it durable.
+
+import (
+	"fmt"
+	"time"
+
+	"selforg/internal/core"
+	"selforg/internal/delta"
+	"selforg/internal/domain"
+	"selforg/internal/durable"
+	"selforg/internal/shard"
+)
+
+// Durability configures the write-ahead-log subsystem. Leaving Dir
+// empty (the default) disables it entirely.
+type Durability struct {
+	// Dir is the log directory: per-shard WALs (shard-NNNN.wal) and
+	// checkpoints (shard-NNNN.ckpt). Reopening a column over a
+	// non-empty directory recovers its committed writes; the caller
+	// must pass the same initial values and shard count as the
+	// original build (shards without a checkpoint rebuild from them).
+	Dir string
+	// Fsync syncs every group commit to stable storage before any
+	// writer in it is acknowledged. Off (the default), acknowledged
+	// writes still survive process death — SIGKILL included, the
+	// appends reached the kernel first — but not machine death.
+	Fsync bool
+	// GroupWindow is how long the committer holds a batch open for more
+	// writers after the first arrives. Zero (the default) batches
+	// opportunistically: whatever is queued when the committer turns
+	// around joins the group, nobody waits.
+	GroupWindow time.Duration
+	// MaxBatch caps writes per committed group (default 1024). 1
+	// degenerates to one log append, one version and one snapshot
+	// publication per write — the pre-group-commit write amplification,
+	// kept as a benchmark baseline.
+	MaxBatch int
+	// Disable turns durability off even with Dir set — the equivalence
+	// escape hatch: a disabled column behaves byte-identically to one
+	// built without the Durability option at all.
+	Disable bool
+}
+
+// durRouter maps ops onto WAL shards using the facade's partitioning
+// knowledge: the same ranges shard.New builds, so an op's log shard is
+// the shard that will apply it.
+type durRouter struct {
+	extent domain.Range
+	ranges []domain.Range
+}
+
+func newDurRouter(extent domain.Range, shards int) durRouter {
+	r := durRouter{extent: extent}
+	if shards > 1 {
+		r.ranges = shard.Partition(extent, shards)
+	} else {
+		r.ranges = []domain.Range{extent}
+	}
+	return r
+}
+
+func (r durRouter) Shards() int { return len(r.ranges) }
+
+// owner returns the shard owning v; out-of-extent values go to shard 0,
+// whose replay reproduces the refusal deterministically.
+func (r durRouter) owner(v domain.Value) int {
+	if r.extent.Contains(v) {
+		for i, rng := range r.ranges {
+			if rng.Contains(v) {
+				return i
+			}
+		}
+	}
+	return 0
+}
+
+func (r durRouter) ShardOf(op delta.Op) int { return r.owner(op.V) }
+
+func (r durRouter) CrossShard(op delta.Op) bool {
+	return op.Kind == delta.OpUpdate &&
+		r.extent.Contains(op.V) && r.extent.Contains(op.New) &&
+		r.owner(op.V) != r.owner(op.New)
+}
+
+// durTarget is the committer's apply side: committed batches go through
+// the strategy's batch write path and their costs land in Totals.
+type durTarget struct{ c *Column }
+
+func (t *durTarget) ApplyOps(ops []delta.Op) ([]bool, error) {
+	res, qs, err := t.c.strat.ApplyOps(ops)
+	if err != nil {
+		return nil, err
+	}
+	t.c.acct.add(statsFrom(qs))
+	return res, nil
+}
+
+func (t *durTarget) MergeCount() int64 { return t.c.strat.DeltaStats().Merges }
+
+func (t *durTarget) CaptureShard(i int) []domain.Value {
+	if sc, ok := t.c.strat.(*shard.Column); ok {
+		return pinSelect(sc.Shard(i), sc.ShardRange(i))
+	}
+	return pinSelect(t.c.strat, t.c.extent)
+}
+
+// pinSelect captures a shard's full logical content (base plus visible
+// delta) through a pinned MVCC view — no adaptation, no stats.
+func pinSelect(s core.DeltaStrategy, rng domain.Range) []domain.Value {
+	switch t := s.(type) {
+	case *core.Segmenter:
+		return t.Pin().Select(rng)
+	case *core.Replicator:
+		return t.Pin().Select(rng)
+	}
+	return nil
+}
+
+// newDurable is New's durable back half: open the logs, rebuild the
+// strategy over checkpoint-or-initial content, replay the recovered
+// batches, then start the commit loop.
+func newDurable(rng domain.Range, values []domain.Value, o Options) (*Column, error) {
+	col := &Column{extent: rng, opts: o}
+	// Retained so Recover (and a reopened New) can rebuild shards that
+	// have no checkpoint yet from the original load.
+	col.initVals = append([]domain.Value(nil), values...)
+	dur, rec, err := durable.Open(durCfg(o), newDurRouter(rng, o.Shards))
+	if err != nil {
+		return nil, fmt.Errorf("selforg: durability: %w", err)
+	}
+	strat, err := buildStrategy(o, rng, values, rec)
+	if err != nil {
+		dur.Close()
+		return nil, err
+	}
+	col.strat = strat
+	col.dur = dur
+	col.observe()
+	if err := col.replay(rec); err != nil {
+		dur.Close()
+		return nil, err
+	}
+	dur.Start(&durTarget{col})
+	return col, nil
+}
+
+func durCfg(o Options) durable.Config {
+	return durable.Config{
+		Dir:         o.Durability.Dir,
+		Fsync:       o.Durability.Fsync,
+		GroupWindow: o.Durability.GroupWindow,
+		MaxBatch:    o.Durability.MaxBatch,
+	}
+}
+
+// replay drives the recovered batches through the strategy in commit
+// order. The strategy already reflects the checkpoints; after replay it
+// reflects every committed write.
+func (c *Column) replay(rec *durable.Recovered) error {
+	for _, b := range rec.Batches {
+		_, qs, err := c.strat.ApplyOps(b.Ops)
+		if err != nil {
+			return fmt.Errorf("selforg: recovery replay seq %d: %w", b.Seq, err)
+		}
+		c.acct.add(statsFrom(qs))
+	}
+	c.dur.CountReplayed(len(rec.Batches))
+	return nil
+}
+
+// durInsert, durDelete and durUpdate are the durable write paths:
+// submit to the committer, block until the group commit is logged and
+// applied. Per-call Stats are zero — the batch's costs are accounted to
+// Totals by the commit, not attributed to individual writers.
+func (c *Column) durInsert(v int64) (Stats, error) {
+	ok, err := c.dur.Submit(delta.Op{Kind: delta.OpInsert, V: v})
+	if err != nil {
+		return Stats{}, fmt.Errorf("selforg: %w", err)
+	}
+	if !ok {
+		return Stats{}, fmt.Errorf("selforg: insert %d outside extent %v", v, c.extent)
+	}
+	return Stats{}, nil
+}
+
+func (c *Column) durDelete(v int64) (bool, Stats) {
+	ok, err := c.dur.Submit(delta.Op{Kind: delta.OpDelete, V: v})
+	return err == nil && ok, Stats{}
+}
+
+func (c *Column) durUpdate(old, new int64) (bool, Stats) {
+	ok, err := c.dur.Submit(delta.Op{Kind: delta.OpUpdate, V: old, New: new})
+	return err == nil && ok, Stats{}
+}
+
+// Checkpoint forces a full durability checkpoint: every shard's logical
+// content is captured and atomically written, and the logs truncate.
+// Checkpoints otherwise piggy-back on delta merge-back. Returns an
+// error when durability is not enabled.
+func (c *Column) Checkpoint() error {
+	if c.dur == nil {
+		return fmt.Errorf("selforg: durability is not enabled")
+	}
+	return c.dur.Checkpoint()
+}
+
+// Recover simulates a crash restart in place: the committer is closed,
+// the strategy stack is rebuilt from the on-disk checkpoints (or the
+// initial load) and the logs are replayed, exactly as New does over an
+// existing directory. Pending writes still queued are failed, not lost
+// — unacknowledged writes carry no durability promise. Recover must not
+// run concurrently with queries or writes on the same column.
+func (c *Column) Recover() error {
+	if c.dur == nil {
+		return fmt.Errorf("selforg: durability is not enabled")
+	}
+	c.dur.Close()
+	for _, stop := range c.stops {
+		stop()
+	}
+	c.stops = nil
+	dur, rec, err := durable.Open(durCfg(c.opts), newDurRouter(c.extent, c.opts.Shards))
+	if err != nil {
+		return fmt.Errorf("selforg: recover: %w", err)
+	}
+	strat, err := buildStrategy(c.opts, c.extent, append([]domain.Value(nil), c.initVals...), rec)
+	if err != nil {
+		dur.Close()
+		return err
+	}
+	c.strat = strat
+	c.dur = dur
+	c.observe()
+	if err := c.replay(rec); err != nil {
+		dur.Close()
+		return err
+	}
+	dur.Start(&durTarget{c})
+	return nil
+}
+
+// WALStats mirrors durable.Stats on the public surface: the committer's
+// lifetime counters.
+type WALStats struct {
+	// Batches counts committed groups, Records the writes inside them —
+	// Records/Batches is the achieved group-commit fan-in.
+	Batches int64
+	Records int64
+	// Appends counts per-shard log appends, Fsyncs the syncs (0 with
+	// Durability.Fsync off), Bytes the WAL bytes written.
+	Appends int64
+	Fsyncs  int64
+	Bytes   int64
+	// Checkpoints counts checkpoints taken (piggy-backed and forced);
+	// WALSize is the current total log bytes on disk.
+	Checkpoints int64
+	WALSize     int64
+	// LastSeq is the last committed group's sequence number; Replayed
+	// counts the batches recovery replayed into this column.
+	LastSeq  uint64
+	Replayed int64
+}
+
+// WALStats returns the durability counters; ok is false (and the stats
+// zero) when durability is not enabled.
+func (c *Column) WALStats() (WALStats, bool) {
+	if c.dur == nil {
+		return WALStats{}, false
+	}
+	st := c.dur.Stats()
+	return WALStats{
+		Batches:     st.Batches,
+		Records:     st.Records,
+		Appends:     st.Appends,
+		Fsyncs:      st.Fsyncs,
+		Bytes:       st.Bytes,
+		Checkpoints: st.Checkpoints,
+		WALSize:     st.WALSize,
+		LastSeq:     st.LastSeq,
+		Replayed:    st.Replayed,
+	}, true
+}
+
+// Durable reports whether the column runs with durability enabled.
+func (c *Column) Durable() bool { return c.dur != nil }

@@ -1,0 +1,314 @@
+package selforg_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"selforg"
+)
+
+// seedVals builds a deterministic initial load of n values in [lo, hi].
+func seedVals(seed int64, n int, lo, hi int64) []int64 {
+	rnd := rand.New(rand.NewSource(seed))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = lo + rnd.Int63n(hi-lo+1)
+	}
+	return vals
+}
+
+// TestDurabilityDisabledEquivalence: with Durability.Disable set the
+// column must behave byte-identically to one built without the option —
+// same results, same stats, same layout — and must touch the directory
+// not at all.
+func TestDurabilityDisabledEquivalence(t *testing.T) {
+	const lo, hi = 0, 9_999
+	dir := t.TempDir()
+	base := selforg.Options{Model: selforg.APM, Shards: 2}
+	durOff := base
+	durOff.Durability = selforg.Durability{Dir: dir, Fsync: true, Disable: true}
+
+	plain, err := selforg.New(selforg.Interval{Lo: lo, Hi: hi}, seedVals(7, 4_000, lo, hi), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disabled, err := selforg.New(selforg.Interval{Lo: lo, Hi: hi}, seedVals(7, 4_000, lo, hi), durOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disabled.Durable() {
+		t.Fatal("Disable did not disable durability")
+	}
+	if _, ok := disabled.WALStats(); ok {
+		t.Fatal("disabled column reports WAL stats")
+	}
+
+	rnd := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		switch rnd.Intn(4) {
+		case 0:
+			v := rnd.Int63n(hi + 1)
+			if _, err := plain.Insert(v); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := disabled.Insert(v); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			v := rnd.Int63n(hi + 1)
+			okP, _ := plain.Delete(v)
+			okD, _ := disabled.Delete(v)
+			if okP != okD {
+				t.Fatalf("delete %d diverged: %v vs %v", v, okP, okD)
+			}
+		default:
+			a, b := rnd.Int63n(hi+1), rnd.Int63n(hi+1)
+			if a > b {
+				a, b = b, a
+			}
+			rp, sp := plain.Select(a, b)
+			rd, sd := disabled.Select(a, b)
+			if !intsEq(sortInts(rp), sortInts(rd)) {
+				t.Fatalf("select [%d,%d] diverged", a, b)
+			}
+			if sp != sd {
+				t.Fatalf("select stats diverged: %+v vs %+v", sp, sd)
+			}
+		}
+	}
+	if plain.Totals() != disabled.Totals() {
+		t.Fatalf("totals diverged:\n%+v\n%+v", plain.Totals(), disabled.Totals())
+	}
+	if plain.DeltaStats() != disabled.DeltaStats() {
+		t.Fatalf("delta stats diverged:\n%+v\n%+v", plain.DeltaStats(), disabled.DeltaStats())
+	}
+	if plain.Layout() != disabled.Layout() {
+		t.Fatal("layouts diverged")
+	}
+	if ents, err := os.ReadDir(dir); err != nil || len(ents) != 0 {
+		t.Fatalf("disabled durability touched its directory: %v %v", ents, err)
+	}
+}
+
+// durableWorkload applies a deterministic mixed write stream to col and
+// the in-memory reference ref: inserts, deletes (some missing),
+// updates (cross-shard ones included when sharded) and a few queries to
+// drive adaptation. Acceptance must agree op by op.
+func durableWorkload(t *testing.T, seed int64, lo, hi int64, col, ref *selforg.Column) {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(seed))
+	for i := 0; i < 250; i++ {
+		switch rnd.Intn(5) {
+		case 0, 1:
+			v := lo + rnd.Int63n(hi-lo+1)
+			if _, err := col.Insert(v); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ref.Insert(v); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			v := lo + rnd.Int63n(2*(hi-lo+1)) // half the probes miss the extent
+			okC, _ := col.Delete(v)
+			okR, _ := ref.Delete(v)
+			if okC != okR {
+				t.Fatalf("op %d: delete %d acceptance diverged: %v vs %v", i, v, okC, okR)
+			}
+		case 3:
+			// Unconstrained old/new: exercises the cross-shard barrier.
+			old := lo + rnd.Int63n(hi-lo+1)
+			new := lo + rnd.Int63n(hi-lo+1)
+			okC, _ := col.Update(old, new)
+			okR, _ := ref.Update(old, new)
+			if okC != okR {
+				t.Fatalf("op %d: update %d->%d acceptance diverged: %v vs %v", i, old, new, okC, okR)
+			}
+		default:
+			a := lo + rnd.Int63n(hi-lo+1)
+			b := a + rnd.Int63n(hi-a+1)
+			rc, _ := col.Select(a, b)
+			rr, _ := ref.Select(a, b)
+			if !intsEq(sortInts(rc), sortInts(rr)) {
+				t.Fatalf("op %d: select [%d,%d] diverged", i, a, b)
+			}
+		}
+	}
+}
+
+// requireSameContent compares the full logical content of two columns.
+func requireSameContent(t *testing.T, lo, hi int64, got, want *selforg.Column) {
+	t.Helper()
+	gv, _ := got.Select(lo, hi)
+	wv, _ := want.Select(lo, hi)
+	if !intsEq(sortInts(gv), sortInts(wv)) {
+		t.Fatalf("content diverged: %d vs %d rows", len(gv), len(wv))
+	}
+	gn, _ := got.Count(lo, hi)
+	wn, _ := want.Count(lo, hi)
+	if gn != wn {
+		t.Fatalf("count diverged: %d vs %d", gn, wn)
+	}
+}
+
+// TestDurableRecoveryMatrix: across strategy × shards, a column closed
+// after a mixed write stream and reopened over the same directory
+// reproduces exactly the content of an uninterrupted in-memory run.
+func TestDurableRecoveryMatrix(t *testing.T) {
+	const lo, hi = 0, 19_999
+	for _, strat := range []selforg.Strategy{selforg.Segmentation, selforg.Replication} {
+		for _, shards := range []int{1, 3} {
+			t.Run(fmt.Sprintf("%v-shards%d", strat, shards), func(t *testing.T) {
+				dir := t.TempDir()
+				opts := selforg.Options{Strategy: strat, Model: selforg.APM, Shards: shards}
+				durOpts := opts
+				durOpts.Durability = selforg.Durability{Dir: dir}
+
+				col, err := selforg.New(selforg.Interval{Lo: lo, Hi: hi}, seedVals(3, 5_000, lo, hi), durOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := selforg.New(selforg.Interval{Lo: lo, Hi: hi}, seedVals(3, 5_000, lo, hi), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				durableWorkload(t, 17, lo, hi, col, ref)
+				requireSameContent(t, lo, hi, col, ref)
+				col.Close()
+
+				// Reopen: same directory, same initial load, same options.
+				re, err := selforg.New(selforg.Interval{Lo: lo, Hi: hi}, seedVals(3, 5_000, lo, hi), durOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer re.Close()
+				requireSameContent(t, lo, hi, re, ref)
+				st, ok := re.WALStats()
+				if !ok {
+					t.Fatal("durable column reports no WAL stats")
+				}
+				// The workload's writes must have come back through the
+				// checkpoint and/or the replayed log.
+				if st.Replayed == 0 && st.LastSeq == 0 {
+					t.Fatalf("nothing recovered: %+v", st)
+				}
+				// The reopened column accepts further writes.
+				if _, err := re.Insert(lo + 1); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := ref.Insert(lo + 1); err != nil {
+					t.Fatal(err)
+				}
+				requireSameContent(t, lo, hi, re, ref)
+			})
+		}
+	}
+}
+
+// TestDurableCheckpointAndRecover: a forced checkpoint truncates the
+// logs; Recover rebuilds in place and replays only the post-checkpoint
+// batches, reproducing the pre-recovery content exactly.
+func TestDurableCheckpointAndRecover(t *testing.T) {
+	const lo, hi = 0, 9_999
+	dir := t.TempDir()
+	opts := selforg.Options{Model: selforg.APM, Shards: 2, DeltaManualMerge: true}
+	opts.Durability = selforg.Durability{Dir: dir}
+	col, err := selforg.New(selforg.Interval{Lo: lo, Hi: hi}, seedVals(5, 2_000, lo, hi), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	for v := int64(0); v < 50; v++ {
+		if _, err := col.Insert(v * 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := col.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := col.WALStats()
+	if st.Checkpoints != 1 || st.WALSize != 0 {
+		t.Fatalf("post-checkpoint stats: %+v", st)
+	}
+	// Post-checkpoint writes land in the truncated logs.
+	for v := int64(0); v < 7; v++ {
+		if _, err := col.Insert(v*100 + 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, _ := col.Select(lo, hi)
+	wantSorted := sortInts(want)
+
+	if err := col.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := col.Select(lo, hi)
+	if !intsEq(sortInts(got), wantSorted) {
+		t.Fatalf("recover changed content: %d vs %d rows", len(got), len(want))
+	}
+	st, _ = col.WALStats()
+	// Only the 7 post-checkpoint singleton batches replay (the 50
+	// pre-checkpoint ones live in the checkpoint now).
+	if st.Replayed == 0 || st.Replayed > 7 {
+		t.Fatalf("replayed %d batches, want 1..7", st.Replayed)
+	}
+	// And the recovered column keeps committing.
+	if _, err := col.Insert(4_242); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := col.Count(4_242, 4_242); n == 0 {
+		t.Fatal("post-recover insert invisible")
+	}
+}
+
+// TestDurableGroupCommitPublications is the write-amplification fix's
+// facade-level assertion: concurrent durable writers share snapshot
+// publications — one per committed group, not one per write.
+func TestDurableGroupCommitPublications(t *testing.T) {
+	const lo, hi = 0, 99_999
+	opts := selforg.Options{Model: selforg.APM, DeltaManualMerge: true}
+	opts.Durability = selforg.Durability{Dir: t.TempDir()}
+	col, err := selforg.New(selforg.Interval{Lo: lo, Hi: hi}, seedVals(9, 1_000, lo, hi), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := col.Insert(int64(w*per + i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	ws, _ := col.WALStats()
+	ds := col.DeltaStats()
+	if ws.Records != writers*per {
+		t.Fatalf("committed %d records, want %d", ws.Records, writers*per)
+	}
+	if ws.Batches >= ws.Records {
+		t.Fatalf("no group commit: %d batches for %d records", ws.Batches, ws.Records)
+	}
+	// One publication and one MVCC version per committed group.
+	if ds.Publications != ws.Batches {
+		t.Fatalf("publications %d != batches %d", ds.Publications, ws.Batches)
+	}
+	if ds.Watermark != ws.Batches {
+		t.Fatalf("watermark %d != batches %d", ds.Watermark, ws.Batches)
+	}
+	if n, _ := col.Count(0, writers*per-1); n < writers*per {
+		t.Fatalf("count %d after %d inserts", n, writers*per)
+	}
+}

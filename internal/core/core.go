@@ -56,9 +56,10 @@ type QueryStats struct {
 	Recodes     int   // segments (re-)encoded by this query
 
 	// DeltaReadBytes is the overlay volume: the pending delta entries a
-	// query scanned on top of its base segments (also counted in
-	// ReadBytes). Merged counts the delta entries a merge-back drained
-	// into the base during this operation.
+	// query actually examined on top of its base segments — the sorted
+	// runs' binary-searched windows plus the unsorted tail (also counted
+	// in ReadBytes). Merged counts the delta entries a merge-back
+	// drained into the base during this operation.
 	DeltaReadBytes int64
 	Merged         int
 
@@ -124,6 +125,11 @@ type DeltaStrategy interface {
 	// Update atomically replaces one occurrence of old with new; every
 	// snapshot sees either the old row or the new one, never both.
 	Update(old, new domain.Value) (bool, QueryStats)
+	// ApplyOps applies a group-committed batch of writes under one
+	// version bump and one snapshot publication — the group-commit
+	// apply unit. Per-op acceptance follows the single-op rules; the
+	// error only reports a merge-back failure.
+	ApplyOps(ops []delta.Op) ([]bool, QueryStats, error)
 	// MergeDeltas force-drains the write store into the base through the
 	// reorganization pipeline, regardless of the merge thresholds.
 	MergeDeltas() (QueryStats, error)

@@ -335,6 +335,102 @@ func sortDesc(xs []int) {
 	}
 }
 
+// batchTarget is the strategy surface the shared batch write path
+// (applyOps) drives: the merge protocol plus the per-strategy extent,
+// element size, base existence check and stats stamping. Both
+// strategies satisfy it with methods they already have.
+type batchTarget interface {
+	deltaMerger
+	writeExtent() domain.Range
+	writeElem() int64
+	baseCount(v domain.Value) int64
+	snapshot(st *QueryStats)
+}
+
+// applyOps is the group-commit apply path shared by both strategies: the
+// whole batch lands in the write store under ONE version bump and ONE
+// snapshot publication (delta.ApplyBatch), then at most one merge-back
+// threshold check runs for the batch. Per-op acceptance follows exactly
+// the single-op rules — an out-of-extent insert is refused, an
+// out-of-extent delete/update is refused and recorded as a miss, and
+// in-extent deletes/updates validate against visible rows in op order.
+// The returned error only reports a merge-back failure; per-op refusals
+// are the false entries.
+func applyOps(t batchTarget, ops []delta.Op) ([]bool, QueryStats, error) {
+	var st QueryStats
+	res := make([]bool, len(ops))
+	if len(ops) == 0 {
+		t.snapshot(&st)
+		return res, st, nil
+	}
+	ext := t.writeExtent()
+	elem := t.writeElem()
+	// Extent screen: rejected ops never reach the store (mirrors the
+	// single-op paths, which refuse before touching it).
+	accepted := make([]delta.Op, 0, len(ops))
+	origin := make([]int, 0, len(ops)) // accepted index -> ops index
+	for i, op := range ops {
+		switch op.Kind {
+		case delta.OpInsert:
+			if !ext.Contains(op.V) {
+				continue
+			}
+		case delta.OpDelete:
+			if !ext.Contains(op.V) {
+				t.deltaStore().RecordMiss()
+				continue
+			}
+		case delta.OpUpdate:
+			if !ext.Contains(op.V) || !ext.Contains(op.New) {
+				t.deltaStore().RecordMiss()
+				continue
+			}
+		default:
+			continue
+		}
+		accepted = append(accepted, op)
+		origin = append(origin, i)
+	}
+	var nIns, nDel, nUpd int
+	if len(accepted) > 0 {
+		out := t.deltaStore().ApplyBatch(accepted, t.baseCount)
+		for j, ok := range out {
+			if !ok {
+				continue
+			}
+			res[origin[j]] = true
+			switch accepted[j].Kind {
+			case delta.OpInsert:
+				st.WriteBytes += elem
+				nIns++
+			case delta.OpDelete:
+				st.WriteBytes += elem
+				nDel++
+			case delta.OpUpdate:
+				st.WriteBytes += 2 * elem
+				nUpd++
+			}
+		}
+	}
+	err := maybeMergeDeltas(t, &st)
+	t.snapshot(&st)
+	if so := t.obsHandle(); so != nil {
+		so.writeBatch(nIns, nDel, nUpd, &st)
+	}
+	return res, st, err
+}
+
+// writeExtent implements batchTarget.
+func (s *Segmenter) writeExtent() domain.Range { return s.eng.Base().Extent() }
+
+// writeElem implements batchTarget.
+func (s *Segmenter) writeElem() int64 { return s.eng.Base().ElemSize() }
+
+// ApplyOps applies a group-committed batch of writes — see applyOps.
+func (s *Segmenter) ApplyOps(ops []delta.Op) ([]bool, QueryStats, error) {
+	return applyOps(s, ops)
+}
+
 // deltaOverThreshold evaluates the merge triggers.
 func deltaOverThreshold(pending, maxBytes, ratioBP, baseBytes int64) bool {
 	if pending == 0 {
@@ -421,6 +517,17 @@ func (r *Replicator) MergeDeltas() (QueryStats, error) {
 		so.volumes(&st)
 	}
 	return st, err
+}
+
+// writeExtent implements batchTarget.
+func (r *Replicator) writeExtent() domain.Range { return r.extent() }
+
+// writeElem implements batchTarget.
+func (r *Replicator) writeElem() int64 { return r.elemSize }
+
+// ApplyOps applies a group-committed batch of writes — see applyOps.
+func (r *Replicator) ApplyOps(ops []delta.Op) ([]bool, QueryStats, error) {
+	return applyOps(r, ops)
 }
 
 // baseCount counts base rows carrying v — the point cover's count on the

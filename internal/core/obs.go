@@ -151,6 +151,25 @@ func (so *strategyObs) write(w *obs.Counter, st *QueryStats) {
 	so.volumes(st)
 }
 
+// writeBatch accounts one applied write batch: the per-op counters
+// advance by the accepted counts, the volume totals once for the whole
+// batch (merge-back cost included).
+func (so *strategyObs) writeBatch(ins, del, upd int, st *QueryStats) {
+	if so == nil {
+		return
+	}
+	if ins > 0 {
+		so.wIns.Add(int64(ins))
+	}
+	if del > 0 {
+		so.wDel.Add(int64(del))
+	}
+	if upd > 0 {
+		so.wUpd.Add(int64(upd))
+	}
+	so.volumes(st)
+}
+
 // volumes adds the per-operation byte/row measures to the totals.
 func (so *strategyObs) volumes(st *QueryStats) {
 	so.readBytes.Add(st.ReadBytes)

@@ -419,7 +419,7 @@ func overlayDelta(dsnap *delta.Snapshot, q domain.Range, wantVals bool, vals []d
 	if dsnap.Len() == 0 {
 		return vals, count
 	}
-	b := dsnap.Bytes()
+	b := dsnap.OverlayBytes(q)
 	st.ReadBytes += b
 	st.DeltaReadBytes += b
 	if wantVals {

@@ -25,22 +25,32 @@
 // in-flight scan: the scan's snapshot is immutable and its watermark
 // filters out everything younger.
 //
+// # Sorted runs (LSM level 0)
+//
+// The pending set is organized as a tiny LSM level 0: recent writes
+// accumulate in an unsorted tail; once the tail reaches a threshold it
+// is sealed into an immutable run sorted by value, and when too many
+// runs pile up they compact into one. Batch writes (ApplyBatch — the
+// group-commit unit) seal directly into one run per batch. Overlay
+// reads binary-search each run's value window instead of scanning every
+// pending entry, so a query touching a narrow range pays for the
+// entries in that range (plus the small tail), not for the whole delta.
+//
 // # Merge-back
 //
-// The store is write-optimized and unordered; reads pay one linear
-// overlay pass over the pending entries. Checkpointing drains the
-// pending entries into the base through the caller-supplied apply
-// function (the single-writer BulkLoad/reorganization pipeline of
-// internal/core), after which the self-organizing Segmenter and
-// Replicator absorb the merged rows and adapt the layout exactly as the
-// paper prescribes for bulk loads. Merge-back is triggered by the core
-// layer's delta-size and delta-to-base-ratio thresholds, so the store
-// stays small relative to the base — the standard LSM/Hyrise-style
-// arrangement of a write store checkpointed into a read-optimized one
-// (see PAPERS.md).
+// Checkpointing drains the pending entries into the base through the
+// caller-supplied apply function (the single-writer
+// BulkLoad/reorganization pipeline of internal/core), after which the
+// self-organizing Segmenter and Replicator absorb the merged rows and
+// adapt the layout exactly as the paper prescribes for bulk loads.
+// Merge-back is triggered by the core layer's delta-size and
+// delta-to-base-ratio thresholds, so the store stays small relative to
+// the base — the standard LSM/Hyrise-style arrangement of a write store
+// checkpointed into a read-optimized one (see PAPERS.md).
 package delta
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -57,6 +67,15 @@ const (
 	KTombstone
 )
 
+const (
+	// tailSealLen is the unsorted-tail length at which the tail is
+	// sealed into a sorted run.
+	tailSealLen = 64
+	// maxRuns caps the level-0 run count; one past it triggers a full
+	// compaction into a single run.
+	maxRuns = 8
+)
+
 // Entry is one version-stamped write. Entries are immutable after
 // publication except for deletedAt, which a later Delete may set on an
 // insert entry (atomically — pinned snapshots read it through the
@@ -65,6 +84,10 @@ type Entry struct {
 	Version int64
 	Kind    Kind
 	Value   domain.Value
+	// ord is the store-wide creation order, used by Merge to drain
+	// entries in exact write order regardless of which run they sorted
+	// into.
+	ord int64
 	// deletedAt is the version of the Delete that cancelled this insert
 	// entry (0 = live). Only meaningful for KInsert.
 	deletedAt atomic.Int64
@@ -74,13 +97,45 @@ type Entry struct {
 // entry, or 0 while it is live.
 func (e *Entry) DeletedAt() int64 { return e.deletedAt.Load() }
 
+// run is one immutable sorted component of level 0: entries ordered by
+// value, with the min/max window cached for skip checks.
+type run struct {
+	ents   []*Entry
+	lo, hi domain.Value
+}
+
+// Op is one record of a batch write — the unit the WAL logs and
+// ApplyBatch applies under a single version.
+type Op struct {
+	Kind OpKind
+	// V is the inserted value (OpInsert), the deleted value (OpDelete),
+	// or the old value (OpUpdate).
+	V domain.Value
+	// New is the replacement value (OpUpdate only).
+	New domain.Value
+}
+
+// OpKind identifies the write operation an Op carries.
+type OpKind uint8
+
+const (
+	// OpInsert inserts V.
+	OpInsert OpKind = iota
+	// OpDelete deletes one occurrence of V.
+	OpDelete
+	// OpUpdate replaces one occurrence of V with New.
+	OpUpdate
+)
+
 // Snapshot is an immutable view of the store, pinned by a query at
 // start: the pending entries published at pin time plus the watermark
 // that filters their visibility. Snapshots survive later writes and
 // merges untouched — a reader holding one keeps a consistent view of
 // the delta regardless of what the store does afterwards.
 type Snapshot struct {
-	entries   []*Entry
+	runs      []*run
+	tail      []*Entry
+	n         int
 	watermark int64
 	elemSize  int64
 	// mergedThrough mirrors the store's merge progress at pin time
@@ -114,16 +169,58 @@ func (s *Snapshot) Len() int {
 	if s == nil {
 		return 0
 	}
-	return len(s.entries)
+	return s.n
 }
 
-// Bytes returns the logical size of the pinned pending entries — the
-// overlay scan volume a query pays on top of its base scan.
+// Bytes returns the logical size of the pinned pending entries.
 func (s *Snapshot) Bytes() int64 {
 	if s == nil {
 		return 0
 	}
-	return int64(len(s.entries)) * s.elemSize
+	return int64(s.n) * s.elemSize
+}
+
+// forRange calls fn for every pinned entry whose value lies in q: each
+// sorted run contributes its binary-searched value window, the unsorted
+// tail is scanned linearly (it is at most tailSealLen entries).
+func (s *Snapshot) forRange(q domain.Range, fn func(*Entry)) {
+	for _, r := range s.runs {
+		if r.hi < q.Lo || r.lo > q.Hi {
+			continue
+		}
+		ents := r.ents
+		i := sort.Search(len(ents), func(i int) bool { return ents[i].Value >= q.Lo })
+		for ; i < len(ents) && ents[i].Value <= q.Hi; i++ {
+			fn(ents[i])
+		}
+	}
+	for _, e := range s.tail {
+		if q.Contains(e.Value) {
+			fn(e)
+		}
+	}
+}
+
+// OverlayBytes returns the logical volume an overlay of query range q
+// actually examines: the binary-searched run windows plus the unsorted
+// tail. This is the per-query delta read cost — at narrow selectivities
+// it is far below Bytes(), which charges the whole pending set.
+func (s *Snapshot) OverlayBytes(q domain.Range) int64 {
+	if s == nil || s.n == 0 {
+		return 0
+	}
+	var m int64
+	for _, r := range s.runs {
+		if r.hi < q.Lo || r.lo > q.Hi {
+			continue
+		}
+		ents := r.ents
+		lo := sort.Search(len(ents), func(i int) bool { return ents[i].Value >= q.Lo })
+		hi := sort.Search(len(ents), func(i int) bool { return ents[i].Value > q.Hi })
+		m += int64(hi - lo)
+	}
+	m += int64(len(s.tail))
+	return m * s.elemSize
 }
 
 // visibleInsert reports whether e is a live insert at this snapshot's
@@ -174,20 +271,20 @@ func (s *Snapshot) Overlay(q domain.Range, base []domain.Value) []domain.Value {
 		return base
 	}
 	var dead map[domain.Value]int
-	for _, e := range s.entries {
-		if s.visibleTombstone(e) && q.Contains(e.Value) {
+	s.forRange(q, func(e *Entry) {
+		if s.visibleTombstone(e) {
 			if dead == nil {
 				dead = make(map[domain.Value]int)
 			}
 			dead[e.Value]++
 		}
-	}
+	})
 	base, _ = RemoveOccurrences(base, dead)
-	for _, e := range s.entries {
-		if s.visibleInsert(e) && q.Contains(e.Value) {
+	s.forRange(q, func(e *Entry) {
+		if s.visibleInsert(e) {
 			base = append(base, e.Value)
 		}
-	}
+	})
 	return base
 }
 
@@ -200,17 +297,14 @@ func (s *Snapshot) CountDelta(q domain.Range) int64 {
 		return 0
 	}
 	var n int64
-	for _, e := range s.entries {
-		if !q.Contains(e.Value) {
-			continue
-		}
+	s.forRange(q, func(e *Entry) {
 		switch {
 		case s.visibleInsert(e):
 			n++
 		case s.visibleTombstone(e):
 			n--
 		}
-	}
+	})
 	return n
 }
 
@@ -224,10 +318,16 @@ type Stats struct {
 	// logical size.
 	Pending      int
 	PendingBytes int64
+	// Runs is the current sorted-run count (the unsorted tail not
+	// included).
+	Runs int
 	// Merges counts completed merge-backs, MergedEntries the entries
 	// they drained (cancelled insert/delete pairs included).
 	Merges        int64
 	MergedEntries int64
+	// Publications counts snapshot publications since the store was
+	// built — per-write without group commit, per-batch with it.
+	Publications int64
 	// Watermark is the current version high-water mark.
 	Watermark int64
 }
@@ -240,10 +340,16 @@ type Store struct {
 	mu       sync.Mutex
 	elemSize int64
 	version  int64
-	// entries holds the pending (unmerged) writes in version order. The
-	// slice is append-only under mu; published snapshots reference
-	// prefixes of it (or of earlier backing arrays).
-	entries []*Entry
+	ord      int64 // entry creation counter, drives Merge drain order
+	// runs holds the sealed, value-sorted level-0 components; tail the
+	// unsorted recent writes not yet sealed. Both are copy-on-seal under
+	// mu; published snapshots reference immutable run slices and a
+	// length-capped view of the tail.
+	runs []*run
+	tail []*Entry
+	// count is the total pending entry count across runs and tail
+	// (cancelled insert/delete pairs included, as before).
+	count int
 	// liveIns indexes pending live insert entries by value, so Delete
 	// can cancel a not-yet-merged insert in O(1).
 	liveIns map[domain.Value][]*Entry
@@ -257,6 +363,7 @@ type Store struct {
 
 	inserts, updates, deletes, misses int64
 	merges, mergedEntries             int64
+	pubs                              int64
 }
 
 // NewStore builds an empty write store accounting elemSize bytes per
@@ -282,13 +389,80 @@ func (d *Store) Snapshot() *Snapshot { return d.snap.Load() }
 // publish installs a fresh snapshot of the current pending state
 // (caller holds mu).
 func (d *Store) publish() {
+	d.pubs++
 	d.snap.Store(&Snapshot{
-		entries:       d.entries[:len(d.entries):len(d.entries)],
+		runs:          d.runs[:len(d.runs):len(d.runs)],
+		tail:          d.tail[:len(d.tail):len(d.tail)],
+		n:             d.count,
 		watermark:     d.version,
 		elemSize:      d.elemSize,
 		mergedThrough: d.mergedThrough,
 		mergeEpoch:    d.mergeEpoch.Load(),
 	})
+}
+
+// newEntry mints a pending entry at version ver and counts it (caller
+// holds mu; the caller is responsible for placing it in the tail or a
+// run).
+func (d *Store) newEntry(ver int64, k Kind, v domain.Value) *Entry {
+	d.ord++
+	e := &Entry{Version: ver, Kind: k, Value: v, ord: d.ord}
+	d.count++
+	return e
+}
+
+// newInsert mints a live insert entry and indexes it for cancellation.
+func (d *Store) newInsert(ver int64, v domain.Value) *Entry {
+	e := d.newEntry(ver, KInsert, v)
+	d.liveIns[v] = append(d.liveIns[v], e)
+	return e
+}
+
+// addTail appends one entry to the unsorted tail, sealing it into a
+// sorted run when it reaches the threshold.
+func (d *Store) addTail(e *Entry) {
+	d.tail = append(d.tail, e)
+	if len(d.tail) >= tailSealLen {
+		d.sealTail()
+	}
+}
+
+// sealTail freezes the current tail as a sorted run. The tail slice is
+// copied first: published snapshots hold views of it in arrival order.
+func (d *Store) sealTail() {
+	if len(d.tail) == 0 {
+		return
+	}
+	ents := make([]*Entry, len(d.tail))
+	copy(ents, d.tail)
+	d.tail = nil
+	d.pushRun(ents)
+}
+
+// pushRun sorts ents by value (stably — equal values keep write order)
+// into a new level-0 run, compacting the level when it grows past
+// maxRuns. ents must be owned by the caller.
+func (d *Store) pushRun(ents []*Entry) {
+	sort.SliceStable(ents, func(i, j int) bool { return ents[i].Value < ents[j].Value })
+	d.runs = append(d.runs, &run{ents: ents, lo: ents[0].Value, hi: ents[len(ents)-1].Value})
+	if len(d.runs) > maxRuns {
+		d.compactRuns()
+	}
+}
+
+// compactRuns merges every level-0 run into one. Old runs stay intact
+// for the snapshots that pinned them; the merged run is a fresh slice.
+func (d *Store) compactRuns() {
+	total := 0
+	for _, r := range d.runs {
+		total += len(r.ents)
+	}
+	all := make([]*Entry, 0, total)
+	for _, r := range d.runs {
+		all = append(all, r.ents...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Value < all[j].Value })
+	d.runs = []*run{{ents: all, lo: all[0].Value, hi: all[len(all)-1].Value}}
 }
 
 // Insert records a single-row insert and returns its version. The value
@@ -305,9 +479,7 @@ func (d *Store) Insert(v domain.Value) int64 {
 
 func (d *Store) insertLocked(v domain.Value) int64 {
 	d.version++
-	e := &Entry{Version: d.version, Kind: KInsert, Value: v}
-	d.entries = append(d.entries, e)
-	d.liveIns[v] = append(d.liveIns[v], e)
+	d.addTail(d.newInsert(d.version, v))
 	return d.version
 }
 
@@ -341,9 +513,27 @@ func (d *Store) deleteLocked(v domain.Value, baseCount func(domain.Value) int64)
 		return false
 	}
 	d.version++
-	d.entries = append(d.entries, &Entry{Version: d.version, Kind: KTombstone, Value: v})
 	d.tombs[v]++
+	d.addTail(d.newEntry(d.version, KTombstone, v))
 	return true
+}
+
+// deleteAt applies Delete semantics at a fixed version — the batch path,
+// where every op in a group shares one version. It returns the minted
+// tombstone when the delete hit the base (nil when it cancelled a
+// pending insert in place); the caller places it in the batch run.
+func (d *Store) deleteAt(ver int64, v domain.Value, baseCount func(domain.Value) int64) (bool, *Entry) {
+	if live := d.liveIns[v]; len(live) > 0 {
+		e := live[len(live)-1]
+		d.liveIns[v] = live[:len(live)-1]
+		e.deletedAt.Store(ver)
+		return true, nil
+	}
+	if baseCount(v)-int64(d.tombs[v]) <= 0 {
+		return false, nil
+	}
+	d.tombs[v]++
+	return true, d.newEntry(ver, KTombstone, v)
 }
 
 // Update atomically replaces one occurrence of old with new: both halves
@@ -359,12 +549,67 @@ func (d *Store) Update(old, new domain.Value, baseCount func(domain.Value) int64
 	}
 	// Stamp the insert with the delete's version: deleteLocked bumped it,
 	// so reuse rather than re-bump — one version covers the whole update.
-	e := &Entry{Version: d.version, Kind: KInsert, Value: new}
-	d.entries = append(d.entries, e)
-	d.liveIns[new] = append(d.liveIns[new], e)
+	d.addTail(d.newInsert(d.version, new))
 	d.updates++
 	d.publish()
 	return true
+}
+
+// ApplyBatch applies a group of write operations under ONE version bump
+// and ONE snapshot publication — the group-commit unit. Every op shares
+// the batch version, so readers see the whole group or none of it (a
+// value inserted and deleted within one batch is never visible). Fresh
+// entries seal directly into one sorted run, making the batch itself
+// the level-0 component the WAL logged. The returned slice reports
+// per-op acceptance with exactly Insert/Delete/Update's rules: inserts
+// always succeed, deletes and updates refuse when no visible row
+// carries the value (evaluated in op order within the batch).
+func (d *Store) ApplyBatch(ops []Op, baseCount func(domain.Value) int64) []bool {
+	if len(ops) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.version++
+	ver := d.version
+	res := make([]bool, len(ops))
+	var fresh []*Entry
+	for i, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			fresh = append(fresh, d.newInsert(ver, op.V))
+			d.inserts++
+			res[i] = true
+		case OpDelete:
+			ok, tomb := d.deleteAt(ver, op.V, baseCount)
+			if !ok {
+				d.misses++
+				continue
+			}
+			if tomb != nil {
+				fresh = append(fresh, tomb)
+			}
+			d.deletes++
+			res[i] = true
+		case OpUpdate:
+			ok, tomb := d.deleteAt(ver, op.V, baseCount)
+			if !ok {
+				d.misses++
+				continue
+			}
+			if tomb != nil {
+				fresh = append(fresh, tomb)
+			}
+			fresh = append(fresh, d.newInsert(ver, op.New))
+			d.updates++
+			res[i] = true
+		}
+	}
+	if len(fresh) > 0 {
+		d.pushRun(fresh)
+	}
+	d.publish()
+	return res
 }
 
 // PendingBytes returns the logical size of the unmerged entries — the
@@ -389,9 +634,10 @@ func (d *Store) MergeEpoch() int64 { return d.mergeEpoch.Load() }
 
 // Merge drains every pending entry into the base: live inserts and base
 // tombstones are handed to apply (cancelled insert/delete pairs vanish —
-// they never touched the base). The store's mutex is held across apply,
-// so writes that race the merge-back wait and land in the next delta
-// generation.
+// they never touched the base). Entries drain in exact write order (by
+// creation ord, not run order), so apply sees the same sequence it
+// always has. The store's mutex is held across apply, so writes that
+// race the merge-back wait and land in the next delta generation.
 //
 // apply receives a commit function it MUST call at the point where the
 // drained (empty) store snapshot should be published — while still
@@ -405,11 +651,17 @@ func (d *Store) MergeEpoch() int64 { return d.mergeEpoch.Load() }
 func (d *Store) Merge(apply func(inserts, tombstones []domain.Value, commit func()) error) (int, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if len(d.entries) == 0 {
+	if d.count == 0 {
 		return 0, nil
 	}
+	all := make([]*Entry, 0, d.count)
+	for _, r := range d.runs {
+		all = append(all, r.ents...)
+	}
+	all = append(all, d.tail...)
+	sort.Slice(all, func(i, j int) bool { return all[i].ord < all[j].ord })
 	var ins, del []domain.Value
-	for _, e := range d.entries {
+	for _, e := range all {
 		switch e.Kind {
 		case KInsert:
 			if e.deletedAt.Load() == 0 {
@@ -419,7 +671,7 @@ func (d *Store) Merge(apply func(inserts, tombstones []domain.Value, commit func
 			del = append(del, e.Value)
 		}
 	}
-	n := len(d.entries)
+	n := d.count
 	committed := false
 	commit := func() {
 		if committed {
@@ -429,7 +681,9 @@ func (d *Store) Merge(apply func(inserts, tombstones []domain.Value, commit func
 		d.mergedEntries += int64(n)
 		d.merges++
 		d.mergedThrough = d.version
-		d.entries = nil
+		d.runs = nil
+		d.tail = nil
+		d.count = 0
 		d.liveIns = make(map[domain.Value][]*Entry)
 		d.tombs = make(map[domain.Value]int)
 		// Bump the epoch before publishing so the drained snapshot
@@ -457,10 +711,12 @@ func (d *Store) Stats() Stats {
 		Updates:       d.updates,
 		Deletes:       d.deletes,
 		DeleteMisses:  d.misses,
-		Pending:       len(d.entries),
-		PendingBytes:  int64(len(d.entries)) * d.elemSize,
+		Pending:       d.count,
+		PendingBytes:  int64(d.count) * d.elemSize,
+		Runs:          len(d.runs),
 		Merges:        d.merges,
 		MergedEntries: d.mergedEntries,
+		Publications:  d.pubs,
 		Watermark:     d.version,
 	}
 }

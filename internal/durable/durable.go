@@ -1,0 +1,608 @@
+// Package durable implements the group-commit protocol over the
+// per-shard write-ahead logs of internal/wal: concurrent writers submit
+// single operations, one committer goroutine gathers them into batches,
+// appends each batch's per-shard slices to the shard logs, fsyncs,
+// applies the whole batch to the column under one version bump and one
+// snapshot publication per touched shard, and only then acknowledges
+// every writer in the batch. Recovery replays the logs onto the last
+// checkpoint; checkpoints piggy-back on delta merge-back (when the
+// write store drains into the base, the logs behind it become
+// redundant) and truncate the logs.
+//
+// # Commit protocol
+//
+//  1. Gather: the committer takes one queued request, then
+//     opportunistically drains everything already waiting (and, when a
+//     group window is configured, keeps gathering until it elapses), up
+//     to the batch cap.
+//  2. Log: the batch gets the next commit seq; each shard's slice of
+//     the batch is appended to that shard's log under the seq.
+//  3. Sync: every touched log is fsynced (when Fsync is on; off trades
+//     machine-crash durability for speed — process crashes, including
+//     SIGKILL, still lose nothing because the appends reached the
+//     kernel before anyone was acked).
+//  4. Apply: the whole batch is applied through the column's batch
+//     write path — one version bump, one snapshot publication per
+//     touched shard (the write-amplification fix this subsystem rides
+//     on).
+//  5. Ack: every writer in the batch gets its per-op result. An append
+//     or sync error fails the whole batch WITHOUT applying it — no
+//     write is ever visible unless it is logged.
+//
+// # Cross-shard barrier
+//
+// A cross-shard update (old and new owned by different shards)
+// decomposes into delete+insert on two shard clocks; batching it with
+// other ops would let replay reorder validation against its neighbors.
+// The committer therefore isolates every cross-shard op as a singleton
+// batch (its own seq), which makes per-shard replay of a seq
+// order-free: within one seq, ops of different shards commute.
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selforg/internal/delta"
+	"selforg/internal/domain"
+	"selforg/internal/obs"
+	"selforg/internal/wal"
+)
+
+// Config shapes the committer.
+type Config struct {
+	// Dir holds the per-shard logs (shard-NNNN.wal) and checkpoints
+	// (shard-NNNN.ckpt).
+	Dir string
+	// Fsync syncs every commit to stable storage before acking. Off,
+	// acknowledged writes survive process death (SIGKILL included) but
+	// not machine death.
+	Fsync bool
+	// GroupWindow is how long the committer keeps a batch open waiting
+	// for more writers after the first one arrives. Zero means purely
+	// opportunistic batching: whatever is queued when the committer
+	// turns around joins the batch, nobody waits.
+	GroupWindow time.Duration
+	// MaxBatch caps ops per batch (default 1024).
+	MaxBatch int
+}
+
+// Router maps ops onto shards — the partitioning knowledge the facade
+// owns (extent, shard ranges).
+type Router interface {
+	// Shards returns the shard count (log file fan-out).
+	Shards() int
+	// ShardOf returns the index of the shard whose log should carry op:
+	// the owner of the written value (for updates, of the old value),
+	// shard 0 for out-of-extent ops (whose refusal the shard replays
+	// deterministically).
+	ShardOf(op delta.Op) int
+	// CrossShard reports whether op is a cross-shard update — the
+	// commit barrier.
+	CrossShard(op delta.Op) bool
+}
+
+// Target is the apply side: the column the committer writes through.
+type Target interface {
+	// ApplyOps applies one committed batch, reporting per-op acceptance.
+	// The error reports an apply-side failure (merge-back), not per-op
+	// refusals.
+	ApplyOps(ops []delta.Op) ([]bool, error)
+	// MergeCount returns the number of completed delta merge-backs; the
+	// committer checkpoints when it advances (the drained log prefix
+	// just became redundant).
+	MergeCount() int64
+	// CaptureShard returns shard i's full logical content (base plus
+	// visible delta). Called between batches, so the capture is exactly
+	// the content as of the last committed seq.
+	CaptureShard(i int) []domain.Value
+}
+
+// Recovered is the durable state found on disk at Open time: the
+// per-shard checkpoint contents plus the WAL batches to replay on top,
+// merged into global commit order and filtered to seq strictly above
+// each shard's checkpoint.
+type Recovered struct {
+	// CkptValues[i] is shard i's checkpointed content; HasCkpt[i]
+	// reports whether a checkpoint existed (absent = the shard starts
+	// from the column's initial build).
+	CkptValues [][]domain.Value
+	HasCkpt    []bool
+	// Batches is the replay input: one entry per commit seq, ops
+	// concatenated across shards (shard order — within a seq ops of
+	// different shards commute by the cross-shard barrier).
+	Batches []wal.Batch
+	// LastSeq is the highest seq found (checkpoint or log); the
+	// committer resumes at LastSeq+1.
+	LastSeq uint64
+}
+
+// Empty reports whether no durable state existed — a fresh directory.
+func (r *Recovered) Empty() bool {
+	if r == nil {
+		return true
+	}
+	if len(r.Batches) > 0 {
+		return false
+	}
+	for _, h := range r.HasCkpt {
+		if h {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats is a point-in-time snapshot of the committer's counters.
+type Stats struct {
+	Batches     int64 // committed groups
+	Records     int64 // ops inside them
+	Appends     int64 // per-shard log appends (≥ Batches)
+	Fsyncs      int64
+	Bytes       int64 // WAL bytes written
+	Checkpoints int64
+	LastSeq     uint64
+	WALSize     int64 // current total log bytes on disk
+	Replayed    int64 // batches replayed by recovery
+}
+
+// metrics is the resolved observability handle set (nil-safe, resolved
+// once — the commit hot path never touches the registry).
+type metrics struct {
+	appends, fsyncs, bytes *obs.Counter
+	batchRecords           *obs.Histogram
+	ckpts                  *obs.Counter
+	ckptSeq                *obs.Gauge
+	replayed               *obs.Counter
+}
+
+// Committer owns the shard logs and the commit loop. Construct with
+// Open, then Start once the column is built and recovered.
+type Committer struct {
+	cfg    Config
+	router Router
+	logs   []*wal.Log
+
+	reqs chan *request
+	stop chan struct{}
+	done chan struct{}
+
+	target  Target
+	nextSeq uint64
+	merges  int64 // target.MergeCount at the last checkpoint
+
+	ob atomic.Pointer[metrics]
+
+	// counters (atomics: Stats() reads them from any goroutine)
+	nBatches, nRecords, nAppends, nFsyncs, nBytes, nCkpts, nReplayed atomic.Int64
+	lastSeq                                                          atomic.Uint64
+	walSize                                                          atomic.Int64
+
+	startOnce, closeOnce sync.Once
+}
+
+type request struct {
+	op  delta.Op
+	res chan result
+	// ckpt marks an explicit checkpoint request (op unused).
+	ckpt bool
+}
+
+type result struct {
+	ok  bool
+	err error
+}
+
+func logPath(dir string, i int) string  { return filepath.Join(dir, fmt.Sprintf("shard-%04d.wal", i)) }
+func ckptPath(dir string, i int) string { return filepath.Join(dir, fmt.Sprintf("shard-%04d.ckpt", i)) }
+
+// Open creates Dir if needed, opens every shard's log (truncating torn
+// tails), loads checkpoints, and returns the committer plus the
+// recovered state. The commit loop does NOT run yet — the caller first
+// rebuilds its column from Recovered and replays Recovered.Batches,
+// then calls Start.
+func Open(cfg Config, router Router) (*Committer, *Recovered, error) {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1024
+	}
+	k := router.Shards()
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	rec := &Recovered{
+		CkptValues: make([][]domain.Value, k),
+		HasCkpt:    make([]bool, k),
+	}
+	logs := make([]*wal.Log, k)
+	bySeq := make(map[uint64][][]delta.Op) // seq -> per-shard op slices (shard order)
+	closeAll := func() {
+		for _, l := range logs {
+			if l != nil {
+				l.Close()
+			}
+		}
+	}
+	var size int64
+	for i := 0; i < k; i++ {
+		seq, vals, ok, err := wal.ReadCheckpoint(ckptPath(cfg.Dir, i))
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("durable: shard %d checkpoint: %w", i, err)
+		}
+		if ok {
+			rec.CkptValues[i], rec.HasCkpt[i] = vals, true
+			if seq > rec.LastSeq {
+				rec.LastSeq = seq
+			}
+		}
+		l, batches, err := wal.Open(logPath(cfg.Dir, i))
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("durable: shard %d log: %w", i, err)
+		}
+		logs[i] = l
+		size += l.Size()
+		applied := uint64(0) // duplicate/stale frames are skipped by seq
+		if ok {
+			applied = seq
+		}
+		for _, b := range batches {
+			if b.Seq <= applied {
+				continue
+			}
+			applied = b.Seq
+			if bySeq[b.Seq] == nil {
+				bySeq[b.Seq] = make([][]delta.Op, k)
+			}
+			bySeq[b.Seq][i] = append(bySeq[b.Seq][i], b.Ops...)
+			if b.Seq > rec.LastSeq {
+				rec.LastSeq = b.Seq
+			}
+		}
+	}
+	seqs := make([]uint64, 0, len(bySeq))
+	for s := range bySeq {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, s := range seqs {
+		var ops []delta.Op
+		for i := 0; i < k; i++ {
+			ops = append(ops, bySeq[s][i]...)
+		}
+		rec.Batches = append(rec.Batches, wal.Batch{Seq: s, Ops: ops})
+	}
+	c := &Committer{
+		cfg:     cfg,
+		router:  router,
+		logs:    logs,
+		reqs:    make(chan *request, 4*cfg.MaxBatch),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		nextSeq: rec.LastSeq + 1,
+	}
+	c.lastSeq.Store(rec.LastSeq)
+	c.walSize.Store(size)
+	return c, rec, nil
+}
+
+// Observe resolves the committer's metric handles against reg and
+// registers the WAL size gauge. Call at most once per registry.
+func (c *Committer) Observe(reg *obs.Registry) {
+	if reg == nil {
+		c.ob.Store(nil)
+		return
+	}
+	m := &metrics{
+		appends:      reg.Counter("selforg_wal_appends_total"),
+		fsyncs:       reg.Counter("selforg_wal_fsyncs_total"),
+		bytes:        reg.Counter("selforg_wal_bytes_total"),
+		batchRecords: reg.Histogram("selforg_wal_batch_records"),
+		ckpts:        reg.Counter("selforg_checkpoints_total"),
+		ckptSeq:      reg.Gauge("selforg_checkpoint_seq"),
+		replayed:     reg.Counter("selforg_recovery_replayed_total"),
+	}
+	reg.GaugeFunc("selforg_wal_size_bytes", c.walSize.Load)
+	c.ob.Store(m)
+}
+
+// CountReplayed accounts n replayed recovery batches (the facade calls
+// it after driving Recovered.Batches through the column).
+func (c *Committer) CountReplayed(n int) {
+	c.nReplayed.Add(int64(n))
+	if m := c.ob.Load(); m != nil {
+		m.replayed.Add(int64(n))
+	}
+}
+
+// Start hands the committer its apply target and launches the commit
+// loop. The target must already reflect every recovered batch.
+func (c *Committer) Start(t Target) {
+	c.startOnce.Do(func() {
+		c.target = t
+		c.merges = t.MergeCount()
+		go c.loop()
+	})
+}
+
+// Submit enqueues one write and blocks until its group commit is
+// durable and applied, returning the op's acceptance. It must not be
+// called after Close.
+func (c *Committer) Submit(op delta.Op) (bool, error) {
+	r := &request{op: op, res: make(chan result, 1)}
+	select {
+	case c.reqs <- r:
+	case <-c.stop:
+		return false, fmt.Errorf("durable: committer closed")
+	}
+	select {
+	case out := <-r.res:
+		return out.ok, out.err
+	case <-c.done:
+		// The loop exited without acking (Close raced the submit).
+		select {
+		case out := <-r.res:
+			return out.ok, out.err
+		default:
+			return false, fmt.Errorf("durable: committer closed")
+		}
+	}
+}
+
+// Checkpoint forces a full checkpoint: every shard's content is
+// captured and written, and the logs rotate. Blocks until done.
+func (c *Committer) Checkpoint() error {
+	r := &request{ckpt: true, res: make(chan result, 1)}
+	select {
+	case c.reqs <- r:
+	case <-c.stop:
+		return fmt.Errorf("durable: committer closed")
+	}
+	select {
+	case out := <-r.res:
+		return out.err
+	case <-c.done:
+		select {
+		case out := <-r.res:
+			return out.err
+		default:
+			return fmt.Errorf("durable: committer closed")
+		}
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Committer) Stats() Stats {
+	return Stats{
+		Batches:     c.nBatches.Load(),
+		Records:     c.nRecords.Load(),
+		Appends:     c.nAppends.Load(),
+		Fsyncs:      c.nFsyncs.Load(),
+		Bytes:       c.nBytes.Load(),
+		Checkpoints: c.nCkpts.Load(),
+		LastSeq:     c.lastSeq.Load(),
+		WALSize:     c.walSize.Load(),
+		Replayed:    c.nReplayed.Load(),
+	}
+}
+
+// Close stops the commit loop (failing writers still queued), syncs and
+// closes every log. Safe to call more than once.
+func (c *Committer) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.stop)
+		if c.target != nil {
+			<-c.done // loop drains its current batch, then exits
+		}
+		for _, l := range c.logs {
+			if l == nil {
+				continue
+			}
+			if serr := l.Sync(); serr != nil && err == nil {
+				err = serr
+			}
+			if cerr := l.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	})
+	return err
+}
+
+// loop is the committer goroutine: gather → log → sync → apply → ack.
+func (c *Committer) loop() {
+	defer close(c.done)
+	for {
+		select {
+		case <-c.stop:
+			c.failQueued()
+			return
+		case r := <-c.reqs:
+			if r.ckpt {
+				r.res <- result{err: c.checkpoint()}
+				continue
+			}
+			c.gatherAndCommit(r)
+		}
+	}
+}
+
+// failQueued drains and fails everything still queued at shutdown.
+func (c *Committer) failQueued() {
+	for {
+		select {
+		case r := <-c.reqs:
+			r.res <- result{err: fmt.Errorf("durable: committer closed")}
+		default:
+			return
+		}
+	}
+}
+
+// gatherAndCommit builds one batch starting from first and commits it.
+// Cross-shard ops and checkpoint requests close the batch: the batch
+// commits first, then they run in their own turn.
+func (c *Committer) gatherAndCommit(first *request) {
+	if c.router.CrossShard(first.op) {
+		c.commit([]*request{first})
+		return
+	}
+	batch := []*request{first}
+	var after *request // barrier op to run once the batch committed
+	var yielded bool
+	var timer *time.Timer
+	var window <-chan time.Time
+	if c.cfg.GroupWindow > 0 {
+		timer = time.NewTimer(c.cfg.GroupWindow)
+		window = timer.C
+		defer timer.Stop()
+	}
+gather:
+	for len(batch) < c.cfg.MaxBatch {
+		select {
+		case r := <-c.reqs:
+			if r.ckpt || c.router.CrossShard(r.op) {
+				after = r
+				break gather
+			}
+			batch = append(batch, r)
+		case <-window:
+			break gather
+		default:
+			if window == nil {
+				// Opportunistic: nothing queued. Yield once before
+				// committing — on a single-CPU scheduler the committer
+				// otherwise always outruns the writers and every batch
+				// degenerates to a singleton; one yield lets writers
+				// already runnable enqueue, at no timed wait.
+				if !yielded {
+					yielded = true
+					runtime.Gosched()
+					continue
+				}
+				break gather
+			}
+			// A window is open: block until a writer, the window, or
+			// shutdown ends the gather.
+			select {
+			case r := <-c.reqs:
+				if r.ckpt || c.router.CrossShard(r.op) {
+					after = r
+					break gather
+				}
+				batch = append(batch, r)
+			case <-window:
+				break gather
+			case <-c.stop:
+				break gather
+			}
+		}
+	}
+	c.commit(batch)
+	if after != nil {
+		if after.ckpt {
+			after.res <- result{err: c.checkpoint()}
+		} else {
+			c.commit([]*request{after})
+		}
+	}
+}
+
+// commit runs steps 2–5 of the protocol for one batch.
+func (c *Committer) commit(batch []*request) {
+	seq := c.nextSeq
+	ops := make([]delta.Op, len(batch))
+	perShard := make(map[int][]delta.Op)
+	for i, r := range batch {
+		ops[i] = r.op
+		s := c.router.ShardOf(r.op)
+		perShard[s] = append(perShard[s], r.op)
+	}
+	fail := func(err error) {
+		for _, r := range batch {
+			r.res <- result{err: err}
+		}
+	}
+	var wrote int64
+	for s, sub := range perShard {
+		n, err := c.logs[s].AppendBatch(seq, sub)
+		if err != nil {
+			fail(fmt.Errorf("durable: append shard %d: %w", s, err))
+			return
+		}
+		wrote += n
+		c.nAppends.Add(1)
+	}
+	if c.cfg.Fsync {
+		for s := range perShard {
+			if err := c.logs[s].Sync(); err != nil {
+				fail(fmt.Errorf("durable: fsync shard %d: %w", s, err))
+				return
+			}
+			c.nFsyncs.Add(1)
+		}
+	}
+	c.nextSeq++
+	c.lastSeq.Store(seq)
+	c.nBytes.Add(wrote)
+	c.walSize.Add(wrote)
+	c.nBatches.Add(1)
+	c.nRecords.Add(int64(len(ops)))
+	if m := c.ob.Load(); m != nil {
+		m.appends.Add(int64(len(perShard)))
+		m.bytes.Add(wrote)
+		m.batchRecords.Observe(int64(len(ops)))
+		if c.cfg.Fsync {
+			m.fsyncs.Add(int64(len(perShard)))
+		}
+	}
+	res, err := c.target.ApplyOps(ops)
+	// Checkpoint piggy-back: a merge-back just drained the delta into
+	// the base — the logs up to this seq are redundant, capture and
+	// truncate. Runs before the acks so a writer that observes its ack
+	// also observes the checkpoint its merge produced.
+	if err == nil {
+		if m := c.target.MergeCount(); m != c.merges {
+			if cerr := c.checkpoint(); cerr == nil {
+				c.merges = m
+			}
+		}
+	}
+	for i, r := range batch {
+		ok := false
+		if err == nil && i < len(res) {
+			ok = res[i]
+		}
+		r.res <- result{ok: ok, err: err}
+	}
+}
+
+// checkpoint captures every shard's content as of the last committed
+// seq, writes the checkpoint files, and rotates the logs. Runs inside
+// the commit loop, so no batch is in flight.
+func (c *Committer) checkpoint() error {
+	seq := c.nextSeq - 1
+	for i, l := range c.logs {
+		vals := c.target.CaptureShard(i)
+		if err := wal.WriteCheckpoint(ckptPath(c.cfg.Dir, i), seq, vals); err != nil {
+			return fmt.Errorf("durable: checkpoint shard %d: %w", i, err)
+		}
+		c.walSize.Add(-l.Size())
+		if err := l.Rotate(); err != nil {
+			return fmt.Errorf("durable: rotate shard %d: %w", i, err)
+		}
+	}
+	c.nCkpts.Add(1)
+	if m := c.ob.Load(); m != nil {
+		m.ckpts.Inc()
+		m.ckptSeq.Set(int64(seq))
+	}
+	return nil
+}

@@ -1,0 +1,354 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"selforg/internal/delta"
+	"selforg/internal/domain"
+	"selforg/internal/wal"
+)
+
+// fakeTarget applies ops to an in-memory multiset and records each
+// batch, standing in for the column.
+type fakeTarget struct {
+	mu      sync.Mutex
+	content map[domain.Value]int
+	batches [][]delta.Op
+	merges  int64
+	shards  int
+	width   domain.Value // per-shard domain width for CaptureShard
+}
+
+func newFakeTarget(shards int, width domain.Value) *fakeTarget {
+	return &fakeTarget{content: map[domain.Value]int{}, shards: shards, width: width}
+}
+
+func (f *fakeTarget) ApplyOps(ops []delta.Op) ([]bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.batches = append(f.batches, append([]delta.Op(nil), ops...))
+	res := make([]bool, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case delta.OpInsert:
+			f.content[op.V]++
+			res[i] = true
+		case delta.OpDelete:
+			if f.content[op.V] > 0 {
+				f.content[op.V]--
+				res[i] = true
+			}
+		case delta.OpUpdate:
+			if f.content[op.V] > 0 {
+				f.content[op.V]--
+				f.content[op.New]++
+				res[i] = true
+			}
+		}
+	}
+	return res, nil
+}
+
+func (f *fakeTarget) MergeCount() int64 { f.mu.Lock(); defer f.mu.Unlock(); return f.merges }
+
+func (f *fakeTarget) bumpMerges() { f.mu.Lock(); f.merges++; f.mu.Unlock() }
+
+func (f *fakeTarget) CaptureShard(i int) []domain.Value {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	lo, hi := f.width*domain.Value(i), f.width*domain.Value(i+1)
+	var out []domain.Value
+	for v, n := range f.content {
+		if v >= lo && v < hi {
+			for k := 0; k < n; k++ {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func (f *fakeTarget) snapshot() map[domain.Value]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[domain.Value]int, len(f.content))
+	for v, n := range f.content {
+		out[v] = n
+	}
+	return out
+}
+
+// fakeRouter shards [0, shards*width) by width.
+type fakeRouter struct {
+	shards int
+	width  domain.Value
+}
+
+func (r fakeRouter) Shards() int { return r.shards }
+func (r fakeRouter) ShardOf(op delta.Op) int {
+	i := int(op.V / r.width)
+	if i < 0 || i >= r.shards {
+		return 0
+	}
+	return i
+}
+func (r fakeRouter) CrossShard(op delta.Op) bool {
+	return op.Kind == delta.OpUpdate && r.ShardOf(op) != r.ShardOf(delta.Op{V: op.New})
+}
+
+// TestGroupCommitBatchesConcurrentWriters: many writers submit at once;
+// every ack is correct, the full content lands, and the committer forms
+// real groups (fewer batches than ops).
+func TestGroupCommitBatchesConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	router := fakeRouter{shards: 2, width: 1000}
+	c, rec, err := Open(Config{Dir: dir}, router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Empty() {
+		t.Fatalf("fresh dir reported recovered state: %+v", rec)
+	}
+	target := newFakeTarget(2, 1000)
+	c.Start(target)
+	defer c.Close()
+
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v := domain.Value(w*per + i)
+				ok, err := c.Submit(delta.Op{Kind: delta.OpInsert, V: v})
+				if err != nil || !ok {
+					t.Errorf("insert %d: ok=%v err=%v", v, ok, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	content := target.snapshot()
+	for v := 0; v < writers*per; v++ {
+		if content[domain.Value(v)] != 1 {
+			t.Fatalf("value %d count %d after commit", v, content[domain.Value(v)])
+		}
+	}
+	st := c.Stats()
+	if st.Records != writers*per {
+		t.Fatalf("records %d, want %d", st.Records, writers*per)
+	}
+	if st.Batches >= st.Records {
+		t.Fatalf("no batching: %d batches for %d records", st.Batches, st.Records)
+	}
+	if st.Bytes <= 0 || st.WALSize <= 0 {
+		t.Fatalf("no wal bytes accounted: %+v", st)
+	}
+}
+
+// TestRecoveredReplayMatches: commit a workload, close, reopen — the
+// recovered batches replayed into a fresh target reproduce the content.
+func TestRecoveredReplayMatches(t *testing.T) {
+	dir := t.TempDir()
+	router := fakeRouter{shards: 2, width: 1000}
+	c, _, err := Open(Config{Dir: dir, Fsync: true}, router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := newFakeTarget(2, 1000)
+	c.Start(target)
+	for i := 0; i < 40; i++ {
+		if _, err := c.Submit(delta.Op{Kind: delta.OpInsert, V: domain.Value(i * 50)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, err := c.Submit(delta.Op{Kind: delta.OpUpdate, V: 0, New: 1500}); err != nil || !ok {
+		t.Fatalf("cross-shard update: ok=%v err=%v", ok, err)
+	}
+	want := target.snapshot()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, rec, err := Open(Config{Dir: dir}, router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if rec.Empty() {
+		t.Fatal("no recovered state after workload")
+	}
+	fresh := newFakeTarget(2, 1000)
+	for _, b := range rec.Batches {
+		if _, err := fresh.ApplyOps(b.Ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := fresh.snapshot()
+	for v, n := range want {
+		if n != 0 && got[v] != n {
+			t.Fatalf("replayed content[%d]=%d, want %d", v, got[v], n)
+		}
+	}
+	// The cross-shard update rode in its own seq.
+	last := rec.Batches[len(rec.Batches)-1]
+	if len(last.Ops) != 1 || last.Ops[0].Kind != delta.OpUpdate {
+		t.Fatalf("cross-shard update not a singleton batch: %+v", last)
+	}
+}
+
+// TestCheckpointTruncatesAndSkipsReplay: after a checkpoint the logs
+// are empty, the checkpoint carries the content, and replay resumes
+// from the checkpoint seq (pre-checkpoint batches never reappear).
+func TestCheckpointTruncatesAndSkipsReplay(t *testing.T) {
+	dir := t.TempDir()
+	router := fakeRouter{shards: 2, width: 1000}
+	c, _, err := Open(Config{Dir: dir}, router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := newFakeTarget(2, 1000)
+	c.Start(target)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Submit(delta.Op{Kind: delta.OpInsert, V: domain.Value(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Checkpoints != 1 || st.WALSize != 0 {
+		t.Fatalf("post-checkpoint stats: %+v", st)
+	}
+	// Two more writes land in the (now empty) logs.
+	for i := 10; i < 12; i++ {
+		if _, err := c.Submit(delta.Op{Kind: delta.OpInsert, V: domain.Value(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, rec, err := Open(Config{Dir: dir}, router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if !rec.HasCkpt[0] || !rec.HasCkpt[1] {
+		t.Fatalf("checkpoints missing: %+v", rec.HasCkpt)
+	}
+	if len(rec.CkptValues[0]) != 10 {
+		t.Fatalf("shard 0 checkpoint carries %d values, want 10", len(rec.CkptValues[0]))
+	}
+	if len(rec.Batches) != 2 {
+		t.Fatalf("replay has %d batches, want 2 post-checkpoint ones", len(rec.Batches))
+	}
+	for _, b := range rec.Batches {
+		if b.Ops[0].V < 10 {
+			t.Fatalf("pre-checkpoint batch resurfaced: %+v", b)
+		}
+	}
+}
+
+// TestCheckpointPiggybacksOnMerge: when the target reports a completed
+// merge-back, the very next commit triggers a checkpoint.
+func TestCheckpointPiggybacksOnMerge(t *testing.T) {
+	dir := t.TempDir()
+	router := fakeRouter{shards: 1, width: 1 << 40}
+	c, _, err := Open(Config{Dir: dir}, router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	target := newFakeTarget(1, 1<<40)
+	c.Start(target)
+	if _, err := c.Submit(delta.Op{Kind: delta.OpInsert, V: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Checkpoints != 0 {
+		t.Fatalf("checkpoint before any merge: %+v", st)
+	}
+	target.bumpMerges()
+	if _, err := c.Submit(delta.Op{Kind: delta.OpInsert, V: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Checkpoints != 1 {
+		t.Fatalf("merge did not trigger checkpoint: %+v", st)
+	}
+}
+
+// TestTornTailDiscardedOnOpen: bytes of a torn frame appended to a
+// shard log vanish on reopen; intact batches survive.
+func TestTornTailDiscardedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	router := fakeRouter{shards: 1, width: 1 << 40}
+	c, _, err := Open(Config{Dir: dir}, router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := newFakeTarget(1, 1<<40)
+	c.Start(target)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Submit(delta.Op{Kind: delta.OpInsert, V: domain.Value(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a torn frame at the tail.
+	path := filepath.Join(dir, "shard-0000.wal")
+	torn := wal.AppendFrame(nil, 99, []delta.Op{{Kind: delta.OpInsert, V: 42}})
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)-4]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	c2, rec, err := Open(Config{Dir: dir}, router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	var n int
+	for _, b := range rec.Batches {
+		n += len(b.Ops)
+		for _, op := range b.Ops {
+			if op.V == 42 {
+				t.Fatal("torn frame replayed")
+			}
+		}
+	}
+	if n != 5 {
+		t.Fatalf("replayed %d ops, want 5", n)
+	}
+	if rec.LastSeq >= 99 {
+		t.Fatalf("torn seq leaked into LastSeq %d", rec.LastSeq)
+	}
+}
+
+// TestSubmitAfterCloseFails cleanly rejects instead of hanging.
+func TestSubmitAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	router := fakeRouter{shards: 1, width: 1 << 40}
+	c, _, err := Open(Config{Dir: dir}, router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(newFakeTarget(1, 1<<40))
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(delta.Op{Kind: delta.OpInsert, V: 1}); err == nil {
+		t.Fatal("submit after close succeeded")
+	}
+}

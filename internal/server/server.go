@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -200,6 +201,12 @@ func (s *Server) Tenant(name string) (*selforg.Column, error) {
 	opts := s.cfg.Options
 	if opts.Observability.Observer == nil && !opts.Observability.Disable {
 		opts.Observability.Observer = s.cfg.Observer
+	}
+	if opts.Durability.Dir != "" {
+		// Tenants cannot share one WAL directory: each gets a
+		// subdirectory keyed by its (validated) name, so a rebuilt
+		// server recovers every tenant's committed writes independently.
+		opts.Durability.Dir = filepath.Join(opts.Durability.Dir, name)
 	}
 	vals := sim.GenerateColumn(s.cfg.N,
 		domain.NewRange(s.cfg.Extent.Lo, s.cfg.Extent.Hi), s.tenantSeed(name))

@@ -207,6 +207,55 @@ func TestTenantIsolation(t *testing.T) {
 	}
 }
 
+// TestTenantDurability: with a durability directory configured, each
+// tenant logs into its own subdirectory, and a rebuilt server over the
+// same directory recovers every tenant's committed writes.
+func TestTenantDurability(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.Options.Durability = selforg.Durability{Dir: dir}
+	const q = "SELECT COUNT(*) FROM P WHERE v BETWEEN 0 AND 9999"
+
+	s := New(cfg)
+	for _, tn := range []string{"alpha", "beta"} {
+		col, err := s.Tenant(tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !col.Durable() {
+			t.Fatalf("tenant %q column not durable", tn)
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := col.Insert(7_000); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s.Close()
+
+	s2 := New(cfg)
+	defer s2.Close()
+	for _, tn := range []string{"alpha", "beta"} {
+		res, err := s2.Exec(tn, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != int64(cfg.N)+5 {
+			t.Errorf("tenant %q recovered count = %d, want %d", tn, res.Count, cfg.N+5)
+		}
+	}
+	// Distinct per-tenant directories exist.
+	for _, tn := range []string{"alpha", "beta"} {
+		col, err := s2.Tenant(tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ws, ok := col.WALStats(); !ok || (ws.Replayed == 0 && ws.LastSeq == 0) {
+			t.Errorf("tenant %q recovered nothing: %+v ok=%v", tn, ws, ok)
+		}
+	}
+}
+
 func TestTenantNames(t *testing.T) {
 	s := New(testConfig())
 	defer s.Close()

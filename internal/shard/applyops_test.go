@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"selforg/internal/compress"
+	"selforg/internal/delta"
+	"selforg/internal/domain"
+)
+
+// TestApplyOpsEquivalence: a batch applied through ApplyOps leaves the
+// column with exactly the content that the same ops applied one by one
+// leave on a reference column — across both strategies and shard
+// counts, including cross-shard updates (the live-path split) and
+// out-of-extent ops.
+func TestApplyOpsEquivalence(t *testing.T) {
+	vals := testValues(4000, 11)
+	ops := []delta.Op{
+		{Kind: delta.OpInsert, V: 10},
+		{Kind: delta.OpInsert, V: 70_000},
+		{Kind: delta.OpDelete, V: vals[0]},
+		{Kind: delta.OpDelete, V: 200_000}, // out of extent → miss
+		{Kind: delta.OpUpdate, V: vals[1], New: vals[1] + 1},
+		{Kind: delta.OpUpdate, V: vals[2], New: 90_000}, // likely cross-shard
+		{Kind: delta.OpInsert, V: 55},
+		{Kind: delta.OpDelete, V: 55},
+		{Kind: delta.OpUpdate, V: 123_456_789, New: 5}, // out of extent → miss
+	}
+	for _, strat := range []string{"segm", "repl"} {
+		for _, k := range []int{1, 3} {
+			t.Run(fmt.Sprintf("%s/shards=%d", strat, k), func(t *testing.T) {
+				b := segBuilder(compress.Off)
+				if strat == "repl" {
+					b = replBuilder(compress.Off)
+				}
+				batched, err := New(testDom, vals, k, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				serial, err := New(testDom, vals, k, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, _, err := batched.ApplyOps(ops)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, op := range ops {
+					var ok bool
+					switch op.Kind {
+					case delta.OpInsert:
+						_, ierr := serial.Insert(op.V)
+						ok = ierr == nil
+					case delta.OpDelete:
+						ok, _ = serial.Delete(op.V)
+					case delta.OpUpdate:
+						ok, _ = serial.Update(op.V, op.New)
+					}
+					if res[i] != ok {
+						t.Fatalf("op %d (%+v): batched=%v serial=%v", i, op, res[i], ok)
+					}
+				}
+				got, _ := batched.Select(testDom)
+				want, _ := serial.Select(testDom)
+				gs, ws := sorted(got), sorted(want)
+				if len(gs) != len(ws) {
+					t.Fatalf("content diverged: %d vs %d rows", len(gs), len(ws))
+				}
+				for i := range gs {
+					if gs[i] != ws[i] {
+						t.Fatalf("content diverged at %d: %d vs %d", i, gs[i], ws[i])
+					}
+				}
+				gn, _ := batched.Count(testDom)
+				wn, _ := serial.Count(testDom)
+				if gn != wn {
+					t.Fatalf("count diverged: %d vs %d", gn, wn)
+				}
+			})
+		}
+	}
+}
+
+// TestApplyOpsOnePublicationPerShardBatch pins the write-amplification
+// fix this subsystem exists for: a batch of N same-shard writes causes
+// exactly ONE snapshot publication in that shard's store, not N.
+func TestApplyOpsOnePublicationPerShardBatch(t *testing.T) {
+	vals := testValues(2000, 3)
+	col, err := New(testDom, vals, 2, segBuilder(compress.Off))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All ops land in shard 0 (low half of the domain).
+	var ops []delta.Op
+	for i := 0; i < 32; i++ {
+		ops = append(ops, delta.Op{Kind: delta.OpInsert, V: domain.Value(i)})
+	}
+	before := col.Shard(0).DeltaStats()
+	if _, _, err := col.ApplyOps(ops); err != nil {
+		t.Fatal(err)
+	}
+	after := col.Shard(0).DeltaStats()
+	if got := after.Publications - before.Publications; got != 1 {
+		t.Fatalf("32-op batch published %d snapshots, want 1", got)
+	}
+	if got := after.Watermark - before.Watermark; got != 1 {
+		t.Fatalf("32-op batch bumped version by %d, want 1", got)
+	}
+	if after.Inserts-before.Inserts != 32 {
+		t.Fatalf("inserts accounted %d, want 32", after.Inserts-before.Inserts)
+	}
+}

@@ -489,6 +489,100 @@ func (c *Column) Update(old, new domain.Value) (bool, core.QueryStats) {
 	return true, st
 }
 
+// ApplyOps applies a group-committed batch of writes: ops are
+// partitioned to their owning shards in arrival order and each touched
+// shard applies its sub-batch under ONE version bump and ONE snapshot
+// publication (core's applyOps). Ops owned by different shards commute —
+// they touch disjoint stores and disjoint base ranges — so the per-shard
+// partition preserves every ordering that matters. The one exception is
+// a cross-shard update (old and new in extent, different owners): it
+// cannot share a publication, so the batch is split at it and the
+// update runs through the live Update path (the group committer
+// isolates such ops as singleton batches, making the split a no-op in
+// the durable pipeline). Per-op results follow Insert/Delete/Update's
+// acceptance rules; out-of-extent inserts are refused without an error.
+func (c *Column) ApplyOps(ops []delta.Op) ([]bool, core.QueryStats, error) {
+	var st core.QueryStats
+	res := make([]bool, len(ops))
+	if len(ops) == 0 {
+		c.snapshot(&st, 0, 0)
+		return res, st, nil
+	}
+	byShard := make(map[int][]delta.Op)
+	origin := make(map[int][]int) // shard -> accepted op's index in ops
+	loT, hiT := len(c.shards), 0  // touched shard span for the final snapshot
+	touch := func(i int) {
+		if i < loT {
+			loT = i
+		}
+		if i+1 > hiT {
+			hiT = i + 1
+		}
+	}
+	flush := func() error {
+		for i := 0; i < len(c.shards); i++ {
+			sub := byShard[i]
+			if len(sub) == 0 {
+				continue
+			}
+			out, sst, err := c.shards[i].ApplyOps(sub)
+			st.Add(sst)
+			touch(i)
+			for j, ok := range out {
+				res[origin[i][j]] = ok
+			}
+			if err != nil {
+				return err
+			}
+		}
+		byShard = make(map[int][]delta.Op)
+		origin = make(map[int][]int)
+		return nil
+	}
+	for k, op := range ops {
+		var i int
+		switch op.Kind {
+		case delta.OpInsert:
+			if !c.extent.Contains(op.V) {
+				continue // refused, mirrors Insert's extent error
+			}
+			i = rangeOf(c.ranges, op.V)
+		case delta.OpDelete:
+			i = c.writeTarget(op.V)
+		case delta.OpUpdate:
+			if c.extent.Contains(op.V) && c.extent.Contains(op.New) {
+				oi, nj := rangeOf(c.ranges, op.V), rangeOf(c.ranges, op.New)
+				if oi != nj {
+					// Cross-shard: flush what's queued, run it live.
+					if err := flush(); err != nil {
+						c.snapshot(&st, loT, hiT)
+						return res, st, err
+					}
+					ok, ust := c.Update(op.V, op.New)
+					st.Add(ust)
+					touch(oi)
+					touch(nj)
+					res[k] = ok
+					continue
+				}
+				i = oi
+			} else {
+				i = c.writeTarget(op.V) // shard's extent screen records the miss
+			}
+		default:
+			continue
+		}
+		byShard[i] = append(byShard[i], op)
+		origin[i] = append(origin[i], k)
+	}
+	err := flush()
+	if loT > hiT {
+		loT, hiT = 0, 0
+	}
+	c.snapshot(&st, loT, hiT)
+	return res, st, err
+}
+
 // MergeDeltas implements core.DeltaStrategy: force-drains every shard's
 // write store, shard by shard. Automatic merge-back needs no such sweep —
 // each shard's thresholds trigger independently.
@@ -539,8 +633,10 @@ func (c *Column) DeltaStats() delta.Stats {
 		out.DeleteMisses += ds.DeleteMisses
 		out.Pending += ds.Pending
 		out.PendingBytes += ds.PendingBytes
+		out.Runs += ds.Runs
 		out.Merges += ds.Merges
 		out.MergedEntries += ds.MergedEntries
+		out.Publications += ds.Publications
 		if ds.Watermark > out.Watermark {
 			out.Watermark = ds.Watermark
 		}

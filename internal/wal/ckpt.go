@@ -1,0 +1,102 @@
+package wal
+
+// Checkpoint files. A checkpoint captures one shard's full logical
+// content (every value, multiplicity preserved) plus the last commit
+// seq folded into it. Recovery loads the checkpoint, rebuilds the
+// shard's base from the values, and replays only WAL batches with
+// seq > the checkpoint's — so the crash window between writing a
+// checkpoint and rotating the log can never double-apply a batch.
+//
+//	magic "SOCKPT01" | seq u64 | count u64 | value i64 * count | crc u32
+//
+// The file is written to a temp name, fsynced, then renamed over the
+// target: readers see the old checkpoint or the new one, never a torn
+// mix. The trailing CRC (Castagnoli, over everything before it) guards
+// against a torn rename on filesystems without atomic-rename semantics
+// and against bit rot; a corrupt checkpoint fails recovery loudly
+// rather than resurrecting half a shard.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"selforg/internal/domain"
+)
+
+var ckptMagic = [8]byte{'S', 'O', 'C', 'K', 'P', 'T', '0', '1'}
+
+// WriteCheckpoint atomically writes a checkpoint file at path.
+func WriteCheckpoint(path string, seq uint64, values []domain.Value) error {
+	buf := make([]byte, 0, 24+8*len(values)+4)
+	buf = append(buf, ckptMagic[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(values)))
+	for _, v := range values {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// ReadCheckpoint loads and validates a checkpoint file. A missing file
+// is not an error: ok reports whether a checkpoint existed. A present
+// but corrupt file returns ErrCorrupt — recovery must fail loudly, not
+// silently start empty.
+func ReadCheckpoint(path string) (seq uint64, values []domain.Value, ok bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil, false, nil
+	}
+	if err != nil {
+		return 0, nil, false, err
+	}
+	if len(data) < 28 || [8]byte(data[:8]) != ckptMagic {
+		return 0, nil, false, fmt.Errorf("%w: %s: bad header", ErrCorrupt, path)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return 0, nil, false, fmt.Errorf("%w: %s: crc mismatch", ErrCorrupt, path)
+	}
+	seq = binary.LittleEndian.Uint64(data[8:])
+	count := binary.LittleEndian.Uint64(data[16:])
+	if uint64(len(body)-24) != count*8 {
+		return 0, nil, false, fmt.Errorf("%w: %s: count disagrees with length", ErrCorrupt, path)
+	}
+	values = make([]domain.Value, count)
+	for i := range values {
+		values[i] = domain.Value(binary.LittleEndian.Uint64(data[24+8*i:]))
+	}
+	return seq, values, true, nil
+}

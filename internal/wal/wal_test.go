@@ -1,0 +1,192 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"selforg/internal/delta"
+	"selforg/internal/domain"
+)
+
+func sampleOps() []delta.Op {
+	return []delta.Op{
+		{Kind: delta.OpInsert, V: 42},
+		{Kind: delta.OpDelete, V: -7},
+		{Kind: delta.OpUpdate, V: 1 << 40, New: -(1 << 40)},
+	}
+}
+
+// TestLogRoundTrip: append batches, close, reopen — every batch comes
+// back byte-exact, and the reopened log keeps appending after them.
+func TestLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard-0000.wal")
+	l, got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("fresh log decoded %d batches", len(got))
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if _, err := l.AppendBatch(seq, sampleOps()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(got) != 3 {
+		t.Fatalf("reopened log decoded %d batches, want 3", len(got))
+	}
+	for i, b := range got {
+		if b.Seq != uint64(i+1) || !reflect.DeepEqual(b.Ops, sampleOps()) {
+			t.Fatalf("batch %d mismatch: %+v", i, b)
+		}
+	}
+	if _, err := l2.AppendBatch(4, sampleOps()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err = Open(path) // concurrent second open is fine for reading in tests
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("after reopen+append: %d batches, want 4", len(got))
+	}
+}
+
+// TestTornTailTruncated: a partial final frame — any cut point — is
+// discarded on open, and the file is physically truncated back to the
+// valid prefix so new appends never interleave with garbage.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	full := AppendFrame(nil, 1, sampleOps())
+	full = AppendFrame(full, 2, sampleOps())
+	frame1 := len(AppendFrame(nil, 1, sampleOps()))
+	for cut := frame1 + 1; cut < len(full); cut += 7 {
+		path := filepath.Join(dir, "torn.wal")
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, got, err := Open(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(got) != 1 || got[0].Seq != 1 {
+			t.Fatalf("cut %d: decoded %d batches", cut, len(got))
+		}
+		if l.Size() != int64(frame1) {
+			t.Fatalf("cut %d: size %d, want %d", cut, l.Size(), frame1)
+		}
+		if fi, _ := os.Stat(path); fi.Size() != int64(frame1) {
+			t.Fatalf("cut %d: file not truncated (%d bytes)", cut, fi.Size())
+		}
+		l.Close()
+	}
+}
+
+// TestBitFlipRejected: flipping any single byte of a frame invalidates
+// exactly the frames at or after it.
+func TestBitFlipRejected(t *testing.T) {
+	full := AppendFrame(nil, 7, sampleOps())
+	for i := range full {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x40
+		n := 0
+		valid, err := Decode(mut, func(Batch) error { n++; return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A flipped byte may still yield a structurally valid frame only
+		// if it produced a matching CRC — astronomically unlikely for a
+		// single flip; assert the frame is dropped.
+		if n != 0 || valid != 0 {
+			t.Fatalf("flip at %d: decoded %d batches, valid %d", i, n, valid)
+		}
+	}
+}
+
+// TestRotate empties the log for post-checkpoint reuse.
+func TestRotate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.wal")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.AppendBatch(1, sampleOps()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 0 {
+		t.Fatalf("size after rotate = %d", l.Size())
+	}
+	if _, err := l.AppendBatch(2, sampleOps()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Seq != 2 {
+		t.Fatalf("post-rotate decode: %+v", got)
+	}
+}
+
+// TestCheckpointRoundTrip: write → read is exact; missing file is a
+// clean "no checkpoint"; corruption is loud.
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard-0000.ckpt")
+	vals := []domain.Value{5, -3, 5, 1 << 50}
+	if err := WriteCheckpoint(path, 99, vals); err != nil {
+		t.Fatal(err)
+	}
+	seq, got, ok, err := ReadCheckpoint(path)
+	if err != nil || !ok {
+		t.Fatalf("read: ok=%v err=%v", ok, err)
+	}
+	if seq != 99 || !reflect.DeepEqual(got, vals) {
+		t.Fatalf("round trip: seq=%d vals=%v", seq, got)
+	}
+
+	_, _, ok, err = ReadCheckpoint(filepath.Join(t.TempDir(), "absent.ckpt"))
+	if err != nil || ok {
+		t.Fatalf("absent: ok=%v err=%v", ok, err)
+	}
+
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadCheckpoint(path); err == nil {
+		t.Fatal("corrupt checkpoint read silently")
+	}
+
+	// Empty-content checkpoint (all rows deleted) round-trips too.
+	if err := WriteCheckpoint(path, 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	seq, got, ok, err = ReadCheckpoint(path)
+	if err != nil || !ok || seq != 7 || len(got) != 0 {
+		t.Fatalf("empty checkpoint: seq=%d vals=%v ok=%v err=%v", seq, got, ok, err)
+	}
+}

@@ -168,6 +168,13 @@ func (c *Column) observe() {
 	case *shard.Column:
 		s.SetObserver(ob)
 	}
+	if c.dur != nil {
+		if ob != nil {
+			c.dur.Observe(ob.Registry)
+		} else {
+			c.dur.Observe(nil)
+		}
+	}
 	if ob == nil {
 		return
 	}
@@ -200,12 +207,17 @@ func startDrainers(strat core.DeltaStrategy, interval time.Duration) []func() {
 	return stops
 }
 
-// Close stops the column's background work (the adaptation drainer
-// goroutines started by Observability.BackgroundDrain), draining
-// anything still queued first. Columns without background work need no
-// Close; calling it anyway — or twice — is harmless.
+// Close stops the column's background work: the adaptation drainer
+// goroutines started by Observability.BackgroundDrain (draining
+// anything still queued first) and the durability committer (writers
+// still queued are failed; committed groups are already on disk).
+// Columns without background work need no Close; calling it anyway —
+// or twice — is harmless.
 func (c *Column) Close() {
 	for _, stop := range c.stops {
 		stop()
+	}
+	if c.dur != nil {
+		c.dur.Close()
 	}
 }

@@ -117,6 +117,7 @@ import (
 	"selforg/internal/compress"
 	"selforg/internal/core"
 	"selforg/internal/domain"
+	"selforg/internal/durable"
 	"selforg/internal/model"
 	"selforg/internal/shard"
 )
@@ -301,6 +302,13 @@ type Options struct {
 	// the process-wide DefaultObserver() with tracing off; see the
 	// Observability type in observe.go.
 	Observability Observability
+	// Durability enables the write-ahead-log subsystem (internal/wal +
+	// internal/durable): point writes group-commit through per-shard
+	// logs and survive a crash; reopening a column over the same
+	// directory replays them. The zero value (no Dir) keeps the purely
+	// in-memory column, byte-identical to previous releases; see the
+	// Durability type in durability.go.
+	Durability Durability
 }
 
 // Tracer re-exports core.Tracer: Scan/Materialize/Drop events with segment
@@ -383,6 +391,14 @@ type Column struct {
 	acct totalsAcc
 	// stops terminates the background drainer goroutines (see Close).
 	stops []func()
+
+	// dur is the group-commit committer when Options.Durability is
+	// enabled, nil otherwise — the nil check is the only cost the
+	// in-memory write path pays for the subsystem's existence.
+	dur *durable.Committer
+	// initVals retains the initial load (durable columns only): a shard
+	// without a checkpoint rebuilds from its slice of this on recovery.
+	initVals []domain.Value
 }
 
 // totalsAcc is the column's lifetime Stats accumulator: one atomic per
@@ -478,6 +494,26 @@ func New(extent Interval, values []int64, opts Options) (*Column, error) {
 	if o.Shards < 0 {
 		return nil, fmt.Errorf("selforg: negative shard count %d", o.Shards)
 	}
+	if o.Durability.Dir != "" && !o.Durability.Disable {
+		return newDurable(rng, values, o)
+	}
+	strat, err := buildStrategy(o, rng, values, nil)
+	if err != nil {
+		return nil, err
+	}
+	col := &Column{strat: strat, extent: rng, opts: o}
+	col.observe()
+	return col, nil
+}
+
+// buildStrategy constructs the configured strategy stack over values —
+// the shared back half of New and the durable rebuild paths (newDurable,
+// Column.Recover). o must already be normalized by New's defaulting.
+// With rec non-nil, a shard that has a checkpoint rebuilds from its
+// checkpointed content instead of its slice of the initial load; shards
+// without one (a fresh directory, or a crash that interleaved with a
+// checkpoint) keep the initial values and replay their whole log.
+func buildStrategy(o Options, rng domain.Range, values []domain.Value, rec *durable.Recovered) (core.DeltaStrategy, error) {
 	// modelFor builds one model instance per shard — models are stateful
 	// (GD owns a random stream, AutoAPM tunes its bounds), so shards must
 	// never share one. GD seeds are decorrelated per shard.
@@ -557,9 +593,19 @@ func New(extent Interval, values []int64, opts Options) (*Column, error) {
 		}
 	}
 
+	build := buildOne
+	if rec != nil {
+		build = func(idx int, srng domain.Range, svals []domain.Value) core.DeltaStrategy {
+			if idx < len(rec.HasCkpt) && rec.HasCkpt[idx] {
+				svals = append([]domain.Value(nil), rec.CkptValues[idx]...)
+			}
+			return buildOne(idx, srng, svals)
+		}
+	}
+
 	var strat core.DeltaStrategy
 	if o.Shards > 1 {
-		sc, err := shard.New(rng, values, o.Shards, buildOne)
+		sc, err := shard.New(rng, values, o.Shards, build)
 		if err != nil {
 			return nil, fmt.Errorf("selforg: %w", err)
 		}
@@ -568,12 +614,10 @@ func New(extent Interval, values []int64, opts Options) (*Column, error) {
 	} else {
 		// Single shard: the strategy is used directly — byte-identical to
 		// the pre-sharding column, no routing layer at all.
-		strat = buildOne(0, rng, values)
+		strat = build(0, rng, values)
 	}
 	strat.SetDeltaPolicy(deltaMax, deltaRatio)
-	col := &Column{strat: strat, extent: rng, opts: o}
-	col.observe()
-	return col, nil
+	return strat, nil
 }
 
 // Shards returns the configured shard count (1 for unsharded columns).
@@ -765,7 +809,14 @@ func (c *Column) BulkLoad(values []int64) (Stats, error) {
 // loop absorbs it into the adaptive layout. The write may trigger that
 // merge-back inline (per Options.DeltaMaxBytes/DeltaMaxRatio), in which
 // case its cost is folded into the returned stats.
+// With durability enabled the write joins a group commit instead: it
+// returns once its batch is logged (and fsynced, per Options.Durability)
+// and applied. Batched writes are accounted to Totals by the commit, so
+// the per-call Stats are zero.
 func (c *Column) Insert(v int64) (Stats, error) {
+	if c.dur != nil {
+		return c.durInsert(v)
+	}
 	qs, err := c.strat.Insert(v)
 	st := statsFrom(qs)
 	c.acct.add(st)
@@ -776,6 +827,9 @@ func (c *Column) Insert(v int64) (Stats, error) {
 // base row is tombstoned). It reports false — and writes nothing — when
 // no visible row carries v.
 func (c *Column) Delete(v int64) (bool, Stats) {
+	if c.dur != nil {
+		return c.durDelete(v)
+	}
 	ok, qs := c.strat.Delete(v)
 	st := statsFrom(qs)
 	c.acct.add(st)
@@ -786,6 +840,9 @@ func (c *Column) Delete(v int64) (bool, Stats) {
 // query snapshot sees either the old row or the new one, never both and
 // never neither. It reports false when no visible row carries old.
 func (c *Column) Update(old, new int64) (bool, Stats) {
+	if c.dur != nil {
+		return c.durUpdate(old, new)
+	}
 	ok, qs := c.strat.Update(old, new)
 	st := statsFrom(qs)
 	c.acct.add(st)
@@ -813,8 +870,10 @@ func (c *Column) DeltaStats() DeltaStats {
 		DeleteMisses:  ds.DeleteMisses,
 		Pending:       ds.Pending,
 		PendingBytes:  ds.PendingBytes,
+		Runs:          ds.Runs,
 		Merges:        ds.Merges,
 		MergedEntries: ds.MergedEntries,
+		Publications:  ds.Publications,
 		Watermark:     ds.Watermark,
 	}
 }
@@ -828,10 +887,17 @@ type DeltaStats struct {
 	// logical size.
 	Pending      int
 	PendingBytes int64
+	// Runs is the current sorted-run count of the pending store (summed
+	// over shards; the unsorted tail is not a run).
+	Runs int
 	// Merges counts completed merge-backs, MergedEntries the entries
 	// they drained.
 	Merges        int64
 	MergedEntries int64
+	// Publications counts delta snapshot publications — per write on the
+	// single-op path, per committed group under durability's group
+	// commit (the write-amplification measure).
+	Publications int64
 	// Watermark is the version high-water mark — the MVCC clock.
 	Watermark int64
 }
