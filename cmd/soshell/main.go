@@ -389,6 +389,9 @@ func (sh *shell) exec(line string) error {
 			fmt.Fprintf(sh.out, "groups %d (%d records, %.1f per group); appends %d, fsyncs %d, %d B written; checkpoints %d, log %d B on disk; last seq %d, replayed %d\n",
 				ws.Batches, ws.Records, fanIn, ws.Appends, ws.Fsyncs, ws.Bytes,
 				ws.Checkpoints, ws.WALSize, ws.LastSeq, ws.Replayed)
+			if ws.WriteErrors > 0 {
+				fmt.Fprintf(sh.out, "write errors %d; last: %s\n", ws.WriteErrors, ws.LastError)
+			}
 			return nil
 		default:
 			return fmt.Errorf("wal on DIR [fsync] | off | stats")

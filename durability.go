@@ -203,6 +203,13 @@ func (c *Column) durInsert(v int64) (Stats, error) {
 	return Stats{}, nil
 }
 
+// durDelete and durUpdate squeeze the committer's error into the
+// public bool-only Delete/Update signatures, so at the call site a
+// durability failure looks like a miss. The failure is not silent: the
+// committer counts it in WALStats.WriteErrors and keeps it as
+// WALStats.LastError, and the irreconcilable failures (apply-after-log,
+// failed rollback) halt the committer so the next Insert — which does
+// return an error — surfaces it too.
 func (c *Column) durDelete(v int64) (bool, Stats) {
 	ok, err := c.dur.Submit(delta.Op{Kind: delta.OpDelete, V: v})
 	return err == nil && ok, Stats{}
@@ -279,6 +286,14 @@ type WALStats struct {
 	// counts the batches recovery replayed into this column.
 	LastSeq  uint64
 	Replayed int64
+	// WriteErrors counts writes that failed inside the commit protocol
+	// (append/fsync/apply failures, halted committer) rather than being
+	// cleanly refused; LastError is the most recent such failure.
+	// Delete and Update report a durability failure as a bare false —
+	// indistinguishable, at the call site, from "no visible row carries
+	// the value" — so a caller that must tell them apart checks these.
+	WriteErrors int64
+	LastError   string
 }
 
 // WALStats returns the durability counters; ok is false (and the stats
@@ -298,6 +313,8 @@ func (c *Column) WALStats() (WALStats, bool) {
 		WALSize:     st.WALSize,
 		LastSeq:     st.LastSeq,
 		Replayed:    st.Replayed,
+		WriteErrors: st.WriteErrors,
+		LastError:   st.LastError,
 	}, true
 }
 

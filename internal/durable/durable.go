@@ -27,7 +27,34 @@
 //     on).
 //  5. Ack: every writer in the batch gets its per-op result. An append
 //     or sync error fails the whole batch WITHOUT applying it — no
-//     write is ever visible unless it is logged.
+//     write is ever visible unless it is logged. The failed batch's
+//     frames are truncated back out of the touched logs and its seq is
+//     burned (never reused), so a nacked batch can neither replay as
+//     committed nor shadow a later acknowledged batch at the same seq.
+//
+// # Halting
+//
+// Two failures leave the logs and the live column irreconcilable
+// without recovery: a durably-logged batch the column's apply side then
+// rejected (the batch will replay on reopen, but the in-memory state
+// diverged), and a failed batch whose frame rollback itself failed
+// (frames that were never acknowledged sit in the logs). In both cases
+// the committer halts — every subsequent submit and checkpoint returns
+// the halting error — instead of compounding the divergence or letting
+// a checkpoint capture it. Reopen (or Column.Recover) converges on the
+// logged state.
+//
+// # Checkpoint atomicity
+//
+// A checkpoint spans every shard but cannot be written as one atomic
+// unit, so it is committed in two phases: per-shard capture files are
+// written under a fresh generation number, then a single manifest file
+// naming (generation, seq) is atomically renamed into place, and only
+// then do the logs rotate. Recovery loads exactly the manifest's
+// generation — every shard checkpointed at the SAME seq — so a
+// cross-shard update, logged only in the old value's shard, can never
+// fall between a fresh checkpoint in one shard and a stale one in
+// another.
 //
 // # Cross-shard barrier
 //
@@ -150,6 +177,11 @@ type Stats struct {
 	LastSeq     uint64
 	WALSize     int64 // current total log bytes on disk
 	Replayed    int64 // batches replayed by recovery
+	// WriteErrors counts writes that failed inside the commit protocol
+	// (append/fsync/apply failures, halted committer) — as opposed to
+	// clean per-op refusals; LastError is the most recent such failure.
+	WriteErrors int64
+	LastError   string
 }
 
 // metrics is the resolved observability handle set (nil-safe, resolved
@@ -175,14 +207,28 @@ type Committer struct {
 
 	target  Target
 	nextSeq uint64
-	merges  int64 // target.MergeCount at the last checkpoint
+	merges  int64  // target.MergeCount at the last checkpoint
+	ckptGen uint64 // manifest-committed checkpoint generation
+
+	// broken, once set, halts the committer: the on-disk logs and the
+	// live column can no longer be reconciled without recovery (a
+	// durably-logged batch the column rejected, or a failed batch whose
+	// frames could not be rolled back). Every subsequent submit and
+	// checkpoint fails with it. Only the commit loop touches it.
+	broken error
 
 	ob atomic.Pointer[metrics]
 
 	// counters (atomics: Stats() reads them from any goroutine)
 	nBatches, nRecords, nAppends, nFsyncs, nBytes, nCkpts, nReplayed atomic.Int64
+	nErrs                                                            atomic.Int64
 	lastSeq                                                          atomic.Uint64
 	walSize                                                          atomic.Int64
+	lastErr                                                          atomic.Pointer[string]
+
+	// failAppend, when non-nil, injects an append fault for shard i —
+	// test-only, exercised by the commit rollback path.
+	failAppend func(shard int) error
 
 	startOnce, closeOnce sync.Once
 }
@@ -199,14 +245,23 @@ type result struct {
 	err error
 }
 
-func logPath(dir string, i int) string  { return filepath.Join(dir, fmt.Sprintf("shard-%04d.wal", i)) }
-func ckptPath(dir string, i int) string { return filepath.Join(dir, fmt.Sprintf("shard-%04d.ckpt", i)) }
+func logPath(dir string, i int) string { return filepath.Join(dir, fmt.Sprintf("shard-%04d.wal", i)) }
+
+// ckptPath names shard i's checkpoint file under generation gen. The
+// generation suffix lets a new checkpoint's shard files coexist with
+// the active generation's until the manifest commits them — the
+// atomicity scheme described at wal.WriteManifest.
+func ckptPath(dir string, i int, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.%06d.ckpt", i, gen))
+}
+
+func manifestPath(dir string) string { return filepath.Join(dir, "CHECKPOINT") }
 
 // Open creates Dir if needed, opens every shard's log (truncating torn
-// tails), loads checkpoints, and returns the committer plus the
-// recovered state. The commit loop does NOT run yet — the caller first
-// rebuilds its column from Recovered and replays Recovered.Batches,
-// then calls Start.
+// tails), loads the manifest-committed checkpoint generation, and
+// returns the committer plus the recovered state. The commit loop does
+// NOT run yet — the caller first rebuilds its column from Recovered and
+// replays Recovered.Batches, then calls Start.
 func Open(cfg Config, router Router) (*Committer, *Recovered, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 1024
@@ -219,6 +274,18 @@ func Open(cfg Config, router Router) (*Committer, *Recovered, error) {
 		CkptValues: make([][]domain.Value, k),
 		HasCkpt:    make([]bool, k),
 	}
+	// The manifest decides which checkpoint generation — if any — is
+	// committed. Shard files from other generations are leftovers of a
+	// checkpoint that crashed before its manifest rename; they are
+	// swept below and must NOT be loaded: only a manifest-committed
+	// generation has every shard at the same seq.
+	gen, ckptSeq, hasCkpt, err := wal.ReadManifest(manifestPath(cfg.Dir))
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: checkpoint manifest: %w", err)
+	}
+	if hasCkpt && ckptSeq > rec.LastSeq {
+		rec.LastSeq = ckptSeq
+	}
 	logs := make([]*wal.Log, k)
 	bySeq := make(map[uint64][][]delta.Op) // seq -> per-shard op slices (shard order)
 	closeAll := func() {
@@ -230,16 +297,21 @@ func Open(cfg Config, router Router) (*Committer, *Recovered, error) {
 	}
 	var size int64
 	for i := 0; i < k; i++ {
-		seq, vals, ok, err := wal.ReadCheckpoint(ckptPath(cfg.Dir, i))
-		if err != nil {
-			closeAll()
-			return nil, nil, fmt.Errorf("durable: shard %d checkpoint: %w", i, err)
-		}
-		if ok {
-			rec.CkptValues[i], rec.HasCkpt[i] = vals, true
-			if seq > rec.LastSeq {
-				rec.LastSeq = seq
+		if hasCkpt {
+			seq, vals, ok, err := wal.ReadCheckpoint(ckptPath(cfg.Dir, i, gen))
+			if err != nil {
+				closeAll()
+				return nil, nil, fmt.Errorf("durable: shard %d checkpoint: %w", i, err)
 			}
+			if !ok {
+				closeAll()
+				return nil, nil, fmt.Errorf("%w: manifest commits generation %d but shard %d's checkpoint is missing", wal.ErrCorrupt, gen, i)
+			}
+			if seq != ckptSeq {
+				closeAll()
+				return nil, nil, fmt.Errorf("%w: shard %d checkpoint seq %d disagrees with manifest seq %d", wal.ErrCorrupt, i, seq, ckptSeq)
+			}
+			rec.CkptValues[i], rec.HasCkpt[i] = vals, true
 		}
 		l, batches, err := wal.Open(logPath(cfg.Dir, i))
 		if err != nil {
@@ -248,9 +320,14 @@ func Open(cfg Config, router Router) (*Committer, *Recovered, error) {
 		}
 		logs[i] = l
 		size += l.Size()
-		applied := uint64(0) // duplicate/stale frames are skipped by seq
-		if ok {
-			applied = seq
+		// Every shard filters by the SAME manifest seq (plus per-shard
+		// duplicate/stale skipping), so a batch is either covered by all
+		// shards' checkpoints or replayed in full — a cross-shard update,
+		// logged only in the old value's shard, can never fall between a
+		// fresh checkpoint in one shard and a stale one in another.
+		applied := uint64(0)
+		if hasCkpt {
+			applied = ckptSeq
 		}
 		for _, b := range batches {
 			if b.Seq <= applied {
@@ -263,6 +340,21 @@ func Open(cfg Config, router Router) (*Committer, *Recovered, error) {
 			bySeq[b.Seq][i] = append(bySeq[b.Seq][i], b.Ops...)
 			if b.Seq > rec.LastSeq {
 				rec.LastSeq = b.Seq
+			}
+		}
+	}
+	// Sweep orphans: shard files of uncommitted generations (a crashed
+	// checkpoint attempt) and stray temp files. Best effort.
+	if ents, _ := filepath.Glob(filepath.Join(cfg.Dir, "shard-*.ckpt*")); ents != nil {
+		active := make(map[string]bool, k)
+		if hasCkpt {
+			for i := 0; i < k; i++ {
+				active[ckptPath(cfg.Dir, i, gen)] = true
+			}
+		}
+		for _, p := range ents {
+			if !active[p] {
+				os.Remove(p)
 			}
 		}
 	}
@@ -286,6 +378,7 @@ func Open(cfg Config, router Router) (*Committer, *Recovered, error) {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 		nextSeq: rec.LastSeq + 1,
+		ckptGen: gen,
 	}
 	c.lastSeq.Store(rec.LastSeq)
 	c.walSize.Store(size)
@@ -379,7 +472,7 @@ func (c *Committer) Checkpoint() error {
 
 // Stats snapshots the counters.
 func (c *Committer) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Batches:     c.nBatches.Load(),
 		Records:     c.nRecords.Load(),
 		Appends:     c.nAppends.Load(),
@@ -389,7 +482,21 @@ func (c *Committer) Stats() Stats {
 		LastSeq:     c.lastSeq.Load(),
 		WALSize:     c.walSize.Load(),
 		Replayed:    c.nReplayed.Load(),
+		WriteErrors: c.nErrs.Load(),
 	}
+	if s := c.lastErr.Load(); s != nil {
+		st.LastError = *s
+	}
+	return st
+}
+
+// noteErr accounts n failed writes and records the failure — the
+// observable trail for Delete/Update callers whose public signature
+// collapses errors into a boolean.
+func (c *Committer) noteErr(err error, n int) {
+	c.nErrs.Add(int64(n))
+	s := err.Error()
+	c.lastErr.Store(&s)
 }
 
 // Close stops the commit loop (failing writers still queued), syncs and
@@ -426,7 +533,7 @@ func (c *Committer) loop() {
 			return
 		case r := <-c.reqs:
 			if r.ckpt {
-				r.res <- result{err: c.checkpoint()}
+				c.serveCheckpoint(r)
 				continue
 			}
 			c.gatherAndCommit(r)
@@ -508,16 +615,42 @@ gather:
 	c.commit(batch)
 	if after != nil {
 		if after.ckpt {
-			after.res <- result{err: c.checkpoint()}
+			c.serveCheckpoint(after)
 		} else {
 			c.commit([]*request{after})
 		}
 	}
 }
 
+// serveCheckpoint answers one explicit checkpoint request; a halted
+// committer refuses rather than capturing diverged state.
+func (c *Committer) serveCheckpoint(r *request) {
+	if c.broken != nil {
+		r.res <- result{err: c.broken}
+		return
+	}
+	r.res <- result{err: c.checkpoint()}
+}
+
 // commit runs steps 2–5 of the protocol for one batch.
 func (c *Committer) commit(batch []*request) {
+	fail := func(err error) {
+		c.noteErr(err, len(batch))
+		for _, r := range batch {
+			r.res <- result{err: err}
+		}
+	}
+	if c.broken != nil {
+		fail(c.broken)
+		return
+	}
 	seq := c.nextSeq
+	// The seq is burned no matter how this batch ends. A failed batch
+	// may leave frames in some logs (the rollback below can itself
+	// fail), and recovery keeps the FIRST frame it sees at a seq — so a
+	// later acknowledged batch reusing the seq would be silently
+	// shadowed by the nacked one. Never share a seq.
+	c.nextSeq++
 	ops := make([]delta.Op, len(batch))
 	perShard := make(map[int][]delta.Op)
 	for i, r := range batch {
@@ -525,79 +658,135 @@ func (c *Committer) commit(batch []*request) {
 		s := c.router.ShardOf(r.op)
 		perShard[s] = append(perShard[s], r.op)
 	}
-	fail := func(err error) {
-		for _, r := range batch {
-			r.res <- result{err: err}
+	shards := make([]int, 0, len(perShard))
+	preSize := make(map[int]int64, len(perShard))
+	for s := range perShard {
+		shards = append(shards, s)
+		preSize[s] = c.logs[s].Size()
+	}
+	sort.Ints(shards)
+	// rollback cuts the frames this batch already wrote out of the
+	// touched logs, so the nacked batch cannot replay as committed on
+	// recovery. If even that fails, the log's content no longer matches
+	// what was acknowledged — halt the committer; the writers' outcome
+	// is indeterminate until recovery replays the logs.
+	rollback := func(cause error) {
+		for _, s := range shards {
+			if terr := c.logs[s].TruncateTo(preSize[s]); terr != nil {
+				c.broken = fmt.Errorf("durable: halted: batch seq %d failed (%v) and shard %d log rollback failed: %v; outcome indeterminate until recovery", seq, cause, s, terr)
+				fail(c.broken)
+				return
+			}
 		}
+		fail(cause)
 	}
 	var wrote int64
-	for s, sub := range perShard {
-		n, err := c.logs[s].AppendBatch(seq, sub)
+	for _, s := range shards {
+		var n int64
+		var err error
+		if c.failAppend != nil {
+			err = c.failAppend(s)
+		}
+		if err == nil {
+			n, err = c.logs[s].AppendBatch(seq, perShard[s])
+		}
 		if err != nil {
-			fail(fmt.Errorf("durable: append shard %d: %w", s, err))
+			rollback(fmt.Errorf("durable: append shard %d: %w", s, err))
 			return
 		}
 		wrote += n
-		c.nAppends.Add(1)
 	}
 	if c.cfg.Fsync {
-		for s := range perShard {
+		for _, s := range shards {
 			if err := c.logs[s].Sync(); err != nil {
-				fail(fmt.Errorf("durable: fsync shard %d: %w", s, err))
+				rollback(fmt.Errorf("durable: fsync shard %d: %w", s, err))
 				return
 			}
 			c.nFsyncs.Add(1)
 		}
 	}
-	c.nextSeq++
+	c.nAppends.Add(int64(len(shards)))
 	c.lastSeq.Store(seq)
 	c.nBytes.Add(wrote)
 	c.walSize.Add(wrote)
 	c.nBatches.Add(1)
 	c.nRecords.Add(int64(len(ops)))
 	if m := c.ob.Load(); m != nil {
-		m.appends.Add(int64(len(perShard)))
+		m.appends.Add(int64(len(shards)))
 		m.bytes.Add(wrote)
 		m.batchRecords.Observe(int64(len(ops)))
 		if c.cfg.Fsync {
-			m.fsyncs.Add(int64(len(perShard)))
+			m.fsyncs.Add(int64(len(shards)))
 		}
 	}
 	res, err := c.target.ApplyOps(ops)
+	if err != nil {
+		// The batch is durably logged and WILL replay on recovery, but
+		// the live column rejected it: memory and log have diverged.
+		// Halt — committing further batches would compound the
+		// divergence, and a piggy-backed checkpoint would capture the
+		// diverged state and drop the logged batch for good. The writers
+		// get the halt error (the write is durable and resurfaces after
+		// recovery), not a clean refusal.
+		c.broken = fmt.Errorf("durable: halted: batch seq %d durably logged but apply failed: %v; reopen or Recover to converge", seq, err)
+		fail(c.broken)
+		return
+	}
 	// Checkpoint piggy-back: a merge-back just drained the delta into
 	// the base — the logs up to this seq are redundant, capture and
 	// truncate. Runs before the acks so a writer that observes its ack
 	// also observes the checkpoint its merge produced.
-	if err == nil {
-		if m := c.target.MergeCount(); m != c.merges {
-			if cerr := c.checkpoint(); cerr == nil {
-				c.merges = m
-			}
+	if m := c.target.MergeCount(); m != c.merges {
+		if cerr := c.checkpoint(); cerr == nil {
+			c.merges = m
 		}
 	}
 	for i, r := range batch {
-		ok := false
-		if err == nil && i < len(res) {
-			ok = res[i]
-		}
-		r.res <- result{ok: ok, err: err}
+		r.res <- result{ok: i < len(res) && res[i]}
 	}
 }
 
 // checkpoint captures every shard's content as of the last committed
-// seq, writes the checkpoint files, and rotates the logs. Runs inside
-// the commit loop, so no batch is in flight.
+// seq and commits it atomically across shards: every shard's capture
+// is written under the NEXT checkpoint generation, the manifest — one
+// atomically-renamed file naming (generation, seq) — commits them all
+// at once, and only then do the logs rotate. A crash or error anywhere
+// before the manifest rename leaves the previous generation fully
+// active with unrotated logs (full replay, nothing lost, the new-gen
+// files are swept as orphans on reopen); after the rename every shard
+// is checkpointed at the SAME seq, so replay's seq filter is uniform
+// and a cross-shard update — logged only in the old value's shard —
+// can never fall between a fresh checkpoint in one shard and a stale
+// one in another. Runs inside the commit loop, so no batch is in
+// flight.
 func (c *Committer) checkpoint() error {
 	seq := c.nextSeq - 1
-	for i, l := range c.logs {
+	gen := c.ckptGen + 1
+	for i := range c.logs {
 		vals := c.target.CaptureShard(i)
-		if err := wal.WriteCheckpoint(ckptPath(c.cfg.Dir, i), seq, vals); err != nil {
+		if err := wal.WriteCheckpoint(ckptPath(c.cfg.Dir, i, gen), seq, vals); err != nil {
 			return fmt.Errorf("durable: checkpoint shard %d: %w", i, err)
 		}
-		c.walSize.Add(-l.Size())
+	}
+	if err := wal.WriteManifest(manifestPath(c.cfg.Dir), gen, seq); err != nil {
+		return fmt.Errorf("durable: checkpoint manifest: %w", err)
+	}
+	prev := c.ckptGen
+	c.ckptGen = gen
+	for i, l := range c.logs {
+		size := l.Size()
 		if err := l.Rotate(); err != nil {
-			return fmt.Errorf("durable: rotate shard %d: %w", i, err)
+			// The checkpoint is committed (replay skips seq ≤ its seq,
+			// so recovery stays correct) but this log's on-disk state no
+			// longer matches the committer's bookkeeping — halt rather
+			// than keep appending to a file in an unknown state.
+			c.broken = fmt.Errorf("durable: halted: rotate shard %d log after checkpoint: %v", i, err)
+			return c.broken
 		}
+		c.walSize.Add(-size)
+	}
+	for i := range c.logs {
+		os.Remove(ckptPath(c.cfg.Dir, i, prev)) // now-redundant previous generation
 	}
 	c.nCkpts.Add(1)
 	if m := c.ob.Load(); m != nil {

@@ -1,10 +1,13 @@
 package durable
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"selforg/internal/delta"
 	"selforg/internal/domain"
@@ -20,6 +23,9 @@ type fakeTarget struct {
 	merges  int64
 	shards  int
 	width   domain.Value // per-shard domain width for CaptureShard
+	// failApply, when set, fails the next ApplyOps (one-shot) without
+	// touching the content — the apply-side fault.
+	failApply error
 }
 
 func newFakeTarget(shards int, width domain.Value) *fakeTarget {
@@ -29,6 +35,11 @@ func newFakeTarget(shards int, width domain.Value) *fakeTarget {
 func (f *fakeTarget) ApplyOps(ops []delta.Op) ([]bool, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.failApply != nil {
+		err := f.failApply
+		f.failApply = nil
+		return nil, err
+	}
 	f.batches = append(f.batches, append([]delta.Op(nil), ops...))
 	res := make([]bool, len(ops))
 	for i, op := range ops {
@@ -55,6 +66,10 @@ func (f *fakeTarget) ApplyOps(ops []delta.Op) ([]bool, error) {
 func (f *fakeTarget) MergeCount() int64 { f.mu.Lock(); defer f.mu.Unlock(); return f.merges }
 
 func (f *fakeTarget) bumpMerges() { f.mu.Lock(); f.merges++; f.mu.Unlock() }
+
+func (f *fakeTarget) failNextApply(err error) { f.mu.Lock(); f.failApply = err; f.mu.Unlock() }
+
+func (f *fakeTarget) batchCount() int { f.mu.Lock(); defer f.mu.Unlock(); return len(f.batches) }
 
 func (f *fakeTarget) CaptureShard(i int) []domain.Value {
 	f.mu.Lock()
@@ -333,6 +348,258 @@ func TestTornTailDiscardedOnOpen(t *testing.T) {
 	}
 	if rec.LastSeq >= 99 {
 		t.Fatalf("torn seq leaked into LastSeq %d", rec.LastSeq)
+	}
+}
+
+// TestFailedBatchRollsBackAndBurnsSeq: an append fault on one shard
+// nacks the whole batch, rolls the already-appended frames back out of
+// the other shards' logs, and burns the batch's seq — so recovery sees
+// neither the nacked ops nor a later acknowledged batch shadowed under
+// a reused seq. The committer itself stays healthy.
+func TestFailedBatchRollsBackAndBurnsSeq(t *testing.T) {
+	dir := t.TempDir()
+	router := fakeRouter{shards: 2, width: 1000}
+	c, _, err := Open(Config{Dir: dir}, router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.failAppend = func(s int) error {
+		if s == 1 {
+			return errors.New("injected append fault")
+		}
+		return nil
+	}
+	target := newFakeTarget(2, 1000)
+	// Queue one op per shard before the loop starts, so both land in a
+	// single batch: shard 0's frame is appended first (shard order is
+	// deterministic), then shard 1's append faults.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, v := range []domain.Value{5, 1500} {
+		wg.Add(1)
+		go func(i int, v domain.Value) {
+			defer wg.Done()
+			_, errs[i] = c.Submit(delta.Op{Kind: delta.OpInsert, V: v})
+		}(i, v)
+	}
+	for len(c.reqs) < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	c.Start(target)
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil || !strings.Contains(err.Error(), "append shard 1") {
+			t.Fatalf("writer %d: err=%v, want the append fault", i, err)
+		}
+	}
+	if n := target.batchCount(); n != 0 {
+		t.Fatalf("failed batch applied: %d batches", n)
+	}
+	// The committer is not halted: the next write (shard 0 only)
+	// commits, and must not share the burned seq.
+	if ok, err := c.Submit(delta.Op{Kind: delta.OpInsert, V: 7}); err != nil || !ok {
+		t.Fatalf("post-failure insert: ok=%v err=%v", ok, err)
+	}
+	st := c.Stats()
+	if st.WriteErrors != 2 || !strings.Contains(st.LastError, "append shard 1") {
+		t.Fatalf("failure not surfaced in stats: %+v", st)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := Open(Config{Dir: dir}, router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Batches) != 1 {
+		t.Fatalf("recovered %d batches, want only the acknowledged one: %+v", len(rec.Batches), rec.Batches)
+	}
+	b := rec.Batches[0]
+	if len(b.Ops) != 1 || b.Ops[0].V != 7 {
+		t.Fatalf("recovered batch carries %+v, want the acknowledged insert 7", b.Ops)
+	}
+	if b.Seq != 2 {
+		t.Fatalf("acknowledged batch at seq %d, want 2 (seq 1 burned by the failed batch)", b.Seq)
+	}
+}
+
+// TestApplyErrorHaltsCommitter: a batch that is durably logged but
+// rejected by the apply side halts the committer — writers get the
+// halt error (not a clean refusal), nothing further commits or
+// checkpoints, and reopening replays the logged batch so log and state
+// converge.
+func TestApplyErrorHaltsCommitter(t *testing.T) {
+	dir := t.TempDir()
+	router := fakeRouter{shards: 1, width: 1 << 40}
+	c, _, err := Open(Config{Dir: dir}, router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := newFakeTarget(1, 1<<40)
+	c.Start(target)
+	if ok, err := c.Submit(delta.Op{Kind: delta.OpInsert, V: 1}); err != nil || !ok {
+		t.Fatalf("insert 1: ok=%v err=%v", ok, err)
+	}
+	target.failNextApply(errors.New("apply boom"))
+	if _, err := c.Submit(delta.Op{Kind: delta.OpInsert, V: 2}); err == nil || !strings.Contains(err.Error(), "halted") {
+		t.Fatalf("apply fault returned %v, want halt", err)
+	}
+	// Halted: later writes and checkpoints refuse without touching the
+	// logs or the target.
+	if _, err := c.Submit(delta.Op{Kind: delta.OpInsert, V: 3}); err == nil || !strings.Contains(err.Error(), "halted") {
+		t.Fatalf("post-halt submit returned %v", err)
+	}
+	if err := c.Checkpoint(); err == nil || !strings.Contains(err.Error(), "halted") {
+		t.Fatalf("post-halt checkpoint returned %v", err)
+	}
+	if n := target.batchCount(); n != 1 {
+		t.Fatalf("target saw %d batches after halt, want 1", n)
+	}
+	if st := c.Stats(); st.WriteErrors < 2 || st.LastError == "" {
+		t.Fatalf("halt not surfaced in stats: %+v", st)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rejected batch was durably logged: recovery replays it (the
+	// halt error told the writer its outcome was indeterminate). The
+	// never-logged post-halt insert 3 does not reappear.
+	_, rec, err := Open(Config{Dir: dir}, router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vals []domain.Value
+	for _, b := range rec.Batches {
+		for _, op := range b.Ops {
+			vals = append(vals, op.V)
+		}
+	}
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("recovered ops %v, want [1 2]", vals)
+	}
+}
+
+// TestCheckpointCrashBeforeManifestRecovers: a checkpoint that dies
+// after writing some shards' capture files but before the manifest
+// rename leaves the previous generation fully active — recovery (with a
+// cross-shard update in the window, the case a per-shard checkpoint
+// protocol loses) reproduces the exact committed content and sweeps the
+// orphaned files.
+func TestCheckpointCrashBeforeManifestRecovers(t *testing.T) {
+	dir := t.TempDir()
+	router := fakeRouter{shards: 2, width: 1000}
+	c, _, err := Open(Config{Dir: dir}, router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := newFakeTarget(2, 1000)
+	c.Start(target)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Submit(delta.Op{Kind: delta.OpInsert, V: domain.Value(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Checkpoint(); err != nil { // generation 1 commits
+		t.Fatal(err)
+	}
+	// Post-checkpoint window: writes on both shards plus a cross-shard
+	// update, which is logged only in the old value's (shard 0's) log.
+	for _, v := range []domain.Value{500, 1800} {
+		if _, err := c.Submit(delta.Op{Kind: delta.OpInsert, V: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, err := c.Submit(delta.Op{Kind: delta.OpUpdate, V: 3, New: 1900}); err != nil || !ok {
+		t.Fatalf("cross-shard update: ok=%v err=%v", ok, err)
+	}
+	want := target.snapshot()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate generation 2 crashing mid-write: shard 0's capture file
+	// exists (with a seq that would wrongly skip the whole window were
+	// it loaded), shard 1's does not, and the manifest was never
+	// renamed.
+	if err := wal.WriteCheckpoint(ckptPath(dir, 0, 2), 999, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := Open(Config{Dir: dir}, router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := newFakeTarget(2, 1000)
+	for _, vals := range rec.CkptValues {
+		for _, v := range vals {
+			got.content[v]++
+		}
+	}
+	for _, b := range rec.Batches {
+		if _, err := got.ApplyOps(b.Ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v, n := range want {
+		if got.content[v] != n {
+			t.Fatalf("recovered content[%d]=%d, want %d", v, got.content[v], n)
+		}
+	}
+	for v, n := range got.content {
+		if n != 0 && want[v] != n {
+			t.Fatalf("recovery resurrected content[%d]=%d", v, n)
+		}
+	}
+	if _, err := os.Stat(ckptPath(dir, 0, 2)); !os.IsNotExist(err) {
+		t.Fatalf("orphaned generation-2 file not swept: %v", err)
+	}
+}
+
+// TestCheckpointIntegrityFailsOpen: a corrupt manifest, or a manifest
+// whose committed generation is missing a shard's file, fails Open
+// loudly instead of recovering from half a checkpoint.
+func TestCheckpointIntegrityFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	router := fakeRouter{shards: 2, width: 1000}
+	c, _, err := Open(Config{Dir: dir}, router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(newFakeTarget(2, 1000))
+	for _, v := range []domain.Value{1, 1001} {
+		if _, err := c.Submit(delta.Op{Kind: delta.OpInsert, V: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	good, err := os.ReadFile(manifestPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[12] ^= 1
+	if err := os.WriteFile(manifestPath(dir), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(Config{Dir: dir}, router); err == nil {
+		t.Fatal("corrupt manifest opened silently")
+	}
+
+	if err := os.WriteFile(manifestPath(dir), good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(ckptPath(dir, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(Config{Dir: dir}, router); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("missing shard checkpoint opened: %v", err)
 	}
 }
 

@@ -28,17 +28,11 @@ import (
 
 var ckptMagic = [8]byte{'S', 'O', 'C', 'K', 'P', 'T', '0', '1'}
 
-// WriteCheckpoint atomically writes a checkpoint file at path.
-func WriteCheckpoint(path string, seq uint64, values []domain.Value) error {
-	buf := make([]byte, 0, 24+8*len(values)+4)
-	buf = append(buf, ckptMagic[:]...)
-	buf = binary.LittleEndian.AppendUint64(buf, seq)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(values)))
-	for _, v := range values {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
-	}
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
-
+// writeFileAtomic writes buf to path via a temp file: write, fsync,
+// close, rename over the target, then best-effort fsync of the
+// directory so the rename itself is durable. Readers see the old file
+// or the new one, never a torn mix.
+func writeFileAtomic(path string, buf []byte) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -62,12 +56,24 @@ func WriteCheckpoint(path string, seq uint64, values []domain.Value) error {
 		os.Remove(tmp)
 		return err
 	}
-	// Best-effort directory sync so the rename itself is durable.
 	if d, err := os.Open(filepath.Dir(path)); err == nil {
 		d.Sync()
 		d.Close()
 	}
 	return nil
+}
+
+// WriteCheckpoint atomically writes a checkpoint file at path.
+func WriteCheckpoint(path string, seq uint64, values []domain.Value) error {
+	buf := make([]byte, 0, 24+8*len(values)+4)
+	buf = append(buf, ckptMagic[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(values)))
+	for _, v := range values {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	return writeFileAtomic(path, buf)
 }
 
 // ReadCheckpoint loads and validates a checkpoint file. A missing file
@@ -99,4 +105,49 @@ func ReadCheckpoint(path string) (seq uint64, values []domain.Value, ok bool, er
 		values[i] = domain.Value(binary.LittleEndian.Uint64(data[24+8*i:]))
 	}
 	return seq, values, true, nil
+}
+
+// Checkpoint manifest. A checkpoint spans every shard, but the
+// per-shard files cannot be written as one atomic unit — a crash
+// partway would leave some shards checkpointed at the new seq and
+// others at an old one, and a cross-shard update logged only in one
+// shard's log could fall into the gap and be lost. The manifest closes
+// that hole: the shard files are written under a fresh generation
+// number first, then this single file — naming the generation and the
+// one seq every shard's checkpoint carries — is atomically renamed
+// into place. Until the rename, the previous generation (or none) is
+// fully active; after it, every shard is checkpointed at the SAME seq.
+//
+//	magic "SOCKMF01" | gen u64 | seq u64 | crc u32
+var manifestMagic = [8]byte{'S', 'O', 'C', 'K', 'M', 'F', '0', '1'}
+
+// WriteManifest atomically commits checkpoint generation gen at seq.
+func WriteManifest(path string, gen, seq uint64) error {
+	buf := make([]byte, 0, 28)
+	buf = append(buf, manifestMagic[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, gen)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	return writeFileAtomic(path, buf)
+}
+
+// ReadManifest loads the checkpoint manifest. A missing file is not an
+// error (ok=false: no checkpoint generation is committed); a present
+// but corrupt one returns ErrCorrupt — recovery must fail loudly, not
+// silently fall back to an older state.
+func ReadManifest(path string) (gen, seq uint64, ok bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, 0, false, nil
+	}
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if len(data) != 28 || [8]byte(data[:8]) != manifestMagic {
+		return 0, 0, false, fmt.Errorf("%w: %s: bad manifest header", ErrCorrupt, path)
+	}
+	if crc32.Checksum(data[:24], castagnoli) != binary.LittleEndian.Uint32(data[24:]) {
+		return 0, 0, false, fmt.Errorf("%w: %s: manifest crc mismatch", ErrCorrupt, path)
+	}
+	return binary.LittleEndian.Uint64(data[8:]), binary.LittleEndian.Uint64(data[16:]), true, nil
 }

@@ -152,7 +152,10 @@ func Decode(data []byte, fn func(Batch) error) (int64, error) {
 func decodePayload(p []byte) (Batch, bool) {
 	seq := binary.LittleEndian.Uint64(p[0:])
 	count := int(binary.LittleEndian.Uint32(p[8:]))
-	if count < 0 || count > len(p) { // each record is ≥ 9 bytes; cheap sanity bound
+	// Each record is ≥ 9 bytes, so a count the remaining bytes cannot
+	// hold is malformed — rejecting it here also bounds the slice
+	// pre-allocation below on CRC-valid but corrupt frames.
+	if count < 0 || count > (len(p)-batchHeader)/9 {
 		return Batch{}, false
 	}
 	ops := make([]delta.Op, 0, count)
@@ -265,14 +268,21 @@ func (l *Log) Path() string { return l.path }
 // everything in it redundant. The truncation is itself synced so a
 // crash right after cannot resurrect pre-checkpoint frames (they would
 // be skipped by seq anyway; this just keeps the file honest).
-func (l *Log) Rotate() error {
-	if err := l.f.Truncate(0); err != nil {
+func (l *Log) Rotate() error { return l.TruncateTo(0) }
+
+// TruncateTo rolls the log back to a prior length — the committer's
+// undo for a batch whose append or sync failed partway: the frames
+// already written for the failed batch are cut off so a later recovery
+// cannot replay them as if they had committed. The truncation is
+// synced before it is trusted.
+func (l *Log) TruncateTo(size int64) error {
+	if err := l.f.Truncate(size); err != nil {
 		return err
 	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+	if _, err := l.f.Seek(size, io.SeekStart); err != nil {
 		return err
 	}
-	l.size = 0
+	l.size = size
 	return l.f.Sync()
 }
 
