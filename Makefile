@@ -8,7 +8,7 @@ GO ?= go
 # scans, compression fast paths, delta writes, merge-back, sharded
 # writers, the query service tier). Keep this in sync with
 # .github/workflows/ci.yml.
-BENCH_SET  := AblationCompressedScan|AblationCompressedCount|LargeScanSerial|LargeScanParallel4|DeltaInsert|DeltaOverlayScan|DeltaMergeBack|Sharded|SelectRange|CountRange|ScanObsOn|ScanObsOff|SQLColdVsWarmPlan|SoserveThroughput|WALAppend|GroupCommitThroughput|OverlayScanSortedRuns
+BENCH_SET  := AblationCompressedScan|AblationCompressedCount|LargeScanSerial|LargeScanParallel4|DeltaInsert|DeltaOverlayScan|DeltaMergeBack|Sharded|SelectRange|CountRange|ScanObsOn|ScanObsOff|SQLColdVsWarmPlan|SQLInsertThroughput|SoserveThroughput|WALAppend|GroupCommitThroughput|OverlayScanSortedRuns
 BENCH_PKGS := . ./internal/compress ./internal/server
 BENCH_ARGS := -run '^$$' -bench '$(BENCH_SET)' -benchtime 10x -count 3
 
@@ -31,7 +31,8 @@ lint:
 # target per invocation). New crashers land under the package's
 # testdata/fuzz/ — commit them as regression seeds.
 fuzz-smoke:
-	$(GO) test ./internal/sql/ -run '^$$' -fuzz FuzzParse -fuzztime 30s
+	$(GO) test ./internal/sql/ -run '^$$' -fuzz 'FuzzParse$$' -fuzztime 30s
+	$(GO) test ./internal/sql/ -run '^$$' -fuzz FuzzParseStmt -fuzztime 30s
 	$(GO) test ./internal/sql/ -run '^$$' -fuzz FuzzNormalize -fuzztime 30s
 	$(GO) test ./internal/wal/ -run '^$$' -fuzz FuzzWALReplay -fuzztime 30s
 

@@ -237,7 +237,7 @@ func TestReplicationScannersWithWritersStress(t *testing.T) {
 					}
 					load += int64(len(batch))
 				case 1:
-					if ok, _ := col.Delete(vals[r.Intn(len(vals))]); ok {
+					if ok, _, _ := col.Delete(vals[r.Intn(len(vals))]); ok {
 						del++
 					}
 				default:

@@ -104,7 +104,7 @@ func TestDeltaMergeOverlayEquivalence(t *testing.T) {
 							case 2:
 								old := vals[wrnd.Intn(len(vals))]
 								new := wrnd.Int63n(domHi + 1)
-								ok, _ := col.Update(old, new)
+								ok, _, _ := col.Update(old, new)
 								if track && ok {
 									if !removeOne(old) {
 										t.Fatalf("column accepted update of %d, expectation disagrees", old)
@@ -113,7 +113,7 @@ func TestDeltaMergeOverlayEquivalence(t *testing.T) {
 								}
 							default:
 								v := vals[wrnd.Intn(len(vals))]
-								ok, _ := col.Delete(v)
+								ok, _, _ := col.Delete(v)
 								if track && ok {
 									if !removeOne(v) {
 										t.Fatalf("column accepted delete of %d, expectation disagrees", v)
@@ -176,7 +176,7 @@ func TestDeltaVisibilityAcrossViews(t *testing.T) {
 	if _, err := col.Insert(4); err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := col.Delete(2); !ok {
+	if ok, _, _ := col.Delete(2); !ok {
 		t.Fatal("delete refused")
 	}
 	after := col.View()

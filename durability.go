@@ -17,8 +17,10 @@ package selforg
 //     delta merge-back and truncate the logs; Column.Checkpoint forces
 //     one.
 //
-// Bulk loads bypass the WAL (they are not point writes); call
-// Checkpoint after a BulkLoad to make it durable.
+// Bulk loads are not logged as point writes; instead BulkLoad on a
+// durable column checkpoint-fences itself — it returns only after a
+// full checkpoint captured the loaded content — so an acked bulk load
+// survives a crash without a WAL record.
 
 import (
 	"fmt"
@@ -118,7 +120,7 @@ func (t *durTarget) ApplyOps(ops []delta.Op) ([]bool, error) {
 func (t *durTarget) MergeCount() int64 { return t.c.strat.DeltaStats().Merges }
 
 func (t *durTarget) CaptureShard(i int) []domain.Value {
-	if sc, ok := t.c.strat.(*shard.Column); ok {
+	if sc, ok := t.c.strat.(shardedColumn); ok {
 		return pinSelect(sc.Shard(i), sc.ShardRange(i))
 	}
 	return pinSelect(t.c.strat, t.c.extent)
@@ -127,13 +129,7 @@ func (t *durTarget) CaptureShard(i int) []domain.Value {
 // pinSelect captures a shard's full logical content (base plus visible
 // delta) through a pinned MVCC view — no adaptation, no stats.
 func pinSelect(s core.DeltaStrategy, rng domain.Range) []domain.Value {
-	switch t := s.(type) {
-	case *core.Segmenter:
-		return t.Pin().Select(rng)
-	case *core.Replicator:
-		return t.Pin().Select(rng)
-	}
-	return nil
+	return s.PinView().Select(rng)
 }
 
 // newDurable is New's durable back half: open the logs, rebuild the
@@ -203,21 +199,25 @@ func (c *Column) durInsert(v int64) (Stats, error) {
 	return Stats{}, nil
 }
 
-// durDelete and durUpdate squeeze the committer's error into the
-// public bool-only Delete/Update signatures, so at the call site a
-// durability failure looks like a miss. The failure is not silent: the
-// committer counts it in WALStats.WriteErrors and keeps it as
-// WALStats.LastError, and the irreconcilable failures (apply-after-log,
-// failed rollback) halt the committer so the next Insert — which does
-// return an error — surfaces it too.
-func (c *Column) durDelete(v int64) (bool, Stats) {
+// durDelete and durUpdate surface the committer's error directly: a
+// clean "no visible row" refusal is (false, nil), a commit-protocol
+// failure (append/fsync/apply, halted committer) is the error. The
+// committer still counts failures in WALStats.WriteErrors/LastError for
+// monitoring.
+func (c *Column) durDelete(v int64) (bool, Stats, error) {
 	ok, err := c.dur.Submit(delta.Op{Kind: delta.OpDelete, V: v})
-	return err == nil && ok, Stats{}
+	if err != nil {
+		return false, Stats{}, fmt.Errorf("selforg: %w", err)
+	}
+	return ok, Stats{}, nil
 }
 
-func (c *Column) durUpdate(old, new int64) (bool, Stats) {
+func (c *Column) durUpdate(old, new int64) (bool, Stats, error) {
 	ok, err := c.dur.Submit(delta.Op{Kind: delta.OpUpdate, V: old, New: new})
-	return err == nil && ok, Stats{}
+	if err != nil {
+		return false, Stats{}, fmt.Errorf("selforg: %w", err)
+	}
+	return ok, Stats{}, nil
 }
 
 // Checkpoint forces a full durability checkpoint: every shard's logical
@@ -288,10 +288,9 @@ type WALStats struct {
 	Replayed int64
 	// WriteErrors counts writes that failed inside the commit protocol
 	// (append/fsync/apply failures, halted committer) rather than being
-	// cleanly refused; LastError is the most recent such failure.
-	// Delete and Update report a durability failure as a bare false —
-	// indistinguishable, at the call site, from "no visible row carries
-	// the value" — so a caller that must tell them apart checks these.
+	// cleanly refused; LastError is the most recent such failure. Every
+	// write path also returns these failures as errors — the counters
+	// exist for monitoring, not as the only signal.
 	WriteErrors int64
 	LastError   string
 }

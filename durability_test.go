@@ -59,8 +59,8 @@ func TestDurabilityDisabledEquivalence(t *testing.T) {
 			}
 		case 1:
 			v := rnd.Int63n(hi + 1)
-			okP, _ := plain.Delete(v)
-			okD, _ := disabled.Delete(v)
+			okP, _, _ := plain.Delete(v)
+			okD, _, _ := disabled.Delete(v)
 			if okP != okD {
 				t.Fatalf("delete %d diverged: %v vs %v", v, okP, okD)
 			}
@@ -112,8 +112,8 @@ func durableWorkload(t *testing.T, seed int64, lo, hi int64, col, ref *selforg.C
 			}
 		case 2:
 			v := lo + rnd.Int63n(2*(hi-lo+1)) // half the probes miss the extent
-			okC, _ := col.Delete(v)
-			okR, _ := ref.Delete(v)
+			okC, _, _ := col.Delete(v)
+			okR, _, _ := ref.Delete(v)
 			if okC != okR {
 				t.Fatalf("op %d: delete %d acceptance diverged: %v vs %v", i, v, okC, okR)
 			}
@@ -121,8 +121,8 @@ func durableWorkload(t *testing.T, seed int64, lo, hi int64, col, ref *selforg.C
 			// Unconstrained old/new: exercises the cross-shard barrier.
 			old := lo + rnd.Int63n(hi-lo+1)
 			new := lo + rnd.Int63n(hi-lo+1)
-			okC, _ := col.Update(old, new)
-			okR, _ := ref.Update(old, new)
+			okC, _, _ := col.Update(old, new)
+			okR, _, _ := ref.Update(old, new)
 			if okC != okR {
 				t.Fatalf("op %d: update %d->%d acceptance diverged: %v vs %v", i, old, new, okC, okR)
 			}

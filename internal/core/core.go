@@ -120,16 +120,23 @@ type DeltaStrategy interface {
 	// after it returns and invisible to queries already in flight.
 	Insert(v domain.Value) (QueryStats, error)
 	// Delete removes one occurrence of v; it reports false (and does
-	// nothing) when no visible row carries v.
-	Delete(v domain.Value) (bool, QueryStats)
+	// nothing) when no visible row carries v. The error reports a write
+	// infrastructure failure (a merge-back the delete triggered, a
+	// committer fault on durable wrappers) — distinct from the clean
+	// "no visible row" refusal, which is false with a nil error.
+	Delete(v domain.Value) (bool, QueryStats, error)
 	// Update atomically replaces one occurrence of old with new; every
-	// snapshot sees either the old row or the new one, never both.
-	Update(old, new domain.Value) (bool, QueryStats)
+	// snapshot sees either the old row or the new one, never both. The
+	// false/error split follows Delete's.
+	Update(old, new domain.Value) (bool, QueryStats, error)
 	// ApplyOps applies a group-committed batch of writes under one
 	// version bump and one snapshot publication — the group-commit
 	// apply unit. Per-op acceptance follows the single-op rules; the
 	// error only reports a merge-back failure.
 	ApplyOps(ops []delta.Op) ([]bool, QueryStats, error)
+	// BulkLoad appends a batch of values through the single-writer
+	// rewrite pipeline, preserving the adaptive organization.
+	BulkLoad(vals []domain.Value) (QueryStats, error)
 	// MergeDeltas force-drains the write store into the base through the
 	// reorganization pipeline, regardless of the merge thresholds.
 	MergeDeltas() (QueryStats, error)
@@ -143,4 +150,59 @@ type DeltaStrategy interface {
 	// EncodingStats returns the per-encoding storage breakdown of the
 	// materialized segments.
 	EncodingStats() segment.EncodingStats
+	// Layout renders the current physical layout for diagnostics: the
+	// flat segment list, the replica tree, or the per-shard breakdown.
+	Layout() string
+	// Validate checks the structural invariants (segment adjacency and
+	// coverage, tree tiling). Queries keep a valid column valid; this
+	// exists for tests and operational health checks.
+	Validate() error
+	// GlueSmall merges adjacent segments smaller than minBytes — the §8
+	// merging extension. It returns the bytes rewritten and whether the
+	// strategy supports gluing at all (replica trees do not).
+	GlueSmall(minBytes int64) (int64, bool)
+	// PinView pins a consistent read-only MVCC view: writes, splits,
+	// bulk loads and merge-backs after the pin are invisible through it.
+	PinView() PinnedView
+}
+
+// PinnedView is the read surface of a pinned MVCC view — the common
+// shape of core.View and the shard router's multi-shard view, so
+// facade-level code can dispatch on the interface instead of on the
+// concrete strategy type.
+type PinnedView interface {
+	// Select returns the values in q as of the pin (order unspecified).
+	Select(q domain.Range) []domain.Value
+	// Count returns the cardinality of q as of the pin.
+	Count(q domain.Range) int64
+	// Watermark returns the pinned MVCC version: writes stamped above
+	// it are invisible.
+	Watermark() int64
+}
+
+// TreeShaped is the optional capability of strategies organized as a
+// replica tree (the Replicator, and the shard router when any shard
+// replicates): depth and virtual-segment inspection.
+type TreeShaped interface {
+	// TreeDepth returns the replica tree depth (max over shards).
+	TreeDepth() int
+	// VirtualCount returns the number of virtual (unmaterialized)
+	// segments (summed over shards).
+	VirtualCount() int
+}
+
+// StampedWriter is the optional capability behind cross-shard update
+// atomicity: stamp a single write with an externally minted column-wide
+// commit version (one delta.Clock shared across every shard's store),
+// so an update's delete half and insert half — applied to two different
+// stores — carry the SAME timestamp.
+type StampedWriter interface {
+	// ShareDeltaClock rebinds the strategy's write store to a shared
+	// commit clock. Call once, at build time, before concurrent writers.
+	ShareDeltaClock(c *delta.Clock)
+	// InsertStamped inserts v stamped with ver (minted from the shared
+	// clock by the coordinator).
+	InsertStamped(ver int64, v domain.Value) (QueryStats, error)
+	// DeleteStamped deletes one occurrence of v stamped with ver.
+	DeleteStamped(ver int64, v domain.Value) (bool, QueryStats, error)
 }

@@ -60,50 +60,97 @@ func (s *Segmenter) Insert(v domain.Value) (QueryStats, error) {
 
 // Delete implements DeltaStrategy: removes one occurrence of v (a
 // pending insert is cancelled, otherwise a base row is tombstoned). It
-// reports false when no visible row carries v.
-func (s *Segmenter) Delete(v domain.Value) (bool, QueryStats) {
+// reports false when no visible row carries v; the error reports a
+// merge-back failure of a delete that was accepted.
+func (s *Segmenter) Delete(v domain.Value) (bool, QueryStats, error) {
 	var st QueryStats
 	list := s.eng.Base()
 	if !list.Extent().Contains(v) {
 		s.eng.Delta.RecordMiss()
 		s.snapshot(&st)
-		return false, st
+		return false, st, nil
 	}
 	if !s.eng.Delta.Delete(v, s.baseCount) {
 		s.snapshot(&st)
-		return false, st
+		return false, st, nil
 	}
 	st.WriteBytes += list.ElemSize()
-	mustMergeDeltas(s, &st)
+	err := maybeMergeDeltas(s, &st)
 	s.snapshot(&st)
 	if so := s.ob.Load(); so != nil {
 		so.write(so.wDel, &st)
 	}
-	return true, st
+	return true, st, err
 }
 
 // Update implements DeltaStrategy: atomically replaces one occurrence of
 // old with new under a single version — every snapshot sees either the
 // old row or the new one.
-func (s *Segmenter) Update(old, new domain.Value) (bool, QueryStats) {
+func (s *Segmenter) Update(old, new domain.Value) (bool, QueryStats, error) {
 	var st QueryStats
 	list := s.eng.Base()
 	if !list.Extent().Contains(old) || !list.Extent().Contains(new) {
 		s.eng.Delta.RecordMiss()
 		s.snapshot(&st)
-		return false, st
+		return false, st, nil
 	}
 	if !s.eng.Delta.Update(old, new, s.baseCount) {
 		s.snapshot(&st)
-		return false, st
+		return false, st, nil
 	}
 	st.WriteBytes += 2 * list.ElemSize()
-	mustMergeDeltas(s, &st)
+	err := maybeMergeDeltas(s, &st)
 	s.snapshot(&st)
 	if so := s.ob.Load(); so != nil {
 		so.write(so.wUpd, &st)
 	}
-	return true, st
+	return true, st, err
+}
+
+// ShareDeltaClock implements StampedWriter: rebinds the write store to a
+// column-wide commit clock shared with sibling shards.
+func (s *Segmenter) ShareDeltaClock(c *delta.Clock) { s.eng.Delta.ShareClock(c) }
+
+// InsertStamped implements StampedWriter: Insert with an externally
+// minted commit version, so a cross-shard update's two halves share one
+// timestamp.
+func (s *Segmenter) InsertStamped(ver int64, v domain.Value) (QueryStats, error) {
+	var st QueryStats
+	list := s.eng.Base()
+	if !list.Extent().Contains(v) {
+		return st, fmt.Errorf("core: insert value %d outside extent %v", v, list.Extent())
+	}
+	s.eng.Delta.InsertAt(ver, v)
+	st.WriteBytes += list.ElemSize()
+	err := maybeMergeDeltas(s, &st)
+	s.snapshot(&st)
+	if so := s.ob.Load(); so != nil {
+		so.write(so.wIns, &st)
+	}
+	return st, err
+}
+
+// DeleteStamped implements StampedWriter: Delete with an externally
+// minted commit version.
+func (s *Segmenter) DeleteStamped(ver int64, v domain.Value) (bool, QueryStats, error) {
+	var st QueryStats
+	list := s.eng.Base()
+	if !list.Extent().Contains(v) {
+		s.eng.Delta.RecordMiss()
+		s.snapshot(&st)
+		return false, st, nil
+	}
+	if !s.eng.Delta.DeleteAt(ver, v, s.baseCount) {
+		s.snapshot(&st)
+		return false, st, nil
+	}
+	st.WriteBytes += list.ElemSize()
+	err := maybeMergeDeltas(s, &st)
+	s.snapshot(&st)
+	if so := s.ob.Load(); so != nil {
+		so.write(so.wDel, &st)
+	}
+	return true, st, err
 }
 
 // MergeDeltas implements DeltaStrategy: force-drains the write store
@@ -161,15 +208,6 @@ func maybeMergeDeltas(m deltaMerger, st *QueryStats) error {
 		return nil
 	}
 	return mergeDeltasNow(m, st)
-}
-
-// mustMergeDeltas is maybeMergeDeltas for paths without an error
-// return: the apply step can only fail on broken invariants (every
-// write was validated), so a failure is a bug worth stopping on.
-func mustMergeDeltas(m deltaMerger, st *QueryStats) {
-	if err := maybeMergeDeltas(m, st); err != nil {
-		panic(fmt.Sprintf("core: delta merge-back failed: %v", err))
-	}
 }
 
 // mergeDeltasNow drains the store through the strategy's single-writer
@@ -467,45 +505,85 @@ func (r *Replicator) Insert(v domain.Value) (QueryStats, error) {
 }
 
 // Delete implements DeltaStrategy.
-func (r *Replicator) Delete(v domain.Value) (bool, QueryStats) {
+func (r *Replicator) Delete(v domain.Value) (bool, QueryStats, error) {
 	var st QueryStats
 	if !r.extent().Contains(v) {
 		r.eng.Delta.RecordMiss()
 		r.snapshot(&st)
-		return false, st
+		return false, st, nil
 	}
 	if !r.eng.Delta.Delete(v, r.baseCount) {
 		r.snapshot(&st)
-		return false, st
+		return false, st, nil
 	}
 	st.WriteBytes += r.elemSize
-	mustMergeDeltas(r, &st)
+	err := maybeMergeDeltas(r, &st)
 	r.snapshot(&st)
 	if so := r.ob.Load(); so != nil {
 		so.write(so.wDel, &st)
 	}
-	return true, st
+	return true, st, err
 }
 
 // Update implements DeltaStrategy.
-func (r *Replicator) Update(old, new domain.Value) (bool, QueryStats) {
+func (r *Replicator) Update(old, new domain.Value) (bool, QueryStats, error) {
 	var st QueryStats
 	if !r.extent().Contains(old) || !r.extent().Contains(new) {
 		r.eng.Delta.RecordMiss()
 		r.snapshot(&st)
-		return false, st
+		return false, st, nil
 	}
 	if !r.eng.Delta.Update(old, new, r.baseCount) {
 		r.snapshot(&st)
-		return false, st
+		return false, st, nil
 	}
 	st.WriteBytes += 2 * r.elemSize
-	mustMergeDeltas(r, &st)
+	err := maybeMergeDeltas(r, &st)
 	r.snapshot(&st)
 	if so := r.ob.Load(); so != nil {
 		so.write(so.wUpd, &st)
 	}
-	return true, st
+	return true, st, err
+}
+
+// ShareDeltaClock implements StampedWriter.
+func (r *Replicator) ShareDeltaClock(c *delta.Clock) { r.eng.Delta.ShareClock(c) }
+
+// InsertStamped implements StampedWriter.
+func (r *Replicator) InsertStamped(ver int64, v domain.Value) (QueryStats, error) {
+	var st QueryStats
+	if !r.extent().Contains(v) {
+		return st, fmt.Errorf("core: insert value %d outside extent %v", v, r.extent())
+	}
+	r.eng.Delta.InsertAt(ver, v)
+	st.WriteBytes += r.elemSize
+	err := maybeMergeDeltas(r, &st)
+	r.snapshot(&st)
+	if so := r.ob.Load(); so != nil {
+		so.write(so.wIns, &st)
+	}
+	return st, err
+}
+
+// DeleteStamped implements StampedWriter.
+func (r *Replicator) DeleteStamped(ver int64, v domain.Value) (bool, QueryStats, error) {
+	var st QueryStats
+	if !r.extent().Contains(v) {
+		r.eng.Delta.RecordMiss()
+		r.snapshot(&st)
+		return false, st, nil
+	}
+	if !r.eng.Delta.DeleteAt(ver, v, r.baseCount) {
+		r.snapshot(&st)
+		return false, st, nil
+	}
+	st.WriteBytes += r.elemSize
+	err := maybeMergeDeltas(r, &st)
+	r.snapshot(&st)
+	if so := r.ob.Load(); so != nil {
+		so.write(so.wDel, &st)
+	}
+	return true, st, err
 }
 
 // MergeDeltas implements DeltaStrategy.

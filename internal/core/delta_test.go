@@ -49,13 +49,13 @@ func TestDeltaWriteOverlayBothStrategies(t *testing.T) {
 			if _, err := s.Insert(42); err != nil {
 				t.Fatal(err)
 			}
-			if ok, _ := s.Delete(20); !ok {
+			if ok, _, _ := s.Delete(20); !ok {
 				t.Fatal("delete of base row refused")
 			}
-			if ok, _ := s.Update(300, 301); !ok {
+			if ok, _, _ := s.Update(300, 301); !ok {
 				t.Fatal("update of base row refused")
 			}
-			if ok, _ := s.Delete(777); ok {
+			if ok, _, _ := s.Delete(777); ok {
 				t.Fatal("delete of absent value accepted")
 			}
 			got, _ := s.Select(extent)

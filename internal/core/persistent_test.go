@@ -34,7 +34,7 @@ func TestReplicatorMergeRewritesEachReplicaOnce(t *testing.T) {
 	// 40 tombstones + 10 inserts, all inside [0,249]: the value's path
 	// crosses every materialized copy of that range.
 	for v := int64(0); v < 40; v++ {
-		if ok, _ := r.Delete(v); !ok {
+		if ok, _, _ := r.Delete(v); !ok {
 			t.Fatalf("delete %d refused", v)
 		}
 	}

@@ -351,6 +351,16 @@ func (r *Replicator) Validate() error {
 	return r.eng.Base().validate(false)
 }
 
+// Layout implements DeltaStrategy: the replica tree rendering.
+func (r *Replicator) Layout() string { return r.Dump() }
+
+// TreeDepth implements TreeShaped.
+func (r *Replicator) TreeDepth() int { return r.Depth() }
+
+// GlueSmall implements DeltaStrategy: replica trees do not glue (drops,
+// not merges, shrink them), so the capability is reported absent.
+func (r *Replicator) GlueSmall(int64) (int64, bool) { return 0, false }
+
 // info builds the model's view of a segment (estimated size for virtual
 // segments).
 func (r *Replicator) info(sg *segment.Segment) model.SegmentInfo {

@@ -643,10 +643,11 @@ func (s *Segmenter) glueLocked(i, j int) int64 {
 
 // GlueSmall merges every maximal run of adjacent segments smaller than
 // minBytes into its successor until no mergeable run remains, returning
-// the total bytes rewritten. This is the simple merging strategy evaluated
-// in the ablation benches. Size comparisons are logical so gluing behaves
-// identically with compression on.
-func (s *Segmenter) GlueSmall(minBytes int64) int64 {
+// the total bytes rewritten (segmentation always supports gluing, so the
+// second result is constantly true). This is the simple merging strategy
+// evaluated in the ablation benches. Size comparisons are logical so
+// gluing behaves identically with compression on.
+func (s *Segmenter) GlueSmall(minBytes int64) (int64, bool) {
 	s.eng.Mu.Lock()
 	defer s.eng.Mu.Unlock()
 	var rewritten int64
@@ -664,5 +665,12 @@ func (s *Segmenter) GlueSmall(minBytes int64) int64 {
 		}
 		i++
 	}
-	return rewritten
+	return rewritten, true
 }
+
+// Layout implements DeltaStrategy: the flat segment list.
+func (s *Segmenter) Layout() string { return s.eng.Base().Dump() }
+
+// Validate implements DeltaStrategy: segment adjacency, extent coverage
+// and value containment.
+func (s *Segmenter) Validate() error { return s.eng.Base().Validate() }

@@ -41,6 +41,12 @@ func (r *Replicator) Pin() *View {
 	return &View{root: root, dsnap: dsnap}
 }
 
+// PinView implements DeltaStrategy.
+func (s *Segmenter) PinView() PinnedView { return s.Pin() }
+
+// PinView implements DeltaStrategy.
+func (r *Replicator) PinView() PinnedView { return r.Pin() }
+
 // Watermark returns the version high-water mark pinned by the view:
 // writes stamped above it are invisible.
 func (v *View) Watermark() int64 { return v.dsnap.Watermark() }

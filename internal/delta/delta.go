@@ -127,6 +127,35 @@ const (
 	OpUpdate
 )
 
+// Clock is a monotonically increasing commit-version source. Every
+// Store owns a private one by default; sharing a single Clock across
+// several Stores (ShareClock) makes their versions mutually comparable
+// — the column-wide commit timestamp a sharded column needs so a
+// cross-shard update can stamp its delete half and its insert half,
+// which live in two different Stores, with ONE version.
+type Clock struct{ v atomic.Int64 }
+
+// NewClock returns a clock starting at zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Next returns the next version — strictly greater than every version
+// issued before, across every store sharing the clock.
+func (c *Clock) Next() int64 { return c.v.Add(1) }
+
+// Now returns the last issued version.
+func (c *Clock) Now() int64 { return c.v.Load() }
+
+// advanceTo moves the clock forward to at least v (joining a store that
+// already stamped versions from its private clock).
+func (c *Clock) advanceTo(v int64) {
+	for {
+		cur := c.v.Load()
+		if cur >= v || c.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Snapshot is an immutable view of the store, pinned by a query at
 // start: the pending entries published at pin time plus the watermark
 // that filters their visibility. Snapshots survive later writes and
@@ -339,8 +368,14 @@ type Stats struct {
 type Store struct {
 	mu       sync.Mutex
 	elemSize int64
-	version  int64
-	ord      int64 // entry creation counter, drives Merge drain order
+	// clock mints versions; version is the highest version this store
+	// has stamped (its watermark at publication time). With a private
+	// clock the two track each other exactly; with a shared clock
+	// (ShareClock) version lags the clock by whatever other stores
+	// stamped in between.
+	clock   *Clock
+	version int64
+	ord     int64 // entry creation counter, drives Merge drain order
 	// runs holds the sealed, value-sorted level-0 components; tail the
 	// unsorted recent writes not yet sealed. Both are copy-on-seal under
 	// mu; published snapshots reference immutable run slices and a
@@ -374,11 +409,39 @@ func NewStore(elemSize int64) *Store {
 	}
 	d := &Store{
 		elemSize: elemSize,
+		clock:    NewClock(),
 		liveIns:  make(map[domain.Value][]*Entry),
 		tombs:    make(map[domain.Value]int),
 	}
 	d.snap.Store(&Snapshot{elemSize: elemSize})
 	return d
+}
+
+// ShareClock rebinds the store to a shared commit clock, advancing the
+// clock past every version this store already stamped. Call before the
+// store sees concurrent writers (internal/shard does, right after
+// build), not mid-stream.
+func (d *Store) ShareClock(c *Clock) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c.advanceTo(d.version)
+	d.clock = c
+}
+
+// bump mints the next version from the clock and records it as this
+// store's high-water mark (caller holds mu).
+func (d *Store) bump() int64 {
+	d.version = d.clock.Next()
+	return d.version
+}
+
+// bumpTo records an externally minted version (a cross-shard commit
+// stamp from the shared clock) as this store's high-water mark without
+// minting a new one (caller holds mu).
+func (d *Store) bumpTo(ver int64) {
+	if ver > d.version {
+		d.version = ver
+	}
 }
 
 // Snapshot pins the current state: pending entries plus watermark. The
@@ -478,9 +541,43 @@ func (d *Store) Insert(v domain.Value) int64 {
 }
 
 func (d *Store) insertLocked(v domain.Value) int64 {
-	d.version++
-	d.addTail(d.newInsert(d.version, v))
-	return d.version
+	ver := d.bump()
+	d.addTail(d.newInsert(ver, v))
+	return ver
+}
+
+// InsertAt records a single-row insert stamped with an externally
+// minted version — the insert half of a cross-shard update, whose
+// delete half (in another store sharing the clock) carries the SAME
+// version. The caller must hold the versions in commit order (ver comes
+// from the shared clock) and exclude concurrent pin sweeps around the
+// pair.
+func (d *Store) InsertAt(ver int64, v domain.Value) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.bumpTo(ver)
+	d.addTail(d.newInsert(ver, v))
+	d.inserts++
+	d.publish()
+}
+
+// DeleteAt applies Delete semantics stamped with an externally minted
+// version — the delete half of a cross-shard update. See InsertAt.
+func (d *Store) DeleteAt(ver int64, v domain.Value, baseCount func(domain.Value) int64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.bumpTo(ver)
+	ok, tomb := d.deleteAt(ver, v, baseCount)
+	if !ok {
+		d.misses++
+		return false
+	}
+	if tomb != nil {
+		d.addTail(tomb)
+	}
+	d.deletes++
+	d.publish()
+	return true
 }
 
 // Delete removes one occurrence of v: a pending insert carrying v is
@@ -505,16 +602,14 @@ func (d *Store) deleteLocked(v domain.Value, baseCount func(domain.Value) int64)
 	if live := d.liveIns[v]; len(live) > 0 {
 		e := live[len(live)-1]
 		d.liveIns[v] = live[:len(live)-1]
-		d.version++
-		e.deletedAt.Store(d.version)
+		e.deletedAt.Store(d.bump())
 		return true
 	}
 	if baseCount(v)-int64(d.tombs[v]) <= 0 {
 		return false
 	}
-	d.version++
 	d.tombs[v]++
-	d.addTail(d.newEntry(d.version, KTombstone, v))
+	d.addTail(d.newEntry(d.bump(), KTombstone, v))
 	return true
 }
 
@@ -570,8 +665,7 @@ func (d *Store) ApplyBatch(ops []Op, baseCount func(domain.Value) int64) []bool 
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.version++
-	ver := d.version
+	ver := d.bump()
 	res := make([]bool, len(ops))
 	var fresh []*Entry
 	for i, op := range ops {

@@ -64,6 +64,10 @@ type Context struct {
 	Results []*ResultSet
 	// AdaptedBytes totals the bytes rewritten by bpm.adapt calls.
 	AdaptedBytes int64
+	// Affected counts the rows written by the DML builtins
+	// (sql.insertRow, sql.updateRows, sql.deleteRows) — the SQL tier's
+	// "N rows affected" answer.
+	Affected int64
 
 	iters map[iterKey]*segIter
 }
@@ -318,6 +322,9 @@ func (rs *ResultSet) Render(w io.Writer) {
 
 // Column returns the i-th column's BAT (tests compare plan outputs).
 func (rs *ResultSet) Column(i int) *bat.BAT { return rs.cols[i].b }
+
+// ColumnName returns the i-th column's name (result extraction).
+func (rs *ResultSet) ColumnName(i int) string { return rs.cols[i].name }
 
 // NumRows returns the row count of the first column.
 func (rs *ResultSet) NumRows() int {

@@ -71,6 +71,24 @@ func BenchmarkSQLColdVsWarmPlan(b *testing.B) {
 	})
 }
 
+// BenchmarkSQLInsertThroughput measures the SQL write path end to end:
+// ParseStmt → facade lowering → MVCC delta store, one INSERT statement
+// per iteration (no plan cache by design — writes compile per call).
+func BenchmarkSQLInsertThroughput(b *testing.B) {
+	s := benchServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stmt := fmt.Sprintf("INSERT INTO P VALUES (%d)", (i*131)%100_000)
+		res, err := s.Exec("", stmt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Count != 1 {
+			b.Fatalf("insert affected %d rows", res.Count)
+		}
+	}
+}
+
 // BenchmarkSoserveThroughput is the end-to-end service number: POST
 // /sql over a real HTTP listener, admission gate and JSON envelope
 // included, parallel clients sharing one warm plan.

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"time"
 
@@ -48,14 +50,19 @@ type CompileError struct{ Err error }
 func (e *CompileError) Error() string { return e.Err.Error() }
 func (e *CompileError) Unwrap() error { return e.Err }
 
-// Result is one executed statement's answer.
+// Result is one executed statement's answer. For writes (op insert,
+// update, delete, create) Count is the number of rows affected.
 type Result struct {
 	Op    string  `json:"op"`
 	Count int64   `json:"count"`
 	Sum   int64   `json:"sum,omitempty"`
 	Rows  []int64 `json:"rows,omitempty"`
-	// Truncated reports that Rows was capped at Config.MaxRows; Count
-	// still carries the full cardinality.
+	// Columns and Tuples carry multi-column SELECT results (tenant
+	// tables); single-column results use Rows.
+	Columns []string  `json:"columns,omitempty"`
+	Tuples  [][]int64 `json:"tuples,omitempty"`
+	// Truncated reports that Rows/Tuples was capped at Config.MaxRows;
+	// Count still carries the full cardinality.
 	Truncated   bool          `json:"truncated,omitempty"`
 	Stats       selforg.Stats `json:"stats"`
 	Cached      bool          `json:"cached"`
@@ -82,6 +89,12 @@ func (s *Server) compile(src string) (*plan, []float64, bool, error) {
 	if err != nil {
 		return nil, nil, false, err
 	}
+	if q.Schema != s.cfg.Schema || q.Table != s.cfg.Table {
+		// Not the shared served table: resolve against the tenant's
+		// private catalog instead (uncached — tenant catalogs diverge,
+		// so one fingerprint would not mean one plan).
+		return nil, nil, false, &tenantTableError{q: q}
+	}
 	prog, err := sql.Generate(q, s.cat)
 	if err != nil {
 		return nil, nil, false, &CompileError{Err: err}
@@ -105,12 +118,33 @@ func (s *Server) compile(src string) (*plan, []float64, bool, error) {
 	return p, n.Binds, false, nil
 }
 
+// tenantTableError is compile's internal signal that a SELECT names a
+// table outside the shared served catalog and must resolve against the
+// tenant's private catalog. Never surfaces to clients.
+type tenantTableError struct{ q *sql.Query }
+
+func (e *tenantTableError) Error() string {
+	return fmt.Sprintf("table %s.%s is tenant-private", e.q.Schema, e.q.Table)
+}
+
 // Exec compiles (or cache-hits) src and runs it against the named
-// tenant's column. It is the admission-free core: the HTTP layer adds
-// the gate, Exec is what benchmarks and in-process callers use.
+// tenant. It is the admission-free core: the HTTP layer adds the gate,
+// Exec is what benchmarks and in-process callers use. Write statements
+// (CREATE TABLE / INSERT / UPDATE / DELETE) route around the plan cache
+// entirely: they parse per call and execute against the tenant's facade
+// column (the served table — riding the group committer when durability
+// is on) or the tenant's private catalog (created tables).
 func (s *Server) Exec(tenant, src string) (*Result, error) {
+	switch sql.LeadingKeyword(src) {
+	case "CREATE", "INSERT", "UPDATE", "DELETE":
+		return s.execWrite(tenant, src)
+	}
 	p, binds, cached, err := s.compile(src)
 	if err != nil {
+		var tt *tenantTableError
+		if errors.As(err, &tt) {
+			return s.execTenantSelect(tenant, tt.q, src)
+		}
 		return nil, err
 	}
 	col, err := s.Tenant(tenant)

@@ -162,14 +162,22 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, errors.New("update needs integer old= and new="))
 			return
 		}
-		hit, st = col.Update(old, nv)
-	case "delete":
-		v, err := parse("v")
+		hit, st, err = col.Update(old, nv)
 		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	case "delete":
+		v, perr := parse("v")
+		if perr != nil {
 			writeError(w, http.StatusBadRequest, errors.New("delete needs integer v="))
 			return
 		}
-		hit, st = col.Delete(v)
+		hit, st, err = col.Delete(v)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
 	default:
 		writeError(w, http.StatusBadRequest, errors.New("op must be insert, update or delete"))
 		return

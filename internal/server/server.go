@@ -137,10 +137,17 @@ type Server struct {
 }
 
 // tenant is one isolated facade instance. All tenants share the SQL
-// catalog (one schema) and the plan cache; each owns its column.
+// catalog (one schema) and the plan cache; each owns its column plus a
+// private catalog of CREATE TABLE-d multi-column tables (in-memory,
+// per-tenant — the durable write path is the facade column).
 type tenant struct {
 	name string
 	col  *selforg.Column
+	// cat holds the tenant's own tables; cmu serializes access to it
+	// (MemCatalog is not safe for concurrent mutation — writes take the
+	// write lock, tenant-table SELECTs the read lock).
+	cat *mal.MemCatalog
+	cmu sync.RWMutex
 }
 
 // New builds a Server. The default tenant's column is built lazily on
@@ -184,6 +191,15 @@ func (s *Server) tenantSeed(name string) int64 {
 // Tenant returns (building on first use) the named tenant's column.
 // The empty name is the "default" tenant.
 func (s *Server) Tenant(name string) (*selforg.Column, error) {
+	t, err := s.tenantEntry(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.col, nil
+}
+
+// tenantEntry returns (building on first use) the named tenant.
+func (s *Server) tenantEntry(name string) (*tenant, error) {
 	if name == "" {
 		name = "default"
 	}
@@ -196,7 +212,7 @@ func (s *Server) Tenant(name string) (*selforg.Column, error) {
 		return nil, fmt.Errorf("server closed")
 	}
 	if t, ok := s.tenants[name]; ok {
-		return t.col, nil
+		return t, nil
 	}
 	opts := s.cfg.Options
 	if opts.Observability.Observer == nil && !opts.Observability.Disable {
@@ -214,8 +230,9 @@ func (s *Server) Tenant(name string) (*selforg.Column, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tenant %q: %w", name, err)
 	}
-	s.tenants[name] = &tenant{name: name, col: col}
-	return col, nil
+	t := &tenant{name: name, col: col, cat: mal.NewMemCatalog()}
+	s.tenants[name] = t
+	return t, nil
 }
 
 // TenantError reports a tenant name that failed validation — a client
@@ -294,11 +311,12 @@ func (s *Server) Handler() http.Handler {
 
 // isClientError classifies an Exec failure for the HTTP layer: every
 // compile-side problem (lexing, parsing, unknown column, unsupported
-// shape) and every malformed tenant name is the client's fault and
-// maps to 400.
+// shape), every malformed tenant name, and every client-fault write
+// rejection maps to 400.
 func isClientError(err error) bool {
 	var se *sql.SyntaxError
 	var ce *CompileError
 	var te *TenantError
-	return errors.As(err, &se) || errors.As(err, &ce) || errors.As(err, &te)
+	var we *WriteError
+	return errors.As(err, &se) || errors.As(err, &ce) || errors.As(err, &te) || errors.As(err, &we)
 }

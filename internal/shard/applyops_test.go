@@ -53,9 +53,9 @@ func TestApplyOpsEquivalence(t *testing.T) {
 						_, ierr := serial.Insert(op.V)
 						ok = ierr == nil
 					case delta.OpDelete:
-						ok, _ = serial.Delete(op.V)
+						ok, _, _ = serial.Delete(op.V)
 					case delta.OpUpdate:
-						ok, _ = serial.Update(op.V, op.New)
+						ok, _, _ = serial.Update(op.V, op.New)
 					}
 					if res[i] != ok {
 						t.Fatalf("op %d (%+v): batched=%v serial=%v", i, op, res[i], ok)

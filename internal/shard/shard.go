@@ -23,14 +23,21 @@
 // # Locking invariants
 //
 //   - Each shard retains its own single-writer mutex and delta-store
-//     mutex; the router adds NO lock of its own. Point writes touch
-//     exactly one shard's locks (cross-shard updates touch two, one
-//     after the other — see Update).
-//   - A query pins each touched shard's (segment snapshot, delta
+//     mutex. The router adds exactly one lock of its own: xmu, a
+//     read-write mutex taken in write mode only by cross-shard updates
+//     (two shards' stores mutate under one commit stamp) and in read
+//     mode only by Pin's multi-shard pin sweep. Single-shard writes and
+//     live queries never touch it.
+//   - Every shard's delta store stamps writes from ONE shared
+//     column-wide commit clock (delta.Clock), so a cross-shard update's
+//     delete half and insert half carry the same version.
+//   - A live query pins each touched shard's (segment snapshot, delta
 //     watermark) pair independently, in shard order. Consistency is
 //     therefore per shard: a concurrent writer may land between two
 //     shard pins of one multi-shard query. Within a shard the full MVCC
-//     guarantees of internal/core hold unchanged.
+//     guarantees of internal/core hold unchanged. Pin (the explicit
+//     View) is stronger: its sweep runs under xmu's read half, so a
+//     pinned View observes a cross-shard update entirely or not at all.
 //   - Merge-back thresholds are evaluated per shard against that shard's
 //     own delta store and base size, so a hot shard checkpoints without
 //     stalling its siblings.
@@ -57,12 +64,6 @@ import (
 // shard its own model instance — models are stateful.
 type Builder func(idx int, rng domain.Range, vals []domain.Value) core.DeltaStrategy
 
-// bulkLoader is the strategy surface BulkLoad needs (both Segmenter and
-// Replicator implement it; it is not part of core.DeltaStrategy).
-type bulkLoader interface {
-	BulkLoad(vals []domain.Value) (core.QueryStats, error)
-}
-
 // Column is a domain-sharded self-organizing column. It implements
 // core.DeltaStrategy by routing every operation to the minimal shard
 // subset and merging per-shard outcomes in shard order. It is safe for
@@ -71,6 +72,14 @@ type Column struct {
 	extent domain.Range
 	ranges []domain.Range // ranges[i] is shard i's sub-domain, ascending, adjacent
 	shards []core.DeltaStrategy
+	// clock is the column-wide commit clock every shard's delta store
+	// stamps from (nil when any shard strategy cannot share one — then
+	// cross-shard updates fall back to delete+insert on independent
+	// clocks, the pre-stamping behaviour).
+	clock *delta.Clock
+	// xmu orders cross-shard updates (write half) against multi-shard
+	// pin sweeps (read half) — see the package locking invariants.
+	xmu sync.RWMutex
 	// par is the cross-shard fan-out width for one query (0 = adaptive,
 	// 1 = serial, n > 1 = bounded at n). Intra-shard scan fan-out is each
 	// shard strategy's own knob; SetParallelism keeps the two consistent.
@@ -202,6 +211,26 @@ func New(extent domain.Range, vals []domain.Value, k int, build Builder) (*Colum
 	for i, rng := range ranges {
 		c.shards[i] = build(i, rng, parts[i])
 		c.refresh(i)
+	}
+	// Bind every shard's store to one column-wide commit clock, so a
+	// cross-shard update can stamp both halves with the same version.
+	// All-or-nothing: a mixed column (some shard cannot stamp) keeps
+	// independent clocks everywhere rather than half-sharing.
+	clock := delta.NewClock()
+	stampers := make([]core.StampedWriter, 0, len(c.shards))
+	for _, s := range c.shards {
+		sw, ok := s.(core.StampedWriter)
+		if !ok {
+			stampers = nil
+			break
+		}
+		stampers = append(stampers, sw)
+	}
+	if stampers != nil {
+		for _, sw := range stampers {
+			sw.ShareDeltaClock(clock)
+		}
+		c.clock = clock
 	}
 	return c, nil
 }
@@ -446,47 +475,70 @@ func (c *Column) writeTarget(v domain.Value) int {
 }
 
 // Delete implements core.DeltaStrategy: routed to the shard owning v.
-func (c *Column) Delete(v domain.Value) (bool, core.QueryStats) {
+func (c *Column) Delete(v domain.Value) (bool, core.QueryStats, error) {
 	i := c.writeTarget(v)
-	ok, st := c.shards[i].Delete(v)
+	ok, st, err := c.shards[i].Delete(v)
 	c.snapshot(&st, i, i+1)
-	return ok, st
+	return ok, st, err
 }
 
 // Update implements core.DeltaStrategy. When old and new fall into the
 // same shard the update is single-version atomic exactly as unsharded.
-// A cross-shard update decomposes into Delete(old) in the owning shard
-// followed by Insert(new) in the target shard — two versions, on two
-// independent clocks, so a reader pinning between them can observe the
-// row absent (never duplicated). DeltaStats counts such an update as one
+// A cross-shard update stamps its delete half (owning shard) and its
+// insert half (target shard) with ONE version minted from the shared
+// column-wide commit clock, under xmu's write half — so a pinned View,
+// whose pin sweep holds xmu's read half, observes the update entirely
+// or not at all (live multi-shard scans pin per shard and remain
+// per-shard consistent only). DeltaStats counts such an update as one
 // delete plus one insert.
-func (c *Column) Update(old, new domain.Value) (bool, core.QueryStats) {
+func (c *Column) Update(old, new domain.Value) (bool, core.QueryStats, error) {
 	if !c.extent.Contains(old) || !c.extent.Contains(new) {
 		i := c.writeTarget(old)
-		ok, st := c.shards[i].Update(old, new)
+		ok, st, err := c.shards[i].Update(old, new)
 		c.snapshot(&st, i, i+1)
-		return ok, st
+		return ok, st, err
 	}
 	i, j := rangeOf(c.ranges, old), rangeOf(c.ranges, new)
 	if i == j {
-		ok, st := c.shards[i].Update(old, new)
+		ok, st, err := c.shards[i].Update(old, new)
 		c.snapshot(&st, i, i+1)
-		return ok, st
+		return ok, st, err
 	}
-	ok, st := c.shards[i].Delete(old)
-	if !ok {
+	if c.clock == nil {
+		return c.updateUnstamped(i, j, old, new)
+	}
+	c.xmu.Lock()
+	defer c.xmu.Unlock()
+	sdel := c.shards[i].(core.StampedWriter)
+	sins := c.shards[j].(core.StampedWriter)
+	ver := c.clock.Next()
+	ok, st, err := sdel.DeleteStamped(ver, old)
+	if !ok || err != nil {
 		c.snapshot(&st, i, i+1)
-		return false, st
+		return false, st, err
+	}
+	ist, err := sins.InsertStamped(ver, new)
+	st.Add(ist)
+	c.refresh(i)
+	c.snapshot(&st, j, j+1)
+	return true, st, err
+}
+
+// updateUnstamped is the cross-shard fallback for columns whose shards
+// cannot share a commit clock: delete then insert on two independent
+// clocks (a reader pinning between them can observe the row absent,
+// never duplicated).
+func (c *Column) updateUnstamped(i, j int, old, new domain.Value) (bool, core.QueryStats, error) {
+	ok, st, err := c.shards[i].Delete(old)
+	if !ok || err != nil {
+		c.snapshot(&st, i, i+1)
+		return false, st, err
 	}
 	ist, err := c.shards[j].Insert(new)
 	st.Add(ist)
 	c.refresh(i)
 	c.snapshot(&st, j, j+1)
-	if err != nil {
-		// Unreachable: new is inside shard j's extent by routing.
-		panic(fmt.Sprintf("shard: cross-shard update insert failed: %v", err))
-	}
-	return true, st
+	return true, st, err
 }
 
 // ApplyOps applies a group-committed batch of writes: ops are
@@ -558,11 +610,15 @@ func (c *Column) ApplyOps(ops []delta.Op) ([]bool, core.QueryStats, error) {
 						c.snapshot(&st, loT, hiT)
 						return res, st, err
 					}
-					ok, ust := c.Update(op.V, op.New)
+					ok, ust, uerr := c.Update(op.V, op.New)
 					st.Add(ust)
 					touch(oi)
 					touch(nj)
 					res[k] = ok
+					if uerr != nil {
+						c.snapshot(&st, loT, hiT)
+						return res, st, uerr
+					}
 					continue
 				}
 				i = oi
@@ -620,9 +676,10 @@ func (c *Column) SetDeltaPolicy(maxBytes int64, ratio float64) {
 }
 
 // DeltaStats implements core.DeltaStrategy: per-shard counters summed.
-// Watermark is the maximum of the per-shard version clocks (each shard
-// stamps independently); a cross-shard update counts as one delete plus
-// one insert.
+// Watermark is the maximum of the per-shard version high-water marks —
+// with the shared commit clock that is the column-wide clock's last
+// stamped version. A cross-shard update counts as one delete plus one
+// insert.
 func (c *Column) DeltaStats() delta.Stats {
 	var out delta.Stats
 	for _, s := range c.shards {
@@ -715,11 +772,7 @@ func (c *Column) BulkLoad(vals []domain.Value) (core.QueryStats, error) {
 		if len(parts[i]) == 0 {
 			continue
 		}
-		bl, ok := s.(bulkLoader)
-		if !ok {
-			return st, fmt.Errorf("shard: %s does not support bulk loading", s.Name())
-		}
-		bst, err := bl.BulkLoad(parts[i])
+		bst, err := s.BulkLoad(parts[i])
 		st.Add(bst)
 		if err != nil {
 			return st, err
@@ -730,40 +783,41 @@ func (c *Column) BulkLoad(vals []domain.Value) (core.QueryStats, error) {
 	return st, nil
 }
 
-// GlueSmall merges adjacent small segments within every Segmenter shard
-// (gluing never crosses a shard boundary — boundaries are permanent
-// partition points). It reports false when any shard is not a Segmenter.
+// GlueSmall merges adjacent small segments within every shard that
+// supports gluing (gluing never crosses a shard boundary — boundaries
+// are permanent partition points). It reports false when any shard
+// declines the capability (replica-tree shards do).
 func (c *Column) GlueSmall(minBytes int64) (int64, bool) {
 	var rewritten int64
 	for i, s := range c.shards {
-		seg, ok := s.(*core.Segmenter)
+		n, ok := s.GlueSmall(minBytes)
 		if !ok {
 			return rewritten, false
 		}
-		rewritten += seg.GlueSmall(minBytes)
+		rewritten += n
 		c.refresh(i)
 	}
 	return rewritten, true
 }
 
-// TreeDepth returns the maximum replica-tree depth over the shards
-// (0 when the shards are not Replicators).
+// TreeDepth implements core.TreeShaped: the maximum replica-tree depth
+// over the shards (0 when no shard is tree-shaped).
 func (c *Column) TreeDepth() int {
 	depth := 0
 	for _, s := range c.shards {
-		if r, ok := s.(*core.Replicator); ok && r.Depth() > depth {
-			depth = r.Depth()
+		if r, ok := s.(core.TreeShaped); ok && r.TreeDepth() > depth {
+			depth = r.TreeDepth()
 		}
 	}
 	return depth
 }
 
-// VirtualCount returns the total virtual-segment count over the shards
-// (0 for segmentation shards).
+// VirtualCount implements core.TreeShaped: the total virtual-segment
+// count over the shards (0 for segmentation shards).
 func (c *Column) VirtualCount() int {
 	n := 0
 	for _, s := range c.shards {
-		if r, ok := s.(*core.Replicator); ok {
+		if r, ok := s.(core.TreeShaped); ok {
 			n += r.VirtualCount()
 		}
 	}
@@ -787,14 +841,7 @@ func (c *Column) Validate() error {
 		}
 	}
 	for i, s := range c.shards {
-		var err error
-		switch t := s.(type) {
-		case *core.Segmenter:
-			err = t.List().Validate()
-		case *core.Replicator:
-			err = t.Validate()
-		}
-		if err != nil {
+		if err := s.Validate(); err != nil {
 			return fmt.Errorf("shard %d %v: %w", i, c.ranges[i], err)
 		}
 	}
@@ -804,26 +851,15 @@ func (c *Column) Validate() error {
 // Layout renders every shard's layout under a per-shard header.
 func (c *Column) Layout() string {
 	if len(c.shards) == 1 {
-		return c.layoutOf(0)
+		return c.shards[0].Layout()
 	}
 	var b strings.Builder
 	for i := range c.shards {
-		layout := c.layoutOf(i)
+		layout := c.shards[i].Layout()
 		fmt.Fprintf(&b, "shard %d %v:\n%s", i, c.ranges[i], layout)
 		if !strings.HasSuffix(layout, "\n") {
 			b.WriteByte('\n')
 		}
 	}
 	return b.String()
-}
-
-func (c *Column) layoutOf(i int) string {
-	switch t := c.shards[i].(type) {
-	case *core.Segmenter:
-		return t.List().Dump()
-	case *core.Replicator:
-		return t.Dump()
-	default:
-		return t.Name()
-	}
 }

@@ -368,7 +368,7 @@ func TestShardCrossShardUpdate(t *testing.T) {
 	}
 	preOld, _ := col.Count(domain.Range{Lo: old, Hi: old})
 	preNew, _ := col.Count(domain.Range{Lo: new, Hi: new})
-	ok, _ := col.Update(old, new)
+	ok, _, _ := col.Update(old, new)
 	if !ok {
 		t.Fatal("update refused")
 	}
@@ -388,17 +388,17 @@ func TestShardCrossShardUpdate(t *testing.T) {
 	if rangeOf(col.ranges, sameOld) != rangeOf(col.ranges, sameNew) {
 		sameNew = sameOld - 1
 	}
-	if ok, _ := col.Update(sameOld, sameNew); !ok {
+	if ok, _, _ := col.Update(sameOld, sameNew); !ok {
 		t.Fatal("same-shard update refused")
 	}
 	if ds := col.DeltaStats(); ds.Updates != 1 {
 		t.Fatalf("same-shard update accounting: %+v", ds)
 	}
 	// Misses: values outside the extent are refused and recorded.
-	if ok, _ := col.Delete(testDom.Hi + 100); ok {
+	if ok, _, _ := col.Delete(testDom.Hi + 100); ok {
 		t.Fatal("out-of-extent delete accepted")
 	}
-	if ok, _ := col.Update(testDom.Hi+100, 5); ok {
+	if ok, _, _ := col.Update(testDom.Hi+100, 5); ok {
 		t.Fatal("out-of-extent update accepted")
 	}
 	if ds := col.DeltaStats(); ds.DeleteMisses != 2 {
@@ -524,8 +524,9 @@ func TestShardBulkLoad(t *testing.T) {
 	}
 }
 
-// TestShardDeltaStatsAggregation: counters sum, watermark is the max of
-// the per-shard clocks.
+// TestShardDeltaStatsAggregation: counters sum, watermark is the shared
+// column-wide commit clock's last stamped version (every shard stamps
+// from one clock, so 5 + 3 inserts advance it to 8).
 func TestShardDeltaStatsAggregation(t *testing.T) {
 	vals := testValues(5_000, 1)
 	col, err := New(testDom, vals, 4, segBuilder(compress.Off))
@@ -544,8 +545,8 @@ func TestShardDeltaStatsAggregation(t *testing.T) {
 	if ds.Inserts != 8 || ds.Pending != 8 {
 		t.Fatalf("aggregate: %+v", ds)
 	}
-	if ds.Watermark != 5 { // busiest shard's clock
-		t.Fatalf("watermark %d, want 5", ds.Watermark)
+	if ds.Watermark != 8 { // the shared clock saw all 8 writes
+		t.Fatalf("watermark %d, want 8", ds.Watermark)
 	}
 	if ds.PendingBytes != 8*4 {
 		t.Fatalf("pending bytes %d", ds.PendingBytes)

@@ -5,35 +5,36 @@ import (
 	"selforg/internal/domain"
 )
 
-// View is a read-only MVCC view of a sharded column: one pinned
-// core.View per shard, pinned in shard order. Consistency is per shard —
-// each shard's (base snapshot, delta watermark) pair is exact and stays
-// exact forever (per-shard pins are stable across splits, drops, bulk
-// loads and merge-backs for both strategies), but a writer may land
-// between two shard pins, so a multi-shard read is not a single
-// column-wide snapshot (the price of independent shard clocks).
+// View is a read-only MVCC view of a sharded column: one pinned view
+// per shard, pinned in shard order under the router's cross-shard read
+// lock. Each shard's (base snapshot, delta watermark) pair is exact and
+// stays exact forever (per-shard pins are stable across splits, drops,
+// bulk loads and merge-backs for both strategies). Single-shard writes
+// may still land between two shard pins, but a cross-shard update —
+// whose two halves mutate two shards under the lock's write half —
+// is observed entirely or not at all, so a pinned scan never sees zero
+// or two versions of an updated row.
 // Reads route exactly like Column queries and drive no adaptation.
 type View struct {
 	ranges []domain.Range
-	views  []*core.View
+	views  []core.PinnedView
 }
 
-// Pin returns a read-only view of the column, or nil when a shard's
-// strategy does not support pinning.
+// Pin returns a read-only view of the column. The pin sweep holds xmu's
+// read half so no cross-shard update is mid-flight across the per-shard
+// pins.
 func (c *Column) Pin() *View {
-	v := &View{ranges: c.ranges, views: make([]*core.View, len(c.shards))}
+	c.xmu.RLock()
+	defer c.xmu.RUnlock()
+	v := &View{ranges: c.ranges, views: make([]core.PinnedView, len(c.shards))}
 	for i, s := range c.shards {
-		switch t := s.(type) {
-		case *core.Segmenter:
-			v.views[i] = t.Pin()
-		case *core.Replicator:
-			v.views[i] = t.Pin()
-		default:
-			return nil
-		}
+		v.views[i] = s.PinView()
 	}
 	return v
 }
+
+// PinView implements core.DeltaStrategy.
+func (c *Column) PinView() core.PinnedView { return c.Pin() }
 
 // Select returns the values matching q as of the per-shard pins,
 // concatenated in shard order.
@@ -56,8 +57,9 @@ func (v *View) Count(q domain.Range) int64 {
 	return n
 }
 
-// Watermark returns the highest per-shard pinned version (each shard
-// stamps on its own clock; a single column-wide version does not exist).
+// Watermark returns the highest per-shard pinned version. With the
+// shared commit clock the per-shard marks are cuts of one column-wide
+// clock, so the maximum is the column's pinned version.
 func (v *View) Watermark() int64 {
 	var w int64
 	for _, sv := range v.views {

@@ -127,14 +127,14 @@ func RunMixed(cfg MixedConfig) *MixedResult {
 				case 2: // update
 					old := pool[rnd.Intn(len(pool))]
 					new := cfg.Dom.Lo + rnd.Int63n(cfg.Dom.Width())
-					ok, st := strat.Update(old, new)
+					ok, st, _ := strat.Update(old, new)
 					local.st.Add(st)
 					if !ok {
 						local.misses++
 					}
 				default: // delete
 					v := pool[rnd.Intn(len(pool))]
-					ok, st := strat.Delete(v)
+					ok, st, _ := strat.Delete(v)
 					local.st.Add(st)
 					if !ok {
 						local.misses++

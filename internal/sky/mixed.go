@@ -140,11 +140,11 @@ func runMixed(ds *Dataset, scheme Scheme, name WorkloadName, cfg Config, clients
 					_, _ = seg.Insert(v)
 				case 2:
 					old := targets[rnd.Intn(len(targets))]
-					if ok, _ := seg.Update(old, dom.Lo+rnd.Int63n(dom.Width())); !ok {
+					if ok, _, _ := seg.Update(old, dom.Lo+rnd.Int63n(dom.Width())); !ok {
 						local.misses++
 					}
 				default:
-					if ok, _ := seg.Delete(targets[rnd.Intn(len(targets))]); !ok {
+					if ok, _, _ := seg.Delete(targets[rnd.Intn(len(targets))]); !ok {
 						local.misses++
 					}
 				}

@@ -14,7 +14,7 @@ import (
 // two-parameter function (A0, A1 — the predicate bounds), exactly like
 // the cached plan of Figure 1; execute it with Interp.Run(prog, lo, hi).
 func Generate(q *Query, cat mal.Catalog) (*mal.Program, error) {
-	g := &gen{q: q, cat: cat}
+	g := &gen{q: q, schema: q.Schema, table: q.Table, selLo: "A0", selHi: "A1", cat: cat}
 	return g.generate()
 }
 
@@ -32,10 +32,14 @@ func Compile(src string, cat mal.Catalog) (*Query, *mal.Program, error) {
 }
 
 type gen struct {
-	q    *Query
-	cat  mal.Catalog
-	b    strings.Builder
-	next int
+	q             *Query // nil for write plans (dml.go)
+	schema, table string
+	// selLo/selHi are the plan arguments bounding predicate selections
+	// ("A0"/"A1"; write plans with equality predicates use "A0"/"A0").
+	selLo, selHi string
+	cat          mal.Catalog
+	b            strings.Builder
+	next         int
 }
 
 // v allocates a fresh plan variable.
@@ -50,7 +54,7 @@ func (g *gen) emitf(format string, args ...any) {
 
 // columnKind validates the column and returns its tail kind.
 func (g *gen) columnKind(col string) (bat.Kind, error) {
-	b, err := g.cat.Bind(g.q.Schema, g.q.Table, col, 0)
+	b, err := g.cat.Bind(g.schema, g.table, col, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -79,19 +83,19 @@ func sqlTypeName(k bat.Kind) string {
 // every leg to the selection bounds first (the Figure-1 pattern).
 func (g *gen) deltaChain(col string, sel bool) string {
 	base, ins, upd := g.v(), g.v(), g.v()
-	g.emitf("%s := sql.bind(%q,%q,%q,0);", base, g.q.Schema, g.q.Table, col)
-	g.emitf("%s := sql.bind(%q,%q,%q,1);", ins, g.q.Schema, g.q.Table, col)
-	g.emitf("%s := sql.bind(%q,%q,%q,2);", upd, g.q.Schema, g.q.Table, col)
+	g.emitf("%s := sql.bind(%q,%q,%q,0);", base, g.schema, g.table, col)
+	g.emitf("%s := sql.bind(%q,%q,%q,1);", ins, g.schema, g.table, col)
+	g.emitf("%s := sql.bind(%q,%q,%q,2);", upd, g.schema, g.table, col)
 	if sel {
 		sb, si := g.v(), g.v()
-		g.emitf("%s := algebra.uselect(%s,A0,A1,true,true);", sb, base)
-		g.emitf("%s := algebra.uselect(%s,A0,A1,true,true);", si, ins)
+		g.emitf("%s := algebra.uselect(%s,%s,%s,true,true);", sb, base, g.selLo, g.selHi)
+		g.emitf("%s := algebra.uselect(%s,%s,%s,true,true);", si, ins, g.selLo, g.selHi)
 		u := g.v()
 		g.emitf("%s := algebra.kunion(%s,%s);", u, sb, si)
 		masked := g.v()
 		g.emitf("%s := algebra.kdifference(%s,%s);", masked, u, upd)
 		su := g.v()
-		g.emitf("%s := algebra.uselect(%s,A0,A1,true,true);", su, upd)
+		g.emitf("%s := algebra.uselect(%s,%s,%s,true,true);", su, upd, g.selLo, g.selHi)
 		out := g.v()
 		g.emitf("%s := algebra.kunion(%s,%s);", out, masked, su)
 		return out
@@ -112,14 +116,10 @@ func (g *gen) generate() (*mal.Program, error) {
 	}
 	g.emitf("function user.q0(A0:dbl,A1:dbl):void;")
 
-	// Predicate evaluation over the delta bats, Figure-1 style.
+	// Predicate evaluation over the delta bats, Figure-1 style, then
+	// deletion masking.
 	qualified := g.deltaChain(q.PredCol, true)
-
-	// Deletion masking.
-	dbat, rev, live := g.v(), g.v(), g.v()
-	g.emitf("%s := sql.bind_dbat(%q,%q,1);", dbat, q.Schema, q.Table)
-	g.emitf("%s := bat.reverse(%s);", rev, dbat)
-	g.emitf("%s := algebra.kdifference(%s,%s);", live, qualified, rev)
+	live := g.maskDeletes(qualified)
 
 	switch q.Aggregate {
 	case "count":
@@ -167,12 +167,17 @@ func (g *gen) generate() (*mal.Program, error) {
 		g.emitf("sql.exportResult(%s,\"\");", rs)
 	}
 	g.emitf("end q0;")
+	return g.parse()
+}
 
-	prog, err := mal.Parse(g.b.String())
-	if err != nil {
-		return nil, fmt.Errorf("sql: generated invalid MAL: %w\n%s", err, g.b.String())
-	}
-	return prog, nil
+// maskDeletes emits the deletion-bat mask of Figure 1: the reversed
+// dbat kdifferenced away from the qualifying rows.
+func (g *gen) maskDeletes(qualified string) string {
+	dbat, rev, live := g.v(), g.v(), g.v()
+	g.emitf("%s := sql.bind_dbat(%q,%q,1);", dbat, g.schema, g.table)
+	g.emitf("%s := bat.reverse(%s);", rev, dbat)
+	g.emitf("%s := algebra.kdifference(%s,%s);", live, qualified, rev)
+	return live
 }
 
 // renumber emits the markT/reverse pair of Figure 1, yielding the

@@ -1,0 +1,125 @@
+package sql
+
+// DML lowering: write statements compile to MAL plans that reuse the
+// Figure-1 read machinery for their predicates. An UPDATE or DELETE
+// first evaluates its equality predicate through the full delta-bat
+// merge (base + inserts, update overlay, deletion masking) — so a write
+// sees exactly what a SELECT at the same moment would see — and then
+// hands the qualifying [oid, value] bat to the catalog's write surface
+// (sql.updateRows / sql.deleteRows). INSERT plans are a straight-line
+// sequence of sql.insertRow calls, one per row.
+//
+// Write plans are compiled per statement and never cached: their
+// constants are embedded (INSERT) or bound (UPDATE: A0 = predicate
+// value, A1 = set value; DELETE: A0 = predicate value), and the write
+// builtins are registered impure with the tactical optimizer so neither
+// CSE nor dead-code elimination can drop or merge them.
+
+import (
+	"fmt"
+
+	"selforg/internal/mal"
+)
+
+// GenerateDML compiles a write statement into a MAL plan. UPDATE plans
+// take (A0 = predicate value, A1 = set value); DELETE plans take
+// (A0 = predicate value); INSERT plans take no arguments. Execute with
+// Interp.Run and read Context.Affected for the row count.
+func GenerateDML(s Stmt, cat mal.Catalog) (*mal.Program, error) {
+	switch s := s.(type) {
+	case *Insert:
+		return generateInsert(s, cat)
+	case *Update:
+		return generateUpdate(s, cat)
+	case *Delete:
+		return generateDelete(s, cat)
+	default:
+		return nil, fmt.Errorf("sql: no MAL lowering for %T", s)
+	}
+}
+
+// insertColumns resolves the column list an INSERT targets: the
+// explicit list when given, otherwise the table's declared order (the
+// catalog must implement ColumnsOf, as MemCatalog does).
+func insertColumns(s *Insert, cat mal.Catalog) ([]string, error) {
+	if len(s.Columns) > 0 {
+		return s.Columns, nil
+	}
+	type columnsOf interface {
+		ColumnsOf(schema, table string) []string
+	}
+	if co, ok := cat.(columnsOf); ok {
+		if cols := co.ColumnsOf(s.Schema, s.Table); len(cols) > 0 {
+			return cols, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: INSERT INTO %s.%s needs an explicit column list", s.Schema, s.Table)
+}
+
+func generateInsert(s *Insert, cat mal.Catalog) (*mal.Program, error) {
+	cols, err := insertColumns(s, cat)
+	if err != nil {
+		return nil, err
+	}
+	g := &gen{schema: s.Schema, table: s.Table, cat: cat}
+	for _, col := range cols {
+		if _, err := g.columnKind(col); err != nil {
+			return nil, err
+		}
+	}
+	if len(s.Rows) == 0 {
+		return nil, fmt.Errorf("sql: INSERT without rows")
+	}
+	g.emitf("function user.w0():void;")
+	for _, row := range s.Rows {
+		if len(row) != len(cols) {
+			return nil, fmt.Errorf("sql: row has %d values, want %d", len(row), len(cols))
+		}
+		args := fmt.Sprintf("%q,%q", s.Schema, s.Table)
+		for i, col := range cols {
+			args += fmt.Sprintf(",%q,%g", col, row[i])
+		}
+		g.emitf("%s := sql.insertRow(%s);", g.v(), args)
+	}
+	g.emitf("end w0;")
+	return g.parse()
+}
+
+func generateUpdate(s *Update, cat mal.Catalog) (*mal.Program, error) {
+	g := &gen{schema: s.Schema, table: s.Table, selLo: "A0", selHi: "A0", cat: cat}
+	if _, err := g.columnKind(s.SetCol); err != nil {
+		return nil, err
+	}
+	if _, err := g.columnKind(s.PredCol); err != nil {
+		return nil, err
+	}
+	g.emitf("function user.w0(A0:dbl,A1:dbl):void;")
+	qualified := g.deltaChain(s.PredCol, true)
+	live := g.maskDeletes(qualified)
+	g.emitf("%s := sql.updateRows(%q,%q,%q,A1,%s);", g.v(), s.Schema, s.Table, s.SetCol, live)
+	g.emitf("end w0;")
+	return g.parse()
+}
+
+func generateDelete(s *Delete, cat mal.Catalog) (*mal.Program, error) {
+	g := &gen{schema: s.Schema, table: s.Table, selLo: "A0", selHi: "A0", cat: cat}
+	if _, err := g.columnKind(s.PredCol); err != nil {
+		return nil, err
+	}
+	g.emitf("function user.w0(A0:dbl):void;")
+	qualified := g.deltaChain(s.PredCol, true)
+	live := g.maskDeletes(qualified)
+	g.emitf("%s := sql.deleteRows(%q,%q,%s);", g.v(), s.Schema, s.Table, live)
+	g.emitf("end w0;")
+	return g.parse()
+}
+
+// parse finishes code generation, turning the emitted text into a
+// parsed program.
+func (g *gen) parse() (*mal.Program, error) {
+	prog, err := mal.Parse(g.b.String())
+	if err != nil {
+		return nil, fmt.Errorf("sql: generated invalid MAL: %w\n%s", err, g.b.String())
+	}
+	return prog, nil
+}

@@ -22,6 +22,17 @@ var fuzzSeeds = []string{
 	"SELECT x FROM t WHERE v BETWEEN 2 AND 1",
 	"SELECT\tx\nFROM\r\nt WHERE v\nBETWEEN 1 AND 2",
 	";", "", "SELECT", "sElEcT x FrOm T wHeRe V bEtWeEn 1 aNd 2",
+	// Write surface (rejected by Parse, the full grammar for ParseStmt).
+	"CREATE TABLE t (a, b)",
+	"create table s.t (a bigint, b int);",
+	"CREATE TABLE t (a, a)",
+	"INSERT INTO t VALUES (1), (2.5), (-3)",
+	"insert into t (a, b) values (1, 2), (3, 4);",
+	"INSERT INTO t (a) VALUES (1, 2)",
+	"UPDATE t SET a = 7 WHERE b = 2",
+	`update "from" set "set" = 1 where "where" = 2`,
+	"DELETE FROM t WHERE c = 6",
+	"DELETE FROM t WHERE c = 6 extra",
 }
 
 // FuzzParse asserts parse→String→parse round-trip stability: any input

@@ -13,9 +13,16 @@
 // (internal/opt), where the segment pass applies the §3.1 rewriting if
 // the predicate column is segmented.
 //
+// The write grammar (stmt.go) extends the front end to DML and DDL —
+// CREATE TABLE, INSERT, UPDATE, DELETE — parsed by ParseStmt and
+// lowered (dml.go) onto the same delta-bat machinery: write predicates
+// evaluate through the Figure-1 merge, and the qualifying oids feed the
+// catalog's write surface.
+//
 // Normalize (normalize.go) additionally produces the canonical
 // constant-lifted fingerprint of a statement, the key of the query
-// tier's plan cache (internal/plancache).
+// tier's plan cache (internal/plancache). Write statements normalize
+// too (for observability) but are never cached.
 package sql
 
 import (
@@ -80,15 +87,7 @@ func (q *Query) String() string {
 // (Schema, Table) pair: a non-default schema joins back into the dotted
 // form the parser splits, while a default-schema table containing dots
 // must be quoted or the re-parse would split it.
-func (q *Query) tableRef() string {
-	if q.Schema != "" && q.Schema != "sys" {
-		return quoteIdent(q.Schema + "." + q.Table)
-	}
-	if strings.ContainsRune(q.Table, '.') {
-		return `"` + q.Table + `"`
-	}
-	return quoteIdent(q.Table)
-}
+func (q *Query) tableRef() string { return renderTableRef(q.Schema, q.Table) }
 
 // quoteIdent renders an identifier, double-quoting it when it would not
 // survive a round trip as a plain token (keyword spelling, exotic
@@ -113,10 +112,11 @@ func isPlainIdent(s string) bool {
 	return true
 }
 
-// Parse parses one statement of the supported class. Keywords are
-// case-insensitive; identifiers keep their case. Double-quoted
-// identifiers escape keyword interpretation ("select" is a column name).
-// Errors are *SyntaxError values carrying the byte offset of the fault.
+// Parse parses one SELECT of the supported class (use ParseStmt for the
+// full statement surface including DML). Keywords are case-insensitive;
+// identifiers keep their case. Double-quoted identifiers escape keyword
+// interpretation ("select" is a column name). Errors are *SyntaxError
+// values carrying the byte offset of the fault.
 func Parse(src string) (*Query, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -153,7 +153,7 @@ func lex(src string) ([]tok, error) {
 		switch {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			i++
-		case c == ',' || c == '(' || c == ')' || c == '*' || c == ';':
+		case c == ',' || c == '(' || c == ')' || c == '*' || c == ';' || c == '=':
 			out = append(out, tok{kind: "punct", s: string(c), off: i})
 			i++
 		case c == '\'':
@@ -284,7 +284,8 @@ func (p *parser) number() (float64, error) {
 
 func isKeyword(s string) bool {
 	switch strings.ToUpper(s) {
-	case "SELECT", "FROM", "WHERE", "BETWEEN", "AND", "COUNT", "SUM":
+	case "SELECT", "FROM", "WHERE", "BETWEEN", "AND", "COUNT", "SUM",
+		"INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "TABLE":
 		return true
 	}
 	return false
@@ -341,17 +342,11 @@ func (p *parser) parseQuery() (*Query, error) {
 	if err := p.keyword("from"); err != nil {
 		return nil, err
 	}
-	tableTok := p.peek()
-	table, err := p.ident()
-	if err != nil {
-		return nil, err
-	}
 	// Optional schema qualification "schema.table" (plain identifiers
 	// only: a quoted identifier keeps its dots).
-	if i := strings.IndexByte(table, '.'); i >= 0 && !tableTok.quoted {
-		q.Schema, q.Table = table[:i], table[i+1:]
-	} else {
-		q.Table = table
+	var err error
+	if q.Schema, q.Table, err = p.tableName(); err != nil {
+		return nil, err
 	}
 	if err := p.keyword("where"); err != nil {
 		return nil, err
@@ -376,12 +371,8 @@ func (p *parser) parseQuery() (*Query, error) {
 	if q.Hi < q.Lo {
 		return nil, errAt(boundsOff, "BETWEEN bounds inverted (%g > %g)", q.Lo, q.Hi)
 	}
-	// Optional trailing semicolon, then end of input.
-	if p.peek().kind == "punct" && p.peek().s == ";" {
-		p.next()
-	}
-	if p.pos != len(p.toks) {
-		return nil, errAt(p.peek().off, "trailing input at %s", describe(p.peek()))
+	if err := p.finish(); err != nil {
+		return nil, err
 	}
 	return q, nil
 }

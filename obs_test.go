@@ -166,7 +166,7 @@ func TestObsTotalsEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	want.Add(ist)
-	if ok, dst := col.Delete(42); ok {
+	if ok, dst, _ := col.Delete(42); ok {
 		want.Add(dst)
 	} else {
 		t.Fatal("delete missed")

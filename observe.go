@@ -26,7 +26,6 @@ import (
 	"selforg/internal/core"
 	"selforg/internal/domain"
 	"selforg/internal/obs"
-	"selforg/internal/shard"
 )
 
 // Observer is the observability hub a Column reports into: a metrics
@@ -114,7 +113,7 @@ type LayoutInfo struct {
 // counters only, so it is safe to call concurrently with queries and
 // never blocks a writer.
 func (c *Column) LayoutInfo() []LayoutInfo {
-	if sc, ok := c.strat.(*shard.Column); ok {
+	if sc, ok := c.strat.(shardedColumn); ok {
 		out := make([]LayoutInfo, sc.Shards())
 		for i := range out {
 			out[i] = layoutOf(i, sc.ShardRange(i), sc.Shard(i))
@@ -124,22 +123,22 @@ func (c *Column) LayoutInfo() []LayoutInfo {
 	return []LayoutInfo{layoutOf(0, c.extent, c.strat)}
 }
 
-// layoutOf snapshots one shard strategy into a LayoutInfo row.
+// layoutOf snapshots one shard strategy into a LayoutInfo row. The
+// strategy label follows the core.TreeShaped capability: tree-shaped
+// shards are replica trees, flat ones segment lists.
 func layoutOf(idx int, rng domain.Range, s core.DeltaStrategy) LayoutInfo {
 	li := LayoutInfo{
 		Shard:             idx,
 		Range:             Interval{rng.Lo, rng.Hi},
+		Strategy:          "segm",
 		Segments:          s.SegmentCount(),
 		StorageBytes:      int64(s.StorageBytes()),
 		UncompressedBytes: int64(s.UncompressedBytes()),
 	}
-	switch t := s.(type) {
-	case *core.Segmenter:
-		li.Strategy = "segm"
-	case *core.Replicator:
+	if t, ok := s.(core.TreeShaped); ok {
 		li.Strategy = "repl"
 		li.Virtual = t.VirtualCount()
-		li.Depth = t.Depth()
+		li.Depth = t.TreeDepth()
 	}
 	es := s.EncodingStats()
 	for _, e := range compress.Encodings {
@@ -160,12 +159,14 @@ func layoutOf(idx int, rng domain.Range, s core.DeltaStrategy) LayoutInfo {
 // background drainers. Called once from New on the fully built column.
 func (c *Column) observe() {
 	ob := c.opts.Observability.resolve()
-	switch s := c.strat.(type) {
-	case *core.Segmenter:
+	// Two observer capability shapes exist: per-shard strategies take the
+	// shard index to label their metrics, the router labels its shards
+	// itself.
+	if s, ok := c.strat.(interface {
+		SetObserver(ob *obs.Observer, shardIdx int)
+	}); ok {
 		s.SetObserver(ob, 0)
-	case *core.Replicator:
-		s.SetObserver(ob, 0)
-	case *shard.Column:
+	} else if s, ok := c.strat.(interface{ SetObserver(ob *obs.Observer) }); ok {
 		s.SetObserver(ob)
 	}
 	if c.dur != nil {
@@ -190,19 +191,27 @@ func (c *Column) observe() {
 	}
 }
 
-// startDrainers launches one background adaptation drainer per
-// Replicator shard and returns their stop functions.
+// backgroundDrainer is the optional capability of strategies that queue
+// adaptation for deferred draining (the Replicator).
+type backgroundDrainer interface {
+	StartBackgroundDrain(interval time.Duration) func()
+}
+
+// startDrainers launches one background adaptation drainer per shard
+// strategy that supports deferred draining, returning the stop funcs.
 func startDrainers(strat core.DeltaStrategy, interval time.Duration) []func() {
 	var stops []func()
-	switch s := strat.(type) {
-	case *core.Replicator:
-		stops = append(stops, s.StartBackgroundDrain(interval))
-	case *shard.Column:
-		for i := 0; i < s.Shards(); i++ {
-			if r, ok := s.Shard(i).(*core.Replicator); ok {
-				stops = append(stops, r.StartBackgroundDrain(interval))
-			}
+	add := func(s core.DeltaStrategy) {
+		if d, ok := s.(backgroundDrainer); ok {
+			stops = append(stops, d.StartBackgroundDrain(interval))
 		}
+	}
+	if sc, ok := strat.(shardedColumn); ok {
+		for i := 0; i < sc.Shards(); i++ {
+			add(sc.Shard(i))
+		}
+	} else {
+		add(strat)
 	}
 	return stops
 }

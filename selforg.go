@@ -620,9 +620,19 @@ func buildStrategy(o Options, rng domain.Range, values []domain.Value, rec *dura
 	return strat, nil
 }
 
+// shardedColumn is the optional routing capability of the shard router:
+// per-shard access for diagnostics, checkpoint capture and drainer
+// wiring. The facade dispatches on it instead of on the concrete
+// *shard.Column type.
+type shardedColumn interface {
+	Shards() int
+	Shard(i int) core.DeltaStrategy
+	ShardRange(i int) domain.Range
+}
+
 // Shards returns the configured shard count (1 for unsharded columns).
 func (c *Column) Shards() int {
-	if sc, ok := c.strat.(*shard.Column); ok {
+	if sc, ok := c.strat.(shardedColumn); ok {
 		return sc.Shards()
 	}
 	return 1
@@ -705,48 +715,24 @@ func (c *Column) Name() string { return c.strat.Name() }
 
 // Layout renders the current segment layout for diagnostics: the flat
 // segment list for segmentation, the replica tree (with virtual segments
-// marked) for replication.
-func (c *Column) Layout() string {
-	switch s := c.strat.(type) {
-	case *core.Segmenter:
-		return s.List().Dump()
-	case *core.Replicator:
-		return s.Dump()
-	case *shard.Column:
-		return s.Layout()
-	default:
-		return c.strat.Name()
-	}
-}
+// marked) for replication, a per-shard breakdown when sharded.
+func (c *Column) Layout() string { return c.strat.Layout() }
 
 // Validate checks the column's structural invariants — segment adjacency,
 // extent coverage and value containment for segmentation; tree tiling and
 // coverability for replication. Queries keep a valid column valid; the
 // method exists for tests and operational health checks.
-func (c *Column) Validate() error {
-	switch s := c.strat.(type) {
-	case *core.Segmenter:
-		return s.List().Validate()
-	case *core.Replicator:
-		return s.Validate()
-	case *shard.Column:
-		return s.Validate()
-	default:
-		return nil
-	}
-}
+func (c *Column) Validate() error { return c.strat.Validate() }
 
 // Replication-specific inspection: Depth and VirtualCount return the
-// replica tree shape, or zero for segmentation columns.
+// replica tree shape, or zero for segmentation columns. Both dispatch on
+// the optional core.TreeShaped capability.
 
 // TreeDepth returns the replica tree depth (0 for segmentation; the
 // maximum over the shards when sharded).
 func (c *Column) TreeDepth() int {
-	switch s := c.strat.(type) {
-	case *core.Replicator:
-		return s.Depth()
-	case *shard.Column:
-		return s.TreeDepth()
+	if t, ok := c.strat.(core.TreeShaped); ok {
+		return t.TreeDepth()
 	}
 	return 0
 }
@@ -754,11 +740,8 @@ func (c *Column) TreeDepth() int {
 // VirtualCount returns the number of virtual segments (0 for
 // segmentation; summed over the shards when sharded).
 func (c *Column) VirtualCount() int {
-	switch s := c.strat.(type) {
-	case *core.Replicator:
-		return s.VirtualCount()
-	case *shard.Column:
-		return s.VirtualCount()
+	if t, ok := c.strat.(core.TreeShaped); ok {
+		return t.VirtualCount()
 	}
 	return 0
 }
@@ -768,37 +751,29 @@ func (c *Column) VirtualCount() int {
 // fragmentation. It returns the bytes rewritten and reports whether the
 // column supports gluing.
 func (c *Column) GlueSmall(minBytes int64) (int64, bool) {
-	switch s := c.strat.(type) {
-	case *core.Segmenter:
-		return s.GlueSmall(minBytes), true
-	case *shard.Column:
-		return s.GlueSmall(minBytes)
-	}
-	return 0, false
+	return c.strat.GlueSmall(minBytes)
 }
 
 // BulkLoad appends a batch of values to the column, preserving the
 // adaptive organization — the "few large bulk loads" half of the paper's
 // target application class (§7). Touched segments are rewritten; under
 // replication every materialized copy covering a value receives it.
+// On a durable column the load checkpoint-fences itself: BulkLoad
+// returns only after a full checkpoint has captured the loaded content,
+// so an acked bulk load survives a crash exactly like an acked point
+// write (the PR 8 "bulk loads bypass the WAL" hole is closed).
 func (c *Column) BulkLoad(values []int64) (Stats, error) {
-	var qs core.QueryStats
-	var err error
-	switch s := c.strat.(type) {
-	case *core.Segmenter:
-		qs, err = s.BulkLoad(values)
-	case *core.Replicator:
-		qs, err = s.BulkLoad(values)
-	case *shard.Column:
-		qs, err = s.BulkLoad(values)
-	default:
-		return Stats{}, fmt.Errorf("selforg: %s does not support bulk loading", c.strat.Name())
-	}
+	qs, err := c.strat.BulkLoad(values)
 	if err != nil {
 		return Stats{}, err
 	}
 	st := statsFrom(qs)
 	c.acct.add(st)
+	if c.dur != nil {
+		if err := c.dur.Checkpoint(); err != nil {
+			return st, fmt.Errorf("selforg: bulk load checkpoint fence: %w", err)
+		}
+	}
 	return st, nil
 }
 
@@ -825,28 +800,33 @@ func (c *Column) Insert(v int64) (Stats, error) {
 
 // Delete removes one occurrence of v (a pending insert is cancelled, a
 // base row is tombstoned). It reports false — and writes nothing — when
-// no visible row carries v.
-func (c *Column) Delete(v int64) (bool, Stats) {
+// no visible row carries v; the error reports a write-infrastructure
+// failure (merge-back, WAL append/fsync, halted committer), so a miss
+// and a durability fault are no longer conflated.
+func (c *Column) Delete(v int64) (bool, Stats, error) {
 	if c.dur != nil {
 		return c.durDelete(v)
 	}
-	ok, qs := c.strat.Delete(v)
+	ok, qs, err := c.strat.Delete(v)
 	st := statsFrom(qs)
 	c.acct.add(st)
-	return ok, st
+	return ok, st, err
 }
 
 // Update atomically replaces one occurrence of old with new: every
 // query snapshot sees either the old row or the new one, never both and
-// never neither. It reports false when no visible row carries old.
-func (c *Column) Update(old, new int64) (bool, Stats) {
+// never neither (for sharded columns the both-or-neither guarantee
+// holds through pinned Views — see View). It reports false when no
+// visible row carries old; the error reports a write-infrastructure
+// failure, following Delete's contract.
+func (c *Column) Update(old, new int64) (bool, Stats, error) {
 	if c.dur != nil {
 		return c.durUpdate(old, new)
 	}
-	ok, qs := c.strat.Update(old, new)
+	ok, qs, err := c.strat.Update(old, new)
 	st := statsFrom(qs)
 	c.acct.add(st)
-	return ok, st
+	return ok, st, err
 }
 
 // MergeDeltas force-drains the pending writes into the base segments
@@ -910,34 +890,17 @@ type DeltaStats struct {
 // persistent-tree root exactly as a Segmentation view pins an immutable
 // segment list, so snapshot isolation holds across any later write.
 func (c *Column) View() *View {
-	switch s := c.strat.(type) {
-	case *core.Segmenter:
-		return &View{v: s.Pin()}
-	case *core.Replicator:
-		return &View{v: s.Pin()}
-	case *shard.Column:
-		if v := s.Pin(); v != nil {
-			return &View{v: v}
-		}
-		return nil
-	default:
-		return nil
-	}
-}
-
-// pinnedView is the common surface of core.View and shard.View.
-type pinnedView interface {
-	Select(q domain.Range) []domain.Value
-	Count(q domain.Range) int64
-	Watermark() int64
+	return &View{v: c.strat.PinView()}
 }
 
 // View is a pinned read-only MVCC view of a Column. For sharded columns
-// it pins one view per shard (in shard order): each shard's pair is
-// exact, but the pins are not one column-wide atomic snapshot, and
-// Watermark reports the highest per-shard clock.
+// it pins one view per shard (in shard order); all shards stamp from
+// one column-wide commit clock, and the pin sweep excludes in-flight
+// cross-shard updates, so a pinned View observes a cross-shard update
+// entirely or not at all. Single-shard writes may still land between
+// two shard pins of one sweep.
 type View struct {
-	v pinnedView
+	v core.PinnedView
 }
 
 // Select returns the values in [lo, hi] as of the pinned view (order

@@ -178,6 +178,66 @@ func TestShardedFacadeSurface(t *testing.T) {
 	}
 }
 
+// TestCrossShardUpdateAtomicUnderViews pins the cross-shard atomicity
+// guarantee: an update whose delete half and insert half land on
+// different shards carries one column-wide commit stamp, so a pinned
+// View — whose pin sweep excludes mid-flight cross-shard updates — sees
+// the row in exactly one of its two homes, never zero, never both.
+func TestCrossShardUpdateAtomicUnderViews(t *testing.T) {
+	const shards = 4
+	col := shardTestColumn(t, Options{Shards: shards}, 1)
+	width := shardDom.Width() / shards
+	a := shardDom.Lo + 5           // shard 0
+	b := shardDom.Lo + 3*width + 5 // shard 3
+	if _, err := col.Insert(a); err != nil {
+		t.Fatal(err)
+	}
+	na, _ := col.Count(a, a)
+	nb, _ := col.Count(b, b)
+	base := na + nb // invariant: every snapshot sees this many a's + b's
+
+	const toggles = 400
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < toggles; i++ {
+			old, new := a, b
+			if i%2 == 1 {
+				old, new = b, a
+			}
+			if ok, _, err := col.Update(old, new); !ok || err != nil {
+				panic(fmt.Sprintf("toggle %d: ok=%v err=%v", i, ok, err))
+			}
+		}
+	}()
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := col.View()
+				if v == nil {
+					panic("no view")
+				}
+				got := v.Count(a, a) + v.Count(b, b)
+				if got != base {
+					panic(fmt.Sprintf("snapshot saw %d versions, want %d (zero or two visible)", got, base))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	na, _ = col.Count(a, a)
+	nb, _ = col.Count(b, b)
+	if na+nb != base {
+		t.Fatalf("final %d + %d != %d", na, nb, base)
+	}
+	if err := col.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestShardStressScannersAndWriters is the 8-scanner / 4-writer sharded
 // stress run: writers hammer disjoint shard ranges (plus cross-shard
 // updates) with merge churn while scanners sweep the whole domain. CI
@@ -204,7 +264,7 @@ func TestShardStressScannersAndWriters(t *testing.T) {
 					// Occasional cross-shard update: move a row into the
 					// neighbouring writer's shard.
 					nv := shardDom.Lo + (v-shardDom.Lo+width)%(width*writers)
-					if ok, _ := col.Update(v, nv); !ok {
+					if ok, _, _ := col.Update(v, nv); !ok {
 						if _, err := col.Insert(nv); err != nil {
 							panic(err)
 						}
