@@ -8,11 +8,18 @@ GO ?= go
 # scans, compression fast paths, delta writes, merge-back, sharded
 # writers, the query service tier). Keep this in sync with
 # .github/workflows/ci.yml.
-BENCH_SET  := AblationCompressedScan|AblationCompressedCount|LargeScanSerial|LargeScanParallel4|DeltaInsert|DeltaOverlayScan|DeltaMergeBack|Sharded|SelectRange|CountRange|ScanObsOn|ScanObsOff|SQLColdVsWarmPlan|SQLInsertThroughput|SoserveThroughput|WALAppend|GroupCommitThroughput|OverlayScanSortedRuns
+BENCH_SET  := AblationCompressedScan|AblationCompressedCount|LargeScanSerial|LargeScanParallel4|DeltaInsert|DeltaOverlayScan|DeltaMergeBack|Sharded|ShardedScanAssembly|SelectRange|CountRange|ScanObsOn|ScanObsOff|SQLColdVsWarmPlan|SQLInsertThroughput|SoserveThroughput|ServerSelectLarge|WALAppend|GroupCommitThroughput|OverlayScanSortedRuns
 BENCH_PKGS := . ./internal/compress ./internal/server
-BENCH_ARGS := -run '^$$' -bench '$(BENCH_SET)' -benchtime 10x -count 3
+# -benchmem rides along so the regression gate sees B/op and allocs/op
+# next to ns/op (benchdiff gates on the allocs geomean too).
+BENCH_ARGS := -run '^$$' -bench '$(BENCH_SET)' -benchtime 10x -count 3 -benchmem
 
-.PHONY: build test race lint fuzz-smoke bench-ci bench-check bench-baseline ci
+# The concurrency-sensitive benchmarks (chunked parallel scans, sharded
+# scans/writers, concurrent scanners over replicas) run at GOMAXPROCS 1
+# and 4 by bench-multicore, so scaling is measured rather than assumed.
+MULTICORE_SET := LargeScanParallel|ShardedScan|ShardedWriters|ShardedMixedWorkload|ConcurrentScanners
+
+.PHONY: build test race lint fuzz-smoke bench-ci bench-check bench-baseline bench-multicore ci
 
 build:
 	$(GO) build ./...
@@ -51,6 +58,15 @@ bench-ci:
 # only affects direct pushes and local runs.)
 bench-check: bench-ci
 	/tmp/benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 0.25
+
+# bench-multicore measures per-core scaling: each concurrency-sensitive
+# benchmark runs twice, pinned to GOMAXPROCS 1 and 4, and the ns/op
+# ratio between the -cpu rows is the observed speedup. On a single-core
+# host the -cpu 4 rows measure goroutine-scheduling overhead, not
+# speedup — CI's multi-vCPU runners produce the real scaling numbers
+# (recorded in BENCH.md).
+bench-multicore:
+	$(GO) test -run '^$$' -bench '$(MULTICORE_SET)' -benchtime 10x -count 1 -cpu 1,4 -benchmem .
 
 # bench-baseline regenerates the checked-in baseline after an intentional
 # performance change (commit the resulting BENCH_baseline.json).

@@ -1,0 +1,49 @@
+package selforg
+
+// Result-assembly benchmarks for the rope read path (PR 10): a
+// multi-shard scan's merge step used to re-copy earlier shards' values
+// every time the flat result grew; chunk splicing makes the merge
+// O(chunks) and defers the single copy to the final Flatten. The
+// full-span scan across shard counts is the proof: the scanned volume
+// is constant, so assembly cost (and allocs/op) must not scale with
+// the shard count.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkShardedScanAssembly measures full-span scans across shard
+// counts through both read paths: Column.Select (flat) and the pinned
+// MVCC view. Every arm returns the same 100K values; with chunk-spliced
+// assembly, ns/op and allocs/op stay flat as shards grow.
+func BenchmarkShardedScanAssembly(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		col := benchShardedColumn(b, k)
+		// Converge the layout so the steady-state cost is assembly, not
+		// adaptation.
+		for q := 0; q < 50; q++ {
+			col.Select(0, 999_999)
+		}
+		b.Run(fmt.Sprintf("column/shards=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, _ := col.Select(0, 999_999)
+				if len(res) != 100_000 {
+					b.Fatalf("got %d values", len(res))
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("view/shards=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			v := col.View()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res := v.Select(0, 999_999); len(res) != 100_000 {
+					b.Fatalf("got %d values", len(res))
+				}
+			}
+		})
+	}
+}

@@ -68,10 +68,10 @@ func TestSQLHappyPaths(t *testing.T) {
 		t.Fatalf("SELECT status %d: %s", resp.StatusCode, body)
 	}
 	sel := decodeResult(t, body)
-	if sel.Op != "select" || sel.Count == 0 || int64(len(sel.Rows)) != sel.Count {
+	if sel.Op != "select" || sel.Count == 0 || int64(sel.Rows.Len()) != sel.Count {
 		t.Errorf("SELECT result = %+v", sel)
 	}
-	for _, v := range sel.Rows {
+	for _, v := range sel.Rows.Values() {
 		if v < 42 || v > 52 {
 			t.Errorf("row %d outside [42, 52]", v)
 		}
@@ -92,7 +92,7 @@ func TestSQLHappyPaths(t *testing.T) {
 	}
 	sum := decodeResult(t, body)
 	var want int64
-	for _, v := range sel.Rows {
+	for _, v := range sel.Rows.Values() {
 		want += v
 	}
 	if sum.Op != "sum" || sum.Sum != want {

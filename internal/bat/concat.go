@@ -1,0 +1,125 @@
+package bat
+
+// Concat concatenates parts in order into one BAT, copying each column
+// with one typed bulk append per part instead of a per-row Append loop —
+// the merge step of the parallel operators. Column kinds must match
+// across parts. A single part is returned as-is (no copy); dense oid
+// heads stay dense when the parts' sequences are contiguous.
+func Concat(parts []*BAT) *BAT {
+	if len(parts) == 0 {
+		panic("bat: Concat of no parts")
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	total := 0
+	for _, p := range parts {
+		if p.HeadKind() != parts[0].HeadKind() || p.TailKind() != parts[0].TailKind() {
+			panic("bat: Concat of mismatched column kinds")
+		}
+		total += p.Len()
+	}
+	heads := make([]Vector, len(parts))
+	tails := make([]Vector, len(parts))
+	for i, p := range parts {
+		heads[i] = p.Head
+		tails[i] = p.Tail
+	}
+	return New(concatVecs(heads, total), concatVecs(tails, total))
+}
+
+// concatVecs concatenates same-kind vectors with a bulk copy per part.
+// Vectors of mixed or unknown implementations (a compressed tail beside
+// a plain one) fall back to the per-row append path.
+func concatVecs(vs []Vector, total int) Vector {
+	switch vs[0].(type) {
+	case *LngVector:
+		out := make([]int64, 0, total)
+		for _, v := range vs {
+			l, ok := v.(*LngVector)
+			if !ok {
+				return rowConcat(vs)
+			}
+			out = append(out, l.vals...)
+		}
+		return NewLngs(out)
+	case *DblVector:
+		out := make([]float64, 0, total)
+		for _, v := range vs {
+			d, ok := v.(*DblVector)
+			if !ok {
+				return rowConcat(vs)
+			}
+			out = append(out, d.vals...)
+		}
+		return NewDbls(out)
+	case *StrVector:
+		out := make([]string, 0, total)
+		for _, v := range vs {
+			s, ok := v.(*StrVector)
+			if !ok {
+				return rowConcat(vs)
+			}
+			out = append(out, s.vals...)
+		}
+		return NewStrs(out)
+	case *BitVector:
+		out := make([]bool, 0, total)
+		for _, v := range vs {
+			b, ok := v.(*BitVector)
+			if !ok {
+				return rowConcat(vs)
+			}
+			out = append(out, b.vals...)
+		}
+		return &BitVector{vals: out}
+	case *OidVector:
+		oids := make([]*OidVector, len(vs))
+		for i, v := range vs {
+			o, ok := v.(*OidVector)
+			if !ok {
+				return rowConcat(vs)
+			}
+			oids[i] = o
+		}
+		// Contiguous dense sequences concatenate into one dense (void)
+		// vector — the common case when chunked dense heads are merged
+		// back in row order.
+		dense := true
+		next := oids[0].base
+		for _, o := range oids {
+			if !o.dense || (o.n > 0 && o.base != next) {
+				dense = false
+				break
+			}
+			next += uint64(o.n)
+		}
+		if dense {
+			return NewDenseOids(oids[0].base, total)
+		}
+		out := make([]uint64, 0, total)
+		for _, o := range oids {
+			if o.dense {
+				for i := 0; i < o.n; i++ {
+					out = append(out, o.base+uint64(i))
+				}
+				continue
+			}
+			out = append(out, o.vals...)
+		}
+		return NewOids(out)
+	default:
+		return rowConcat(vs)
+	}
+}
+
+// rowConcat is the generic per-row concatenation fallback.
+func rowConcat(vs []Vector) Vector {
+	out := vs[0].Empty()
+	for _, v := range vs {
+		for i := 0; i < v.Len(); i++ {
+			out = out.Append(v.Get(i))
+		}
+	}
+	return out
+}

@@ -79,14 +79,10 @@ func RangeSelectPar(b *BAT, lo, hi Value, loIncl, hiIncl bool, workers int) *BAT
 	forEachChunk(chunks, workers, func(i, lo2, hi2 int) {
 		parts[i] = RangeSelect(b.Slice(lo2, hi2), lo, hi, loIncl, hiIncl)
 	})
-	out := Empty(b.HeadKind(), b.TailKind())
-	for _, p := range parts {
-		for r := 0; r < p.Len(); r++ {
-			h, t := p.Row(r)
-			out.AppendRow(h, t)
-		}
-	}
-	return out
+	// One typed bulk copy per partial instead of a per-row append loop:
+	// the merge cost is proportional to the result size, with no per-row
+	// interface dispatch.
+	return Concat(parts)
 }
 
 // SumPar is the parallel aggr.sum: per-chunk partial sums merged in chunk

@@ -53,6 +53,12 @@ func (p *PlainVector) StoredBytes() int64 { return int64(len(p.vals)) * p.elemSi
 // At implements Vector.
 func (p *PlainVector) At(i int) int64 { return p.vals[i] }
 
+// Raw exposes the underlying slice without copying — the zero-copy
+// borrow the rope result path takes for plain-encoded segments. Callers
+// must treat the slice as read-only: it is (usually) a published
+// segment's storage.
+func (p *PlainVector) Raw() []int64 { return p.vals }
+
 // AppendTo implements Vector.
 func (p *PlainVector) AppendTo(dst []int64) []int64 { return append(dst, p.vals...) }
 

@@ -1,0 +1,166 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// runnyVals draws a run-heavy sequence (RLE territory) with runs of
+// 1..8 over a small alphabet, so range filters drop and merge runs.
+func runnyVals(rng *rand.Rand, n int) []int64 {
+	vals := make([]int64, 0, n)
+	for len(vals) < n {
+		v := rng.Int63n(16)
+		for r := rng.Intn(8) + 1; r > 0 && len(vals) < n; r-- {
+			vals = append(vals, v)
+		}
+	}
+	return vals
+}
+
+// assertSameVector checks that got is indistinguishable from want:
+// same encoding, same values in order, same accounted size, same
+// min/max. The splice kernels promise exact equivalence with the
+// decode → filter/append → re-encode path, not just value equality.
+func assertSameVector(t *testing.T, got, want Vector) {
+	t.Helper()
+	if got.Encoding() != want.Encoding() {
+		t.Fatalf("encoding %v != %v", got.Encoding(), want.Encoding())
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("len %d != %d", got.Len(), want.Len())
+	}
+	g, w := got.AppendTo(nil), want.AppendTo(nil)
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("value %d: %d != %d", i, g[i], w[i])
+		}
+	}
+	if got.StoredBytes() != want.StoredBytes() {
+		t.Fatalf("stored bytes %d != %d", got.StoredBytes(), want.StoredBytes())
+	}
+	gmin, gmax, gok := got.MinMax()
+	wmin, wmax, wok := want.MinMax()
+	if gok != wok || gmin != wmin || gmax != wmax {
+		t.Fatalf("minmax (%d,%d,%v) != (%d,%d,%v)", gmin, gmax, gok, wmin, wmax, wok)
+	}
+}
+
+// TestSpliceRangeRLE: splicing run headers must equal re-encoding the
+// filtered decoded sequence — including run merges across dropped
+// values — for randomized sequences and bounds.
+func TestSpliceRangeRLE(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		vals := runnyVals(rng, rng.Intn(200)+1)
+		v := NewRLE(vals, 4)
+		lo := rng.Int63n(16) - 2
+		hi := lo + rng.Int63n(18)
+		got, ok := SpliceRange(v, lo, hi)
+		if !ok {
+			t.Fatal("RLE splice refused")
+		}
+		var filtered []int64
+		for _, x := range vals {
+			if x >= lo && x <= hi {
+				filtered = append(filtered, x)
+			}
+		}
+		if len(filtered) == 0 {
+			if got.Len() != 0 {
+				t.Fatalf("trial %d: want empty, got %d values", trial, got.Len())
+			}
+			continue
+		}
+		assertSameVector(t, got, NewRLE(filtered, 4))
+	}
+}
+
+// TestSpliceRangePlain: the Plain splice is an exact-size filtered copy.
+func TestSpliceRangePlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]int64, 300)
+	for i := range vals {
+		vals[i] = rng.Int63n(1000)
+	}
+	got, ok := SpliceRange(NewPlain(vals, 4), 200, 700)
+	if !ok {
+		t.Fatal("Plain splice refused")
+	}
+	var filtered []int64
+	for _, x := range vals {
+		if x >= 200 && x <= 700 {
+			filtered = append(filtered, x)
+		}
+	}
+	assertSameVector(t, got, NewPlain(filtered, 4))
+}
+
+// TestSpliceRangeUnsupported: Dict and FOR refuse (their forms do not
+// survive filtering), so callers fall back to the decoded path.
+func TestSpliceRangeUnsupported(t *testing.T) {
+	vals := []int64{5, 5, 9, 9, 13}
+	if _, ok := SpliceRange(NewDict(vals, 4), 0, 100); ok {
+		t.Fatal("Dict splice should refuse")
+	}
+	if _, ok := SpliceRange(NewFOR(vals, 4), 0, 100); ok {
+		t.Fatal("FOR splice should refuse")
+	}
+}
+
+// TestExtendEncodedRLE: extending the run list must equal re-encoding
+// the concatenated decoded sequence, including absorption of equal
+// leading appends into the trailing run.
+func TestExtendEncodedRLE(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		base := runnyVals(rng, rng.Intn(100)+1)
+		more := runnyVals(rng, rng.Intn(50)+1)
+		if trial%5 == 0 {
+			// Force the absorption case: more starts with base's last value.
+			more[0] = base[len(base)-1]
+		}
+		v := NewRLE(base, 4)
+		got, ok := ExtendEncoded(v, more)
+		if !ok {
+			t.Fatal("RLE extend refused")
+		}
+		assertSameVector(t, got, NewRLE(append(append([]int64(nil), base...), more...), 4))
+		// The input must be untouched (the extend copies, never aliases).
+		assertSameVector(t, v, NewRLE(base, 4))
+	}
+}
+
+// TestExtendEncodedUnsupported: only RLE supports the encoded extend.
+func TestExtendEncodedUnsupported(t *testing.T) {
+	vals := []int64{1, 2, 3}
+	for _, v := range []Vector{NewPlain(vals, 4), NewDict(vals, 4), NewFOR(vals, 4)} {
+		if _, ok := ExtendEncoded(v, []int64{4}); ok {
+			t.Fatalf("%v extend should refuse", v.Encoding())
+		}
+	}
+}
+
+// TestCodecAllows: Auto inherits any encoding, forced modes exactly
+// theirs, Off none.
+func TestCodecAllows(t *testing.T) {
+	all := []Encoding{Plain, RLE, Dict, FOR}
+	auto := NewCodec(Auto, 4)
+	for _, e := range all {
+		if !auto.Allows(e) {
+			t.Errorf("Auto should allow %v", e)
+		}
+	}
+	forced := NewCodec(ForceRLE, 4)
+	for _, e := range all {
+		if forced.Allows(e) != (e == RLE) {
+			t.Errorf("ForceRLE.Allows(%v) = %v", e, forced.Allows(e))
+		}
+	}
+	off := NewCodec(Off, 4)
+	for _, e := range all {
+		if off.Allows(e) {
+			t.Errorf("Off should not allow %v", e)
+		}
+	}
+}

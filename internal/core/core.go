@@ -15,6 +15,7 @@ package core
 import (
 	"selforg/internal/delta"
 	"selforg/internal/domain"
+	"selforg/internal/result"
 	"selforg/internal/segment"
 )
 
@@ -178,6 +179,25 @@ type PinnedView interface {
 	// Watermark returns the pinned MVCC version: writes stamped above
 	// it are invisible.
 	Watermark() int64
+}
+
+// RopeSelector is the optional zero-copy read capability: strategies
+// that assemble their result as a rope of per-segment chunks
+// (internal/result) expose it here, so the shard router, the facade and
+// the server can splice and stream sub-results instead of flattening at
+// every layer. SelectRope must be value- and order-identical to Select;
+// Select is exactly SelectRope().Flatten().
+type RopeSelector interface {
+	// SelectRope answers the range query as a rope of result chunks,
+	// piggy-backing the same reorganization a Select would.
+	SelectRope(q domain.Range) (*result.Rope, QueryStats)
+}
+
+// RopeView is the rope-returning counterpart of PinnedView.Select, for
+// pinned MVCC views that can hand back per-segment chunks.
+type RopeView interface {
+	// SelectRope returns the values in q as of the pin, as a rope.
+	SelectRope(q domain.Range) *result.Rope
 }
 
 // TreeShaped is the optional capability of strategies organized as a

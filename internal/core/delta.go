@@ -22,6 +22,7 @@ import (
 	"sort"
 	"time"
 
+	"selforg/internal/compress"
 	"selforg/internal/delta"
 	"selforg/internal/domain"
 	"selforg/internal/segment"
@@ -691,24 +692,40 @@ func (r *Replicator) applyDeltaLocked(ins, del []domain.Value) (*node, QueryStat
 				}
 				seg = &segment.Segment{ID: seg.ID, Rng: seg.Rng, Virtual: true, EstCount: est}
 			} else {
-				vals := make([]domain.Value, 0, int(seg.Count())+len(ins))
-				vals = seg.AppendValues(vals)
+				var repl *segment.Segment
+				var recoded bool
 				var removed int64
-				if len(del) > 0 {
-					dead := make(map[domain.Value]int, len(del))
-					for _, v := range del {
-						dead[v]++
-					}
-					vals, removed = delta.RemoveOccurrences(vals, dead)
-					for v, c := range dead {
-						if c > 0 {
-							return nil, fmt.Errorf("core: tombstone for %d has no row in replica %v", v, seg.Rng)
-						}
+				// Compression-aware merge-back: an insert-only rewrite of
+				// an encoded replica extends the encoded form in place of
+				// the decode → append → re-encode round trip, when the
+				// encoding supports it and the codec's policy keeps it.
+				// The result is identical to re-encoding the decoded
+				// values plus the inserts.
+				if len(del) == 0 && seg.Enc != nil && !encodedSpliceDisabled {
+					if enc, ok := compress.ExtendEncoded(seg.Enc, ins); ok && codec.Allows(enc.Encoding()) {
+						repl = seg.FilledEncoded(enc)
+						recoded = true
 					}
 				}
-				vals = append(vals, ins...)
-				repl := seg.Filled(vals)
-				recoded := repl.Encode(codec)
+				if repl == nil {
+					vals := make([]domain.Value, 0, int(seg.Count())+len(ins))
+					vals = seg.AppendValues(vals)
+					if len(del) > 0 {
+						dead := make(map[domain.Value]int, len(del))
+						for _, v := range del {
+							dead[v]++
+						}
+						vals, removed = delta.RemoveOccurrences(vals, dead)
+						for v, c := range dead {
+							if c > 0 {
+								return nil, fmt.Errorf("core: tombstone for %d has no row in replica %v", v, seg.Rng)
+							}
+						}
+					}
+					vals = append(vals, ins...)
+					repl = seg.Filled(vals)
+					recoded = repl.Encode(codec)
+				}
 				rewrites = append(rewrites, rewrite{
 					repl:     repl,
 					oldBytes: int64(seg.StoredBytes(r.elemSize)),

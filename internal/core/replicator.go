@@ -11,6 +11,7 @@ import (
 	"selforg/internal/domain"
 	"selforg/internal/model"
 	"selforg/internal/obs"
+	"selforg/internal/result"
 	"selforg/internal/segment"
 )
 
@@ -384,6 +385,17 @@ func (r *Replicator) info(sg *segment.Segment) model.SegmentInfo {
 // scan itself is lock-free; the materialization runs on the writer
 // pipeline).
 func (r *Replicator) Select(q domain.Range) ([]domain.Value, QueryStats) {
+	res, st := r.SelectRope(q)
+	return res.Flatten(), st
+}
+
+// SelectRope implements RopeSelector: the same Algorithm-2 pass with the
+// result assembled as a rope of per-cover chunks. A covering segment the
+// query fully covers contributes its materialized slice as a zero-copy
+// borrowed chunk (the payload invariant guarantees every value
+// qualifies); partially covered segments contribute their extracted
+// values as owned chunks.
+func (r *Replicator) SelectRope(q domain.Range) (*result.Rope, QueryStats) {
 	so := r.ob.Load()
 	var begin time.Time
 	var span *obs.Span
@@ -392,7 +404,7 @@ func (r *Replicator) Select(q domain.Range) ([]domain.Value, QueryStats) {
 		span = so.span("select", q)
 	}
 	res, _, st := r.run(q, true, span)
-	st.ResultCount = int64(len(res))
+	st.ResultCount = int64(res.Len())
 	if so != nil {
 		so.query(true, begin, &st)
 		finishSpan(span, &st)
@@ -435,7 +447,7 @@ func (r *Replicator) Count(q domain.Range) (int64, QueryStats) {
 // analyse → scan → materialize → drop interleaving of the paper's
 // pseudocode is reproduced exactly (model decisions in cover order,
 // byte-identical stats and layout evolution).
-func (r *Replicator) run(q domain.Range, extract bool, span *obs.Span) ([]domain.Value, int64, QueryStats) {
+func (r *Replicator) run(q domain.Range, extract bool, span *obs.Span) (*result.Rope, int64, QueryStats) {
 	var st QueryStats
 	tRoute := span.StartPhase()
 	root, dsnap := r.eng.Pin()
@@ -451,15 +463,20 @@ func (r *Replicator) run(q domain.Range, extract bool, span *obs.Span) ([]domain
 		par = adaptiveFanout(len(cover), coverBytes)
 	}
 
-	var result []domain.Value
+	rope := result.New()
 	var count int64
 	if par <= 1 || len(cover) < 2 {
 		for _, c := range cover {
 			if extract {
-				result = r.scanCover(c, q, true, result, &st)
+				vals, borrowed := r.scanCoverChunk(c, q, &st)
+				if borrowed {
+					rope.AppendBorrowed(vals)
+				} else {
+					rope.AppendOwned(vals)
+				}
 			} else {
 				count += c.seg.SelectCount(q)
-				r.scanCover(c, q, false, nil, &st)
+				r.accountScan(c, &st)
 			}
 		}
 	} else {
@@ -467,8 +484,9 @@ func (r *Replicator) run(q domain.Range, extract bool, span *obs.Span) ([]domain
 		// segments, outcomes in cover-order slots, per-worker read deltas
 		// merged after.
 		type coverOut struct {
-			vals  []domain.Value
-			count int64
+			vals     []domain.Value
+			borrowed bool
+			count    int64
 		}
 		outs := make([]coverOut, len(cover))
 		workers := par
@@ -489,10 +507,10 @@ func (r *Replicator) run(q domain.Range, extract bool, span *obs.Span) ([]domain
 					}
 					c := cover[i]
 					if extract {
-						outs[i].vals = r.scanCover(c, q, true, nil, &deltas[w])
+						outs[i].vals, outs[i].borrowed = r.scanCoverChunk(c, q, &deltas[w])
 					} else {
 						outs[i].count = c.seg.SelectCount(q)
-						r.scanCover(c, q, false, nil, &deltas[w])
+						r.accountScan(c, &deltas[w])
 					}
 				}
 			}(w)
@@ -502,12 +520,16 @@ func (r *Replicator) run(q domain.Range, extract bool, span *obs.Span) ([]domain
 			st.ReadBytes += deltas[i].ReadBytes
 		}
 		for i := range cover {
-			result = append(result, outs[i].vals...)
+			if outs[i].borrowed {
+				rope.AppendBorrowed(outs[i].vals)
+			} else {
+				rope.AppendOwned(outs[i].vals)
+			}
 			count += outs[i].count
 		}
 	}
 	tOv := span.StartPhase()
-	result, count = overlayDelta(dsnap, q, extract, result, count, &st)
+	rope, count = overlayDelta(dsnap, q, extract, rope, count, &st)
 	span.EndPhase(obs.PhaseOverlay, tOv)
 
 	if coverNeedsAdaptation(cover, q) {
@@ -517,7 +539,7 @@ func (r *Replicator) run(q domain.Range, extract bool, span *obs.Span) ([]domain
 	r.drainAdaptation(&st)
 	span.EndPhase(obs.PhaseAdapt, tAdapt)
 	r.snapshot(&st)
-	return result, count, st
+	return rope, count, st
 }
 
 // coverNeedsAdaptation reports, without consulting the model, whether
@@ -800,10 +822,39 @@ func (r *Replicator) materialize(c *node, virt *segment.Segment, st *QueryStats)
 		r.declined.Add(1)
 		return nil
 	}
+	codec := r.codec.Load()
+	// Compression-aware bulk load: when the covering segment is already
+	// encoded and its encoding survives a range splice (RLE run headers,
+	// plain slices), the replica is cut straight from the encoded form —
+	// no decode, no re-encode. The splice result is value- and
+	// size-identical to the decoded path re-encoded under the same
+	// encoding; the codec's policy gate keeps forced modes honest. It
+	// still counts as a recode: a fresh encoded replica was produced.
+	if codec.Enabled() && c.seg.Enc != nil && !encodedSpliceDisabled {
+		if enc, ok := compress.SpliceRange(c.seg.Enc, virt.Rng.Lo, virt.Rng.Hi); ok && codec.Allows(enc.Encoding()) {
+			filled := virt.FilledEncoded(enc)
+			st.Recodes++
+			b := int64(filled.StoredBytes(r.elemSize))
+			st.WriteBytes += b
+			r.storage.Add(filled.Count() * r.elemSize)
+			r.stored.Add(b)
+			r.tracer.Materialize(filled.ID, b)
+			if so := r.ob.Load(); so != nil {
+				so.event(so.evReplicate, "replicate", obs.Event{
+					Lo:    filled.Rng.Lo,
+					Hi:    filled.Rng.Hi,
+					After: 1,
+					Bytes: b,
+				})
+				so.recodes(1)
+			}
+			return filled
+		}
+	}
 	vals := c.seg.Select(virt.Rng)
 	filled := virt.Filled(vals)
 	logical := int64(len(vals)) * r.elemSize
-	recoded := filled.Encode(r.codec.Load())
+	recoded := filled.Encode(codec)
 	if recoded {
 		st.Recodes++
 	}
@@ -825,6 +876,12 @@ func (r *Replicator) materialize(c *node, virt *segment.Segment, st *QueryStats)
 	}
 	return filled
 }
+
+// encodedSpliceDisabled turns the encoded-form bulk-load shortcuts off,
+// forcing the decode → re-encode path everywhere. Test-only: the
+// equivalence tests flip it (before any concurrent queries run) to prove
+// both paths produce identical columns.
+var encodedSpliceDisabled bool
 
 // dropPass implements Algorithm 5 (check4Drop) as a persistent-tree
 // transform: bottom-up over the subtree, a segment whose immediate
@@ -918,16 +975,29 @@ func (r *Replicator) newVirtualNode(parent *segment.Segment, rng domain.Range) *
 	return &node{seg: segment.NewVirtual(rng, parent.EstimatePiece(rng))}
 }
 
-// scanCover accounts the "single scan of the covering segment" (§5) and,
-// when extract is set, returns result extended with the qualifying values
-// of c. It reads only the pinned covering segment, so any number of
-// queries (and their fan-out workers) scan concurrently with no lock.
-func (r *Replicator) scanCover(c *node, q domain.Range, extract bool, result []domain.Value, st *QueryStats) []domain.Value {
+// accountScan books the "single scan of the covering segment" (§5): read
+// volume and the tracer event. It reads only the pinned covering
+// segment, so any number of queries (and their fan-out workers) scan
+// concurrently with no lock.
+func (r *Replicator) accountScan(c *node, st *QueryStats) {
 	bytes := int64(c.seg.StoredBytes(r.elemSize))
 	st.ReadBytes += bytes
 	r.tracer.Scan(c.seg.ID, bytes)
-	if extract {
-		result = c.seg.AppendSelect(q, result)
+}
+
+// scanCoverChunk accounts the cover scan and returns c's qualifying
+// values as one rope chunk. When the query fully covers the segment and
+// its storage form holds a materialized slice, the chunk borrows the
+// published payload without copying — the payload invariant (every value
+// lies inside Rng) guarantees all values qualify, so the borrowed slice
+// is exactly what AppendSelect would have extracted.
+func (r *Replicator) scanCoverChunk(c *node, q domain.Range, st *QueryStats) ([]domain.Value, bool) {
+	r.accountScan(c, st)
+	if domain.Classify(c.seg.Rng, q) == domain.CoversAll {
+		if vals, ok := c.seg.BorrowValues(); ok {
+			return vals, true
+		}
+		return c.seg.AppendValues(nil), false
 	}
-	return result
+	return c.seg.AppendSelect(q, nil), false
 }

@@ -12,6 +12,7 @@ import (
 	"selforg/internal/domain"
 	"selforg/internal/model"
 	"selforg/internal/obs"
+	"selforg/internal/result"
 	"selforg/internal/segment"
 )
 
@@ -243,14 +244,26 @@ type segTask struct {
 }
 
 // segOutcome is what executing one segTask produced: the task's result
-// contribution and, for splits, the freshly materialized (and already
+// contribution (one rope chunk, marked borrowed when it aliases published
+// segment storage) and, for splits, the freshly materialized (and already
 // encoded) replacement pieces — the reorganization intent handed to the
 // single-writer path.
 type segOutcome struct {
-	vals    []domain.Value
-	count   int64
-	subs    []*segment.Segment
-	recodes int
+	vals     []domain.Value
+	borrowed bool
+	count    int64
+	subs     []*segment.Segment
+	recodes  int
+}
+
+// appendTo adds the outcome's result contribution to the rope with the
+// right ownership flag.
+func (o *segOutcome) appendTo(r *result.Rope) {
+	if o.borrowed {
+		r.AppendBorrowed(o.vals)
+	} else {
+		r.AppendOwned(o.vals)
+	}
 }
 
 // Select implements Algorithm 1:
@@ -264,6 +277,16 @@ type segOutcome struct {
 // values. Segments are visited high-to-low, matching the paper's
 // in-place replacement order.
 func (s *Segmenter) Select(q domain.Range) ([]domain.Value, QueryStats) {
+	r, st := s.SelectRope(q)
+	return r.Flatten(), st
+}
+
+// SelectRope implements RopeSelector: the same Algorithm-1 pass, with the
+// result assembled as a rope of per-segment chunks. Fully covered
+// segments whose storage form holds a materialized slice contribute a
+// zero-copy borrowed chunk; everything else contributes the freshly
+// extracted values as an owned chunk.
+func (s *Segmenter) SelectRope(q domain.Range) (*result.Rope, QueryStats) {
 	so := s.ob.Load()
 	var begin time.Time
 	var span *obs.Span
@@ -271,13 +294,13 @@ func (s *Segmenter) Select(q domain.Range) ([]domain.Value, QueryStats) {
 		begin = time.Now()
 		span = so.span("select", q)
 	}
-	vals, _, st := s.run(q, true, true, span)
-	st.ResultCount = int64(len(vals))
+	rope, _, st := s.run(q, true, true, span)
+	st.ResultCount = int64(rope.Len())
 	if so != nil {
 		so.query(true, begin, &st)
 		finishSpan(span, &st)
 	}
-	return vals, st
+	return rope, st
 }
 
 // Count implements Strategy: the same Algorithm-1 pass with counting
@@ -318,7 +341,7 @@ func (s *Segmenter) Count(q domain.Range) (int64, QueryStats) {
 // wantVals selects extraction vs counting sinks; scanCovered controls
 // whether fully covered segments account a scan (a selection reads them
 // to copy values out, a count answers them from the meta-index for free).
-func (s *Segmenter) run(q domain.Range, wantVals, scanCovered bool, span *obs.Span) ([]domain.Value, int64, QueryStats) {
+func (s *Segmenter) run(q domain.Range, wantVals, scanCovered bool, span *obs.Span) (*result.Rope, int64, QueryStats) {
 	var st QueryStats
 	tRoute := span.StartPhase()
 	s.eng.Mu.Lock()
@@ -364,27 +387,26 @@ func (s *Segmenter) run(q domain.Range, wantVals, scanCovered bool, span *obs.Sp
 	if par <= 1 || len(tasks) < 2 {
 		// Serial: execute and apply each task in order while holding the
 		// writer lock — the exact interleaving of the paper's serial
-		// Algorithm 1, tracer events included. The result accumulator is
-		// threaded through the tasks, so assembly allocates like the
-		// pre-concurrency loop did.
-		var vals []domain.Value
+		// Algorithm 1, tracer events included. Each task contributes one
+		// rope chunk in task order, so assembly is O(1) per segment.
+		rope := result.New()
 		var count int64
 		for _, t := range tasks {
-			out := s.execTask(q, t, wantVals, scanCovered, elem, codec, &st, vals)
+			out := s.execTask(q, t, wantVals, scanCovered, elem, codec, &st)
 			if out.subs != nil {
 				tAdapt := span.StartPhase()
 				s.applyIntent(t, out, &st)
 				span.EndPhase(obs.PhaseAdapt, tAdapt)
 			}
-			vals = out.vals
+			out.appendTo(rope)
 			count += out.count
 		}
 		tOv := span.StartPhase()
-		vals, count = overlayDelta(dsnap, q, wantVals, vals, count, &st)
+		rope, count = overlayDelta(dsnap, q, wantVals, rope, count, &st)
 		span.EndPhase(obs.PhaseOverlay, tOv)
 		s.snapshot(&st)
 		s.eng.Mu.Unlock()
-		return vals, count, st
+		return rope, count, st
 	}
 	s.eng.Mu.Unlock()
 
@@ -392,22 +414,22 @@ func (s *Segmenter) run(q domain.Range, wantVals, scanCovered bool, span *obs.Sp
 
 	tAdapt := span.StartPhase()
 	s.eng.Mu.Lock()
-	var vals []domain.Value
+	rope := result.New()
 	var count int64
 	for i, t := range tasks {
 		if outs[i].subs != nil {
 			s.applyIntent(t, outs[i], &st)
 		}
-		vals = append(vals, outs[i].vals...)
+		outs[i].appendTo(rope)
 		count += outs[i].count
 	}
 	span.EndPhase(obs.PhaseAdapt, tAdapt)
 	tOv := span.StartPhase()
-	vals, count = overlayDelta(dsnap, q, wantVals, vals, count, &st)
+	rope, count = overlayDelta(dsnap, q, wantVals, rope, count, &st)
 	span.EndPhase(obs.PhaseOverlay, tOv)
 	s.snapshot(&st)
 	s.eng.Mu.Unlock()
-	return vals, count, st
+	return rope, count, st
 }
 
 // overlayDelta applies the pinned delta snapshot to an assembled base
@@ -415,26 +437,34 @@ func (s *Segmenter) run(q domain.Range, wantVals, scanCovered bool, span *obs.Sp
 // inserts are unioned in (Figure 1's kdifference/kunion chain, in
 // memory). The overlay pass over the pending entries is accounted as
 // read volume.
-func overlayDelta(dsnap *delta.Snapshot, q domain.Range, wantVals bool, vals []domain.Value, count int64, st *QueryStats) ([]domain.Value, int64) {
+//
+// The overlay mutates a flat slice in place, so a non-empty delta forces
+// the rope to flatten first — Flatten guarantees a mutable, unshared
+// slice (borrowed chunks are copied) — and the result is rewrapped as a
+// single owned chunk. The zero-copy rope shape survives exactly when the
+// pinned delta is empty, which is the steady state between write bursts.
+func overlayDelta(dsnap *delta.Snapshot, q domain.Range, wantVals bool, rope *result.Rope, count int64, st *QueryStats) (*result.Rope, int64) {
 	if dsnap.Len() == 0 {
-		return vals, count
+		return rope, count
 	}
 	b := dsnap.OverlayBytes(q)
 	st.ReadBytes += b
 	st.DeltaReadBytes += b
 	if wantVals {
-		return dsnap.Overlay(q, vals), count
+		return result.FromOwned(dsnap.Overlay(q, rope.Flatten())), count
 	}
-	return vals, count + dsnap.CountDelta(q)
+	return rope, count + dsnap.CountDelta(q)
 }
 
 // execTask scans one task's segment on the snapshot: extraction or
 // counting for the result, partitioning (and encoding) for split intents.
 // It never mutates shared state; read volumes accumulate into st and
-// extracted values are appended to dst (the serial path threads one
-// accumulator through, the parallel path passes nil per task slot).
-func (s *Segmenter) execTask(q domain.Range, t segTask, wantVals, scanCovered bool, elem int64, codec *compress.Codec, st *QueryStats, dst []domain.Value) segOutcome {
-	out := segOutcome{vals: dst}
+// extracted values come back as one rope chunk per task — borrowed when
+// the chunk aliases published segment storage (a covered segment's
+// materialized slice, a split's mid piece shared with the fresh
+// sub-segment), owned when the task allocated it.
+func (s *Segmenter) execTask(q domain.Range, t segTask, wantVals, scanCovered bool, elem int64, codec *compress.Codec, st *QueryStats) segOutcome {
+	var out segOutcome
 	if t.covered {
 		if scanCovered {
 			b := int64(t.seg.StoredBytes(elem))
@@ -442,7 +472,14 @@ func (s *Segmenter) execTask(q domain.Range, t segTask, wantVals, scanCovered bo
 			s.tracer.Scan(t.seg.ID, b)
 		}
 		if wantVals {
-			out.vals = t.seg.AppendValues(dst)
+			// The whole segment qualifies: borrow its materialized slice
+			// when the storage form has one (raw or plain-encoded), copy
+			// out only when decoding is unavoidable.
+			if vals, ok := t.seg.BorrowValues(); ok {
+				out.vals, out.borrowed = vals, true
+			} else {
+				out.vals = t.seg.AppendValues(nil)
+			}
 		} else {
 			out.count = t.seg.Count()
 		}
@@ -459,7 +496,7 @@ func (s *Segmenter) execTask(q domain.Range, t segTask, wantVals, scanCovered bo
 	switch t.action {
 	case model.NoSplit:
 		if wantVals {
-			out.vals = t.seg.AppendSelect(q, dst)
+			out.vals = t.seg.AppendSelect(q, nil)
 		} else {
 			out.count = t.seg.SelectCount(q)
 		}
@@ -478,8 +515,10 @@ func (s *Segmenter) execTask(q domain.Range, t segTask, wantVals, scanCovered bo
 		}
 		// The mid piece is exactly the selection overlap: it is the
 		// result contribution whether or not the intent later applies.
+		// The slice is shared with the fresh mid sub-segment (a plain
+		// encoding aliases it), so the chunk is borrowed.
 		if wantVals {
-			out.vals = append(dst, mid...)
+			out.vals, out.borrowed = mid, true
 		} else {
 			out.count = int64(len(mid))
 		}
@@ -541,7 +580,7 @@ func (s *Segmenter) execParallel(q domain.Range, tasks []segTask, wantVals, scan
 				if i >= len(tasks) {
 					return
 				}
-				outs[i] = s.execTask(q, tasks[i], wantVals, scanCovered, elem, codec, &deltas[w], nil)
+				outs[i] = s.execTask(q, tasks[i], wantVals, scanCovered, elem, codec, &deltas[w])
 			}
 		}(w)
 	}

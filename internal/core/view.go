@@ -9,6 +9,7 @@ package core
 import (
 	"selforg/internal/delta"
 	"selforg/internal/domain"
+	"selforg/internal/result"
 	"selforg/internal/segment"
 )
 
@@ -54,26 +55,44 @@ func (v *View) Watermark() int64 { return v.dsnap.Watermark() }
 // Select returns the values matching q as of the pinned view (order
 // unspecified).
 func (v *View) Select(q domain.Range) []domain.Value {
+	return v.SelectRope(q).Flatten()
+}
+
+// SelectRope implements RopeView: Select with the result assembled as a
+// rope of per-segment chunks — fully covered segments whose storage form
+// holds a materialized slice contribute zero-copy borrowed chunks.
+func (v *View) SelectRope(q domain.Range) *result.Rope {
+	rope := result.New()
 	if q.IsEmpty() {
-		return nil
+		return rope
 	}
-	var out []domain.Value
+	scan := func(sg *segment.Segment) {
+		if domain.Classify(sg.Rng, q) == domain.CoversAll {
+			if vals, ok := sg.BorrowValues(); ok {
+				rope.AppendBorrowed(vals)
+				return
+			}
+			rope.AppendOwned(sg.AppendValues(nil))
+			return
+		}
+		rope.AppendOwned(sg.AppendSelect(q, nil))
+	}
 	if v.list != nil {
 		lo, hi := v.list.Overlapping(q)
 		for i := lo; i < hi; i++ {
-			sg := v.list.Seg(i)
-			if domain.Classify(sg.Rng, q) == domain.CoversAll {
-				out = sg.AppendValues(out)
-			} else {
-				out = sg.AppendSelect(q, out)
-			}
+			scan(v.list.Seg(i))
 		}
 	} else {
 		for _, c := range getCover(v.root, q) {
-			out = c.seg.AppendSelect(q, out)
+			scan(c.seg)
 		}
 	}
-	return v.dsnap.Overlay(q, out)
+	if v.dsnap.Len() > 0 {
+		// The overlay mutates a flat slice; Flatten hands back a mutable,
+		// unshared one (borrowed chunks are copied).
+		return result.FromOwned(v.dsnap.Overlay(q, rope.Flatten()))
+	}
+	return rope
 }
 
 // Count returns the cardinality of q as of the pinned view.

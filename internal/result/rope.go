@@ -1,0 +1,163 @@
+// Package result provides the rope (chunked) result representation of
+// the read path: an ordered list of value chunks assembled with O(1)
+// append-chunk and spliced across layers — per-segment scan pieces in
+// internal/core, per-shard sub-results in internal/shard, streamed
+// chunks in internal/server — instead of re-concatenating flat slices
+// at every layer.
+//
+// # Ownership and borrowing
+//
+// Every chunk is either owned or borrowed:
+//
+//   - An owned chunk is freshly allocated by its producer and referenced
+//     by nothing else. The rope may hand it out directly (Flatten of a
+//     single-chunk rope) and consumers may mutate it.
+//   - A borrowed chunk aliases storage the rope does not own — typically
+//     a published segment's immutable payload. Borrowing makes covered
+//     scans zero-copy, but the aliased storage must never be written
+//     through the rope: Flatten always copies borrowed content before
+//     returning a mutable slice.
+//
+// Chunks are immutable once appended; Flatten caches its result, so
+// flattening is idempotent and pays the copy at most once.
+package result
+
+import "selforg/internal/domain"
+
+// chunk is one contiguous run of result values.
+type chunk struct {
+	vals     []domain.Value
+	borrowed bool
+}
+
+// Rope is an ordered sequence of value chunks. The zero value is an
+// empty rope ready for use. A Rope is not safe for concurrent mutation;
+// the read path assembles one rope per query on the querying goroutine.
+type Rope struct {
+	chunks []chunk
+	length int
+	flat   []domain.Value // cached Flatten result
+	flatOK bool
+}
+
+// New returns an empty rope.
+func New() *Rope { return &Rope{} }
+
+// FromOwned returns a rope holding vals as a single owned chunk. The
+// rope takes ownership: the caller must not retain vals. A nil or empty
+// slice yields an empty rope.
+func FromOwned(vals []domain.Value) *Rope {
+	r := &Rope{}
+	r.AppendOwned(vals)
+	return r
+}
+
+// AppendOwned appends vals as an owned chunk: freshly allocated storage
+// the rope may hand out for mutation. Empty chunks are dropped.
+func (r *Rope) AppendOwned(vals []domain.Value) {
+	r.appendChunk(vals, false)
+}
+
+// AppendBorrowed appends vals as a borrowed chunk: storage owned
+// elsewhere (a published segment's payload) that must be copied before
+// any consumer may write through it. Empty chunks are dropped.
+func (r *Rope) AppendBorrowed(vals []domain.Value) {
+	r.appendChunk(vals, true)
+}
+
+func (r *Rope) appendChunk(vals []domain.Value, borrowed bool) {
+	if len(vals) == 0 {
+		return
+	}
+	r.chunks = append(r.chunks, chunk{vals: vals, borrowed: borrowed})
+	r.length += len(vals)
+	r.flat, r.flatOK = nil, false
+}
+
+// Splice appends every chunk of other to r in order — the O(chunks)
+// concatenation the shard router and parallel merges use in place of
+// copying values. Ownership flags carry over; other remains valid but
+// must not be mutated afterwards (its chunks are shared).
+func (r *Rope) Splice(other *Rope) {
+	if other == nil || other.length == 0 {
+		return
+	}
+	r.chunks = append(r.chunks, other.chunks...)
+	r.length += other.length
+	r.flat, r.flatOK = nil, false
+}
+
+// Len returns the total number of values.
+func (r *Rope) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.length
+}
+
+// NumChunks returns the number of chunks (diagnostics, tests).
+func (r *Rope) NumChunks() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.chunks)
+}
+
+// At returns the i-th value in rope order. It walks the chunk list, so
+// random access is O(chunks); iterate with Chunks for sequential reads.
+func (r *Rope) At(i int) domain.Value {
+	if i < 0 || i >= r.length {
+		panic("result: rope index out of range")
+	}
+	for _, c := range r.chunks {
+		if i < len(c.vals) {
+			return c.vals[i]
+		}
+		i -= len(c.vals)
+	}
+	panic("result: corrupt rope length")
+}
+
+// Chunks iterates the chunks in order, calling yield with each chunk's
+// values until it returns false. The yielded slices must be treated as
+// read-only: they may alias borrowed storage.
+func (r *Rope) Chunks(yield func(vals []domain.Value) bool) {
+	if r == nil {
+		return
+	}
+	for _, c := range r.chunks {
+		if !yield(c.vals) {
+			return
+		}
+	}
+}
+
+// Flatten returns all values as one flat slice, copying at most once:
+//
+//   - an empty rope returns nil;
+//   - a rope holding a single owned chunk returns that chunk directly
+//     (zero copy — the producer allocated it fresh);
+//   - everything else (multiple chunks, or a single borrowed chunk)
+//     copies into one exact-size slice.
+//
+// The result is always mutable by the caller: borrowed storage is never
+// handed out. The result is cached, so repeated calls are O(1) and
+// return the same slice.
+func (r *Rope) Flatten() []domain.Value {
+	if r == nil || r.length == 0 {
+		return nil
+	}
+	if r.flatOK {
+		return r.flat
+	}
+	if len(r.chunks) == 1 && !r.chunks[0].borrowed {
+		r.flat, r.flatOK = r.chunks[0].vals, true
+		return r.flat
+	}
+	out := make([]domain.Value, 0, r.length)
+	for _, c := range r.chunks {
+		out = append(out, c.vals...)
+	}
+	r.flat, r.flatOK = out, true
+	return out
+}

@@ -1,0 +1,148 @@
+package result
+
+import (
+	"reflect"
+	"testing"
+
+	"selforg/internal/domain"
+)
+
+func TestEmptyRope(t *testing.T) {
+	var r Rope
+	if r.Len() != 0 || r.NumChunks() != 0 {
+		t.Fatalf("zero rope not empty: len %d chunks %d", r.Len(), r.NumChunks())
+	}
+	if got := r.Flatten(); got != nil {
+		t.Fatalf("empty Flatten = %v, want nil", got)
+	}
+	r.Chunks(func([]domain.Value) bool {
+		t.Fatal("empty rope yielded a chunk")
+		return true
+	})
+	var nilRope *Rope
+	if nilRope.Len() != 0 || nilRope.NumChunks() != 0 || nilRope.Flatten() != nil {
+		t.Fatal("nil rope must behave as empty")
+	}
+}
+
+func TestEmptyChunksDropped(t *testing.T) {
+	r := New()
+	r.AppendOwned(nil)
+	r.AppendOwned([]domain.Value{})
+	r.AppendBorrowed(nil)
+	if r.NumChunks() != 0 || r.Len() != 0 {
+		t.Fatalf("empty chunks retained: %d chunks, len %d", r.NumChunks(), r.Len())
+	}
+	r.AppendOwned([]domain.Value{1, 2})
+	r.AppendBorrowed([]domain.Value{})
+	r.AppendOwned([]domain.Value{3})
+	if r.NumChunks() != 2 || r.Len() != 3 {
+		t.Fatalf("got %d chunks, len %d, want 2 chunks len 3", r.NumChunks(), r.Len())
+	}
+}
+
+func TestSingleOwnedChunkFlattenIsZeroCopy(t *testing.T) {
+	vals := []domain.Value{4, 5, 6}
+	r := FromOwned(vals)
+	flat := r.Flatten()
+	if &flat[0] != &vals[0] {
+		t.Fatal("single owned chunk should flatten without copying")
+	}
+}
+
+func TestSingleBorrowedChunkFlattenCopies(t *testing.T) {
+	vals := []domain.Value{7, 8, 9}
+	r := New()
+	r.AppendBorrowed(vals)
+	flat := r.Flatten()
+	if !reflect.DeepEqual(flat, vals) {
+		t.Fatalf("Flatten = %v, want %v", flat, vals)
+	}
+	if &flat[0] == &vals[0] {
+		t.Fatal("borrowed chunk must be copied on Flatten")
+	}
+	flat[0] = 99
+	if vals[0] != 7 {
+		t.Fatal("mutating the flattened result corrupted borrowed storage")
+	}
+}
+
+func TestFlattenIdempotent(t *testing.T) {
+	r := New()
+	r.AppendOwned([]domain.Value{1, 2})
+	r.AppendBorrowed([]domain.Value{3})
+	first := r.Flatten()
+	second := r.Flatten()
+	if &first[0] != &second[0] {
+		t.Fatal("repeated Flatten must return the cached slice")
+	}
+	if !reflect.DeepEqual(first, []domain.Value{1, 2, 3}) {
+		t.Fatalf("Flatten = %v", first)
+	}
+}
+
+func TestIteratorMatchesFlatten(t *testing.T) {
+	r := New()
+	r.AppendOwned([]domain.Value{10, 11})
+	r.AppendBorrowed([]domain.Value{12, 13, 14})
+	r.AppendOwned([]domain.Value{15})
+	var viaIter []domain.Value
+	r.Chunks(func(vals []domain.Value) bool {
+		viaIter = append(viaIter, vals...)
+		return true
+	})
+	if !reflect.DeepEqual(viaIter, r.Flatten()) {
+		t.Fatalf("iterator %v != Flatten %v", viaIter, r.Flatten())
+	}
+	// Early termination stops the walk.
+	n := 0
+	r.Chunks(func([]domain.Value) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("yield false should stop iteration, saw %d chunks", n)
+	}
+}
+
+func TestAtWalksChunks(t *testing.T) {
+	r := New()
+	r.AppendOwned([]domain.Value{20, 21})
+	r.AppendBorrowed([]domain.Value{22})
+	r.AppendOwned([]domain.Value{23, 24})
+	want := []domain.Value{20, 21, 22, 23, 24}
+	for i, w := range want {
+		if got := r.At(i); got != w {
+			t.Fatalf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range must panic")
+		}
+	}()
+	r.At(5)
+}
+
+func TestSplice(t *testing.T) {
+	a := New()
+	a.AppendOwned([]domain.Value{1})
+	a.AppendBorrowed([]domain.Value{2, 3})
+	b := New()
+	b.AppendOwned([]domain.Value{4, 5})
+	a.Splice(b)
+	a.Splice(nil)
+	a.Splice(New())
+	if a.Len() != 5 || a.NumChunks() != 3 {
+		t.Fatalf("spliced rope: len %d chunks %d", a.Len(), a.NumChunks())
+	}
+	if !reflect.DeepEqual(a.Flatten(), []domain.Value{1, 2, 3, 4, 5}) {
+		t.Fatalf("spliced Flatten = %v", a.Flatten())
+	}
+}
+
+func TestAppendInvalidatesFlattenCache(t *testing.T) {
+	r := FromOwned([]domain.Value{1})
+	_ = r.Flatten()
+	r.AppendOwned([]domain.Value{2})
+	if !reflect.DeepEqual(r.Flatten(), []domain.Value{1, 2}) {
+		t.Fatalf("Flatten after append = %v", r.Flatten())
+	}
+}

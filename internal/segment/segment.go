@@ -167,6 +167,41 @@ func (s *Segment) values() []domain.Value {
 	return s.Vals
 }
 
+// BorrowValues returns the segment's whole payload without copying when
+// the storage form already holds a materialized plain slice — the raw
+// Vals, or a Plain-encoded vector's backing slice. It reports false when
+// the payload must be decoded (RLE/Dict/FOR), in which case callers use
+// AppendValues. The returned slice aliases published, immutable segment
+// storage: callers must append it to a rope as a *borrowed* chunk and
+// never write through it.
+func (s *Segment) BorrowValues() ([]domain.Value, bool) {
+	if s.Virtual {
+		panic("segment: BorrowValues on a virtual segment")
+	}
+	if s.Enc == nil {
+		return s.Vals, true
+	}
+	if p, ok := s.Enc.(*compress.PlainVector); ok {
+		return p.Raw(), true
+	}
+	return nil, false
+}
+
+// FilledEncoded is Filled's encoded counterpart: a fresh materialized
+// segment with s's identity (ID and range) holding an already-encoded
+// payload — the landing point of the compression-aware bulk-load, which
+// splices a replica's encoded form straight from its covering segment
+// instead of decoding and re-encoding. The range invariant is checked
+// from the encoded synopsis, so the guard stays O(1).
+func (s *Segment) FilledEncoded(enc compress.Vector) *Segment {
+	if min, max, ok := enc.MinMax(); ok {
+		if !s.Rng.Contains(min) || !s.Rng.Contains(max) {
+			panic(fmt.Sprintf("segment: encoded values [%d, %d] outside range %v", min, max, s.Rng))
+		}
+	}
+	return &Segment{ID: s.ID, Rng: s.Rng, Enc: enc}
+}
+
 // AppendValues appends the whole payload, in order, to dst.
 func (s *Segment) AppendValues(dst []domain.Value) []domain.Value {
 	if s.Virtual {

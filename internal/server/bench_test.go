@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -118,4 +119,43 @@ func BenchmarkSoserveThroughput(b *testing.B) {
 			resp.Body.Close()
 		}
 	})
+}
+
+// BenchmarkServerSelectLarge measures a large row-returning SELECT end
+// to end — execute against the column, then encode the envelope exactly
+// as the HTTP layer does (indented JSON). The rows stream out of the
+// result rope chunk-by-chunk during encoding; the flat []int64 is never
+// materialized, so B/op is dominated by the JSON text itself.
+func BenchmarkServerSelectLarge(b *testing.B) {
+	s := New(Config{
+		Extent:   selforg.Interval{Lo: 0, Hi: 99_999},
+		N:        200_000,
+		Seed:     3,
+		MaxRows:  250_000,
+		Observer: selforg.NewObserver(),
+	})
+	b.Cleanup(s.Close)
+	const stmt = "SELECT v FROM P WHERE v BETWEEN 0 AND 99999"
+	// Warm the plan cache and converge the column.
+	for i := 0; i < 20; i++ {
+		if _, err := s.Exec("", stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Exec("", stmt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rows.Len() != 200_000 || res.Truncated {
+			b.Fatalf("got %d rows (truncated=%v)", res.Rows.Len(), res.Truncated)
+		}
+		enc := json.NewEncoder(io.Discard)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

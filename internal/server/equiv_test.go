@@ -64,12 +64,13 @@ func TestCachedUncachedEquivalence(t *testing.T) {
 								t.Errorf("%s query %d results differ: cached count=%d sum=%d, uncached count=%d sum=%d",
 									pass, i, rc.Count, rc.Sum, ru.Count, ru.Sum)
 							}
-							if len(rc.Rows) != len(ru.Rows) {
-								t.Fatalf("%s query %d row counts differ: %d vs %d", pass, i, len(rc.Rows), len(ru.Rows))
+							rcRows, ruRows := rc.Rows.Values(), ru.Rows.Values()
+							if len(rcRows) != len(ruRows) {
+								t.Fatalf("%s query %d row counts differ: %d vs %d", pass, i, len(rcRows), len(ruRows))
 							}
-							for j := range rc.Rows {
-								if rc.Rows[j] != ru.Rows[j] {
-									t.Fatalf("%s query %d row %d differs: %d vs %d", pass, i, j, rc.Rows[j], ru.Rows[j])
+							for j := range rcRows {
+								if rcRows[j] != ruRows[j] {
+									t.Fatalf("%s query %d row %d differs: %d vs %d", pass, i, j, rcRows[j], ruRows[j])
 								}
 							}
 							if rc.Stats != ru.Stats {

@@ -53,10 +53,13 @@ func (e *CompileError) Unwrap() error { return e.Err }
 // Result is one executed statement's answer. For writes (op insert,
 // update, delete, create) Count is the number of rows affected.
 type Result struct {
-	Op    string  `json:"op"`
-	Count int64   `json:"count"`
-	Sum   int64   `json:"sum,omitempty"`
-	Rows  []int64 `json:"rows,omitempty"`
+	Op    string `json:"op"`
+	Count int64  `json:"count"`
+	Sum   int64  `json:"sum,omitempty"`
+	// Rows streams the rope chunks straight into the JSON encoding; nil
+	// (omitted on the wire) when the result has no rows, matching the
+	// empty-slice omission of the flat encoding it replaced.
+	Rows *Rows `json:"rows,omitempty"`
 	// Columns and Tuples carry multi-column SELECT results (tenant
 	// tables); single-column results use Rows.
 	Columns []string  `json:"columns,omitempty"`
@@ -173,19 +176,24 @@ func (s *Server) run(col *selforg.Column, p *plan, binds []float64) *Result {
 	case opCount:
 		res.Count, res.Stats = col.Count(lo, hi)
 	case opSum:
-		vals, st := col.Select(lo, hi)
+		rows, st := col.SelectRows(lo, hi)
 		var sum int64
-		for _, v := range vals {
-			sum += v
-		}
-		res.Sum, res.Count, res.Stats = sum, int64(len(vals)), st
+		rows.Chunks(func(vals []int64) bool {
+			for _, v := range vals {
+				sum += v
+			}
+			return true
+		})
+		res.Sum, res.Count, res.Stats = sum, int64(rows.Len()), st
 	default:
-		vals, st := col.Select(lo, hi)
-		res.Count, res.Stats = int64(len(vals)), st
-		if len(vals) > s.cfg.MaxRows {
-			res.Rows, res.Truncated = vals[:s.cfg.MaxRows], true
-		} else {
-			res.Rows = vals
+		rows, st := col.SelectRows(lo, hi)
+		n := rows.Len()
+		res.Count, res.Stats = int64(n), st
+		if n > s.cfg.MaxRows {
+			n, res.Truncated = s.cfg.MaxRows, true
+		}
+		if n > 0 {
+			res.Rows = chunkedRows(rows, n)
 		}
 	}
 	return res

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"encoding/json"
+	"strconv"
+
+	"selforg"
+)
+
+// Rows is the wire form of a single-column result set. On the serving
+// side it wraps the facade's chunked result (selforg.Rows) and marshals
+// by streaming digits straight out of the rope's chunks — the flat
+// []int64 is never materialized, so a large SELECT response costs one
+// JSON buffer instead of a row slice plus per-element reflection. On
+// the client side (and in tests) it unmarshals back into a flat slice;
+// the JSON bytes are identical to the []int64 encoding it replaces.
+type Rows struct {
+	chunked *selforg.Rows // serving-side rope source; nil when flat
+	n       int           // rows to emit from chunked (MaxRows truncation)
+	flat    []int64       // decoded or explicitly-built form
+}
+
+// NewRows wraps an already-flat row slice (multi-column results project
+// their single column through here).
+func NewRows(flat []int64) *Rows { return &Rows{flat: flat} }
+
+// chunkedRows wraps a facade result, emitting at most n rows.
+// Requires n <= r.Len().
+func chunkedRows(r *selforg.Rows, n int) *Rows {
+	return &Rows{chunked: r, n: n}
+}
+
+// Len returns the number of rows the result carries (after truncation).
+func (r *Rows) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.chunked != nil {
+		return r.n
+	}
+	return len(r.flat)
+}
+
+// Values returns the rows as a flat slice. Callers must not mutate it:
+// on the serving side it may alias column storage.
+func (r *Rows) Values() []int64 {
+	if r == nil {
+		return nil
+	}
+	if r.chunked == nil {
+		return r.flat
+	}
+	return r.chunked.Flatten()[:r.n]
+}
+
+// MarshalJSON encodes the rows as a JSON array, walking the chunked
+// source in place — no intermediate flat slice.
+func (r *Rows) MarshalJSON() ([]byte, error) {
+	buf := make([]byte, 0, 2+r.Len()*8)
+	buf = append(buf, '[')
+	first := true
+	emit := func(v int64) {
+		if !first {
+			buf = append(buf, ',')
+		}
+		first = false
+		buf = strconv.AppendInt(buf, v, 10)
+	}
+	if r != nil && r.chunked != nil {
+		left := r.n
+		r.chunked.Chunks(func(vals []int64) bool {
+			if len(vals) > left {
+				vals = vals[:left]
+			}
+			for _, v := range vals {
+				emit(v)
+			}
+			left -= len(vals)
+			return left > 0
+		})
+	} else if r != nil {
+		for _, v := range r.flat {
+			emit(v)
+		}
+	}
+	return append(buf, ']'), nil
+}
+
+// UnmarshalJSON decodes a JSON row array into the flat form.
+func (r *Rows) UnmarshalJSON(b []byte) error {
+	r.chunked, r.n = nil, 0
+	return json.Unmarshal(b, &r.flat)
+}

@@ -72,14 +72,14 @@ func TestExecOps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if int64(len(sel.Rows)) != sel.Count {
-		t.Errorf("select returned %d rows, count %d", len(sel.Rows), sel.Count)
+	if int64(sel.Rows.Len()) != sel.Count {
+		t.Errorf("select returned %d rows, count %d", sel.Rows.Len(), sel.Count)
 	}
 	if cnt.Count != sel.Count {
 		t.Errorf("COUNT(*) = %d, SELECT cardinality = %d", cnt.Count, sel.Count)
 	}
 	var want int64
-	for _, v := range sel.Rows {
+	for _, v := range sel.Rows.Values() {
 		if v < 10 || v > 20 {
 			t.Fatalf("row %d outside predicate", v)
 		}

@@ -278,9 +278,12 @@ func (s *Server) execTenantSelect(name string, q *sql.Query, src string) (*Resul
 			res.Tuples[r] = tuple
 		}
 		if rs.NumCols() == 1 {
-			res.Rows = make([]int64, rows)
+			flat := make([]int64, rows)
 			for r := 0; r < rows; r++ {
-				res.Rows[r] = res.Tuples[r][0]
+				flat[r] = res.Tuples[r][0]
+			}
+			if rows > 0 {
+				res.Rows = NewRows(flat)
 			}
 		}
 	}

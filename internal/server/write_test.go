@@ -316,10 +316,10 @@ func TestSQLDMLEquivalence(t *testing.T) {
 			}
 			want, _ := ref.Select(cfg.Extent.Lo, cfg.Extent.Hi)
 			if res.Truncated {
-				t.Fatalf("result truncated at %d rows; raise MaxRows", len(res.Rows))
+				t.Fatalf("result truncated at %d rows; raise MaxRows", res.Rows.Len())
 			}
-			if !reflect.DeepEqual(res.Rows, want) {
-				t.Fatalf("SQL path diverged from direct writes: %d vs %d rows", len(res.Rows), len(want))
+			if !reflect.DeepEqual(res.Rows.Values(), want) {
+				t.Fatalf("SQL path diverged from direct writes: %d vs %d rows", res.Rows.Len(), len(want))
 			}
 		})
 	}

@@ -54,6 +54,7 @@ import (
 	"selforg/internal/delta"
 	"selforg/internal/domain"
 	"selforg/internal/obs"
+	"selforg/internal/result"
 	"selforg/internal/segment"
 )
 
@@ -334,8 +335,26 @@ func (c *Column) snapshot(st *core.QueryStats, lo, hi int) {
 // sub-results in shard order. Reorganization piggy-backs inside each
 // shard exactly as unsharded.
 func (c *Column) Select(q domain.Range) ([]domain.Value, core.QueryStats) {
-	vals, _, st := c.query(q, true)
-	return vals, st
+	rope, _, st := c.query(q, true)
+	return rope.Flatten(), st
+}
+
+// SelectRope implements core.RopeSelector: the routed read path with the
+// per-shard sub-results spliced chunk-wise in shard order — no value is
+// copied at the router layer, regardless of the shard count.
+func (c *Column) SelectRope(q domain.Range) (*result.Rope, core.QueryStats) {
+	rope, _, st := c.query(q, true)
+	return rope, st
+}
+
+// shardSelectRope scans one shard as a rope, falling back to wrapping
+// the flat result for shard strategies without the rope capability.
+func shardSelectRope(s core.DeltaStrategy, q domain.Range) (*result.Rope, core.QueryStats) {
+	if rs, ok := s.(core.RopeSelector); ok {
+		return rs.SelectRope(q)
+	}
+	vals, st := s.Select(q)
+	return result.FromOwned(vals), st
 }
 
 // Count implements core.Strategy: the counting pass of Select with
@@ -346,7 +365,7 @@ func (c *Column) Count(q domain.Range) (int64, core.QueryStats) {
 }
 
 // query is the shared routed read path.
-func (c *Column) query(q domain.Range, wantVals bool) ([]domain.Value, int64, core.QueryStats) {
+func (c *Column) query(q domain.Range, wantVals bool) (*result.Rope, int64, core.QueryStats) {
 	var st core.QueryStats
 	lo, hi := spanOf(c.ranges, q)
 	n := hi - lo
@@ -361,25 +380,25 @@ func (c *Column) query(q domain.Range, wantVals bool) ([]domain.Value, int64, co
 	switch {
 	case n == 0:
 		c.snapshot(&st, 0, 0)
-		return nil, 0, st
+		return result.New(), 0, st
 	case n == 1:
 		// Single-shard fast path: pure delegation, no merge step. This is
 		// the every-call path of a 1-shard column (byte-identical to the
 		// unsharded strategy) and the common path of point-ish queries on
 		// K-shard columns.
-		var vals []domain.Value
+		var rope *result.Rope
 		var cnt int64
 		if wantVals {
-			vals, st = c.shards[lo].Select(q)
+			rope, st = shardSelectRope(c.shards[lo], q)
 		} else {
 			cnt, st = c.shards[lo].Count(q)
 		}
 		c.snapshot(&st, lo, hi)
-		return vals, cnt, st
+		return rope, cnt, st
 	}
 
 	type shardOut struct {
-		vals []domain.Value
+		rope *result.Rope
 		cnt  int64
 		st   core.QueryStats
 	}
@@ -387,7 +406,7 @@ func (c *Column) query(q domain.Range, wantVals bool) ([]domain.Value, int64, co
 	run := func(i int) {
 		s := c.shards[lo+i]
 		if wantVals {
-			outs[i].vals, outs[i].st = s.Select(q)
+			outs[i].rope, outs[i].st = shardSelectRope(s, q)
 		} else {
 			outs[i].cnt, outs[i].st = s.Count(q)
 		}
@@ -418,22 +437,18 @@ func (c *Column) query(q domain.Range, wantVals bool) ([]domain.Value, int64, co
 		}
 		wg.Wait()
 	}
-	var vals []domain.Value
+	// Merge in shard order: the rope splice moves chunk headers, never
+	// values, so the router's concatenation cost no longer scales with
+	// the result volume times the shard count.
+	rope := result.New()
 	var cnt int64
-	if wantVals {
-		total := 0
-		for i := range outs {
-			total += len(outs[i].vals)
-		}
-		vals = make([]domain.Value, 0, total)
-	}
 	for i := range outs {
 		st.Add(outs[i].st)
-		vals = append(vals, outs[i].vals...)
+		rope.Splice(outs[i].rope)
 		cnt += outs[i].cnt
 	}
 	c.snapshot(&st, lo, hi)
-	return vals, cnt, st
+	return rope, cnt, st
 }
 
 // fanout resolves the cross-shard worker count for one query. The
@@ -739,11 +754,19 @@ func (c *Column) UncompressedBytes() domain.ByteSize {
 }
 
 // SegmentSizes implements core.Strategy: per-shard sizes concatenated in
-// shard order.
+// shard order. The per-shard slices are collected first and copied once
+// into an exactly-sized result, instead of growing one slice across
+// shards (which re-copied earlier shards' sizes on every growth).
 func (c *Column) SegmentSizes() []float64 {
-	var out []float64
-	for _, s := range c.shards {
-		out = append(out, s.SegmentSizes()...)
+	parts := make([][]float64, len(c.shards))
+	total := 0
+	for i, s := range c.shards {
+		parts[i] = s.SegmentSizes()
+		total += len(parts[i])
+	}
+	out := make([]float64, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
 	}
 	return out
 }

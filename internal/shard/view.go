@@ -3,6 +3,7 @@ package shard
 import (
 	"selforg/internal/core"
 	"selforg/internal/domain"
+	"selforg/internal/result"
 )
 
 // View is a read-only MVCC view of a sharded column: one pinned view
@@ -39,12 +40,24 @@ func (c *Column) PinView() core.PinnedView { return c.Pin() }
 // Select returns the values matching q as of the per-shard pins,
 // concatenated in shard order.
 func (v *View) Select(q domain.Range) []domain.Value {
-	var out []domain.Value
+	return v.SelectRope(q).Flatten()
+}
+
+// SelectRope implements core.RopeView: the per-shard view results
+// spliced chunk-wise in shard order, so a multi-shard view scan copies
+// each value at most once (in the final Flatten) instead of re-copying
+// earlier shards' values as the flat result grew.
+func (v *View) SelectRope(q domain.Range) *result.Rope {
+	rope := result.New()
 	lo, hi := spanOf(v.ranges, q)
 	for i := lo; i < hi; i++ {
-		out = append(out, v.views[i].Select(q)...)
+		if rv, ok := v.views[i].(core.RopeView); ok {
+			rope.Splice(rv.SelectRope(q))
+			continue
+		}
+		rope.AppendOwned(v.views[i].Select(q))
 	}
-	return out
+	return rope
 }
 
 // Count returns the cardinality of q as of the per-shard pins.

@@ -1,0 +1,165 @@
+package selforg
+
+// Rope read-path equivalence (PR 10): SelectRows assembles results as a
+// rope of per-segment chunks (borrowing compressed segments' decoded
+// runs and raw slices where possible) while Select flattens the same
+// rope. The two must be byte-identical — same values in the same order,
+// same stats, same layout evolution — across strategy × model ×
+// compression × shards, with pending writes overlaid and merge-backs
+// firing mid-stream.
+
+import (
+	"fmt"
+	"testing"
+
+	"selforg/internal/domain"
+	"selforg/internal/workload"
+)
+
+func TestRopeFlatEquivalence(t *testing.T) {
+	dom := domain.NewRange(0, 99_999)
+	extent := Interval{dom.Lo, dom.Hi}
+	vals := equivColumn(6000, dom, 3)
+
+	for _, strat := range []Strategy{Segmentation, Replication} {
+		for _, mod := range []Model{APM, GD} {
+			for _, comp := range []Compression{CompressionOff, CompressionAuto, CompressionRLE} {
+				for _, shards := range []int{1, 4} {
+					name := fmt.Sprintf("%v/%v/comp=%d/shards=%d", strat, mod, comp, shards)
+					t.Run(name, func(t *testing.T) {
+						opts := Options{
+							Strategy: strat, Model: mod,
+							APMMin: 256, APMMax: 2048,
+							Compression: comp, Shards: shards,
+							DeltaMaxBytes: 512, // force merge-backs mid-stream
+						}
+						// Twin columns under identical options fed identical
+						// operations evolve in lockstep; flat reads one, rope
+						// reads the other, so neither read path's adaptation
+						// side effects can mask a divergence.
+						flat, err := New(extent, append([]int64(nil), vals...), opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						rope, err := New(extent, append([]int64(nil), vals...), opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						gf := workload.NewUniform(dom, dom.Width()/20, 7)
+						gr := workload.NewUniform(dom, dom.Width()/20, 7)
+						for i := 0; i < 60; i++ {
+							// Interleave writes so the overlay path (pending
+							// delta over the rope) is exercised too.
+							if i%4 == 1 {
+								w := dom.Lo + int64(i)*1_663%dom.Width()
+								if _, err := flat.Insert(w); err != nil {
+									t.Fatal(err)
+								}
+								if _, err := rope.Insert(w); err != nil {
+									t.Fatal(err)
+								}
+							}
+							if i%8 == 5 {
+								w := vals[(i*97)%len(vals)]
+								if _, _, err := flat.Delete(w); err != nil {
+									t.Fatal(err)
+								}
+								if _, _, err := rope.Delete(w); err != nil {
+									t.Fatal(err)
+								}
+							}
+							qf, qr := gf.Next(), gr.Next()
+							if qf != qr {
+								t.Fatal("generator streams diverged")
+							}
+							fv, fst := flat.Select(qf.Lo, qf.Hi)
+							rows, rst := rope.SelectRows(qr.Lo, qr.Hi)
+							rv := rows.Flatten()
+							if len(fv) != len(rv) {
+								t.Fatalf("q%d %v: %d vs %d rows", i, qf, len(fv), len(rv))
+							}
+							for j := range fv {
+								if fv[j] != rv[j] {
+									t.Fatalf("q%d %v: row %d differs: %d vs %d", i, qf, j, fv[j], rv[j])
+								}
+							}
+							// The chunk iterator must walk the same bytes.
+							k := 0
+							rows.Chunks(func(chunk []int64) bool {
+								for _, v := range chunk {
+									if fv[k] != v {
+										t.Fatalf("q%d: chunk value %d differs: %d vs %d", i, k, fv[k], v)
+									}
+									k++
+								}
+								return true
+							})
+							if k != len(fv) {
+								t.Fatalf("q%d: iterator yielded %d of %d values", i, k, len(fv))
+							}
+							if rows.Len() != len(fv) {
+								t.Fatalf("q%d: Len %d != %d", i, rows.Len(), len(fv))
+							}
+							if fst != rst {
+								t.Fatalf("q%d stats differ:\n  flat %+v\n  rope %+v", i, fst, rst)
+							}
+						}
+						if fl, rl := flat.Layout(), rope.Layout(); fl != rl {
+							t.Fatalf("layouts diverged:\n  flat %s\n  rope %s", fl, rl)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestRopeViewEquivalence pins MVCC views on twin columns and checks the
+// rope-assembled view read (SelectRows) against the flat one, including
+// after writes land behind the pins.
+func TestRopeViewEquivalence(t *testing.T) {
+	dom := domain.NewRange(0, 99_999)
+	extent := Interval{dom.Lo, dom.Hi}
+	vals := equivColumn(4000, dom, 5)
+	for _, strat := range []Strategy{Segmentation, Replication} {
+		for _, shards := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%v/shards=%d", strat, shards), func(t *testing.T) {
+				opts := Options{
+					Strategy: strat, Model: APM, APMMin: 256, APMMax: 2048,
+					Compression: CompressionAuto, Shards: shards,
+				}
+				col, err := New(extent, append([]int64(nil), vals...), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Converge a little, leave some writes pending, then pin.
+				gen := workload.NewUniform(dom, dom.Width()/20, 9)
+				for i := 0; i < 30; i++ {
+					q := gen.Next()
+					col.Select(q.Lo, q.Hi)
+				}
+				if _, err := col.Insert(dom.Lo + 17); err != nil {
+					t.Fatal(err)
+				}
+				v := col.View()
+				// Writes after the pin must stay invisible to both paths.
+				if _, err := col.Insert(dom.Lo + 18); err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 30; i++ {
+					q := gen.Next()
+					fv := v.Select(q.Lo, q.Hi)
+					rv := v.SelectRows(q.Lo, q.Hi).Flatten()
+					if len(fv) != len(rv) {
+						t.Fatalf("q%d %v: %d vs %d rows", i, q, len(fv), len(rv))
+					}
+					for j := range fv {
+						if fv[j] != rv[j] {
+							t.Fatalf("q%d: row %d differs: %d vs %d", i, j, fv[j], rv[j])
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -119,6 +119,7 @@ import (
 	"selforg/internal/domain"
 	"selforg/internal/durable"
 	"selforg/internal/model"
+	"selforg/internal/result"
 	"selforg/internal/shard"
 )
 
@@ -652,6 +653,73 @@ func (c *Column) Select(lo, hi int64) ([]int64, Stats) {
 	return res, st
 }
 
+// Rows is a chunked query result: the values of a selection held as an
+// ordered list of per-segment (and per-shard) chunks instead of one flat
+// slice — the zero-copy shape SelectRows assembles. Chunks that alias
+// published segment storage are tracked as borrowed, so Flatten always
+// hands back a mutable slice (copying at most once) and Chunks yields
+// read-only views. A nil or empty Rows behaves as zero rows.
+type Rows struct {
+	rope *result.Rope
+}
+
+// Len returns the number of values.
+func (r *Rows) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.rope.Len()
+}
+
+// At returns the i-th value in result order. Random access walks the
+// chunk list; iterate with Chunks for sequential reads.
+func (r *Rows) At(i int) int64 { return r.rope.At(i) }
+
+// Flatten returns all values as one flat slice, mutable by the caller.
+// The copy happens at most once and only when the result spans several
+// chunks or borrows segment storage; the result is cached.
+func (r *Rows) Flatten() []int64 {
+	if r == nil {
+		return nil
+	}
+	return r.rope.Flatten()
+}
+
+// Chunks iterates the result's chunks in order until yield returns
+// false. The yielded slices must be treated as read-only: they may alias
+// the column's own segment storage.
+func (r *Rows) Chunks(yield func(vals []int64) bool) {
+	if r == nil {
+		return
+	}
+	r.rope.Chunks(yield)
+}
+
+// SelectRows is Select with the result left in its chunked form: the
+// qualifying values as a Rows — per-segment chunks spliced across
+// shards — instead of one flattened slice. Consumers that stream the
+// result (the query server's JSON writer) or aggregate over it never pay
+// the flat concatenation; Flatten converts when a slice is needed.
+// Reorganization piggy-backs exactly as in Select, and
+// SelectRows(lo, hi).Flatten() is byte-identical to Select(lo, hi).
+func (c *Column) SelectRows(lo, hi int64) (*Rows, Stats) {
+	if lo > hi {
+		return &Rows{rope: result.New()}, Stats{}
+	}
+	q := domain.Range{Lo: lo, Hi: hi}
+	var rope *result.Rope
+	var qs core.QueryStats
+	if rs, ok := c.strat.(core.RopeSelector); ok {
+		rope, qs = rs.SelectRope(q)
+	} else {
+		vals, fqs := c.strat.Select(q)
+		rope, qs = result.FromOwned(vals), fqs
+	}
+	st := statsFrom(qs)
+	c.acct.query(st)
+	return &Rows{rope: rope}, st
+}
+
 // Count returns the number of values in [lo, hi] without materializing
 // them: segments fully covered by the query are answered from the
 // segment meta-index alone, partially covered ones are counted on their
@@ -910,6 +978,19 @@ func (v *View) Select(lo, hi int64) []int64 {
 		return nil
 	}
 	return v.v.Select(domain.Range{Lo: lo, Hi: hi})
+}
+
+// SelectRows returns the values in [lo, hi] as of the pinned view, in
+// the chunked Rows form (see Column.SelectRows).
+func (v *View) SelectRows(lo, hi int64) *Rows {
+	if lo > hi {
+		return &Rows{rope: result.New()}
+	}
+	q := domain.Range{Lo: lo, Hi: hi}
+	if rv, ok := v.v.(core.RopeView); ok {
+		return &Rows{rope: rv.SelectRope(q)}
+	}
+	return &Rows{rope: result.FromOwned(v.v.Select(q))}
 }
 
 // Count returns the cardinality of [lo, hi] as of the pinned view.
